@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fig. 16 (a-c): backend kernel CPU latency as a function of the matrix
+ * size it operates on, measured from real runs of each mode.
+ *
+ * Paper shape to reproduce: projection latency grows ~linearly with the
+ * number of projected map points; Kalman gain and marginalization grow
+ * superlinearly (fit with quadratics in Sec. VI-B).
+ */
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common/accel_model.hpp"
+#include "common/runner.hpp"
+#include "common/table.hpp"
+#include "math/stats.hpp"
+#include "sched/scheduler.hpp"
+
+using namespace edx;
+using namespace edx::bench;
+
+namespace {
+
+void
+scalingReport(const std::string &title, BackendKernel kernel,
+              const std::vector<KernelSample> &samples,
+              const std::string &size_label)
+{
+    std::cout << title << " (" << samples.size() << " kernel frames)\n";
+    if (samples.size() < 8) {
+        note("not enough kernel invocations collected");
+        return;
+    }
+
+    // Bucket the samples into size quintiles for a compact curve.
+    std::vector<KernelSample> sorted = samples;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const KernelSample &a, const KernelSample &b) {
+                  return a.size < b.size;
+              });
+    Table t({size_label, "mean CPU ms", "samples"});
+    const int buckets = 5;
+    for (int b = 0; b < buckets; ++b) {
+        size_t lo = sorted.size() * b / buckets;
+        size_t hi = sorted.size() * (b + 1) / buckets;
+        if (hi <= lo)
+            continue;
+        double size_sum = 0.0, ms_sum = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+            size_sum += sorted[i].size;
+            ms_sum += sorted[i].cpu_ms;
+        }
+        double n = static_cast<double>(hi - lo);
+        t.addRow({fmt(size_sum / n, 0), fmt(ms_sum / n, 3),
+                  fmt(n, 0)});
+    }
+    t.print();
+
+    // Fit quality of the configured polynomial degree (Sec. VI-B).
+    KernelLatencyModel model = KernelLatencyModel::fit(kernel, sorted);
+    note("fitted degree-" +
+         std::to_string(kernelModelDegree(kernel)) +
+         " model R^2 = " + fmt(model.r2(sorted), 3) +
+         " (paper fits: linear for projection, quadratic otherwise)");
+    std::cout << "\n";
+}
+
+std::vector<KernelSample>
+collect(const ModeRun &run)
+{
+    std::vector<KernelSample> out;
+    for (const FrameRecord &f : run.frames) {
+        KernelRecord k = kernelRecord(f.res);
+        if (k.size > 0.0)
+            out.push_back({k.size, k.cpu_ms});
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 16", "backend kernel latency vs matrix size");
+
+    const int frames = benchFrames(240);
+
+    {
+        RunConfig cfg;
+        cfg.scene = SceneType::IndoorKnown;
+        cfg.frames = frames;
+        cfg.force_mode = BackendMode::Registration;
+        ModeRun run = runLocalization(cfg);
+        scalingReport("Fig. 16a - projection latency vs map points",
+                      BackendKernel::Projection, collect(run),
+                      "map points");
+    }
+    {
+        RunConfig cfg;
+        cfg.scene = SceneType::OutdoorUnknown;
+        cfg.frames = frames;
+        ModeRun run = runLocalization(cfg);
+        scalingReport("Fig. 16b - Kalman gain latency vs stacked rows",
+                      BackendKernel::KalmanGain, collect(run),
+                      "H rows");
+    }
+    {
+        RunConfig cfg;
+        cfg.scene = SceneType::IndoorUnknown;
+        cfg.frames = frames;
+        ModeRun run = runLocalization(cfg);
+        scalingReport(
+            "Fig. 16c - marginalization latency vs landmarks",
+            BackendKernel::Marginalization, collect(run),
+            "marginalized landmarks");
+    }
+
+    note("Paper claim: kernel latency is predictable from the matrix "
+         "size the frontend just produced - the basis of the runtime "
+         "scheduler.");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fig. 17 (a-b): end-to-end frame latency and latency standard
+ * deviation, software baseline vs EDX-CAR / EDX-DRONE, per mode and
+ * overall.
+ *
+ * Paper shape to reproduce: ~2x overall speedup on both platforms
+ * (2.5/2.1/2.0x per mode on the car; 2.0/1.9/1.8x on the drone) and a
+ * large SD reduction (58.4% car, 42.7% drone).
+ */
+#include <iostream>
+
+#include "common/accel_model.hpp"
+#include "common/runner.hpp"
+#include "common/table.hpp"
+#include "math/stats.hpp"
+
+using namespace edx;
+using namespace edx::bench;
+
+namespace {
+
+struct CaseDef
+{
+    SceneType scene;
+    BackendMode mode;
+};
+
+void
+platformReport(Platform platform, const AcceleratorConfig &acfg,
+               const std::string &paper_speedup,
+               const std::string &paper_sd)
+{
+    const int frames =
+        benchFrames(platform == Platform::Car ? 60 : 150);
+    const std::vector<CaseDef> cases = {
+        {SceneType::IndoorKnown, BackendMode::Registration},
+        {SceneType::OutdoorUnknown, BackendMode::Vio},
+        {SceneType::IndoorUnknown, BackendMode::Slam},
+    };
+
+    std::cout << acfg.name << " (" << frames << " frames per mode)\n";
+    Table t({"mode", "base ms", "edx ms", "speedup", "base SD",
+             "edx SD", "SD cut %"});
+
+    std::vector<double> all_base, all_acc;
+    for (const CaseDef &c : cases) {
+        RunConfig cfg;
+        cfg.scene = c.scene;
+        cfg.platform = platform;
+        cfg.frames = frames;
+        cfg.force_mode = c.mode;
+        ModeRun run = runLocalization(cfg);
+        SystemRun sys = modelSystem(run, acfg);
+
+        std::vector<double> base = sys.baseTotals();
+        std::vector<double> acc = sys.accTotals();
+        all_base.insert(all_base.end(), base.begin(), base.end());
+        all_acc.insert(all_acc.end(), acc.begin(), acc.end());
+
+        double sd_cut =
+            100.0 * (1.0 - stddev(acc) / stddev(base));
+        t.addRow({modeName(c.mode), fmt(mean(base), 1),
+                  fmt(mean(acc), 1),
+                  fmt(mean(base) / mean(acc), 2) + "x",
+                  fmt(stddev(base), 1), fmt(stddev(acc), 1),
+                  fmt(sd_cut, 1)});
+    }
+    double overall = mean(all_base) / mean(all_acc);
+    double sd_cut = 100.0 * (1.0 - stddev(all_acc) / stddev(all_base));
+    t.addRow({"overall", fmt(mean(all_base), 1), fmt(mean(all_acc), 1),
+              vsPaper(overall, paper_speedup) + "x", fmt(stddev(all_base), 1),
+              fmt(stddev(all_acc), 1), vsPaper(sd_cut, paper_sd, 1)});
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 17", "overall latency + variation, baseline vs EUDOXUS");
+    platformReport(Platform::Car, AcceleratorConfig::car(), "2.1x",
+                   "58.4%");
+    platformReport(Platform::Drone, AcceleratorConfig::drone(), "1.9x",
+                   "42.7%");
+    note("Paper claims: ~2x end-to-end speedup and 43-58% SD reduction "
+         "on both platforms.");
+    return 0;
+}

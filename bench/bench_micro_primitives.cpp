@@ -1,0 +1,202 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the software kernels the
+ * accelerator targets: the frontend vision tasks on a real rendered
+ * frame, and the matrix primitives of Tbl. I at MSCKF/marginalization
+ * sizes.
+ *
+ * These are the CPU-side costs that the Fig. 16 regression models
+ * predict and that the Sec. VI scheduler trades against the modeled
+ * accelerator time.
+ */
+#include <benchmark/benchmark.h>
+
+#include "features/fast.hpp"
+#include "features/optical_flow.hpp"
+#include "features/orb.hpp"
+#include "features/stereo.hpp"
+#include "image/filter.hpp"
+#include "image/pyramid.hpp"
+#include "math/decomp.hpp"
+#include "math/matx.hpp"
+#include "math/rng.hpp"
+#include "sim/dataset.hpp"
+
+namespace edx {
+namespace {
+
+/** Shared fixture: one rendered stereo frame per platform. */
+const Dataset &
+dataset(Platform p)
+{
+    static Dataset drone = [] {
+        DatasetConfig cfg;
+        cfg.platform = Platform::Drone;
+        cfg.frame_count = 4;
+        return Dataset(cfg);
+    }();
+    static Dataset car = [] {
+        DatasetConfig cfg;
+        cfg.platform = Platform::Car;
+        cfg.frame_count = 4;
+        return Dataset(cfg);
+    }();
+    return p == Platform::Car ? car : drone;
+}
+
+void
+BM_FastDetect(benchmark::State &state)
+{
+    Platform p = state.range(0) ? Platform::Car : Platform::Drone;
+    DatasetFrame f = dataset(p).frame(1);
+    for (auto _ : state) {
+        auto kps = detectFast(f.stereo.left);
+        benchmark::DoNotOptimize(kps);
+    }
+}
+BENCHMARK(BM_FastDetect)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void
+BM_OrbDescriptors(benchmark::State &state)
+{
+    Platform p = state.range(0) ? Platform::Car : Platform::Drone;
+    DatasetFrame f = dataset(p).frame(1);
+    auto kps = detectFast(f.stereo.left);
+    ImageU8 blurred = gaussianBlur(f.stereo.left);
+    for (auto _ : state) {
+        auto kps_copy = kps;
+        auto descs = computeOrbDescriptors(blurred, kps_copy);
+        benchmark::DoNotOptimize(descs);
+    }
+}
+BENCHMARK(BM_OrbDescriptors)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_StereoMatch(benchmark::State &state)
+{
+    Platform p = state.range(0) ? Platform::Car : Platform::Drone;
+    DatasetFrame f = dataset(p).frame(1);
+    auto lk = detectFast(f.stereo.left);
+    auto rk = detectFast(f.stereo.right);
+    ImageU8 lb = gaussianBlur(f.stereo.left);
+    ImageU8 rb = gaussianBlur(f.stereo.right);
+    auto ld = computeOrbDescriptors(lb, lk);
+    auto rd = computeOrbDescriptors(rb, rk);
+    for (auto _ : state) {
+        auto matches =
+            stereoMatch(f.stereo.left, f.stereo.right, lk, ld, rk, rd);
+        benchmark::DoNotOptimize(matches);
+    }
+}
+BENCHMARK(BM_StereoMatch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void
+BM_LucasKanade(benchmark::State &state)
+{
+    Platform p = state.range(0) ? Platform::Car : Platform::Drone;
+    DatasetFrame f0 = dataset(p).frame(1);
+    DatasetFrame f1 = dataset(p).frame(2);
+    auto kps = detectFast(f0.stereo.left);
+    Pyramid prev(f0.stereo.left, 3);
+    Pyramid next(f1.stereo.left, 3);
+    for (auto _ : state) {
+        auto tracks = trackLucasKanade(prev, next, kps);
+        benchmark::DoNotOptimize(tracks);
+    }
+}
+BENCHMARK(BM_LucasKanade)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+MatX
+randomMatrix(int rows, int cols, uint64_t seed)
+{
+    Rng rng(seed);
+    MatX m(rows, cols);
+    for (int i = 0; i < rows; ++i)
+        for (int j = 0; j < cols; ++j)
+            m(i, j) = rng.gaussian();
+    return m;
+}
+
+MatX
+randomSpd(int n, uint64_t seed)
+{
+    MatX a = randomMatrix(n, n, seed);
+    MatX s = gram(a);
+    for (int i = 0; i < n; ++i)
+        s(i, i) += n;
+    return s;
+}
+
+void
+BM_MatrixMultiply(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    MatX a = randomMatrix(n, n, 1);
+    MatX b = randomMatrix(n, n, 2);
+    for (auto _ : state) {
+        MatX c = a * b;
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(32)->Arg(64)->Arg(128)->Arg(195);
+
+void
+BM_Cholesky(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    MatX s = randomSpd(n, 3);
+    for (auto _ : state) {
+        Cholesky chol(s);
+        benchmark::DoNotOptimize(chol.ok());
+    }
+}
+BENCHMARK(BM_Cholesky)->Arg(32)->Arg(64)->Arg(128)->Arg(195);
+
+void
+BM_KalmanGainSolve(benchmark::State &state)
+{
+    // The Equ. 1 composition at MSCKF sizes: S = H P H^T + R, then
+    // solve S K^T = (P H^T)^T.
+    int rows = static_cast<int>(state.range(0));
+    int dim = 195; // 15 + 6 * 30 clones
+    MatX h = randomMatrix(rows, dim, 4);
+    MatX p = randomSpd(dim, 5);
+    for (auto _ : state) {
+        MatX pht = multiplyTransposed(p, h);
+        MatX s = h * pht;
+        for (int i = 0; i < rows; ++i)
+            s(i, i) += 1.0;
+        Cholesky chol(s);
+        MatX k = chol.solve(pht.transpose());
+        benchmark::DoNotOptimize(k);
+    }
+}
+BENCHMARK(BM_KalmanGainSolve)->Arg(30)->Arg(90)->Arg(180)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_BlockStructuredInverse(benchmark::State &state)
+{
+    // The Amm structure of marginalization: diagonal landmark block +
+    // 6x6 pose block.
+    int diag_n = static_cast<int>(state.range(0));
+    MatX m = MatX(diag_n + 6, diag_n + 6);
+    Rng rng(6);
+    for (int i = 0; i < diag_n; ++i)
+        m(i, i) = 1.0 + rng.uniform();
+    MatX d = randomSpd(6, 7);
+    for (int i = 0; i < 6; ++i)
+        for (int j = 0; j < 6; ++j)
+            m(diag_n + i, diag_n + j) = d(i, j);
+    for (auto _ : state) {
+        auto inv = invertBlockDiagonalSymmetric(m, diag_n);
+        benchmark::DoNotOptimize(inv);
+    }
+}
+BENCHMARK(BM_BlockStructuredInverse)->Arg(90)->Arg(300)->Arg(600);
+
+} // namespace
+} // namespace edx
+
+BENCHMARK_MAIN();

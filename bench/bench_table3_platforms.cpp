@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tbl. III: EDX-CAR speedup over CPU / GPU / DSP baselines.
+ *
+ * Paper numbers: single-core w/ ROS 3.5x, single-core w/o ROS 3.3x,
+ * multi-core w/ ROS 2.2x, multi-core w/o ROS (the baseline) 2.1x,
+ * Adreno GPU+CPU 4.4x, Hexagon DSP+CPU 2.5x, Maxwell GPU+CPU 2.5x.
+ *
+ * Platform substitution (DESIGN.md Sec. 2): the multi-core w/o-ROS
+ * baseline is this repo's measured software; the other platforms are
+ * analytical models layered on it with documented constants:
+ *  - single-core: divide by the measured multi-core scaling factor;
+ *  - ROS: add a per-frame messaging/serialization overhead;
+ *  - GPU: per-frame kernel launch/setup cost (the paper cites 40 ms on
+ *    Adreno without batching) plus poor sparse-matrix efficiency in the
+ *    backend;
+ *  - DSP: modest vision speedup, backend parity.
+ */
+#include <iostream>
+
+#include "common/accel_model.hpp"
+#include "common/runner.hpp"
+#include "common/table.hpp"
+#include "math/stats.hpp"
+
+using namespace edx;
+using namespace edx::bench;
+
+namespace {
+
+/** Documented modeling constants for Tbl. III. */
+struct PlatformModel
+{
+    const char *name;
+    const char *paper;
+    double fe_scale;    //!< frontend time multiplier vs baseline
+    double be_scale;    //!< backend time multiplier vs baseline
+    double fixed_ms;    //!< per-frame fixed overhead (ROS IPC, launches)
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Tbl. III", "EDX-CAR speedup over CPU/GPU/DSP platforms");
+
+    const int frames = benchFrames(60);
+    const std::vector<std::pair<SceneType, BackendMode>> cases = {
+        {SceneType::IndoorKnown, BackendMode::Registration},
+        {SceneType::OutdoorUnknown, BackendMode::Vio},
+        {SceneType::IndoorUnknown, BackendMode::Slam},
+    };
+
+    // Measured baseline (multi-core w/o ROS) and the EUDOXUS latency.
+    double base_fe = 0.0, base_be = 0.0, edx_ms = 0.0;
+    long n = 0;
+    for (const auto &[scene, mode] : cases) {
+        RunConfig cfg;
+        cfg.scene = scene;
+        cfg.platform = Platform::Car;
+        cfg.frames = frames;
+        cfg.force_mode = mode;
+        SystemRun sys = modelSystem(runLocalization(cfg),
+                                    AcceleratorConfig::car());
+        for (const SystemFrame &f : sys.frames) {
+            base_fe += f.base_frontend_ms;
+            base_be += f.base_backend_ms;
+            edx_ms += f.accTotalMs();
+            ++n;
+        }
+    }
+    base_fe /= n;
+    base_be /= n;
+    edx_ms /= n;
+
+    // Analytical platform models (constants documented above). The
+    // paper's single-core/multi-core gap (3.3x vs 2.1x) implies a ~1.6x
+    // multi-core scaling on its localization workload; ROS adds ~5% per
+    // the paper's "4% faster without ROS" plus IPC latency.
+    const double ros_ms = 0.05 * (base_fe + base_be) + 2.0;
+    const std::vector<PlatformModel> platforms = {
+        {"Single-core w/ ROS", "3.5", 1.6, 1.6, ros_ms},
+        {"Single-core w/o ROS", "3.3", 1.6, 1.6, 0.0},
+        {"Multi-core w/ ROS", "2.2", 1.0, 1.0, ros_ms},
+        {"Multi-core w/o ROS (baseline)", "2.1", 1.0, 1.0, 0.0},
+        // Adreno: vision kernels ~1.2x faster than CPU but 40 ms
+        // launch/setup per frame and 2x slower sparse backend.
+        {"Adreno 530 GPU + CPU", "4.4", 0.8, 2.0, 40.0},
+        // Hexagon DSP: vision ~1.3x faster, backend on CPU, DSP-CPU
+        // round trips.
+        {"Hexagon 680 DSP + CPU", "2.5", 0.75, 1.0, 12.0},
+        // Maxwell: faster vision but launch overhead + sparse backend.
+        {"Maxwell GPU + CPU", "2.5", 0.6, 1.5, 15.0},
+    };
+
+    Table t({"baseline platform", "frame ms", "EDX-CAR speedup"});
+    for (const PlatformModel &p : platforms) {
+        double ms =
+            base_fe * p.fe_scale + base_be * p.be_scale + p.fixed_ms;
+        t.addRow({p.name, fmt(ms, 1),
+                  vsPaper(ms / edx_ms, std::string(p.paper) + "x") +
+                      "x"});
+    }
+    t.print();
+
+    note("EDX-CAR modeled frame latency: " + fmt(edx_ms, 1) + " ms");
+    note("Paper claims: the in-house multi-core/no-ROS baseline is the "
+         "strongest CPU baseline; GPUs lose to multi-core CPU because "
+         "of launch overhead and sparse backend matrices.");
+    return 0;
+}

@@ -1,0 +1,198 @@
+#include "common/accel_model.hpp"
+
+#include <algorithm>
+
+namespace edx {
+namespace bench {
+namespace {
+
+BackendKernel
+modeKernel(BackendMode mode)
+{
+    switch (mode) {
+      case BackendMode::Registration:
+        return BackendKernel::Projection;
+      case BackendMode::Vio:
+        return BackendKernel::KalmanGain;
+      case BackendMode::Slam:
+        return BackendKernel::Marginalization;
+    }
+    return BackendKernel::Projection;
+}
+
+} // namespace
+
+KernelRecord
+kernelRecord(const LocalizationResult &res)
+{
+    KernelRecord k;
+    switch (res.mode) {
+      case BackendMode::Registration:
+        k.size = res.tracking_workload.map_points_projected;
+        k.cpu_ms = res.tracking.projection_ms;
+        break;
+      case BackendMode::Vio:
+        k.size = res.msckf_workload.stacked_rows;
+        k.cpu_ms = res.msckf.kalman_gain_ms;
+        k.state_dim = res.msckf_workload.state_dim;
+        break;
+      case BackendMode::Slam:
+        k.size = res.mapping_workload.marginalized_landmarks;
+        k.cpu_ms = res.mapping.marginalization_ms;
+        break;
+    }
+    return k;
+}
+
+AccelKernelCost
+kernelAccelCost(BackendMode mode, const KernelRecord &k,
+                const BackendAccelerator &accel)
+{
+    switch (mode) {
+      case BackendMode::Registration:
+        return accel.projection(static_cast<int>(k.size));
+      case BackendMode::Vio:
+        return accel.kalmanGain(static_cast<int>(k.size),
+                                std::max(k.state_dim, 1));
+      case BackendMode::Slam:
+        return accel.marginalization(static_cast<int>(k.size));
+    }
+    return {};
+}
+
+std::vector<double>
+SystemRun::baseTotals() const
+{
+    std::vector<double> out;
+    out.reserve(frames.size());
+    for (const SystemFrame &f : frames)
+        out.push_back(f.baseTotalMs());
+    return out;
+}
+
+std::vector<double>
+SystemRun::accTotals() const
+{
+    std::vector<double> out;
+    out.reserve(frames.size());
+    for (const SystemFrame &f : frames)
+        out.push_back(f.accTotalMs());
+    return out;
+}
+
+std::vector<double>
+SystemRun::baseBackends() const
+{
+    std::vector<double> out;
+    out.reserve(frames.size());
+    for (const SystemFrame &f : frames)
+        out.push_back(f.base_backend_ms);
+    return out;
+}
+
+std::vector<double>
+SystemRun::accBackends() const
+{
+    std::vector<double> out;
+    out.reserve(frames.size());
+    for (const SystemFrame &f : frames)
+        out.push_back(f.acc_backend_ms);
+    return out;
+}
+
+double
+SystemRun::offloadFraction() const
+{
+    int n = 0, off = 0;
+    for (const SystemFrame &f : frames) {
+        if (f.is_train)
+            continue;
+        ++n;
+        off += f.offloaded ? 1 : 0;
+    }
+    return n ? static_cast<double>(off) / n : 0.0;
+}
+
+SystemRun
+modelSystem(const ModeRun &run, const AcceleratorConfig &cfg)
+{
+    SystemRun out;
+    out.mode = run.mode;
+    FrontendAccelerator fe_accel(cfg);
+    BackendAccelerator be_accel(cfg);
+
+    // 1. Offline scheduler training on 25% of the frames (Sec. VII-A),
+    //    interleaved so training covers the whole operating range, and
+    //    restricted to frames that actually invoked the kernel
+    //    (size > 0).
+    const int n = static_cast<int>(run.frames.size());
+    auto isTrainFrame = [](int i) { return i % 4 == 0; };
+    out.train_frames = (n + 3) / 4;
+    std::vector<KernelSample> train, eval;
+    for (int i = 0; i < n; ++i) {
+        KernelRecord k = kernelRecord(run.frames[i].res);
+        if (k.size <= 0.0)
+            continue;
+        KernelSample s{k.size, k.cpu_ms};
+        (isTrainFrame(i) ? train : eval).push_back(s);
+    }
+    BackendKernel kernel = modeKernel(run.mode);
+    KernelLatencyModel model;
+    if (train.size() >= 4)
+        model = KernelLatencyModel::fit(kernel, train);
+    RuntimeScheduler sched(model);
+    out.scheduler_r2 = eval.empty() ? 0.0 : model.r2(eval);
+
+    // 2. Per-frame system model.
+    out.frames.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        const LocalizationResult &res = run.frames[i].res;
+        SystemFrame f;
+        f.base_frontend_ms = res.frontendMs();
+        f.base_backend_ms = res.backendMs();
+
+        f.fe = fe_accel.model(res.frontend_workload);
+        f.acc_frontend_ms = f.fe.latencyMs();
+
+        KernelRecord k = kernelRecord(res);
+        f.is_train = isTrainFrame(i);
+        f.kernel_size = k.size;
+        f.kernel_cpu_ms = k.cpu_ms;
+        if (k.size > 0.0) {
+            AccelKernelCost cost = kernelAccelCost(run.mode, k, be_accel);
+            f.kernel_accel_ms = cost.totalMs();
+            f.kernel_accel_compute_ms = cost.compute_ms;
+            OffloadDecision d = sched.decide(k.size, f.kernel_accel_ms);
+            f.offloaded = d.offload;
+            f.oracle_offload = oracleOffload(k.cpu_ms, f.kernel_accel_ms);
+        }
+        f.acc_backend_ms =
+            f.offloaded
+                ? f.base_backend_ms - f.kernel_cpu_ms + f.kernel_accel_ms
+                : f.base_backend_ms;
+        out.frames.push_back(f);
+    }
+    return out;
+}
+
+EnergyPair
+meanFrameEnergy(const SystemRun &run, const AcceleratorConfig &cfg)
+{
+    EnergyModel energy(cfg);
+    EnergyPair out;
+    if (run.frames.empty())
+        return out;
+    for (const SystemFrame &f : run.frames) {
+        out.baseline_j += energy.baseline(f.baseTotalMs()).totalJ();
+        out.eudoxus_j += energy
+                             .accelerated(f.accCpuMs(), f.accBusyMs(),
+                                          f.accTotalMs())
+                             .totalJ();
+    }
+    out.baseline_j /= static_cast<double>(run.frames.size());
+    out.eudoxus_j /= static_cast<double>(run.frames.size());
+    return out;
+}
+
+} // namespace bench
+} // namespace edx

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The EUDOXUS system model: maps a measured software run onto the
+ * accelerated system of the paper.
+ *
+ * Per frame:
+ *  - the frontend runs entirely on the accelerator (Sec. V), with its
+ *    latency derived from the frame's measured workload;
+ *  - the backend runs on the host except its variation-dominating
+ *    kernel (Projection / Kalman gain / Marginalization), which the
+ *    runtime scheduler (Sec. VI-B) offloads when the regression-
+ *    predicted CPU time exceeds the modeled accelerator+DMA time.
+ *
+ * The scheduler is trained on the first 25% of the frames and applied
+ * to all of them (the paper evaluates on the remaining 75%; benches
+ * report both splits where relevant).
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/runner.hpp"
+#include "hw/backend_accel.hpp"
+#include "hw/config.hpp"
+#include "hw/energy.hpp"
+#include "hw/frontend_accel.hpp"
+#include "sched/scheduler.hpp"
+
+namespace edx {
+namespace bench {
+
+/** One frame pushed through the EUDOXUS system model. */
+struct SystemFrame
+{
+    // Measured software baseline.
+    double base_frontend_ms = 0.0;
+    double base_backend_ms = 0.0;
+
+    // Accelerated system.
+    FrontendAccelTiming fe;        //!< frontend accelerator timing
+    double acc_frontend_ms = 0.0;  //!< = fe.latencyMs()
+    double acc_backend_ms = 0.0;   //!< backend with kernel offloading
+    bool offloaded = false;
+    bool oracle_offload = false;
+    bool is_train = false;         //!< used to fit the scheduler model
+    double kernel_size = 0.0;      //!< scheduler size driver
+    double kernel_cpu_ms = 0.0;    //!< measured kernel CPU time
+    double kernel_accel_ms = 0.0;  //!< modeled accel time (incl. DMA)
+    double kernel_accel_compute_ms = 0.0;
+
+    double baseTotalMs() const
+    {
+        return base_frontend_ms + base_backend_ms;
+    }
+    double accTotalMs() const
+    {
+        return acc_frontend_ms + acc_backend_ms;
+    }
+    /** Host compute in the accelerated system (backend remainder). */
+    double accCpuMs() const { return acc_backend_ms; }
+    /** Accelerator busy time (frontend + offloaded kernel compute). */
+    double accBusyMs() const
+    {
+        return acc_frontend_ms +
+               (offloaded ? kernel_accel_compute_ms : 0.0);
+    }
+};
+
+/** A full run through the system model. */
+struct SystemRun
+{
+    BackendMode mode = BackendMode::Slam;
+    std::vector<SystemFrame> frames;
+    double scheduler_r2 = 0.0; //!< regression fit quality (Sec. VII-F)
+    int train_frames = 0;      //!< number of frames used for fitting
+
+    std::vector<double> baseTotals() const;
+    std::vector<double> accTotals() const;
+    std::vector<double> baseBackends() const;
+    std::vector<double> accBackends() const;
+
+    /** Offload fraction over the evaluation (post-training) frames. */
+    double offloadFraction() const;
+};
+
+/** The scheduler size driver + kernel time of one frame (per mode). */
+struct KernelRecord
+{
+    double size = 0.0;
+    double cpu_ms = 0.0;
+    int state_dim = 0; //!< VIO only: covariance dimension
+};
+
+/** Extracts the mode's accelerated kernel record from a frame. */
+KernelRecord kernelRecord(const LocalizationResult &res);
+
+/** Modeled accelerator cost of the mode kernel for a record. */
+AccelKernelCost kernelAccelCost(BackendMode mode, const KernelRecord &k,
+                                const BackendAccelerator &accel);
+
+/** Pushes a measured run through the EUDOXUS system model. */
+SystemRun modelSystem(const ModeRun &run, const AcceleratorConfig &cfg);
+
+/** Per-frame energy of the baseline and the accelerated system, J. */
+struct EnergyPair
+{
+    double baseline_j = 0.0;
+    double eudoxus_j = 0.0;
+};
+
+/** Mean per-frame energy over a modeled run (Fig. 19). */
+EnergyPair meanFrameEnergy(const SystemRun &run,
+                           const AcceleratorConfig &cfg);
+
+} // namespace bench
+} // namespace edx

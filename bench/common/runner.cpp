@@ -1,0 +1,141 @@
+#include "common/runner.hpp"
+
+#include <cstdlib>
+
+namespace edx {
+namespace bench {
+
+std::vector<double>
+ModeRun::frontendMs() const
+{
+    std::vector<double> out;
+    out.reserve(frames.size());
+    for (const FrameRecord &f : frames)
+        out.push_back(f.res.frontendMs());
+    return out;
+}
+
+std::vector<double>
+ModeRun::backendMs() const
+{
+    std::vector<double> out;
+    out.reserve(frames.size());
+    for (const FrameRecord &f : frames)
+        out.push_back(f.res.backendMs());
+    return out;
+}
+
+std::vector<double>
+ModeRun::totalMs() const
+{
+    std::vector<double> out;
+    out.reserve(frames.size());
+    for (const FrameRecord &f : frames)
+        out.push_back(f.res.totalMs());
+    return out;
+}
+
+double
+ModeRun::softwareFps() const
+{
+    if (frames.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const FrameRecord &f : frames)
+        sum += f.res.totalMs();
+    return 1000.0 * static_cast<double>(frames.size()) / sum;
+}
+
+int
+benchFrames(int dflt)
+{
+    const char *env = std::getenv("EDX_BENCH_FRAMES");
+    if (!env)
+        return dflt;
+    int v = std::atoi(env);
+    return v > 0 ? v : dflt;
+}
+
+bool
+modeApplies(BackendMode mode, SceneType scene)
+{
+    // Registration needs a pre-constructed map (Fig. 2 / Fig. 3 note).
+    if (mode == BackendMode::Registration)
+        return scenarioTraits(scene).map_available;
+    return true;
+}
+
+ModeRun
+runLocalization(const RunConfig &cfg)
+{
+    DatasetConfig dcfg;
+    dcfg.scene = cfg.scene;
+    dcfg.platform = cfg.platform;
+    dcfg.frame_count = cfg.frames;
+    dcfg.fps = cfg.fps;
+    dcfg.seed = cfg.seed;
+    Dataset dataset(dcfg);
+
+    LocalizerConfig lcfg = configForScenario(cfg.scene);
+    if (cfg.force_mode)
+        lcfg.mode = *cfg.force_mode;
+    if (lcfg.mode != BackendMode::Vio)
+        lcfg.use_gps = false;
+    if (cfg.force_gps_off)
+        lcfg.use_gps = false;
+
+    // Offline products: vocabulary for SLAM/registration, prior map for
+    // registration. Outdoor prior maps carry the mapping-run drift that
+    // degrades registration outdoors (Fig. 3d).
+    Vocabulary voc;
+    Map prior_map;
+    const Map *prior = nullptr;
+    if (lcfg.mode != BackendMode::Vio) {
+        voc = buildVocabulary(dataset, /*frame_stride=*/10);
+        if (lcfg.mode == BackendMode::Registration) {
+            MapBuildConfig mcfg;
+            mcfg.seed = cfg.seed + 1;
+            if (!scenarioTraits(cfg.scene).indoor) {
+                mcfg.point_noise_m = 0.35; // outdoor mapping drift
+                mcfg.pose_noise_m = 0.25;
+            }
+            prior_map = buildPriorMap(dataset, voc, mcfg);
+            prior = &prior_map;
+        }
+    }
+
+    Localizer loc(lcfg, dataset.rig(),
+                  lcfg.mode != BackendMode::Vio ? &voc : nullptr, prior);
+    loc.initialize(dataset.truthAt(0), 0.0,
+                   dataset.trajectory().velocityAt(0.0));
+
+    ModeRun run;
+    run.scene = cfg.scene;
+    run.mode = lcfg.mode;
+    run.platform = cfg.platform;
+    run.frames.reserve(cfg.frames);
+
+    std::vector<Pose> estimate, truth;
+    for (int i = 0; i < cfg.frames; ++i) {
+        DatasetFrame f = dataset.frame(i);
+        FrameInput in;
+        in.frame_index = i;
+        in.t = f.t;
+        in.left = &f.stereo.left;
+        in.right = &f.stereo.right;
+        in.imu = dataset.imuBetweenFrames(i);
+        in.gps = dataset.gpsAtFrame(i);
+
+        FrameRecord rec;
+        rec.res = loc.processFrame(in);
+        rec.truth = f.truth;
+        estimate.push_back(rec.res.pose);
+        truth.push_back(f.truth);
+        run.frames.push_back(std::move(rec));
+    }
+    run.error = computeTrajectoryError(estimate, truth);
+    return run;
+}
+
+} // namespace bench
+} // namespace edx

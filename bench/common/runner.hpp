@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared bench harness: runs the localizer over synthetic datasets and
+ * collects the per-frame records every table/figure bench consumes.
+ *
+ * All benches measure the *software* baseline by wall clock (the
+ * LocalizationResult timing fields are real measurements) and derive
+ * accelerated numbers from the hw models (see accel_model.hpp), exactly
+ * the substitution documented in DESIGN.md Sec. 2.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/localizer.hpp"
+#include "sim/dataset.hpp"
+
+namespace edx {
+namespace bench {
+
+/** One localized frame with its ground truth. */
+struct FrameRecord
+{
+    LocalizationResult res;
+    Pose truth;
+};
+
+/** A full localization run in one backend mode. */
+struct ModeRun
+{
+    SceneType scene = SceneType::IndoorUnknown;
+    BackendMode mode = BackendMode::Slam;
+    Platform platform = Platform::Drone;
+    std::vector<FrameRecord> frames;
+    TrajectoryError error;
+
+    std::vector<double> frontendMs() const;
+    std::vector<double> backendMs() const;
+    std::vector<double> totalMs() const;
+
+    /** Mean achieved software frame rate, frames/s. */
+    double softwareFps() const;
+};
+
+/** Run parameters. */
+struct RunConfig
+{
+    SceneType scene = SceneType::IndoorUnknown;
+    Platform platform = Platform::Drone;
+    int frames = 240;
+    double fps = 10.0;
+    uint64_t seed = 42;
+
+    /**
+     * Force a backend mode other than the scenario's preferred one
+     * (Fig. 3 runs every applicable algorithm in every scenario).
+     */
+    std::optional<BackendMode> force_mode;
+
+    /** Disable GPS fusion even when the scenario provides GPS. */
+    bool force_gps_off = false;
+};
+
+/**
+ * Runs the localizer per @p cfg. Builds the vocabulary and - for the
+ * registration mode - the prior map on the fly. Registration map
+ * quality follows the scenario (outdoor maps carry more drift noise;
+ * see core/evaluation.hpp).
+ */
+ModeRun runLocalization(const RunConfig &cfg);
+
+/**
+ * Frame-count helper: returns @p dflt unless the EDX_BENCH_FRAMES
+ * environment variable overrides it (used to shorten CI runs or extend
+ * characterization runs toward the paper's 1800 frames).
+ */
+int benchFrames(int dflt);
+
+/** True when a backend mode applies in a scenario (Fig. 2). */
+bool modeApplies(BackendMode mode, SceneType scene);
+
+} // namespace bench
+} // namespace edx

@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace edx {
+namespace bench {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print() const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        std::cout << "  ";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            std::cout << cells[c]
+                      << std::string(width[c] - cells[c].size() + 2, ' ');
+        }
+        std::cout << "\n";
+    };
+
+    print_row(headers_);
+    size_t total = 2;
+    for (size_t w : width)
+        total += w + 2;
+    std::cout << "  " << std::string(total - 2, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+    std::cout << "\n";
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+vsPaper(double measured, const std::string &paper_note, int decimals)
+{
+    std::ostringstream os;
+    os << fmt(measured, decimals) << " (paper: " << paper_note << ")";
+    return os.str();
+}
+
+void
+banner(const std::string &experiment, const std::string &what)
+{
+    std::cout << "==================================================="
+                 "=============================\n"
+              << experiment << " - " << what << "\n"
+              << "==================================================="
+                 "=============================\n\n";
+}
+
+void
+note(const std::string &text)
+{
+    std::cout << "  " << text << "\n";
+}
+
+} // namespace bench
+} // namespace edx

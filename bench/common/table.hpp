@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal fixed-width table printer for the bench binaries, plus the
+ * "paper vs measured" row helper every experiment uses to report its
+ * reproduction status.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace edx {
+namespace bench {
+
+/** A fixed-width console table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Adds one row (cells are printed as-is). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Prints the table with a separator under the header. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with @p decimals digits. */
+std::string fmt(double v, int decimals = 2);
+
+/** Formats "measured (paper: reference)". */
+std::string vsPaper(double measured, const std::string &paper_note,
+                    int decimals = 2);
+
+/** Prints a bench banner with the experiment id and description. */
+void banner(const std::string &experiment, const std::string &what);
+
+/** Prints a short note line (indented). */
+void note(const std::string &text);
+
+} // namespace bench
+} // namespace edx

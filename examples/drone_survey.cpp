@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Drone survey - the EDX-DRONE use case (Sec. VII): a drone maps an
+ * unknown indoor space with SLAM while the accelerator models report
+ * what the frame latency, throughput, and energy would be on the Zynq
+ * platform, including the runtime offload decisions of Sec. VI-B.
+ *
+ * Demonstrates the hardware-model half of the API: FrontendAccelerator,
+ * BackendAccelerator, RuntimeScheduler, and EnergyModel driven by the
+ * measured per-frame workloads.
+ */
+#include <cstdio>
+
+#include "core/evaluation.hpp"
+#include "core/localizer.hpp"
+#include "hw/backend_accel.hpp"
+#include "hw/energy.hpp"
+#include "hw/frontend_accel.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/dataset.hpp"
+
+using namespace edx;
+
+int
+main()
+{
+    // Drone over an unknown indoor space -> SLAM mode.
+    DatasetConfig dcfg;
+    dcfg.scene = SceneType::IndoorUnknown;
+    dcfg.platform = Platform::Drone;
+    dcfg.frame_count = 60;
+    Dataset dataset(dcfg);
+
+    LocalizerConfig cfg = configForScenario(dcfg.scene);
+    Vocabulary voc = buildVocabulary(dataset);
+    Localizer loc(cfg, dataset.rig(), &voc, nullptr);
+    loc.initialize(dataset.truthAt(0), 0.0,
+                   dataset.trajectory().velocityAt(0.0));
+
+    // The EDX-DRONE accelerator models.
+    AcceleratorConfig acfg = AcceleratorConfig::drone();
+    FrontendAccelerator fe_accel(acfg);
+    BackendAccelerator be_accel(acfg);
+    EnergyModel energy(acfg);
+
+    // Scheduler for the SLAM-mode kernel (marginalization), trained on
+    // the first quarter of the flight (Sec. VII-A).
+    std::vector<KernelSample> train;
+
+    double base_ms_sum = 0.0, edx_ms_sum = 0.0;
+    double base_j_sum = 0.0, edx_j_sum = 0.0;
+    int offloads = 0;
+
+    std::printf("frame |  sw ms | edx ms | marg. kernel | decision\n");
+    std::printf("------+--------+--------+--------------+---------\n");
+    for (int i = 0; i < dataset.frameCount(); ++i) {
+        DatasetFrame f = dataset.frame(i);
+        FrameInput in;
+        in.frame_index = i;
+        in.t = f.t;
+        in.left = &f.stereo.left;
+        in.right = &f.stereo.right;
+        in.imu = dataset.imuBetweenFrames(i);
+        in.gps = dataset.gpsAtFrame(i);
+        LocalizationResult r = loc.processFrame(in);
+
+        // Accelerated frame model.
+        FrontendAccelTiming fe = fe_accel.model(r.frontend_workload);
+        double kernel_cpu = r.mapping.marginalization_ms;
+        double kernel_size = r.mapping_workload.marginalized_landmarks;
+        AccelKernelCost cost =
+            be_accel.marginalization(static_cast<int>(kernel_size));
+
+        bool offload = false;
+        if (i < dataset.frameCount() / 4) {
+            if (kernel_size > 0)
+                train.push_back({kernel_size, kernel_cpu});
+        } else if (train.size() >= 4 && kernel_size > 0) {
+            KernelLatencyModel model = KernelLatencyModel::fit(
+                BackendKernel::Marginalization, train);
+            offload = RuntimeScheduler(model)
+                          .decide(kernel_size, cost.totalMs())
+                          .offload;
+        }
+
+        double base_total = r.totalMs();
+        double edx_backend =
+            offload ? r.backendMs() - kernel_cpu + cost.totalMs()
+                    : r.backendMs();
+        double edx_total = fe.latencyMs() + edx_backend;
+
+        base_ms_sum += base_total;
+        edx_ms_sum += edx_total;
+        base_j_sum += energy.baseline(base_total).totalJ();
+        edx_j_sum +=
+            energy
+                .accelerated(edx_backend,
+                             fe.latencyMs() +
+                                 (offload ? cost.compute_ms : 0.0),
+                             edx_total)
+                .totalJ();
+        offloads += offload ? 1 : 0;
+
+        if (i % 10 == 0 || offload) {
+            std::printf("%5d | %6.1f | %6.1f | %9.2f ms | %s\n", i,
+                        base_total, edx_total, kernel_cpu,
+                        offload ? "OFFLOAD" : "cpu");
+        }
+    }
+
+    const double n = dataset.frameCount();
+    std::printf("\nEDX-DRONE summary over %.0f frames\n", n);
+    std::printf("  mean frame latency: %.1f ms software -> %.1f ms "
+                "accelerated (%.2fx)\n",
+                base_ms_sum / n, edx_ms_sum / n,
+                base_ms_sum / edx_ms_sum);
+    std::printf("  energy/frame: %.2f J -> %.2f J (-%.0f%%)\n",
+                base_j_sum / n, edx_j_sum / n,
+                100.0 * (1.0 - edx_j_sum / base_j_sum));
+    std::printf("  marginalizations offloaded: %d\n", offloads);
+    return 0;
+}

@@ -1,0 +1,134 @@
+#include "backend/feature_tracks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edx {
+
+std::vector<FeatureTrack>
+FeatureTrackManager::ingest(const FrontendOutput &frame, long clone_id)
+{
+    std::vector<FeatureTrack> finished;
+
+    // Disparity lookup for the current key points.
+    std::unordered_map<int, double> disparity_of;
+    for (const StereoMatch &s : frame.stereo)
+        disparity_of[s.left_index] = s.disparity;
+
+    // 1. Continue tracks through temporal matches. A track continues
+    //    when the LK-tracked position lies within the continuation
+    //    radius of a detected key point (so the next frame's temporal
+    //    matches, which track detected key points, can pick it up).
+    std::unordered_map<int, int> next_kp_to_track;
+    std::vector<bool> continued(live_.size(), false);
+    std::vector<bool> kp_taken(frame.keypoints.size(), false);
+
+    for (const TemporalMatch &tm : frame.temporal) {
+        auto it = kp_to_track_.find(tm.prev_index);
+        if (it == kp_to_track_.end())
+            continue;
+        int slot = it->second;
+        FeatureTrack &track = live_[slot];
+
+        // Find the nearest current key point to the tracked position.
+        int best_kp = -1;
+        double best_d2 = cfg_.continuation_radius_px *
+                         cfg_.continuation_radius_px;
+        for (int k = 0; k < static_cast<int>(frame.keypoints.size());
+             ++k) {
+            if (kp_taken[k])
+                continue;
+            double dx = frame.keypoints[k].x - tm.x;
+            double dy = frame.keypoints[k].y - tm.y;
+            double d2 = dx * dx + dy * dy;
+            if (d2 < best_d2) {
+                best_d2 = d2;
+                best_kp = k;
+            }
+        }
+
+        TrackObservation obs;
+        obs.clone_id = clone_id;
+        if (best_kp >= 0) {
+            kp_taken[best_kp] = true;
+            obs.pixel = Vec2{frame.keypoints[best_kp].x,
+                             frame.keypoints[best_kp].y};
+            auto d = disparity_of.find(best_kp);
+            obs.disparity =
+                (d != disparity_of.end()) ? d->second : -1.0;
+            track.observations.push_back(obs);
+            if (static_cast<int>(track.observations.size()) <
+                cfg_.max_track_length) {
+                next_kp_to_track[best_kp] = slot;
+                continued[slot] = true;
+                continue;
+            }
+            // Track hit the window limit: finish it now.
+        } else {
+            // Tracked position does not coincide with a detection: use
+            // the raw LK position as the final observation.
+            obs.pixel = Vec2{tm.x, tm.y};
+            track.observations.push_back(obs);
+        }
+        // Not continued: falls through to the finished set below.
+    }
+
+    // 2. Collect finished tracks and compact the live set.
+    std::vector<FeatureTrack> still_live;
+    std::vector<int> slot_remap(live_.size(), -1);
+    for (size_t s = 0; s < live_.size(); ++s) {
+        if (continued[s]) {
+            slot_remap[s] = static_cast<int>(still_live.size());
+            still_live.push_back(std::move(live_[s]));
+        } else {
+            if (live_[s].observations.size() >= 2)
+                finished.push_back(std::move(live_[s]));
+        }
+    }
+    live_ = std::move(still_live);
+    kp_to_track_.clear();
+    for (const auto &[kp, slot] : next_kp_to_track)
+        kp_to_track_[kp] = slot_remap[slot];
+
+    // 3. Start new tracks from unclaimed key points that have stereo
+    //    depth (depth makes them immediately triangulable).
+    for (const StereoMatch &s : frame.stereo) {
+        int k = s.left_index;
+        if (k < 0 || k >= static_cast<int>(kp_taken.size()) ||
+            kp_taken[k])
+            continue;
+        FeatureTrack track;
+        track.id = next_track_id_++;
+        TrackObservation obs;
+        obs.clone_id = clone_id;
+        obs.pixel = Vec2{frame.keypoints[k].x, frame.keypoints[k].y};
+        obs.disparity = s.disparity;
+        track.observations.push_back(obs);
+        kp_to_track_[k] = static_cast<int>(live_.size());
+        live_.push_back(std::move(track));
+    }
+
+    return finished;
+}
+
+void
+FeatureTrackManager::dropObservationsBefore(long min_clone_id)
+{
+    for (FeatureTrack &t : live_) {
+        t.observations.erase(
+            std::remove_if(t.observations.begin(), t.observations.end(),
+                           [min_clone_id](const TrackObservation &o) {
+                               return o.clone_id < min_clone_id;
+                           }),
+            t.observations.end());
+    }
+}
+
+void
+FeatureTrackManager::reset()
+{
+    live_.clear();
+    kp_to_track_.clear();
+}
+
+} // namespace edx

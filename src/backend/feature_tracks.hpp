@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Feature-track bookkeeping between the frontend and the MSCKF.
+ *
+ * The frontend tracks the previous frame's key points into the current
+ * frame with optical flow (temporal matches) and detects fresh key
+ * points with stereo depth (spatial matches). This manager chains those
+ * products into multi-frame feature tracks: a temporal match whose
+ * tracked position lands near a currently detected key point continues
+ * the track under that key point's index; otherwise the track ends and
+ * becomes available for a filter update.
+ */
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/frontend.hpp"
+#include "math/vec.hpp"
+
+namespace edx {
+
+/** One observation of a feature in one frame (camera clone). */
+struct TrackObservation
+{
+    long clone_id = 0;     //!< monotonically increasing frame/clone id
+    Vec2 pixel;            //!< left-image pixel position
+    double disparity = -1; //!< stereo disparity; < 0 when unavailable
+};
+
+/** A multi-frame feature track. */
+struct FeatureTrack
+{
+    long id = 0;
+    std::vector<TrackObservation> observations;
+    bool alive = true;
+};
+
+/** Track-manager settings. */
+struct TrackManagerConfig
+{
+    double continuation_radius_px = 3.0; //!< LK-position to key-point gate
+    int max_track_length = 30;           //!< matches the MSCKF window
+};
+
+/** Chains frontend outputs into feature tracks. */
+class FeatureTrackManager
+{
+  public:
+    explicit FeatureTrackManager(const TrackManagerConfig &cfg = {})
+        : cfg_(cfg)
+    {}
+
+    /**
+     * Ingests one frontend frame with its clone id. Returns the tracks
+     * that terminated this frame (ready for an MSCKF update).
+     */
+    std::vector<FeatureTrack> ingest(const FrontendOutput &frame,
+                                     long clone_id);
+
+    /** Tracks still alive (observing the current frame). */
+    const std::vector<FeatureTrack> &liveTracks() const { return live_; }
+
+    /**
+     * Removes observations of clones older than @p min_clone_id from all
+     * live tracks (called after the MSCKF slides its window).
+     */
+    void dropObservationsBefore(long min_clone_id);
+
+    /** Drops all state. */
+    void reset();
+
+  private:
+    TrackManagerConfig cfg_;
+    std::vector<FeatureTrack> live_;
+    /** Maps the previous frame's key-point index to a live-track slot. */
+    std::unordered_map<int, int> kp_to_track_;
+    long next_track_id_ = 1;
+};
+
+} // namespace edx

@@ -1,0 +1,52 @@
+#include "backend/fusion.hpp"
+
+#include <cmath>
+
+namespace edx {
+
+Vec3
+GpsFusion::fuse(const Vec3 &vio_position, const GpsSample &gps, double dt)
+{
+    // Prediction: drift is a random walk.
+    const double q = cfg_.drift_walk_sigma * cfg_.drift_walk_sigma *
+                     std::max(dt, 0.0);
+    for (int i = 0; i < 3; ++i)
+        p_(i, i) += q;
+
+    if (gps.valid) {
+        // Measurement: z = gps - vio = drift + noise.
+        Vec3 z = gps.position - vio_position;
+        Vec3 innov = z - drift_;
+        const double r = gps.sigma * gps.sigma;
+
+        // Innovation gate per axis (rejects multi-path glitches).
+        bool gated = false;
+        for (int i = 0; i < 3; ++i) {
+            double s = p_(i, i) + r;
+            if (innov[i] * innov[i] >
+                cfg_.gate_sigma * cfg_.gate_sigma * s) {
+                gated = true;
+                break;
+            }
+        }
+        if (!gated) {
+            // Diagonal Kalman update (H = I, R = r I).
+            for (int i = 0; i < 3; ++i) {
+                double k = p_(i, i) / (p_(i, i) + r);
+                drift_[i] += k * innov[i];
+                p_(i, i) *= (1.0 - k);
+            }
+            ++updates_;
+        } else {
+            ++rejected_;
+            // A rejected fix still carries information that drift may be
+            // growing: inflate slightly so persistent offsets eventually
+            // re-open the gate.
+            for (int i = 0; i < 3; ++i)
+                p_(i, i) *= 1.05;
+        }
+    }
+    return vio_position + drift_;
+}
+
+} // namespace edx

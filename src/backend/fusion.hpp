@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Loosely-coupled GPS fusion (the "Fusion" block of the VIO mode,
+ * Fig. 4).
+ *
+ * Follows the loosely-coupled approach the paper cites: GPS positions
+ * are integrated through a simple EKF that estimates the slowly varying
+ * drift between the VIO trajectory and the GPS frame. The corrected
+ * output is the VIO pose shifted by the estimated drift, which arrests
+ * the cumulative error of pure VIO whenever GPS is stably available.
+ */
+#pragma once
+
+#include "math/mat.hpp"
+#include "math/se3.hpp"
+#include "sensors/gps.hpp"
+
+namespace edx {
+
+/** Fusion filter settings. */
+struct FusionConfig
+{
+    double drift_walk_sigma = 0.05; //!< m/sqrt(s) drift random walk
+    double gate_sigma = 5.0;        //!< innovation gate (std devs)
+};
+
+/** The drift-tracking EKF. */
+class GpsFusion
+{
+  public:
+    explicit GpsFusion(const FusionConfig &cfg = {}) : cfg_(cfg) {}
+
+    /**
+     * Processes one frame: propagates the drift state over @p dt and,
+     * when @p gps is a valid fix, updates with the innovation
+     * z = gps.position - vio_position.
+     *
+     * @return the corrected world-frame position.
+     */
+    Vec3 fuse(const Vec3 &vio_position, const GpsSample &gps, double dt);
+
+    /** Corrected pose: VIO orientation, drift-corrected position. */
+    Pose
+    correct(const Pose &vio_pose) const
+    {
+        return Pose(vio_pose.rotation, vio_pose.translation + drift_);
+    }
+
+    const Vec3 &drift() const { return drift_; }
+
+    /** Number of accepted GPS updates so far. */
+    int updatesApplied() const { return updates_; }
+
+    /** Number of fixes rejected by the innovation gate. */
+    int updatesRejected() const { return rejected_; }
+
+  private:
+    FusionConfig cfg_;
+    Vec3 drift_;                       //!< estimated gps - vio offset
+    Mat3 p_ = Mat3::identity() * 4.0;  //!< drift covariance
+    int updates_ = 0;
+    int rejected_ = 0;
+};
+
+} // namespace edx

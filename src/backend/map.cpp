@@ -1,0 +1,180 @@
+#include "backend/map.hpp"
+
+#include <cstdio>
+
+namespace edx {
+
+int
+Map::addPoint(const MapPoint &p)
+{
+    points_.push_back(p);
+    return static_cast<int>(points_.size()) - 1;
+}
+
+int
+Map::addKeyframe(Keyframe kf)
+{
+    kf.id = static_cast<int>(keyframes_.size());
+    keyframes_.push_back(std::move(kf));
+    return keyframes_.back().id;
+}
+
+std::optional<PlaceMatch>
+Map::queryPlace(const BowVector &bow, int max_id) const
+{
+    PlaceMatch best;
+    for (const Keyframe &kf : keyframes_) {
+        if (max_id >= 0 && kf.id > max_id)
+            continue;
+        double s = Vocabulary::similarity(bow, kf.bow);
+        if (s > best.score) {
+            best.score = s;
+            best.keyframe_id = kf.id;
+        }
+    }
+    if (best.keyframe_id < 0)
+        return std::nullopt;
+    return best;
+}
+
+namespace {
+
+/** Minimal checked binary I/O helpers. */
+template <typename T>
+bool
+writePod(std::FILE *f, const T &v)
+{
+    return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool
+readPod(std::FILE *f, T &v)
+{
+    return std::fread(&v, sizeof(T), 1, f) == 1;
+}
+
+constexpr uint32_t kMagic = 0xedc5a90fu;
+
+bool
+writePose(std::FILE *f, const Pose &p)
+{
+    double vals[7] = {p.rotation.w(), p.rotation.x(), p.rotation.y(),
+                      p.rotation.z(), p.translation[0], p.translation[1],
+                      p.translation[2]};
+    return std::fwrite(vals, sizeof(double), 7, f) == 7;
+}
+
+bool
+readPose(std::FILE *f, Pose &p)
+{
+    double vals[7];
+    if (std::fread(vals, sizeof(double), 7, f) != 7)
+        return false;
+    p.rotation = Quat(vals[0], vals[1], vals[2], vals[3]).normalized();
+    p.translation = Vec3{vals[4], vals[5], vals[6]};
+    return true;
+}
+
+} // namespace
+
+bool
+Map::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = writePod(f, kMagic);
+    ok = ok && writePod(f, static_cast<uint32_t>(points_.size()));
+    for (const MapPoint &p : points_) {
+        double pos[3] = {p.position[0], p.position[1], p.position[2]};
+        ok = ok && std::fwrite(pos, sizeof(double), 3, f) == 3;
+        ok = ok && writePod(f, p.descriptor);
+        ok = ok && writePod(f, p.observations);
+    }
+    ok = ok && writePod(f, static_cast<uint32_t>(keyframes_.size()));
+    for (const Keyframe &kf : keyframes_) {
+        ok = ok && writePod(f, kf.id) && writePose(f, kf.pose);
+        uint32_t n = static_cast<uint32_t>(kf.keypoints.size());
+        ok = ok && writePod(f, n);
+        for (uint32_t i = 0; i < n; ++i) {
+            ok = ok && writePod(f, kf.keypoints[i]);
+            ok = ok && writePod(f, kf.descriptors[i]);
+            ok = ok && writePod(f, kf.map_point_ids[i]);
+        }
+        uint32_t bw = static_cast<uint32_t>(kf.bow.size());
+        ok = ok && writePod(f, bw);
+        for (const auto &[w, v] : kf.bow) {
+            ok = ok && writePod(f, w) && writePod(f, v);
+        }
+    }
+    std::fclose(f);
+    return ok;
+}
+
+std::optional<Map>
+Map::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return std::nullopt;
+    auto fail = [&]() {
+        std::fclose(f);
+        return std::nullopt;
+    };
+
+    uint32_t magic = 0;
+    if (!readPod(f, magic) || magic != kMagic)
+        return fail();
+
+    Map m;
+    uint32_t np = 0;
+    if (!readPod(f, np))
+        return fail();
+    m.points_.resize(np);
+    for (uint32_t i = 0; i < np; ++i) {
+        double pos[3];
+        if (std::fread(pos, sizeof(double), 3, f) != 3)
+            return fail();
+        m.points_[i].position = Vec3{pos[0], pos[1], pos[2]};
+        if (!readPod(f, m.points_[i].descriptor) ||
+            !readPod(f, m.points_[i].observations))
+            return fail();
+    }
+
+    uint32_t nk = 0;
+    if (!readPod(f, nk))
+        return fail();
+    m.keyframes_.resize(nk);
+    for (uint32_t i = 0; i < nk; ++i) {
+        Keyframe &kf = m.keyframes_[i];
+        if (!readPod(f, kf.id) || !readPose(f, kf.pose))
+            return fail();
+        uint32_t n = 0;
+        if (!readPod(f, n))
+            return fail();
+        kf.keypoints.resize(n);
+        kf.descriptors.resize(n);
+        kf.map_point_ids.resize(n);
+        for (uint32_t j = 0; j < n; ++j) {
+            if (!readPod(f, kf.keypoints[j]) ||
+                !readPod(f, kf.descriptors[j]) ||
+                !readPod(f, kf.map_point_ids[j]))
+                return fail();
+        }
+        uint32_t bw = 0;
+        if (!readPod(f, bw))
+            return fail();
+        for (uint32_t j = 0; j < bw; ++j) {
+            int w;
+            double v;
+            if (!readPod(f, w) || !readPod(f, v))
+                return fail();
+            kf.bow[w] = v;
+        }
+    }
+    std::fclose(f);
+    return m;
+}
+
+} // namespace edx

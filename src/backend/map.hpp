@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The landmark map shared by the registration and SLAM backends.
+ *
+ * A Map is a set of 3-D map points (position + representative ORB
+ * descriptor) and a database of keyframes (pose + features + BoW vector)
+ * supporting place-recognition queries. In the registration mode the map
+ * is loaded as an input; in the SLAM mode the mapping block continuously
+ * extends it; the "Persist Map" path of Fig. 4 is the save/load pair.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "backend/vocabulary.hpp"
+#include "features/keypoint.hpp"
+#include "math/se3.hpp"
+
+namespace edx {
+
+/** A 3-D landmark with its visual signature. */
+struct MapPoint
+{
+    Vec3 position;          //!< world frame
+    Descriptor descriptor;  //!< representative ORB descriptor
+    int observations = 0;   //!< number of keyframes observing it
+};
+
+/** A keyframe: a pose with its features and place-recognition vector. */
+struct Keyframe
+{
+    int id = -1;
+    Pose pose;                          //!< world-from-body
+    std::vector<KeyPoint> keypoints;
+    std::vector<Descriptor> descriptors;
+    std::vector<int> map_point_ids;     //!< per keypoint; -1 when none
+    BowVector bow;
+};
+
+/** Result of a place-recognition query. */
+struct PlaceMatch
+{
+    int keyframe_id = -1;
+    double score = 0.0;
+};
+
+/** The map: landmarks + keyframe database. */
+class Map
+{
+  public:
+    int addPoint(const MapPoint &p);
+    int addKeyframe(Keyframe kf); //!< assigns and returns the keyframe id
+
+    const std::vector<MapPoint> &points() const { return points_; }
+    std::vector<MapPoint> &points() { return points_; }
+    const std::vector<Keyframe> &keyframes() const { return keyframes_; }
+    std::vector<Keyframe> &keyframes() { return keyframes_; }
+
+    int pointCount() const { return static_cast<int>(points_.size()); }
+    int keyframeCount() const
+    {
+        return static_cast<int>(keyframes_.size());
+    }
+
+    /**
+     * Best keyframe by BoW similarity, skipping keyframes with
+     * id > @p max_id (used by SLAM loop detection to ignore the most
+     * recent keyframes). @p max_id < 0 searches everything.
+     */
+    std::optional<PlaceMatch> queryPlace(const BowVector &bow,
+                                         int max_id = -1) const;
+
+    /**
+     * Serializes the map (points + keyframes) to a binary file.
+     * @return false on I/O failure.
+     */
+    bool save(const std::string &path) const;
+
+    /** Loads a map written by save(). */
+    static std::optional<Map> load(const std::string &path);
+
+  private:
+    std::vector<MapPoint> points_;
+    std::vector<Keyframe> keyframes_;
+};
+
+} // namespace edx

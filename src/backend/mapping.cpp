@@ -1,0 +1,629 @@
+#include "backend/mapping.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_set>
+
+#include "features/matcher.hpp"
+#include "math/decomp.hpp"
+
+namespace edx {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    auto end = Clock::now();
+    return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/** Reprojection residual and Jacobians of one observation. */
+struct ObsLinearization
+{
+    Vec2 r;
+    Mat26 j_pose;
+    Mat23 j_lm;
+    double weight = 1.0;
+    bool valid = false;
+};
+
+ObsLinearization
+linearizeObs(const Pose &world_from_body, const Vec3 &x_world,
+             const Vec2 &z, const StereoRig &rig, double huber)
+{
+    ObsLinearization out;
+    const Mat3 r_bw = world_from_body.rotation.inverse().toRotationMatrix();
+    const Mat3 r_cb =
+        rig.body_from_camera.rotation.inverse().toRotationMatrix();
+    const Vec3 u = r_bw * (x_world - world_from_body.translation);
+    const Vec3 p_c = r_cb * (u - rig.body_from_camera.translation);
+    auto px = rig.cam.project(p_c);
+    if (!px)
+        return out;
+    out.r = Vec2{(*px)[0] - z[0], (*px)[1] - z[1]};
+    double rn = out.r.norm();
+    out.weight = (rn <= huber) ? 1.0 : huber / rn;
+
+    Mat23 jp = rig.cam.projectJacobian(p_c);
+    Mat23 j_theta = jp * (r_cb * skew(u));
+    Mat23 j_t = jp * (r_cb * r_bw * (-1.0));
+    for (int i = 0; i < 2; ++i)
+        for (int k = 0; k < 3; ++k) {
+            out.j_pose(i, k) = j_theta(i, k);
+            out.j_pose(i, k + 3) = j_t(i, k);
+        }
+    out.j_lm = jp * (r_cb * r_bw);
+    out.valid = true;
+    return out;
+}
+
+/** Applies a body-frame right perturbation (dtheta, dt world). */
+Pose
+applyPoseDelta(const Pose &pose, const Vec3 &dtheta, const Vec3 &dt)
+{
+    return Pose((pose.rotation * Quat::exp(dtheta)).normalized(),
+                pose.translation + pose.rotation.rotate(dt));
+}
+
+} // namespace
+
+Mapper::Mapper(const StereoRig &rig, const Vocabulary *vocabulary,
+               const MappingConfig &cfg)
+    : rig_(rig), voc_(vocabulary), cfg_(cfg)
+{
+}
+
+int
+Mapper::insertKeyframe(const FrontendOutput &frame, const Pose &pose)
+{
+    Keyframe kf;
+    kf.pose = pose;
+    kf.keypoints = frame.keypoints;
+    kf.descriptors = frame.descriptors;
+    kf.map_point_ids.assign(frame.keypoints.size(), -1);
+    if (voc_ && voc_->trained())
+        kf.bow = voc_->transform(frame.descriptors);
+
+    // Associate current key points to window landmarks by projection.
+    Pose camera_from_world = (pose * rig_.body_from_camera).inverse();
+    std::vector<int> candidate_ids;
+    std::vector<KeyPoint> candidate_kps;
+    std::vector<Descriptor> candidate_descs;
+    std::unordered_set<int> window_landmarks;
+    for (int kf_id : window_)
+        for (int lm :
+             map_.keyframes()[kf_id].map_point_ids)
+            if (lm >= 0)
+                window_landmarks.insert(lm);
+    for (int lm : window_landmarks) {
+        const MapPoint &mp = map_.points()[lm];
+        Vec3 p_c = camera_from_world.apply(mp.position);
+        auto px = rig_.cam.project(p_c);
+        if (!px || !rig_.cam.inImage(*px, 4.0))
+            continue;
+        candidate_ids.push_back(lm);
+        KeyPoint kp;
+        kp.x = static_cast<float>((*px)[0]);
+        kp.y = static_cast<float>((*px)[1]);
+        candidate_kps.push_back(kp);
+        candidate_descs.push_back(mp.descriptor);
+    }
+    MatchConfig mc;
+    mc.cross_check = false;
+    std::vector<Match> matches = matchDescriptorsWindowed(
+        candidate_descs, candidate_kps, frame.descriptors,
+        frame.keypoints, cfg_.match_radius_px, mc);
+    for (const Match &m : matches) {
+        if (kf.map_point_ids[m.train_index] >= 0)
+            continue;
+        kf.map_point_ids[m.train_index] = candidate_ids[m.query_index];
+    }
+
+    // Triangulate new landmarks from unmatched stereo key points.
+    Pose world_from_camera = pose * rig_.body_from_camera;
+    for (const StereoMatch &s : frame.stereo) {
+        int k = s.left_index;
+        if (k < 0 || kf.map_point_ids[k] >= 0)
+            continue;
+        auto p_cam = rig_.triangulate(
+            Vec2{frame.keypoints[k].x, frame.keypoints[k].y},
+            s.disparity);
+        if (!p_cam)
+            continue;
+        MapPoint mp;
+        mp.position = world_from_camera.apply(*p_cam);
+        mp.descriptor = frame.descriptors[k];
+        mp.observations = 0;
+        kf.map_point_ids[k] = map_.addPoint(mp);
+    }
+
+    int kf_id = map_.addKeyframe(std::move(kf));
+    window_.push_back(kf_id);
+    ++frames_as_keyframes_;
+
+    // Record observations.
+    const Keyframe &stored = map_.keyframes()[kf_id];
+    for (int k = 0; k < static_cast<int>(stored.map_point_ids.size());
+         ++k) {
+        int lm = stored.map_point_ids[k];
+        if (lm < 0)
+            continue;
+        observations_[lm].push_back({kf_id, k});
+        ++map_.points()[lm].observations;
+    }
+    return kf_id;
+}
+
+void
+Mapper::localBundleAdjustment(MappingTiming &timing,
+                              MappingWorkload &workload)
+{
+    auto t0 = Clock::now();
+    if (window_.size() < 2) {
+        timing.solver_ms += msSince(t0);
+        return;
+    }
+
+    // Parameter bookkeeping: window poses (first fixed as gauge) and
+    // landmarks with enough window observations.
+    std::unordered_map<int, int> pose_index; // kf_id -> param slot
+    for (size_t i = 1; i < window_.size(); ++i)
+        pose_index[window_[i]] = static_cast<int>(i) - 1;
+    const int np = static_cast<int>(window_.size()) - 1;
+
+    std::unordered_set<int> window_set(window_.begin(), window_.end());
+    std::vector<int> lms;
+    std::unordered_map<int, int> lm_index;
+    for (int kf_id : window_) {
+        for (int lm : map_.keyframes()[kf_id].map_point_ids) {
+            if (lm < 0 || lm_index.count(lm))
+                continue;
+            int in_window = 0;
+            for (const LandmarkObs &o : observations_[lm])
+                if (window_set.count(o.keyframe_id))
+                    ++in_window;
+            if (in_window >= cfg_.min_obs_for_ba) {
+                lm_index[lm] = static_cast<int>(lms.size());
+                lms.push_back(lm);
+            }
+        }
+    }
+    const int nl = static_cast<int>(lms.size());
+    workload.window_keyframes = static_cast<int>(window_.size());
+    workload.window_landmarks = nl;
+    if (np == 0 || nl == 0) {
+        timing.solver_ms += msSince(t0);
+        return;
+    }
+
+    // Observation list restricted to the window.
+    struct BaObs
+    {
+        int lm_slot;
+        int pose_slot; //!< -1 for the fixed gauge pose
+        int kf_id;
+        Vec2 z;
+    };
+    std::vector<BaObs> obs;
+    for (int l = 0; l < nl; ++l) {
+        for (const LandmarkObs &o : observations_[lms[l]]) {
+            if (!window_set.count(o.keyframe_id))
+                continue;
+            const Keyframe &kf = map_.keyframes()[o.keyframe_id];
+            const KeyPoint &kp = kf.keypoints[o.keypoint_index];
+            int ps = pose_index.count(o.keyframe_id)
+                         ? pose_index[o.keyframe_id]
+                         : -1;
+            obs.push_back({l, ps, o.keyframe_id, Vec2{kp.x, kp.y}});
+        }
+    }
+    workload.residual_count = static_cast<int>(obs.size());
+
+    // Working copies of parameters.
+    std::vector<Pose> poses(window_.size());
+    for (size_t i = 0; i < window_.size(); ++i)
+        poses[i] = map_.keyframes()[window_[i]].pose;
+    std::vector<Vec3> points(nl);
+    for (int l = 0; l < nl; ++l)
+        points[l] = map_.points()[lms[l]].position;
+
+    auto poseOf = [&](int kf_id) -> const Pose & {
+        for (size_t i = 0; i < window_.size(); ++i)
+            if (window_[i] == kf_id)
+                return poses[i];
+        return poses[0];
+    };
+
+    auto evalCost = [&]() {
+        double cost = 0.0;
+        for (const BaObs &o : obs) {
+            ObsLinearization lin =
+                linearizeObs(poseOf(o.kf_id), points[o.lm_slot], o.z,
+                             rig_, cfg_.huber_px);
+            if (!lin.valid) {
+                cost += cfg_.huber_px * cfg_.huber_px;
+                continue;
+            }
+            double rn = lin.r.norm();
+            cost += (rn <= cfg_.huber_px)
+                        ? 0.5 * rn * rn
+                        : cfg_.huber_px * (rn - 0.5 * cfg_.huber_px);
+        }
+        return cost;
+    };
+
+    double lambda = 1e-3;
+    double cost = evalCost();
+
+    for (int it = 0; it < cfg_.lm_iterations; ++it) {
+        // Build the normal equations in Schur form.
+        MatX hpp(6 * np, 6 * np);
+        MatX hpl(6 * np, 3 * nl);
+        std::vector<Mat3> hll(nl);
+        VecX bp(6 * np), bl(3 * nl);
+
+        for (const BaObs &o : obs) {
+            ObsLinearization lin =
+                linearizeObs(poseOf(o.kf_id), points[o.lm_slot], o.z,
+                             rig_, cfg_.huber_px);
+            if (!lin.valid)
+                continue;
+            const double w = lin.weight;
+            // Landmark block.
+            Mat3 jtj_l = Mat3::zero();
+            Vec3 jtr_l = Vec3::zero();
+            for (int a = 0; a < 3; ++a) {
+                for (int b = 0; b < 3; ++b)
+                    jtj_l(a, b) = w * (lin.j_lm(0, a) * lin.j_lm(0, b) +
+                                       lin.j_lm(1, a) * lin.j_lm(1, b));
+                jtr_l[a] = w * (lin.j_lm(0, a) * lin.r[0] +
+                                lin.j_lm(1, a) * lin.r[1]);
+            }
+            hll[o.lm_slot] += jtj_l;
+            for (int a = 0; a < 3; ++a)
+                bl[3 * o.lm_slot + a] += jtr_l[a];
+
+            if (o.pose_slot >= 0) {
+                const int pc = 6 * o.pose_slot;
+                for (int a = 0; a < 6; ++a) {
+                    for (int b = 0; b < 6; ++b)
+                        hpp(pc + a, pc + b) +=
+                            w * (lin.j_pose(0, a) * lin.j_pose(0, b) +
+                                 lin.j_pose(1, a) * lin.j_pose(1, b));
+                    bp[pc + a] += w * (lin.j_pose(0, a) * lin.r[0] +
+                                       lin.j_pose(1, a) * lin.r[1]);
+                    for (int b = 0; b < 3; ++b)
+                        hpl(pc + a, 3 * o.lm_slot + b) +=
+                            w * (lin.j_pose(0, a) * lin.j_lm(0, b) +
+                                 lin.j_pose(1, a) * lin.j_lm(1, b));
+                }
+            }
+        }
+
+        // Marginalization prior on its keyframe (if still in window).
+        if (prior_kf_ && pose_index.count(*prior_kf_)) {
+            const int pc = 6 * pose_index[*prior_kf_];
+            for (int a = 0; a < 6; ++a) {
+                for (int b = 0; b < 6; ++b)
+                    hpp(pc + a, pc + b) += prior_h_(a, b);
+                bp[pc + a] += prior_b_[a];
+            }
+        }
+
+        // LM damping.
+        for (int i = 0; i < 6 * np; ++i)
+            hpp(i, i) *= (1.0 + lambda);
+        for (int l = 0; l < nl; ++l)
+            for (int a = 0; a < 3; ++a)
+                hll[l](a, a) *= (1.0 + lambda);
+
+        // Schur complement over landmarks:
+        // S = Hpp - Hpl Hll^-1 Hlp ; rhs = bp - Hpl Hll^-1 bl.
+        std::vector<Mat3> hll_inv(nl);
+        bool singular = false;
+        for (int l = 0; l < nl; ++l) {
+            Mat3 m = hll[l];
+            for (int a = 0; a < 3; ++a)
+                m(a, a) += 1e-9;
+            if (std::abs(det(m)) < 1e-24) {
+                singular = true;
+                break;
+            }
+            hll_inv[l] = inverse(m);
+        }
+        if (singular)
+            break;
+
+        MatX s = hpp;
+        VecX rhs = bp;
+        // Accumulate - Hpl Hll^-1 Hlp block-column by block-column.
+        for (int l = 0; l < nl; ++l) {
+            // W = Hpl(:, l) (6np x 3), T = W * Hll_inv[l].
+            for (int i = 0; i < 6 * np; ++i) {
+                double w0 = hpl(i, 3 * l);
+                double w1 = hpl(i, 3 * l + 1);
+                double w2 = hpl(i, 3 * l + 2);
+                if (w0 == 0.0 && w1 == 0.0 && w2 == 0.0)
+                    continue;
+                double t0c = w0 * hll_inv[l](0, 0) +
+                             w1 * hll_inv[l](1, 0) +
+                             w2 * hll_inv[l](2, 0);
+                double t1c = w0 * hll_inv[l](0, 1) +
+                             w1 * hll_inv[l](1, 1) +
+                             w2 * hll_inv[l](2, 1);
+                double t2c = w0 * hll_inv[l](0, 2) +
+                             w1 * hll_inv[l](1, 2) +
+                             w2 * hll_inv[l](2, 2);
+                rhs[i] -= t0c * bl[3 * l] + t1c * bl[3 * l + 1] +
+                          t2c * bl[3 * l + 2];
+                for (int j = 0; j < 6 * np; ++j) {
+                    double v = t0c * hpl(j, 3 * l) +
+                               t1c * hpl(j, 3 * l + 1) +
+                               t2c * hpl(j, 3 * l + 2);
+                    if (v != 0.0)
+                        s(i, j) -= v;
+                }
+            }
+        }
+        s.makeSymmetric();
+
+        auto dp = solveSpd(s, rhs * -1.0);
+        if (!dp) {
+            lambda *= 10.0;
+            continue;
+        }
+
+        // Back-substitute landmarks: dl = Hll^-1 (-bl - Hlp dp).
+        std::vector<Vec3> dl(nl);
+        for (int l = 0; l < nl; ++l) {
+            Vec3 acc{-bl[3 * l], -bl[3 * l + 1], -bl[3 * l + 2]};
+            for (int i = 0; i < 6 * np; ++i) {
+                double d = (*dp)[i];
+                if (d == 0.0)
+                    continue;
+                acc[0] -= hpl(i, 3 * l) * d;
+                acc[1] -= hpl(i, 3 * l + 1) * d;
+                acc[2] -= hpl(i, 3 * l + 2) * d;
+            }
+            dl[l] = hll_inv[l] * acc;
+        }
+
+        // Candidate state.
+        std::vector<Pose> cand_poses = poses;
+        std::vector<Vec3> cand_points = points;
+        for (size_t i = 1; i < window_.size(); ++i) {
+            int slot = static_cast<int>(i) - 1;
+            Vec3 dtheta{(*dp)[6 * slot], (*dp)[6 * slot + 1],
+                        (*dp)[6 * slot + 2]};
+            Vec3 dt{(*dp)[6 * slot + 3], (*dp)[6 * slot + 4],
+                    (*dp)[6 * slot + 5]};
+            cand_poses[i] = applyPoseDelta(poses[i], dtheta, dt);
+        }
+        for (int l = 0; l < nl; ++l)
+            cand_points[l] = points[l] + dl[l];
+
+        std::swap(poses, cand_poses);
+        std::swap(points, cand_points);
+        double new_cost = evalCost();
+        if (new_cost < cost) {
+            cost = new_cost;
+            lambda = std::max(1e-9, lambda * 0.3);
+        } else {
+            std::swap(poses, cand_poses);
+            std::swap(points, cand_points);
+            lambda *= 10.0;
+        }
+    }
+
+    // Write back.
+    for (size_t i = 0; i < window_.size(); ++i)
+        map_.keyframes()[window_[i]].pose = poses[i];
+    for (int l = 0; l < nl; ++l)
+        map_.points()[lms[l]].position = points[l];
+    timing.solver_ms += msSince(t0);
+}
+
+void
+Mapper::marginalizeOldest(MappingTiming &timing, MappingWorkload &workload)
+{
+    auto t0 = Clock::now();
+    const int old_kf = window_.front();
+    const int next_kf = window_[1];
+
+    // States to marginalize: landmarks observed by the old keyframe
+    // (diagonal A block, 3x3 each) plus the old pose itself (the 6x6 D
+    // block) - exactly the Amm structure of Sec. VI-A. The remaining
+    // state the prior lands on is the next-oldest pose.
+    std::vector<int> marg_lms;
+    for (int lm : map_.keyframes()[old_kf].map_point_ids)
+        if (lm >= 0)
+            marg_lms.push_back(lm);
+    std::unordered_map<int, int> lm_slot;
+    for (size_t i = 0; i < marg_lms.size(); ++i)
+        lm_slot[marg_lms[i]] = static_cast<int>(i);
+    const int nm = static_cast<int>(marg_lms.size());
+    workload.marginalized_landmarks = nm;
+
+    const int m_dim = 3 * nm + 6; // landmarks + old pose
+    const int r_dim = 6;          // next-oldest pose
+    MatX a(m_dim + r_dim, m_dim + r_dim);
+    VecX b(m_dim + r_dim);
+
+    // Accumulate residuals of the marginalized landmarks observed by
+    // either the old or the next-oldest keyframe.
+    auto accumulate = [&](int kf_id, int pose_col) {
+        const Keyframe &kf = map_.keyframes()[kf_id];
+        for (int lm : marg_lms) {
+            for (const LandmarkObs &o : observations_[lm]) {
+                if (o.keyframe_id != kf_id)
+                    continue;
+                const KeyPoint &kp = kf.keypoints[o.keypoint_index];
+                ObsLinearization lin = linearizeObs(
+                    kf.pose, map_.points()[lm].position,
+                    Vec2{kp.x, kp.y}, rig_, cfg_.huber_px);
+                if (!lin.valid)
+                    continue;
+                const double w = lin.weight /
+                                 (cfg_.pixel_sigma * cfg_.pixel_sigma);
+                const int lc = 3 * lm_slot[lm];
+                for (int x = 0; x < 3; ++x) {
+                    for (int y = 0; y < 3; ++y)
+                        a(lc + x, lc + y) +=
+                            w * (lin.j_lm(0, x) * lin.j_lm(0, y) +
+                                 lin.j_lm(1, x) * lin.j_lm(1, y));
+                    b[lc + x] += w * (lin.j_lm(0, x) * lin.r[0] +
+                                      lin.j_lm(1, x) * lin.r[1]);
+                    for (int y = 0; y < 6; ++y) {
+                        double v =
+                            w * (lin.j_lm(0, x) * lin.j_pose(0, y) +
+                                 lin.j_lm(1, x) * lin.j_pose(1, y));
+                        a(lc + x, pose_col + y) += v;
+                        a(pose_col + y, lc + x) += v;
+                    }
+                }
+                for (int x = 0; x < 6; ++x) {
+                    for (int y = 0; y < 6; ++y)
+                        a(pose_col + x, pose_col + y) +=
+                            w * (lin.j_pose(0, x) * lin.j_pose(0, y) +
+                                 lin.j_pose(1, x) * lin.j_pose(1, y));
+                    b[pose_col + x] += w * (lin.j_pose(0, x) * lin.r[0] +
+                                            lin.j_pose(1, x) * lin.r[1]);
+                }
+            }
+        }
+    };
+    accumulate(old_kf, 3 * nm);          // old pose: inside Amm
+    accumulate(next_kf, 3 * nm + 6);     // next pose: the remaining state
+
+    if (nm > 0) {
+        // Amm^-1 exploiting the diagonal(A)+dense(6x6 D) structure.
+        // Note: the landmark block is 3x3-block-diagonal rather than
+        // strictly diagonal; we conservatively use dense LU on Amm when
+        // the specialized inverse fails.
+        MatX amm = a.block(0, 0, m_dim, m_dim);
+        MatX amr = a.block(0, m_dim, m_dim, r_dim);
+        MatX arr = a.block(m_dim, m_dim, r_dim, r_dim);
+        VecX bm(m_dim), br(r_dim);
+        for (int i = 0; i < m_dim; ++i)
+            bm[i] = b[i];
+        for (int i = 0; i < r_dim; ++i)
+            br[i] = b[m_dim + i];
+
+        for (int i = 0; i < m_dim; ++i)
+            amm(i, i) += 1e-6; // Tikhonov guard for unconstrained states
+
+        PartialPivLU lu(amm);
+        if (lu.ok()) {
+            MatX amm_inv_amr = lu.solve(amr);
+            VecX amm_inv_bm = lu.solve(bm);
+            MatX h_new = arr - amr.transpose() * amm_inv_amr;
+            VecX b_new = br - amr.transpose() * amm_inv_bm;
+            prior_kf_ = next_kf;
+            prior_h_ = h_new;
+            prior_b_ = b_new;
+        }
+    }
+
+    // Drop the old keyframe from the window and its observations.
+    for (int lm : marg_lms) {
+        auto &obs = observations_[lm];
+        obs.erase(std::remove_if(obs.begin(), obs.end(),
+                                 [old_kf](const LandmarkObs &o) {
+                                     return o.keyframe_id == old_kf;
+                                 }),
+                  obs.end());
+    }
+    window_.erase(window_.begin());
+    timing.marginalization_ms += msSince(t0);
+}
+
+bool
+Mapper::tryLoopClosure(int new_kf_id, MappingTiming &timing)
+{
+    auto t0 = Clock::now();
+    bool closed = false;
+    const Keyframe &cur = map_.keyframes()[new_kf_id];
+    if (voc_ && voc_->trained() &&
+        new_kf_id > cfg_.loop_min_gap) {
+        auto place =
+            map_.queryPlace(cur.bow, new_kf_id - cfg_.loop_min_gap);
+        if (place && place->score >= cfg_.loop_min_score) {
+            const Keyframe &old = map_.keyframes()[place->keyframe_id];
+            // 2D-2D descriptor match, lifted to 3D by the old keyframe's
+            // landmark associations.
+            std::vector<Match> matches =
+                matchDescriptors(old.descriptors, cur.descriptors);
+            std::vector<PoseObservation> obs;
+            for (const Match &m : matches) {
+                int lm = old.map_point_ids[m.query_index];
+                if (lm < 0)
+                    continue;
+                const KeyPoint &kp = cur.keypoints[m.train_index];
+                obs.push_back({map_.points()[lm].position,
+                               Vec2{kp.x, kp.y}});
+            }
+            if (static_cast<int>(obs.size()) >= cfg_.loop_min_matches) {
+                PoseOptResult opt = optimizePose(
+                    cur.pose, obs, rig_.cam, rig_.body_from_camera);
+                if (opt.converged &&
+                    opt.inliers >= cfg_.loop_min_matches / 2) {
+                    // Correction transform mapping the drifted estimate
+                    // onto the loop-consistent one; applied rigidly to
+                    // the window (poses + landmarks).
+                    Pose correction = opt.pose * cur.pose.inverse();
+                    std::unordered_set<int> win_lms;
+                    for (int kf_id : window_) {
+                        Keyframe &kf = map_.keyframes()[kf_id];
+                        kf.pose = correction * kf.pose;
+                        for (int lm : kf.map_point_ids)
+                            if (lm >= 0)
+                                win_lms.insert(lm);
+                    }
+                    for (int lm : win_lms)
+                        map_.points()[lm].position =
+                            correction.apply(map_.points()[lm].position);
+                    // The prior linearization moved with the window.
+                    prior_b_ = VecX(6);
+                    ++loop_closures_;
+                    closed = true;
+                }
+            }
+        }
+    }
+    timing.others_ms += msSince(t0);
+    return closed;
+}
+
+MappingResult
+Mapper::processFrame(const FrontendOutput &frame, const Pose &pose_estimate)
+{
+    MappingResult res;
+    res.pose = pose_estimate;
+    ++frame_counter_;
+
+    const bool make_keyframe =
+        window_.empty() || (frame_counter_ % cfg_.keyframe_interval) == 0;
+    if (!make_keyframe)
+        return res;
+
+    auto t0 = Clock::now();
+    int kf_id = insertKeyframe(frame, pose_estimate);
+    res.keyframe_added = true;
+    res.timing.others_ms += msSince(t0);
+
+    localBundleAdjustment(res.timing, res.workload);
+
+    if (static_cast<int>(window_.size()) > cfg_.window_size)
+        marginalizeOldest(res.timing, res.workload);
+
+    res.loop_closed = tryLoopClosure(kf_id, res.timing);
+
+    res.pose = map_.keyframes()[kf_id].pose;
+    return res;
+}
+
+} // namespace edx

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The mapping block of the SLAM mode (Fig. 4).
+ *
+ * Keyframe-based visual SLAM: the mapper maintains a sliding window of
+ * keyframes plus the landmarks they observe, and on every keyframe
+ * insertion
+ *
+ *  1. associates current features to window landmarks and triangulates
+ *     new stereo landmarks ("Others" in the Fig. 8 breakdown),
+ *  2. runs a Levenberg-Marquardt local bundle adjustment over window
+ *     poses and landmarks ("Solver"), solved through the Schur
+ *     complement on the landmark block,
+ *  3. when the window is full, marginalizes the oldest keyframe: the
+ *     eliminated system has exactly the [A B; C D] structure of
+ *     Sec. VI-A with A block-diagonal (landmarks) and D the 6x6 pose
+ *     block ("Marginalization") - the kernel the backend accelerator
+ *     targets - and the resulting prior is retained on the window,
+ *  4. detects loop closures through the BoW database and applies the
+ *     relocalization correction, bounding drift like full SLAM systems.
+ *
+ * The continuously updated Map doubles as the registration-mode input
+ * after persistence (the "Persist Map" path of Fig. 4).
+ */
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "backend/map.hpp"
+#include "backend/pose_opt.hpp"
+#include "backend/vocabulary.hpp"
+#include "frontend/frontend.hpp"
+#include "math/matx.hpp"
+#include "sensors/camera.hpp"
+
+namespace edx {
+
+/** Mapper settings. */
+struct MappingConfig
+{
+    int keyframe_interval = 3;   //!< insert a keyframe every N frames
+    int window_size = 12;        //!< keyframes kept in the local BA
+    int lm_iterations = 10;
+    double huber_px = 3.0;
+    double pixel_sigma = 1.5;
+    double match_radius_px = 18.0;
+    int min_obs_for_ba = 2;
+    double loop_min_score = 0.04;
+    int loop_min_gap = 25;       //!< keyframes between loop candidates
+    int loop_min_matches = 15;
+};
+
+/** Wall-clock latency of the SLAM kernels, ms (Fig. 8 categories). */
+struct MappingTiming
+{
+    double solver_ms = 0.0;
+    double marginalization_ms = 0.0;
+    double others_ms = 0.0; //!< association, triangulation, loop detect
+
+    double total() const
+    {
+        return solver_ms + marginalization_ms + others_ms;
+    }
+};
+
+/** Workload sizes (scheduler / accelerator inputs). */
+struct MappingWorkload
+{
+    int window_keyframes = 0;
+    int window_landmarks = 0;
+    int residual_count = 0;
+    int marginalized_landmarks = 0; //!< size of the diagonal A block /3
+};
+
+/** Mapper output for one frame. */
+struct MappingResult
+{
+    Pose pose;                //!< (possibly loop-corrected) pose
+    bool keyframe_added = false;
+    bool loop_closed = false;
+    MappingTiming timing;
+    MappingWorkload workload;
+};
+
+/** The SLAM mapper. */
+class Mapper
+{
+  public:
+    Mapper(const StereoRig &rig, const Vocabulary *vocabulary,
+           const MappingConfig &cfg = {});
+
+    /**
+     * Processes one frame given the tracking pose estimate. Inserts
+     * keyframes on the configured cadence, maintains the map, runs the
+     * local BA and marginalization, and checks for loop closures.
+     */
+    MappingResult processFrame(const FrontendOutput &frame,
+                               const Pose &pose_estimate);
+
+    const Map &map() const { return map_; }
+    Map &map() { return map_; }
+
+    int keyframesInserted() const { return frames_as_keyframes_; }
+    int loopClosures() const { return loop_closures_; }
+
+  private:
+    struct LandmarkObs
+    {
+        int keyframe_id;
+        int keypoint_index;
+    };
+
+    /** Associates + triangulates; returns the new keyframe id. */
+    int insertKeyframe(const FrontendOutput &frame, const Pose &pose);
+
+    /** Local BA over the window; updates map poses/points in place. */
+    void localBundleAdjustment(MappingTiming &timing,
+                               MappingWorkload &workload);
+
+    /** Marginalizes the oldest window keyframe (Schur complement). */
+    void marginalizeOldest(MappingTiming &timing,
+                           MappingWorkload &workload);
+
+    /** Loop detection + correction; returns true when a loop closed. */
+    bool tryLoopClosure(int new_kf_id, MappingTiming &timing);
+
+    StereoRig rig_;
+    const Vocabulary *voc_;
+    MappingConfig cfg_;
+
+    Map map_;
+    std::vector<int> window_; //!< keyframe ids, oldest first
+    std::unordered_map<int, std::vector<LandmarkObs>> observations_;
+
+    // Marginalization prior on the oldest remaining window pose.
+    std::optional<int> prior_kf_ = std::nullopt;
+    MatX prior_h_{6, 6};
+    VecX prior_b_{6};
+
+    int frame_counter_ = 0;
+    int frames_as_keyframes_ = 0;
+    int loop_closures_ = 0;
+};
+
+} // namespace edx

@@ -1,0 +1,465 @@
+#include "backend/msckf.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "math/decomp.hpp"
+
+namespace edx {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+using Clock = std::chrono::steady_clock;
+
+} // namespace
+
+Msckf::Msckf(const StereoRig &rig, const MsckfConfig &cfg)
+    : rig_(rig), cfg_(cfg)
+{
+}
+
+void
+Msckf::initialize(const Pose &world_from_body, double t,
+                  const Vec3 &velocity)
+{
+    q_wb_ = world_from_body.rotation;
+    p_wb_ = world_from_body.translation;
+    v_ = velocity;
+    bg_ = Vec3::zero();
+    ba_ = Vec3::zero();
+    t_ = t;
+    clones_.clear();
+
+    cov_ = MatX(15, 15);
+    // Initial uncertainty: small attitude/pose (we start from a known
+    // reference), moderate velocity and bias uncertainty so the first
+    // camera updates can correct initialization error.
+    for (int i = 0; i < 3; ++i) {
+        cov_(i, i) = 1e-4;            // theta
+        cov_(3 + i, 3 + i) = 1e-5;    // bg
+        cov_(6 + i, 6 + i) = 1e-1;    // v
+        cov_(9 + i, 9 + i) = 1e-2;    // ba
+        cov_(12 + i, 12 + i) = 1e-6;  // p
+    }
+    initialized_ = true;
+}
+
+void
+Msckf::propagateOne(const ImuSample &s, double dt)
+{
+    if (dt <= 0.0)
+        return;
+
+    const Vec3 w = s.gyro - bg_;
+    const Vec3 a = s.accel - ba_;
+    const Mat3 r_wb = q_wb_.toRotationMatrix();
+    const Vec3 a_world = r_wb * a + gravityWorld();
+
+    // --- Error-state transition (first order):
+    //   theta' = Exp(-w dt) theta - dt * bg_err
+    //   v'     = v - R [a]x dt theta - R dt ba_err
+    //   p'     = p + dt v
+    // The transition matrix differs from identity only in the 15x15
+    // IMU-error block, so the covariance update is done blockwise:
+    //   P_II <- A P_II A^T + Q,  P_IC <- A P_IC,  P_CC unchanged.
+    // This keeps per-sample propagation O(15^2 * d) instead of O(d^3),
+    // as deployed MSCKF implementations do.
+    const int d = stateDim();
+    MatX a_imu = MatX::identity(15);
+    const Mat3 exp_neg = Quat::exp(w * (-dt)).toRotationMatrix();
+    a_imu.setFixedBlock<3, 3>(0, 0, exp_neg);
+    a_imu.setFixedBlock<3, 3>(0, 3, Mat3::identity() * (-dt));
+    a_imu.setFixedBlock<3, 3>(6, 0, r_wb * skew(a) * (-dt));
+    a_imu.setFixedBlock<3, 3>(6, 9, r_wb * (-dt));
+    a_imu.setFixedBlock<3, 3>(12, 6, Mat3::identity() * dt);
+
+    // Discrete process noise (only on the 15 IMU-error states).
+    MatX q = MatX(15, 15);
+    const double qg = cfg_.gyro_sigma * cfg_.gyro_sigma * dt;
+    const double qbg = cfg_.gyro_bias_sigma * cfg_.gyro_bias_sigma * dt;
+    const double qa = cfg_.accel_sigma * cfg_.accel_sigma * dt;
+    const double qba = cfg_.accel_bias_sigma * cfg_.accel_bias_sigma * dt;
+    for (int i = 0; i < 3; ++i) {
+        q(i, i) = qg;
+        q(3 + i, 3 + i) = qbg;
+        q(6 + i, 6 + i) = qa;
+        q(9 + i, 9 + i) = qba;
+        q(12 + i, 12 + i) = qa * dt * dt; // position noise via velocity
+    }
+
+    MatX p_ii = cov_.block(0, 0, 15, 15);
+    cov_.setBlock(0, 0, a_imu * p_ii * a_imu.transpose() + q);
+    if (d > 15) {
+        MatX p_ic = cov_.block(0, 15, 15, d - 15);
+        MatX new_ic = a_imu * p_ic;
+        cov_.setBlock(0, 15, new_ic);
+        cov_.setBlock(15, 0, new_ic.transpose());
+    }
+    cov_.makeSymmetric();
+
+    // --- Nominal-state integration (midpoint on position).
+    q_wb_ = q_wb_.integrated(w, dt);
+    p_wb_ += v_ * dt + a_world * (0.5 * dt * dt);
+    v_ += a_world * dt;
+    t_ = s.t;
+}
+
+void
+Msckf::propagate(const std::vector<ImuSample> &samples)
+{
+    auto t0 = Clock::now();
+    timing_ = MsckfTiming{};
+    for (const ImuSample &s : samples) {
+        double dt = s.t - t_;
+        // Guard against out-of-order or duplicate samples.
+        if (dt > 0.0 && dt < 0.5)
+            propagateOne(s, dt);
+        else if (dt >= 0.5)
+            t_ = s.t; // gap: re-anchor the clock, skip integration
+    }
+    timing_.imu_ms = msSince(t0);
+}
+
+void
+Msckf::augmentClone(long clone_id)
+{
+    const int d = stateDim();
+    // J maps the current error state to the new clone's error:
+    // theta_clone = theta, p_clone = p.
+    MatX j(6, d);
+    j.setFixedBlock<3, 3>(0, 0, Mat3::identity());
+    j.setFixedBlock<3, 3>(3, 12, Mat3::identity());
+
+    MatX jp = j * cov_;             // 6 x d
+    MatX jpjt = multiplyTransposed(jp, j); // 6 x 6
+
+    cov_.conservativeResize(d + 6, d + 6);
+    cov_.setBlock(d, 0, jp);
+    cov_.setBlock(0, d, jp.transpose());
+    cov_.setBlock(d, d, jpjt);
+
+    clones_.push_back({clone_id, q_wb_, p_wb_});
+}
+
+void
+Msckf::marginalizeOldestClone()
+{
+    // The MSCKF never keeps feature states, so removing a clone is a
+    // plain drop of its rows/columns from the covariance.
+    const int d = stateDim();
+    MatX next(d - 6, d - 6);
+    auto keep = [](int i) { return i < 15 ? i : i + 6; };
+    for (int i = 0; i < d - 6; ++i)
+        for (int j = 0; j < d - 6; ++j)
+            next(i, j) = cov_(keep(i), keep(j));
+    cov_ = std::move(next);
+    clones_.pop_front();
+}
+
+int
+Msckf::cloneSlot(long clone_id) const
+{
+    for (int i = 0; i < static_cast<int>(clones_.size()); ++i)
+        if (clones_[i].clone_id == clone_id)
+            return i;
+    return -1;
+}
+
+bool
+Msckf::triangulateTrack(const FeatureTrack &track, Vec3 &x_world) const
+{
+    // Initialization: first observation with stereo depth.
+    const TrackObservation *init_obs = nullptr;
+    for (const TrackObservation &o : track.observations) {
+        if (o.disparity > 0.5 && cloneSlot(o.clone_id) >= 0) {
+            init_obs = &o;
+            break;
+        }
+    }
+    if (!init_obs)
+        return false;
+    int slot = cloneSlot(init_obs->clone_id);
+    const CloneState &c0 = clones_[slot];
+    auto p_cam = rig_.triangulate(init_obs->pixel, init_obs->disparity);
+    if (!p_cam)
+        return false;
+    Pose world_from_cam0 =
+        Pose(c0.q_wb, c0.p_wb) * rig_.body_from_camera;
+    x_world = world_from_cam0.apply(*p_cam);
+
+    // Gauss-Newton refinement over all windowed observations.
+    for (int it = 0; it < cfg_.triangulation_iterations; ++it) {
+        Mat3 jtj;
+        Vec3 jtr;
+        int used = 0;
+        for (const TrackObservation &o : track.observations) {
+            int s = cloneSlot(o.clone_id);
+            if (s < 0)
+                continue;
+            const CloneState &c = clones_[s];
+            Pose cam_from_world =
+                (Pose(c.q_wb, c.p_wb) * rig_.body_from_camera).inverse();
+            Vec3 p_c = cam_from_world.apply(x_world);
+            auto px = rig_.cam.project(p_c);
+            if (!px)
+                continue;
+            Vec2 r{(*px)[0] - o.pixel[0], (*px)[1] - o.pixel[1]};
+            Mat23 jp = rig_.cam.projectJacobian(p_c);
+            Mat23 j = jp * cam_from_world.rotation.toRotationMatrix();
+            for (int a = 0; a < 3; ++a) {
+                for (int b = 0; b < 3; ++b)
+                    jtj(a, b) += j(0, a) * j(0, b) + j(1, a) * j(1, b);
+                jtr[a] += j(0, a) * r[0] + j(1, a) * r[1];
+            }
+            ++used;
+        }
+        if (used < 2)
+            break;
+        for (int i = 0; i < 3; ++i)
+            jtj(i, i) += 1e-6;
+        if (std::abs(det(jtj)) < 1e-18)
+            break;
+        Vec3 dx = inverse(jtj) * jtr;
+        x_world -= dx;
+        if (dx.norm() < 1e-8)
+            break;
+    }
+
+    // Sanity gate: mean reprojection error must be small and the point
+    // in front of every observing camera.
+    double err = 0.0;
+    int used = 0;
+    for (const TrackObservation &o : track.observations) {
+        int s = cloneSlot(o.clone_id);
+        if (s < 0)
+            continue;
+        const CloneState &c = clones_[s];
+        Pose cam_from_world =
+            (Pose(c.q_wb, c.p_wb) * rig_.body_from_camera).inverse();
+        Vec3 p_c = cam_from_world.apply(x_world);
+        if (p_c[2] < 0.2)
+            return false;
+        auto px = rig_.cam.project(p_c);
+        if (!px)
+            return false;
+        err += Vec2{(*px)[0] - o.pixel[0], (*px)[1] - o.pixel[1]}.norm();
+        ++used;
+    }
+    if (used < 2)
+        return false;
+    return err / used <= cfg_.max_reprojection_px;
+}
+
+int
+Msckf::buildTrackBlock(const FeatureTrack &track, const Vec3 &x_world,
+                       MatX &h_out, VecX &r_out, int row0) const
+{
+    const int d = stateDim();
+
+    // Raw per-observation Jacobians.
+    std::vector<int> slots;
+    for (const TrackObservation &o : track.observations)
+        if (cloneSlot(o.clone_id) >= 0)
+            slots.push_back(cloneSlot(o.clone_id));
+    const int m = static_cast<int>(slots.size());
+    if (m < 2)
+        return 0;
+
+    MatX hx(2 * m, d);
+    MatX hf(2 * m, 3);
+    VecX r(2 * m);
+
+    int row = 0;
+    int obs_i = 0;
+    for (const TrackObservation &o : track.observations) {
+        int s = cloneSlot(o.clone_id);
+        if (s < 0)
+            continue;
+        const CloneState &c = clones_[s];
+        const Mat3 r_bw = c.q_wb.inverse().toRotationMatrix();
+        const Mat3 r_cb =
+            rig_.body_from_camera.rotation.inverse().toRotationMatrix();
+        const Vec3 u = r_bw * (x_world - c.p_wb); // point in body frame
+        const Vec3 p_c =
+            r_cb * (u - rig_.body_from_camera.translation);
+        auto px = rig_.cam.project(p_c);
+        if (!px)
+            return 0;
+        Mat23 jp = rig_.cam.projectJacobian(p_c);
+        // d p_c / d theta = R_cb [u]x ; d p_c / d p = -R_cb R_bw ;
+        // d p_c / d x_world = +R_cb R_bw.
+        Mat23 h_theta = jp * (r_cb * skew(u));
+        Mat23 h_p = jp * (r_cb * r_bw * (-1.0));
+        Mat23 h_x = jp * (r_cb * r_bw);
+
+        const int col = 15 + 6 * s;
+        for (int i = 0; i < 2; ++i) {
+            for (int k = 0; k < 3; ++k) {
+                hx(row + i, col + k) = h_theta(i, k);
+                hx(row + i, col + 3 + k) = h_p(i, k);
+                hf(row + i, k) = h_x(i, k);
+            }
+        }
+        r[row] = o.pixel[0] - (*px)[0];
+        r[row + 1] = o.pixel[1] - (*px)[1];
+        row += 2;
+        ++obs_i;
+    }
+
+    // Nullspace projection: multiply by the left nullspace of Hf, i.e.
+    // the trailing rows of Q^T from the QR of Hf.
+    HouseholderQR qr(hf);
+    MatX qth = qr.qtb(hx);
+    VecX qtr = qr.qtb(r);
+    const int out_rows = 2 * m - 3;
+    for (int i = 0; i < out_rows; ++i) {
+        for (int j = 0; j < d; ++j)
+            h_out(row0 + i, j) = qth(3 + i, j);
+        r_out[row0 + i] = qtr[3 + i];
+    }
+    return out_rows;
+}
+
+long
+Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
+              long clone_id)
+{
+    assert(initialized_);
+    workload_ = MsckfWorkload{};
+
+    // --- Covariance augmentation for the new camera clone.
+    auto t0 = Clock::now();
+    augmentClone(clone_id);
+    timing_.cov_ms = msSince(t0);
+
+    // --- Build stacked residuals for usable tracks.
+    t0 = Clock::now();
+    std::vector<const FeatureTrack *> usable;
+    std::vector<Vec3> points;
+    int total_rows = 0;
+    for (const FeatureTrack &track : finished_tracks) {
+        int in_window = 0;
+        for (const TrackObservation &o : track.observations)
+            if (cloneSlot(o.clone_id) >= 0)
+                ++in_window;
+        if (in_window < cfg_.min_track_length)
+            continue;
+        Vec3 x;
+        if (!triangulateTrack(track, x))
+            continue;
+        usable.push_back(&track);
+        points.push_back(x);
+        total_rows += 2 * in_window - 3;
+    }
+
+    const int d = stateDim();
+    MatX h(std::max(total_rows, 1), d);
+    VecX r(std::max(total_rows, 1));
+    int row = 0;
+    for (size_t i = 0; i < usable.size(); ++i)
+        row += buildTrackBlock(*usable[i], points[i], h, r, row);
+    timing_.jacobian_ms = msSince(t0);
+    workload_.tracks_used = static_cast<int>(usable.size());
+    workload_.stacked_rows = row;
+    workload_.state_dim = d;
+
+    if (row == 0) {
+        // Nothing to update; still manage the window size.
+        while (static_cast<int>(clones_.size()) > cfg_.max_clones)
+            marginalizeOldestClone();
+        return clones_.front().clone_id;
+    }
+    h.conservativeResize(row, d);
+    VecX r_used(row);
+    for (int i = 0; i < row; ++i)
+        r_used[i] = r[i];
+
+    // --- QR compression when the stack is taller than the state.
+    t0 = Clock::now();
+    MatX h_used = std::move(h);
+    if (row > d) {
+        HouseholderQR qr(h_used);
+        VecX qtb = qr.qtb(r_used);
+        h_used = qr.matrixR(); // d x d upper-triangular
+        VecX r_new(d);
+        for (int i = 0; i < d; ++i)
+            r_new[i] = qtb[i];
+        r_used = std::move(r_new);
+    }
+    timing_.qr_ms = msSince(t0);
+    const int rows = h_used.rows();
+
+    // --- Kalman gain: S = H P H^T + R ; solve S K^T = H P.
+    t0 = Clock::now();
+    MatX ph_t = multiplyTransposed(cov_, h_used); // d x rows (P sym.)
+    MatX s = h_used * ph_t;                       // rows x rows
+    const double r_var = cfg_.pixel_sigma * cfg_.pixel_sigma;
+    for (int i = 0; i < rows; ++i)
+        s(i, i) += r_var;
+    s.makeSymmetric();
+    Cholesky chol(s);
+    MatX k_t; // rows x d, K = k_t^T
+    if (chol.ok()) {
+        k_t = chol.solve(ph_t.transpose());
+    } else {
+        PartialPivLU lu(s);
+        if (!lu.ok()) {
+            while (static_cast<int>(clones_.size()) > cfg_.max_clones)
+                marginalizeOldestClone();
+            return clones_.front().clone_id;
+        }
+        k_t = lu.solve(ph_t.transpose());
+    }
+    timing_.kalman_gain_ms = msSince(t0);
+
+    // --- State/covariance injection.
+    t0 = Clock::now();
+    VecX dx(d);
+    for (int i = 0; i < d; ++i) {
+        double acc = 0.0;
+        for (int j = 0; j < rows; ++j)
+            acc += k_t(j, i) * r_used[j];
+        dx[i] = acc;
+    }
+
+    q_wb_ = (q_wb_ * Quat::exp(dx.fixedSegment<3>(0))).normalized();
+    bg_ += dx.fixedSegment<3>(3);
+    v_ += dx.fixedSegment<3>(6);
+    ba_ += dx.fixedSegment<3>(9);
+    p_wb_ += dx.fixedSegment<3>(12);
+    for (int c = 0; c < static_cast<int>(clones_.size()); ++c) {
+        clones_[c].q_wb =
+            (clones_[c].q_wb * Quat::exp(dx.fixedSegment<3>(15 + 6 * c)))
+                .normalized();
+        clones_[c].p_wb += dx.fixedSegment<3>(15 + 6 * c + 3);
+    }
+
+    // P <- P - P H^T K^T  == P - ph_t * k_t.
+    cov_ -= ph_t * k_t;
+    cov_.makeSymmetric();
+    // Numerical floor to keep the covariance positive.
+    for (int i = 0; i < d; ++i)
+        cov_(i, i) = std::max(cov_(i, i), 1e-12);
+    timing_.update_ms = msSince(t0);
+
+    // --- Window management.
+    while (static_cast<int>(clones_.size()) > cfg_.max_clones)
+        marginalizeOldestClone();
+    return clones_.front().clone_id;
+}
+
+Pose
+Msckf::pose() const
+{
+    return Pose(q_wb_, p_wb_);
+}
+
+} // namespace edx

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Multi-State Constraint Kalman Filter (Mourikis & Roumeliotis, 2007) —
+ * the filtering block of the VIO backend mode (Fig. 4).
+ *
+ * The filter keeps an IMU state (orientation, gyro bias, velocity,
+ * accelerometer bias, position) plus a sliding window of camera-pose
+ * clones (30 in the paper, Sec. VII-B). Feature tracks spanning several
+ * clones produce constraints between the cloned poses: per track the
+ * feature position is triangulated, residuals are projected onto the
+ * nullspace of the feature Jacobian, all tracks are stacked and
+ * QR-compressed, and a standard EKF update follows. The Kalman-gain
+ * computation (S = H P H^T + R, solve S K^T = H P^T) is the VIO kernel
+ * the backend accelerator targets (Sec. VI-A, Equ. 1).
+ *
+ * Error-state layout: [theta(3) bg(3) v(3) ba(3) p(3) | theta_c p_c ...]
+ * with body-frame (right) multiplicative orientation errors.
+ */
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "backend/feature_tracks.hpp"
+#include "math/matx.hpp"
+#include "math/se3.hpp"
+#include "sensors/camera.hpp"
+#include "sensors/imu.hpp"
+
+namespace edx {
+
+/** MSCKF settings. */
+struct MsckfConfig
+{
+    int max_clones = 30;          //!< sliding-window size (paper: 30)
+    double pixel_sigma = 1.5;     //!< measurement noise, pixels
+    double gyro_sigma = 1.7e-3;   //!< must match the IMU noise model
+    double gyro_bias_sigma = 2.0e-5;
+    double accel_sigma = 2.0e-2;
+    double accel_bias_sigma = 3.0e-3;
+    int min_track_length = 3;     //!< shortest track used in an update
+    double max_reprojection_px = 6.0; //!< triangulation sanity gate
+    int triangulation_iterations = 5;
+};
+
+/** Wall-clock latency of the VIO kernels, ms (Fig. 7 categories). */
+struct MsckfTiming
+{
+    double imu_ms = 0.0;         //!< propagation ("IMU Proc.")
+    double cov_ms = 0.0;         //!< covariance propagation+augmentation
+    double jacobian_ms = 0.0;    //!< residual/Jacobian construction
+    double qr_ms = 0.0;          //!< nullspace projection + compression
+    double kalman_gain_ms = 0.0; //!< S formation and solve
+    double update_ms = 0.0;      //!< state/covariance injection
+
+    double
+    total() const
+    {
+        return imu_ms + cov_ms + jacobian_ms + qr_ms + kalman_gain_ms +
+               update_ms;
+    }
+};
+
+/** Workload sizes of one update (scheduler / accelerator inputs). */
+struct MsckfWorkload
+{
+    int stacked_rows = 0; //!< H rows before compression
+    int state_dim = 0;    //!< error-state dimension
+    int tracks_used = 0;
+};
+
+/** Camera-pose clone. */
+struct CloneState
+{
+    long clone_id = 0;
+    Quat q_wb;
+    Vec3 p_wb;
+};
+
+/** The MSCKF filter. */
+class Msckf
+{
+  public:
+    /**
+     * @param rig stereo rig (intrinsics + extrinsics + baseline)
+     * @param cfg filter settings
+     */
+    Msckf(const StereoRig &rig, const MsckfConfig &cfg = {});
+
+    /**
+     * Initializes the filter at a known pose and initial velocity.
+     * Deployed systems initialize at rest (velocity zero); when a run
+     * starts mid-motion the caller must supply the initial velocity, as
+     * the filter's initial velocity uncertainty is moderate.
+     */
+    void initialize(const Pose &world_from_body, double t,
+                    const Vec3 &velocity = Vec3::zero());
+
+    /** Propagates through a batch of IMU samples (ordered by time). */
+    void propagate(const std::vector<ImuSample> &samples);
+
+    /**
+     * Camera-frame update: augments the state with a clone for this
+     * frame and applies the measurement update for finished tracks.
+     *
+     * @param finished_tracks tracks that terminated at this frame
+     * @param clone_id id assigned to the new clone (monotonic)
+     * @return the id of the oldest clone still in the window
+     */
+    long update(const std::vector<FeatureTrack> &finished_tracks,
+                long clone_id);
+
+    /** Current world-from-body pose estimate. */
+    Pose pose() const;
+
+    /** Current velocity estimate (world frame). */
+    Vec3 velocity() const { return v_; }
+
+    const MsckfTiming &lastTiming() const { return timing_; }
+    const MsckfWorkload &lastWorkload() const { return workload_; }
+    int cloneCount() const { return static_cast<int>(clones_.size()); }
+    const MatX &covariance() const { return cov_; }
+    bool initialized() const { return initialized_; }
+
+  private:
+    int stateDim() const
+    {
+        return 15 + 6 * static_cast<int>(clones_.size());
+    }
+
+    void propagateOne(const ImuSample &s, double dt);
+    void augmentClone(long clone_id);
+    void marginalizeOldestClone();
+
+    /**
+     * Triangulates a track in the world frame (stereo init + Gauss-
+     * Newton refinement over all observations).
+     * @return false when triangulation fails its sanity gates.
+     */
+    bool triangulateTrack(const FeatureTrack &track, Vec3 &x_world) const;
+
+    /** Finds the window slot of a clone id (-1 when absent). */
+    int cloneSlot(long clone_id) const;
+
+    /**
+     * Builds the nullspace-projected residual/Jacobian block of one
+     * track. @return rows appended (0 when the track was rejected).
+     */
+    int buildTrackBlock(const FeatureTrack &track, const Vec3 &x_world,
+                        MatX &h_out, VecX &r_out, int row0) const;
+
+    StereoRig rig_;
+    MsckfConfig cfg_;
+
+    // Nominal state.
+    Quat q_wb_;
+    Vec3 p_wb_;
+    Vec3 v_;
+    Vec3 bg_;
+    Vec3 ba_;
+    double t_ = 0.0;
+    bool initialized_ = false;
+
+    std::deque<CloneState> clones_;
+    MatX cov_; //!< error-state covariance
+
+    MsckfTiming timing_;
+    MsckfWorkload workload_;
+};
+
+} // namespace edx

@@ -1,0 +1,184 @@
+#include "backend/pose_opt.hpp"
+
+#include <cmath>
+
+#include "math/decomp.hpp"
+
+namespace edx {
+
+namespace {
+
+/** Accumulated normal equations and cost for one linearization. */
+struct Linearization
+{
+    MatX jtj{6, 6};
+    VecX jtr{6};
+    double cost = 0.0;
+    int valid = 0;
+};
+
+/**
+ * Linearizes all observations at @p pose. Residual r = proj(p_c) - z,
+ * body-frame right perturbation (dtheta, dt):
+ *   dp_b/dtheta = [p_b]x,  dp_b/dt = -I,  p_c = R_cb p_b + t_cb.
+ */
+Linearization
+linearize(const Pose &pose, const std::vector<PoseObservation> &obs,
+          const CameraIntrinsics &cam, const Pose &camera_from_body,
+          double huber)
+{
+    Linearization lin;
+    const Mat3 r_cb = camera_from_body.rotation.toRotationMatrix();
+    Pose body_from_world = pose.inverse();
+
+    for (const PoseObservation &o : obs) {
+        Vec3 p_b = body_from_world.apply(o.point_world);
+        Vec3 p_c = camera_from_body.apply(p_b);
+        auto px = cam.project(p_c);
+        if (!px)
+            continue;
+        Vec2 r{(*px)[0] - o.pixel[0], (*px)[1] - o.pixel[1]};
+        double rn = r.norm();
+
+        // Huber: quadratic near zero, linear in the tails.
+        double w = (rn <= huber) ? 1.0 : huber / rn;
+        lin.cost += (rn <= huber)
+                        ? 0.5 * rn * rn
+                        : huber * (rn - 0.5 * huber);
+
+        Mat23 jproj = cam.projectJacobian(p_c);
+        Mat3 dp_dtheta = r_cb * skew(p_b);
+        Mat3 dp_dt = r_cb * (-1.0);
+        Mat26 j;
+        Mat23 ja = jproj * dp_dtheta;
+        Mat23 jb = jproj * dp_dt;
+        for (int i = 0; i < 2; ++i)
+            for (int k = 0; k < 3; ++k) {
+                j(i, k) = ja(i, k);
+                j(i, k + 3) = jb(i, k);
+            }
+
+        for (int a = 0; a < 6; ++a) {
+            for (int b = a; b < 6; ++b) {
+                double v = w * (j(0, a) * j(0, b) + j(1, a) * j(1, b));
+                lin.jtj(a, b) += v;
+                if (a != b)
+                    lin.jtj(b, a) += v;
+            }
+            lin.jtr[a] += w * (j(0, a) * r[0] + j(1, a) * r[1]);
+        }
+        ++lin.valid;
+    }
+    return lin;
+}
+
+/** Applies the body-frame right perturbation to a pose. */
+Pose
+applyDelta(const Pose &pose, const VecX &dx)
+{
+    Vec3 dtheta{dx[0], dx[1], dx[2]};
+    Vec3 dt{dx[3], dx[4], dx[5]};
+    Pose out;
+    out.rotation = (pose.rotation * Quat::exp(dtheta)).normalized();
+    out.translation = pose.translation + pose.rotation.rotate(dt);
+    return out;
+}
+
+double
+evaluateCost(const Pose &pose, const std::vector<PoseObservation> &obs,
+             const CameraIntrinsics &cam, const Pose &camera_from_body,
+             double huber)
+{
+    double cost = 0.0;
+    Pose body_from_world = pose.inverse();
+    for (const PoseObservation &o : obs) {
+        Vec3 p_c = camera_from_body.apply(body_from_world.apply(o.point_world));
+        auto px = cam.project(p_c);
+        if (!px) {
+            cost += huber * huber; // behind-camera penalty
+            continue;
+        }
+        double rn =
+            Vec2{(*px)[0] - o.pixel[0], (*px)[1] - o.pixel[1]}.norm();
+        cost += (rn <= huber) ? 0.5 * rn * rn : huber * (rn - 0.5 * huber);
+    }
+    return cost;
+}
+
+} // namespace
+
+PoseOptResult
+optimizePose(const Pose &initial, const std::vector<PoseObservation> &obs,
+             const CameraIntrinsics &cam, const Pose &body_from_camera,
+             const PoseOptConfig &cfg)
+{
+    PoseOptResult res;
+    res.pose = initial;
+    if (obs.size() < 3)
+        return res;
+
+    const Pose camera_from_body = body_from_camera.inverse();
+    double lambda = cfg.initial_lambda;
+
+    for (int it = 0; it < cfg.max_iterations; ++it) {
+        ++res.iterations;
+        Linearization lin = linearize(res.pose, obs, cam, camera_from_body,
+                                      cfg.huber_delta_px);
+        if (lin.valid < 3)
+            return res;
+
+        // Levenberg damping on the diagonal; retry with larger lambda on
+        // a rejected step.
+        bool stepped = false;
+        for (int tries = 0; tries < 6 && !stepped; ++tries) {
+            MatX a = lin.jtj;
+            for (int i = 0; i < 6; ++i)
+                a(i, i) *= (1.0 + lambda);
+            auto dx = solveSpd(a, lin.jtr * -1.0);
+            if (!dx) {
+                lambda *= 10.0;
+                continue;
+            }
+            Pose cand = applyDelta(res.pose, *dx);
+            double cand_cost = evaluateCost(cand, obs, cam,
+                                            camera_from_body,
+                                            cfg.huber_delta_px);
+            if (cand_cost < lin.cost) {
+                res.pose = cand;
+                lambda = std::max(1e-9, lambda * 0.3);
+                stepped = true;
+                if (dx->norm() < cfg.convergence_dx) {
+                    res.converged = true;
+                    it = cfg.max_iterations; // outer break
+                }
+            } else {
+                lambda *= 10.0;
+            }
+        }
+        if (!stepped)
+            break;
+    }
+
+    // Final statistics.
+    Pose body_from_world = res.pose.inverse();
+    double sq = 0.0;
+    int n = 0;
+    for (const PoseObservation &o : obs) {
+        Vec3 p_c = camera_from_body.apply(body_from_world.apply(o.point_world));
+        auto px = cam.project(p_c);
+        if (!px)
+            continue;
+        double rn =
+            Vec2{(*px)[0] - o.pixel[0], (*px)[1] - o.pixel[1]}.norm();
+        sq += rn * rn;
+        ++n;
+        if (rn <= cfg.inlier_threshold_px)
+            ++res.inliers;
+    }
+    res.final_rms_px = n ? std::sqrt(sq / n) : 0.0;
+    if (res.iterations > 0 && res.inliers >= 3)
+        res.converged = true;
+    return res;
+}
+
+} // namespace edx

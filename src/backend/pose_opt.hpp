@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Pose-only nonlinear least squares ("PoseOpt" stage of the registration
+ * backend, Fig. 6).
+ *
+ * Given 3-D map points matched to 2-D key points, refine the 6 DoF body
+ * pose by Levenberg-Marquardt on the reprojection error with a Huber
+ * robust weight. The rotation is parameterized multiplicatively on the
+ * right (body-frame perturbation).
+ */
+#pragma once
+
+#include <vector>
+
+#include "math/se3.hpp"
+#include "sensors/camera.hpp"
+
+namespace edx {
+
+/** One 3-D to 2-D correspondence for pose optimization. */
+struct PoseObservation
+{
+    Vec3 point_world;
+    Vec2 pixel;
+};
+
+/** LM settings for pose optimization. */
+struct PoseOptConfig
+{
+    int max_iterations = 10;
+    double huber_delta_px = 3.0;
+    double initial_lambda = 1e-3;
+    double convergence_dx = 1e-6;
+    double inlier_threshold_px = 4.0; //!< for the final inlier count
+};
+
+/** Result of a pose optimization. */
+struct PoseOptResult
+{
+    Pose pose;
+    bool converged = false;
+    int iterations = 0;
+    int inliers = 0;
+    double final_rms_px = 0.0;
+};
+
+/**
+ * Optimizes the world-from-body pose against @p obs.
+ *
+ * @param initial initial pose estimate
+ * @param obs 3D-2D correspondences
+ * @param cam camera intrinsics
+ * @param body_from_camera rig extrinsics
+ * @param cfg solver settings
+ */
+PoseOptResult optimizePose(const Pose &initial,
+                           const std::vector<PoseObservation> &obs,
+                           const CameraIntrinsics &cam,
+                           const Pose &body_from_camera,
+                           const PoseOptConfig &cfg = {});
+
+} // namespace edx

@@ -1,0 +1,156 @@
+#include "backend/tracking.hpp"
+
+#include <chrono>
+
+#include "math/matx.hpp"
+
+namespace edx {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+} // namespace
+
+Tracker::Tracker(const Map *map, const Vocabulary *vocabulary,
+                 const CameraIntrinsics &cam, const Pose &body_from_camera,
+                 const TrackingConfig &cfg)
+    : map_(map), voc_(vocabulary), cam_(cam),
+      body_from_camera_(body_from_camera), cfg_(cfg)
+{
+}
+
+TrackingResult
+Tracker::track(const FrontendOutput &frame,
+               const std::optional<Pose> &prediction)
+{
+    using Clock = std::chrono::steady_clock;
+    TrackingResult res;
+
+    // --- Update stage: BoW conversion (every frame, so relocalization
+    // and keyframe-database maintenance stay ready) and, when no pose
+    // prediction is available, the place-recognition query.
+    auto t0 = Clock::now();
+    Pose initial;
+    bool have_initial = false;
+    BowVector bow;
+    if (voc_ && voc_->trained())
+        bow = voc_->transform(frame.descriptors);
+    if (prediction) {
+        initial = *prediction;
+        have_initial = true;
+    }
+    if (!have_initial && !bow.empty()) {
+        auto place = map_->queryPlace(bow);
+        if (place && place->score >= cfg_.min_place_score) {
+            initial = map_->keyframes()[place->keyframe_id].pose;
+            have_initial = true;
+            res.relocalized = true;
+        }
+    }
+    res.timing.update_ms = msSince(t0);
+    if (!have_initial)
+        return res; // lost: no prediction and no place match
+
+    // --- Projection stage: the C(3x4) x X(4xM) kernel of Tbl. I,
+    // executed literally as a matrix product over the homogeneous
+    // coordinates of every map point (this is the formulation the
+    // backend accelerator implements), followed by dehomogenization and
+    // the in-image/depth gates.
+    t0 = Clock::now();
+    Pose camera_from_world =
+        (initial * body_from_camera_).inverse();
+    const auto &pts = map_->points();
+    const int m = static_cast<int>(pts.size());
+
+    MatX x_h(4, m); // homogeneous map coordinates
+    for (int i = 0; i < m; ++i) {
+        x_h(0, i) = pts[i].position[0];
+        x_h(1, i) = pts[i].position[1];
+        x_h(2, i) = pts[i].position[2];
+        x_h(3, i) = 1.0;
+    }
+    // C = K [R | t].
+    const Mat34 rt = camera_from_world.matrix34();
+    const Mat3 k = cam_.matrix();
+    MatX c(3, 4);
+    for (int r = 0; r < 3; ++r) {
+        for (int col = 0; col < 4; ++col) {
+            double v = 0.0;
+            for (int j = 0; j < 3; ++j)
+                v += k(r, j) * rt(j, col);
+            c(r, col) = v;
+        }
+    }
+    MatX f = c * x_h; // 3 x M projected homogeneous pixels
+
+    struct Projected
+    {
+        int point_id;
+        KeyPoint kp; //!< projected pixel position (for windowed match)
+    };
+    std::vector<Projected> projected;
+    std::vector<Descriptor> projected_desc;
+    projected.reserve(m / 4 + 1);
+    for (int i = 0; i < m; ++i) {
+        const double z = f(2, i);
+        if (z <= 1e-6)
+            continue;
+        Vec2 px{f(0, i) / z, f(1, i) / z};
+        if (!cam_.inImage(px, 4.0))
+            continue;
+        Projected pr;
+        pr.point_id = i;
+        pr.kp.x = static_cast<float>(px[0]);
+        pr.kp.y = static_cast<float>(px[1]);
+        projected.push_back(pr);
+        projected_desc.push_back(pts[i].descriptor);
+    }
+    res.workload.map_points_projected = m;
+    res.timing.projection_ms = msSince(t0);
+
+    // --- Match stage: windowed descriptor association.
+    t0 = Clock::now();
+    std::vector<KeyPoint> proj_kps;
+    proj_kps.reserve(projected.size());
+    for (const Projected &p : projected)
+        proj_kps.push_back(p.kp);
+    std::vector<Match> matches = matchDescriptorsWindowed(
+        projected_desc, proj_kps, frame.descriptors, frame.keypoints,
+        cfg_.match_radius_px, cfg_.match);
+    res.workload.candidate_matches = static_cast<int>(matches.size());
+    res.timing.match_ms = msSince(t0);
+
+    if (static_cast<int>(matches.size()) < cfg_.min_matches) {
+        res.timing.pose_opt_ms = 0.0;
+        return res;
+    }
+
+    // --- PoseOpt stage.
+    t0 = Clock::now();
+    std::vector<PoseObservation> obs;
+    obs.reserve(matches.size());
+    for (const Match &m : matches) {
+        const KeyPoint &kp = frame.keypoints[m.train_index];
+        obs.push_back({pts[projected[m.query_index].point_id].position,
+                       Vec2{kp.x, kp.y}});
+    }
+    res.workload.pose_opt_points = static_cast<int>(obs.size());
+    PoseOptResult opt = optimizePose(initial, obs, cam_,
+                                     body_from_camera_, cfg_.pose_opt);
+    res.timing.pose_opt_ms = msSince(t0);
+
+    if (!opt.converged || opt.inliers < cfg_.min_matches / 2)
+        return res;
+    res.ok = true;
+    res.pose = opt.pose;
+    res.inliers = opt.inliers;
+    return res;
+}
+
+} // namespace edx

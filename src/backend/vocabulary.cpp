@@ -1,0 +1,174 @@
+#include "backend/vocabulary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/rng.hpp"
+
+namespace edx {
+
+namespace {
+
+/** Bitwise-majority centroid of a descriptor cluster. */
+Descriptor
+majorityCentroid(const std::vector<Descriptor> &descs,
+                 const std::vector<int> &indices)
+{
+    std::array<int, 256> counts{};
+    for (int idx : indices) {
+        const Descriptor &d = descs[idx];
+        for (int b = 0; b < 256; ++b)
+            if (d.bits[b >> 6] & (uint64_t{1} << (b & 63)))
+                ++counts[b];
+    }
+    Descriptor c;
+    const int half = static_cast<int>(indices.size()) / 2;
+    for (int b = 0; b < 256; ++b)
+        if (counts[b] > half)
+            c.bits[b >> 6] |= (uint64_t{1} << (b & 63));
+    return c;
+}
+
+} // namespace
+
+int
+Vocabulary::buildNode(const std::vector<Descriptor> &descs,
+                      std::vector<int> indices, int level,
+                      const VocabularyConfig &cfg, Rng &rng)
+{
+    const int node_id = static_cast<int>(nodes_.size());
+    nodes_.push_back({});
+    nodes_[node_id].centroid = majorityCentroid(descs, indices);
+
+    if (level >= cfg.levels ||
+        static_cast<int>(indices.size()) <= cfg.branching) {
+        nodes_[node_id].word_id = word_count_++;
+        return node_id;
+    }
+
+    // k-medians with Hamming distance; seeds drawn from the cluster.
+    const int k = cfg.branching;
+    std::vector<Descriptor> centers(k);
+    for (int c = 0; c < k; ++c)
+        centers[c] =
+            descs[indices[rng.uniformInt(0,
+                                         static_cast<int>(indices.size()) -
+                                             1)]];
+
+    std::vector<int> assign(indices.size(), 0);
+    for (int it = 0; it < cfg.kmeans_iterations; ++it) {
+        for (size_t i = 0; i < indices.size(); ++i) {
+            int best = 0, best_d = 257;
+            for (int c = 0; c < k; ++c) {
+                int d = hammingDistance(descs[indices[i]], centers[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assign[i] = best;
+        }
+        for (int c = 0; c < k; ++c) {
+            std::vector<int> members;
+            for (size_t i = 0; i < indices.size(); ++i)
+                if (assign[i] == c)
+                    members.push_back(indices[i]);
+            if (!members.empty())
+                centers[c] = majorityCentroid(descs, members);
+        }
+    }
+
+    // Recurse into non-empty clusters.
+    for (int c = 0; c < k; ++c) {
+        std::vector<int> members;
+        for (size_t i = 0; i < indices.size(); ++i)
+            if (assign[i] == c)
+                members.push_back(indices[i]);
+        if (members.empty())
+            continue;
+        int child =
+            buildNode(descs, std::move(members), level + 1, cfg, rng);
+        nodes_[node_id].children.push_back(child);
+    }
+    if (nodes_[node_id].children.empty())
+        nodes_[node_id].word_id = word_count_++;
+    return node_id;
+}
+
+Vocabulary
+Vocabulary::train(const std::vector<Descriptor> &corpus,
+                  const VocabularyConfig &cfg)
+{
+    Vocabulary v;
+    if (corpus.empty())
+        return v;
+    std::vector<int> all(corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i)
+        all[i] = static_cast<int>(i);
+    Rng rng(cfg.seed);
+    v.root_ = v.buildNode(corpus, std::move(all), 0, cfg, rng);
+    return v;
+}
+
+int
+Vocabulary::wordId(const Descriptor &d) const
+{
+    if (nodes_.empty())
+        return -1;
+    int cur = root_;
+    while (nodes_[cur].word_id < 0) {
+        const Node &n = nodes_[cur];
+        int best = n.children[0], best_d = 257;
+        for (int child : n.children) {
+            int dist = hammingDistance(d, nodes_[child].centroid);
+            if (dist < best_d) {
+                best_d = dist;
+                best = child;
+            }
+        }
+        cur = best;
+    }
+    return nodes_[cur].word_id;
+}
+
+BowVector
+Vocabulary::transform(const std::vector<Descriptor> &descs) const
+{
+    BowVector v;
+    if (!trained() || descs.empty())
+        return v;
+    for (const Descriptor &d : descs)
+        v[wordId(d)] += 1.0;
+    double norm = 0.0;
+    for (const auto &[w, c] : v)
+        norm += c;
+    for (auto &[w, c] : v)
+        c /= norm;
+    return v;
+}
+
+double
+Vocabulary::similarity(const BowVector &a, const BowVector &b)
+{
+    // 1 - 0.5 * sum |a - b| = sum over common words of
+    // min contribution; computed via the merge of the two sparse maps.
+    double l1 = 0.0;
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() || ib != b.end()) {
+        if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+            l1 += ia->second;
+            ++ia;
+        } else if (ia == a.end() || ib->first < ia->first) {
+            l1 += ib->second;
+            ++ib;
+        } else {
+            l1 += std::abs(ia->second - ib->second);
+            ++ia;
+            ++ib;
+        }
+    }
+    return std::max(0.0, 1.0 - 0.5 * l1);
+}
+
+} // namespace edx

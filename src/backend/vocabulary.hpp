@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bag of binary words for place recognition (Galvez-Lopez & Tardos,
+ * 2012 — the DBoW2 approach the paper's registration/tracking block is
+ * built on).
+ *
+ * A vocabulary is a hierarchical k-medians tree over ORB descriptors:
+ * each node holds a binary centroid (bitwise majority of its cluster)
+ * and descriptors descend the tree by Hamming distance until a leaf
+ * (visual word) is reached. Images become sparse, L1-normalized word
+ * histograms compared with the standard DBoW2 L1 score.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "features/keypoint.hpp"
+
+namespace edx {
+
+/** Sparse L1-normalized visual-word histogram. */
+using BowVector = std::map<int, double>;
+
+/** Vocabulary training parameters. */
+struct VocabularyConfig
+{
+    int branching = 8;  //!< k of the k-medians tree
+    int levels = 3;     //!< tree depth (word count <= k^levels)
+    int kmeans_iterations = 6;
+    uint64_t seed = 9;
+};
+
+/** A trained hierarchical binary vocabulary. */
+class Vocabulary
+{
+  public:
+    Vocabulary() = default;
+
+    /** Trains a vocabulary on a corpus of descriptors. */
+    static Vocabulary train(const std::vector<Descriptor> &corpus,
+                            const VocabularyConfig &cfg = {});
+
+    /** @return true when the vocabulary has been trained. */
+    bool trained() const { return !nodes_.empty(); }
+
+    /** Number of leaf words. */
+    int wordCount() const { return word_count_; }
+
+    /** Leaf word id of one descriptor (-1 if untrained). */
+    int wordId(const Descriptor &d) const;
+
+    /** Converts a descriptor set to a normalized BoW vector. */
+    BowVector transform(const std::vector<Descriptor> &descs) const;
+
+    /**
+     * DBoW2 L1 similarity score in [0, 1]:
+     * s = 1 - 0.5 * sum_i |a_i - b_i| over the union of words.
+     */
+    static double similarity(const BowVector &a, const BowVector &b);
+
+  private:
+    struct Node
+    {
+        Descriptor centroid;
+        std::vector<int> children; //!< empty for leaves
+        int word_id = -1;          //!< >= 0 for leaves
+    };
+
+    int buildNode(const std::vector<Descriptor> &descs,
+                  std::vector<int> indices, int level,
+                  const VocabularyConfig &cfg, class Rng &rng);
+
+    std::vector<Node> nodes_;
+    int root_ = -1;
+    int word_count_ = 0;
+};
+
+} // namespace edx

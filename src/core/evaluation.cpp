@@ -1,0 +1,107 @@
+#include "core/evaluation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "frontend/frontend.hpp"
+#include "math/rng.hpp"
+
+namespace edx {
+
+TrajectoryError
+computeTrajectoryError(const std::vector<Pose> &estimate,
+                       const std::vector<Pose> &truth)
+{
+    assert(estimate.size() == truth.size());
+    TrajectoryError err;
+    err.frames = static_cast<int>(estimate.size());
+    if (estimate.empty())
+        return err;
+
+    double sum_sq = 0.0, sum_rot = 0.0, path = 0.0;
+    for (size_t i = 0; i < estimate.size(); ++i) {
+        Pose::Delta d = estimate[i].distanceTo(truth[i]);
+        sum_sq += d.translational * d.translational;
+        sum_rot += d.rotational;
+        err.max_m = std::max(err.max_m, d.translational);
+        if (i > 0)
+            path += (truth[i].translation - truth[i - 1].translation)
+                        .norm();
+    }
+    err.rmse_m = std::sqrt(sum_sq / estimate.size());
+    err.mean_rot_deg = sum_rot / estimate.size() * 180.0 / M_PI;
+    err.relative_percent = path > 0.0 ? 100.0 * err.rmse_m / path : 0.0;
+    return err;
+}
+
+Vocabulary
+buildVocabulary(const Dataset &dataset, int frame_stride,
+                const VocabularyConfig &cfg)
+{
+    VisionFrontend frontend;
+    std::vector<Descriptor> corpus;
+    for (int i = 0; i < dataset.frameCount(); i += frame_stride) {
+        DatasetFrame f = dataset.frame(i);
+        FrontendOutput out =
+            frontend.processFrame(f.stereo.left, f.stereo.right);
+        for (const Descriptor &d : out.descriptors)
+            corpus.push_back(d);
+    }
+    return Vocabulary::train(corpus, cfg);
+}
+
+Map
+buildPriorMap(const Dataset &dataset, const Vocabulary &vocabulary,
+              const MapBuildConfig &cfg)
+{
+    Map map;
+    VisionFrontend frontend;
+    Rng rng(cfg.seed);
+    const StereoRig &rig = dataset.rig();
+
+    for (int i = 0; i < dataset.frameCount(); i += cfg.frame_stride) {
+        DatasetFrame f = dataset.frame(i);
+        FrontendOutput out =
+            frontend.processFrame(f.stereo.left, f.stereo.right);
+
+        // Mapping-run pose: reference pose with drift-like noise.
+        Pose kf_pose = f.truth;
+        kf_pose.translation += Vec3{rng.gaussian(0, cfg.pose_noise_m),
+                                    rng.gaussian(0, cfg.pose_noise_m),
+                                    rng.gaussian(0, cfg.pose_noise_m)};
+
+        Keyframe kf;
+        kf.pose = kf_pose;
+        kf.keypoints = out.keypoints;
+        kf.descriptors = out.descriptors;
+        kf.map_point_ids.assign(out.keypoints.size(), -1);
+        if (vocabulary.trained())
+            kf.bow = vocabulary.transform(out.descriptors);
+
+        Pose world_from_camera = kf_pose * rig.body_from_camera;
+        int added = 0;
+        for (const StereoMatch &s : out.stereo) {
+            if (added >= cfg.max_points_per_frame)
+                break;
+            int k = s.left_index;
+            auto p_cam = rig.triangulate(
+                Vec2{out.keypoints[k].x, out.keypoints[k].y},
+                s.disparity);
+            if (!p_cam || (*p_cam)[2] > cfg.max_point_depth_m)
+                continue;
+            MapPoint mp;
+            mp.position = world_from_camera.apply(*p_cam) +
+                          Vec3{rng.gaussian(0, cfg.point_noise_m),
+                               rng.gaussian(0, cfg.point_noise_m),
+                               rng.gaussian(0, cfg.point_noise_m)};
+            mp.descriptor = out.descriptors[k];
+            mp.observations = 1;
+            kf.map_point_ids[k] = map.addPoint(mp);
+            ++added;
+        }
+        map.addKeyframe(std::move(kf));
+    }
+    return map;
+}
+
+} // namespace edx

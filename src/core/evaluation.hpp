@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Evaluation utilities: trajectory error metrics and the offline
+ * construction of vocabularies and prior maps from datasets.
+ *
+ * The prior-map builder stands in for the paper's "environment mapped a
+ * few days earlier" workflow (Sec. III): a mapping run covers the world,
+ * triangulates landmarks and records keyframes. Map imperfection is
+ * controlled by a noise parameter - small for indoor maps, larger for
+ * outdoor maps where mapping-run drift and lighting change degrade map
+ * quality (this is what makes registration lose to VIO outdoors in
+ * Fig. 3d).
+ */
+#pragma once
+
+#include <vector>
+
+#include "backend/map.hpp"
+#include "backend/vocabulary.hpp"
+#include "math/se3.hpp"
+#include "sim/dataset.hpp"
+
+namespace edx {
+
+/** Trajectory accuracy summary (Fig. 3 metrics). */
+struct TrajectoryError
+{
+    double rmse_m = 0.0;          //!< RMSE of translational error
+    double max_m = 0.0;           //!< worst-frame translational error
+    double mean_rot_deg = 0.0;    //!< mean rotational error
+    double relative_percent = 0.0; //!< RMSE / path length * 100
+    int frames = 0;
+};
+
+/**
+ * Compares an estimated trajectory against ground truth (same length,
+ * same frame indices).
+ */
+TrajectoryError computeTrajectoryError(const std::vector<Pose> &estimate,
+                                       const std::vector<Pose> &truth);
+
+/** Vocabulary/map builder settings. */
+struct MapBuildConfig
+{
+    int frame_stride = 2;        //!< keyframe cadence of the mapping run
+    double point_noise_m = 0.03; //!< landmark position error (map drift)
+    double pose_noise_m = 0.02;  //!< keyframe position error
+    uint64_t seed = 7;
+    int max_points_per_frame = 400;
+    double max_point_depth_m = 45.0; //!< reject far, disparity-noise points
+};
+
+/**
+ * Trains a BoW vocabulary from descriptors sampled across the dataset.
+ */
+Vocabulary buildVocabulary(const Dataset &dataset, int frame_stride = 10,
+                           const VocabularyConfig &cfg = {});
+
+/**
+ * Builds a prior map by a mapping pass over the dataset: renders
+ * keyframes, extracts features, triangulates stereo landmarks with the
+ * (noise-perturbed) reference poses, and stores BoW vectors for place
+ * recognition.
+ */
+Map buildPriorMap(const Dataset &dataset, const Vocabulary &vocabulary,
+                  const MapBuildConfig &cfg = {});
+
+} // namespace edx

@@ -1,0 +1,244 @@
+#include "core/localizer.hpp"
+
+#include <chrono>
+
+namespace edx {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    auto end = Clock::now();
+    return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+} // namespace
+
+double
+LocalizationResult::backendMs() const
+{
+    switch (mode) {
+      case BackendMode::Registration:
+        return tracking.total();
+      case BackendMode::Vio:
+        return msckf.total() + fusion_ms;
+      case BackendMode::Slam:
+        return tracking.total() + mapping.total();
+    }
+    return 0.0;
+}
+
+LocalizerConfig
+configForScenario(SceneType scene)
+{
+    LocalizerConfig cfg;
+    cfg.mode = preferredMode(scene);
+    cfg.use_gps = scenarioTraits(scene).gps_available;
+    return cfg;
+}
+
+Localizer::Localizer(const LocalizerConfig &cfg, const StereoRig &rig,
+                     const Vocabulary *vocabulary, const Map *prior_map)
+    : cfg_(cfg), rig_(rig), voc_(vocabulary), frontend_(cfg.frontend)
+{
+    switch (cfg_.mode) {
+      case BackendMode::Vio:
+        msckf_ = std::make_unique<Msckf>(rig_, cfg_.msckf);
+        if (cfg_.use_gps)
+            fusion_ = std::make_unique<GpsFusion>(cfg_.fusion);
+        break;
+      case BackendMode::Slam:
+        mapper_ = std::make_unique<Mapper>(rig_, voc_, cfg_.mapping);
+        slam_tracker_ = std::make_unique<Tracker>(
+            &mapper_->map(), voc_, rig_.cam, rig_.body_from_camera,
+            cfg_.tracking);
+        break;
+      case BackendMode::Registration:
+        assert(prior_map && "registration mode requires a map");
+        registration_map_ = *prior_map;
+        reg_tracker_ = std::make_unique<Tracker>(
+            &registration_map_, voc_, rig_.cam, rig_.body_from_camera,
+            cfg_.tracking);
+        break;
+    }
+}
+
+Localizer::~Localizer() = default;
+
+void
+Localizer::initialize(const Pose &start_pose, double t,
+                      const Vec3 &start_velocity)
+{
+    if (cfg_.mode == BackendMode::Vio)
+        msckf_->initialize(start_pose, t, start_velocity);
+    last_pose_ = start_pose;
+    prev_pose_.reset();
+    last_frame_t_ = t;
+    initialized_ = true;
+}
+
+const Map *
+Localizer::currentMap() const
+{
+    if (cfg_.mode == BackendMode::Slam)
+        return &mapper_->map();
+    if (cfg_.mode == BackendMode::Registration)
+        return &registration_map_;
+    return nullptr;
+}
+
+LocalizationResult
+Localizer::processFrame(const FrameInput &input)
+{
+    // Frames before initialize() (or without images) cannot be
+    // localized; report failure rather than asserting so release builds
+    // degrade gracefully.
+    if (!initialized_ || !input.left || !input.right) {
+        LocalizationResult res;
+        res.frame_index = input.frame_index;
+        res.mode = cfg_.mode;
+        res.ok = false;
+        return res;
+    }
+
+    FrontendOutput fe = frontend_.processFrame(*input.left, *input.right);
+
+    LocalizationResult res;
+    switch (cfg_.mode) {
+      case BackendMode::Vio:
+        res = processVio(input, fe);
+        break;
+      case BackendMode::Slam:
+        res = processSlam(input, fe);
+        break;
+      case BackendMode::Registration:
+        res = processRegistration(input, fe);
+        break;
+    }
+    res.frame_index = input.frame_index;
+    res.mode = cfg_.mode;
+    res.frontend = fe.timing;
+    res.frontend_workload = fe.workload;
+
+    if (res.ok) {
+        prev_pose_ = last_pose_;
+        last_pose_ = res.pose;
+    }
+    last_frame_t_ = input.t;
+    return res;
+}
+
+LocalizationResult
+Localizer::processVio(const FrameInput &input, const FrontendOutput &fe)
+{
+    LocalizationResult res;
+
+    msckf_->propagate(input.imu);
+
+    long clone_id = next_clone_id_++;
+    std::vector<FeatureTrack> finished =
+        track_manager_.ingest(fe, clone_id);
+    long oldest = msckf_->update(finished, clone_id);
+    track_manager_.dropObservationsBefore(oldest);
+
+    res.msckf = msckf_->lastTiming();
+    res.msckf_workload = msckf_->lastWorkload();
+
+    Pose pose = msckf_->pose();
+    if (fusion_) {
+        auto t0 = Clock::now();
+        double dt = input.t - last_frame_t_;
+        fusion_->fuse(pose.translation, input.gps, dt);
+        pose = fusion_->correct(pose);
+        res.fusion_ms = msSince(t0);
+    }
+    res.pose = pose;
+    res.ok = true;
+    return res;
+}
+
+LocalizationResult
+Localizer::processSlam(const FrameInput &input, const FrontendOutput &fe)
+{
+    (void)input;
+    LocalizationResult res;
+
+    // Constant-velocity prediction for the tracking block.
+    std::optional<Pose> prediction;
+    if (last_pose_ && prev_pose_) {
+        Pose delta = prev_pose_->inverse() * *last_pose_;
+        prediction = *last_pose_ * delta;
+    } else if (last_pose_) {
+        prediction = last_pose_;
+    }
+
+    Pose estimate = prediction.value_or(Pose::identity());
+    bool have_estimate = prediction.has_value();
+
+    // Tracking against the latest map (runs on every frame). On the
+    // very first frames the map is empty and tracking reports lost; the
+    // mapper bootstraps from the initial pose.
+    if (mapper_->map().pointCount() > 0) {
+        TrackingResult tr = slam_tracker_->track(fe, prediction);
+        res.tracking = tr.timing;
+        res.tracking_workload = tr.workload;
+        if (tr.ok) {
+            estimate = tr.pose;
+            have_estimate = true;
+        } else if (!prediction) {
+            // Lost with no prediction and no relocalization: hold pose.
+            estimate = last_pose_.value_or(Pose::identity());
+        }
+    }
+
+    MappingResult mr = mapper_->processFrame(fe, estimate);
+    res.mapping = mr.timing;
+    res.mapping_workload = mr.workload;
+
+    res.pose = mr.keyframe_added ? mr.pose : estimate;
+    res.ok = have_estimate || mr.keyframe_added;
+    return res;
+}
+
+LocalizationResult
+Localizer::processRegistration(const FrameInput &input,
+                               const FrontendOutput &fe)
+{
+    (void)input;
+    LocalizationResult res;
+
+    std::optional<Pose> prediction;
+    if (last_pose_ && prev_pose_) {
+        Pose delta = prev_pose_->inverse() * *last_pose_;
+        prediction = *last_pose_ * delta;
+    } else if (last_pose_) {
+        prediction = last_pose_;
+    }
+
+    TrackingResult tr = reg_tracker_->track(fe, prediction);
+    if (!tr.ok && prediction) {
+        // Prediction-based tracking failed: fall back to BoW
+        // relocalization within the same frame.
+        TrackingResult reloc = reg_tracker_->track(fe, std::nullopt);
+        reloc.timing.update_ms += tr.timing.update_ms;
+        reloc.timing.projection_ms += tr.timing.projection_ms;
+        reloc.timing.match_ms += tr.timing.match_ms;
+        reloc.timing.pose_opt_ms += tr.timing.pose_opt_ms;
+        tr = reloc;
+    }
+    res.tracking = tr.timing;
+    res.tracking_workload = tr.workload;
+    if (tr.ok) {
+        res.pose = tr.pose;
+        res.ok = true;
+    } else {
+        res.pose = last_pose_.value_or(Pose::identity());
+        res.ok = false;
+    }
+    return res;
+}
+
+} // namespace edx

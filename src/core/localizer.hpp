@@ -1,0 +1,157 @@
+/**
+ * @file
+ * EUDOXUS unified localization framework - the public API (Fig. 4).
+ *
+ * One Localizer instance runs the shared vision frontend on every frame
+ * and dispatches to one of three backend modes depending on the
+ * operating scenario (Fig. 2):
+ *
+ *  - Registration (indoor, map): tracking against a prior map.
+ *  - VIO (outdoor): MSCKF filtering + loosely-coupled GPS fusion.
+ *  - SLAM (indoor, no map): tracking + mapping with loop closure.
+ *
+ * Every frame returns the 6 DoF pose along with per-block latency and
+ * workload records that drive the characterization benches and the
+ * accelerator/scheduler models.
+ */
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "backend/fusion.hpp"
+#include "backend/mapping.hpp"
+#include "backend/msckf.hpp"
+#include "backend/tracking.hpp"
+#include "frontend/frontend.hpp"
+#include "sensors/gps.hpp"
+#include "sim/scenario.hpp"
+
+namespace edx {
+
+/** Full framework configuration. */
+struct LocalizerConfig
+{
+    BackendMode mode = BackendMode::Slam;
+    bool use_gps = false; //!< enable the fusion block (VIO mode only)
+    FrontendConfig frontend;
+    MsckfConfig msckf;
+    MappingConfig mapping;
+    TrackingConfig tracking;
+    FusionConfig fusion;
+};
+
+/** Per-frame result: pose + full latency/workload instrumentation. */
+struct LocalizationResult
+{
+    int frame_index = 0;
+    bool ok = false;
+    Pose pose;
+    BackendMode mode = BackendMode::Slam;
+
+    FrontendTiming frontend;
+    FrontendWorkload frontend_workload;
+
+    // Mode-specific backend records (only the active mode's fields are
+    // meaningful).
+    TrackingTiming tracking;
+    TrackingWorkload tracking_workload;
+    MsckfTiming msckf;
+    MsckfWorkload msckf_workload;
+    MappingTiming mapping;
+    MappingWorkload mapping_workload;
+    double fusion_ms = 0.0;
+
+    /** Total backend latency of the active mode, ms. */
+    double backendMs() const;
+    /** Frontend block latency, ms. */
+    double frontendMs() const { return frontend.total(); }
+    /** End-to-end frame latency, ms. */
+    double totalMs() const { return frontendMs() + backendMs(); }
+};
+
+/** Sensor inputs for one frame. */
+struct FrameInput
+{
+    int frame_index = 0;
+    double t = 0.0;
+    const ImageU8 *left = nullptr;
+    const ImageU8 *right = nullptr;
+    std::vector<ImuSample> imu; //!< samples since the previous frame
+    GpsSample gps;              //!< most recent fix (may be invalid)
+};
+
+/** The unified localizer. */
+class Localizer
+{
+  public:
+    /**
+     * @param cfg framework configuration (mode, block settings)
+     * @param rig the stereo rig of the platform
+     * @param vocabulary trained BoW vocabulary (borrowed; may be null
+     *        for VIO-only operation)
+     * @param prior_map map for the registration mode (borrowed; copied
+     *        into the tracker's map store). Null outside registration.
+     */
+    Localizer(const LocalizerConfig &cfg, const StereoRig &rig,
+              const Vocabulary *vocabulary, const Map *prior_map);
+    ~Localizer();
+
+    Localizer(const Localizer &) = delete;
+    Localizer &operator=(const Localizer &) = delete;
+
+    /**
+     * Initializes the state at a known start pose (the standard
+     * standstill initialization of deployed systems).
+     */
+    void initialize(const Pose &start_pose, double t,
+                    const Vec3 &start_velocity = Vec3::zero());
+
+    /** Processes one frame; returns pose + instrumentation. */
+    LocalizationResult processFrame(const FrameInput &input);
+
+    /** The map being built (SLAM) or localized against (registration). */
+    const Map *currentMap() const;
+
+    BackendMode mode() const { return cfg_.mode; }
+    const LocalizerConfig &config() const { return cfg_; }
+
+  private:
+    LocalizationResult processVio(const FrameInput &input,
+                                  const FrontendOutput &fe);
+    LocalizationResult processSlam(const FrameInput &input,
+                                   const FrontendOutput &fe);
+    LocalizationResult processRegistration(const FrameInput &input,
+                                           const FrontendOutput &fe);
+
+    LocalizerConfig cfg_;
+    StereoRig rig_;
+    const Vocabulary *voc_;
+
+    VisionFrontend frontend_;
+
+    // VIO mode.
+    std::unique_ptr<Msckf> msckf_;
+    FeatureTrackManager track_manager_;
+    std::unique_ptr<GpsFusion> fusion_;
+    long next_clone_id_ = 0;
+    double last_frame_t_ = 0.0;
+
+    // SLAM mode.
+    std::unique_ptr<Mapper> mapper_;
+    std::unique_ptr<Tracker> slam_tracker_;
+
+    // Registration mode.
+    Map registration_map_;
+    std::unique_ptr<Tracker> reg_tracker_;
+
+    // Shared pose history for constant-velocity prediction.
+    std::optional<Pose> last_pose_;
+    std::optional<Pose> prev_pose_;
+    bool initialized_ = false;
+};
+
+/** Builds the LocalizerConfig for a scenario (Fig. 2 dispatch). */
+LocalizerConfig configForScenario(SceneType scene);
+
+} // namespace edx

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * FAST-9 corner detection with non-maximum suppression.
+ *
+ * This is the "Feature Point Detection (FD)" task of the frontend
+ * accelerator pipeline (Fig. 12). Key points are detected with the
+ * segment test of Rosten & Drummond on a 16-pixel Bresenham circle;
+ * a corner requires 9 contiguous circle pixels all brighter or all
+ * darker than the center by the threshold.
+ */
+#pragma once
+
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "image/image.hpp"
+
+namespace edx {
+
+/** Configuration for the FAST detector. */
+struct FastConfig
+{
+    int threshold = 20;          //!< intensity delta for the segment test
+    bool nonmax_suppression = true;
+    int border = 16;             //!< ignore margin (descriptor patch fits)
+    int max_features = 800;      //!< keep at most this many, by score
+    int grid_cols = 8;           //!< spatial bucketing grid for max_features
+    int grid_rows = 6;
+};
+
+/**
+ * Detects FAST-9 corners in @p img.
+ *
+ * When the raw corner count exceeds max_features, corners are selected
+ * per grid cell by score so features stay spatially spread (as real
+ * localization frontends require for well-conditioned pose estimation).
+ */
+std::vector<KeyPoint> detectFast(const ImageU8 &img,
+                                 const FastConfig &cfg = {});
+
+/**
+ * Segment-test score of a single pixel: the largest threshold for which
+ * the pixel would still be detected (approximated by the max over arcs of
+ * the min absolute center difference). Exposed for testing.
+ */
+int fastScore(const ImageU8 &img, int x, int y);
+
+} // namespace edx

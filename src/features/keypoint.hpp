@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Feature-point data products shared by the frontend blocks.
+ *
+ * A key point is a salient image location detected by FAST; an ORB
+ * descriptor is a 256-bit binary string attached to it for spatial
+ * matching (Sec. IV-A of the paper). The correspondence types at the
+ * bottom are the frontend outputs streamed to the backend (2-3 KB per
+ * frame, Sec. V-A).
+ */
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace edx {
+
+/** A detected image feature point. */
+struct KeyPoint
+{
+    float x = 0.0f;        //!< column, pixels
+    float y = 0.0f;        //!< row, pixels
+    float score = 0.0f;    //!< detector response (higher = stronger)
+    float angle = 0.0f;    //!< orientation in radians (ORB centroid)
+};
+
+/** 256-bit binary ORB descriptor. */
+struct Descriptor
+{
+    std::array<uint64_t, 4> bits{};
+
+    bool
+    operator==(const Descriptor &o) const
+    {
+        return bits == o.bits;
+    }
+};
+
+/** Hamming distance between two 256-bit descriptors (0..256). */
+inline int
+hammingDistance(const Descriptor &a, const Descriptor &b)
+{
+    int d = 0;
+    for (int i = 0; i < 4; ++i)
+        d += std::popcount(a.bits[i] ^ b.bits[i]);
+    return d;
+}
+
+/**
+ * A spatial (stereo) correspondence: a key point in the left image and
+ * its disparity to the right image.
+ */
+struct StereoMatch
+{
+    int left_index = -1;      //!< index into the left key-point list
+    float disparity = 0.0f;   //!< x_left - x_right, pixels (>= 0)
+    int hamming = 256;        //!< descriptor distance of the match
+};
+
+/**
+ * A temporal correspondence: a key point tracked from the previous frame
+ * into the current one by optical flow.
+ */
+struct TemporalMatch
+{
+    int prev_index = -1;   //!< index into the previous frame's key points
+    float x = 0.0f;        //!< tracked location in the current frame
+    float y = 0.0f;
+    float residual = 0.0f; //!< final LK photometric residual
+};
+
+/** Byte size of the correspondence payload sent to the backend. */
+inline size_t
+correspondencePayloadBytes(const std::vector<StereoMatch> &s,
+                           const std::vector<TemporalMatch> &t)
+{
+    return s.size() * sizeof(StereoMatch) +
+           t.size() * sizeof(TemporalMatch);
+}
+
+} // namespace edx

@@ -1,0 +1,143 @@
+#include "features/matcher.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace edx {
+
+namespace {
+
+/** Finds the best and second-best train index for one query. */
+struct BestPair
+{
+    int best = -1;
+    int best_d = 257;
+    int second_d = 257;
+};
+
+template <typename Pred>
+BestPair
+findBest(const Descriptor &q, const std::vector<Descriptor> &train,
+         Pred admissible)
+{
+    BestPair bp;
+    for (int t = 0; t < static_cast<int>(train.size()); ++t) {
+        if (!admissible(t))
+            continue;
+        int d = hammingDistance(q, train[t]);
+        if (d < bp.best_d) {
+            bp.second_d = bp.best_d;
+            bp.best_d = d;
+            bp.best = t;
+        } else if (d < bp.second_d) {
+            bp.second_d = d;
+        }
+    }
+    return bp;
+}
+
+bool
+passesGates(const BestPair &bp, const MatchConfig &cfg)
+{
+    if (bp.best < 0 || bp.best_d > cfg.max_hamming)
+        return false;
+    if (bp.second_d <= 256 &&
+        bp.best_d > cfg.ratio * static_cast<double>(bp.second_d))
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::vector<Match>
+matchDescriptors(const std::vector<Descriptor> &query,
+                 const std::vector<Descriptor> &train,
+                 const MatchConfig &cfg)
+{
+    std::vector<Match> out;
+    auto all = [](int) { return true; };
+    for (int q = 0; q < static_cast<int>(query.size()); ++q) {
+        BestPair bp = findBest(query[q], train, all);
+        if (!passesGates(bp, cfg))
+            continue;
+        if (cfg.cross_check) {
+            BestPair back = findBest(train[bp.best], query, all);
+            if (back.best != q)
+                continue;
+        }
+        out.push_back({q, bp.best, bp.best_d});
+    }
+    return out;
+}
+
+std::vector<Match>
+matchDescriptorsWindowed(const std::vector<Descriptor> &query,
+                         const std::vector<KeyPoint> &query_kps,
+                         const std::vector<Descriptor> &train,
+                         const std::vector<KeyPoint> &train_kps,
+                         double radius, const MatchConfig &cfg)
+{
+    assert(query.size() == query_kps.size());
+    assert(train.size() == train_kps.size());
+    const double r2 = radius * radius;
+    std::vector<Match> out;
+    if (train.empty() || query.empty())
+        return out;
+
+    // Grid-bucket the train key points with cell size == radius so each
+    // query only examines its 3x3 cell neighbourhood. This keeps the
+    // association cost linear in the candidate count even for the
+    // many-thousand-point projections of the registration mode.
+    float min_x = train_kps[0].x, max_x = train_kps[0].x;
+    float min_y = train_kps[0].y, max_y = train_kps[0].y;
+    for (const KeyPoint &k : train_kps) {
+        min_x = std::min(min_x, k.x);
+        max_x = std::max(max_x, k.x);
+        min_y = std::min(min_y, k.y);
+        max_y = std::max(max_y, k.y);
+    }
+    const double cell = std::max(radius, 1.0);
+    const int gw = static_cast<int>((max_x - min_x) / cell) + 1;
+    const int gh = static_cast<int>((max_y - min_y) / cell) + 1;
+    std::vector<std::vector<int>> grid(static_cast<size_t>(gw) * gh);
+    for (int t = 0; t < static_cast<int>(train_kps.size()); ++t) {
+        int cx = static_cast<int>((train_kps[t].x - min_x) / cell);
+        int cy = static_cast<int>((train_kps[t].y - min_y) / cell);
+        grid[static_cast<size_t>(cy) * gw + cx].push_back(t);
+    }
+
+    for (int q = 0; q < static_cast<int>(query.size()); ++q) {
+        const KeyPoint &qk = query_kps[q];
+        int cx = static_cast<int>((qk.x - min_x) / cell);
+        int cy = static_cast<int>((qk.y - min_y) / cell);
+        BestPair bp;
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                int gx = cx + dx, gy = cy + dy;
+                if (gx < 0 || gx >= gw || gy < 0 || gy >= gh)
+                    continue;
+                for (int t : grid[static_cast<size_t>(gy) * gw + gx]) {
+                    double ddx = train_kps[t].x - qk.x;
+                    double ddy = train_kps[t].y - qk.y;
+                    if (ddx * ddx + ddy * ddy > r2)
+                        continue;
+                    int d = hammingDistance(query[q], train[t]);
+                    if (d < bp.best_d) {
+                        bp.second_d = bp.best_d;
+                        bp.best_d = d;
+                        bp.best = t;
+                    } else if (d < bp.second_d) {
+                        bp.second_d = d;
+                    }
+                }
+            }
+        }
+        if (!passesGates(bp, cfg))
+            continue;
+        out.push_back({q, bp.best, bp.best_d});
+    }
+    return out;
+}
+
+} // namespace edx

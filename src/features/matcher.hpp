@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Binary descriptor matching.
+ *
+ * Brute-force Hamming matching with the standard Lowe-style distance and
+ * ratio gates, plus an optional spatial search window. Used by stereo
+ * matching ("Matching Optimization", Fig. 12) and by map-point
+ * association in the tracking backend.
+ */
+#pragma once
+
+#include <vector>
+
+#include "features/keypoint.hpp"
+
+namespace edx {
+
+/** A descriptor-level match between two feature sets. */
+struct Match
+{
+    int query_index = -1;
+    int train_index = -1;
+    int hamming = 256;
+};
+
+/** Matching gates. */
+struct MatchConfig
+{
+    int max_hamming = 64;        //!< reject matches above this distance
+    double ratio = 0.8;          //!< best/second-best distance ratio gate
+    bool cross_check = true;     //!< require mutual best match
+};
+
+/**
+ * Matches each query descriptor to its best train descriptor under the
+ * configured gates. Complexity O(|Q| * |T|).
+ */
+std::vector<Match> matchDescriptors(const std::vector<Descriptor> &query,
+                                    const std::vector<Descriptor> &train,
+                                    const MatchConfig &cfg = {});
+
+/**
+ * Spatially windowed match: only train points within @p radius pixels of
+ * the query point are considered (used for map-point reprojection
+ * association where a pose prediction is available).
+ */
+std::vector<Match> matchDescriptorsWindowed(
+    const std::vector<Descriptor> &query,
+    const std::vector<KeyPoint> &query_kps,
+    const std::vector<Descriptor> &train,
+    const std::vector<KeyPoint> &train_kps, double radius,
+    const MatchConfig &cfg = {});
+
+} // namespace edx

@@ -1,0 +1,165 @@
+#include "features/optical_flow.hpp"
+
+#include <cmath>
+
+#include "math/mat.hpp"
+
+namespace edx {
+
+namespace {
+
+/**
+ * Tracks one point at one pyramid level. Returns false when the point
+ * leaves the image or the system is ill-conditioned.
+ */
+bool
+trackAtLevel(const ImageU8 &prev, const ImageU8 &next, double px, double py,
+             double &nx, double &ny, const FlowConfig &cfg,
+             double &residual_out)
+{
+    const int r = cfg.window_radius;
+    if (!prev.containsWithBorder(px, py, r + 2))
+        return false;
+
+    // DC task: sample the previous-image patch once (the window plus a
+    // one-pixel apron for gradients), then derive the gradients by
+    // central differences inside the patch. All samples within the
+    // window share the same sub-pixel fraction, so the four bilinear
+    // weights are computed once and applied with raw row pointers.
+    const int n = (2 * r + 1) * (2 * r + 1);
+    const int pw = 2 * r + 3; // patch width including apron
+    const int x0 = static_cast<int>(std::floor(px)) - r - 1;
+    const int y0 = static_cast<int>(std::floor(py)) - r - 1;
+    const double fx = px - std::floor(px);
+    const double fy = py - std::floor(py);
+    const double w00 = (1 - fx) * (1 - fy), w10 = fx * (1 - fy);
+    const double w01 = (1 - fx) * fy, w11 = fx * fy;
+
+    std::vector<double> patch(static_cast<size_t>(pw) * pw);
+    for (int yy = 0; yy < pw; ++yy) {
+        const uint8_t *r0 = prev.rowPtr(y0 + yy) + x0;
+        const uint8_t *r1 = prev.rowPtr(y0 + yy + 1) + x0;
+        double *dst = patch.data() + static_cast<size_t>(yy) * pw;
+        for (int xx = 0; xx < pw; ++xx) {
+            dst[xx] = w00 * r0[xx] + w10 * r0[xx + 1] + w01 * r1[xx] +
+                      w11 * r1[xx + 1];
+        }
+    }
+
+    std::vector<double> ix(n), iy(n), iv(n);
+    Mat2 g;
+    int idx = 0;
+    for (int dy = -r; dy <= r; ++dy) {
+        const double *pm = patch.data() +
+                           static_cast<size_t>(dy + r + 1) * pw + 1;
+        for (int dx = -r; dx <= r; ++dx, ++idx) {
+            double gx = 0.5 * (pm[dx + r + 1] - pm[dx + r - 1]);
+            double gy = 0.5 * (pm[dx + r + pw] - pm[dx + r - pw]);
+            ix[idx] = gx;
+            iy[idx] = gy;
+            iv[idx] = pm[dx + r];
+            g(0, 0) += gx * gx;
+            g(0, 1) += gx * gy;
+            g(1, 1) += gy * gy;
+        }
+    }
+    g(1, 0) = g(0, 1);
+
+    // Conditioning gate: minimum eigenvalue of G normalized by window
+    // area (rejects textureless or edge-only regions).
+    double tr = g(0, 0) + g(1, 1);
+    double dt = det(g);
+    double disc = std::sqrt(std::max(0.0, tr * tr / 4.0 - dt));
+    double lambda_min = (tr / 2.0 - disc) / n;
+    if (lambda_min < cfg.min_eigenvalue)
+        return false;
+
+    Mat2 ginv = inverse(g);
+
+    // LSS task: iterate v <- v + G^{-1} b until the update is small.
+    // As in DC, every window sample shares the current sub-pixel
+    // fraction of (nx, ny), so the bilinear weights are hoisted out of
+    // the window loop.
+    for (int it = 0; it < cfg.max_iterations; ++it) {
+        if (!next.containsWithBorder(nx, ny, r + 2))
+            return false;
+        const int nx0 = static_cast<int>(std::floor(nx));
+        const int ny0 = static_cast<int>(std::floor(ny));
+        const double nfx = nx - nx0, nfy = ny - ny0;
+        const double q00 = (1 - nfx) * (1 - nfy), q10 = nfx * (1 - nfy);
+        const double q01 = (1 - nfx) * nfy, q11 = nfx * nfy;
+
+        Vec2 b;
+        double res = 0.0;
+        idx = 0;
+        for (int dy = -r; dy <= r; ++dy) {
+            const uint8_t *r0 = next.rowPtr(ny0 + dy) + nx0 - r;
+            const uint8_t *r1 = next.rowPtr(ny0 + dy + 1) + nx0 - r;
+            for (int dx = 0; dx <= 2 * r; ++dx, ++idx) {
+                double sample = q00 * r0[dx] + q10 * r0[dx + 1] +
+                                q01 * r1[dx] + q11 * r1[dx + 1];
+                double dI = sample - iv[idx];
+                b[0] += dI * ix[idx];
+                b[1] += dI * iy[idx];
+                res += std::abs(dI);
+            }
+        }
+        residual_out = res / n;
+        Vec2 v = ginv * b;
+        nx -= v[0];
+        ny -= v[1];
+        if (v.norm() < cfg.epsilon)
+            break;
+    }
+    return next.containsWithBorder(nx, ny, r + 2);
+}
+
+} // namespace
+
+std::vector<TemporalMatch>
+trackLucasKanade(const Pyramid &prev, const Pyramid &next,
+                 const std::vector<KeyPoint> &prev_pts,
+                 const FlowConfig &cfg)
+{
+    std::vector<TemporalMatch> out;
+    const int levels =
+        std::min({cfg.pyramid_levels, prev.levels(), next.levels()});
+
+    for (int i = 0; i < static_cast<int>(prev_pts.size()); ++i) {
+        const KeyPoint &kp = prev_pts[i];
+        // Start at the coarsest level with the identity guess.
+        double scale = std::pow(2.0, levels - 1);
+        double nx = kp.x / scale, ny = kp.y / scale;
+        bool ok = true;
+        double residual = 0.0;
+        for (int l = levels - 1; l >= 0; --l) {
+            double s = std::pow(2.0, l);
+            double px = kp.x / s, py = kp.y / s;
+            double cx = nx, cy = ny;
+            ok = trackAtLevel(prev.level(l), next.level(l), px, py, cx, cy,
+                              cfg, residual);
+            if (ok) {
+                nx = cx;
+                ny = cy;
+            } else if (l > 0) {
+                // Coarse levels may lack texture (patches shrink to a few
+                // pixels); keep the current guess and let finer levels
+                // recover. Only the finest level must succeed.
+                ok = true;
+            } else {
+                break;
+            }
+            if (l > 0) {
+                nx *= 2.0;
+                ny *= 2.0;
+            }
+        }
+        if (!ok || residual > cfg.max_residual)
+            continue;
+        out.push_back({i, static_cast<float>(nx), static_cast<float>(ny),
+                       static_cast<float>(residual)});
+    }
+    return out;
+}
+
+} // namespace edx

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Pyramidal Lucas-Kanade optical flow (Lucas & Kanade, 1981; Bouguet's
+ * pyramidal formulation).
+ *
+ * This is the "Temporal Matching" block of the frontend (Fig. 12): the
+ * derivatives-calculation (DC) task builds the spatial-gradient normal
+ * matrix and the least-squares-solver (LSS) task iterates the 2x2 solve
+ * per feature per pyramid level.
+ */
+#pragma once
+
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "image/pyramid.hpp"
+
+namespace edx {
+
+/** LK tracker configuration. */
+struct FlowConfig
+{
+    int window_radius = 7;     //!< integration window half-size
+    int pyramid_levels = 3;
+    int max_iterations = 12;
+    double epsilon = 0.03;     //!< convergence threshold on the update
+    double max_residual = 18.0; //!< mean photometric residual gate
+    double min_eigenvalue = 1e-3; //!< conditioning gate on G
+};
+
+/**
+ * Tracks @p prev_pts from the previous frame into the current frame.
+ *
+ * @param prev pyramid of the previous frame
+ * @param next pyramid of the current frame
+ * @param prev_pts feature locations in the previous frame
+ * @param cfg tracker configuration
+ * @return one TemporalMatch per successfully tracked input point, with
+ *         prev_index referring to @p prev_pts
+ */
+std::vector<TemporalMatch> trackLucasKanade(
+    const Pyramid &prev, const Pyramid &next,
+    const std::vector<KeyPoint> &prev_pts, const FlowConfig &cfg = {});
+
+} // namespace edx

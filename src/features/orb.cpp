@@ -1,0 +1,102 @@
+#include "features/orb.hpp"
+
+#include <cmath>
+
+#include "math/rng.hpp"
+
+namespace edx {
+
+namespace {
+
+/** One BRIEF comparison: sample point pair inside the patch. */
+struct PointPair
+{
+    float ax, ay, bx, by;
+};
+
+/**
+ * The fixed 256-pair sampling pattern. Pairs are drawn once from an
+ * isotropic Gaussian (sigma = patch_radius / 2) with a deterministic
+ * seed, mirroring the learned-but-fixed pattern that ORB ships.
+ */
+const std::vector<PointPair> &
+briefPattern()
+{
+    static const std::vector<PointPair> pattern = [] {
+        std::vector<PointPair> p;
+        p.reserve(256);
+        Rng rng(0x04b1d); // fixed pattern seed
+        const double sigma = kOrbPatchRadius / 2.0;
+        auto clamped = [&](double v) {
+            return std::clamp(v, -double(kOrbPatchRadius - 1),
+                              double(kOrbPatchRadius - 1));
+        };
+        for (int i = 0; i < 256; ++i) {
+            PointPair pp;
+            pp.ax = static_cast<float>(clamped(rng.gaussian(0, sigma)));
+            pp.ay = static_cast<float>(clamped(rng.gaussian(0, sigma)));
+            pp.bx = static_cast<float>(clamped(rng.gaussian(0, sigma)));
+            pp.by = static_cast<float>(clamped(rng.gaussian(0, sigma)));
+            p.push_back(pp);
+        }
+        return p;
+    }();
+    return pattern;
+}
+
+} // namespace
+
+float
+orbOrientation(const ImageU8 &img, float x, float y)
+{
+    // Intensity centroid over a circular patch: angle = atan2(m01, m10).
+    const int r = kOrbPatchRadius;
+    const int cx = static_cast<int>(std::lround(x));
+    const int cy = static_cast<int>(std::lround(y));
+    double m01 = 0.0, m10 = 0.0;
+    for (int dy = -r; dy <= r; ++dy) {
+        for (int dx = -r; dx <= r; ++dx) {
+            if (dx * dx + dy * dy > r * r)
+                continue;
+            double v = img.atClamped(cx + dx, cy + dy);
+            m10 += dx * v;
+            m01 += dy * v;
+        }
+    }
+    return static_cast<float>(std::atan2(m01, m10));
+}
+
+std::vector<Descriptor>
+computeOrbDescriptors(const ImageU8 &img, std::vector<KeyPoint> &kps)
+{
+    const auto &pattern = briefPattern();
+    std::vector<Descriptor> out(kps.size());
+
+    for (size_t i = 0; i < kps.size(); ++i) {
+        KeyPoint &kp = kps[i];
+        if (!img.containsWithBorder(kp.x, kp.y, kOrbPatchRadius + 1))
+            continue; // zero descriptor for border points
+
+        kp.angle = orbOrientation(img, kp.x, kp.y);
+        const float ca = std::cos(kp.angle);
+        const float sa = std::sin(kp.angle);
+
+        Descriptor d;
+        for (int b = 0; b < 256; ++b) {
+            const PointPair &pp = pattern[b];
+            // Rotate the sampling pair by the patch orientation.
+            float ax = ca * pp.ax - sa * pp.ay + kp.x;
+            float ay = sa * pp.ax + ca * pp.ay + kp.y;
+            float bx = ca * pp.bx - sa * pp.by + kp.x;
+            float by = sa * pp.bx + ca * pp.by + kp.y;
+            double va = img.sampleBilinear(ax, ay);
+            double vb = img.sampleBilinear(bx, by);
+            if (va < vb)
+                d.bits[b >> 6] |= (uint64_t{1} << (b & 63));
+        }
+        out[i] = d;
+    }
+    return out;
+}
+
+} // namespace edx

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * ORB descriptors: oriented FAST + rotated BRIEF (Rublee et al., 2011).
+ *
+ * This is the "Feature Descriptor Calculation (FC)" task of the frontend
+ * pipeline. Each key point gets an intensity-centroid orientation and a
+ * 256-bit binary descriptor sampled from a fixed pseudo-random pattern
+ * rotated to that orientation. Descriptors feed stereo matching and the
+ * bag-of-words tracking backend.
+ */
+#pragma once
+
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "image/image.hpp"
+
+namespace edx {
+
+/** Half-size of the square patch the descriptor samples from. */
+inline constexpr int kOrbPatchRadius = 15;
+
+/**
+ * Computes the intensity-centroid orientation of a patch around
+ * (@p x, @p y); the point must be at least kOrbPatchRadius from the
+ * image border.
+ */
+float orbOrientation(const ImageU8 &img, float x, float y);
+
+/**
+ * Computes ORB descriptors for @p kps on @p img (typically the Gaussian-
+ * filtered image, as in the reference implementation). Orientations are
+ * written back into the key points. Points too close to the border get
+ * a zero descriptor.
+ */
+std::vector<Descriptor> computeOrbDescriptors(const ImageU8 &img,
+                                              std::vector<KeyPoint> &kps);
+
+} // namespace edx

@@ -1,0 +1,121 @@
+#include "features/stereo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edx {
+
+std::vector<StereoMatch>
+stereoMatchInitial(const std::vector<KeyPoint> &left_kps,
+                   const std::vector<Descriptor> &left_desc,
+                   const std::vector<KeyPoint> &right_kps,
+                   const std::vector<Descriptor> &right_desc,
+                   const StereoConfig &cfg)
+{
+    std::vector<StereoMatch> out;
+    for (int l = 0; l < static_cast<int>(left_kps.size()); ++l) {
+        const KeyPoint &lk = left_kps[l];
+        int best = -1, best_d = 257, second_d = 257;
+        for (int r = 0; r < static_cast<int>(right_kps.size()); ++r) {
+            const KeyPoint &rk = right_kps[r];
+            // Rectified epipolar constraint: same row, positive disparity.
+            if (std::abs(rk.y - lk.y) > cfg.max_epipolar_error)
+                continue;
+            float disp = lk.x - rk.x;
+            if (disp < cfg.min_disparity || disp > cfg.max_disparity)
+                continue;
+            int d = hammingDistance(left_desc[l], right_desc[r]);
+            if (d < best_d) {
+                second_d = best_d;
+                best_d = d;
+                best = r;
+            } else if (d < second_d) {
+                second_d = d;
+            }
+        }
+        if (best < 0 || best_d > cfg.max_hamming)
+            continue;
+        if (second_d <= 256 && best_d > 0.9 * second_d && best_d != second_d)
+            continue; // ambiguous along the epipolar band
+        out.push_back({l, left_kps[l].x - right_kps[best].x, best_d});
+    }
+    return out;
+}
+
+namespace {
+
+/** SAD between a window at (lx, ly) in left and (rx, ly) in right. */
+double
+sad(const ImageU8 &left, const ImageU8 &right, int lx, int ly, double rx,
+    int radius)
+{
+    double s = 0.0;
+    for (int dy = -radius; dy <= radius; ++dy)
+        for (int dx = -radius; dx <= radius; ++dx) {
+            double lv = left.atClamped(lx + dx, ly + dy);
+            double rv = right.sampleBilinear(rx + dx, ly + dy);
+            s += std::abs(lv - rv);
+        }
+    return s;
+}
+
+} // namespace
+
+void
+stereoRefineDisparity(const ImageU8 &left, const ImageU8 &right,
+                      const std::vector<KeyPoint> &left_kps,
+                      std::vector<StereoMatch> &matches,
+                      const StereoConfig &cfg)
+{
+    for (StereoMatch &m : matches) {
+        const KeyPoint &lk = left_kps[m.left_index];
+        const int lx = static_cast<int>(std::lround(lk.x));
+        const int ly = static_cast<int>(std::lround(lk.y));
+
+        // Integer SAD sweep around the ORB-proposed disparity.
+        int best_off = 0;
+        double best_cost = 1e300;
+        std::vector<double> costs(2 * cfg.refine_range + 1, 0.0);
+        for (int off = -cfg.refine_range; off <= cfg.refine_range; ++off) {
+            double rx = lk.x - (m.disparity + off);
+            double c = sad(left, right, lx, ly, rx, cfg.block_radius);
+            costs[off + cfg.refine_range] = c;
+            if (c < best_cost) {
+                best_cost = c;
+                best_off = off;
+            }
+        }
+        double refined = m.disparity + best_off;
+
+        // Parabolic sub-pixel interpolation around the SAD minimum.
+        int ci = best_off + cfg.refine_range;
+        if (ci > 0 && ci < 2 * cfg.refine_range) {
+            double c0 = costs[ci - 1], c1 = costs[ci], c2 = costs[ci + 1];
+            double denom = c0 - 2.0 * c1 + c2;
+            if (std::abs(denom) > 1e-9) {
+                double delta = 0.5 * (c0 - c2) / denom;
+                if (std::abs(delta) <= 1.0)
+                    refined += delta;
+            }
+        }
+        m.disparity = static_cast<float>(
+            std::clamp<double>(refined, cfg.min_disparity,
+                               cfg.max_disparity));
+    }
+}
+
+std::vector<StereoMatch>
+stereoMatch(const ImageU8 &left, const ImageU8 &right,
+            const std::vector<KeyPoint> &left_kps,
+            const std::vector<Descriptor> &left_desc,
+            const std::vector<KeyPoint> &right_kps,
+            const std::vector<Descriptor> &right_desc,
+            const StereoConfig &cfg)
+{
+    std::vector<StereoMatch> m = stereoMatchInitial(
+        left_kps, left_desc, right_kps, right_desc, cfg);
+    stereoRefineDisparity(left, right, left_kps, m, cfg);
+    return m;
+}
+
+} // namespace edx

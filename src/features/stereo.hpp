@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Stereo matching: ORB-based matching optimization plus SAD disparity
+ * refinement.
+ *
+ * Implements the two serialized tasks of the frontend's stereo-matching
+ * block (Fig. 12): "Matching Optimization (MO)" proposes an initial
+ * correspondence by comparing Hamming distances along the epipolar band,
+ * and "Disparity Refinement (DR)" polishes the disparity with block
+ * matching (SAD) on the raw images, including sub-pixel interpolation.
+ */
+#pragma once
+
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "image/image.hpp"
+
+namespace edx {
+
+/** Stereo matcher configuration. */
+struct StereoConfig
+{
+    float max_epipolar_error = 2.0f; //!< vertical tolerance, pixels
+    float min_disparity = 0.5f;
+    float max_disparity = 128.0f;
+    int max_hamming = 60;
+    int block_radius = 4;      //!< SAD window radius for refinement
+    int refine_range = 3;      //!< +/- search around the ORB disparity
+};
+
+/** Output of the MO task alone, before refinement (for testing). */
+std::vector<StereoMatch> stereoMatchInitial(
+    const std::vector<KeyPoint> &left_kps,
+    const std::vector<Descriptor> &left_desc,
+    const std::vector<KeyPoint> &right_kps,
+    const std::vector<Descriptor> &right_desc, const StereoConfig &cfg);
+
+/**
+ * Refines initial matches by SAD block matching around the proposed
+ * disparity, with parabolic sub-pixel interpolation.
+ */
+void stereoRefineDisparity(const ImageU8 &left, const ImageU8 &right,
+                           const std::vector<KeyPoint> &left_kps,
+                           std::vector<StereoMatch> &matches,
+                           const StereoConfig &cfg);
+
+/** Full stereo block: MO followed by DR. */
+std::vector<StereoMatch> stereoMatch(
+    const ImageU8 &left, const ImageU8 &right,
+    const std::vector<KeyPoint> &left_kps,
+    const std::vector<Descriptor> &left_desc,
+    const std::vector<KeyPoint> &right_kps,
+    const std::vector<Descriptor> &right_desc,
+    const StereoConfig &cfg = {});
+
+} // namespace edx

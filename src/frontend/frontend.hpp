@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The unified vision frontend (Sec. IV-A / Sec. V of the paper).
+ *
+ * The frontend is shared by all three backend modes and is always
+ * activated. It consists of three blocks:
+ *
+ *  - Feature extraction (FE): feature point detection (FD), image
+ *    filtering (IF) and feature descriptor calculation (FC), run on both
+ *    stereo images.
+ *  - Stereo matching (SM): matching optimization (MO) + disparity
+ *    refinement (DR), establishing spatial correspondences.
+ *  - Temporal matching (TM): derivatives calculation (DC) + least
+ *    squares solver (LSS), i.e. pyramidal Lucas-Kanade against the
+ *    previous left frame.
+ *
+ * Every task is timed individually; the timing records feed the
+ * characterization benches (Figs. 5, 9-11, 20) and the accelerator
+ * model's workload inputs.
+ */
+#pragma once
+
+#include <vector>
+
+#include "features/fast.hpp"
+#include "features/keypoint.hpp"
+#include "features/matcher.hpp"
+#include "features/optical_flow.hpp"
+#include "features/orb.hpp"
+#include "features/stereo.hpp"
+#include "image/pyramid.hpp"
+
+namespace edx {
+
+/** Frontend configuration: per-block sub-configurations. */
+struct FrontendConfig
+{
+    FastConfig fast;
+    StereoConfig stereo;
+    FlowConfig flow;
+};
+
+/** Wall-clock latency of each frontend task, milliseconds. */
+struct FrontendTiming
+{
+    double fd_ms = 0.0; //!< feature point detection (both images)
+    double if_ms = 0.0; //!< image filtering (both images)
+    double fc_ms = 0.0; //!< descriptor calculation (both images)
+    double mo_ms = 0.0; //!< stereo matching optimization
+    double dr_ms = 0.0; //!< disparity refinement
+    double tm_ms = 0.0; //!< temporal matching (DC + LSS)
+
+    /** Feature-extraction block total. */
+    double feBlock() const { return fd_ms + if_ms + fc_ms; }
+    /** Stereo-matching block total. */
+    double smBlock() const { return mo_ms + dr_ms; }
+    /** Temporal-matching block total. */
+    double tmBlock() const { return tm_ms; }
+    /** Sequential software total. */
+    double total() const { return feBlock() + smBlock() + tmBlock(); }
+};
+
+/** Workload sizes of one frontend invocation (accelerator-model input). */
+struct FrontendWorkload
+{
+    long image_pixels = 0;   //!< per image
+    int left_features = 0;
+    int right_features = 0;
+    int stereo_candidates = 0; //!< MO candidate pairs examined
+    int stereo_matches = 0;
+    int temporal_tracks = 0;
+};
+
+/** Frontend products for one frame. */
+struct FrontendOutput
+{
+    std::vector<KeyPoint> keypoints;       //!< left-image key points
+    std::vector<Descriptor> descriptors;   //!< aligned with keypoints
+    std::vector<StereoMatch> stereo;       //!< left_index -> keypoints
+    std::vector<TemporalMatch> temporal;   //!< prev_index -> previous frame
+    FrontendTiming timing;
+    FrontendWorkload workload;
+};
+
+/**
+ * The stateful frontend: holds the previous frame's pyramid and key
+ * points for temporal matching.
+ */
+class VisionFrontend
+{
+  public:
+    explicit VisionFrontend(const FrontendConfig &cfg = {}) : cfg_(cfg) {}
+
+    /**
+     * Processes a rectified stereo pair. The first call produces no
+     * temporal matches (there is no previous frame yet).
+     */
+    FrontendOutput processFrame(const ImageU8 &left, const ImageU8 &right);
+
+    /** Drops temporal state (e.g., on dataset restart). */
+    void reset();
+
+    const FrontendConfig &config() const { return cfg_; }
+
+  private:
+    FrontendConfig cfg_;
+    bool has_prev_ = false;
+    Pyramid prev_pyramid_{ImageU8(2, 2), 1};
+    std::vector<KeyPoint> prev_keypoints_;
+};
+
+} // namespace edx

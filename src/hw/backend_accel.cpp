@@ -1,0 +1,139 @@
+#include "hw/backend_accel.hpp"
+
+#include <cmath>
+
+namespace edx {
+
+namespace {
+
+/** Ceiling division for block counts. */
+int
+blocksOf(int n, int b)
+{
+    return (n + b - 1) / b;
+}
+
+} // namespace
+
+double
+BackendAccelerator::multiplyCycles(int m, int k, int n) const
+{
+    // Each BxB x BxB block product takes B cycles on the B^2 MAC array.
+    const int b = cfg_.matrix_block;
+    return static_cast<double>(blocksOf(m, b)) * blocksOf(k, b) *
+           blocksOf(n, b) * b;
+}
+
+double
+BackendAccelerator::decomposeCycles(int n) const
+{
+    // Right-looking blocked Cholesky: ~n^3/3 MACs on B^2 units, plus a
+    // serial pipeline ramp of ~4 cycles per column for the sqrt/divide.
+    const int b = cfg_.matrix_block;
+    return (static_cast<double>(n) * n * n / 3.0) / (b * b) + 4.0 * n;
+}
+
+double
+BackendAccelerator::inverseBlockStructuredCycles(int diag_n,
+                                                 int dense_n) const
+{
+    // Diagonal part: one reciprocal per element through a pipelined
+    // divider; dense part: the specialized 6x6 (or general small) core
+    // via Gauss-Jordan, ~2n^3 ops on the array.
+    const int b = cfg_.matrix_block;
+    double dense =
+        2.0 * dense_n * dense_n * dense_n / (b * b) + 8.0 * dense_n;
+    return diag_n + dense;
+}
+
+double
+BackendAccelerator::transposeCycles(int m, int n) const
+{
+    return static_cast<double>(m) * n / cfg_.matrix_block;
+}
+
+double
+BackendAccelerator::substituteCycles(int n, int r) const
+{
+    // Triangular solve: n^2/2 MACs per right-hand side, forward plus
+    // backward, on the B^2 array with a per-row serial dependence.
+    const int b = cfg_.matrix_block;
+    return 2.0 * (static_cast<double>(n) * n / 2.0) * r / (b * b) +
+           2.0 * n;
+}
+
+double
+BackendAccelerator::dmaMs(double bytes) const
+{
+    return cfg_.dma_latency_us * 1e-3 +
+           bytes / (cfg_.dma_bandwidth_gbs * 1e6);
+}
+
+AccelKernelCost
+BackendAccelerator::projection(int map_points) const
+{
+    AccelKernelCost c;
+    // C (3x4) x X (4 x M), one multiplication (Tbl. I row 1).
+    c.compute_ms = cyclesToMs(multiplyCycles(3, 4, map_points));
+    // DMA: M homogeneous points in (4 doubles), 2D projections out.
+    const double bytes_in = 4.0 * 8.0 * map_points + 12 * 8.0;
+    const double bytes_out = 2.0 * 8.0 * map_points;
+    c.dma_ms = dmaMs(bytes_in + bytes_out);
+    return c;
+}
+
+AccelKernelCost
+BackendAccelerator::kalmanGain(int rows, int dim) const
+{
+    AccelKernelCost c;
+    // PH^T = P (dim x dim) x H^T (dim x rows): transpose + multiply.
+    double cycles = transposeCycles(rows, dim);
+    cycles += multiplyCycles(dim, dim, rows);
+    // S = H x PH^T (rows x rows); symmetric S halves the work
+    // (Sec. VI-A optimization).
+    double s_mult = multiplyCycles(rows, dim, rows);
+    cycles += exploit_symmetry_ ? 0.5 * s_mult : s_mult;
+    // Decompose S, then forward/backward substitution for dim columns.
+    cycles += decomposeCycles(rows);
+    cycles += substituteCycles(rows, dim);
+    c.compute_ms = cyclesToMs(cycles);
+    // DMA: H (rows x dim) and P (dim x dim, half if symmetric) in,
+    // K (dim x rows) out.
+    double p_bytes = 8.0 * dim * dim * (exploit_symmetry_ ? 0.5 : 1.0);
+    double bytes = 8.0 * rows * dim + p_bytes + 8.0 * dim * rows;
+    c.dma_ms = dmaMs(bytes);
+    return c;
+}
+
+AccelKernelCost
+BackendAccelerator::marginalization(int landmarks) const
+{
+    AccelKernelCost c;
+    const int m = 3 * landmarks + 6; // Amm side (landmarks + old pose)
+    const int r = 6;                 // remaining block
+
+    // Amm^-1 with the specialized structure: diagonal reciprocals for
+    // the landmark part and the 6x6 dense core (Sec. VI-A). The
+    // landmark part is 3x3-block diagonal; the hardware treats it as
+    // 3x3 inversions through the same small-core path.
+    double cycles = inverseBlockStructuredCycles(3 * landmarks, 6);
+    // Schur complement: Arm (r x m) x Amm^-1 (m x m) exploits the
+    // diagonal structure -> column scaling (m*r/B cycles) plus the
+    // 6-wide dense tail; then (r x m) x (m x r) multiply; transpose and
+    // substitution steps complete the prior assembly.
+    cycles += static_cast<double>(m) * r / cfg_.matrix_block;
+    cycles += multiplyCycles(r, m, r);
+    cycles += transposeCycles(m, r);
+    cycles += decomposeCycles(r);
+    cycles += substituteCycles(r, r);
+    c.compute_ms = cyclesToMs(cycles);
+
+    // DMA: the sparse Amm blocks (diagonal 3x3 blocks + borders), Amr,
+    // Arr in; the 6x6 prior out.
+    double bytes = 8.0 * (9.0 * landmarks + 2.0 * m * r + r * r) +
+                   8.0 * r * r;
+    c.dma_ms = dmaMs(bytes);
+    return c;
+}
+
+} // namespace edx

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Backend accelerator timing model (Sec. VI of the paper).
+ *
+ * The backend accelerator is a single substrate of five matrix-
+ * operation building blocks (Tbl. I): multiplication, decomposition,
+ * inverse, transpose, and forward/backward substitution, fed by
+ * scratchpads and executed block-by-block on a BxB MAC array. The three
+ * variation-dominating kernels map onto compositions of these
+ * primitives:
+ *
+ *  - Projection (registration): C(3x4) x X(4xM)
+ *  - Kalman gain (VIO): S = H P H^T + R ; solve S K^T = (P H^T)^T
+ *  - Marginalization (SLAM): Schur complement with the [A diag; D 6x6]
+ *    Amm structure (specialized inverse, Sec. VI-A)
+ *
+ * Each kernel model returns compute cycles plus the DMA cost of moving
+ * its operands over the platform link, which is what makes offloading
+ * small kernels unprofitable (the scheduler's decision problem,
+ * Sec. VI-B).
+ */
+#pragma once
+
+#include "hw/config.hpp"
+
+namespace edx {
+
+/** Modeled accelerator cost of one kernel invocation. */
+struct AccelKernelCost
+{
+    double compute_ms = 0.0;
+    double dma_ms = 0.0;
+
+    double totalMs() const { return compute_ms + dma_ms; }
+};
+
+/** The backend accelerator model. */
+class BackendAccelerator
+{
+  public:
+    explicit BackendAccelerator(const AcceleratorConfig &cfg,
+                                bool exploit_symmetry = true)
+        : cfg_(cfg), exploit_symmetry_(exploit_symmetry)
+    {}
+
+    // --- Matrix-primitive cycle models (the five blocks of Tbl. I). ---
+
+    /** Dense multiply (m x k) * (k x n) on the BxB array. */
+    double multiplyCycles(int m, int k, int n) const;
+
+    /** Cholesky-style decomposition of an n x n matrix. */
+    double decomposeCycles(int n) const;
+
+    /** Inverse: diagonal reciprocals + specialized 6x6 core. */
+    double inverseBlockStructuredCycles(int diag_n, int dense_n) const;
+
+    /** Transpose of an m x n matrix (B elements per cycle). */
+    double transposeCycles(int m, int n) const;
+
+    /** Forward+backward substitution: n x n triangular, r right sides. */
+    double substituteCycles(int n, int r) const;
+
+    // --- Kernel compositions. -----------------------------------------
+
+    /**
+     * Registration projection kernel: 3x4 camera matrix times M
+     * homogeneous map points (Tbl. I: multiplication only).
+     */
+    AccelKernelCost projection(int map_points) const;
+
+    /**
+     * VIO Kalman-gain kernel for an H of @p rows x @p dim over a
+     * covariance of @p dim x @p dim (Equ. 1): two multiplies, one
+     * decomposition, forward/backward substitution, one transpose.
+     * The symmetric-S optimization halves the S-forming multiply.
+     */
+    AccelKernelCost kalmanGain(int rows, int dim) const;
+
+    /**
+     * SLAM marginalization kernel: Amm is (3*landmarks + 6) square with
+     * the diagonal+6x6 structure; the remaining block is 6 wide. All
+     * five primitives participate (Tbl. I).
+     */
+    AccelKernelCost marginalization(int landmarks) const;
+
+    /** DMA time for @p bytes over the platform link. */
+    double dmaMs(double bytes) const;
+
+    const AcceleratorConfig &config() const { return cfg_; }
+
+  private:
+    double cyclesToMs(double cycles) const
+    {
+        return cycles / (cfg_.clock_mhz * 1e3);
+    }
+
+    AcceleratorConfig cfg_;
+    bool exploit_symmetry_;
+};
+
+} // namespace edx

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Accelerator platform configurations (Sec. VII-A of the paper).
+ *
+ * Two instantiations of the same design:
+ *  - EDX-CAR: Virtex-7 class FPGA beside a PC host, PCIe 3.0 link
+ *    (7.9 GB/s), 1280x720 input, larger matrix unit.
+ *  - EDX-DRONE: Zynq UltraScale+ class SoC, AXI4 link (1.2 GB/s),
+ *    640x480 input, smaller matrix unit.
+ *
+ * Cycle/power constants are engineering estimates for the respective
+ * FPGA families; every comparison in the benches uses the *model*, so
+ * the constants determine absolute numbers but not the qualitative
+ * shape (who wins, where the offload crossover sits).
+ */
+#pragma once
+
+#include <string>
+
+namespace edx {
+
+/** One accelerator platform instantiation. */
+struct AcceleratorConfig
+{
+    std::string name;
+
+    // Clocking and link.
+    double clock_mhz = 200.0;       //!< accelerator fabric clock
+    double dma_bandwidth_gbs = 7.9; //!< host link bandwidth, GB/s
+    double dma_latency_us = 25.0;   //!< fixed per-transfer latency
+
+    // Input geometry.
+    int image_width = 1280;
+    int image_height = 720;
+
+    // Compute-unit shapes.
+    int matrix_block = 16;   //!< B of the BxB MAC array (backend)
+    int sad_lanes = 16;      //!< parallel SAD lanes (DR task)
+    int lk_lanes = 16;       //!< parallel LK window lanes (TM block)
+    int fc_samplers = 8;     //!< parallel BRIEF pattern samplers
+
+    // Power model, watts.
+    double fpga_static_w = 2.5;
+    double fpga_dynamic_w = 6.0;  //!< when the accelerator is busy
+    double cpu_active_w = 18.0;   //!< host CPU while computing
+    double cpu_idle_w = 4.0;
+
+    /** EDX-CAR: Virtex-7 + PC host (PCIe 3.0). */
+    static AcceleratorConfig
+    car()
+    {
+        AcceleratorConfig c;
+        c.name = "EDX-CAR";
+        c.clock_mhz = 200.0;
+        c.dma_bandwidth_gbs = 7.9;
+        c.dma_latency_us = 25.0;
+        c.image_width = 1280;
+        c.image_height = 720;
+        c.matrix_block = 16;
+        c.sad_lanes = 16;
+        c.lk_lanes = 16;
+        c.fc_samplers = 8;
+        c.fpga_static_w = 3.5;
+        c.fpga_dynamic_w = 8.0;
+        c.cpu_active_w = 22.0;
+        c.cpu_idle_w = 5.0;
+        return c;
+    }
+
+    /** EDX-DRONE: Zynq UltraScale+ (AXI4 on-chip link). */
+    static AcceleratorConfig
+    drone()
+    {
+        AcceleratorConfig c;
+        c.name = "EDX-DRONE";
+        c.clock_mhz = 150.0;
+        c.dma_bandwidth_gbs = 1.2;
+        c.dma_latency_us = 5.0;
+        c.image_width = 640;
+        c.image_height = 480;
+        c.matrix_block = 8;
+        c.sad_lanes = 8;
+        c.lk_lanes = 8;
+        c.fc_samplers = 4;
+        c.fpga_static_w = 1.8;
+        c.fpga_dynamic_w = 3.2;
+        c.cpu_active_w = 7.5; // embedded ARM class
+        c.cpu_idle_w = 1.5;
+        return c;
+    }
+};
+
+} // namespace edx

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-frame energy model (Fig. 19 of the paper).
+ *
+ * Baseline (software only): the host CPU is active for the whole frame
+ * computation. Accelerated (EUDOXUS): the CPU is active only for the
+ * non-offloaded portion, the FPGA burns static power for the whole
+ * frame interval plus dynamic power while its units are busy.
+ */
+#pragma once
+
+#include "hw/config.hpp"
+
+namespace edx {
+
+/** Energy of one frame, joules. */
+struct FrameEnergy
+{
+    double cpu_j = 0.0;
+    double fpga_j = 0.0;
+
+    double totalJ() const { return cpu_j + fpga_j; }
+};
+
+/** The energy model. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const AcceleratorConfig &cfg) : cfg_(cfg) {}
+
+    /** Baseline: all-software frame of @p cpu_ms total latency. */
+    FrameEnergy
+    baseline(double cpu_ms) const
+    {
+        FrameEnergy e;
+        e.cpu_j = cfg_.cpu_active_w * cpu_ms * 1e-3;
+        return e;
+    }
+
+    /**
+     * Accelerated frame.
+     * @param cpu_active_ms host compute not offloaded
+     * @param accel_busy_ms time accelerator units are switching
+     * @param frame_ms total frame wall-clock (static power window)
+     */
+    FrameEnergy
+    accelerated(double cpu_active_ms, double accel_busy_ms,
+                double frame_ms) const
+    {
+        FrameEnergy e;
+        e.cpu_j = (cfg_.cpu_active_w * cpu_active_ms +
+                   cfg_.cpu_idle_w * (frame_ms - cpu_active_ms)) *
+                  1e-3;
+        e.fpga_j = (cfg_.fpga_static_w * frame_ms +
+                    cfg_.fpga_dynamic_w * accel_busy_ms) *
+                   1e-3;
+        return e;
+    }
+
+  private:
+    AcceleratorConfig cfg_;
+};
+
+} // namespace edx

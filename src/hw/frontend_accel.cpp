@@ -1,0 +1,51 @@
+#include "hw/frontend_accel.hpp"
+
+namespace edx {
+
+FrontendAccelTiming
+FrontendAccelerator::model(const FrontendWorkload &w) const
+{
+    FrontendAccelTiming t;
+
+    // FD + IF: a fused stencil pipeline consuming one pixel per cycle
+    // (line buffers feed both the FAST ring test and the Gaussian
+    // window). The single FE instance is time-shared across the two
+    // camera streams, so both images pass through sequentially.
+    const double pixels = static_cast<double>(w.image_pixels);
+    t.fd_if_ms = cyclesToMs(2.0 * pixels);
+
+    // FC: per feature, orientation (circular moment accumulation) plus
+    // the 256 rotated-BRIEF comparisons, parallelized across the
+    // configured sampler lanes. ~(moment + 2*256/samplers) cycles.
+    const double fc_cycles_per_feature =
+        96.0 + 2.0 * 256.0 / cfg_.fc_samplers;
+    t.fc_ms = cyclesToMs(fc_cycles_per_feature *
+                         (w.left_features + w.right_features));
+
+    // MO: one 256-bit XOR+popcount per candidate pair per cycle.
+    const double mo_candidates = static_cast<double>(w.stereo_candidates);
+    t.mo_ms = cyclesToMs(mo_candidates);
+
+    // DR: block matching re-streams both raw images through the DR
+    // stencil buffer (the second DRAM read of Sec. V-C) at an amortized
+    // 2 pixels/cycle/image including window overlap, then evaluates the
+    // (2*4+1)^2 SAD window at 7 disparity taps around each proposed
+    // match on the SAD lanes. This is what makes SM the longest block
+    // (roughly 2-3x the FE latency, Sec. V-B) and the frontend
+    // throughput limiter.
+    const double dr_stream_cycles = 4.0 * pixels;
+    const double dr_cycles_per_match = 81.0 * 7.0 / cfg_.sad_lanes + 8.0;
+    t.dr_ms = cyclesToMs(dr_stream_cycles +
+                         dr_cycles_per_match * w.stereo_matches);
+
+    // TM: per tracked feature, LK window gradient + iterations. The
+    // derivative and update accumulations stream through the LK lanes:
+    // 15x15 window x ~6 iterations x 3 levels.
+    const double tm_cycles_per_track =
+        225.0 * 6.0 * 3.0 / cfg_.lk_lanes + 32.0;
+    t.tm_ms = cyclesToMs(tm_cycles_per_track * w.temporal_tracks);
+
+    return t;
+}
+
+} // namespace edx

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Frontend accelerator timing model (Sec. V of the paper).
+ *
+ * Models the task-level pipeline of Fig. 12 at cycle granularity:
+ *
+ *   FD/IF (fused pixel pipeline) -> FC --+--> MO -> DR   (critical path)
+ *                                        +--> DC -> LSS  (hidden)
+ *
+ * with the two design decisions of Sec. V-B:
+ *  - the feature-extraction hardware is time-shared between the left
+ *    and right streams (FE processes raw pixels, so one instance
+ *    suffices without hurting throughput);
+ *  - FE and SM are pipelined, so steady-state throughput is set by
+ *    max(FE, SM) rather than FE + SM.
+ *
+ * Inputs are the actual per-frame workloads recorded by the software
+ * frontend (pixels, features, match candidates), so accelerator latency
+ * varies frame to frame exactly as the real workload does.
+ */
+#pragma once
+
+#include "frontend/frontend.hpp"
+#include "hw/config.hpp"
+
+namespace edx {
+
+/** Modeled accelerator latency of one frontend frame, milliseconds. */
+struct FrontendAccelTiming
+{
+    double fd_if_ms = 0.0; //!< fused detection+filter pixel pipeline
+    double fc_ms = 0.0;    //!< descriptor calculation
+    double mo_ms = 0.0;    //!< stereo matching optimization
+    double dr_ms = 0.0;    //!< disparity refinement
+    double tm_ms = 0.0;    //!< temporal matching (DC + LSS)
+
+    /** FE block (both images through the time-shared pipeline). */
+    double feBlock() const { return fd_if_ms + fc_ms; }
+    /** SM block. */
+    double smBlock() const { return mo_ms + dr_ms; }
+
+    /**
+     * Frame latency: FE then SM (TM runs concurrently with SM and is
+     * 10x+ shorter, Sec. V-B, so it never surfaces on the critical
+     * path).
+     */
+    double latencyMs() const { return feBlock() + smBlock(); }
+
+    /** Steady-state throughput with FE/SM pipelining, frames/s. */
+    double
+    pipelinedFps() const
+    {
+        double bottleneck = feBlock() > smBlock() ? feBlock() : smBlock();
+        return bottleneck > 0.0 ? 1000.0 / bottleneck : 0.0;
+    }
+
+    /** Throughput without pipelining, frames/s. */
+    double
+    unpipelinedFps() const
+    {
+        return latencyMs() > 0.0 ? 1000.0 / latencyMs() : 0.0;
+    }
+};
+
+/** The frontend accelerator model. */
+class FrontendAccelerator
+{
+  public:
+    explicit FrontendAccelerator(const AcceleratorConfig &cfg)
+        : cfg_(cfg)
+    {}
+
+    /** Models one frame given the measured software workload. */
+    FrontendAccelTiming model(const FrontendWorkload &w) const;
+
+    const AcceleratorConfig &config() const { return cfg_; }
+
+  private:
+    double cyclesToMs(double cycles) const
+    {
+        return cycles / (cfg_.clock_mhz * 1e3);
+    }
+
+    AcceleratorConfig cfg_;
+};
+
+} // namespace edx

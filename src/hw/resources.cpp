@@ -1,0 +1,51 @@
+#include "hw/resources.hpp"
+
+namespace edx {
+
+ResourceReport
+buildResourceReport(const AcceleratorConfig &cfg)
+{
+    ResourceReport report;
+    const bool car = cfg.image_width >= 1000;
+    report.part = car ? FpgaPart::virtex7() : FpgaPart::zynqUltrascale();
+
+    // Per-resource scale of the drone instantiation relative to the car
+    // (smaller line buffers, narrower matrix unit, fewer lanes).
+    const double s_lut = car ? 1.0 : 0.66;
+    const double s_ff = car ? 1.0 : 0.715;
+    const double s_dsp = car ? 1.0 : 0.835;
+    const double s_bram = car ? 1.0 : 0.734;
+    auto scaled = [&](double lut, double ff, double dsp, double bram) {
+        return ResourceVector{lut * s_lut, ff * s_ff, dsp * s_dsp,
+                              bram * s_bram};
+    };
+
+    // Unit costs (engineering estimates, car-scale baseline). The
+    // "unshared" column instantiates the frontend once per backend mode
+    // and the backend matrix blocks once per kernel that uses them
+    // (Tbl. I: mult x3, decomp x2, transpose x2, substitution x2,
+    // inverse x1).
+    report.items = {
+        {"FE (FD+IF+FC)", scaled(190000, 120000, 700, 2.60), 1, 3},
+        {"SM (MO+DR)", scaled(55000, 40000, 180, 0.80), 1, 3},
+        {"TM (DC+LSS)", scaled(25000, 18000, 90, 0.25), 1, 3},
+        {"Mat. multiply", scaled(30000, 25000, 200, 0.50), 1, 3},
+        {"Mat. decompose", scaled(18000, 12000, 60, 0.30), 1, 2},
+        {"Mat. inverse", scaled(8000, 6000, 30, 0.10), 1, 1},
+        {"Mat. transpose", scaled(4000, 3000, 0, 0.15), 1, 2},
+        {"Fwd/Bwd subst.", scaled(10000, 8000, 24, 0.20), 1, 2},
+        {"Control + DMA", scaled(12000, 8000, 0, 0.10), 1, 3},
+    };
+
+    for (const ResourceItem &item : report.items) {
+        report.shared_total += item.cost * item.shared_instances;
+        report.unshared_total += item.cost * item.unshared_instances;
+    }
+    // Frontend share of the shared design (first three items).
+    for (int i = 0; i < 3; ++i)
+        report.frontend_total += report.items[i].cost;
+    report.fe_block_total = report.items[0].cost;
+    return report;
+}
+
+} // namespace edx

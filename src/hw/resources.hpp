@@ -1,0 +1,102 @@
+/**
+ * @file
+ * FPGA resource model (Tbl. II of the paper).
+ *
+ * Per-unit LUT/FF/DSP/BRAM estimates for every hardware unit in the
+ * design, with two aggregation modes:
+ *
+ *  - shared: the actual EUDOXUS design - one frontend (FE time-shared
+ *    across the stereo pair) and one set of backend matrix blocks
+ *    reused by all three modes;
+ *  - not shared ("N.S." in Tbl. II): the hypothetical design that
+ *    instantiates per-stream FE and per-kernel backend logic, which
+ *    more than doubles every resource class and overflows the target
+ *    parts.
+ *
+ * Unit costs are engineering estimates scaled by the platform's unit
+ * shapes; the headline observation (sharing halves resources; the
+ * frontend dominates; feature extraction dominates the frontend) is
+ * structural and does not depend on the exact constants.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/config.hpp"
+
+namespace edx {
+
+/** One FPGA resource bundle. */
+struct ResourceVector
+{
+    double lut = 0.0;
+    double ff = 0.0;
+    double dsp = 0.0;
+    double bram_mb = 0.0;
+
+    ResourceVector &
+    operator+=(const ResourceVector &o)
+    {
+        lut += o.lut;
+        ff += o.ff;
+        dsp += o.dsp;
+        bram_mb += o.bram_mb;
+        return *this;
+    }
+
+    ResourceVector
+    operator*(double s) const
+    {
+        return {lut * s, ff * s, dsp * s, bram_mb * s};
+    }
+};
+
+/** A named unit with its cost and replication factors. */
+struct ResourceItem
+{
+    std::string name;
+    ResourceVector cost;     //!< one instance
+    int shared_instances;    //!< count in the shared design
+    int unshared_instances;  //!< count in the N.S. design
+};
+
+/** Capacities of the target FPGA parts. */
+struct FpgaPart
+{
+    std::string name;
+    double lut;
+    double ff;
+    double dsp;
+    double bram_mb;
+
+    static FpgaPart
+    virtex7()
+    {
+        // XC7V690T: 433k LUT, 866k FF, 3600 DSP, 52.9 Mb BRAM.
+        return {"Virtex-7 690T", 433200, 866400, 3600, 52.9 / 8.0};
+    }
+
+    static FpgaPart
+    zynqUltrascale()
+    {
+        // ZU9EG class: 274k LUT, 548k FF, 2520 DSP, 32.1 Mb BRAM.
+        return {"Zynq US+ ZU9", 274080, 548160, 2520, 32.1 / 8.0};
+    }
+};
+
+/** Full resource report for one platform. */
+struct ResourceReport
+{
+    std::vector<ResourceItem> items;
+    ResourceVector shared_total;
+    ResourceVector unshared_total;
+    ResourceVector frontend_total;  //!< shared-design frontend share
+    ResourceVector fe_block_total;  //!< feature extraction alone
+    FpgaPart part;
+};
+
+/** Builds the resource report for a platform configuration. */
+ResourceReport buildResourceReport(const AcceleratorConfig &cfg);
+
+} // namespace edx

@@ -1,0 +1,76 @@
+#include "hw/stencil.hpp"
+
+#include <algorithm>
+
+namespace edx {
+
+StencilPlan
+planStencilBuffers(int width, int height,
+                   const std::vector<StencilConsumer> &consumers)
+{
+    StencilPlan plan;
+    if (consumers.empty())
+        return plan;
+
+    // Shared SB: one buffer must hold every pixel from production until
+    // its *last* consumption. At one pixel per cycle, the occupancy is
+    // the maximum consumption delay plus the live window lines.
+    double max_delay = 0.0;
+    int max_rows = 0;
+    for (const StencilConsumer &c : consumers) {
+        max_delay = std::max(max_delay, c.delay_cycles);
+        max_rows = std::max(max_rows, c.window_rows);
+    }
+    plan.shared_bytes =
+        max_delay + static_cast<double>(max_rows) * width;
+
+    // Replicated SBs: consumers whose delays sit within a few lines of
+    // each other share one SB (FD and IF both tap the pixel stream at
+    // production time, Fig. 13); each later group re-reads the image
+    // from DRAM and carries only its own window lines (Fig. 14).
+    std::vector<StencilConsumer> sorted = consumers;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const StencilConsumer &a, const StencilConsumer &b) {
+                  return a.delay_cycles < b.delay_cycles;
+              });
+    const double group_gap = 16.0 * width; // "nearby" = within 16 lines
+    double total = 0.0;
+    int groups = 0;
+    size_t i = 0;
+    while (i < sorted.size()) {
+        double group_start = sorted[i].delay_cycles;
+        int rows = 0;
+        while (i < sorted.size() &&
+               sorted[i].delay_cycles - group_start <= group_gap) {
+            rows = std::max(rows, sorted[i].window_rows);
+            ++i;
+        }
+        total += static_cast<double>(rows) * width;
+        ++groups;
+    }
+    plan.replicated_bytes = total;
+    plan.extra_dram_reads = static_cast<double>(groups - 1) *
+                            static_cast<double>(width) * height;
+    plan.replication_wins = plan.replicated_bytes < plan.shared_bytes;
+    return plan;
+}
+
+std::vector<StencilConsumer>
+frontendStencilConsumers(const AcceleratorConfig &cfg)
+{
+    const double pixels = static_cast<double>(cfg.image_width) *
+                          cfg.image_height;
+    return {
+        // IF: 7x7 separable Gaussian, consumes pixels as they stream.
+        {"IF", 7, 7.0 * cfg.image_width},
+        // FD: FAST ring needs a 7-line window, also immediate.
+        {"FD", 7, 7.0 * cfg.image_width},
+        // DR: block matching re-reads the raw image after FD/FC/MO have
+        // completed - several million cycles later for 720p streams
+        // (Sec. VII-D: "a pixel would stay in the SB for over 3 million
+        // cycles").
+        {"DR", 9, 3.5 * pixels},
+    };
+}
+
+} // namespace edx

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Stencil-buffer sizing model (Sec. V-C, Figs. 13-14).
+ *
+ * A stencil buffer (SB) is a chain of line FIFOs feeding shift
+ * registers. Its size is dictated by the production-to-consumption
+ * distance of a pixel: if a pixel enters at cycle P and is consumed by
+ * two operations at cycles C1 and C2, a shared SB needs
+ * max(C1, C2) - P entries. When the consumers are far apart (IF/FD
+ * consume a pixel immediately; DR consumes the same image millions of
+ * cycles later), replicating the pixel into two SBs - at the cost of a
+ * second DRAM read - shrinks total on-chip storage from (C2 - P) to
+ * (C1 - P) + (C2 - P2), where P2 is the cycle of the second read just
+ * before DR.
+ *
+ * This module computes both layouts so the ablation bench can reproduce
+ * the "~9 MB without the optimization" observation of Sec. VII-D.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/config.hpp"
+
+namespace edx {
+
+/** One stencil consumer of an image stream. */
+struct StencilConsumer
+{
+    std::string name;
+    int window_rows;        //!< stencil height (lines that must be live)
+    double delay_cycles;    //!< consumption delay after pixel production
+};
+
+/** Sizing result for one image stream. */
+struct StencilPlan
+{
+    double shared_bytes = 0.0;     //!< single shared SB
+    double replicated_bytes = 0.0; //!< per-consumer SBs (Fig. 14)
+    double extra_dram_reads = 0.0; //!< pixels re-read under replication
+    bool replication_wins = false;
+};
+
+/**
+ * Sizes the stencil buffering of one image stream.
+ *
+ * Consumers whose delays are within a few lines of each other share a
+ * replicated SB (like FD and IF in Fig. 13); each group beyond the
+ * first re-reads the full image from DRAM (Fig. 14).
+ *
+ * @param width image width in pixels (one byte per pixel)
+ * @param height image height in pixels
+ * @param consumers stencil consumers ordered by delay
+ */
+StencilPlan planStencilBuffers(int width, int height,
+                               const std::vector<StencilConsumer> &consumers);
+
+/**
+ * The frontend's stencil consumers for a platform: IF and FD consume
+ * pixels as they stream in; DR re-reads the raw image after MO has
+ * produced candidate matches (a delay of roughly one full image plus
+ * the MO stage).
+ */
+std::vector<StencilConsumer> frontendStencilConsumers(
+    const AcceleratorConfig &cfg);
+
+} // namespace edx

@@ -1,0 +1,80 @@
+#include "image/draw.hpp"
+
+namespace edx {
+
+void
+fillNoisyBackground(ImageU8 &img, double mean, double sigma, Rng &rng)
+{
+    for (int y = 0; y < img.height(); ++y) {
+        uint8_t *row = img.rowPtr(y);
+        for (int x = 0; x < img.width(); ++x) {
+            double v = rng.gaussian(mean, sigma);
+            row[x] = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+        }
+    }
+}
+
+void
+drawTexturedPatch(ImageU8 &img, double cx, double cy, int half_size,
+                  uint32_t texture_id, int brightness)
+{
+    const int icx = static_cast<int>(std::lround(cx));
+    const int icy = static_cast<int>(std::lround(cy));
+    // A small deterministic hash drives the texture so that the same
+    // landmark looks the same from every viewpoint.
+    auto hash = [texture_id](int u, int v) {
+        uint32_t h = texture_id * 2654435761u;
+        h ^= static_cast<uint32_t>(u * 73856093) ^
+             static_cast<uint32_t>(v * 19349663);
+        h ^= h >> 13;
+        h *= 0x5bd1e995u;
+        h ^= h >> 15;
+        return h;
+    };
+    for (int dy = -half_size; dy <= half_size; ++dy) {
+        for (int dx = -half_size; dx <= half_size; ++dx) {
+            int x = icx + dx, y = icy + dy;
+            if (!img.contains(x, y))
+                continue;
+            // Coarse 3x3 cells give strong corners; the hash picks each
+            // cell's tone; a radial falloff avoids a hard square edge
+            // dominating the descriptor.
+            int cu = (dx + half_size) / 3;
+            int cv = (dy + half_size) / 3;
+            int tone = static_cast<int>(hash(cu, cv) % 160) - 80;
+            double r2 = static_cast<double>(dx * dx + dy * dy) /
+                        (half_size * half_size + 1.0);
+            double fall = r2 > 1.0 ? 0.0 : 1.0 - 0.3 * r2;
+            int v = static_cast<int>((brightness + tone) * fall);
+            img.at(x, y) = static_cast<uint8_t>(std::clamp(v, 0, 255));
+        }
+    }
+}
+
+void
+addPixelNoise(ImageU8 &img, double sigma, Rng &rng)
+{
+    if (sigma <= 0.0)
+        return;
+    for (int y = 0; y < img.height(); ++y) {
+        uint8_t *row = img.rowPtr(y);
+        for (int x = 0; x < img.width(); ++x) {
+            double v = std::round(row[x] + rng.gaussian(0.0, sigma));
+            row[x] = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+        }
+    }
+}
+
+void
+scaleBrightness(ImageU8 &img, double gain)
+{
+    for (int y = 0; y < img.height(); ++y) {
+        uint8_t *row = img.rowPtr(y);
+        for (int x = 0; x < img.width(); ++x) {
+            double v = row[x] * gain;
+            row[x] = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+        }
+    }
+}
+
+} // namespace edx

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Drawing primitives for the synthetic stereo renderer.
+ *
+ * The dataset substitution (DESIGN.md Sec. 2) renders landmark fields
+ * into real grayscale images; these helpers produce the textured blobs
+ * and backgrounds that give FAST/ORB/LK realistic material to work on.
+ */
+#pragma once
+
+#include "image/image.hpp"
+#include "math/rng.hpp"
+
+namespace edx {
+
+/** Fills @p img with mid-gray plus per-pixel Gaussian noise. */
+void fillNoisyBackground(ImageU8 &img, double mean, double sigma, Rng &rng);
+
+/**
+ * Draws a textured square patch centered at (cx, cy). The patch carries
+ * a deterministic checker-plus-gradient texture derived from @p texture_id
+ * so each landmark has a distinctive, corner-rich appearance that ORB can
+ * describe and match across views.
+ *
+ * @param img destination image
+ * @param cx, cy patch center in pixels (sub-pixel positions are rounded)
+ * @param half_size half of the square's side length in pixels
+ * @param texture_id deterministic texture selector
+ * @param brightness base intensity of the patch (0-255)
+ */
+void drawTexturedPatch(ImageU8 &img, double cx, double cy, int half_size,
+                       uint32_t texture_id, int brightness);
+
+/** Adds zero-mean Gaussian noise to every pixel (sensor/shot noise). */
+void addPixelNoise(ImageU8 &img, double sigma, Rng &rng);
+
+/**
+ * Applies a global illumination scale, clamping to [0, 255]; models the
+ * changing outdoor lighting the paper cites as a SLAM failure source.
+ */
+void scaleBrightness(ImageU8 &img, double gain);
+
+} // namespace edx

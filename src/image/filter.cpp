@@ -1,0 +1,118 @@
+#include "image/filter.hpp"
+
+#include <array>
+
+namespace edx {
+
+namespace {
+
+/** Fixed 7-tap Gaussian (sigma = 1.5), normalized to sum 1. */
+constexpr int kR = kGaussianKernelSize / 2;
+
+std::array<float, kGaussianKernelSize>
+gaussianKernel()
+{
+    std::array<float, kGaussianKernelSize> k{};
+    const float sigma = 1.5f;
+    float sum = 0.0f;
+    for (int i = -kR; i <= kR; ++i) {
+        float v = std::exp(-0.5f * i * i / (sigma * sigma));
+        k[i + kR] = v;
+        sum += v;
+    }
+    for (float &v : k)
+        v /= sum;
+    return k;
+}
+
+template <typename T>
+Image<float>
+separableBlur(const Image<T> &in)
+{
+    const auto k = gaussianKernel();
+    const int w = in.width(), h = in.height();
+    Image<float> tmp(w, h), out(w, h);
+
+    // Horizontal pass with edge clamping.
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            float s = 0.0f;
+            for (int i = -kR; i <= kR; ++i)
+                s += k[i + kR] *
+                     static_cast<float>(in.atClamped(x + i, y));
+            tmp.at(x, y) = s;
+        }
+    }
+    // Vertical pass.
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            float s = 0.0f;
+            for (int i = -kR; i <= kR; ++i)
+                s += k[i + kR] * tmp.atClamped(x, y + i);
+            out.at(x, y) = s;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+ImageU8
+gaussianBlur(const ImageU8 &in)
+{
+    return toU8(separableBlur(in));
+}
+
+ImageF
+gaussianBlur(const ImageF &in)
+{
+    return separableBlur(in);
+}
+
+ImageU8
+boxBlur(const ImageU8 &in, int r)
+{
+    assert(r >= 0);
+    const int w = in.width(), h = in.height();
+    ImageU8 out(w, h);
+    const int count = (2 * r + 1) * (2 * r + 1);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            int s = 0;
+            for (int dy = -r; dy <= r; ++dy)
+                for (int dx = -r; dx <= r; ++dx)
+                    s += in.atClamped(x + dx, y + dy);
+            out.at(x, y) = static_cast<uint8_t>((s + count / 2) / count);
+        }
+    }
+    return out;
+}
+
+Gradients
+scharrGradients(const ImageU8 &in)
+{
+    const int w = in.width(), h = in.height();
+    Gradients g{ImageF(w, h), ImageF(w, h)};
+    // Scharr 3x3: (3, 10, 3) smoothing x (-1, 0, 1) derivative, /32.
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            float p00 = in.atClamped(x - 1, y - 1);
+            float p10 = in.atClamped(x, y - 1);
+            float p20 = in.atClamped(x + 1, y - 1);
+            float p01 = in.atClamped(x - 1, y);
+            float p21 = in.atClamped(x + 1, y);
+            float p02 = in.atClamped(x - 1, y + 1);
+            float p12 = in.atClamped(x, y + 1);
+            float p22 = in.atClamped(x + 1, y + 1);
+            g.gx.at(x, y) =
+                (3 * (p20 - p00) + 10 * (p21 - p01) + 3 * (p22 - p02)) /
+                32.0f;
+            g.gy.at(x, y) =
+                (3 * (p02 - p00) + 10 * (p12 - p10) + 3 * (p22 - p20)) /
+                32.0f;
+        }
+    }
+    return g;
+}
+
+} // namespace edx

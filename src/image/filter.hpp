@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Image filtering: separable Gaussian blur, box filter, and Scharr
+ * gradients.
+ *
+ * These are the "Image Filtering (IF)" and "Derivatives Calculation (DC)"
+ * tasks of the frontend accelerator pipeline (Fig. 12). The stencil sizes
+ * used here (Gaussian 7x1 separable, Scharr 3x3) are the sizes the
+ * stencil-buffer model in src/hw sizes its line buffers for.
+ */
+#pragma once
+
+#include "image/image.hpp"
+
+namespace edx {
+
+/** Width of the separable Gaussian kernel used by the frontend (odd). */
+inline constexpr int kGaussianKernelSize = 7;
+
+/**
+ * Separable Gaussian blur with the frontend's fixed 7-tap kernel
+ * (sigma = 1.5). Edges are handled by clamping.
+ */
+ImageU8 gaussianBlur(const ImageU8 &in);
+
+/** Gaussian blur on a float image (same kernel). */
+ImageF gaussianBlur(const ImageF &in);
+
+/** Box blur with a (2r+1)^2 window. */
+ImageU8 boxBlur(const ImageU8 &in, int r);
+
+/** Horizontal and vertical image gradients. */
+struct Gradients
+{
+    ImageF gx;
+    ImageF gy;
+};
+
+/**
+ * 3x3 Scharr gradients (normalized by 1/32) of an 8-bit image; used by
+ * Lucas-Kanade temporal matching.
+ */
+Gradients scharrGradients(const ImageU8 &in);
+
+} // namespace edx

@@ -1,0 +1,67 @@
+#include "image/image.hpp"
+
+namespace edx {
+
+ImageF
+toFloat(const ImageU8 &in)
+{
+    ImageF out(in.width(), in.height());
+    for (int y = 0; y < in.height(); ++y) {
+        const uint8_t *src = in.rowPtr(y);
+        float *dst = out.rowPtr(y);
+        for (int x = 0; x < in.width(); ++x)
+            dst[x] = static_cast<float>(src[x]);
+    }
+    return out;
+}
+
+ImageU8
+toU8(const ImageF &in)
+{
+    ImageU8 out(in.width(), in.height());
+    for (int y = 0; y < in.height(); ++y) {
+        const float *src = in.rowPtr(y);
+        uint8_t *dst = out.rowPtr(y);
+        for (int x = 0; x < in.width(); ++x) {
+            float v = std::round(src[x]);
+            dst[x] = static_cast<uint8_t>(std::clamp(v, 0.0f, 255.0f));
+        }
+    }
+    return out;
+}
+
+ImageU8
+halfScale(const ImageU8 &in)
+{
+    int w = in.width() / 2;
+    int h = in.height() / 2;
+    ImageU8 out(w, h);
+    for (int y = 0; y < h; ++y) {
+        const uint8_t *r0 = in.rowPtr(2 * y);
+        const uint8_t *r1 = in.rowPtr(2 * y + 1);
+        uint8_t *dst = out.rowPtr(y);
+        for (int x = 0; x < w; ++x) {
+            int s = r0[2 * x] + r0[2 * x + 1] + r1[2 * x] + r1[2 * x + 1];
+            dst[x] = static_cast<uint8_t>((s + 2) / 4);
+        }
+    }
+    return out;
+}
+
+double
+meanAbsDifference(const ImageU8 &a, const ImageU8 &b)
+{
+    assert(a.width() == b.width() && a.height() == b.height());
+    if (a.empty())
+        return 0.0;
+    double s = 0.0;
+    for (int y = 0; y < a.height(); ++y) {
+        const uint8_t *ra = a.rowPtr(y);
+        const uint8_t *rb = b.rowPtr(y);
+        for (int x = 0; x < a.width(); ++x)
+            s += std::abs(static_cast<int>(ra[x]) - static_cast<int>(rb[x]));
+    }
+    return s / static_cast<double>(a.pixelCount());
+}
+
+} // namespace edx

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Dense 2-D images.
+ *
+ * The vision frontend (Sec. V of the paper) consumes 8-bit grayscale
+ * stereo pairs; intermediate filter and gradient products use float
+ * images. Pixels are stored row-major; (x, y) indexing follows the usual
+ * image convention of x == column, y == row.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace edx {
+
+/** Row-major 2-D image with value type @p T. */
+template <typename T>
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Creates a @p w x @p h image initialized to @p fill. */
+    Image(int w, int h, T fill = T{})
+        : w_(w), h_(h), d_(static_cast<size_t>(w) * h, fill)
+    {
+        assert(w >= 0 && h >= 0);
+    }
+
+    int width() const { return w_; }
+    int height() const { return h_; }
+    bool empty() const { return d_.empty(); }
+
+    /** Total number of pixels. */
+    long pixelCount() const { return static_cast<long>(w_) * h_; }
+
+    T &
+    at(int x, int y)
+    {
+        assert(contains(x, y));
+        return d_[static_cast<size_t>(y) * w_ + x];
+    }
+
+    T
+    at(int x, int y) const
+    {
+        assert(contains(x, y));
+        return d_[static_cast<size_t>(y) * w_ + x];
+    }
+
+    /** Clamped read: coordinates outside the image are clamped to edge. */
+    T
+    atClamped(int x, int y) const
+    {
+        x = std::clamp(x, 0, w_ - 1);
+        y = std::clamp(y, 0, h_ - 1);
+        return at(x, y);
+    }
+
+    /** @return true when (x, y) is inside the image bounds. */
+    bool
+    contains(int x, int y) const
+    {
+        return x >= 0 && x < w_ && y >= 0 && y < h_;
+    }
+
+    /** @return true when (x, y) is at least @p border pixels inside. */
+    bool
+    containsWithBorder(double x, double y, int border) const
+    {
+        return x >= border && x < w_ - border &&
+               y >= border && y < h_ - border;
+    }
+
+    /**
+     * Bilinear interpolation at sub-pixel (x, y); coordinates are clamped
+     * to the valid interpolation domain.
+     */
+    double
+    sampleBilinear(double x, double y) const
+    {
+        x = std::clamp(x, 0.0, static_cast<double>(w_ - 1) - 1e-9);
+        y = std::clamp(y, 0.0, static_cast<double>(h_ - 1) - 1e-9);
+        int x0 = static_cast<int>(x);
+        int y0 = static_cast<int>(y);
+        double fx = x - x0;
+        double fy = y - y0;
+        double v00 = at(x0, y0);
+        double v10 = at(std::min(x0 + 1, w_ - 1), y0);
+        double v01 = at(x0, std::min(y0 + 1, h_ - 1));
+        double v11 = at(std::min(x0 + 1, w_ - 1), std::min(y0 + 1, h_ - 1));
+        return v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) +
+               v01 * (1 - fx) * fy + v11 * fx * fy;
+    }
+
+    /** Fills the whole image with @p v. */
+    void fill(T v) { std::fill(d_.begin(), d_.end(), v); }
+
+    const T *data() const { return d_.data(); }
+    T *data() { return d_.data(); }
+
+    /** Raw pointer to the start of row @p y. */
+    const T *rowPtr(int y) const { return d_.data() + static_cast<size_t>(y) * w_; }
+    T *rowPtr(int y) { return d_.data() + static_cast<size_t>(y) * w_; }
+
+  private:
+    int w_ = 0;
+    int h_ = 0;
+    std::vector<T> d_;
+};
+
+using ImageU8 = Image<uint8_t>;
+using ImageF = Image<float>;
+
+/** Converts an 8-bit image to float. */
+ImageF toFloat(const ImageU8 &in);
+
+/** Converts a float image to 8-bit with clamping to [0, 255]. */
+ImageU8 toU8(const ImageF &in);
+
+/**
+ * Downsamples by a factor of 2 with 2x2 box averaging (used to build the
+ * optical-flow pyramid).
+ */
+ImageU8 halfScale(const ImageU8 &in);
+
+/** Mean absolute pixel difference between two equally sized images. */
+double meanAbsDifference(const ImageU8 &a, const ImageU8 &b);
+
+} // namespace edx

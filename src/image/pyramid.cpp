@@ -1,0 +1,18 @@
+#include "image/pyramid.hpp"
+
+namespace edx {
+
+Pyramid::Pyramid(const ImageU8 &base, int levels)
+{
+    assert(levels >= 1);
+    imgs_.reserve(levels);
+    imgs_.push_back(base);
+    for (int l = 1; l < levels; ++l) {
+        const ImageU8 &prev = imgs_.back();
+        if (prev.width() < 2 || prev.height() < 2)
+            break;
+        imgs_.push_back(halfScale(prev));
+    }
+}
+
+} // namespace edx

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Image pyramids for pyramidal Lucas-Kanade tracking.
+ */
+#pragma once
+
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace edx {
+
+/**
+ * A fixed-depth mean pyramid: level 0 is the input image, each further
+ * level is a 2x downsample of the previous one.
+ */
+class Pyramid
+{
+  public:
+    /** Builds a pyramid of @p levels levels (>= 1) from @p base. */
+    Pyramid(const ImageU8 &base, int levels);
+
+    int levels() const { return static_cast<int>(imgs_.size()); }
+
+    /** Image at pyramid level @p l (0 == full resolution). */
+    const ImageU8 &level(int l) const
+    {
+        assert(l >= 0 && l < levels());
+        return imgs_[l];
+    }
+
+  private:
+    std::vector<ImageU8> imgs_;
+};
+
+} // namespace edx

@@ -1,0 +1,452 @@
+#include "math/decomp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edx {
+
+Cholesky::Cholesky(const MatX &a)
+{
+    assert(a.rows() == a.cols());
+    const int n = a.rows();
+    l_ = MatX(n, n);
+    for (int j = 0; j < n; ++j) {
+        double d = a(j, j);
+        for (int k = 0; k < j; ++k)
+            d -= l_(j, k) * l_(j, k);
+        if (d <= 0.0 || !std::isfinite(d)) {
+            ok_ = false;
+            return;
+        }
+        double lj = std::sqrt(d);
+        l_(j, j) = lj;
+        for (int i = j + 1; i < n; ++i) {
+            double s = a(i, j);
+            for (int k = 0; k < j; ++k)
+                s -= l_(i, k) * l_(j, k);
+            l_(i, j) = s / lj;
+        }
+    }
+    ok_ = true;
+}
+
+VecX
+Cholesky::solve(const VecX &b) const
+{
+    assert(ok_);
+    VecX y = forwardSubstitute(l_, b);
+    // Backward substitution with L^T without materializing the transpose.
+    const int n = l_.rows();
+    VecX x(n);
+    for (int i = n - 1; i >= 0; --i) {
+        double s = y[i];
+        for (int j = i + 1; j < n; ++j)
+            s -= l_(j, i) * x[j];
+        x[i] = s / l_(i, i);
+    }
+    return x;
+}
+
+MatX
+Cholesky::solve(const MatX &b) const
+{
+    assert(ok_);
+    MatX x(b.rows(), b.cols());
+    for (int c = 0; c < b.cols(); ++c) {
+        VecX col(b.rows());
+        for (int r = 0; r < b.rows(); ++r)
+            col[r] = b(r, c);
+        VecX sol = solve(col);
+        for (int r = 0; r < b.rows(); ++r)
+            x(r, c) = sol[r];
+    }
+    return x;
+}
+
+double
+Cholesky::logDeterminant() const
+{
+    assert(ok_);
+    double s = 0.0;
+    for (int i = 0; i < l_.rows(); ++i)
+        s += std::log(l_(i, i));
+    return 2.0 * s;
+}
+
+PartialPivLU::PartialPivLU(const MatX &a)
+{
+    assert(a.rows() == a.cols());
+    const int n = a.rows();
+    lu_ = a;
+    perm_.resize(n);
+    for (int i = 0; i < n; ++i)
+        perm_[i] = i;
+
+    ok_ = true;
+    for (int k = 0; k < n; ++k) {
+        // Partial pivoting: pick the largest magnitude in column k.
+        int piv = k;
+        double best = std::abs(lu_(k, k));
+        for (int i = k + 1; i < n; ++i) {
+            double v = std::abs(lu_(i, k));
+            if (v > best) {
+                best = v;
+                piv = i;
+            }
+        }
+        if (best < 1e-300 || !std::isfinite(best)) {
+            ok_ = false;
+            return;
+        }
+        if (piv != k) {
+            for (int c = 0; c < n; ++c)
+                std::swap(lu_(k, c), lu_(piv, c));
+            std::swap(perm_[k], perm_[piv]);
+            sign_ = -sign_;
+        }
+        double inv = 1.0 / lu_(k, k);
+        for (int i = k + 1; i < n; ++i) {
+            double m = lu_(i, k) * inv;
+            lu_(i, k) = m;
+            for (int c = k + 1; c < n; ++c)
+                lu_(i, c) -= m * lu_(k, c);
+        }
+    }
+}
+
+VecX
+PartialPivLU::solve(const VecX &b) const
+{
+    assert(ok_);
+    const int n = lu_.rows();
+    assert(b.size() == n);
+    // Apply permutation, then unit-lower forward and upper backward solves.
+    VecX y(n);
+    for (int i = 0; i < n; ++i)
+        y[i] = b[perm_[i]];
+    for (int i = 0; i < n; ++i) {
+        double s = y[i];
+        for (int j = 0; j < i; ++j)
+            s -= lu_(i, j) * y[j];
+        y[i] = s;
+    }
+    VecX x(n);
+    for (int i = n - 1; i >= 0; --i) {
+        double s = y[i];
+        for (int j = i + 1; j < n; ++j)
+            s -= lu_(i, j) * x[j];
+        x[i] = s / lu_(i, i);
+    }
+    return x;
+}
+
+MatX
+PartialPivLU::solve(const MatX &b) const
+{
+    assert(ok_);
+    MatX x(b.rows(), b.cols());
+    for (int c = 0; c < b.cols(); ++c) {
+        VecX col(b.rows());
+        for (int r = 0; r < b.rows(); ++r)
+            col[r] = b(r, c);
+        VecX sol = solve(col);
+        for (int r = 0; r < b.rows(); ++r)
+            x(r, c) = sol[r];
+    }
+    return x;
+}
+
+MatX
+PartialPivLU::inverse() const
+{
+    assert(ok_);
+    return solve(MatX::identity(lu_.rows()));
+}
+
+double
+PartialPivLU::determinant() const
+{
+    if (!ok_)
+        return 0.0;
+    double d = sign_;
+    for (int i = 0; i < lu_.rows(); ++i)
+        d *= lu_(i, i);
+    return d;
+}
+
+HouseholderQR::HouseholderQR(const MatX &a)
+    : qr_(a), m_(a.rows()), n_(a.cols())
+{
+    assert(m_ >= n_);
+    beta_.assign(n_, 0.0);
+
+    for (int k = 0; k < n_; ++k) {
+        // Build the Householder vector for column k below the diagonal.
+        double norm2 = 0.0;
+        for (int i = k; i < m_; ++i)
+            norm2 += qr_(i, k) * qr_(i, k);
+        double alpha = std::sqrt(norm2);
+        if (alpha < 1e-300) {
+            beta_[k] = 0.0;
+            continue;
+        }
+        if (qr_(k, k) > 0.0)
+            alpha = -alpha;
+        double v0 = qr_(k, k) - alpha;
+        // v = (v0, a(k+1..m-1, k)); beta = 2 / ||v||^2.
+        double vnorm2 = v0 * v0;
+        for (int i = k + 1; i < m_; ++i)
+            vnorm2 += qr_(i, k) * qr_(i, k);
+        beta_[k] = (vnorm2 > 0.0) ? 2.0 / vnorm2 : 0.0;
+
+        // Apply the reflector to the trailing columns.
+        for (int c = k + 1; c < n_; ++c) {
+            double s = v0 * qr_(k, c);
+            for (int i = k + 1; i < m_; ++i)
+                s += qr_(i, k) * qr_(i, c);
+            s *= beta_[k];
+            qr_(k, c) -= s * v0;
+            for (int i = k + 1; i < m_; ++i)
+                qr_(i, c) -= s * qr_(i, k);
+        }
+        qr_(k, k) = alpha;
+        // Store v (below diagonal) normalized by v0 so we can reapply it.
+        if (v0 != 0.0) {
+            for (int i = k + 1; i < m_; ++i)
+                qr_(i, k) /= v0;
+            beta_[k] *= v0 * v0;
+        } else {
+            for (int i = k + 1; i < m_; ++i)
+                qr_(i, k) = 0.0;
+        }
+    }
+
+    r_ = MatX(n_, n_);
+    for (int i = 0; i < n_; ++i)
+        for (int j = i; j < n_; ++j)
+            r_(i, j) = qr_(i, j);
+}
+
+void
+HouseholderQR::applyHouseholder(VecX &b) const
+{
+    assert(b.size() == m_);
+    for (int k = 0; k < n_; ++k) {
+        if (beta_[k] == 0.0)
+            continue;
+        double s = b[k];
+        for (int i = k + 1; i < m_; ++i)
+            s += qr_(i, k) * b[i];
+        s *= beta_[k];
+        b[k] -= s;
+        for (int i = k + 1; i < m_; ++i)
+            b[i] -= s * qr_(i, k);
+    }
+}
+
+VecX
+HouseholderQR::qtb(const VecX &b) const
+{
+    VecX r = b;
+    applyHouseholder(r);
+    return r;
+}
+
+MatX
+HouseholderQR::qtb(const MatX &b) const
+{
+    assert(b.rows() == m_);
+    MatX out(b.rows(), b.cols());
+    for (int c = 0; c < b.cols(); ++c) {
+        VecX col(b.rows());
+        for (int r = 0; r < b.rows(); ++r)
+            col[r] = b(r, c);
+        applyHouseholder(col);
+        for (int r = 0; r < b.rows(); ++r)
+            out(r, c) = col[r];
+    }
+    return out;
+}
+
+VecX
+HouseholderQR::solve(const VecX &b) const
+{
+    VecX y = qtb(b);
+    VecX x(n_);
+    for (int i = n_ - 1; i >= 0; --i) {
+        double s = y[i];
+        for (int j = i + 1; j < n_; ++j)
+            s -= r_(i, j) * x[j];
+        x[i] = (std::abs(r_(i, i)) > 1e-300) ? s / r_(i, i) : 0.0;
+    }
+    return x;
+}
+
+int
+HouseholderQR::rank(double tol) const
+{
+    int r = 0;
+    for (int i = 0; i < n_; ++i) {
+        if (std::abs(r_(i, i)) > tol)
+            ++r;
+    }
+    return r;
+}
+
+VecX
+forwardSubstitute(const MatX &l, const VecX &b)
+{
+    assert(l.rows() == l.cols() && l.rows() == b.size());
+    const int n = l.rows();
+    VecX x(n);
+    for (int i = 0; i < n; ++i) {
+        double s = b[i];
+        for (int j = 0; j < i; ++j)
+            s -= l(i, j) * x[j];
+        assert(std::abs(l(i, i)) > 0.0);
+        x[i] = s / l(i, i);
+    }
+    return x;
+}
+
+MatX
+forwardSubstitute(const MatX &l, const MatX &b)
+{
+    MatX x(b.rows(), b.cols());
+    for (int c = 0; c < b.cols(); ++c) {
+        VecX col(b.rows());
+        for (int r = 0; r < b.rows(); ++r)
+            col[r] = b(r, c);
+        VecX sol = forwardSubstitute(l, col);
+        for (int r = 0; r < b.rows(); ++r)
+            x(r, c) = sol[r];
+    }
+    return x;
+}
+
+VecX
+backwardSubstitute(const MatX &u, const VecX &b)
+{
+    assert(u.rows() == u.cols() && u.rows() == b.size());
+    const int n = u.rows();
+    VecX x(n);
+    for (int i = n - 1; i >= 0; --i) {
+        double s = b[i];
+        for (int j = i + 1; j < n; ++j)
+            s -= u(i, j) * x[j];
+        assert(std::abs(u(i, i)) > 0.0);
+        x[i] = s / u(i, i);
+    }
+    return x;
+}
+
+MatX
+backwardSubstitute(const MatX &u, const MatX &b)
+{
+    MatX x(b.rows(), b.cols());
+    for (int c = 0; c < b.cols(); ++c) {
+        VecX col(b.rows());
+        for (int r = 0; r < b.rows(); ++r)
+            col[r] = b(r, c);
+        VecX sol = backwardSubstitute(u, col);
+        for (int r = 0; r < b.rows(); ++r)
+            x(r, c) = sol[r];
+    }
+    return x;
+}
+
+std::optional<MatX>
+solveSpd(const MatX &a, const MatX &b)
+{
+    Cholesky chol(a);
+    if (chol.ok())
+        return chol.solve(b);
+    PartialPivLU lu(a);
+    if (lu.ok())
+        return lu.solve(b);
+    return std::nullopt;
+}
+
+std::optional<VecX>
+solveSpd(const MatX &a, const VecX &b)
+{
+    Cholesky chol(a);
+    if (chol.ok())
+        return chol.solve(b);
+    PartialPivLU lu(a);
+    if (lu.ok())
+        return lu.solve(b);
+    return std::nullopt;
+}
+
+std::optional<MatX>
+invertBlockDiagonalSymmetric(const MatX &m, int diag_n)
+{
+    assert(m.rows() == m.cols());
+    const int n = m.rows();
+    assert(diag_n >= 0 && diag_n <= n);
+    const int dn = n - diag_n;
+
+    // M = [A B; B^T D], A diagonal. Using the block inversion identity:
+    //   S = D - B^T A^{-1} B            (Schur complement, dn x dn)
+    //   M^{-1} = [A^{-1} + A^{-1} B S^{-1} B^T A^{-1},  -A^{-1} B S^{-1};
+    //             -S^{-1} B^T A^{-1},                    S^{-1}]
+    VecX ainv(diag_n);
+    for (int i = 0; i < diag_n; ++i) {
+        double d = m(i, i);
+        if (std::abs(d) < 1e-300)
+            return std::nullopt;
+        ainv[i] = 1.0 / d;
+    }
+
+    MatX b(diag_n, dn);
+    for (int i = 0; i < diag_n; ++i)
+        for (int j = 0; j < dn; ++j)
+            b(i, j) = m(i, diag_n + j);
+
+    // AinvB = A^{-1} B (row scaling, exploiting the diagonal structure).
+    MatX ainv_b = b;
+    for (int i = 0; i < diag_n; ++i)
+        for (int j = 0; j < dn; ++j)
+            ainv_b(i, j) *= ainv[i];
+
+    MatX d = m.block(diag_n, diag_n, dn, dn);
+    MatX s = d;
+    // S = D - B^T (A^{-1} B)
+    for (int i = 0; i < dn; ++i)
+        for (int j = 0; j < dn; ++j) {
+            double acc = 0.0;
+            for (int k = 0; k < diag_n; ++k)
+                acc += b(k, i) * ainv_b(k, j);
+            s(i, j) -= acc;
+        }
+
+    PartialPivLU lu(s);
+    if (!lu.ok())
+        return std::nullopt;
+    MatX sinv = lu.inverse();
+
+    MatX out(n, n);
+    // Top-left: A^{-1} + (A^{-1}B) S^{-1} (A^{-1}B)^T
+    MatX t = ainv_b * sinv; // diag_n x dn
+    for (int i = 0; i < diag_n; ++i) {
+        for (int j = 0; j < diag_n; ++j) {
+            double acc = 0.0;
+            for (int k = 0; k < dn; ++k)
+                acc += t(i, k) * ainv_b(j, k);
+            out(i, j) = acc;
+        }
+        out(i, i) += ainv[i];
+    }
+    // Top-right / bottom-left: -A^{-1} B S^{-1}
+    for (int i = 0; i < diag_n; ++i)
+        for (int j = 0; j < dn; ++j) {
+            out(i, diag_n + j) = -t(i, j);
+            out(diag_n + j, i) = -t(i, j);
+        }
+    // Bottom-right: S^{-1}
+    out.setBlock(diag_n, diag_n, sinv);
+    return out;
+}
+
+} // namespace edx

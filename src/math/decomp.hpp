@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Matrix decompositions and triangular solvers.
+ *
+ * These routines are the software realizations of the five backend
+ * accelerator building blocks of the paper (Tbl. I): multiplication
+ * (matx.hpp), decomposition, inverse, transpose, and forward/backward
+ * substitution. The Kalman-gain and marginalization kernels call directly
+ * into them, so the kernel-to-primitive decomposition the paper reports
+ * is literal in this codebase.
+ */
+#pragma once
+
+#include <optional>
+
+#include "math/matx.hpp"
+
+namespace edx {
+
+/**
+ * Cholesky factorization A = L * L^T of a symmetric positive-definite
+ * matrix.
+ */
+class Cholesky
+{
+  public:
+    /**
+     * Factorizes @p a. On failure (non-SPD input), ok() returns false and
+     * the solver must not be used.
+     */
+    explicit Cholesky(const MatX &a);
+
+    /** @return true when the factorization succeeded. */
+    bool ok() const { return ok_; }
+
+    /** Lower-triangular factor L. */
+    const MatX &matrixL() const { return l_; }
+
+    /** Solves A x = b via forward then backward substitution. */
+    VecX solve(const VecX &b) const;
+
+    /** Solves A X = B column-by-column. */
+    MatX solve(const MatX &b) const;
+
+    /** log(det(A)) = 2 * sum(log(diag(L))); requires ok(). */
+    double logDeterminant() const;
+
+  private:
+    MatX l_;
+    bool ok_ = false;
+};
+
+/**
+ * LU factorization with partial pivoting, P * A = L * U.
+ *
+ * Used for general (possibly indefinite) square systems and for matrix
+ * inversion.
+ */
+class PartialPivLU
+{
+  public:
+    explicit PartialPivLU(const MatX &a);
+
+    /** @return true when A was non-singular to working precision. */
+    bool ok() const { return ok_; }
+
+    /** Solves A x = b. */
+    VecX solve(const VecX &b) const;
+
+    /** Solves A X = B. */
+    MatX solve(const MatX &b) const;
+
+    /** Computes A^{-1}. */
+    MatX inverse() const;
+
+    /** Determinant of A. */
+    double determinant() const;
+
+  private:
+    MatX lu_;               //!< packed L (unit diagonal) and U
+    std::vector<int> perm_; //!< row permutation
+    int sign_ = 1;
+    bool ok_ = false;
+};
+
+/**
+ * Householder QR factorization A = Q * R (A is m x n with m >= n).
+ *
+ * The MSCKF measurement-compression step (the "QR" slice of the VIO
+ * latency breakdown, Fig. 7) uses this class.
+ */
+class HouseholderQR
+{
+  public:
+    explicit HouseholderQR(const MatX &a);
+
+    /** The upper-triangular factor R (n x n, thin form). */
+    const MatX &matrixR() const { return r_; }
+
+    /** Computes Q^T * b (length m in, length m out). */
+    VecX qtb(const VecX &b) const;
+
+    /** Computes Q^T * B applied to each column. */
+    MatX qtb(const MatX &b) const;
+
+    /** Solves the least-squares problem min ||A x - b||. */
+    VecX solve(const VecX &b) const;
+
+    /** Numerical rank of R with tolerance @p tol on the diagonal. */
+    int rank(double tol = 1e-10) const;
+
+  private:
+    void applyHouseholder(VecX &b) const;
+
+    MatX qr_;            //!< packed Householder vectors + R
+    std::vector<double> beta_;
+    MatX r_;
+    int m_ = 0, n_ = 0;
+};
+
+/**
+ * Solves L x = b by forward substitution (L lower-triangular,
+ * taken from the lower triangle of @p l including its diagonal).
+ */
+VecX forwardSubstitute(const MatX &l, const VecX &b);
+
+/** Solves L X = B column-wise by forward substitution. */
+MatX forwardSubstitute(const MatX &l, const MatX &b);
+
+/** Solves U x = b by backward substitution (U upper-triangular). */
+VecX backwardSubstitute(const MatX &u, const VecX &b);
+
+/** Solves U X = B column-wise by backward substitution. */
+MatX backwardSubstitute(const MatX &u, const MatX &b);
+
+/**
+ * Solves the SPD system A X = B via Cholesky; falls back to LU when the
+ * Cholesky factorization fails (e.g., A only positive semi-definite due
+ * to round-off). Returns std::nullopt when the system is singular.
+ */
+std::optional<MatX> solveSpd(const MatX &a, const MatX &b);
+
+/** Vector right-hand-side overload of solveSpd. */
+std::optional<VecX> solveSpd(const MatX &a, const VecX &b);
+
+/**
+ * Inverse of a symmetric matrix with the marginalization block structure
+ * [A B; B^T D] where A is diagonal (landmark part) and D is the small
+ * dense pose part, computed via the Schur complement of A.
+ *
+ * This mirrors the specialized inversion hardware of Sec. VI-A ("the
+ * inversion hardware is specialized for a 6x6 matrix inversion combined
+ * with simple reciprocal structures"). @p diag_n is the size of the
+ * diagonal part A.
+ */
+std::optional<MatX> invertBlockDiagonalSymmetric(const MatX &m, int diag_n);
+
+} // namespace edx

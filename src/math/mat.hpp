@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Fixed-size dense matrices (row-major) for small geometric computations.
+ *
+ * Rotation matrices, camera intrinsics, projection Jacobians and similar
+ * objects are 2x2 .. 4x4; this header provides allocation-free value types
+ * for them. Large, dynamically sized problems (covariances, bundle
+ * adjustment systems) use edx::MatX from matx.hpp instead.
+ */
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <initializer_list>
+#include <ostream>
+
+#include "math/vec.hpp"
+
+namespace edx {
+
+/**
+ * Fixed-size row-major matrix of doubles.
+ *
+ * @tparam R number of rows
+ * @tparam C number of columns
+ */
+template <int R, int C>
+class Mat
+{
+    static_assert(R >= 1 && C >= 1, "Mat dimensions must be positive");
+
+  public:
+    /** Value-initializes all elements to zero. */
+    Mat() : d_{} {}
+
+    /** Constructs from a row-major element list of exactly R*C values. */
+    Mat(std::initializer_list<double> vals)
+    {
+        assert(static_cast<int>(vals.size()) == R * C);
+        int i = 0;
+        for (double v : vals)
+            d_[i++] = v;
+    }
+
+    /** Returns the zero matrix. */
+    static Mat zero() { return Mat(); }
+
+    /** Returns the identity (on the main diagonal, any shape). */
+    static Mat
+    identity()
+    {
+        Mat m;
+        for (int i = 0; i < (R < C ? R : C); ++i)
+            m(i, i) = 1.0;
+        return m;
+    }
+
+    /** Returns a diagonal matrix with @p v on the diagonal. */
+    static Mat
+    diagonal(const Vec<(R < C ? R : C)> &v)
+    {
+        Mat m;
+        for (int i = 0; i < (R < C ? R : C); ++i)
+            m(i, i) = v[i];
+        return m;
+    }
+
+    double &
+    operator()(int r, int c)
+    {
+        assert(r >= 0 && r < R && c >= 0 && c < C);
+        return d_[r * C + c];
+    }
+
+    double
+    operator()(int r, int c) const
+    {
+        assert(r >= 0 && r < R && c >= 0 && c < C);
+        return d_[r * C + c];
+    }
+
+    static constexpr int rows() { return R; }
+    static constexpr int cols() { return C; }
+
+    Mat
+    operator+(const Mat &o) const
+    {
+        Mat m;
+        for (int i = 0; i < R * C; ++i)
+            m.d_[i] = d_[i] + o.d_[i];
+        return m;
+    }
+
+    Mat
+    operator-(const Mat &o) const
+    {
+        Mat m;
+        for (int i = 0; i < R * C; ++i)
+            m.d_[i] = d_[i] - o.d_[i];
+        return m;
+    }
+
+    Mat
+    operator*(double s) const
+    {
+        Mat m;
+        for (int i = 0; i < R * C; ++i)
+            m.d_[i] = d_[i] * s;
+        return m;
+    }
+
+    Mat &
+    operator+=(const Mat &o)
+    {
+        for (int i = 0; i < R * C; ++i)
+            d_[i] += o.d_[i];
+        return *this;
+    }
+
+    /** Matrix-matrix product. */
+    template <int K>
+    Mat<R, K>
+    operator*(const Mat<C, K> &o) const
+    {
+        Mat<R, K> m;
+        for (int r = 0; r < R; ++r) {
+            for (int c = 0; c < C; ++c) {
+                double a = (*this)(r, c);
+                if (a == 0.0)
+                    continue;
+                for (int k = 0; k < K; ++k)
+                    m(r, k) += a * o(c, k);
+            }
+        }
+        return m;
+    }
+
+    /** Matrix-vector product. */
+    Vec<R>
+    operator*(const Vec<C> &v) const
+    {
+        Vec<R> r;
+        for (int i = 0; i < R; ++i) {
+            double s = 0.0;
+            for (int j = 0; j < C; ++j)
+                s += (*this)(i, j) * v[j];
+            r[i] = s;
+        }
+        return r;
+    }
+
+    /** Transpose. */
+    Mat<C, R>
+    transpose() const
+    {
+        Mat<C, R> m;
+        for (int r = 0; r < R; ++r)
+            for (int c = 0; c < C; ++c)
+                m(c, r) = (*this)(r, c);
+        return m;
+    }
+
+    /** Frobenius norm. */
+    double
+    norm() const
+    {
+        double s = 0.0;
+        for (int i = 0; i < R * C; ++i)
+            s += d_[i] * d_[i];
+        return std::sqrt(s);
+    }
+
+    /** Extracts column @p c. */
+    Vec<R>
+    col(int c) const
+    {
+        Vec<R> v;
+        for (int i = 0; i < R; ++i)
+            v[i] = (*this)(i, c);
+        return v;
+    }
+
+    /** Extracts row @p r. */
+    Vec<C>
+    row(int r) const
+    {
+        Vec<C> v;
+        for (int i = 0; i < C; ++i)
+            v[i] = (*this)(r, i);
+        return v;
+    }
+
+    /** Overwrites column @p c. */
+    void
+    setCol(int c, const Vec<R> &v)
+    {
+        for (int i = 0; i < R; ++i)
+            (*this)(i, c) = v[i];
+    }
+
+    const double *data() const { return d_.data(); }
+    double *data() { return d_.data(); }
+
+  private:
+    std::array<double, R * C> d_;
+};
+
+template <int R, int C>
+inline Mat<R, C>
+operator*(double s, const Mat<R, C> &m)
+{
+    return m * s;
+}
+
+template <int R, int C>
+inline std::ostream &
+operator<<(std::ostream &os, const Mat<R, C> &m)
+{
+    for (int r = 0; r < R; ++r) {
+        os << (r ? "\n[" : "[");
+        for (int c = 0; c < C; ++c)
+            os << (c ? ", " : "") << m(r, c);
+        os << "]";
+    }
+    return os;
+}
+
+using Mat2 = Mat<2, 2>;
+using Mat3 = Mat<3, 3>;
+using Mat4 = Mat<4, 4>;
+using Mat23 = Mat<2, 3>;
+using Mat34 = Mat<3, 4>;
+using Mat36 = Mat<3, 6>;
+using Mat26 = Mat<2, 6>;
+
+/** Skew-symmetric (hat) operator: skew(v) * w == cross(v, w). */
+inline Mat3
+skew(const Vec3 &v)
+{
+    return Mat3{0.0, -v[2], v[1],
+                v[2], 0.0, -v[0],
+                -v[1], v[0], 0.0};
+}
+
+/** Determinant of a 2x2 matrix. */
+inline double
+det(const Mat2 &m)
+{
+    return m(0, 0) * m(1, 1) - m(0, 1) * m(1, 0);
+}
+
+/** Determinant of a 3x3 matrix. */
+inline double
+det(const Mat3 &m)
+{
+    return m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) -
+           m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0)) +
+           m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+}
+
+/** Inverse of a 2x2 matrix (asserts non-singularity). */
+inline Mat2
+inverse(const Mat2 &m)
+{
+    double d = det(m);
+    assert(std::abs(d) > 1e-300);
+    double s = 1.0 / d;
+    return Mat2{m(1, 1) * s, -m(0, 1) * s, -m(1, 0) * s, m(0, 0) * s};
+}
+
+/** Inverse of a 3x3 matrix via the adjugate (asserts non-singularity). */
+inline Mat3
+inverse(const Mat3 &m)
+{
+    double d = det(m);
+    assert(std::abs(d) > 1e-300);
+    double s = 1.0 / d;
+    Mat3 r;
+    r(0, 0) = (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) * s;
+    r(0, 1) = (m(0, 2) * m(2, 1) - m(0, 1) * m(2, 2)) * s;
+    r(0, 2) = (m(0, 1) * m(1, 2) - m(0, 2) * m(1, 1)) * s;
+    r(1, 0) = (m(1, 2) * m(2, 0) - m(1, 0) * m(2, 2)) * s;
+    r(1, 1) = (m(0, 0) * m(2, 2) - m(0, 2) * m(2, 0)) * s;
+    r(1, 2) = (m(0, 2) * m(1, 0) - m(0, 0) * m(1, 2)) * s;
+    r(2, 0) = (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0)) * s;
+    r(2, 1) = (m(0, 1) * m(2, 0) - m(0, 0) * m(2, 1)) * s;
+    r(2, 2) = (m(0, 0) * m(1, 1) - m(0, 1) * m(1, 0)) * s;
+    return r;
+}
+
+/** Outer product a * b^T. */
+template <int R, int C>
+inline Mat<R, C>
+outer(const Vec<R> &a, const Vec<C> &b)
+{
+    Mat<R, C> m;
+    for (int r = 0; r < R; ++r)
+        for (int c = 0; c < C; ++c)
+            m(r, c) = a[r] * b[c];
+    return m;
+}
+
+} // namespace edx

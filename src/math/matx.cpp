@@ -1,0 +1,345 @@
+#include "math/matx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edx {
+
+VecX
+VecX::operator+(const VecX &o) const
+{
+    assert(size() == o.size());
+    VecX r(size());
+    for (int i = 0; i < size(); ++i)
+        r[i] = d_[i] + o.d_[i];
+    return r;
+}
+
+VecX
+VecX::operator-(const VecX &o) const
+{
+    assert(size() == o.size());
+    VecX r(size());
+    for (int i = 0; i < size(); ++i)
+        r[i] = d_[i] - o.d_[i];
+    return r;
+}
+
+VecX
+VecX::operator*(double s) const
+{
+    VecX r(size());
+    for (int i = 0; i < size(); ++i)
+        r[i] = d_[i] * s;
+    return r;
+}
+
+VecX &
+VecX::operator+=(const VecX &o)
+{
+    assert(size() == o.size());
+    for (int i = 0; i < size(); ++i)
+        d_[i] += o.d_[i];
+    return *this;
+}
+
+VecX &
+VecX::operator-=(const VecX &o)
+{
+    assert(size() == o.size());
+    for (int i = 0; i < size(); ++i)
+        d_[i] -= o.d_[i];
+    return *this;
+}
+
+double
+VecX::dot(const VecX &o) const
+{
+    assert(size() == o.size());
+    double s = 0.0;
+    for (int i = 0; i < size(); ++i)
+        s += d_[i] * o.d_[i];
+    return s;
+}
+
+double
+VecX::norm() const
+{
+    return std::sqrt(squaredNorm());
+}
+
+double
+VecX::maxAbs() const
+{
+    double m = 0.0;
+    for (double v : d_)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+void
+VecX::setSegment(int at, const VecX &v)
+{
+    assert(at >= 0 && at + v.size() <= size());
+    for (int i = 0; i < v.size(); ++i)
+        d_[at + i] = v[i];
+}
+
+VecX
+VecX::segment(int at, int n) const
+{
+    assert(at >= 0 && n >= 0 && at + n <= size());
+    VecX r(n);
+    for (int i = 0; i < n; ++i)
+        r[i] = d_[at + i];
+    return r;
+}
+
+VecX
+operator*(double s, const VecX &v)
+{
+    return v * s;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const VecX &v)
+{
+    os << "[";
+    for (int i = 0; i < v.size(); ++i)
+        os << (i ? ", " : "") << v[i];
+    return os << "]";
+}
+
+MatX
+MatX::identity(int n)
+{
+    MatX m(n, n);
+    for (int i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+MatX
+MatX::diagonal(const VecX &diag)
+{
+    MatX m(diag.size(), diag.size());
+    for (int i = 0; i < diag.size(); ++i)
+        m(i, i) = diag[i];
+    return m;
+}
+
+MatX
+MatX::operator+(const MatX &o) const
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    MatX r(rows_, cols_);
+    for (size_t i = 0; i < d_.size(); ++i)
+        r.d_[i] = d_[i] + o.d_[i];
+    return r;
+}
+
+MatX
+MatX::operator-(const MatX &o) const
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    MatX r(rows_, cols_);
+    for (size_t i = 0; i < d_.size(); ++i)
+        r.d_[i] = d_[i] - o.d_[i];
+    return r;
+}
+
+MatX
+MatX::operator*(double s) const
+{
+    MatX r(rows_, cols_);
+    for (size_t i = 0; i < d_.size(); ++i)
+        r.d_[i] = d_[i] * s;
+    return r;
+}
+
+MatX
+MatX::operator*(const MatX &o) const
+{
+    assert(cols_ == o.rows_);
+    MatX r(rows_, o.cols_);
+    // i-k-j loop order keeps both the output row and the o row streaming
+    // sequentially, which matters for the large covariance products.
+    for (int i = 0; i < rows_; ++i) {
+        double *out = r.d_.data() + static_cast<size_t>(i) * o.cols_;
+        const double *ai = d_.data() + static_cast<size_t>(i) * cols_;
+        for (int k = 0; k < cols_; ++k) {
+            double a = ai[k];
+            if (a == 0.0)
+                continue;
+            const double *bk = o.d_.data() + static_cast<size_t>(k) * o.cols_;
+            for (int j = 0; j < o.cols_; ++j)
+                out[j] += a * bk[j];
+        }
+    }
+    return r;
+}
+
+VecX
+MatX::operator*(const VecX &v) const
+{
+    assert(cols_ == v.size());
+    VecX r(rows_);
+    for (int i = 0; i < rows_; ++i) {
+        const double *ai = d_.data() + static_cast<size_t>(i) * cols_;
+        double s = 0.0;
+        for (int j = 0; j < cols_; ++j)
+            s += ai[j] * v[j];
+        r[i] = s;
+    }
+    return r;
+}
+
+MatX &
+MatX::operator+=(const MatX &o)
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (size_t i = 0; i < d_.size(); ++i)
+        d_[i] += o.d_[i];
+    return *this;
+}
+
+MatX &
+MatX::operator-=(const MatX &o)
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (size_t i = 0; i < d_.size(); ++i)
+        d_[i] -= o.d_[i];
+    return *this;
+}
+
+MatX
+MatX::transpose() const
+{
+    MatX r(cols_, rows_);
+    for (int i = 0; i < rows_; ++i)
+        for (int j = 0; j < cols_; ++j)
+            r(j, i) = (*this)(i, j);
+    return r;
+}
+
+double
+MatX::norm() const
+{
+    double s = 0.0;
+    for (double v : d_)
+        s += v * v;
+    return std::sqrt(s);
+}
+
+double
+MatX::maxAbs() const
+{
+    double m = 0.0;
+    for (double v : d_)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+MatX
+MatX::block(int r0, int c0, int nr, int nc) const
+{
+    assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_);
+    MatX b(nr, nc);
+    for (int r = 0; r < nr; ++r)
+        for (int c = 0; c < nc; ++c)
+            b(r, c) = (*this)(r0 + r, c0 + c);
+    return b;
+}
+
+void
+MatX::setBlock(int r0, int c0, const MatX &b)
+{
+    assert(r0 >= 0 && c0 >= 0 &&
+           r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_);
+    for (int r = 0; r < b.rows(); ++r)
+        for (int c = 0; c < b.cols(); ++c)
+            (*this)(r0 + r, c0 + c) = b(r, c);
+}
+
+void
+MatX::conservativeResize(int r, int c)
+{
+    MatX n(r, c);
+    int cr = std::min(r, rows_);
+    int cc = std::min(c, cols_);
+    for (int i = 0; i < cr; ++i)
+        for (int j = 0; j < cc; ++j)
+            n(i, j) = (*this)(i, j);
+    *this = std::move(n);
+}
+
+void
+MatX::makeSymmetric()
+{
+    assert(rows_ == cols_);
+    for (int i = 0; i < rows_; ++i) {
+        for (int j = i + 1; j < cols_; ++j) {
+            double v = 0.5 * ((*this)(i, j) + (*this)(j, i));
+            (*this)(i, j) = v;
+            (*this)(j, i) = v;
+        }
+    }
+}
+
+MatX
+operator*(double s, const MatX &m)
+{
+    return m * s;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const MatX &m)
+{
+    for (int r = 0; r < m.rows(); ++r) {
+        os << (r ? "\n[" : "[");
+        for (int c = 0; c < m.cols(); ++c)
+            os << (c ? ", " : "") << m(r, c);
+        os << "]";
+    }
+    return os;
+}
+
+MatX
+gram(const MatX &a)
+{
+    MatX g(a.cols(), a.cols());
+    for (int k = 0; k < a.rows(); ++k) {
+        const double *row = a.data() + static_cast<size_t>(k) * a.cols();
+        for (int i = 0; i < a.cols(); ++i) {
+            double v = row[i];
+            if (v == 0.0)
+                continue;
+            for (int j = i; j < a.cols(); ++j)
+                g(i, j) += v * row[j];
+        }
+    }
+    for (int i = 0; i < a.cols(); ++i)
+        for (int j = 0; j < i; ++j)
+            g(i, j) = g(j, i);
+    return g;
+}
+
+MatX
+multiplyTransposed(const MatX &a, const MatX &b)
+{
+    assert(a.cols() == b.cols());
+    MatX r(a.rows(), b.rows());
+    for (int i = 0; i < a.rows(); ++i) {
+        const double *ai = a.data() + static_cast<size_t>(i) * a.cols();
+        for (int j = 0; j < b.rows(); ++j) {
+            const double *bj = b.data() + static_cast<size_t>(j) * b.cols();
+            double s = 0.0;
+            for (int k = 0; k < a.cols(); ++k)
+                s += ai[k] * bj[k];
+            r(i, j) = s;
+        }
+    }
+    return r;
+}
+
+} // namespace edx

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Dynamically sized dense matrix and vector types.
+ *
+ * These back the large linear-algebra workloads of the localization
+ * backend: MSCKF covariance propagation and Kalman-gain computation,
+ * bundle-adjustment normal equations, and marginalization. Storage is
+ * row-major, owned, and contiguous; the blocked access helpers mirror the
+ * block-oriented execution model of the backend accelerator (Sec. VI of
+ * the paper).
+ */
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace edx {
+
+class MatX;
+
+/** Dynamically sized column vector of doubles. */
+class VecX
+{
+  public:
+    VecX() = default;
+
+    /** Creates a zero vector of dimension @p n. */
+    explicit VecX(int n) : d_(static_cast<size_t>(n), 0.0) {}
+
+    /** Creates a vector of dimension @p n filled with @p value. */
+    VecX(int n, double value) : d_(static_cast<size_t>(n), value) {}
+
+    /** Wraps an existing buffer by copy. */
+    explicit VecX(std::vector<double> values) : d_(std::move(values)) {}
+
+    /** Converts from a fixed-size vector. */
+    template <int N>
+    explicit VecX(const Vec<N> &v) : d_(N)
+    {
+        for (int i = 0; i < N; ++i)
+            d_[i] = v[i];
+    }
+
+    int size() const { return static_cast<int>(d_.size()); }
+
+    double &
+    operator[](int i)
+    {
+        assert(i >= 0 && i < size());
+        return d_[i];
+    }
+
+    double
+    operator[](int i) const
+    {
+        assert(i >= 0 && i < size());
+        return d_[i];
+    }
+
+    VecX operator+(const VecX &o) const;
+    VecX operator-(const VecX &o) const;
+    VecX operator*(double s) const;
+    VecX &operator+=(const VecX &o);
+    VecX &operator-=(const VecX &o);
+
+    /** Inner product. */
+    double dot(const VecX &o) const;
+
+    double squaredNorm() const { return dot(*this); }
+    double norm() const;
+
+    /** Largest absolute element (0 for empty vectors). */
+    double maxAbs() const;
+
+    /** Copies @p v into elements [at, at+v.size()). */
+    void setSegment(int at, const VecX &v);
+
+    /** Extracts elements [at, at+n) as a new vector. */
+    VecX segment(int at, int n) const;
+
+    /** Extracts a fixed-size segment starting at @p at. */
+    template <int N>
+    Vec<N>
+    fixedSegment(int at) const
+    {
+        assert(at >= 0 && at + N <= size());
+        Vec<N> r;
+        for (int i = 0; i < N; ++i)
+            r[i] = d_[at + i];
+        return r;
+    }
+
+    /** Copies a fixed-size vector into elements [at, at+N). */
+    template <int N>
+    void
+    setFixedSegment(int at, const Vec<N> &v)
+    {
+        assert(at >= 0 && at + N <= size());
+        for (int i = 0; i < N; ++i)
+            d_[at + i] = v[i];
+    }
+
+    const double *data() const { return d_.data(); }
+    double *data() { return d_.data(); }
+
+  private:
+    std::vector<double> d_;
+};
+
+VecX operator*(double s, const VecX &v);
+std::ostream &operator<<(std::ostream &os, const VecX &v);
+
+/** Dynamically sized row-major dense matrix of doubles. */
+class MatX
+{
+  public:
+    MatX() = default;
+
+    /** Creates a zero matrix of shape @p r x @p c. */
+    MatX(int r, int c)
+        : rows_(r), cols_(c), d_(static_cast<size_t>(r) * c, 0.0)
+    {
+        assert(r >= 0 && c >= 0);
+    }
+
+    /** Converts from a fixed-size matrix. */
+    template <int R, int C>
+    explicit MatX(const Mat<R, C> &m) : MatX(R, C)
+    {
+        for (int r = 0; r < R; ++r)
+            for (int c = 0; c < C; ++c)
+                (*this)(r, c) = m(r, c);
+    }
+
+    /** Returns the n x n identity. */
+    static MatX identity(int n);
+
+    /** Returns a square diagonal matrix from @p diag. */
+    static MatX diagonal(const VecX &diag);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    double &
+    operator()(int r, int c)
+    {
+        assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return d_[static_cast<size_t>(r) * cols_ + c];
+    }
+
+    double
+    operator()(int r, int c) const
+    {
+        assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return d_[static_cast<size_t>(r) * cols_ + c];
+    }
+
+    MatX operator+(const MatX &o) const;
+    MatX operator-(const MatX &o) const;
+    MatX operator*(double s) const;
+    MatX operator*(const MatX &o) const;
+    VecX operator*(const VecX &v) const;
+    MatX &operator+=(const MatX &o);
+    MatX &operator-=(const MatX &o);
+
+    MatX transpose() const;
+
+    /** Frobenius norm. */
+    double norm() const;
+
+    /** Largest absolute element (0 for empty matrices). */
+    double maxAbs() const;
+
+    /** Extracts the sub-matrix [r0, r0+nr) x [c0, c0+nc). */
+    MatX block(int r0, int c0, int nr, int nc) const;
+
+    /** Overwrites the sub-matrix at (r0, c0) with @p b. */
+    void setBlock(int r0, int c0, const MatX &b);
+
+    /** Overwrites the sub-matrix at (r0, c0) with a fixed-size matrix. */
+    template <int R, int C>
+    void
+    setFixedBlock(int r0, int c0, const Mat<R, C> &b)
+    {
+        assert(r0 + R <= rows_ && c0 + C <= cols_);
+        for (int r = 0; r < R; ++r)
+            for (int c = 0; c < C; ++c)
+                (*this)(r0 + r, c0 + c) = b(r, c);
+    }
+
+    /** Extracts a fixed-size block at (r0, c0). */
+    template <int R, int C>
+    Mat<R, C>
+    fixedBlock(int r0, int c0) const
+    {
+        assert(r0 + R <= rows_ && c0 + C <= cols_);
+        Mat<R, C> b;
+        for (int r = 0; r < R; ++r)
+            for (int c = 0; c < C; ++c)
+                b(r, c) = (*this)(r0 + r, c0 + c);
+        return b;
+    }
+
+    /** Resizes to r x c, preserving the overlapping top-left content. */
+    void conservativeResize(int r, int c);
+
+    /** Symmetrizes in place: A <- (A + A^T) / 2 (square matrices only). */
+    void makeSymmetric();
+
+    const double *data() const { return d_.data(); }
+    double *data() { return d_.data(); }
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<double> d_;
+};
+
+MatX operator*(double s, const MatX &m);
+std::ostream &operator<<(std::ostream &os, const MatX &m);
+
+/** Computes A^T * A without forming the transpose explicitly. */
+MatX gram(const MatX &a);
+
+/** Computes A * B^T without forming the transpose explicitly. */
+MatX multiplyTransposed(const MatX &a, const MatX &b);
+
+} // namespace edx

@@ -1,0 +1,150 @@
+#include "math/quat.hpp"
+
+#include <algorithm>
+
+namespace edx {
+
+Quat
+Quat::fromAxisAngle(const Vec3 &axis, double angle_rad)
+{
+    double h = 0.5 * angle_rad;
+    double s = std::sin(h);
+    Vec3 a = axis.normalized();
+    return Quat(std::cos(h), a[0] * s, a[1] * s, a[2] * s);
+}
+
+Quat
+Quat::exp(const Vec3 &rotvec)
+{
+    double angle = rotvec.norm();
+    if (angle < 1e-12) {
+        // First-order expansion keeps the map smooth through zero.
+        return Quat(1.0, 0.5 * rotvec[0], 0.5 * rotvec[1],
+                    0.5 * rotvec[2]).normalized();
+    }
+    return fromAxisAngle(rotvec / angle, angle);
+}
+
+Quat
+Quat::fromRotationMatrix(const Mat3 &r)
+{
+    // Shepperd's method: pick the numerically largest pivot.
+    double tr = r(0, 0) + r(1, 1) + r(2, 2);
+    double w, x, y, z;
+    if (tr > 0.0) {
+        double s = std::sqrt(tr + 1.0) * 2.0;
+        w = 0.25 * s;
+        x = (r(2, 1) - r(1, 2)) / s;
+        y = (r(0, 2) - r(2, 0)) / s;
+        z = (r(1, 0) - r(0, 1)) / s;
+    } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+        double s = std::sqrt(1.0 + r(0, 0) - r(1, 1) - r(2, 2)) * 2.0;
+        w = (r(2, 1) - r(1, 2)) / s;
+        x = 0.25 * s;
+        y = (r(0, 1) + r(1, 0)) / s;
+        z = (r(0, 2) + r(2, 0)) / s;
+    } else if (r(1, 1) > r(2, 2)) {
+        double s = std::sqrt(1.0 + r(1, 1) - r(0, 0) - r(2, 2)) * 2.0;
+        w = (r(0, 2) - r(2, 0)) / s;
+        x = (r(0, 1) + r(1, 0)) / s;
+        y = 0.25 * s;
+        z = (r(1, 2) + r(2, 1)) / s;
+    } else {
+        double s = std::sqrt(1.0 + r(2, 2) - r(0, 0) - r(1, 1)) * 2.0;
+        w = (r(1, 0) - r(0, 1)) / s;
+        x = (r(0, 2) + r(2, 0)) / s;
+        y = (r(1, 2) + r(2, 1)) / s;
+        z = 0.25 * s;
+    }
+    return Quat(w, x, y, z).normalized();
+}
+
+Quat
+Quat::fromYawPitchRoll(double yaw, double pitch, double roll)
+{
+    Quat qz = fromAxisAngle(Vec3{0, 0, 1}, yaw);
+    Quat qy = fromAxisAngle(Vec3{0, 1, 0}, pitch);
+    Quat qx = fromAxisAngle(Vec3{1, 0, 0}, roll);
+    return (qz * qy * qx).normalized();
+}
+
+Quat
+Quat::operator*(const Quat &o) const
+{
+    return Quat(w_ * o.w_ - x_ * o.x_ - y_ * o.y_ - z_ * o.z_,
+                w_ * o.x_ + x_ * o.w_ + y_ * o.z_ - z_ * o.y_,
+                w_ * o.y_ - x_ * o.z_ + y_ * o.w_ + z_ * o.x_,
+                w_ * o.z_ + x_ * o.y_ - y_ * o.x_ + z_ * o.w_);
+}
+
+Quat
+Quat::normalized() const
+{
+    double n = norm();
+    assert(n > 0.0);
+    double s = 1.0 / n;
+    Quat q(w_ * s, x_ * s, y_ * s, z_ * s);
+    if (q.w_ < 0.0)
+        return Quat(-q.w_, -q.x_, -q.y_, -q.z_);
+    return q;
+}
+
+Vec3
+Quat::rotate(const Vec3 &v) const
+{
+    // v' = v + 2 * u x (u x v + w v), u = (x, y, z)
+    Vec3 u{x_, y_, z_};
+    Vec3 t = cross(u, v) * 2.0;
+    return v + t * w_ + cross(u, t);
+}
+
+Mat3
+Quat::toRotationMatrix() const
+{
+    double xx = x_ * x_, yy = y_ * y_, zz = z_ * z_;
+    double xy = x_ * y_, xz = x_ * z_, yz = y_ * z_;
+    double wx = w_ * x_, wy = w_ * y_, wz = w_ * z_;
+    return Mat3{1 - 2 * (yy + zz), 2 * (xy - wz), 2 * (xz + wy),
+                2 * (xy + wz), 1 - 2 * (xx + zz), 2 * (yz - wx),
+                2 * (xz - wy), 2 * (yz + wx), 1 - 2 * (xx + yy)};
+}
+
+Vec3
+Quat::log() const
+{
+    Quat q = normalized();
+    double vn = std::sqrt(q.x_ * q.x_ + q.y_ * q.y_ + q.z_ * q.z_);
+    if (vn < 1e-12)
+        return Vec3{2.0 * q.x_, 2.0 * q.y_, 2.0 * q.z_};
+    double angle = 2.0 * std::atan2(vn, q.w_);
+    double s = angle / vn;
+    return Vec3{q.x_ * s, q.y_ * s, q.z_ * s};
+}
+
+double
+Quat::angularDistance(const Quat &o) const
+{
+    return (conjugate() * o).log().norm();
+}
+
+Quat
+Quat::integrated(const Vec3 &omega, double dt) const
+{
+    return (*this * Quat::exp(omega * dt)).normalized();
+}
+
+Mat3
+so3RightJacobian(const Vec3 &phi)
+{
+    double angle = phi.norm();
+    Mat3 eye = Mat3::identity();
+    if (angle < 1e-8) {
+        return eye - skew(phi) * 0.5;
+    }
+    Mat3 k = skew(phi / angle);
+    double a = (1.0 - std::cos(angle)) / (angle * angle);
+    double b = (angle - std::sin(angle)) / (angle * angle * angle);
+    return eye - skew(phi) * a + (skew(phi) * skew(phi)) * b;
+}
+
+} // namespace edx

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit quaternions and SO(3) utilities.
+ *
+ * The localization backend represents orientation as a Hamilton unit
+ * quaternion (w, x, y, z). Small-angle exponential/logarithm maps are
+ * used by IMU integration (MSCKF propagation) and by the rotation
+ * parameterization of bundle adjustment.
+ */
+#pragma once
+
+#include <cmath>
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace edx {
+
+/** Hamilton unit quaternion representing a rotation. */
+class Quat
+{
+  public:
+    /** Identity rotation. */
+    Quat() : w_(1.0), x_(0.0), y_(0.0), z_(0.0) {}
+
+    Quat(double w, double x, double y, double z)
+        : w_(w), x_(x), y_(y), z_(z)
+    {}
+
+    /** Identity rotation. */
+    static Quat identity() { return Quat(); }
+
+    /** Rotation of @p angle_rad radians about unit @p axis. */
+    static Quat fromAxisAngle(const Vec3 &axis, double angle_rad);
+
+    /**
+     * Exponential map: converts a rotation vector (axis * angle) to a
+     * quaternion; accurate for small angles.
+     */
+    static Quat exp(const Vec3 &rotvec);
+
+    /** Constructs from a (proper) rotation matrix. */
+    static Quat fromRotationMatrix(const Mat3 &r);
+
+    /** Yaw-pitch-roll (Z-Y-X) Euler angle constructor, radians. */
+    static Quat fromYawPitchRoll(double yaw, double pitch, double roll);
+
+    double w() const { return w_; }
+    double x() const { return x_; }
+    double y() const { return y_; }
+    double z() const { return z_; }
+
+    /** Hamilton product (this ∘ o: rotate by o first, then this). */
+    Quat operator*(const Quat &o) const;
+
+    /** Conjugate; equals the inverse for unit quaternions. */
+    Quat conjugate() const { return Quat(w_, -x_, -y_, -z_); }
+
+    /** Inverse rotation (assumes unit norm). */
+    Quat inverse() const { return conjugate(); }
+
+    double norm() const
+    {
+        return std::sqrt(w_ * w_ + x_ * x_ + y_ * y_ + z_ * z_);
+    }
+
+    /** Returns the unit-norm version of this quaternion (w kept >= 0). */
+    Quat normalized() const;
+
+    /** Rotates a 3-vector. */
+    Vec3 rotate(const Vec3 &v) const;
+
+    /** Converts to a 3x3 rotation matrix. */
+    Mat3 toRotationMatrix() const;
+
+    /** Logarithm map: rotation vector (axis * angle) of this rotation. */
+    Vec3 log() const;
+
+    /**
+     * Geodesic distance to another rotation, in radians
+     * (the magnitude of log(this^{-1} * o)).
+     */
+    double angularDistance(const Quat &o) const;
+
+    /**
+     * Integrates a body angular velocity over @p dt:
+     * q(t+dt) = q(t) ∘ exp(omega * dt).
+     */
+    Quat integrated(const Vec3 &omega, double dt) const;
+
+  private:
+    double w_, x_, y_, z_;
+};
+
+/**
+ * Right Jacobian of SO(3) at rotation vector @p phi.
+ *
+ * Used when propagating orientation covariance through the IMU
+ * integration step.
+ */
+Mat3 so3RightJacobian(const Vec3 &phi);
+
+} // namespace edx

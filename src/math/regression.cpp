@@ -1,0 +1,67 @@
+#include "math/regression.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "math/decomp.hpp"
+#include "math/stats.hpp"
+
+namespace edx {
+
+PolynomialModel
+PolynomialModel::fit(const std::vector<double> &xs,
+                     const std::vector<double> &ys, int degree)
+{
+    assert(xs.size() == ys.size());
+    assert(degree >= 0);
+    const int n = static_cast<int>(xs.size());
+    const int k = degree + 1;
+    assert(n >= k);
+
+    // Vandermonde least squares via QR for numerical robustness.
+    MatX a(n, k);
+    VecX b(n);
+    for (int i = 0; i < n; ++i) {
+        double p = 1.0;
+        for (int j = 0; j < k; ++j) {
+            a(i, j) = p;
+            p *= xs[i];
+        }
+        b[i] = ys[i];
+    }
+    HouseholderQR qr(a);
+    VecX c = qr.solve(b);
+    std::vector<double> coeffs(k);
+    for (int j = 0; j < k; ++j)
+        coeffs[j] = c[j];
+    return PolynomialModel(std::move(coeffs));
+}
+
+double
+PolynomialModel::predict(double x) const
+{
+    // Horner evaluation.
+    double y = 0.0;
+    for (int i = static_cast<int>(coeffs_.size()) - 1; i >= 0; --i)
+        y = y * x + coeffs_[i];
+    return y;
+}
+
+std::vector<double>
+PolynomialModel::predict(const std::vector<double> &xs) const
+{
+    std::vector<double> ys;
+    ys.reserve(xs.size());
+    for (double x : xs)
+        ys.push_back(predict(x));
+    return ys;
+}
+
+double
+PolynomialModel::r2(const std::vector<double> &xs,
+                    const std::vector<double> &ys) const
+{
+    return rSquared(ys, predict(xs));
+}
+
+} // namespace edx

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Polynomial least-squares regression.
+ *
+ * The Eudoxus runtime scheduler (Sec. VI-B) predicts backend kernel
+ * latency from matrix sizes with simple regression models fit offline:
+ * linear for the projection kernel, quadratic for Kalman gain and
+ * marginalization. This header provides those models.
+ */
+#pragma once
+
+#include <vector>
+
+#include "math/matx.hpp"
+
+namespace edx {
+
+/**
+ * A fitted univariate polynomial model y = c0 + c1 x + ... + cd x^d.
+ */
+class PolynomialModel
+{
+  public:
+    PolynomialModel() = default;
+
+    /** Constructs from explicit coefficients (index == power). */
+    explicit PolynomialModel(std::vector<double> coeffs)
+        : coeffs_(std::move(coeffs))
+    {}
+
+    /**
+     * Fits a degree-@p degree polynomial to (x, y) samples by solving the
+     * normal equations. Requires at least degree+1 samples.
+     */
+    static PolynomialModel fit(const std::vector<double> &xs,
+                               const std::vector<double> &ys, int degree);
+
+    /** Evaluates the model at @p x. */
+    double predict(double x) const;
+
+    /** Evaluates the model over a series. */
+    std::vector<double> predict(const std::vector<double> &xs) const;
+
+    /** Coefficient of determination against a labelled sample set. */
+    double r2(const std::vector<double> &xs,
+              const std::vector<double> &ys) const;
+
+    const std::vector<double> &coefficients() const { return coeffs_; }
+
+    /** Degree of the fitted polynomial (-1 when unfit). */
+    int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+
+  private:
+    std::vector<double> coeffs_;
+};
+
+} // namespace edx

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic element of the framework (sensor noise, world
+ * generation, descriptor sampling patterns) draws from this PCG32-based
+ * generator so that all tests and benchmark runs are reproducible
+ * bit-for-bit from a seed.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace edx {
+
+/** PCG32 pseudo-random generator (O'Neill, 2014). */
+class Rng
+{
+  public:
+    /** Seeds the generator; distinct streams per @p seq. */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t seq = 1)
+        : state_(0), inc_((seq << 1u) | 1u)
+    {
+        nextU32();
+        state_ += seed;
+        nextU32();
+    }
+
+    /** Uniform 32-bit value. */
+    uint32_t
+    nextU32()
+    {
+        uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        uint32_t xorshifted =
+            static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+        uint32_t rot = static_cast<uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
+
+    /** Uniform in [0, 1). */
+    double
+    uniform()
+    {
+        return nextU32() * (1.0 / 4294967296.0);
+    }
+
+    /** Uniform in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int
+    uniformInt(int lo, int hi)
+    {
+        return lo + static_cast<int>(nextU32() %
+                                     static_cast<uint32_t>(hi - lo + 1));
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    gaussian()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        double u1, u2;
+        do {
+            u1 = uniform();
+        } while (u1 <= 1e-12);
+        u2 = uniform();
+        double mag = std::sqrt(-2.0 * std::log(u1));
+        spare_ = mag * std::sin(6.283185307179586 * u2);
+        have_spare_ = true;
+        return mag * std::cos(6.283185307179586 * u2);
+    }
+
+    /** Normal with mean @p mu and standard deviation @p sigma. */
+    double
+    gaussian(double mu, double sigma)
+    {
+        return mu + sigma * gaussian();
+    }
+
+  private:
+    uint64_t state_;
+    uint64_t inc_;
+    double spare_ = 0.0;
+    bool have_spare_ = false;
+};
+
+} // namespace edx

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Rigid-body pose (SE(3)) as a rotation quaternion plus translation.
+ *
+ * The 6 degree-of-freedom pose of Fig. 1 of the paper: three rotational
+ * DoF (yaw, pitch, roll) plus three translational DoF (x, y, z). All
+ * localization outputs in this framework are Pose values expressed in a
+ * fixed world frame.
+ */
+#pragma once
+
+#include "math/quat.hpp"
+
+namespace edx {
+
+/** A 6 DoF rigid-body pose: world-from-body rotation and translation. */
+struct Pose
+{
+    Quat rotation;      //!< world-from-body orientation
+    Vec3 translation;   //!< body origin expressed in world frame
+
+    Pose() = default;
+    Pose(const Quat &q, const Vec3 &t) : rotation(q), translation(t) {}
+
+    /** Identity transform. */
+    static Pose identity() { return Pose(); }
+
+    /** Applies this transform to a point in the body frame. */
+    Vec3
+    apply(const Vec3 &p_body) const
+    {
+        return rotation.rotate(p_body) + translation;
+    }
+
+    /** Composition: (this * o).apply(p) == this.apply(o.apply(p)). */
+    Pose
+    operator*(const Pose &o) const
+    {
+        return Pose((rotation * o.rotation).normalized(),
+                    rotation.rotate(o.translation) + translation);
+    }
+
+    /** Inverse transform. */
+    Pose
+    inverse() const
+    {
+        Quat qi = rotation.inverse();
+        return Pose(qi, -qi.rotate(translation));
+    }
+
+    /** The 3x4 matrix [R | t]. */
+    Mat34
+    matrix34() const
+    {
+        Mat3 r = rotation.toRotationMatrix();
+        Mat34 m;
+        for (int i = 0; i < 3; ++i) {
+            for (int j = 0; j < 3; ++j)
+                m(i, j) = r(i, j);
+            m(i, 3) = translation[i];
+        }
+        return m;
+    }
+
+    /**
+     * Distance to another pose: translational (meters) and rotational
+     * (radians) components.
+     */
+    struct Delta
+    {
+        double translational;
+        double rotational;
+    };
+
+    Delta
+    distanceTo(const Pose &o) const
+    {
+        return {(translation - o.translation).norm(),
+                rotation.angularDistance(o.rotation)};
+    }
+};
+
+} // namespace edx

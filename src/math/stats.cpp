@@ -1,0 +1,128 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace edx {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double
+rsdPercent(const std::vector<double> &xs)
+{
+    double m = mean(xs);
+    if (m == 0.0)
+        return 0.0;
+    return 100.0 * stddev(xs) / std::abs(m);
+}
+
+double
+rms(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x * x;
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double
+rmse(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    if (a.empty())
+        return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        s += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double
+minValue(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxValue(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    assert(p >= 0.0 && p <= 100.0);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+rSquared(const std::vector<double> &obs, const std::vector<double> &pred)
+{
+    assert(obs.size() == pred.size());
+    if (obs.size() < 2)
+        return 0.0;
+    double m = mean(obs);
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (size_t i = 0; i < obs.size(); ++i) {
+        ss_res += (obs[i] - pred[i]) * (obs[i] - pred[i]);
+        ss_tot += (obs[i] - m) * (obs[i] - m);
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    Summary s;
+    s.mean = mean(xs);
+    s.sd = stddev(xs);
+    s.rsd_percent = rsdPercent(xs);
+    s.min = minValue(xs);
+    s.max = maxValue(xs);
+    s.p50 = percentile(xs, 50.0);
+    s.p99 = percentile(xs, 99.0);
+    s.count = static_cast<int>(xs.size());
+    return s;
+}
+
+} // namespace edx

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Descriptive statistics used by the characterization benches.
+ *
+ * The paper reports means, standard deviations, relative standard
+ * deviation (RSD, Fig. 5), RMSE (Fig. 3), percentiles of per-frame
+ * latency (Figs. 9-11), and the coefficient of determination R^2 of the
+ * scheduler's regression models (Sec. VII-F). All of these live here.
+ */
+#pragma once
+
+#include <vector>
+
+namespace edx {
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than 2 samples. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Relative standard deviation (coefficient of variation) in percent:
+ * 100 * stddev / mean. Returns 0 when the mean is 0.
+ */
+double rsdPercent(const std::vector<double> &xs);
+
+/** Root mean square of the values themselves. */
+double rms(const std::vector<double> &xs);
+
+/** Root-mean-square error between two equally sized series. */
+double rmse(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Minimum; 0 for empty input. */
+double minValue(const std::vector<double> &xs);
+
+/** Maximum; 0 for empty input. */
+double maxValue(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile, @p p in [0, 100].
+ * Returns 0 for empty input.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Coefficient of determination R^2 of predictions @p pred against
+ * observations @p obs.
+ */
+double rSquared(const std::vector<double> &obs,
+                const std::vector<double> &pred);
+
+/** Summary bundle used by bench result tables. */
+struct Summary
+{
+    double mean = 0.0;
+    double sd = 0.0;
+    double rsd_percent = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    int count = 0;
+};
+
+/** Computes the full Summary of a series. */
+Summary summarize(const std::vector<double> &xs);
+
+} // namespace edx

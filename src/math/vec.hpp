@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Fixed-size dense vectors used throughout the Eudoxus framework.
+ *
+ * These are deliberately small, allocation-free value types: the
+ * localization hot path (feature geometry, filter states, pose math)
+ * manipulates 2-, 3- and 4-vectors millions of times per run.
+ */
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+
+namespace edx {
+
+/**
+ * Fixed-size column vector of doubles.
+ *
+ * @tparam N compile-time dimension (N >= 1)
+ */
+template <int N>
+class Vec
+{
+    static_assert(N >= 1, "Vec dimension must be positive");
+
+  public:
+    /** Value-initializes all elements to zero. */
+    Vec() : d_{} {}
+
+    /** Constructs from an explicit element list; must supply N values. */
+    Vec(std::initializer_list<double> vals)
+    {
+        assert(static_cast<int>(vals.size()) == N);
+        int i = 0;
+        for (double v : vals)
+            d_[i++] = v;
+    }
+
+    /** Returns a vector with every element equal to @p v. */
+    static Vec
+    constant(double v)
+    {
+        Vec r;
+        for (int i = 0; i < N; ++i)
+            r.d_[i] = v;
+        return r;
+    }
+
+    /** Returns the zero vector. */
+    static Vec zero() { return Vec(); }
+
+    /** Returns the i-th canonical basis vector. */
+    static Vec
+    unit(int i)
+    {
+        Vec r;
+        r[i] = 1.0;
+        return r;
+    }
+
+    double &
+    operator[](int i)
+    {
+        assert(i >= 0 && i < N);
+        return d_[i];
+    }
+
+    double
+    operator[](int i) const
+    {
+        assert(i >= 0 && i < N);
+        return d_[i];
+    }
+
+    /** Compile-time dimension. */
+    static constexpr int size() { return N; }
+
+    double x() const { return d_[0]; }
+    double y() const { static_assert(N >= 2); return d_[1]; }
+    double z() const { static_assert(N >= 3); return d_[2]; }
+    double w() const { static_assert(N >= 4); return d_[3]; }
+
+    Vec
+    operator+(const Vec &o) const
+    {
+        Vec r;
+        for (int i = 0; i < N; ++i)
+            r.d_[i] = d_[i] + o.d_[i];
+        return r;
+    }
+
+    Vec
+    operator-(const Vec &o) const
+    {
+        Vec r;
+        for (int i = 0; i < N; ++i)
+            r.d_[i] = d_[i] - o.d_[i];
+        return r;
+    }
+
+    Vec
+    operator-() const
+    {
+        Vec r;
+        for (int i = 0; i < N; ++i)
+            r.d_[i] = -d_[i];
+        return r;
+    }
+
+    Vec
+    operator*(double s) const
+    {
+        Vec r;
+        for (int i = 0; i < N; ++i)
+            r.d_[i] = d_[i] * s;
+        return r;
+    }
+
+    Vec operator/(double s) const { return *this * (1.0 / s); }
+
+    Vec &
+    operator+=(const Vec &o)
+    {
+        for (int i = 0; i < N; ++i)
+            d_[i] += o.d_[i];
+        return *this;
+    }
+
+    Vec &
+    operator-=(const Vec &o)
+    {
+        for (int i = 0; i < N; ++i)
+            d_[i] -= o.d_[i];
+        return *this;
+    }
+
+    Vec &
+    operator*=(double s)
+    {
+        for (int i = 0; i < N; ++i)
+            d_[i] *= s;
+        return *this;
+    }
+
+    /** Inner product. */
+    double
+    dot(const Vec &o) const
+    {
+        double s = 0.0;
+        for (int i = 0; i < N; ++i)
+            s += d_[i] * o.d_[i];
+        return s;
+    }
+
+    /** Squared Euclidean norm. */
+    double squaredNorm() const { return dot(*this); }
+
+    /** Euclidean norm. */
+    double norm() const { return std::sqrt(squaredNorm()); }
+
+    /** Returns this vector scaled to unit length (asserts norm > 0). */
+    Vec
+    normalized() const
+    {
+        double n = norm();
+        assert(n > 0.0);
+        return *this / n;
+    }
+
+    /** Element-wise (Hadamard) product. */
+    Vec
+    cwiseProduct(const Vec &o) const
+    {
+        Vec r;
+        for (int i = 0; i < N; ++i)
+            r.d_[i] = d_[i] * o.d_[i];
+        return r;
+    }
+
+    /** Returns the first M elements as a smaller vector. */
+    template <int M>
+    Vec<M>
+    head() const
+    {
+        static_assert(M <= N);
+        Vec<M> r;
+        for (int i = 0; i < M; ++i)
+            r[i] = d_[i];
+        return r;
+    }
+
+    const double *data() const { return d_.data(); }
+    double *data() { return d_.data(); }
+
+  private:
+    std::array<double, N> d_;
+};
+
+template <int N>
+inline Vec<N>
+operator*(double s, const Vec<N> &v)
+{
+    return v * s;
+}
+
+/** 3-D cross product. */
+inline Vec<3>
+cross(const Vec<3> &a, const Vec<3> &b)
+{
+    return Vec<3>{a[1] * b[2] - a[2] * b[1],
+                  a[2] * b[0] - a[0] * b[2],
+                  a[0] * b[1] - a[1] * b[0]};
+}
+
+template <int N>
+inline std::ostream &
+operator<<(std::ostream &os, const Vec<N> &v)
+{
+    os << "[";
+    for (int i = 0; i < N; ++i)
+        os << (i ? ", " : "") << v[i];
+    return os << "]";
+}
+
+using Vec2 = Vec<2>;
+using Vec3 = Vec<3>;
+using Vec4 = Vec<4>;
+using Vec6 = Vec<6>;
+
+/** Converts a 3-vector to homogeneous coordinates. */
+inline Vec4
+homogeneous(const Vec3 &v)
+{
+    return Vec4{v[0], v[1], v[2], 1.0};
+}
+
+} // namespace edx

@@ -1,0 +1,84 @@
+#include "sched/scheduler.hpp"
+
+#include <cassert>
+
+#include "math/stats.hpp"
+
+namespace edx {
+
+std::string
+kernelName(BackendKernel k)
+{
+    switch (k) {
+      case BackendKernel::Projection:
+        return "projection";
+      case BackendKernel::KalmanGain:
+        return "kalman-gain";
+      case BackendKernel::Marginalization:
+        return "marginalization";
+    }
+    return "?";
+}
+
+int
+kernelModelDegree(BackendKernel k)
+{
+    // Sec. VI-B: "the projection time is fit using a linear model
+    // whereas the other two kernels' times are estimated by quadratic
+    // models."
+    return k == BackendKernel::Projection ? 1 : 2;
+}
+
+KernelLatencyModel
+KernelLatencyModel::fit(BackendKernel kernel,
+                        const std::vector<KernelSample> &train)
+{
+    KernelLatencyModel m;
+    m.kernel_ = kernel;
+    std::vector<double> xs, ys;
+    xs.reserve(train.size());
+    ys.reserve(train.size());
+    for (const KernelSample &s : train) {
+        xs.push_back(s.size);
+        ys.push_back(s.cpu_ms);
+    }
+    m.model_ = PolynomialModel::fit(xs, ys, kernelModelDegree(kernel));
+    return m;
+}
+
+double
+KernelLatencyModel::r2(const std::vector<KernelSample> &samples) const
+{
+    std::vector<double> xs, ys;
+    for (const KernelSample &s : samples) {
+        xs.push_back(s.size);
+        ys.push_back(s.cpu_ms);
+    }
+    return model_.r2(xs, ys);
+}
+
+SchedulerStats
+evaluateScheduler(const RuntimeScheduler &sched,
+                  const std::vector<KernelSample> &eval_samples,
+                  const std::vector<double> &accel_ms)
+{
+    assert(eval_samples.size() == accel_ms.size());
+    SchedulerStats st;
+    st.frames = static_cast<int>(eval_samples.size());
+    for (size_t i = 0; i < eval_samples.size(); ++i) {
+        const KernelSample &s = eval_samples[i];
+        OffloadDecision d = sched.decide(s.size, accel_ms[i]);
+        bool oracle = oracleOffload(s.cpu_ms, accel_ms[i]);
+        if (d.offload)
+            ++st.offloaded;
+        if (d.offload == oracle)
+            ++st.agree_with_oracle;
+        st.scheduled_total_ms += d.offload ? accel_ms[i] : s.cpu_ms;
+        st.oracle_total_ms += oracle ? accel_ms[i] : s.cpu_ms;
+        st.always_offload_ms += accel_ms[i];
+        st.never_offload_ms += s.cpu_ms;
+    }
+    return st;
+}
+
+} // namespace edx

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The runtime offload scheduler (Sec. VI-B of the paper).
+ *
+ * Offloading a backend kernel is profitable only when its (size-
+ * dependent) CPU latency exceeds the accelerator latency including DMA.
+ * The scheduler therefore
+ *
+ *  1. fits, offline, a regression model of CPU kernel latency against
+ *     the kernel's matrix size (linear for projection, quadratic for
+ *     Kalman gain and marginalization - Fig. 16), using 25% of the
+ *     profiled frames (Sec. VII-A), and
+ *  2. at runtime, predicts the CPU time from the sizes the frontend
+ *     just produced and triggers the accelerator only when the
+ *     predicted CPU time exceeds the modeled accelerator time.
+ *
+ * An oracle scheduler (decides with the *actual* CPU time) provides the
+ * effectiveness reference of Sec. VII-F.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/regression.hpp"
+
+namespace edx {
+
+/** The three variation-dominating backend kernels (Tbl. I). */
+enum class BackendKernel
+{
+    Projection,     //!< registration mode
+    KalmanGain,     //!< VIO mode
+    Marginalization //!< SLAM mode
+};
+
+/** Human-readable kernel name. */
+std::string kernelName(BackendKernel k);
+
+/** Regression degree per kernel (Sec. VI-B: linear / quadratic). */
+int kernelModelDegree(BackendKernel k);
+
+/** One profiled sample: kernel size (x) and measured CPU latency. */
+struct KernelSample
+{
+    double size = 0.0;   //!< matrix-size driver (points, rows, ...)
+    double cpu_ms = 0.0;
+};
+
+/** The fitted predictor for one kernel. */
+class KernelLatencyModel
+{
+  public:
+    KernelLatencyModel() = default;
+
+    /** Fits the kernel's configured polynomial to training samples. */
+    static KernelLatencyModel fit(BackendKernel kernel,
+                                  const std::vector<KernelSample> &train);
+
+    /** Predicted CPU latency at @p size, ms. */
+    double predict(double size) const { return model_.predict(size); }
+
+    /** R^2 on a labelled sample set. */
+    double r2(const std::vector<KernelSample> &samples) const;
+
+    BackendKernel kernel() const { return kernel_; }
+    const PolynomialModel &polynomial() const { return model_; }
+
+  private:
+    BackendKernel kernel_ = BackendKernel::Projection;
+    PolynomialModel model_;
+};
+
+/** One scheduling decision. */
+struct OffloadDecision
+{
+    bool offload = false;
+    double predicted_cpu_ms = 0.0;
+    double accel_ms = 0.0;
+};
+
+/** The runtime scheduler. */
+class RuntimeScheduler
+{
+  public:
+    explicit RuntimeScheduler(KernelLatencyModel model)
+        : model_(std::move(model))
+    {}
+
+    /**
+     * Decides whether to offload a kernel invocation.
+     * @param size the kernel's matrix-size driver for this frame
+     * @param accel_ms modeled accelerator latency (compute + DMA)
+     */
+    OffloadDecision
+    decide(double size, double accel_ms) const
+    {
+        OffloadDecision d;
+        d.predicted_cpu_ms = model_.predict(size);
+        d.accel_ms = accel_ms;
+        d.offload = d.predicted_cpu_ms > accel_ms;
+        return d;
+    }
+
+    const KernelLatencyModel &model() const { return model_; }
+
+  private:
+    KernelLatencyModel model_;
+};
+
+/** Oracle decision: uses the actual CPU time (Sec. VII-F reference). */
+inline bool
+oracleOffload(double actual_cpu_ms, double accel_ms)
+{
+    return actual_cpu_ms > accel_ms;
+}
+
+/** Aggregate effectiveness statistics of a scheduler trace. */
+struct SchedulerStats
+{
+    int frames = 0;
+    int offloaded = 0;
+    int agree_with_oracle = 0;
+    double scheduled_total_ms = 0.0; //!< latency with scheduler choices
+    double oracle_total_ms = 0.0;    //!< latency with oracle choices
+    double always_offload_ms = 0.0;  //!< latency when always offloading
+    double never_offload_ms = 0.0;   //!< pure-CPU latency
+
+    double offloadFraction() const
+    {
+        return frames ? static_cast<double>(offloaded) / frames : 0.0;
+    }
+    double oracleAgreement() const
+    {
+        return frames ? static_cast<double>(agree_with_oracle) / frames
+                      : 0.0;
+    }
+};
+
+/**
+ * Evaluates a scheduler against the oracle over a profiled trace of
+ * (size, cpu_ms, accel_ms) triples.
+ */
+SchedulerStats evaluateScheduler(
+    const RuntimeScheduler &sched,
+    const std::vector<KernelSample> &eval_samples,
+    const std::vector<double> &accel_ms);
+
+} // namespace edx

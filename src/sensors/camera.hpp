@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Pinhole camera model and rectified stereo rig.
+ *
+ * The camera model supplies projection and its Jacobians to every part
+ * of the system: the synthetic renderer (forward projection), MSCKF
+ * measurement updates, bundle-adjustment residuals, and the registration
+ * backend's "Projection" kernel.
+ */
+#pragma once
+
+#include <optional>
+
+#include "math/mat.hpp"
+#include "math/se3.hpp"
+#include "math/vec.hpp"
+
+namespace edx {
+
+/** Pinhole intrinsics (no distortion; the rig is assumed rectified). */
+struct CameraIntrinsics
+{
+    double fx = 400.0;
+    double fy = 400.0;
+    double cx = 320.0;
+    double cy = 240.0;
+    int width = 640;
+    int height = 480;
+
+    /** The 3x3 intrinsic matrix K. */
+    Mat3
+    matrix() const
+    {
+        return Mat3{fx, 0, cx, 0, fy, cy, 0, 0, 1};
+    }
+
+    /**
+     * Projects a point in the camera frame to pixels.
+     * @return nullopt when the point is at or behind the camera plane.
+     */
+    std::optional<Vec2>
+    project(const Vec3 &p_cam) const
+    {
+        if (p_cam[2] <= 1e-6)
+            return std::nullopt;
+        return Vec2{fx * p_cam[0] / p_cam[2] + cx,
+                    fy * p_cam[1] / p_cam[2] + cy};
+    }
+
+    /** @return true when the pixel lies inside the image bounds. */
+    bool
+    inImage(const Vec2 &px, double border = 0.0) const
+    {
+        return px[0] >= border && px[0] < width - border &&
+               px[1] >= border && px[1] < height - border;
+    }
+
+    /**
+     * Jacobian of the projection with respect to the camera-frame point,
+     * evaluated at @p p_cam (which must have positive depth).
+     */
+    Mat23
+    projectJacobian(const Vec3 &p_cam) const
+    {
+        double iz = 1.0 / p_cam[2];
+        double iz2 = iz * iz;
+        return Mat23{fx * iz, 0.0, -fx * p_cam[0] * iz2,
+                     0.0, fy * iz, -fy * p_cam[1] * iz2};
+    }
+
+    /** Back-projects pixel + depth to a camera-frame point. */
+    Vec3
+    backProject(const Vec2 &px, double depth) const
+    {
+        return Vec3{(px[0] - cx) / fx * depth, (px[1] - cy) / fy * depth,
+                    depth};
+    }
+};
+
+/**
+ * A rectified stereo rig: two identical pinhole cameras separated by a
+ * pure horizontal baseline. Disparity d of a point at depth z satisfies
+ * d = fx * baseline / z.
+ */
+struct StereoRig
+{
+    CameraIntrinsics cam;
+    double baseline = 0.12; //!< meters, right camera at +x in left frame
+    Pose body_from_camera;  //!< extrinsics: camera frame in body frame
+
+    /** Depth from disparity (pixels); nullopt for non-positive input. */
+    std::optional<double>
+    depthFromDisparity(double disparity) const
+    {
+        if (disparity <= 1e-6)
+            return std::nullopt;
+        return cam.fx * baseline / disparity;
+    }
+
+    /** Disparity from depth (meters). */
+    double
+    disparityFromDepth(double depth) const
+    {
+        return cam.fx * baseline / depth;
+    }
+
+    /** Projects a left-camera-frame point into the right camera. */
+    std::optional<Vec2>
+    projectRight(const Vec3 &p_left) const
+    {
+        return cam.project(p_left - Vec3{baseline, 0.0, 0.0});
+    }
+
+    /**
+     * Triangulates a left-camera-frame 3-D point from a left pixel and a
+     * disparity measurement.
+     */
+    std::optional<Vec3>
+    triangulate(const Vec2 &px_left, double disparity) const
+    {
+        auto depth = depthFromDisparity(disparity);
+        if (!depth)
+            return std::nullopt;
+        return cam.backProject(px_left, *depth);
+    }
+};
+
+} // namespace edx

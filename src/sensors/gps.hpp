@@ -1,0 +1,80 @@
+/**
+ * @file
+ * GPS sample type and the environment-dependent availability model.
+ *
+ * GPS provides the 3 translational DoF but (1) gives no rotation, (2) is
+ * blocked indoors, and (3) suffers multi-path glitches even outdoors
+ * (Sec. II of the paper). The model here reproduces those three
+ * behaviours so the fusion backend faces realistic inputs.
+ */
+#pragma once
+
+#include "math/rng.hpp"
+#include "math/vec.hpp"
+
+namespace edx {
+
+/** One GPS fix. */
+struct GpsSample
+{
+    double t = 0.0;   //!< timestamp, seconds
+    Vec3 position;    //!< world-frame position, meters
+    double sigma = 1.0; //!< reported 1-sigma accuracy, meters
+    bool valid = false; //!< false when no fix (indoors / outage)
+};
+
+/** GPS receiver error model. */
+struct GpsNoiseModel
+{
+    double sigma = 0.6;          //!< nominal horizontal accuracy, m
+    double sigma_vertical = 1.2; //!< vertical accuracy, m
+    double multipath_prob = 0.02; //!< per-fix probability of a glitch
+    double multipath_bias = 6.0;  //!< glitch magnitude, m
+    double outage_prob = 0.01;    //!< per-fix probability of a dropout
+};
+
+/** Corrupts perfect positions into GPS fixes. */
+class GpsCorruptor
+{
+  public:
+    GpsCorruptor(const GpsNoiseModel &model, bool signal_available,
+                 uint64_t seed)
+        : model_(model), available_(signal_available), rng_(seed)
+    {}
+
+    /** Generates the fix for a true position at time @p t. */
+    GpsSample
+    sample(double t, const Vec3 &true_position)
+    {
+        GpsSample s;
+        s.t = t;
+        if (!available_ || rng_.uniform() < model_.outage_prob) {
+            s.valid = false;
+            return s;
+        }
+        s.valid = true;
+        s.sigma = model_.sigma;
+        s.position = true_position +
+                     Vec3{rng_.gaussian(0, model_.sigma),
+                          rng_.gaussian(0, model_.sigma),
+                          rng_.gaussian(0, model_.sigma_vertical)};
+        if (rng_.uniform() < model_.multipath_prob) {
+            // Multi-path: a correlated horizontal offset, under-reported
+            // by the receiver's accuracy estimate.
+            double ang = rng_.uniform(0, 6.283185307179586);
+            double mag = model_.multipath_bias * (0.5 + rng_.uniform());
+            s.position += Vec3{mag * std::cos(ang), mag * std::sin(ang),
+                               0.0};
+        }
+        return s;
+    }
+
+    bool available() const { return available_; }
+
+  private:
+    GpsNoiseModel model_;
+    bool available_;
+    Rng rng_;
+};
+
+} // namespace edx

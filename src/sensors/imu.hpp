@@ -1,0 +1,83 @@
+/**
+ * @file
+ * IMU sample types and the stochastic error model.
+ *
+ * An IMU supplies relative 6 DoF information by combining a gyroscope
+ * and an accelerometer (Sec. II of the paper); samples are noisy and
+ * biased, which is why VIO drifts without external correction. The noise
+ * model here is the standard continuous-time white noise + bias random
+ * walk discretized at the sample rate.
+ */
+#pragma once
+
+#include "math/rng.hpp"
+#include "math/vec.hpp"
+
+namespace edx {
+
+/** One IMU measurement. */
+struct ImuSample
+{
+    double t = 0.0;   //!< timestamp, seconds
+    Vec3 gyro;        //!< angular velocity, rad/s, body frame
+    Vec3 accel;       //!< specific force, m/s^2, body frame
+};
+
+/** Continuous-time IMU noise densities (typical MEMS-grade values). */
+struct ImuNoiseModel
+{
+    double gyro_noise = 1.7e-3;      //!< rad/s/sqrt(Hz)
+    double gyro_bias_walk = 2.0e-5;  //!< rad/s^2/sqrt(Hz)
+    double accel_noise = 2.0e-2;     //!< m/s^2/sqrt(Hz)
+    double accel_bias_walk = 3.0e-3; //!< m/s^3/sqrt(Hz)
+};
+
+/**
+ * Applies the IMU error model to a perfect measurement stream: tracks a
+ * random-walk bias per axis and adds discretized white noise.
+ */
+class ImuCorruptor
+{
+  public:
+    ImuCorruptor(const ImuNoiseModel &model, double rate_hz, uint64_t seed)
+        : model_(model), dt_(1.0 / rate_hz), rng_(seed)
+    {}
+
+    /** Corrupts one perfect sample (called in timestamp order). */
+    ImuSample
+    corrupt(const ImuSample &clean)
+    {
+        const double sqrt_dt = std::sqrt(dt_);
+        ImuSample out = clean;
+        for (int i = 0; i < 3; ++i) {
+            gyro_bias_[i] +=
+                model_.gyro_bias_walk * sqrt_dt * rng_.gaussian();
+            accel_bias_[i] +=
+                model_.accel_bias_walk * sqrt_dt * rng_.gaussian();
+            out.gyro[i] += gyro_bias_[i] +
+                           model_.gyro_noise / sqrt_dt * rng_.gaussian();
+            out.accel[i] += accel_bias_[i] +
+                            model_.accel_noise / sqrt_dt * rng_.gaussian();
+        }
+        return out;
+    }
+
+    const Vec3 &gyroBias() const { return gyro_bias_; }
+    const Vec3 &accelBias() const { return accel_bias_; }
+
+  private:
+    ImuNoiseModel model_;
+    double dt_;
+    Rng rng_;
+    Vec3 gyro_bias_;
+    Vec3 accel_bias_;
+};
+
+/** Standard gravity in the world frame (z up). */
+inline Vec3
+gravityWorld()
+{
+    return Vec3{0.0, 0.0, -9.81};
+}
+
+} // namespace edx

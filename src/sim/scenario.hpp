@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The real-world environment taxonomy of Fig. 2 of the paper.
+ *
+ * Environments are classified along two axes: availability of a
+ * pre-constructed map and availability of GPS. Each quadrant prefers a
+ * particular localization algorithm, which is what the unified framework
+ * switches its backend mode on.
+ */
+#pragma once
+
+#include <string>
+
+namespace edx {
+
+/** The four operating scenarios of Fig. 2. */
+enum class SceneType
+{
+    IndoorUnknown,  //!< no GPS, no map  -> SLAM
+    IndoorKnown,    //!< no GPS, map     -> Registration
+    OutdoorUnknown, //!< GPS, no map     -> VIO (+GPS)
+    OutdoorKnown,   //!< GPS, map        -> VIO (+GPS)
+};
+
+/** Backend mode of the unified framework (Sec. IV-A). */
+enum class BackendMode
+{
+    Registration,
+    Vio,
+    Slam,
+};
+
+/** Static properties of a scenario. */
+struct ScenarioTraits
+{
+    bool gps_available;
+    bool map_available;
+    bool indoor;
+};
+
+/** Traits lookup for a scene type. */
+inline ScenarioTraits
+scenarioTraits(SceneType s)
+{
+    switch (s) {
+      case SceneType::IndoorUnknown:
+        return {false, false, true};
+      case SceneType::IndoorKnown:
+        return {false, true, true};
+      case SceneType::OutdoorUnknown:
+        return {true, false, false};
+      case SceneType::OutdoorKnown:
+        return {true, true, false};
+    }
+    return {false, false, true};
+}
+
+/**
+ * The algorithm-affinity mapping of Fig. 2: which backend mode the
+ * unified framework activates in each scenario.
+ */
+inline BackendMode
+preferredMode(SceneType s)
+{
+    switch (s) {
+      case SceneType::IndoorUnknown:
+        return BackendMode::Slam;
+      case SceneType::IndoorKnown:
+        return BackendMode::Registration;
+      case SceneType::OutdoorUnknown:
+      case SceneType::OutdoorKnown:
+        return BackendMode::Vio;
+    }
+    return BackendMode::Slam;
+}
+
+/** Human-readable scenario name. */
+inline std::string
+sceneName(SceneType s)
+{
+    switch (s) {
+      case SceneType::IndoorUnknown:
+        return "indoor-unknown";
+      case SceneType::IndoorKnown:
+        return "indoor-known";
+      case SceneType::OutdoorUnknown:
+        return "outdoor-unknown";
+      case SceneType::OutdoorKnown:
+        return "outdoor-known";
+    }
+    return "?";
+}
+
+/** Human-readable mode name. */
+inline std::string
+modeName(BackendMode m)
+{
+    switch (m) {
+      case BackendMode::Registration:
+        return "registration";
+      case BackendMode::Vio:
+        return "vio";
+      case BackendMode::Slam:
+        return "slam";
+    }
+    return "?";
+}
+
+} // namespace edx

@@ -1,0 +1,93 @@
+#include "sim/trajectory.hpp"
+
+#include <cmath>
+
+namespace edx {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+constexpr double kH = 1e-4; //!< differentiation step, seconds
+} // namespace
+
+Trajectory
+Trajectory::car(double radius, double period)
+{
+    TrajectoryConfig cfg;
+    cfg.radius = radius;
+    cfg.period = period;
+    cfg.height = 1.2;
+    cfg.radial_wobble = 0.06 * radius;
+    cfg.vertical_amp = 0.0;
+    cfg.attitude_amp = 0.0;
+    return Trajectory(cfg);
+}
+
+Trajectory
+Trajectory::drone(double radius, double period)
+{
+    TrajectoryConfig cfg;
+    cfg.radius = radius;
+    cfg.period = period;
+    cfg.height = 2.0;
+    cfg.radial_wobble = 0.08 * radius;
+    cfg.vertical_amp = 0.5;
+    cfg.attitude_amp = 0.06;
+    return Trajectory(cfg);
+}
+
+Vec3
+Trajectory::positionAt(double t) const
+{
+    const double w = kTwoPi / cfg_.period;
+    const double theta = w * t;
+    const double rho =
+        cfg_.radius +
+        cfg_.radial_wobble * std::sin(cfg_.wobble_freq * theta);
+    const double z =
+        cfg_.height +
+        cfg_.vertical_amp * std::sin(cfg_.vertical_freq * theta);
+    return Vec3{rho * std::cos(theta), rho * std::sin(theta), z};
+}
+
+Vec3
+Trajectory::velocityAt(double t) const
+{
+    return (positionAt(t + kH) - positionAt(t - kH)) / (2.0 * kH);
+}
+
+Pose
+Trajectory::poseAt(double t) const
+{
+    // Heading follows the horizontal velocity; body x axis points along
+    // the direction of travel, z up (plus optional drone sway).
+    Vec3 v = velocityAt(t);
+    double yaw = std::atan2(v[1], v[0]);
+    double pitch = 0.0, roll = 0.0;
+    if (cfg_.attitude_amp > 0.0) {
+        const double w = kTwoPi / cfg_.period;
+        pitch = cfg_.attitude_amp * std::sin(2.3 * w * t);
+        roll = cfg_.attitude_amp * std::cos(1.7 * w * t);
+    }
+    return Pose(Quat::fromYawPitchRoll(yaw, pitch, roll), positionAt(t));
+}
+
+ImuSample
+Trajectory::imuTruthAt(double t) const
+{
+    ImuSample s;
+    s.t = t;
+
+    // Body angular velocity from the quaternion increment.
+    Quat q0 = poseAt(t).rotation;
+    Quat q1 = poseAt(t + kH).rotation;
+    s.gyro = (q0.inverse() * q1).log() / kH;
+
+    // Specific force: f_body = R_wb^T (a_world - g_world).
+    Vec3 a_world = (positionAt(t + kH) - positionAt(t) * 2.0 +
+                    positionAt(t - kH)) /
+                   (kH * kH);
+    s.accel = q0.inverse().rotate(a_world - gravityWorld());
+    return s;
+}
+
+} // namespace edx

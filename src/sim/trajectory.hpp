@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Analytic vehicle trajectories with exact pose and derived IMU truth.
+ *
+ * Trajectories are smooth closed loops: a car drives a perturbed circle
+ * at constant height; a drone adds vertical oscillation and gentle
+ * roll/pitch. Because the curve is analytic, ground-truth IMU
+ * measurements (body angular velocity, specific force) can be derived to
+ * high accuracy by small-step differentiation of the exact pose.
+ */
+#pragma once
+
+#include "math/se3.hpp"
+#include "sensors/imu.hpp"
+
+namespace edx {
+
+/** Trajectory shape parameters. */
+struct TrajectoryConfig
+{
+    double radius = 8.0;        //!< loop radius, m
+    double period = 60.0;       //!< seconds per lap
+    double height = 1.2;        //!< nominal body height, m
+    double radial_wobble = 0.8; //!< amplitude of radius modulation, m
+    double wobble_freq = 3.0;   //!< radial wobble cycles per lap
+    double vertical_amp = 0.0;  //!< drone: z oscillation amplitude, m
+    double vertical_freq = 5.0; //!< z oscillation cycles per lap
+    double attitude_amp = 0.0;  //!< drone: roll/pitch sway, rad
+};
+
+/** A smooth closed-loop trajectory. */
+class Trajectory
+{
+  public:
+    explicit Trajectory(const TrajectoryConfig &cfg) : cfg_(cfg) {}
+
+    /** Ground-vehicle default: planar loop, level attitude. */
+    static Trajectory car(double radius, double period);
+
+    /** Drone default: loop with vertical bobbing and attitude sway. */
+    static Trajectory drone(double radius, double period);
+
+    /** World position at time @p t. */
+    Vec3 positionAt(double t) const;
+
+    /** World-from-body pose at time @p t (x axis along the velocity). */
+    Pose poseAt(double t) const;
+
+    /**
+     * Exact-to-numerical-precision IMU sample at time @p t: body-frame
+     * angular velocity and specific force (acceleration minus gravity,
+     * rotated into the body).
+     */
+    ImuSample imuTruthAt(double t) const;
+
+    /** World-frame velocity at time @p t. */
+    Vec3 velocityAt(double t) const;
+
+    const TrajectoryConfig &config() const { return cfg_; }
+
+  private:
+    TrajectoryConfig cfg_;
+};
+
+} // namespace edx

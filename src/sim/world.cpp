@@ -1,0 +1,78 @@
+#include "sim/world.hpp"
+
+#include <cmath>
+
+namespace edx {
+
+World
+World::generateIndoor(const WorldConfig &cfg)
+{
+    World w;
+    w.landmarks_.reserve(cfg.landmark_count);
+    Rng rng(cfg.seed);
+    const double e = cfg.room_half_extent;
+
+    for (int i = 0; i < cfg.landmark_count; ++i) {
+        Landmark lm;
+        // 80% of landmarks sit on the walls (visually rich posters,
+        // fixtures, shelving); 20% are interior clutter.
+        double h = rng.uniform(cfg.min_height, cfg.max_height);
+        if (rng.uniform() < 0.8) {
+            int wall = rng.uniformInt(0, 3);
+            double along = rng.uniform(-e, e);
+            switch (wall) {
+              case 0: lm.position = Vec3{along, e, h}; break;
+              case 1: lm.position = Vec3{along, -e, h}; break;
+              case 2: lm.position = Vec3{e, along, h}; break;
+              default: lm.position = Vec3{-e, along, h}; break;
+            }
+        } else {
+            lm.position = Vec3{rng.uniform(-e * 0.7, e * 0.7),
+                               rng.uniform(-e * 0.7, e * 0.7),
+                               rng.uniform(cfg.min_height, 1.8)};
+        }
+        lm.texture_id = rng.nextU32();
+        lm.size_m = rng.uniform(0.10, 0.35);
+        lm.brightness = rng.uniformInt(90, 200);
+        w.landmarks_.push_back(lm);
+    }
+    return w;
+}
+
+World
+World::generateOutdoor(const WorldConfig &cfg)
+{
+    World w;
+    w.landmarks_.reserve(cfg.landmark_count);
+    Rng rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+    const double r = cfg.loop_radius;
+
+    for (int i = 0; i < cfg.landmark_count; ++i) {
+        Landmark lm;
+        double theta = rng.uniform(0.0, 6.283185307179586);
+        double h = rng.uniform(cfg.min_height, cfg.max_height * 1.8);
+        if (rng.uniform() < 0.65) {
+            // Facades: an annulus outside the loop, 6-28 m from the path.
+            double rho = r + rng.uniform(6.0, 28.0);
+            lm.position = Vec3{rho * std::cos(theta),
+                               rho * std::sin(theta), h};
+        } else if (rng.uniform() < 0.6) {
+            // Inner clutter: poles and signage inside the loop.
+            double rho = std::max(2.0, r - rng.uniform(5.0, 20.0));
+            lm.position = Vec3{rho * std::cos(theta),
+                               rho * std::sin(theta), h * 0.6};
+        } else {
+            // Ground texture near the path.
+            double rho = r + rng.uniform(-3.0, 3.0);
+            lm.position = Vec3{rho * std::cos(theta),
+                               rho * std::sin(theta), 0.05};
+        }
+        lm.texture_id = rng.nextU32();
+        lm.size_m = rng.uniform(0.20, 0.9);
+        lm.brightness = rng.uniformInt(80, 210);
+        w.landmarks_.push_back(lm);
+    }
+    return w;
+}
+
+} // namespace edx

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Synthetic 3-D landmark worlds.
+ *
+ * A world is a set of textured point landmarks that the renderer draws
+ * and the localization algorithms re-observe. Indoor worlds are compact
+ * rooms with landmarks on the walls; outdoor worlds are long loops with
+ * landmarks on facades and ground clutter at varied ranges.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "math/vec.hpp"
+
+namespace edx {
+
+/** A single textured point landmark. */
+struct Landmark
+{
+    Vec3 position;        //!< world frame, meters
+    uint32_t texture_id;  //!< deterministic appearance selector
+    double size_m;        //!< physical half-size, meters
+    int brightness;       //!< base intensity, 0-255
+};
+
+/** World generation parameters. */
+struct WorldConfig
+{
+    int landmark_count = 700;
+    double room_half_extent = 12.0; //!< indoor: room half-size, m
+    double loop_radius = 40.0;      //!< outdoor: trajectory loop radius, m
+    double min_height = 0.2;
+    double max_height = 6.0;
+    uint64_t seed = 1;
+};
+
+/** A generated landmark field. */
+class World
+{
+  public:
+    /**
+     * Indoor world: landmarks on the four walls and scattered interior
+     * clutter of a square room centered at the origin.
+     */
+    static World generateIndoor(const WorldConfig &cfg);
+
+    /**
+     * Outdoor world: landmarks in an annulus around the trajectory loop
+     * (building facades, poles, ground texture), at larger and more
+     * dispersed ranges than indoor.
+     */
+    static World generateOutdoor(const WorldConfig &cfg);
+
+    const std::vector<Landmark> &landmarks() const { return landmarks_; }
+    size_t size() const { return landmarks_.size(); }
+
+  private:
+    std::vector<Landmark> landmarks_;
+};
+
+} // namespace edx

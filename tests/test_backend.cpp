@@ -1,0 +1,704 @@
+/**
+ * @file
+ * Unit tests for the backend blocks: BoW vocabulary, the map store and
+ * place recognition, pose-only optimization, GPS fusion, feature-track
+ * management, and the MSCKF filter.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backend/feature_tracks.hpp"
+#include "backend/fusion.hpp"
+#include "backend/map.hpp"
+#include "backend/msckf.hpp"
+#include "backend/pose_opt.hpp"
+#include "backend/vocabulary.hpp"
+#include "math/rng.hpp"
+#include "sim/dataset.hpp"
+#include "sim/trajectory.hpp"
+
+namespace edx {
+namespace {
+
+/** A random 256-bit descriptor. */
+Descriptor
+randomDescriptor(Rng &rng)
+{
+    Descriptor d;
+    for (auto &word : d.bits)
+        word = (static_cast<uint64_t>(rng.uniformInt(0, 1 << 30)) << 34) ^
+               (static_cast<uint64_t>(rng.uniformInt(0, 1 << 30)) << 4) ^
+               static_cast<uint64_t>(rng.uniformInt(0, 15));
+    return d;
+}
+
+/** Flips @p n random bits of a descriptor (a "noisy re-observation"). */
+Descriptor
+perturbDescriptor(const Descriptor &d, int n, Rng &rng)
+{
+    Descriptor out = d;
+    for (int i = 0; i < n; ++i) {
+        int bit = rng.uniformInt(0, 255);
+        out.bits[bit / 64] ^= (1ULL << (bit % 64));
+    }
+    return out;
+}
+
+std::vector<Descriptor>
+randomCorpus(int n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Descriptor> corpus;
+    corpus.reserve(n);
+    for (int i = 0; i < n; ++i)
+        corpus.push_back(randomDescriptor(rng));
+    return corpus;
+}
+
+// --- Vocabulary -------------------------------------------------------
+
+TEST(Vocabulary, TrainingProducesWords)
+{
+    Vocabulary voc = Vocabulary::train(randomCorpus(600, 3));
+    EXPECT_TRUE(voc.trained());
+    EXPECT_GT(voc.wordCount(), 8);
+}
+
+TEST(Vocabulary, UntrainedVocabularyIsInert)
+{
+    Vocabulary voc;
+    EXPECT_FALSE(voc.trained());
+    EXPECT_EQ(voc.wordId(Descriptor{}), -1);
+    EXPECT_TRUE(voc.transform({Descriptor{}}).empty());
+}
+
+TEST(Vocabulary, TransformIsL1Normalized)
+{
+    Vocabulary voc = Vocabulary::train(randomCorpus(500, 5));
+    std::vector<Descriptor> frame = randomCorpus(80, 99);
+    BowVector bow = voc.transform(frame);
+    ASSERT_FALSE(bow.empty());
+    double sum = 0.0;
+    for (const auto &[word, weight] : bow) {
+        EXPECT_GE(word, 0);
+        EXPECT_GT(weight, 0.0);
+        sum += weight;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Vocabulary, SelfSimilarityIsOne)
+{
+    Vocabulary voc = Vocabulary::train(randomCorpus(500, 7));
+    BowVector bow = voc.transform(randomCorpus(60, 101));
+    EXPECT_NEAR(Vocabulary::similarity(bow, bow), 1.0, 1e-12);
+}
+
+TEST(Vocabulary, SimilarFramesScoreHigherThanRandomFrames)
+{
+    Rng rng(11);
+    std::vector<Descriptor> corpus = randomCorpus(800, 13);
+    Vocabulary voc = Vocabulary::train(corpus);
+
+    // Frame A and a noisy re-observation of it (few bit flips per
+    // descriptor) versus an unrelated frame.
+    std::vector<Descriptor> frame_a(corpus.begin(), corpus.begin() + 70);
+    std::vector<Descriptor> frame_a_noisy;
+    for (const Descriptor &d : frame_a)
+        frame_a_noisy.push_back(perturbDescriptor(d, 6, rng));
+    std::vector<Descriptor> unrelated = randomCorpus(70, 747);
+
+    BowVector a = voc.transform(frame_a);
+    BowVector a2 = voc.transform(frame_a_noisy);
+    BowVector b = voc.transform(unrelated);
+    EXPECT_GT(Vocabulary::similarity(a, a2),
+              Vocabulary::similarity(a, b));
+}
+
+TEST(Vocabulary, WordIdIsStable)
+{
+    Vocabulary voc = Vocabulary::train(randomCorpus(400, 17));
+    Rng rng(19);
+    for (int i = 0; i < 50; ++i) {
+        Descriptor d = randomDescriptor(rng);
+        int w1 = voc.wordId(d);
+        int w2 = voc.wordId(d);
+        EXPECT_EQ(w1, w2);
+        EXPECT_GE(w1, 0);
+        EXPECT_LT(w1, voc.wordCount());
+    }
+}
+
+// --- Map + place recognition ------------------------------------------
+
+Keyframe
+makeKeyframe(const Vocabulary &voc, const std::vector<Descriptor> &descs,
+             const Pose &pose)
+{
+    Keyframe kf;
+    kf.pose = pose;
+    kf.descriptors = descs;
+    kf.keypoints.resize(descs.size());
+    kf.map_point_ids.assign(descs.size(), -1);
+    kf.bow = voc.transform(descs);
+    return kf;
+}
+
+TEST(Map, QueryPlaceFindsTheMatchingKeyframe)
+{
+    Rng rng(23);
+    Vocabulary voc = Vocabulary::train(randomCorpus(700, 29));
+    Map map;
+
+    std::vector<std::vector<Descriptor>> frames;
+    for (int i = 0; i < 6; ++i)
+        frames.push_back(randomCorpus(60, 1000 + i));
+    for (int i = 0; i < 6; ++i)
+        map.addKeyframe(makeKeyframe(voc, frames[i], Pose::identity()));
+
+    // Query with a noisy version of frame 4.
+    std::vector<Descriptor> noisy;
+    for (const Descriptor &d : frames[4])
+        noisy.push_back(perturbDescriptor(d, 5, rng));
+    auto match = map.queryPlace(voc.transform(noisy));
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->keyframe_id, 4);
+    EXPECT_GT(match->score, 0.0);
+}
+
+TEST(Map, QueryPlaceHonorsMaxIdFilter)
+{
+    Vocabulary voc = Vocabulary::train(randomCorpus(500, 31));
+    Map map;
+    std::vector<Descriptor> frame = randomCorpus(50, 2000);
+    for (int i = 0; i < 4; ++i)
+        map.addKeyframe(makeKeyframe(voc, frame, Pose::identity()));
+
+    auto filtered = map.queryPlace(voc.transform(frame), /*max_id=*/1);
+    ASSERT_TRUE(filtered.has_value());
+    EXPECT_LE(filtered->keyframe_id, 1);
+}
+
+TEST(Map, SaveLoadRoundTripPreservesEverything)
+{
+    Rng rng(37);
+    Vocabulary voc = Vocabulary::train(randomCorpus(400, 41));
+    Map map;
+    for (int i = 0; i < 30; ++i) {
+        MapPoint p;
+        p.position = Vec3{rng.uniform(-5, 5), rng.uniform(-5, 5),
+                          rng.uniform(0, 3)};
+        p.descriptor = randomDescriptor(rng);
+        p.observations = i % 4;
+        map.addPoint(p);
+    }
+    auto descs = randomCorpus(40, 43);
+    Pose kf_pose(Quat::fromYawPitchRoll(0.3, 0.1, -0.2),
+                 Vec3{1.0, 2.0, 0.5});
+    map.addKeyframe(makeKeyframe(voc, descs, kf_pose));
+
+    const std::string path = "/tmp/edx_test_backend_map.bin";
+    ASSERT_TRUE(map.save(path));
+    auto loaded = Map::load(path);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->pointCount(), map.pointCount());
+    ASSERT_EQ(loaded->keyframeCount(), map.keyframeCount());
+    for (int i = 0; i < map.pointCount(); ++i) {
+        const MapPoint &a = map.points()[i];
+        const MapPoint &b = loaded->points()[i];
+        EXPECT_NEAR((a.position - b.position).norm(), 0.0, 1e-15);
+        EXPECT_TRUE(a.descriptor == b.descriptor);
+        EXPECT_EQ(a.observations, b.observations);
+    }
+    const Keyframe &ka = map.keyframes()[0];
+    const Keyframe &kb = loaded->keyframes()[0];
+    EXPECT_EQ(ka.descriptors.size(), kb.descriptors.size());
+    EXPECT_NEAR(ka.pose.distanceTo(kb.pose).translational, 0.0, 1e-15);
+    EXPECT_EQ(ka.bow.size(), kb.bow.size());
+}
+
+TEST(Map, LoadRejectsMissingFile)
+{
+    EXPECT_FALSE(Map::load("/tmp/edx_no_such_map.bin").has_value());
+}
+
+// --- Pose-only optimization -------------------------------------------
+
+struct PoseOptCase
+{
+    double pixel_noise;
+    double max_translation_error;
+    int min_inliers; //!< within 4 px at the optimum
+};
+
+class PoseOptRecovers : public ::testing::TestWithParam<PoseOptCase>
+{};
+
+TEST_P(PoseOptRecovers, FromPerturbedInitialGuess)
+{
+    const PoseOptCase param = GetParam();
+    CameraIntrinsics cam;
+    cam.fx = cam.fy = 400.0;
+    cam.cx = 320.0;
+    cam.cy = 240.0;
+
+    Rng rng(53);
+    Pose truth(Quat::fromYawPitchRoll(0.4, -0.1, 0.05),
+               Vec3{2.0, -1.0, 0.7});
+
+    std::vector<PoseObservation> obs;
+    for (int i = 0; i < 120; ++i) {
+        // World point in front of the camera.
+        Vec3 p_cam{rng.uniform(-2, 2), rng.uniform(-1.5, 1.5),
+                   rng.uniform(2, 12)};
+        Vec3 p_world = truth.rotation.rotate(p_cam) + truth.translation;
+        auto px = cam.project(p_cam);
+        ASSERT_TRUE(px.has_value());
+        PoseObservation o;
+        o.point_world = p_world;
+        o.pixel = *px + Vec2{rng.gaussian(0, param.pixel_noise),
+                             rng.gaussian(0, param.pixel_noise)};
+        obs.push_back(o);
+    }
+
+    Pose initial(truth.rotation * Quat::fromAxisAngle(Vec3{0, 0, 1}, 0.06),
+                 truth.translation + Vec3{0.25, -0.2, 0.1});
+    PoseOptResult res = optimizePose(initial, obs, cam, Pose::identity(),
+                                     PoseOptConfig{});
+    ASSERT_TRUE(res.converged);
+    EXPECT_LT(res.pose.distanceTo(truth).translational,
+              param.max_translation_error);
+    EXPECT_GT(res.inliers, param.min_inliers);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoiseSweep, PoseOptRecovers,
+    ::testing::Values(PoseOptCase{0.0, 1e-4, 115},
+                      PoseOptCase{0.5, 0.02, 110},
+                      PoseOptCase{1.5, 0.06, 90},
+                      PoseOptCase{3.0, 0.15, 55}));
+
+TEST(PoseOpt, OutliersAreDownWeightedByHuber)
+{
+    CameraIntrinsics cam;
+    Rng rng(59);
+    Pose truth(Quat::identity(), Vec3{0.5, 0.2, 0.0});
+
+    std::vector<PoseObservation> obs;
+    for (int i = 0; i < 100; ++i) {
+        Vec3 p_cam{rng.uniform(-2, 2), rng.uniform(-1.5, 1.5),
+                   rng.uniform(2, 10)};
+        Vec3 p_world = truth.rotation.rotate(p_cam) + truth.translation;
+        auto px = cam.project(p_cam);
+        ASSERT_TRUE(px.has_value());
+        PoseObservation o;
+        o.point_world = p_world;
+        o.pixel = *px;
+        if (i % 10 == 0) // 10% gross outliers
+            o.pixel += Vec2{rng.uniform(40, 80), rng.uniform(40, 80)};
+        obs.push_back(o);
+    }
+    PoseOptResult res = optimizePose(Pose::identity(), obs, cam,
+                                     Pose::identity(), PoseOptConfig{});
+    ASSERT_TRUE(res.converged);
+    EXPECT_LT(res.pose.distanceTo(truth).translational, 0.05);
+}
+
+TEST(PoseOpt, TooFewObservationsDoNotConverge)
+{
+    CameraIntrinsics cam;
+    std::vector<PoseObservation> obs(2);
+    obs[0].point_world = Vec3{0, 0, 5};
+    obs[0].pixel = Vec2{320, 240};
+    obs[1].point_world = Vec3{1, 0, 5};
+    obs[1].pixel = Vec2{400, 240};
+    PoseOptResult res = optimizePose(Pose::identity(), obs, cam,
+                                     Pose::identity(), PoseOptConfig{});
+    EXPECT_FALSE(res.converged);
+}
+
+// --- GPS fusion ---------------------------------------------------------
+
+TEST(Fusion, EstimatesConstantDrift)
+{
+    GpsFusion fusion;
+    Vec3 true_drift{1.5, -0.8, 0.2};
+    Rng rng(61);
+    Vec3 vio_pos = Vec3::zero();
+    for (int i = 0; i < 200; ++i) {
+        vio_pos += Vec3{0.05, 0.02, 0.0};
+        GpsSample gps;
+        gps.valid = true;
+        gps.t = i * 0.1;
+        gps.sigma = 0.4;
+        gps.position = vio_pos + true_drift +
+                       Vec3{rng.gaussian(0, 0.2), rng.gaussian(0, 0.2),
+                            rng.gaussian(0, 0.2)};
+        fusion.fuse(vio_pos, gps, 0.1);
+    }
+    EXPECT_GT(fusion.updatesApplied(), 150);
+    EXPECT_LT((fusion.drift() - true_drift).norm(), 0.15);
+}
+
+TEST(Fusion, CorrectAppliesDriftToPosition)
+{
+    GpsFusion fusion;
+    GpsSample gps;
+    gps.valid = true;
+    gps.sigma = 0.1;
+    gps.position = Vec3{10.0, 0.0, 0.0};
+    // Repeated updates pull the drift toward gps - vio = {10,0,0} - 0.
+    for (int i = 0; i < 60; ++i)
+        fusion.fuse(Vec3::zero(), gps, 0.1);
+    Pose vio(Quat::identity(), Vec3::zero());
+    Pose corrected = fusion.correct(vio);
+    EXPECT_NEAR(corrected.translation[0], 10.0, 0.5);
+}
+
+TEST(Fusion, InvalidFixesAreIgnored)
+{
+    GpsFusion fusion;
+    GpsSample invalid; // valid defaults to false
+    for (int i = 0; i < 50; ++i)
+        fusion.fuse(Vec3::zero(), invalid, 0.1);
+    EXPECT_EQ(fusion.updatesApplied(), 0);
+    EXPECT_NEAR(fusion.drift().norm(), 0.0, 1e-12);
+}
+
+TEST(Fusion, InnovationGateRejectsMultipathGlitches)
+{
+    FusionConfig cfg;
+    cfg.gate_sigma = 4.0;
+    GpsFusion fusion(cfg);
+    Rng rng(67);
+
+    // Converge on a small drift first.
+    for (int i = 0; i < 100; ++i) {
+        GpsSample gps;
+        gps.valid = true;
+        gps.sigma = 0.3;
+        gps.position = Vec3{0.5, 0.0, 0.0} +
+                       Vec3{rng.gaussian(0, 0.1), rng.gaussian(0, 0.1),
+                            rng.gaussian(0, 0.1)};
+        fusion.fuse(Vec3::zero(), gps, 0.1);
+    }
+    Vec3 drift_before = fusion.drift();
+    int rejected_before = fusion.updatesRejected();
+
+    // A 40 m multipath glitch must be gated out.
+    GpsSample glitch;
+    glitch.valid = true;
+    glitch.sigma = 0.3;
+    glitch.position = Vec3{40.0, 0.0, 0.0};
+    fusion.fuse(Vec3::zero(), glitch, 0.1);
+    EXPECT_EQ(fusion.updatesRejected(), rejected_before + 1);
+    EXPECT_LT((fusion.drift() - drift_before).norm(), 0.05);
+}
+
+// --- Feature-track management ------------------------------------------
+
+/** Builds a minimal frontend output with given keypoints/links. */
+FrontendOutput
+frameWith(const std::vector<Vec2> &kps,
+          const std::vector<std::pair<int, Vec2>> &temporal,
+          const std::vector<std::pair<int, float>> &stereo)
+{
+    FrontendOutput f;
+    for (const Vec2 &p : kps) {
+        KeyPoint kp;
+        kp.x = static_cast<float>(p[0]);
+        kp.y = static_cast<float>(p[1]);
+        f.keypoints.push_back(kp);
+        f.descriptors.emplace_back();
+    }
+    for (const auto &[prev_index, pos] : temporal) {
+        TemporalMatch m;
+        m.prev_index = prev_index;
+        m.x = static_cast<float>(pos[0]);
+        m.y = static_cast<float>(pos[1]);
+        f.temporal.push_back(m);
+    }
+    for (const auto &[left_index, disparity] : stereo) {
+        StereoMatch m;
+        m.left_index = left_index;
+        m.disparity = disparity;
+        f.stereo.push_back(m);
+    }
+    return f;
+}
+
+TEST(FeatureTracks, ContinuedTrackSpansFrames)
+{
+    FeatureTrackManager mgr;
+
+    // Frame 0: one key point at (100, 100) with stereo depth.
+    auto f0 = frameWith({Vec2{100, 100}}, {}, {{0, 8.0f}});
+    auto finished = mgr.ingest(f0, 0);
+    EXPECT_TRUE(finished.empty());
+    ASSERT_EQ(mgr.liveTracks().size(), 1u);
+
+    // Frame 1: LK tracked it to (102, 101); a detector key point sits
+    // within the continuation radius.
+    auto f1 = frameWith({Vec2{102.5, 101.0}}, {{0, Vec2{102, 101}}},
+                        {{0, 7.5f}});
+    finished = mgr.ingest(f1, 1);
+    EXPECT_TRUE(finished.empty());
+    ASSERT_EQ(mgr.liveTracks().size(), 1u);
+    EXPECT_EQ(mgr.liveTracks()[0].observations.size(), 2u);
+    EXPECT_EQ(mgr.liveTracks()[0].observations[1].clone_id, 1);
+
+    // Frame 2: the track is not matched -> it finishes.
+    auto f2 = frameWith({Vec2{400, 200}}, {}, {});
+    finished = mgr.ingest(f2, 2);
+    ASSERT_EQ(finished.size(), 1u);
+    EXPECT_EQ(finished[0].observations.size(), 2u);
+}
+
+TEST(FeatureTracks, DisparityIsRecordedPerObservation)
+{
+    FeatureTrackManager mgr;
+    auto f0 = frameWith({Vec2{50, 60}}, {}, {{0, 12.0f}});
+    mgr.ingest(f0, 0);
+    ASSERT_EQ(mgr.liveTracks().size(), 1u);
+    EXPECT_NEAR(mgr.liveTracks()[0].observations[0].disparity, 12.0, 1e-6);
+
+    auto f1 = frameWith({Vec2{51, 60}}, {{0, Vec2{51, 60}}}, {});
+    mgr.ingest(f1, 1);
+    ASSERT_EQ(mgr.liveTracks().size(), 1u);
+    EXPECT_LT(mgr.liveTracks()[0].observations[1].disparity, 0.0);
+}
+
+TEST(FeatureTracks, DropObservationsBeforeSlidesWindow)
+{
+    FeatureTrackManager mgr;
+    auto f0 = frameWith({Vec2{10, 10}}, {}, {{0, 9.0f}});
+    mgr.ingest(f0, 0);
+    for (int i = 1; i < 5; ++i) {
+        auto f = frameWith({Vec2{10.f + i, 10}},
+                           {{0, Vec2{10.0 + i, 10}}}, {{0, 9.0f}});
+        mgr.ingest(f, i);
+    }
+    ASSERT_EQ(mgr.liveTracks().size(), 1u);
+    ASSERT_EQ(mgr.liveTracks()[0].observations.size(), 5u);
+    mgr.dropObservationsBefore(3);
+    EXPECT_EQ(mgr.liveTracks()[0].observations.size(), 2u);
+    EXPECT_GE(mgr.liveTracks()[0].observations.front().clone_id, 3);
+}
+
+TEST(FeatureTracks, ResetDropsEverything)
+{
+    FeatureTrackManager mgr;
+    mgr.ingest(frameWith({Vec2{10, 10}}, {}, {}), 0);
+    mgr.reset();
+    EXPECT_TRUE(mgr.liveTracks().empty());
+}
+
+// --- MSCKF --------------------------------------------------------------
+
+/** Clean IMU batch sampled from the analytic trajectory. */
+std::vector<ImuSample>
+cleanImuBatch(const Trajectory &traj, double t0, double t1, double rate)
+{
+    std::vector<ImuSample> out;
+    for (double t = t0; t < t1 - 1e-12; t += 1.0 / rate)
+        out.push_back(traj.imuTruthAt(t + 0.5 / rate));
+    return out;
+}
+
+TEST(Msckf, StationaryPropagationStaysPut)
+{
+    StereoRig rig = platformRig(Platform::Drone);
+    Msckf filter(rig);
+    Pose start(Quat::identity(), Vec3{1.0, 2.0, 1.5});
+    filter.initialize(start, 0.0);
+
+    // Standstill: zero gyro, specific force cancels gravity.
+    std::vector<ImuSample> batch;
+    for (int i = 0; i < 100; ++i) {
+        ImuSample s;
+        s.t = (i + 1) * 0.005;
+        s.gyro = Vec3::zero();
+        s.accel = -gravityWorld(); // body frame == world frame
+        batch.push_back(s);
+    }
+    filter.propagate(batch);
+    Pose end = filter.pose();
+    EXPECT_LT(end.distanceTo(start).translational, 1e-6);
+    EXPECT_LT(end.distanceTo(start).rotational, 1e-9);
+    EXPECT_LT(filter.velocity().norm(), 1e-6);
+}
+
+TEST(Msckf, PropagationFollowsAnalyticTrajectory)
+{
+    Trajectory traj = Trajectory::drone(8.0, 40.0);
+    StereoRig rig = platformRig(Platform::Drone);
+    Msckf filter(rig);
+    filter.initialize(traj.poseAt(0.0), 0.0, traj.velocityAt(0.0));
+
+    const double rate = 200.0;
+    const double horizon = 1.5;
+    filter.propagate(cleanImuBatch(traj, 0.0, horizon, rate));
+    Pose end = filter.pose();
+    Pose truth = traj.poseAt(horizon);
+    // Pure dead-reckoning on clean IMU over 1.5 s: centimeter class.
+    EXPECT_LT(end.distanceTo(truth).translational, 0.05)
+        << "dead-reckoned " << end.translation << " vs "
+        << truth.translation;
+    EXPECT_LT(end.distanceTo(truth).rotational, 0.02);
+}
+
+TEST(Msckf, CloneWindowIsBounded)
+{
+    MsckfConfig cfg;
+    cfg.max_clones = 5;
+    StereoRig rig = platformRig(Platform::Drone);
+    Msckf filter(rig, cfg);
+    filter.initialize(Pose::identity(), 0.0);
+
+    for (int i = 0; i < 12; ++i) {
+        long oldest = filter.update({}, i);
+        EXPECT_LE(filter.cloneCount(), cfg.max_clones);
+        if (i >= cfg.max_clones) {
+            EXPECT_GT(oldest, 0);
+        }
+    }
+    // Covariance stays consistent with the state dimension.
+    EXPECT_EQ(filter.covariance().rows(), 15 + 6 * filter.cloneCount());
+}
+
+TEST(Msckf, CovarianceStaysSymmetricPositive)
+{
+    Trajectory traj = Trajectory::drone(8.0, 40.0);
+    StereoRig rig = platformRig(Platform::Drone);
+    Msckf filter(rig);
+    filter.initialize(traj.poseAt(0.0), 0.0, traj.velocityAt(0.0));
+
+    for (int frame = 1; frame <= 8; ++frame) {
+        filter.propagate(
+            cleanImuBatch(traj, (frame - 1) * 0.1, frame * 0.1, 200.0));
+        filter.update({}, frame);
+        const MatX &p = filter.covariance();
+        for (int i = 0; i < p.rows(); ++i) {
+            EXPECT_GT(p(i, i), 0.0) << "diag " << i << " frame " << frame;
+            for (int j = 0; j < i; ++j)
+                ASSERT_NEAR(p(i, j), p(j, i),
+                            1e-9 * std::max(1.0, std::abs(p(i, i))));
+        }
+    }
+}
+
+/**
+ * Synthesizes perfect stereo feature tracks of world landmarks along the
+ * trajectory and verifies the MSCKF update uses them to bound drift
+ * relative to IMU-only dead reckoning over a longer horizon.
+ */
+TEST(Msckf, VisualUpdatesReduceDriftVersusImuOnly)
+{
+    Trajectory traj = Trajectory::drone(8.0, 40.0);
+    StereoRig rig = platformRig(Platform::Drone);
+
+    // Landmarks around the loop.
+    Rng rng(71);
+    std::vector<Vec3> landmarks;
+    for (int i = 0; i < 240; ++i) {
+        double ang = rng.uniform(0, 2 * M_PI);
+        double r = rng.uniform(10.0, 16.0);
+        landmarks.push_back(
+            Vec3{r * std::cos(ang), r * std::sin(ang), rng.uniform(0, 4)});
+    }
+
+    auto observe = [&](const Pose &world_from_body, const Vec3 &lm,
+                       Vec2 &px, double &disp) {
+        Pose camera_from_world =
+            (world_from_body * rig.body_from_camera).inverse();
+        Vec3 p_cam = camera_from_world.rotation.rotate(lm) +
+                     camera_from_world.translation;
+        auto proj = rig.cam.project(p_cam);
+        if (!proj || !rig.cam.inImage(*proj, 8.0))
+            return false;
+        px = *proj;
+        disp = rig.disparityFromDepth(p_cam[2]);
+        return true;
+    };
+
+    const double fps = 10.0, rate = 200.0;
+    const int frames = 60;
+
+    auto run = [&](bool with_updates) {
+        Msckf filter(rig);
+        filter.initialize(traj.poseAt(0.0), 0.0, traj.velocityAt(0.0));
+        // Live tracks keyed by landmark index.
+        std::unordered_map<int, FeatureTrack> live;
+        long next_id = 1;
+        double final_err = 0.0;
+        for (int f = 1; f <= frames; ++f) {
+            double t0 = (f - 1) / fps, t1 = f / fps;
+            filter.propagate(cleanImuBatch(traj, t0, t1, rate));
+
+            std::vector<FeatureTrack> finished;
+            if (with_updates) {
+                Pose truth = traj.poseAt(t1);
+                for (int li = 0; li < static_cast<int>(landmarks.size());
+                     ++li) {
+                    Vec2 px;
+                    double disp;
+                    bool vis = observe(truth, landmarks[li], px, disp);
+                    auto it = live.find(li);
+                    if (vis) {
+                        if (it == live.end()) {
+                            FeatureTrack tr;
+                            tr.id = next_id++;
+                            live.emplace(li, std::move(tr));
+                            it = live.find(li);
+                        }
+                        TrackObservation ob;
+                        ob.clone_id = f;
+                        ob.pixel = px;
+                        ob.disparity = disp;
+                        it->second.observations.push_back(ob);
+                    } else if (it != live.end()) {
+                        finished.push_back(std::move(it->second));
+                        live.erase(it);
+                    }
+                }
+            }
+            long oldest = filter.update(finished, f);
+            if (with_updates) {
+                for (auto &[li, tr] : live) {
+                    auto &obs = tr.observations;
+                    obs.erase(std::remove_if(
+                                  obs.begin(), obs.end(),
+                                  [&](const TrackObservation &o) {
+                                      return o.clone_id < oldest;
+                                  }),
+                              obs.end());
+                }
+            }
+            final_err = filter.pose()
+                            .distanceTo(traj.poseAt(t1))
+                            .translational;
+        }
+        return final_err;
+    };
+
+    double err_imu_only = run(false);
+    double err_msckf = run(true);
+    // Visual updates must not blow up, and after 6 s they beat pure
+    // integration (which accumulates quadratic error).
+    EXPECT_LT(err_msckf, 1.0);
+    EXPECT_LT(err_msckf, err_imu_only + 0.05);
+}
+
+TEST(Msckf, TimingAndWorkloadArePopulatedOnUpdate)
+{
+    StereoRig rig = platformRig(Platform::Drone);
+    Msckf filter(rig);
+    filter.initialize(Pose::identity(), 0.0);
+    filter.update({}, 0);
+    EXPECT_GE(filter.lastTiming().total(), 0.0);
+    EXPECT_EQ(filter.lastWorkload().state_dim, 15 + 6);
+}
+
+} // namespace
+} // namespace edx

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the core library glue: scenario dispatch (Fig. 2),
+ * trajectory error metrics, and the offline vocabulary / prior-map
+ * builders used by the registration scenarios.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluation.hpp"
+#include "core/localizer.hpp"
+#include "sim/dataset.hpp"
+
+namespace edx {
+namespace {
+
+// --- Scenario dispatch (Fig. 2) -----------------------------------------
+
+TEST(Scenario, PreferredModesMatchFigureTwo)
+{
+    EXPECT_EQ(preferredMode(SceneType::IndoorUnknown), BackendMode::Slam);
+    EXPECT_EQ(preferredMode(SceneType::IndoorKnown),
+              BackendMode::Registration);
+    EXPECT_EQ(preferredMode(SceneType::OutdoorUnknown), BackendMode::Vio);
+    EXPECT_EQ(preferredMode(SceneType::OutdoorKnown), BackendMode::Vio);
+}
+
+TEST(Scenario, ConfigForScenarioEnablesGpsOnlyOutdoors)
+{
+    for (SceneType s : {SceneType::IndoorUnknown, SceneType::IndoorKnown})
+        EXPECT_FALSE(configForScenario(s).use_gps) << sceneName(s);
+    for (SceneType s :
+         {SceneType::OutdoorUnknown, SceneType::OutdoorKnown})
+        EXPECT_TRUE(configForScenario(s).use_gps) << sceneName(s);
+}
+
+TEST(Scenario, ConfigModeFollowsPreferredMode)
+{
+    for (SceneType s :
+         {SceneType::IndoorUnknown, SceneType::IndoorKnown,
+          SceneType::OutdoorUnknown, SceneType::OutdoorKnown})
+        EXPECT_EQ(configForScenario(s).mode, preferredMode(s))
+            << sceneName(s);
+}
+
+TEST(Scenario, TraitsAreConsistentWithNames)
+{
+    EXPECT_TRUE(scenarioTraits(SceneType::IndoorKnown).map_available);
+    EXPECT_FALSE(scenarioTraits(SceneType::IndoorUnknown).map_available);
+    EXPECT_TRUE(scenarioTraits(SceneType::OutdoorKnown).gps_available);
+    EXPECT_FALSE(scenarioTraits(SceneType::IndoorKnown).gps_available);
+}
+
+// --- Trajectory error metrics ---------------------------------------------
+
+std::vector<Pose>
+straightLine(int n, double step)
+{
+    std::vector<Pose> out;
+    for (int i = 0; i < n; ++i)
+        out.emplace_back(Quat::identity(), Vec3{i * step, 0.0, 0.0});
+    return out;
+}
+
+TEST(Evaluation, IdenticalTrajectoriesHaveZeroError)
+{
+    auto t = straightLine(50, 0.2);
+    TrajectoryError e = computeTrajectoryError(t, t);
+    EXPECT_NEAR(e.rmse_m, 0.0, 1e-12);
+    EXPECT_NEAR(e.max_m, 0.0, 1e-12);
+    EXPECT_NEAR(e.mean_rot_deg, 0.0, 1e-9);
+    EXPECT_EQ(e.frames, 50);
+}
+
+TEST(Evaluation, ConstantOffsetGivesThatRmse)
+{
+    auto truth = straightLine(40, 0.25);
+    std::vector<Pose> est;
+    for (const Pose &p : truth)
+        est.emplace_back(p.rotation, p.translation + Vec3{0.0, 0.3, 0.4});
+    TrajectoryError e = computeTrajectoryError(est, truth);
+    EXPECT_NEAR(e.rmse_m, 0.5, 1e-12);
+    EXPECT_NEAR(e.max_m, 0.5, 1e-12);
+}
+
+TEST(Evaluation, RelativeErrorIsNormalizedByPathLength)
+{
+    // 40 frames x 0.25 m = ~9.75 m path; 0.5 m RMSE ~= 5.1%.
+    auto truth = straightLine(40, 0.25);
+    std::vector<Pose> est;
+    for (const Pose &p : truth)
+        est.emplace_back(p.rotation, p.translation + Vec3{0.5, 0.0, 0.0});
+    TrajectoryError e = computeTrajectoryError(est, truth);
+    EXPECT_GT(e.relative_percent, 3.0);
+    EXPECT_LT(e.relative_percent, 8.0);
+}
+
+TEST(Evaluation, RotationErrorIsReported)
+{
+    auto truth = straightLine(20, 0.3);
+    std::vector<Pose> est;
+    for (const Pose &p : truth)
+        est.emplace_back(
+            p.rotation * Quat::fromAxisAngle(Vec3{0, 0, 1}, 0.1),
+            p.translation);
+    TrajectoryError e = computeTrajectoryError(est, truth);
+    EXPECT_NEAR(e.mean_rot_deg, 0.1 * 180.0 / M_PI, 1e-6);
+}
+
+TEST(Evaluation, EmptyTrajectoriesAreSafe)
+{
+    TrajectoryError e = computeTrajectoryError({}, {});
+    EXPECT_EQ(e.frames, 0);
+    EXPECT_DOUBLE_EQ(e.rmse_m, 0.0);
+}
+
+// --- Offline builders -------------------------------------------------------
+
+DatasetConfig
+tinyDataset(SceneType scene)
+{
+    DatasetConfig cfg;
+    cfg.scene = scene;
+    cfg.platform = Platform::Drone;
+    cfg.frame_count = 16;
+    cfg.fps = 10.0;
+    cfg.seed = 77;
+    return cfg;
+}
+
+TEST(Evaluation, VocabularyBuilderTrainsFromDataset)
+{
+    Dataset d(tinyDataset(SceneType::IndoorKnown));
+    Vocabulary voc = buildVocabulary(d, /*frame_stride=*/4);
+    EXPECT_TRUE(voc.trained());
+    EXPECT_GT(voc.wordCount(), 16);
+}
+
+TEST(Evaluation, PriorMapCoversTheTrajectory)
+{
+    Dataset d(tinyDataset(SceneType::IndoorKnown));
+    Vocabulary voc = buildVocabulary(d, 4);
+    MapBuildConfig mcfg;
+    mcfg.frame_stride = 4;
+    Map map = buildPriorMap(d, voc, mcfg);
+    EXPECT_GE(map.keyframeCount(), 3);
+    EXPECT_GT(map.pointCount(), 50);
+
+    // Map points sit inside the (indoor) world bounds.
+    double half = d.world().landmarks().empty()
+                      ? 12.0
+                      : 30.0; // generous envelope
+    for (const MapPoint &p : map.points()) {
+        EXPECT_LT(std::abs(p.position[0]), half);
+        EXPECT_LT(std::abs(p.position[1]), half);
+    }
+}
+
+TEST(Evaluation, MapNoiseParameterDegradesMapQuality)
+{
+    Dataset d(tinyDataset(SceneType::IndoorKnown));
+    Vocabulary voc = buildVocabulary(d, 4);
+
+    MapBuildConfig clean_cfg;
+    clean_cfg.frame_stride = 4;
+    clean_cfg.point_noise_m = 0.0;
+    clean_cfg.pose_noise_m = 0.0;
+    MapBuildConfig noisy_cfg = clean_cfg;
+    noisy_cfg.point_noise_m = 0.5;
+
+    Map clean = buildPriorMap(d, voc, clean_cfg);
+    Map noisy = buildPriorMap(d, voc, noisy_cfg);
+    ASSERT_EQ(clean.pointCount(), noisy.pointCount());
+
+    // The noisy map's points are visibly displaced from the clean ones.
+    double total_disp = 0.0;
+    for (int i = 0; i < clean.pointCount(); ++i)
+        total_disp += (clean.points()[i].position -
+                       noisy.points()[i].position)
+                          .norm();
+    EXPECT_GT(total_disp / clean.pointCount(), 0.2);
+}
+
+// --- Localizer odds and ends -------------------------------------------------
+
+TEST(Localizer, BackendMsMatchesActiveMode)
+{
+    Dataset d(tinyDataset(SceneType::OutdoorUnknown));
+    LocalizerConfig cfg = configForScenario(SceneType::OutdoorUnknown);
+    Localizer loc(cfg, d.rig(), nullptr, nullptr);
+    loc.initialize(d.truthAt(0), 0.0, d.trajectory().velocityAt(0.0));
+
+    DatasetFrame f = d.frame(1);
+    FrameInput in;
+    in.frame_index = 1;
+    in.t = f.t;
+    in.left = &f.stereo.left;
+    in.right = &f.stereo.right;
+    in.imu = d.imuBetweenFrames(1);
+    in.gps = d.gpsAtFrame(1);
+    LocalizationResult r = loc.processFrame(in);
+    EXPECT_EQ(r.mode, BackendMode::Vio);
+    // In VIO mode the backend time equals the MSCKF + fusion time.
+    EXPECT_NEAR(r.backendMs(), r.msckf.total() + r.fusion_ms, 1e-9);
+    EXPECT_NEAR(r.totalMs(), r.frontendMs() + r.backendMs(), 1e-12);
+}
+
+TEST(Localizer, ProcessBeforeInitializeIsRejected)
+{
+    Dataset d(tinyDataset(SceneType::OutdoorUnknown));
+    LocalizerConfig cfg = configForScenario(SceneType::OutdoorUnknown);
+    Localizer loc(cfg, d.rig(), nullptr, nullptr);
+
+    DatasetFrame f = d.frame(0);
+    FrameInput in;
+    in.left = &f.stereo.left;
+    in.right = &f.stereo.right;
+    LocalizationResult r = loc.processFrame(in);
+    EXPECT_FALSE(r.ok);
+}
+
+} // namespace
+} // namespace edx

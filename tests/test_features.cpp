@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Unit tests for the edx_features substrate: FAST, ORB, matching, stereo
+ * and Lucas-Kanade, validated on synthetic renderings where ground truth
+ * is known exactly.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/fast.hpp"
+#include "features/matcher.hpp"
+#include "features/optical_flow.hpp"
+#include "features/orb.hpp"
+#include "features/stereo.hpp"
+#include "image/draw.hpp"
+#include "image/filter.hpp"
+#include "math/rng.hpp"
+
+namespace edx {
+namespace {
+
+/** Renders a field of textured patches at given centers. */
+ImageU8
+patchField(int w, int h, const std::vector<std::pair<double, double>> &pts,
+           uint64_t seed, int patch_half = 8)
+{
+    ImageU8 img(w, h);
+    Rng rng(seed);
+    fillNoisyBackground(img, 100, 6, rng);
+    uint32_t tex = 1000;
+    for (auto [x, y] : pts)
+        drawTexturedPatch(img, x, y, patch_half, tex++, 160);
+    return img;
+}
+
+TEST(Fast, DetectsCornersOnIsolatedSquares)
+{
+    // Isolated bright squares expose L-junctions, which FAST-9 fires on
+    // (unlike checkerboard X-junctions, where no 9-pixel arc exists).
+    ImageU8 img(128, 128, 40);
+    for (int sy = 0; sy < 3; ++sy)
+        for (int sx = 0; sx < 3; ++sx)
+            for (int y = 0; y < 12; ++y)
+                for (int x = 0; x < 12; ++x)
+                    img.at(24 + sx * 32 + x, 24 + sy * 32 + y) = 220;
+    FastConfig cfg;
+    cfg.threshold = 30;
+    auto kps = detectFast(img, cfg);
+    EXPECT_GT(kps.size(), 10u); // ~4 corners per square
+}
+
+TEST(Fast, FlatImageHasNoCorners)
+{
+    ImageU8 img(64, 64, 128);
+    auto kps = detectFast(img);
+    EXPECT_TRUE(kps.empty());
+}
+
+TEST(Fast, PureNoiseYieldsFewCorners)
+{
+    Rng rng(3);
+    ImageU8 img(64, 64);
+    fillNoisyBackground(img, 128, 4, rng);
+    FastConfig cfg;
+    cfg.threshold = 25;
+    auto kps = detectFast(img, cfg);
+    EXPECT_LT(kps.size(), 10u);
+}
+
+TEST(Fast, RespectsBorder)
+{
+    auto img = patchField(96, 96, {{10, 10}, {48, 48}}, 7);
+    FastConfig cfg;
+    cfg.border = 16;
+    auto kps = detectFast(img, cfg);
+    for (const KeyPoint &kp : kps) {
+        EXPECT_GE(kp.x, 16.0f);
+        EXPECT_LT(kp.x, 80.0f);
+        EXPECT_GE(kp.y, 16.0f);
+        EXPECT_LT(kp.y, 80.0f);
+    }
+}
+
+TEST(Fast, MaxFeaturesCap)
+{
+    // A dense field of textured patches produces many corners; the
+    // grid-bucketed cap must hold.
+    std::vector<std::pair<double, double>> pts;
+    Rng rng(99);
+    for (int i = 0; i < 60; ++i)
+        pts.push_back({rng.uniform(24, 232), rng.uniform(24, 232)});
+    ImageU8 img = patchField(256, 256, pts, 98);
+    FastConfig cfg;
+    cfg.threshold = 18;
+    cfg.max_features = 100;
+    auto kps = detectFast(img, cfg);
+    EXPECT_LE(kps.size(), 110u); // per-cell rounding slack
+    EXPECT_GT(kps.size(), 40u);
+}
+
+TEST(Fast, NonMaxSuppressionThins)
+{
+    std::vector<std::pair<double, double>> pts;
+    Rng rng(101);
+    for (int i = 0; i < 20; ++i)
+        pts.push_back({rng.uniform(24, 104), rng.uniform(24, 104)});
+    ImageU8 img = patchField(128, 128, pts, 102);
+    FastConfig with, without;
+    with.threshold = without.threshold = 18;
+    with.nonmax_suppression = true;
+    without.nonmax_suppression = false;
+    with.max_features = without.max_features = 100000;
+    auto n_with = detectFast(img, with).size();
+    auto n_without = detectFast(img, without).size();
+    EXPECT_GT(n_with, 0u);
+    EXPECT_LT(n_with, n_without);
+}
+
+TEST(Orb, DescriptorInvariantUnderReplication)
+{
+    auto img = patchField(128, 128, {{64, 64}}, 11);
+    std::vector<KeyPoint> kps{{64, 64, 1, 0}};
+    auto d1 = computeOrbDescriptors(img, kps);
+    auto d2 = computeOrbDescriptors(img, kps);
+    EXPECT_EQ(d1[0], d2[0]);
+}
+
+TEST(Orb, SamePatchMatchesAcrossImages)
+{
+    // The same texture drawn in two different images at different
+    // locations must produce nearby descriptors; different textures must
+    // be far in Hamming space.
+    ImageU8 a(128, 128), b(128, 128);
+    Rng ra(21), rb(22);
+    fillNoisyBackground(a, 100, 4, ra);
+    fillNoisyBackground(b, 100, 4, rb);
+    drawTexturedPatch(a, 40, 40, 10, 5001, 160);
+    drawTexturedPatch(b, 80, 70, 10, 5001, 160);
+    drawTexturedPatch(b, 40, 40, 10, 9999, 160);
+
+    std::vector<KeyPoint> ka{{40, 40, 1, 0}};
+    std::vector<KeyPoint> kb_same{{80, 70, 1, 0}};
+    std::vector<KeyPoint> kb_diff{{40, 40, 1, 0}};
+    auto da = computeOrbDescriptors(a, ka);
+    auto db_same = computeOrbDescriptors(b, kb_same);
+    auto db_diff = computeOrbDescriptors(b, kb_diff);
+
+    int d_same = hammingDistance(da[0], db_same[0]);
+    int d_diff = hammingDistance(da[0], db_diff[0]);
+    EXPECT_LT(d_same, 60);
+    EXPECT_GT(d_diff, 80);
+    EXPECT_LT(d_same, d_diff);
+}
+
+TEST(Orb, BorderPointsGetZeroDescriptor)
+{
+    auto img = patchField(64, 64, {}, 31);
+    std::vector<KeyPoint> kps{{2, 2, 1, 0}};
+    auto d = computeOrbDescriptors(img, kps);
+    EXPECT_EQ(d[0], Descriptor{});
+}
+
+TEST(Orb, OrientationFollowsGradientDirection)
+{
+    // A patch brighter on the right has centroid to the right: angle ~ 0.
+    ImageU8 img(64, 64, 50);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 32; x < 64; ++x)
+            img.at(x, y) = 200;
+    float ang = orbOrientation(img, 32, 32);
+    EXPECT_NEAR(ang, 0.0f, 0.2f);
+}
+
+TEST(Matcher, ExactMatchesFound)
+{
+    Rng rng(41);
+    std::vector<Descriptor> train(10);
+    for (auto &d : train)
+        for (auto &w : d.bits)
+            w = (static_cast<uint64_t>(rng.nextU32()) << 32) | rng.nextU32();
+    std::vector<Descriptor> query{train[3], train[7]};
+    auto matches = matchDescriptors(query, train);
+    ASSERT_EQ(matches.size(), 2u);
+    EXPECT_EQ(matches[0].train_index, 3);
+    EXPECT_EQ(matches[1].train_index, 7);
+    EXPECT_EQ(matches[0].hamming, 0);
+}
+
+TEST(Matcher, MaxHammingGate)
+{
+    std::vector<Descriptor> train(1);
+    std::vector<Descriptor> query(1);
+    query[0].bits = {~0ull, ~0ull, ~0ull, ~0ull}; // distance 256
+    MatchConfig cfg;
+    cfg.max_hamming = 100;
+    EXPECT_TRUE(matchDescriptors(query, train, cfg).empty());
+}
+
+TEST(Matcher, WindowedMatchRespectsRadius)
+{
+    std::vector<Descriptor> train(2);
+    train[1].bits[0] = 0xFF; // slightly different
+    std::vector<KeyPoint> train_kps{{0, 0, 1, 0}, {100, 100, 1, 0}};
+    std::vector<Descriptor> query{train[1]};
+    std::vector<KeyPoint> query_kps{{99, 99, 1, 0}};
+    MatchConfig cfg;
+    cfg.ratio = 1.0;
+    // Window contains only the correct far point.
+    auto m = matchDescriptorsWindowed(query, query_kps, train, train_kps,
+                                      5.0, cfg);
+    ASSERT_EQ(m.size(), 1u);
+    EXPECT_EQ(m[0].train_index, 1);
+}
+
+class StereoFixture : public ::testing::Test
+{
+  protected:
+    /**
+     * Builds a rectified synthetic stereo pair: patches at known
+     * disparities. Returns detected keypoints/descriptors for both.
+     */
+    void
+    build(double disparity)
+    {
+        disparity_ = disparity;
+        std::vector<std::pair<double, double>> lpts, rpts;
+        Rng rng(55);
+        for (int i = 0; i < 12; ++i) {
+            double x = rng.uniform(180, 440);
+            double y = rng.uniform(60, 180);
+            lpts.push_back({x, y});
+            rpts.push_back({x - disparity, y});
+        }
+        left_ = ImageU8(640, 240);
+        right_ = ImageU8(640, 240);
+        Rng rl(60), rr(61);
+        fillNoisyBackground(left_, 100, 5, rl);
+        fillNoisyBackground(right_, 100, 5, rr);
+        uint32_t tex = 400;
+        for (size_t i = 0; i < lpts.size(); ++i, ++tex) {
+            drawTexturedPatch(left_, lpts[i].first, lpts[i].second, 9, tex,
+                              170);
+            drawTexturedPatch(right_, rpts[i].first, rpts[i].second, 9,
+                              tex, 170);
+        }
+        FastConfig fc;
+        fc.threshold = 18;
+        lk_ = detectFast(left_, fc);
+        rk_ = detectFast(right_, fc);
+        ld_ = computeOrbDescriptors(left_, lk_);
+        rd_ = computeOrbDescriptors(right_, rk_);
+    }
+
+    double disparity_ = 0.0;
+    ImageU8 left_, right_;
+    std::vector<KeyPoint> lk_, rk_;
+    std::vector<Descriptor> ld_, rd_;
+};
+
+TEST_F(StereoFixture, RecoverIntegerDisparity)
+{
+    build(24.0);
+    ASSERT_GT(lk_.size(), 4u);
+    auto matches = stereoMatch(left_, right_, lk_, ld_, rk_, rd_);
+    ASSERT_GT(matches.size(), 3u);
+    for (const StereoMatch &m : matches)
+        EXPECT_NEAR(m.disparity, 24.0, 1.5);
+}
+
+TEST_F(StereoFixture, SubPixelRefinementIsAccurate)
+{
+    build(20.0);
+    auto initial = stereoMatchInitial(lk_, ld_, rk_, rd_, StereoConfig{});
+    ASSERT_GT(initial.size(), 3u);
+    auto refined = initial;
+    stereoRefineDisparity(left_, right_, lk_, refined, StereoConfig{});
+    // SAD refinement on independently noisy images must land within a
+    // pixel of the true disparity on average and not diverge per match.
+    double err_r = 0;
+    for (size_t i = 0; i < refined.size(); ++i) {
+        EXPECT_NEAR(refined[i].disparity, 20.0, 1.5);
+        err_r += std::abs(refined[i].disparity - 20.0);
+    }
+    EXPECT_LT(err_r / refined.size(), 1.0);
+}
+
+TEST_F(StereoFixture, RejectsWhenDisparityOutOfRange)
+{
+    build(24.0);
+    StereoConfig cfg;
+    cfg.max_disparity = 10.0; // true disparity 24 is out of range
+    auto matches =
+        stereoMatchInitial(lk_, ld_, rk_, rd_, cfg);
+    EXPECT_TRUE(matches.empty());
+}
+
+TEST(Flow, TracksPureTranslation)
+{
+    // Shift a textured scene by a known offset and track.
+    // Patch centers and the shift are integral because the renderer
+    // rasterizes patch centers to the pixel grid.
+    std::vector<std::pair<double, double>> pts;
+    Rng rng(71);
+    for (int i = 0; i < 10; ++i)
+        pts.push_back({rng.uniformInt(50, 200), rng.uniformInt(50, 200)});
+    std::vector<std::pair<double, double>> pts2;
+    const double dx = 7.0, dy = -3.0;
+    for (auto [x, y] : pts)
+        pts2.push_back({x + dx, y + dy});
+    ImageU8 prev = patchField(256, 256, pts, 80);
+    ImageU8 next = patchField(256, 256, pts2, 80);
+
+    std::vector<KeyPoint> kps;
+    for (auto [x, y] : pts)
+        kps.push_back({static_cast<float>(x), static_cast<float>(y), 1, 0});
+
+    Pyramid pp(prev, 3), np(next, 3);
+    auto tracks = trackLucasKanade(pp, np, kps);
+    ASSERT_GT(tracks.size(), 6u);
+    for (const TemporalMatch &t : tracks) {
+        EXPECT_NEAR(t.x - kps[t.prev_index].x, dx, 0.6);
+        EXPECT_NEAR(t.y - kps[t.prev_index].y, dy, 0.6);
+    }
+}
+
+TEST(Flow, LargeMotionNeedsPyramid)
+{
+    // Large patches keep texture visible at coarse pyramid levels.
+    std::vector<std::pair<double, double>> pts{{100, 100}, {160, 180}};
+    ImageU8 prev = patchField(256, 256, pts, 90, 20);
+    const double dx = 22.0;
+    std::vector<std::pair<double, double>> pts2{{100 + dx, 100},
+                                                {160 + dx, 180}};
+    ImageU8 next = patchField(256, 256, pts2, 90, 20);
+    std::vector<KeyPoint> kps{{100, 100, 1, 0}, {160, 120, 1, 0}};
+
+    FlowConfig single;
+    single.pyramid_levels = 1;
+    FlowConfig multi;
+    multi.pyramid_levels = 4;
+
+    Pyramid pp(prev, 4), np(next, 4);
+    auto t1 = trackLucasKanade(pp, np, kps, single);
+    auto t4 = trackLucasKanade(pp, np, kps, multi);
+
+    // Pyramid tracking must recover the large motion for at least one
+    // point; single level generally fails or diverges.
+    int good4 = 0;
+    for (const TemporalMatch &t : t4)
+        if (std::abs(t.x - kps[t.prev_index].x - dx) < 1.0)
+            ++good4;
+    EXPECT_GE(good4, 1);
+    int good1 = 0;
+    for (const TemporalMatch &t : t1)
+        if (std::abs(t.x - kps[t.prev_index].x - dx) < 1.0)
+            ++good1;
+    EXPECT_LE(good1, good4);
+}
+
+TEST(Flow, RejectsTextureless)
+{
+    ImageU8 prev(128, 128, 100), next(128, 128, 100);
+    std::vector<KeyPoint> kps{{64, 64, 1, 0}};
+    Pyramid pp(prev, 3), np(next, 3);
+    auto tracks = trackLucasKanade(pp, np, kps);
+    EXPECT_TRUE(tracks.empty());
+}
+
+TEST(Keypoint, HammingDistanceBasics)
+{
+    Descriptor a, b;
+    EXPECT_EQ(hammingDistance(a, b), 0);
+    b.bits[0] = 0b1011;
+    EXPECT_EQ(hammingDistance(a, b), 3);
+    b.bits[3] = ~0ull;
+    EXPECT_EQ(hammingDistance(a, b), 67);
+}
+
+TEST(Keypoint, PayloadSizeMatchesPaperScale)
+{
+    // Sec. V-A: temporal+spatial correspondences are ~2-3 KB per frame.
+    std::vector<StereoMatch> s(120);
+    std::vector<TemporalMatch> t(110);
+    size_t bytes = correspondencePayloadBytes(s, t);
+    EXPECT_GT(bytes, 1000u);
+    EXPECT_LT(bytes, 6000u);
+}
+
+} // namespace
+} // namespace edx

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the unified vision frontend: the FE / SM / TM block
+ * products, their timing/workload instrumentation, and the
+ * correspondence payload the backend consumes (Sec. IV-A / V).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "frontend/frontend.hpp"
+#include "sim/dataset.hpp"
+
+namespace edx {
+namespace {
+
+DatasetConfig
+droneScene(int frames = 4)
+{
+    DatasetConfig cfg;
+    cfg.scene = SceneType::IndoorUnknown;
+    cfg.platform = Platform::Drone;
+    cfg.frame_count = frames;
+    cfg.fps = 10.0;
+    cfg.seed = 21;
+    return cfg;
+}
+
+TEST(Frontend, KeypointsAndDescriptorsAreAligned)
+{
+    Dataset d(droneScene());
+    VisionFrontend fe;
+    DatasetFrame f = d.frame(0);
+    FrontendOutput out = fe.processFrame(f.stereo.left, f.stereo.right);
+    ASSERT_GT(out.keypoints.size(), 20u);
+    EXPECT_EQ(out.keypoints.size(), out.descriptors.size());
+    for (const KeyPoint &kp : out.keypoints) {
+        EXPECT_GE(kp.x, 0.0f);
+        EXPECT_LT(kp.x, static_cast<float>(f.stereo.left.width()));
+        EXPECT_GE(kp.y, 0.0f);
+        EXPECT_LT(kp.y, static_cast<float>(f.stereo.left.height()));
+    }
+}
+
+TEST(Frontend, FirstFrameHasNoTemporalMatches)
+{
+    Dataset d(droneScene());
+    VisionFrontend fe;
+    DatasetFrame f = d.frame(0);
+    FrontendOutput out = fe.processFrame(f.stereo.left, f.stereo.right);
+    EXPECT_TRUE(out.temporal.empty());
+    EXPECT_EQ(out.workload.temporal_tracks, 0);
+}
+
+TEST(Frontend, SecondFrameTracksTemporally)
+{
+    Dataset d(droneScene());
+    VisionFrontend fe;
+    DatasetFrame f0 = d.frame(0);
+    DatasetFrame f1 = d.frame(1);
+    fe.processFrame(f0.stereo.left, f0.stereo.right);
+    FrontendOutput out = fe.processFrame(f1.stereo.left, f1.stereo.right);
+    EXPECT_GT(out.temporal.size(), 10u)
+        << "optical flow lost nearly everything between frames";
+    for (const TemporalMatch &m : out.temporal) {
+        EXPECT_GE(m.prev_index, 0);
+        EXPECT_GE(m.x, 0.0f);
+        EXPECT_GE(m.y, 0.0f);
+    }
+}
+
+TEST(Frontend, StereoMatchesHavePositiveBoundedDisparity)
+{
+    Dataset d(droneScene());
+    VisionFrontend fe;
+    DatasetFrame f = d.frame(0);
+    FrontendOutput out = fe.processFrame(f.stereo.left, f.stereo.right);
+    ASSERT_GT(out.stereo.size(), 10u);
+    const StereoRig &rig = d.rig();
+    for (const StereoMatch &m : out.stereo) {
+        EXPECT_GE(m.left_index, 0);
+        EXPECT_LT(m.left_index, static_cast<int>(out.keypoints.size()));
+        EXPECT_GT(m.disparity, 0.0f);
+        // Disparity must correspond to a physically sensible depth.
+        auto depth = rig.depthFromDisparity(m.disparity);
+        ASSERT_TRUE(depth.has_value());
+        EXPECT_GT(*depth, 0.2);
+        EXPECT_LT(*depth, 200.0);
+    }
+}
+
+TEST(Frontend, StereoDepthsMatchSceneGeometry)
+{
+    // The indoor room has a known extent; most stereo depths must land
+    // inside it (far outliers indicate disparity mismatches).
+    Dataset d(droneScene());
+    VisionFrontend fe;
+    DatasetFrame f = d.frame(0);
+    FrontendOutput out = fe.processFrame(f.stereo.left, f.stereo.right);
+    int plausible = 0;
+    for (const StereoMatch &m : out.stereo) {
+        auto depth = d.rig().depthFromDisparity(m.disparity);
+        if (depth && *depth < 40.0)
+            ++plausible;
+    }
+    EXPECT_GT(plausible, static_cast<int>(out.stereo.size()) * 7 / 10);
+}
+
+TEST(Frontend, TimingCoversEveryTask)
+{
+    Dataset d(droneScene());
+    VisionFrontend fe;
+    DatasetFrame f0 = d.frame(0);
+    DatasetFrame f1 = d.frame(1);
+    fe.processFrame(f0.stereo.left, f0.stereo.right);
+    FrontendOutput out = fe.processFrame(f1.stereo.left, f1.stereo.right);
+    EXPECT_GT(out.timing.fd_ms, 0.0);
+    EXPECT_GT(out.timing.if_ms, 0.0);
+    EXPECT_GT(out.timing.fc_ms, 0.0);
+    EXPECT_GT(out.timing.mo_ms, 0.0);
+    EXPECT_GT(out.timing.dr_ms, 0.0);
+    EXPECT_GT(out.timing.tm_ms, 0.0);
+    EXPECT_NEAR(out.timing.total(),
+                out.timing.feBlock() + out.timing.smBlock() +
+                    out.timing.tmBlock(),
+                1e-9);
+}
+
+TEST(Frontend, WorkloadCountsAreConsistent)
+{
+    Dataset d(droneScene());
+    VisionFrontend fe;
+    DatasetFrame f0 = d.frame(0);
+    DatasetFrame f1 = d.frame(1);
+    fe.processFrame(f0.stereo.left, f0.stereo.right);
+    FrontendOutput out = fe.processFrame(f1.stereo.left, f1.stereo.right);
+    EXPECT_EQ(out.workload.left_features,
+              static_cast<int>(out.keypoints.size()));
+    EXPECT_GT(out.workload.right_features, 0);
+    EXPECT_EQ(out.workload.stereo_matches,
+              static_cast<int>(out.stereo.size()));
+    EXPECT_EQ(out.workload.temporal_tracks,
+              static_cast<int>(out.temporal.size()));
+    EXPECT_EQ(out.workload.image_pixels,
+              static_cast<long>(f1.stereo.left.width()) *
+                  f1.stereo.left.height());
+    EXPECT_GE(out.workload.stereo_candidates,
+              out.workload.stereo_matches);
+}
+
+TEST(Frontend, ResetDropsTemporalState)
+{
+    Dataset d(droneScene());
+    VisionFrontend fe;
+    DatasetFrame f0 = d.frame(0);
+    DatasetFrame f1 = d.frame(1);
+    fe.processFrame(f0.stereo.left, f0.stereo.right);
+    fe.reset();
+    FrontendOutput out = fe.processFrame(f1.stereo.left, f1.stereo.right);
+    EXPECT_TRUE(out.temporal.empty());
+}
+
+TEST(Frontend, CorrespondencePayloadIsKilobyteClass)
+{
+    // Sec. V-A: the temporal + spatial correspondences shipped to the
+    // backend are about 2-3 KB per frame.
+    Dataset d(droneScene());
+    VisionFrontend fe;
+    DatasetFrame f0 = d.frame(0);
+    DatasetFrame f1 = d.frame(1);
+    fe.processFrame(f0.stereo.left, f0.stereo.right);
+    FrontendOutput out = fe.processFrame(f1.stereo.left, f1.stereo.right);
+    size_t bytes = correspondencePayloadBytes(out.stereo, out.temporal);
+    EXPECT_GT(bytes, 500u);
+    EXPECT_LT(bytes, 32768u);
+}
+
+TEST(Frontend, StaticSceneTracksStayPut)
+{
+    // Rendering the same pose twice: optical flow displacement must be
+    // sub-pixel on average (sensor noise only).
+    Dataset d(droneScene());
+    VisionFrontend fe;
+    DatasetFrame f = d.frame(0);
+    FrontendOutput a = fe.processFrame(f.stereo.left, f.stereo.right);
+    FrontendOutput b = fe.processFrame(f.stereo.left, f.stereo.right);
+    ASSERT_GT(b.temporal.size(), 10u);
+    double disp = 0.0;
+    for (const TemporalMatch &m : b.temporal) {
+        const KeyPoint &kp = a.keypoints[m.prev_index];
+        disp += std::hypot(m.x - kp.x, m.y - kp.y);
+    }
+    disp /= static_cast<double>(b.temporal.size());
+    EXPECT_LT(disp, 0.75) << "static scene drifted " << disp << " px";
+}
+
+TEST(Frontend, MovingCameraProducesCoherentFlow)
+{
+    // Between consecutive frames of a smooth trajectory, most temporal
+    // matches move by less than a generous per-frame bound.
+    Dataset d(droneScene());
+    VisionFrontend fe;
+    DatasetFrame f0 = d.frame(0);
+    DatasetFrame f1 = d.frame(1);
+    FrontendOutput a = fe.processFrame(f0.stereo.left, f0.stereo.right);
+    FrontendOutput b = fe.processFrame(f1.stereo.left, f1.stereo.right);
+    ASSERT_GT(b.temporal.size(), 10u);
+    int coherent = 0;
+    for (const TemporalMatch &m : b.temporal) {
+        const KeyPoint &kp = a.keypoints[m.prev_index];
+        if (std::hypot(m.x - kp.x, m.y - kp.y) < 40.0)
+            ++coherent;
+    }
+    EXPECT_GT(coherent, static_cast<int>(b.temporal.size()) * 8 / 10);
+}
+
+} // namespace
+} // namespace edx

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Unit tests for the hardware models: frontend accelerator pipeline,
+ * backend matrix-primitive substrate, stencil-buffer sizing, the FPGA
+ * resource report, and the energy model.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/backend_accel.hpp"
+#include "hw/config.hpp"
+#include "hw/energy.hpp"
+#include "hw/frontend_accel.hpp"
+#include "hw/resources.hpp"
+#include "hw/stencil.hpp"
+
+namespace edx {
+namespace {
+
+FrontendWorkload
+droneWorkload()
+{
+    FrontendWorkload w;
+    w.image_pixels = 640L * 480L;
+    w.left_features = 300;
+    w.right_features = 290;
+    w.stereo_candidates = 2400;
+    w.stereo_matches = 180;
+    w.temporal_tracks = 220;
+    return w;
+}
+
+// --- Frontend accelerator -----------------------------------------------
+
+TEST(FrontendAccel, LatencyIsPositiveAndDecomposed)
+{
+    FrontendAccelerator accel(AcceleratorConfig::drone());
+    FrontendAccelTiming t = accel.model(droneWorkload());
+    EXPECT_GT(t.fd_if_ms, 0.0);
+    EXPECT_GT(t.fc_ms, 0.0);
+    EXPECT_GT(t.mo_ms, 0.0);
+    EXPECT_GT(t.dr_ms, 0.0);
+    EXPECT_GT(t.tm_ms, 0.0);
+    EXPECT_NEAR(t.latencyMs(), t.feBlock() + t.smBlock(), 1e-12);
+}
+
+TEST(FrontendAccel, MorePixelsCostMoreFeTime)
+{
+    FrontendAccelerator accel(AcceleratorConfig::car());
+    FrontendWorkload small = droneWorkload();
+    FrontendWorkload large = small;
+    large.image_pixels = 1280L * 720L;
+    EXPECT_GT(accel.model(large).fd_if_ms, accel.model(small).fd_if_ms);
+}
+
+TEST(FrontendAccel, PipeliningNeverHurtsThroughput)
+{
+    for (const auto &cfg :
+         {AcceleratorConfig::car(), AcceleratorConfig::drone()}) {
+        FrontendAccelerator accel(cfg);
+        FrontendAccelTiming t = accel.model(droneWorkload());
+        EXPECT_GE(t.pipelinedFps(), t.unpipelinedFps())
+            << "pipelining lost throughput on " << cfg.name;
+    }
+}
+
+TEST(FrontendAccel, TemporalMatchingIsHiddenFromCriticalPath)
+{
+    // Sec. V-B: TM latency is ~10x below SM, so it is excluded from the
+    // modeled frame latency (runs concurrently with SM).
+    FrontendAccelerator accel(AcceleratorConfig::drone());
+    FrontendAccelTiming t = accel.model(droneWorkload());
+    EXPECT_LT(t.tm_ms, t.smBlock())
+        << "TM would surface on the critical path";
+    // latencyMs excludes tm by construction.
+    EXPECT_NEAR(t.latencyMs(), t.feBlock() + t.smBlock(), 1e-12);
+}
+
+TEST(FrontendAccel, ZeroWorkloadHasZeroLatency)
+{
+    FrontendAccelerator accel(AcceleratorConfig::drone());
+    FrontendAccelTiming t = accel.model(FrontendWorkload{});
+    EXPECT_NEAR(t.latencyMs(), 0.0, 1e-9);
+    EXPECT_DOUBLE_EQ(t.pipelinedFps(), 0.0);
+}
+
+TEST(FrontendAccel, HigherClockIsProportionallyFaster)
+{
+    AcceleratorConfig slow = AcceleratorConfig::drone();
+    AcceleratorConfig fast = slow;
+    fast.clock_mhz = 2.0 * slow.clock_mhz;
+    FrontendAccelTiming ts =
+        FrontendAccelerator(slow).model(droneWorkload());
+    FrontendAccelTiming tf =
+        FrontendAccelerator(fast).model(droneWorkload());
+    EXPECT_NEAR(tf.latencyMs(), 0.5 * ts.latencyMs(),
+                1e-9 * ts.latencyMs());
+}
+
+// --- Backend accelerator -------------------------------------------------
+
+TEST(BackendAccel, MultiplyCyclesMatchBlockedFormula)
+{
+    AcceleratorConfig cfg = AcceleratorConfig::drone();
+    BackendAccelerator accel(cfg);
+    int b = cfg.matrix_block;
+    // One block triple = one block-level step.
+    EXPECT_GT(accel.multiplyCycles(b, b, b), 0.0);
+    // Doubling one dimension doubles the block count.
+    double c1 = accel.multiplyCycles(2 * b, b, b);
+    double c0 = accel.multiplyCycles(b, b, b);
+    EXPECT_NEAR(c1, 2.0 * c0, 1e-9);
+}
+
+TEST(BackendAccel, LargerArrayNeedsFewerCycles)
+{
+    AcceleratorConfig small = AcceleratorConfig::drone(); // B = 8
+    AcceleratorConfig large = AcceleratorConfig::car();   // B = 16
+    large.clock_mhz = small.clock_mhz;                    // isolate B
+    BackendAccelerator a_small(small), a_large(large);
+    EXPECT_LT(a_large.multiplyCycles(64, 64, 64),
+              a_small.multiplyCycles(64, 64, 64));
+    EXPECT_LT(a_large.decomposeCycles(96), a_small.decomposeCycles(96));
+}
+
+TEST(BackendAccel, PrimitiveCyclesGrowWithSize)
+{
+    BackendAccelerator accel(AcceleratorConfig::car());
+    EXPECT_LT(accel.decomposeCycles(32), accel.decomposeCycles(128));
+    EXPECT_LT(accel.transposeCycles(32, 32),
+              accel.transposeCycles(128, 128));
+    EXPECT_LT(accel.substituteCycles(32, 4),
+              accel.substituteCycles(128, 4));
+    EXPECT_LT(accel.inverseBlockStructuredCycles(30, 6),
+              accel.inverseBlockStructuredCycles(300, 6));
+}
+
+TEST(BackendAccel, DmaTimeIsAffineInBytes)
+{
+    AcceleratorConfig cfg = AcceleratorConfig::car();
+    BackendAccelerator accel(cfg);
+    double fixed = accel.dmaMs(0.0);
+    EXPECT_NEAR(fixed, cfg.dma_latency_us * 1e-3, 1e-12);
+    double one_mb = accel.dmaMs(1 << 20);
+    double two_mb = accel.dmaMs(2 << 20);
+    EXPECT_NEAR(two_mb - one_mb, one_mb - fixed, 1e-9);
+}
+
+TEST(BackendAccel, DroneLinkIsSlowerThanCarLink)
+{
+    // PCIe 7.9 GB/s vs AXI 1.2 GB/s (Sec. VII-A).
+    BackendAccelerator car(AcceleratorConfig::car());
+    BackendAccelerator drone(AcceleratorConfig::drone());
+    double bytes = 4.0 * (1 << 20);
+    EXPECT_LT(car.dmaMs(bytes) - car.dmaMs(0),
+              drone.dmaMs(bytes) - drone.dmaMs(0));
+}
+
+TEST(BackendAccel, ProjectionScalesLinearlyInPoints)
+{
+    BackendAccelerator accel(AcceleratorConfig::car());
+    double c1 = accel.projection(1000).compute_ms;
+    double c2 = accel.projection(2000).compute_ms;
+    double c4 = accel.projection(4000).compute_ms;
+    EXPECT_NEAR(c2 / c1, 2.0, 0.3);
+    EXPECT_NEAR(c4 / c2, 2.0, 0.3);
+}
+
+TEST(BackendAccel, KalmanGainGrowsWithRowsAndDim)
+{
+    BackendAccelerator accel(AcceleratorConfig::car());
+    EXPECT_LT(accel.kalmanGain(60, 120).compute_ms,
+              accel.kalmanGain(180, 120).compute_ms);
+    EXPECT_LT(accel.kalmanGain(60, 120).compute_ms,
+              accel.kalmanGain(60, 195).compute_ms);
+}
+
+TEST(BackendAccel, SymmetryOptimizationSavesKalmanCycles)
+{
+    AcceleratorConfig cfg = AcceleratorConfig::car();
+    BackendAccelerator with(cfg, /*exploit_symmetry=*/true);
+    BackendAccelerator without(cfg, /*exploit_symmetry=*/false);
+    AccelKernelCost a = with.kalmanGain(150, 195);
+    AccelKernelCost b = without.kalmanGain(150, 195);
+    EXPECT_LT(a.compute_ms, b.compute_ms)
+        << "symmetric-S optimization saved nothing";
+    // Shipping only the upper triangle of S also trims the transfer.
+    EXPECT_LE(a.dma_ms, b.dma_ms);
+}
+
+TEST(BackendAccel, MarginalizationGrowsSuperlinearlyInLandmarks)
+{
+    BackendAccelerator accel(AcceleratorConfig::car());
+    double c50 = accel.marginalization(50).compute_ms;
+    double c100 = accel.marginalization(100).compute_ms;
+    double c200 = accel.marginalization(200).compute_ms;
+    EXPECT_GT(c100 / c50, 1.8);
+    EXPECT_GT(c200 / c100, 1.8);
+}
+
+TEST(BackendAccel, SmallKernelsAreDmaBound)
+{
+    // The scheduler's reason to exist (Sec. VI-B): small matrices cost
+    // more to ship than to compute.
+    BackendAccelerator accel(AcceleratorConfig::car());
+    AccelKernelCost tiny = accel.marginalization(4);
+    EXPECT_GT(tiny.dma_ms, tiny.compute_ms);
+}
+
+// --- Stencil buffers ------------------------------------------------------
+
+TEST(Stencil, SingleConsumerNeedsItsWindowLines)
+{
+    StencilConsumer c{"conv3x3", 3, 0.0};
+    StencilPlan plan = planStencilBuffers(1920, 1080, {c});
+    // 3-line stencil on a 1920-wide stream: >= 2 full lines buffered.
+    EXPECT_GE(plan.shared_bytes, 2.0 * 1920);
+    EXPECT_FALSE(plan.replication_wins);
+}
+
+TEST(Stencil, DistantConsumerMakesReplicationWin)
+{
+    // Two consumers: one immediate, one millions of cycles later (the
+    // DR case of Sec. V-C). Sharing must buffer the whole gap;
+    // replication only pays each consumer's own window.
+    std::vector<StencilConsumer> consumers = {
+        {"if", 5, 0.0},
+        {"dr", 9, 3.0e6},
+    };
+    StencilPlan plan = planStencilBuffers(1280, 720, consumers);
+    EXPECT_TRUE(plan.replication_wins);
+    EXPECT_LT(plan.replicated_bytes, plan.shared_bytes);
+    EXPECT_GT(plan.extra_dram_reads, 0.0);
+    // The shared design must hold the full delay window.
+    EXPECT_GE(plan.shared_bytes, 3.0e6);
+}
+
+TEST(Stencil, NearbyConsumersShareOneBuffer)
+{
+    // FD and IF consume pixels at production time (Fig. 13): replication
+    // would only add DRAM traffic.
+    std::vector<StencilConsumer> consumers = {
+        {"fd", 4, 0.0},
+        {"if", 3, 0.0},
+    };
+    StencilPlan plan = planStencilBuffers(1280, 720, consumers);
+    EXPECT_FALSE(plan.replication_wins);
+}
+
+TEST(Stencil, FrontendPlanReproducesNineMegabyteObservation)
+{
+    // Sec. VII-D: without the replication optimization the SB grows by
+    // ~9 MB on EDX-CAR; with it the SB footprint is sub-megabyte.
+    StencilPlan plan = planStencilBuffers(
+        1280, 720, frontendStencilConsumers(AcceleratorConfig::car()));
+    EXPECT_TRUE(plan.replication_wins);
+    EXPECT_GT(plan.shared_bytes, 3.0e6) << "shared SB should be MB-class";
+    EXPECT_LT(plan.replicated_bytes, 1.0e6)
+        << "optimized SB should be sub-MB";
+}
+
+TEST(Stencil, DroneStreamsAreSmallerThanCarStreams)
+{
+    StencilPlan car = planStencilBuffers(
+        1280, 720, frontendStencilConsumers(AcceleratorConfig::car()));
+    StencilPlan drone = planStencilBuffers(
+        640, 480, frontendStencilConsumers(AcceleratorConfig::drone()));
+    EXPECT_LT(drone.replicated_bytes, car.replicated_bytes);
+}
+
+// --- Resource model --------------------------------------------------------
+
+TEST(Resources, SharingAtLeastHalvesEveryResourceClass)
+{
+    for (const auto &cfg :
+         {AcceleratorConfig::car(), AcceleratorConfig::drone()}) {
+        ResourceReport r = buildResourceReport(cfg);
+        EXPECT_GT(r.unshared_total.lut, 2.0 * r.shared_total.lut * 0.9)
+            << cfg.name;
+        EXPECT_GT(r.unshared_total.ff, 2.0 * r.shared_total.ff * 0.9);
+        EXPECT_GT(r.unshared_total.dsp, 2.0 * r.shared_total.dsp * 0.9);
+        EXPECT_GT(r.unshared_total.bram_mb,
+                  2.0 * r.shared_total.bram_mb * 0.9);
+    }
+}
+
+TEST(Resources, SharedDesignFitsThePartUnsharedDoesNot)
+{
+    // Tbl. II: the shared design fits both boards; N.S. overflows.
+    ResourceReport car = buildResourceReport(AcceleratorConfig::car());
+    EXPECT_LE(car.shared_total.lut, car.part.lut);
+    EXPECT_LE(car.shared_total.dsp, car.part.dsp);
+    bool overflow = car.unshared_total.lut > car.part.lut ||
+                    car.unshared_total.ff > car.part.ff ||
+                    car.unshared_total.dsp > car.part.dsp ||
+                    car.unshared_total.bram_mb > car.part.bram_mb;
+    EXPECT_TRUE(overflow) << "N.S. design should overflow the Virtex-7";
+}
+
+TEST(Resources, FrontendDominatesResourceUse)
+{
+    // Sec. VII-B: the frontend uses the large majority of every class.
+    ResourceReport r = buildResourceReport(AcceleratorConfig::car());
+    EXPECT_GT(r.frontend_total.lut, 0.6 * r.shared_total.lut);
+    EXPECT_GT(r.frontend_total.dsp, 0.6 * r.shared_total.dsp);
+}
+
+TEST(Resources, FeatureExtractionDominatesTheFrontend)
+{
+    // Sec. VII-B: FE consumes over two-thirds of frontend resources -
+    // the rationale for time-sharing it across the stereo pair.
+    ResourceReport r = buildResourceReport(AcceleratorConfig::car());
+    EXPECT_GT(r.fe_block_total.lut, 0.55 * r.frontend_total.lut);
+}
+
+TEST(Resources, ItemsSumToTotals)
+{
+    ResourceReport r = buildResourceReport(AcceleratorConfig::drone());
+    ResourceVector shared, unshared;
+    for (const ResourceItem &item : r.items) {
+        shared += item.cost * item.shared_instances;
+        unshared += item.cost * item.unshared_instances;
+    }
+    EXPECT_NEAR(shared.lut, r.shared_total.lut, 1e-6);
+    EXPECT_NEAR(unshared.lut, r.unshared_total.lut, 1e-6);
+    EXPECT_NEAR(shared.bram_mb, r.shared_total.bram_mb, 1e-9);
+}
+
+// --- Energy model ----------------------------------------------------------
+
+TEST(Energy, BaselineEnergyIsCpuOnly)
+{
+    EnergyModel model(AcceleratorConfig::car());
+    FrameEnergy e = model.baseline(100.0);
+    EXPECT_GT(e.cpu_j, 0.0);
+    EXPECT_DOUBLE_EQ(e.fpga_j, 0.0);
+    EXPECT_NEAR(e.totalJ(), 22.0 * 0.1, 1e-9); // 22 W for 100 ms
+}
+
+TEST(Energy, AccelerationSavesEnergyWhenCpuTimeCollapses)
+{
+    // The Fig. 19 mechanism: a 100 ms all-CPU frame vs 20 ms CPU +
+    // 30 ms accelerator busy within a 50 ms frame.
+    EnergyModel model(AcceleratorConfig::car());
+    FrameEnergy base = model.baseline(100.0);
+    FrameEnergy accel = model.accelerated(20.0, 30.0, 50.0);
+    EXPECT_LT(accel.totalJ(), base.totalJ());
+}
+
+TEST(Energy, StaticPowerErodesDroneSavings)
+{
+    // Sec. VII-C: drone energy savings are lower because FPGA static
+    // power stands out once dynamic power shrinks.
+    EnergyModel car(AcceleratorConfig::car());
+    EnergyModel drone(AcceleratorConfig::drone());
+    // Same relative speedup on both platforms.
+    double car_save = 1.0 - car.accelerated(20, 30, 50).totalJ() /
+                                car.baseline(100).totalJ();
+    double drone_save = 1.0 - drone.accelerated(20, 30, 50).totalJ() /
+                                  drone.baseline(100).totalJ();
+    EXPECT_GT(car_save, drone_save);
+}
+
+} // namespace
+} // namespace edx

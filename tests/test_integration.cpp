@@ -1,0 +1,167 @@
+/**
+ * @file
+ * End-to-end integration tests: the full localizer running each backend
+ * mode on synthetic datasets with known ground truth. These are the
+ * tests that protect the headline claims - each mode localizes with
+ * bounded error in its preferred scenario.
+ */
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "core/localizer.hpp"
+#include "sim/dataset.hpp"
+
+namespace edx {
+namespace {
+
+/** Runs the localizer over a dataset; returns estimate + truth. */
+struct RunOutput
+{
+    std::vector<Pose> estimate;
+    std::vector<Pose> truth;
+    std::vector<LocalizationResult> results;
+};
+
+RunOutput
+runLocalizer(Localizer &loc, const Dataset &dataset, int frames)
+{
+    RunOutput out;
+    loc.initialize(dataset.truthAt(0), 0.0,
+                   dataset.trajectory().velocityAt(0.0));
+    for (int i = 0; i < frames; ++i) {
+        DatasetFrame f = dataset.frame(i);
+        FrameInput in;
+        in.frame_index = i;
+        in.t = f.t;
+        in.left = &f.stereo.left;
+        in.right = &f.stereo.right;
+        in.imu = dataset.imuBetweenFrames(i);
+        in.gps = dataset.gpsAtFrame(i);
+        LocalizationResult r = loc.processFrame(in);
+        out.estimate.push_back(r.pose);
+        out.truth.push_back(f.truth);
+        out.results.push_back(r);
+    }
+    return out;
+}
+
+DatasetConfig
+droneConfig(SceneType scene, int frames, uint64_t seed = 42)
+{
+    DatasetConfig cfg;
+    cfg.scene = scene;
+    cfg.platform = Platform::Drone;
+    cfg.frame_count = frames;
+    cfg.fps = 10.0;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(Integration, VioTracksOutdoorTrajectory)
+{
+    Dataset dataset(droneConfig(SceneType::OutdoorUnknown, 50));
+    LocalizerConfig cfg = configForScenario(SceneType::OutdoorUnknown);
+    Localizer loc(cfg, dataset.rig(), nullptr, nullptr);
+    RunOutput out = runLocalizer(loc, dataset, 50);
+    TrajectoryError err =
+        computeTrajectoryError(out.estimate, out.truth);
+    // 5 seconds of flight with GPS: sub-meter error expected.
+    EXPECT_LT(err.rmse_m, 1.0) << "VIO+GPS rmse " << err.rmse_m;
+    EXPECT_GT(err.frames, 0);
+}
+
+TEST(Integration, VioWithoutGpsDriftsMoreThanWithGps)
+{
+    Dataset dataset(droneConfig(SceneType::OutdoorUnknown, 50));
+
+    LocalizerConfig with_gps = configForScenario(SceneType::OutdoorUnknown);
+    LocalizerConfig no_gps = with_gps;
+    no_gps.use_gps = false;
+    Localizer loc_gps(with_gps, dataset.rig(), nullptr, nullptr);
+    Localizer loc_nogps(no_gps, dataset.rig(), nullptr, nullptr);
+    RunOutput r_gps = runLocalizer(loc_gps, dataset, 50);
+    RunOutput r_nogps = runLocalizer(loc_nogps, dataset, 50);
+    TrajectoryError e_gps =
+        computeTrajectoryError(r_gps.estimate, r_gps.truth);
+    TrajectoryError e_nogps =
+        computeTrajectoryError(r_nogps.estimate, r_nogps.truth);
+    // GPS fusion must not be worse; usually strictly better over time.
+    EXPECT_LE(e_gps.rmse_m, e_nogps.rmse_m * 1.2 + 0.05);
+}
+
+TEST(Integration, SlamLocalizesIndoor)
+{
+    Dataset dataset(droneConfig(SceneType::IndoorUnknown, 50));
+    LocalizerConfig cfg = configForScenario(SceneType::IndoorUnknown);
+    ASSERT_EQ(cfg.mode, BackendMode::Slam);
+
+    Vocabulary voc = buildVocabulary(dataset, 12);
+    ASSERT_TRUE(voc.trained());
+    Localizer loc(cfg, dataset.rig(), &voc, nullptr);
+    RunOutput out = runLocalizer(loc, dataset, 50);
+    TrajectoryError err =
+        computeTrajectoryError(out.estimate, out.truth);
+    EXPECT_LT(err.rmse_m, 1.0) << "SLAM rmse " << err.rmse_m;
+    EXPECT_GT(loc.currentMap()->pointCount(), 50);
+}
+
+TEST(Integration, RegistrationLocalizesInKnownMap)
+{
+    Dataset dataset(droneConfig(SceneType::IndoorKnown, 40));
+    Vocabulary voc = buildVocabulary(dataset, 12);
+    Map map = buildPriorMap(dataset, voc);
+    ASSERT_GT(map.pointCount(), 100);
+
+    LocalizerConfig cfg = configForScenario(SceneType::IndoorKnown);
+    ASSERT_EQ(cfg.mode, BackendMode::Registration);
+    Localizer loc(cfg, dataset.rig(), &voc, &map);
+    RunOutput out = runLocalizer(loc, dataset, 40);
+    TrajectoryError err =
+        computeTrajectoryError(out.estimate, out.truth);
+    EXPECT_LT(err.rmse_m, 0.5) << "registration rmse " << err.rmse_m;
+
+    int ok_frames = 0;
+    for (const auto &r : out.results)
+        if (r.ok)
+            ++ok_frames;
+    EXPECT_GT(ok_frames, 30);
+}
+
+TEST(Integration, TimingInstrumentationIsPopulated)
+{
+    Dataset dataset(droneConfig(SceneType::IndoorKnown, 12));
+    Vocabulary voc = buildVocabulary(dataset, 6);
+    Map map = buildPriorMap(dataset, voc);
+    LocalizerConfig cfg = configForScenario(SceneType::IndoorKnown);
+    Localizer loc(cfg, dataset.rig(), &voc, &map);
+    RunOutput out = runLocalizer(loc, dataset, 12);
+    for (const auto &r : out.results) {
+        EXPECT_GT(r.frontendMs(), 0.0);
+        EXPECT_GE(r.backendMs(), 0.0);
+        EXPECT_GT(r.frontend_workload.left_features, 0);
+    }
+}
+
+TEST(Integration, MapPersistenceRoundTrip)
+{
+    Dataset dataset(droneConfig(SceneType::IndoorKnown, 20));
+    Vocabulary voc = buildVocabulary(dataset, 10);
+    Map map = buildPriorMap(dataset, voc);
+    const std::string path = "/tmp/edx_test_map.bin";
+    ASSERT_TRUE(map.save(path));
+    auto loaded = Map::load(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->pointCount(), map.pointCount());
+    EXPECT_EQ(loaded->keyframeCount(), map.keyframeCount());
+
+    // The loaded map must work for localization just like the original.
+    LocalizerConfig cfg = configForScenario(SceneType::IndoorKnown);
+    Localizer loc(cfg, dataset.rig(), &voc, &*loaded);
+    RunOutput out = runLocalizer(loc, dataset, 20);
+    TrajectoryError err =
+        computeTrajectoryError(out.estimate, out.truth);
+    EXPECT_LT(err.rmse_m, 0.5);
+}
+
+} // namespace
+} // namespace edx

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Failure-injection tests: the localizer and its blocks must degrade
+ * gracefully under sensor dropouts, featureless input, corrupt files,
+ * and out-of-order data - the conditions commercial deployments hit
+ * (Sec. II-III of the paper motivate several of these).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "backend/msckf.hpp"
+#include "core/evaluation.hpp"
+#include "core/localizer.hpp"
+#include "sim/dataset.hpp"
+
+namespace edx {
+namespace {
+
+DatasetConfig
+droneScene(SceneType scene, int frames)
+{
+    DatasetConfig cfg;
+    cfg.scene = scene;
+    cfg.platform = Platform::Drone;
+    cfg.frame_count = frames;
+    cfg.fps = 10.0;
+    cfg.seed = 99;
+    return cfg;
+}
+
+FrameInput
+inputFor(const Dataset &d, const DatasetFrame &f, int i)
+{
+    FrameInput in;
+    in.frame_index = i;
+    in.t = f.t;
+    in.left = &f.stereo.left;
+    in.right = &f.stereo.right;
+    in.imu = d.imuBetweenFrames(i);
+    in.gps = d.gpsAtFrame(i);
+    return in;
+}
+
+TEST(Robustness, FeaturelessFramesDoNotCrashVio)
+{
+    Dataset d(droneScene(SceneType::OutdoorUnknown, 10));
+    LocalizerConfig cfg = configForScenario(SceneType::OutdoorUnknown);
+    Localizer loc(cfg, d.rig(), nullptr, nullptr);
+    loc.initialize(d.truthAt(0), 0.0, d.trajectory().velocityAt(0.0));
+
+    // Uniform gray stereo pair: zero corners, zero matches.
+    ImageU8 blank(d.rig().cam.width, d.rig().cam.height, 128);
+    for (int i = 0; i < 6; ++i) {
+        DatasetFrame f = d.frame(i);
+        FrameInput in = inputFor(d, f, i);
+        in.left = &blank;
+        in.right = &blank;
+        LocalizationResult r = loc.processFrame(in);
+        // IMU + GPS keep the filter alive; the frame must not crash
+        // and must still produce a pose.
+        EXPECT_EQ(r.frontend_workload.left_features, 0);
+        EXPECT_TRUE(std::isfinite(r.pose.translation[0]));
+    }
+}
+
+TEST(Robustness, VioSurvivesTotalGpsOutage)
+{
+    Dataset d(droneScene(SceneType::OutdoorUnknown, 30));
+    LocalizerConfig cfg = configForScenario(SceneType::OutdoorUnknown);
+    Localizer loc(cfg, d.rig(), nullptr, nullptr);
+    loc.initialize(d.truthAt(0), 0.0, d.trajectory().velocityAt(0.0));
+
+    GpsSample no_fix; // valid = false
+    double worst = 0.0;
+    for (int i = 0; i < d.frameCount(); ++i) {
+        DatasetFrame f = d.frame(i);
+        FrameInput in = inputFor(d, f, i);
+        in.gps = no_fix; // outage for the entire run
+        LocalizationResult r = loc.processFrame(in);
+        worst = std::max(
+            worst, r.pose.distanceTo(f.truth).translational);
+    }
+    // Pure VIO drifts but stays bounded over 3 s of flight.
+    EXPECT_LT(worst, 3.0) << "VIO diverged during GPS outage";
+}
+
+TEST(Robustness, EmptyImuBatchesAreTolerated)
+{
+    Dataset d(droneScene(SceneType::OutdoorUnknown, 12));
+    LocalizerConfig cfg = configForScenario(SceneType::OutdoorUnknown);
+    Localizer loc(cfg, d.rig(), nullptr, nullptr);
+    loc.initialize(d.truthAt(0), 0.0, d.trajectory().velocityAt(0.0));
+
+    for (int i = 0; i < d.frameCount(); ++i) {
+        DatasetFrame f = d.frame(i);
+        FrameInput in = inputFor(d, f, i);
+        if (i % 3 == 1)
+            in.imu.clear(); // dropped IMU packet
+        LocalizationResult r = loc.processFrame(in);
+        EXPECT_TRUE(std::isfinite(r.pose.translation.norm()));
+    }
+}
+
+TEST(Robustness, OutOfOrderImuSamplesAreIgnored)
+{
+    StereoRig rig = platformRig(Platform::Drone);
+    Msckf filter(rig);
+    filter.initialize(Pose::identity(), 1.0);
+
+    std::vector<ImuSample> batch;
+    ImuSample s;
+    s.accel = -gravityWorld();
+    s.t = 0.5; // BEFORE the initialization time
+    batch.push_back(s);
+    s.t = 1.005;
+    batch.push_back(s);
+    s.t = 1.002; // goes backwards
+    batch.push_back(s);
+    s.t = 1.010;
+    batch.push_back(s);
+    filter.propagate(batch);
+    Pose p = filter.pose();
+    EXPECT_TRUE(std::isfinite(p.translation.norm()));
+    EXPECT_LT(p.translation.norm(), 0.01);
+}
+
+TEST(Robustness, HugeImuGapReanchorsClock)
+{
+    StereoRig rig = platformRig(Platform::Drone);
+    Msckf filter(rig);
+    filter.initialize(Pose::identity(), 0.0);
+
+    std::vector<ImuSample> batch;
+    ImuSample s;
+    s.accel = -gravityWorld();
+    s.t = 10.0; // 10 s gap (sensor hiccup)
+    batch.push_back(s);
+    s.t = 10.005;
+    batch.push_back(s);
+    filter.propagate(batch);
+    // The gap must not be integrated as one huge step.
+    EXPECT_LT(filter.pose().translation.norm(), 0.01);
+    EXPECT_LT(filter.velocity().norm(), 0.01);
+}
+
+TEST(Robustness, TruncatedMapFileIsRejected)
+{
+    Dataset d(droneScene(SceneType::IndoorKnown, 10));
+    Vocabulary voc = buildVocabulary(d, 5);
+    Map map = buildPriorMap(d, voc);
+    const std::string path = "/tmp/edx_truncated.map";
+    ASSERT_TRUE(map.save(path));
+
+    // Truncate the file to half its size.
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(),
+              static_cast<std::streamsize>(data.size() / 2));
+    out.close();
+
+    EXPECT_FALSE(Map::load(path).has_value())
+        << "truncated map must fail to load";
+}
+
+TEST(Robustness, GarbageMapFileIsRejected)
+{
+    const std::string path = "/tmp/edx_garbage.map";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    for (int i = 0; i < 4096; ++i)
+        out.put(static_cast<char>(i * 37));
+    out.close();
+    EXPECT_FALSE(Map::load(path).has_value());
+}
+
+TEST(Robustness, RegistrationRecoversAfterBlankout)
+{
+    // The tracker loses the frame during a blackout (e.g., lights off),
+    // then relocalizes from the BoW database when imagery returns.
+    Dataset d(droneScene(SceneType::IndoorKnown, 20));
+    Vocabulary voc = buildVocabulary(d, 5);
+    Map map = buildPriorMap(d, voc);
+    LocalizerConfig cfg = configForScenario(SceneType::IndoorKnown);
+    Localizer loc(cfg, d.rig(), &voc, &map);
+    loc.initialize(d.truthAt(0), 0.0, d.trajectory().velocityAt(0.0));
+
+    ImageU8 blank(d.rig().cam.width, d.rig().cam.height, 0);
+    int ok_after = 0;
+    for (int i = 0; i < d.frameCount(); ++i) {
+        DatasetFrame f = d.frame(i);
+        FrameInput in = inputFor(d, f, i);
+        if (i >= 5 && i < 9) { // 4-frame blackout
+            in.left = &blank;
+            in.right = &blank;
+        }
+        LocalizationResult r = loc.processFrame(in);
+        if (i >= 12 && r.ok)
+            ++ok_after;
+    }
+    EXPECT_GT(ok_after, 4) << "tracker never recovered after blackout";
+}
+
+TEST(Robustness, SlamToleratesMissingVocabulary)
+{
+    // Without a vocabulary there is no loop closure, but mapping and
+    // localization must still work (drift simply grows).
+    Dataset d(droneScene(SceneType::IndoorUnknown, 16));
+    LocalizerConfig cfg = configForScenario(SceneType::IndoorUnknown);
+    Localizer loc(cfg, d.rig(), /*vocabulary=*/nullptr, nullptr);
+    loc.initialize(d.truthAt(0), 0.0, d.trajectory().velocityAt(0.0));
+    for (int i = 0; i < d.frameCount(); ++i) {
+        DatasetFrame f = d.frame(i);
+        LocalizationResult r = loc.processFrame(inputFor(d, f, i));
+        EXPECT_TRUE(std::isfinite(r.pose.translation.norm()));
+    }
+    EXPECT_GT(loc.currentMap()->pointCount(), 50);
+}
+
+} // namespace
+} // namespace edx

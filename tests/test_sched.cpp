@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the runtime offload scheduler: regression-model
+ * fitting, the offload decision rule, and the oracle comparison of
+ * Sec. VII-F.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "sched/scheduler.hpp"
+
+namespace edx {
+namespace {
+
+/** Synthesizes (size, cpu_ms) samples from a polynomial + noise. */
+std::vector<KernelSample>
+synthesize(const std::vector<double> &coeffs, int n, double noise,
+           uint64_t seed, double size_lo = 20.0, double size_hi = 4000.0)
+{
+    Rng rng(seed);
+    std::vector<KernelSample> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        KernelSample s;
+        s.size = rng.uniform(size_lo, size_hi);
+        double y = 0.0, xp = 1.0;
+        for (double c : coeffs) {
+            y += c * xp;
+            xp *= s.size;
+        }
+        s.cpu_ms = y + rng.gaussian(0, noise);
+        out.push_back(s);
+    }
+    return out;
+}
+
+TEST(Scheduler, KernelModelDegreesMatchThePaper)
+{
+    // Sec. VI-B: linear for projection, quadratic for the others.
+    EXPECT_EQ(kernelModelDegree(BackendKernel::Projection), 1);
+    EXPECT_EQ(kernelModelDegree(BackendKernel::KalmanGain), 2);
+    EXPECT_EQ(kernelModelDegree(BackendKernel::Marginalization), 2);
+}
+
+TEST(Scheduler, KernelNamesAreDistinct)
+{
+    EXPECT_NE(kernelName(BackendKernel::Projection),
+              kernelName(BackendKernel::KalmanGain));
+    EXPECT_NE(kernelName(BackendKernel::KalmanGain),
+              kernelName(BackendKernel::Marginalization));
+}
+
+TEST(Scheduler, LinearFitRecoversCoefficients)
+{
+    auto train = synthesize({0.5, 2e-3}, 200, 0.0, 3);
+    KernelLatencyModel model =
+        KernelLatencyModel::fit(BackendKernel::Projection, train);
+    EXPECT_NEAR(model.polynomial().coefficients()[0], 0.5, 1e-6);
+    EXPECT_NEAR(model.polynomial().coefficients()[1], 2e-3, 1e-9);
+    EXPECT_NEAR(model.r2(train), 1.0, 1e-9);
+}
+
+TEST(Scheduler, QuadraticFitRecoversCoefficients)
+{
+    auto train = synthesize({0.1, 1e-3, 5e-6}, 300, 0.0, 5, 10, 500);
+    KernelLatencyModel model =
+        KernelLatencyModel::fit(BackendKernel::KalmanGain, train);
+    ASSERT_EQ(model.polynomial().degree(), 2);
+    EXPECT_NEAR(model.predict(200.0), 0.1 + 0.2 + 5e-6 * 4e4, 1e-6);
+    EXPECT_NEAR(model.r2(train), 1.0, 1e-9);
+}
+
+class SchedulerNoiseSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(SchedulerNoiseSweep, R2DegradesGracefullyWithNoise)
+{
+    const double noise = GetParam();
+    auto train = synthesize({0.2, 3e-3}, 400, noise, 7);
+    KernelLatencyModel model =
+        KernelLatencyModel::fit(BackendKernel::Projection, train);
+    auto eval = synthesize({0.2, 3e-3}, 400, noise, 11);
+    double r2 = model.r2(eval);
+    if (noise == 0.0) {
+        EXPECT_NEAR(r2, 1.0, 1e-9);
+    } else {
+        // Even under noise the model explains most of the variance
+        // (signal spans ~12 ms across sizes, noise is small).
+        EXPECT_GT(r2, 0.7) << "noise " << noise;
+        EXPECT_LE(r2, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, SchedulerNoiseSweep,
+                         ::testing::Values(0.0, 0.2, 0.5, 1.0));
+
+TEST(Scheduler, DecisionCrossesOverAtPredictedEquality)
+{
+    // cpu(size) = 1e-3 * size; accel fixed at 2 ms -> crossover at 2000.
+    KernelLatencyModel model = KernelLatencyModel::fit(
+        BackendKernel::Projection, synthesize({0.0, 1e-3}, 100, 0.0, 13));
+    RuntimeScheduler sched(model);
+    EXPECT_FALSE(sched.decide(1000.0, 2.0).offload);
+    EXPECT_TRUE(sched.decide(3000.0, 2.0).offload);
+}
+
+TEST(Scheduler, DecisionRecordsBothPredictions)
+{
+    KernelLatencyModel model = KernelLatencyModel::fit(
+        BackendKernel::Projection, synthesize({0.0, 1e-3}, 100, 0.0, 17));
+    RuntimeScheduler sched(model);
+    OffloadDecision d = sched.decide(1500.0, 0.9);
+    EXPECT_NEAR(d.predicted_cpu_ms, 1.5, 1e-6);
+    EXPECT_NEAR(d.accel_ms, 0.9, 1e-12);
+    EXPECT_TRUE(d.offload);
+}
+
+TEST(Scheduler, OracleUsesActualTime)
+{
+    EXPECT_TRUE(oracleOffload(5.0, 2.0));
+    EXPECT_FALSE(oracleOffload(1.0, 2.0));
+}
+
+TEST(Scheduler, EvaluationTotalsAreOrdered)
+{
+    // Train on 25% of the data, evaluate on 75% (the paper's split).
+    auto all = synthesize({0.3, 0.0, 2e-6}, 800, 0.05, 19, 50, 3000);
+    std::vector<KernelSample> train(all.begin(), all.begin() + 200);
+    std::vector<KernelSample> eval(all.begin() + 200, all.end());
+
+    KernelLatencyModel model =
+        KernelLatencyModel::fit(BackendKernel::Marginalization, train);
+    RuntimeScheduler sched(model);
+
+    // Accelerator: fixed 1.2 ms (cheap for big kernels, dear for small).
+    std::vector<double> accel(eval.size(), 1.2);
+    SchedulerStats stats = evaluateScheduler(sched, eval, accel);
+
+    ASSERT_EQ(stats.frames, static_cast<int>(eval.size()));
+    // The oracle is optimal per-frame, so its total is the lower bound.
+    EXPECT_LE(stats.oracle_total_ms, stats.scheduled_total_ms + 1e-9);
+    EXPECT_LE(stats.oracle_total_ms, stats.always_offload_ms + 1e-9);
+    EXPECT_LE(stats.oracle_total_ms, stats.never_offload_ms + 1e-9);
+    // With an accurate model the scheduler is within a whisker of the
+    // oracle (Sec. VII-F reports < 0.001% difference).
+    EXPECT_LT(stats.scheduled_total_ms,
+              stats.oracle_total_ms * 1.01 + 1e-9);
+    EXPECT_GT(stats.oracleAgreement(), 0.95);
+}
+
+TEST(Scheduler, MixedSizesOffloadOnlyTheLargeFrames)
+{
+    // Bimodal workload: small frames (cpu < accel) and large frames
+    // (cpu > accel). The offload fraction must land between 0 and 1 -
+    // the "76.4% of SLAM frames" phenomenology of Sec. VII-F.
+    auto small = synthesize({0.0, 1e-3}, 300, 0.0, 23, 100, 800);
+    auto large = synthesize({0.0, 1e-3}, 700, 0.0, 29, 2500, 6000);
+    std::vector<KernelSample> all = small;
+    all.insert(all.end(), large.begin(), large.end());
+
+    KernelLatencyModel model =
+        KernelLatencyModel::fit(BackendKernel::Projection, all);
+    RuntimeScheduler sched(model);
+    std::vector<double> accel(all.size(), 2.0);
+    SchedulerStats stats = evaluateScheduler(sched, all, accel);
+
+    EXPECT_GT(stats.offloadFraction(), 0.5);
+    EXPECT_LT(stats.offloadFraction(), 0.95);
+    // Always offloading pays DMA on small frames: strictly worse.
+    EXPECT_GT(stats.always_offload_ms, stats.scheduled_total_ms);
+    // Never offloading wastes the accelerator on large frames.
+    EXPECT_GT(stats.never_offload_ms, stats.scheduled_total_ms);
+}
+
+TEST(Scheduler, EmptyEvaluationIsSafe)
+{
+    KernelLatencyModel model = KernelLatencyModel::fit(
+        BackendKernel::Projection, synthesize({0.0, 1e-3}, 50, 0.0, 31));
+    RuntimeScheduler sched(model);
+    SchedulerStats stats = evaluateScheduler(sched, {}, {});
+    EXPECT_EQ(stats.frames, 0);
+    EXPECT_DOUBLE_EQ(stats.offloadFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.oracleAgreement(), 0.0);
+}
+
+} // namespace
+} // namespace edx

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for the sensor models: pinhole camera + stereo rig
+ * geometry, IMU corruption, and the GPS availability/noise model.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "sensors/camera.hpp"
+#include "sensors/gps.hpp"
+#include "sensors/imu.hpp"
+
+namespace edx {
+namespace {
+
+CameraIntrinsics
+vgaCamera()
+{
+    CameraIntrinsics cam;
+    cam.fx = 420.0;
+    cam.fy = 418.0;
+    cam.cx = 319.5;
+    cam.cy = 239.5;
+    cam.width = 640;
+    cam.height = 480;
+    return cam;
+}
+
+TEST(Camera, ProjectBackProjectRoundTrip)
+{
+    CameraIntrinsics cam = vgaCamera();
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        Vec3 p{rng.uniform(-3, 3), rng.uniform(-2, 2), rng.uniform(0.5, 20)};
+        auto px = cam.project(p);
+        ASSERT_TRUE(px.has_value());
+        Vec3 back = cam.backProject(*px, p[2]);
+        EXPECT_NEAR(back[0], p[0], 1e-9);
+        EXPECT_NEAR(back[1], p[1], 1e-9);
+        EXPECT_NEAR(back[2], p[2], 1e-9);
+    }
+}
+
+TEST(Camera, ProjectRejectsPointsBehindCamera)
+{
+    CameraIntrinsics cam = vgaCamera();
+    EXPECT_FALSE(cam.project(Vec3{0.0, 0.0, -1.0}).has_value());
+    EXPECT_FALSE(cam.project(Vec3{1.0, 1.0, 0.0}).has_value());
+    EXPECT_TRUE(cam.project(Vec3{0.0, 0.0, 1.0}).has_value());
+}
+
+TEST(Camera, PrincipalPointProjectsToCenter)
+{
+    CameraIntrinsics cam = vgaCamera();
+    auto px = cam.project(Vec3{0.0, 0.0, 5.0});
+    ASSERT_TRUE(px.has_value());
+    EXPECT_NEAR((*px)[0], cam.cx, 1e-12);
+    EXPECT_NEAR((*px)[1], cam.cy, 1e-12);
+}
+
+TEST(Camera, InImageRespectsBorder)
+{
+    CameraIntrinsics cam = vgaCamera();
+    EXPECT_TRUE(cam.inImage(Vec2{10.0, 10.0}));
+    EXPECT_FALSE(cam.inImage(Vec2{10.0, 10.0}, 16.0));
+    EXPECT_FALSE(cam.inImage(Vec2{-1.0, 5.0}));
+    EXPECT_FALSE(cam.inImage(Vec2{640.5, 5.0}));
+}
+
+TEST(Camera, ProjectionJacobianMatchesNumericDifference)
+{
+    CameraIntrinsics cam = vgaCamera();
+    Rng rng(13);
+    const double eps = 1e-6;
+    for (int trial = 0; trial < 50; ++trial) {
+        Vec3 p{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(1, 15)};
+        auto j = cam.projectJacobian(p);
+        auto base = cam.project(p);
+        ASSERT_TRUE(base.has_value());
+        for (int c = 0; c < 3; ++c) {
+            Vec3 dp = p;
+            dp[c] += eps;
+            auto bumped = cam.project(dp);
+            ASSERT_TRUE(bumped.has_value());
+            double num_u = ((*bumped)[0] - (*base)[0]) / eps;
+            double num_v = ((*bumped)[1] - (*base)[1]) / eps;
+            EXPECT_NEAR(j(0, c), num_u, 1e-3) << "du/dp" << c;
+            EXPECT_NEAR(j(1, c), num_v, 1e-3) << "dv/dp" << c;
+        }
+    }
+}
+
+TEST(StereoRig, DisparityDepthRoundTrip)
+{
+    StereoRig rig;
+    rig.cam = vgaCamera();
+    rig.baseline = 0.12;
+    for (double depth : {0.4, 1.0, 3.0, 10.0, 42.0}) {
+        double disp = rig.disparityFromDepth(depth);
+        auto back = rig.depthFromDisparity(disp);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_NEAR(*back, depth, 1e-9);
+    }
+}
+
+TEST(StereoRig, NonPositiveDisparityHasNoDepth)
+{
+    StereoRig rig;
+    rig.cam = vgaCamera();
+    EXPECT_FALSE(rig.depthFromDisparity(0.0).has_value());
+    EXPECT_FALSE(rig.depthFromDisparity(-2.0).has_value());
+}
+
+TEST(StereoRig, TriangulationInvertsStereoProjection)
+{
+    StereoRig rig;
+    rig.cam = vgaCamera();
+    rig.baseline = 0.2;
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        Vec3 p{rng.uniform(-2, 2), rng.uniform(-1.5, 1.5),
+               rng.uniform(0.8, 25)};
+        auto left = rig.cam.project(p);
+        auto right = rig.projectRight(p);
+        ASSERT_TRUE(left && right);
+        double disparity = (*left)[0] - (*right)[0];
+        EXPECT_GT(disparity, 0.0); // right camera at +x: positive disparity
+        auto rec = rig.triangulate(*left, disparity);
+        ASSERT_TRUE(rec.has_value());
+        EXPECT_NEAR((*rec - p).norm(), 0.0, 1e-6);
+    }
+}
+
+TEST(StereoRig, RectifiedPairHasEqualRows)
+{
+    StereoRig rig;
+    rig.cam = vgaCamera();
+    rig.baseline = 0.12;
+    Vec3 p{0.7, -0.4, 6.0};
+    auto left = rig.cam.project(p);
+    auto right = rig.projectRight(p);
+    ASSERT_TRUE(left && right);
+    EXPECT_NEAR((*left)[1], (*right)[1], 1e-12);
+}
+
+TEST(Imu, ZeroNoiseModelPassesSamplesThrough)
+{
+    ImuNoiseModel quiet;
+    quiet.gyro_noise = 0.0;
+    quiet.gyro_bias_walk = 0.0;
+    quiet.accel_noise = 0.0;
+    quiet.accel_bias_walk = 0.0;
+    ImuCorruptor corr(quiet, 200.0, 5);
+
+    ImuSample clean;
+    clean.t = 1.25;
+    clean.gyro = Vec3{0.1, -0.2, 0.05};
+    clean.accel = Vec3{0.0, 0.0, 9.81};
+    ImuSample out = corr.corrupt(clean);
+    EXPECT_DOUBLE_EQ(out.t, clean.t);
+    EXPECT_NEAR((out.gyro - clean.gyro).norm(), 0.0, 1e-15);
+    EXPECT_NEAR((out.accel - clean.accel).norm(), 0.0, 1e-15);
+}
+
+TEST(Imu, NoiseStatisticsMatchConfiguredDensity)
+{
+    ImuNoiseModel model;
+    model.gyro_noise = 2e-3;
+    model.gyro_bias_walk = 0.0; // isolate white noise
+    model.accel_noise = 3e-2;
+    model.accel_bias_walk = 0.0;
+    const double rate = 200.0;
+    ImuCorruptor corr(model, rate, 23);
+
+    ImuSample clean; // zeros
+    const int n = 20000;
+    double gyro_sq = 0.0, accel_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        ImuSample s = corr.corrupt(clean);
+        gyro_sq += s.gyro[0] * s.gyro[0];
+        accel_sq += s.accel[1] * s.accel[1];
+    }
+    // Discrete sigma = density * sqrt(rate).
+    double gyro_sigma = std::sqrt(gyro_sq / n);
+    double accel_sigma = std::sqrt(accel_sq / n);
+    EXPECT_NEAR(gyro_sigma, model.gyro_noise * std::sqrt(rate), 0.1e-3 * 3);
+    EXPECT_NEAR(accel_sigma, model.accel_noise * std::sqrt(rate), 1.5e-2);
+}
+
+TEST(Imu, BiasRandomWalkAccumulates)
+{
+    ImuNoiseModel model;
+    model.gyro_noise = 0.0;
+    model.accel_noise = 0.0;
+    model.gyro_bias_walk = 1e-3;
+    model.accel_bias_walk = 1e-2;
+    ImuCorruptor corr(model, 100.0, 31);
+    ImuSample clean;
+    for (int i = 0; i < 5000; ++i)
+        corr.corrupt(clean);
+    // A random walk over 5000 steps is nonzero with overwhelming
+    // probability; exact magnitude is stochastic, sign-free check only.
+    EXPECT_GT(corr.gyroBias().norm(), 0.0);
+    EXPECT_GT(corr.accelBias().norm(), 0.0);
+}
+
+TEST(Imu, GravityPointsDownInWorldFrame)
+{
+    Vec3 g = gravityWorld();
+    EXPECT_LT(g[2], 0.0);
+    EXPECT_NEAR(g.norm(), 9.81, 0.02);
+}
+
+TEST(Gps, UnavailableSignalNeverProducesFixes)
+{
+    GpsCorruptor gps(GpsNoiseModel{}, /*signal_available=*/false, 3);
+    for (int i = 0; i < 100; ++i) {
+        GpsSample s = gps.sample(i * 0.1, Vec3{1.0, 2.0, 3.0});
+        EXPECT_FALSE(s.valid);
+    }
+}
+
+TEST(Gps, AvailableSignalNoiseIsBounded)
+{
+    GpsNoiseModel model;
+    model.sigma = 0.5;
+    model.sigma_vertical = 1.0;
+    model.multipath_prob = 0.0;
+    model.outage_prob = 0.0;
+    GpsCorruptor gps(model, true, 7);
+
+    Vec3 truth{10.0, -4.0, 1.5};
+    double sq_h = 0.0;
+    int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        GpsSample s = gps.sample(i * 0.1, truth);
+        ASSERT_TRUE(s.valid);
+        Vec3 e = s.position - truth;
+        sq_h += 0.5 * (e[0] * e[0] + e[1] * e[1]);
+    }
+    double sigma_h = std::sqrt(sq_h / n);
+    EXPECT_NEAR(sigma_h, model.sigma, 0.08);
+}
+
+TEST(Gps, OutageProbabilityDropsFixes)
+{
+    GpsNoiseModel model;
+    model.outage_prob = 0.3;
+    model.multipath_prob = 0.0;
+    GpsCorruptor gps(model, true, 19);
+    int invalid = 0;
+    const int n = 3000;
+    for (int i = 0; i < n; ++i)
+        if (!gps.sample(i * 0.1, Vec3::zero()).valid)
+            ++invalid;
+    double rate = static_cast<double>(invalid) / n;
+    EXPECT_NEAR(rate, 0.3, 0.05);
+}
+
+TEST(Gps, MultipathGlitchesAreLargeAndRare)
+{
+    GpsNoiseModel model;
+    model.sigma = 0.1;
+    model.sigma_vertical = 0.1;
+    model.multipath_prob = 0.1;
+    model.multipath_bias = 8.0;
+    model.outage_prob = 0.0;
+    GpsCorruptor gps(model, true, 29);
+
+    int glitches = 0;
+    const int n = 3000;
+    for (int i = 0; i < n; ++i) {
+        GpsSample s = gps.sample(i * 0.1, Vec3::zero());
+        ASSERT_TRUE(s.valid);
+        if (s.position.norm() > 3.0)
+            ++glitches;
+    }
+    double rate = static_cast<double>(glitches) / n;
+    EXPECT_NEAR(rate, 0.1, 0.04);
+}
+
+} // namespace
+} // namespace edx
