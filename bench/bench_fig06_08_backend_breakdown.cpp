@@ -57,10 +57,10 @@ main()
         ModeRun run = runLocalization(cfg);
         std::vector<std::vector<double>> s(4);
         for (const FrameRecord &f : run.frames) {
-            s[0].push_back(f.res.tracking.update_ms);
-            s[1].push_back(f.res.tracking.projection_ms);
-            s[2].push_back(f.res.tracking.match_ms);
-            s[3].push_back(f.res.tracking.pose_opt_ms);
+            s[0].push_back(f.res.telemetry.tracking.update_ms);
+            s[1].push_back(f.res.telemetry.tracking.projection_ms);
+            s[2].push_back(f.res.telemetry.tracking.match_ms);
+            s[3].push_back(f.res.telemetry.tracking.pose_opt_ms);
         }
         printBreakdown("Fig. 6 - registration backend",
                        {"Update", "Projection", "Match", "PoseOpt"}, s,
@@ -75,12 +75,12 @@ main()
         ModeRun run = runLocalization(cfg);
         std::vector<std::vector<double>> s(6);
         for (const FrameRecord &f : run.frames) {
-            s[0].push_back(f.res.msckf.imu_ms);
-            s[1].push_back(f.res.msckf.cov_ms);
-            s[2].push_back(f.res.msckf.jacobian_ms);
-            s[3].push_back(f.res.msckf.qr_ms);
-            s[4].push_back(f.res.msckf.kalman_gain_ms);
-            s[5].push_back(f.res.msckf.update_ms + f.res.fusion_ms);
+            s[0].push_back(f.res.telemetry.msckf.imu_ms);
+            s[1].push_back(f.res.telemetry.msckf.cov_ms);
+            s[2].push_back(f.res.telemetry.msckf.jacobian_ms);
+            s[3].push_back(f.res.telemetry.msckf.qr_ms);
+            s[4].push_back(f.res.telemetry.msckf.kalman_gain_ms);
+            s[5].push_back(f.res.telemetry.msckf.update_ms + f.res.telemetry.fusion_ms);
         }
         printBreakdown(
             "Fig. 7 - VIO backend",
@@ -98,10 +98,10 @@ main()
         ModeRun run = runLocalization(cfg);
         std::vector<std::vector<double>> s(3);
         for (const FrameRecord &f : run.frames) {
-            s[0].push_back(f.res.mapping.solver_ms +
-                           f.res.tracking.total());
-            s[1].push_back(f.res.mapping.marginalization_ms);
-            s[2].push_back(f.res.mapping.others_ms);
+            s[0].push_back(f.res.telemetry.mapping.solver_ms +
+                           f.res.telemetry.tracking.total());
+            s[1].push_back(f.res.telemetry.mapping.marginalization_ms);
+            s[2].push_back(f.res.telemetry.mapping.others_ms);
         }
         printBreakdown("Fig. 8 - SLAM backend",
                        {"Solver(+tracking)", "Marginalization", "Others"},

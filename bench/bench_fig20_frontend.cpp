@@ -40,7 +40,7 @@ platformReport(Platform platform, const AcceleratorConfig &acfg,
     std::vector<double> sw, fe, sm, acc_total, acc_piped;
     for (const FrameRecord &f : run.frames) {
         sw.push_back(f.res.frontendMs());
-        FrontendAccelTiming t = accel.model(f.res.frontend_workload);
+        FrontendAccelTiming t = accel.model(f.res.telemetry.frontend_workload);
         fe.push_back(t.feBlock());
         sm.push_back(t.smBlock());
         acc_total.push_back(t.latencyMs());

@@ -28,17 +28,17 @@ kernelRecord(const LocalizationResult &res)
     KernelRecord k;
     switch (res.mode) {
       case BackendMode::Registration:
-        k.size = res.tracking_workload.map_points_projected;
-        k.cpu_ms = res.tracking.projection_ms;
+        k.size = res.telemetry.tracking_workload.map_points_projected;
+        k.cpu_ms = res.telemetry.tracking.projection_ms;
         break;
       case BackendMode::Vio:
-        k.size = res.msckf_workload.stacked_rows;
-        k.cpu_ms = res.msckf.kalman_gain_ms;
-        k.state_dim = res.msckf_workload.state_dim;
+        k.size = res.telemetry.msckf_workload.stacked_rows;
+        k.cpu_ms = res.telemetry.msckf.kalman_gain_ms;
+        k.state_dim = res.telemetry.msckf_workload.state_dim;
         break;
       case BackendMode::Slam:
-        k.size = res.mapping_workload.marginalized_landmarks;
-        k.cpu_ms = res.mapping.marginalization_ms;
+        k.size = res.telemetry.mapping_workload.marginalized_landmarks;
+        k.cpu_ms = res.telemetry.mapping.marginalization_ms;
         break;
     }
     return k;
@@ -151,7 +151,7 @@ modelSystem(const ModeRun &run, const AcceleratorConfig &cfg)
         f.base_frontend_ms = res.frontendMs();
         f.base_backend_ms = res.backendMs();
 
-        f.fe = fe_accel.model(res.frontend_workload);
+        f.fe = fe_accel.model(res.telemetry.frontend_workload);
         f.acc_frontend_ms = f.fe.latencyMs();
 
         KernelRecord k = kernelRecord(res);

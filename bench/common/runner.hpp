@@ -10,12 +10,15 @@
  */
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/evaluation.hpp"
 #include "core/localizer.hpp"
+#include "runtime/pipeline.hpp"
 #include "sim/dataset.hpp"
 
 namespace edx {
@@ -62,6 +65,12 @@ struct RunConfig
 
     /** Disable GPS fusion even when the scenario provides GPS. */
     bool force_gps_off = false;
+
+    /**
+     * Optional hook over the derived LocalizerConfig (e.g. denser
+     * keyframing for backend-heavy pipeline workloads).
+     */
+    std::function<void(LocalizerConfig &)> tune;
 };
 
 /**
@@ -71,6 +80,51 @@ struct RunConfig
  * see core/evaluation.hpp).
  */
 ModeRun runLocalization(const RunConfig &cfg);
+
+/**
+ * The offline products of one scenario run: the dataset plus the
+ * assets every localization session of that scenario shares read-only
+ * (trained vocabulary, prior map). Multi-session benches build these
+ * once and serve N sessions over them.
+ */
+struct SessionAssets
+{
+    std::unique_ptr<Dataset> dataset;
+    LocalizerConfig lcfg;
+    // Heap-held so sessions' borrowed pointers stay valid even if the
+    // SessionAssets object itself is moved around.
+    std::unique_ptr<Vocabulary> voc;
+    std::unique_ptr<Map> prior_map;
+
+    const Vocabulary *vocPtr() const
+    {
+        return lcfg.mode != BackendMode::Vio ? voc.get() : nullptr;
+    }
+    const Map *priorPtr() const { return prior_map.get(); }
+
+    /** A fresh initialized session over the shared assets. */
+    std::unique_ptr<Localizer> makeSession() const;
+};
+
+/** Builds the dataset + shared assets for @p cfg. */
+SessionAssets buildAssets(const RunConfig &cfg);
+
+/** Owned-image input packet for frame @p i of @p d. */
+FrameInput frameInput(const Dataset &d, int i);
+
+/** One run through the staged runtime (runtime/pipeline.hpp). */
+struct PipelinedRun
+{
+    ModeRun run;         //!< per-frame records, in submission order
+    PipelineStats stats; //!< measured stage/wall accounting
+};
+
+/**
+ * Runs the localizer through a FramePipeline with the given topology
+ * (pcfg.stages = 1 sequential, 2 overlapped frontend/backend).
+ */
+PipelinedRun runPipelined(const RunConfig &cfg,
+                          const PipelineConfig &pcfg);
 
 /**
  * Frame-count helper: returns @p dflt unless the EDX_BENCH_FRAMES

@@ -58,16 +58,16 @@ main()
         FrameInput in;
         in.frame_index = i;
         in.t = f.t;
-        in.left = &f.stereo.left;
-        in.right = &f.stereo.right;
+        in.left = std::move(f.stereo.left);
+        in.right = std::move(f.stereo.right);
         in.imu = dataset.imuBetweenFrames(i);
         in.gps = dataset.gpsAtFrame(i);
         LocalizationResult r = loc.processFrame(in);
 
         // Accelerated frame model.
-        FrontendAccelTiming fe = fe_accel.model(r.frontend_workload);
-        double kernel_cpu = r.mapping.marginalization_ms;
-        double kernel_size = r.mapping_workload.marginalized_landmarks;
+        FrontendAccelTiming fe = fe_accel.model(r.telemetry.frontend_workload);
+        double kernel_cpu = r.telemetry.mapping.marginalization_ms;
+        double kernel_size = r.telemetry.mapping_workload.marginalized_landmarks;
         AccelKernelCost cost =
             be_accel.marginalization(static_cast<int>(kernel_size));
 

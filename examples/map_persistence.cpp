@@ -24,8 +24,8 @@ drive(Localizer &loc, const Dataset &dataset, int frames)
         FrameInput in;
         in.frame_index = i;
         in.t = f.t;
-        in.left = &f.stereo.left;
-        in.right = &f.stereo.right;
+        in.left = std::move(f.stereo.left);
+        in.right = std::move(f.stereo.right);
         in.imu = dataset.imuBetweenFrames(i);
         in.gps = dataset.gpsAtFrame(i);
         LocalizationResult r = loc.processFrame(in);

@@ -1,25 +1,16 @@
 #include "backend/mapping.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <unordered_set>
 
 #include "features/matcher.hpp"
 #include "math/decomp.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace edx {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double
-msSince(Clock::time_point start)
-{
-    auto end = Clock::now();
-    return std::chrono::duration<double, std::milli>(end - start).count();
-}
 
 /** Reprojection residual and Jacobians of one observation. */
 struct ObsLinearization
@@ -162,11 +153,9 @@ void
 Mapper::localBundleAdjustment(MappingTiming &timing,
                               MappingWorkload &workload)
 {
-    auto t0 = Clock::now();
-    if (window_.size() < 2) {
-        timing.solver_ms += msSince(t0);
+    StageTimer solver_timer(timing.solver_ms);
+    if (window_.size() < 2)
         return;
-    }
 
     // Parameter bookkeeping: window poses (first fixed as gauge) and
     // landmarks with enough window observations.
@@ -195,10 +184,8 @@ Mapper::localBundleAdjustment(MappingTiming &timing,
     const int nl = static_cast<int>(lms.size());
     workload.window_keyframes = static_cast<int>(window_.size());
     workload.window_landmarks = nl;
-    if (np == 0 || nl == 0) {
-        timing.solver_ms += msSince(t0);
+    if (np == 0 || nl == 0)
         return;
-    }
 
     // Observation list restricted to the window.
     struct BaObs
@@ -424,13 +411,12 @@ Mapper::localBundleAdjustment(MappingTiming &timing,
         map_.keyframes()[window_[i]].pose = poses[i];
     for (int l = 0; l < nl; ++l)
         map_.points()[lms[l]].position = points[l];
-    timing.solver_ms += msSince(t0);
 }
 
 void
 Mapper::marginalizeOldest(MappingTiming &timing, MappingWorkload &workload)
 {
-    auto t0 = Clock::now();
+    StageTimer timer(timing.marginalization_ms);
     const int old_kf = window_.front();
     const int next_kf = window_[1];
 
@@ -538,13 +524,12 @@ Mapper::marginalizeOldest(MappingTiming &timing, MappingWorkload &workload)
                   obs.end());
     }
     window_.erase(window_.begin());
-    timing.marginalization_ms += msSince(t0);
 }
 
 bool
 Mapper::tryLoopClosure(int new_kf_id, MappingTiming &timing)
 {
-    auto t0 = Clock::now();
+    StageTimer timer(timing.others_ms);
     bool closed = false;
     const Keyframe &cur = map_.keyframes()[new_kf_id];
     if (voc_ && voc_->trained() &&
@@ -594,7 +579,6 @@ Mapper::tryLoopClosure(int new_kf_id, MappingTiming &timing)
             }
         }
     }
-    timing.others_ms += msSince(t0);
     return closed;
 }
 
@@ -610,10 +594,12 @@ Mapper::processFrame(const FrontendOutput &frame, const Pose &pose_estimate)
     if (!make_keyframe)
         return res;
 
-    auto t0 = Clock::now();
-    int kf_id = insertKeyframe(frame, pose_estimate);
-    res.keyframe_added = true;
-    res.timing.others_ms += msSince(t0);
+    int kf_id = -1;
+    {
+        StageTimer timer(res.timing.others_ms);
+        kf_id = insertKeyframe(frame, pose_estimate);
+        res.keyframe_added = true;
+    }
 
     localBundleAdjustment(res.timing, res.workload);
 

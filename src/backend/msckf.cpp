@@ -1,25 +1,12 @@
 #include "backend/msckf.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "math/decomp.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace edx {
-
-namespace {
-
-double
-msSince(std::chrono::steady_clock::time_point start)
-{
-    auto end = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(end - start).count();
-}
-
-using Clock = std::chrono::steady_clock;
-
-} // namespace
 
 Msckf::Msckf(const StereoRig &rig, const MsckfConfig &cfg)
     : rig_(rig), cfg_(cfg)
@@ -115,8 +102,8 @@ Msckf::propagateOne(const ImuSample &s, double dt)
 void
 Msckf::propagate(const std::vector<ImuSample> &samples)
 {
-    auto t0 = Clock::now();
     timing_ = MsckfTiming{};
+    StageTimer timer(timing_.imu_ms);
     for (const ImuSample &s : samples) {
         double dt = s.t - t_;
         // Guard against out-of-order or duplicate samples.
@@ -125,7 +112,6 @@ Msckf::propagate(const std::vector<ImuSample> &samples)
         else if (dt >= 0.5)
             t_ = s.t; // gap: re-anchor the clock, skip integration
     }
-    timing_.imu_ms = msSince(t0);
 }
 
 void
@@ -334,14 +320,19 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
 {
     assert(initialized_);
     workload_ = MsckfWorkload{};
+    // Reset the update-side timings (imu_ms belongs to propagate());
+    // the stage timers below accumulate into these sinks.
+    timing_.cov_ms = timing_.jacobian_ms = timing_.qr_ms = 0.0;
+    timing_.kalman_gain_ms = timing_.update_ms = 0.0;
 
     // --- Covariance augmentation for the new camera clone.
-    auto t0 = Clock::now();
-    augmentClone(clone_id);
-    timing_.cov_ms = msSince(t0);
+    {
+        StageTimer timer(timing_.cov_ms);
+        augmentClone(clone_id);
+    }
 
     // --- Build stacked residuals for usable tracks.
-    t0 = Clock::now();
+    StageTimer jacobian_timer(timing_.jacobian_ms);
     std::vector<const FeatureTrack *> usable;
     std::vector<Vec3> points;
     int total_rows = 0;
@@ -366,7 +357,7 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
     int row = 0;
     for (size_t i = 0; i < usable.size(); ++i)
         row += buildTrackBlock(*usable[i], points[i], h, r, row);
-    timing_.jacobian_ms = msSince(t0);
+    jacobian_timer.stop();
     workload_.tracks_used = static_cast<int>(usable.size());
     workload_.stacked_rows = row;
     workload_.state_dim = d;
@@ -383,7 +374,7 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
         r_used[i] = r[i];
 
     // --- QR compression when the stack is taller than the state.
-    t0 = Clock::now();
+    StageTimer qr_timer(timing_.qr_ms);
     MatX h_used = std::move(h);
     if (row > d) {
         HouseholderQR qr(h_used);
@@ -394,11 +385,11 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
             r_new[i] = qtb[i];
         r_used = std::move(r_new);
     }
-    timing_.qr_ms = msSince(t0);
+    qr_timer.stop();
     const int rows = h_used.rows();
 
     // --- Kalman gain: S = H P H^T + R ; solve S K^T = H P.
-    t0 = Clock::now();
+    StageTimer kalman_gain_timer(timing_.kalman_gain_ms);
     MatX ph_t = multiplyTransposed(cov_, h_used); // d x rows (P sym.)
     MatX s = h_used * ph_t;                       // rows x rows
     const double r_var = cfg_.pixel_sigma * cfg_.pixel_sigma;
@@ -418,10 +409,10 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
         }
         k_t = lu.solve(ph_t.transpose());
     }
-    timing_.kalman_gain_ms = msSince(t0);
+    kalman_gain_timer.stop();
 
     // --- State/covariance injection.
-    t0 = Clock::now();
+    StageTimer update_timer(timing_.update_ms);
     VecX dx(d);
     for (int i = 0; i < d; ++i) {
         double acc = 0.0;
@@ -448,7 +439,7 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
     // Numerical floor to keep the covariance positive.
     for (int i = 0; i < d; ++i)
         cov_(i, i) = std::max(cov_(i, i), 1e-12);
-    timing_.update_ms = msSince(t0);
+    update_timer.stop();
 
     // --- Window management.
     while (static_cast<int>(clones_.size()) > cfg_.max_clones)

@@ -1,21 +1,9 @@
 #include "backend/tracking.hpp"
 
-#include <chrono>
-
 #include "math/matx.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace edx {
-
-namespace {
-
-double
-msSince(std::chrono::steady_clock::time_point start)
-{
-    auto end = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(end - start).count();
-}
-
-} // namespace
 
 Tracker::Tracker(const Map *map, const Vocabulary *vocabulary,
                  const CameraIntrinsics &cam, const Pose &body_from_camera,
@@ -29,31 +17,31 @@ TrackingResult
 Tracker::track(const FrontendOutput &frame,
                const std::optional<Pose> &prediction)
 {
-    using Clock = std::chrono::steady_clock;
     TrackingResult res;
 
     // --- Update stage: BoW conversion (every frame, so relocalization
     // and keyframe-database maintenance stay ready) and, when no pose
     // prediction is available, the place-recognition query.
-    auto t0 = Clock::now();
     Pose initial;
     bool have_initial = false;
-    BowVector bow;
-    if (voc_ && voc_->trained())
-        bow = voc_->transform(frame.descriptors);
-    if (prediction) {
-        initial = *prediction;
-        have_initial = true;
-    }
-    if (!have_initial && !bow.empty()) {
-        auto place = map_->queryPlace(bow);
-        if (place && place->score >= cfg_.min_place_score) {
-            initial = map_->keyframes()[place->keyframe_id].pose;
+    {
+        StageTimer timer(res.timing.update_ms);
+        BowVector bow;
+        if (voc_ && voc_->trained())
+            bow = voc_->transform(frame.descriptors);
+        if (prediction) {
+            initial = *prediction;
             have_initial = true;
-            res.relocalized = true;
+        }
+        if (!have_initial && !bow.empty()) {
+            auto place = map_->queryPlace(bow);
+            if (place && place->score >= cfg_.min_place_score) {
+                initial = map_->keyframes()[place->keyframe_id].pose;
+                have_initial = true;
+                res.relocalized = true;
+            }
         }
     }
-    res.timing.update_ms = msSince(t0);
     if (!have_initial)
         return res; // lost: no prediction and no place match
 
@@ -62,7 +50,7 @@ Tracker::track(const FrontendOutput &frame,
     // coordinates of every map point (this is the formulation the
     // backend accelerator implements), followed by dehomogenization and
     // the in-image/depth gates.
-    t0 = Clock::now();
+    StageTimer projection_timer(res.timing.projection_ms);
     Pose camera_from_world =
         (initial * body_from_camera_).inverse();
     const auto &pts = map_->points();
@@ -112,10 +100,10 @@ Tracker::track(const FrontendOutput &frame,
         projected_desc.push_back(pts[i].descriptor);
     }
     res.workload.map_points_projected = m;
-    res.timing.projection_ms = msSince(t0);
+    projection_timer.stop();
 
     // --- Match stage: windowed descriptor association.
-    t0 = Clock::now();
+    StageTimer match_timer(res.timing.match_ms);
     std::vector<KeyPoint> proj_kps;
     proj_kps.reserve(projected.size());
     for (const Projected &p : projected)
@@ -124,15 +112,13 @@ Tracker::track(const FrontendOutput &frame,
         projected_desc, proj_kps, frame.descriptors, frame.keypoints,
         cfg_.match_radius_px, cfg_.match);
     res.workload.candidate_matches = static_cast<int>(matches.size());
-    res.timing.match_ms = msSince(t0);
+    match_timer.stop();
 
-    if (static_cast<int>(matches.size()) < cfg_.min_matches) {
-        res.timing.pose_opt_ms = 0.0;
+    if (static_cast<int>(matches.size()) < cfg_.min_matches)
         return res;
-    }
 
     // --- PoseOpt stage.
-    t0 = Clock::now();
+    StageTimer pose_opt_timer(res.timing.pose_opt_ms);
     std::vector<PoseObservation> obs;
     obs.reserve(matches.size());
     for (const Match &m : matches) {
@@ -143,7 +129,7 @@ Tracker::track(const FrontendOutput &frame,
     res.workload.pose_opt_points = static_cast<int>(obs.size());
     PoseOptResult opt = optimizePose(initial, obs, cam_,
                                      body_from_camera_, cfg_.pose_opt);
-    res.timing.pose_opt_ms = msSince(t0);
+    pose_opt_timer.stop();
 
     if (!opt.converged || opt.inliers < cfg_.min_matches / 2)
         return res;

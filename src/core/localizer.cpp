@@ -1,35 +1,8 @@
 #include "core/localizer.hpp"
 
-#include <chrono>
+#include "runtime/telemetry.hpp"
 
 namespace edx {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double
-msSince(Clock::time_point start)
-{
-    auto end = Clock::now();
-    return std::chrono::duration<double, std::milli>(end - start).count();
-}
-
-} // namespace
-
-double
-LocalizationResult::backendMs() const
-{
-    switch (mode) {
-      case BackendMode::Registration:
-        return tracking.total();
-      case BackendMode::Vio:
-        return msckf.total() + fusion_ms;
-      case BackendMode::Slam:
-        return tracking.total() + mapping.total();
-    }
-    return 0.0;
-}
 
 LocalizerConfig
 configForScenario(SceneType scene)
@@ -58,9 +31,9 @@ Localizer::Localizer(const LocalizerConfig &cfg, const StereoRig &rig,
         break;
       case BackendMode::Registration:
         assert(prior_map && "registration mode requires a map");
-        registration_map_ = *prior_map;
+        registration_map_ = prior_map;
         reg_tracker_ = std::make_unique<Tracker>(
-            &registration_map_, voc_, rig_.cam, rig_.body_from_camera,
+            registration_map_, voc_, rig_.cam, rig_.body_from_camera,
             cfg_.tracking);
         break;
     }
@@ -86,25 +59,31 @@ Localizer::currentMap() const
     if (cfg_.mode == BackendMode::Slam)
         return &mapper_->map();
     if (cfg_.mode == BackendMode::Registration)
-        return &registration_map_;
+        return registration_map_;
     return nullptr;
 }
 
 LocalizationResult
-Localizer::processFrame(const FrameInput &input)
+Localizer::rejectFrame(int frame_index) const
 {
-    // Frames before initialize() (or without images) cannot be
-    // localized; report failure rather than asserting so release builds
-    // degrade gracefully.
-    if (!initialized_ || !input.left || !input.right) {
-        LocalizationResult res;
-        res.frame_index = input.frame_index;
-        res.mode = cfg_.mode;
-        res.ok = false;
-        return res;
-    }
+    LocalizationResult res;
+    res.frame_index = frame_index;
+    res.mode = cfg_.mode;
+    res.ok = false;
+    return res;
+}
 
-    FrontendOutput fe = frontend_.processFrame(*input.left, *input.right);
+FrontendOutput
+Localizer::runFrontend(const ImageU8 &left, const ImageU8 &right)
+{
+    return frontend_.processFrame(left, right);
+}
+
+LocalizationResult
+Localizer::runBackend(const FrameInput &input, const FrontendOutput &fe)
+{
+    if (!initialized_)
+        return rejectFrame(input.frame_index);
 
     LocalizationResult res;
     switch (cfg_.mode) {
@@ -120,8 +99,8 @@ Localizer::processFrame(const FrameInput &input)
     }
     res.frame_index = input.frame_index;
     res.mode = cfg_.mode;
-    res.frontend = fe.timing;
-    res.frontend_workload = fe.workload;
+    res.telemetry.frontend = fe.timing;
+    res.telemetry.frontend_workload = fe.workload;
 
     if (res.ok) {
         prev_pose_ = last_pose_;
@@ -129,6 +108,19 @@ Localizer::processFrame(const FrameInput &input)
     }
     last_frame_t_ = input.t;
     return res;
+}
+
+LocalizationResult
+Localizer::processFrame(const FrameInput &input)
+{
+    // Frames before initialize() (or without images) cannot be
+    // localized; report failure rather than asserting so release builds
+    // degrade gracefully.
+    if (!initialized_ || !input.hasImages())
+        return rejectFrame(input.frame_index);
+
+    FrontendOutput fe = runFrontend(input.left, input.right);
+    return runBackend(input, fe);
 }
 
 LocalizationResult
@@ -144,16 +136,15 @@ Localizer::processVio(const FrameInput &input, const FrontendOutput &fe)
     long oldest = msckf_->update(finished, clone_id);
     track_manager_.dropObservationsBefore(oldest);
 
-    res.msckf = msckf_->lastTiming();
-    res.msckf_workload = msckf_->lastWorkload();
+    res.telemetry.msckf = msckf_->lastTiming();
+    res.telemetry.msckf_workload = msckf_->lastWorkload();
 
     Pose pose = msckf_->pose();
     if (fusion_) {
-        auto t0 = Clock::now();
+        StageTimer timer(res.telemetry.fusion_ms);
         double dt = input.t - last_frame_t_;
         fusion_->fuse(pose.translation, input.gps, dt);
         pose = fusion_->correct(pose);
-        res.fusion_ms = msSince(t0);
     }
     res.pose = pose;
     res.ok = true;
@@ -183,8 +174,8 @@ Localizer::processSlam(const FrameInput &input, const FrontendOutput &fe)
     // mapper bootstraps from the initial pose.
     if (mapper_->map().pointCount() > 0) {
         TrackingResult tr = slam_tracker_->track(fe, prediction);
-        res.tracking = tr.timing;
-        res.tracking_workload = tr.workload;
+        res.telemetry.tracking = tr.timing;
+        res.telemetry.tracking_workload = tr.workload;
         if (tr.ok) {
             estimate = tr.pose;
             have_estimate = true;
@@ -195,8 +186,8 @@ Localizer::processSlam(const FrameInput &input, const FrontendOutput &fe)
     }
 
     MappingResult mr = mapper_->processFrame(fe, estimate);
-    res.mapping = mr.timing;
-    res.mapping_workload = mr.workload;
+    res.telemetry.mapping = mr.timing;
+    res.telemetry.mapping_workload = mr.workload;
 
     res.pose = mr.keyframe_added ? mr.pose : estimate;
     res.ok = have_estimate || mr.keyframe_added;
@@ -229,8 +220,8 @@ Localizer::processRegistration(const FrameInput &input,
         reloc.timing.pose_opt_ms += tr.timing.pose_opt_ms;
         tr = reloc;
     }
-    res.tracking = tr.timing;
-    res.tracking_workload = tr.workload;
+    res.telemetry.tracking = tr.timing;
+    res.telemetry.tracking_workload = tr.workload;
     if (tr.ok) {
         res.pose = tr.pose;
         res.ok = true;

@@ -10,9 +10,17 @@
  *  - VIO (outdoor): MSCKF filtering + loosely-coupled GPS fusion.
  *  - SLAM (indoor, no map): tracking + mapping with loop closure.
  *
- * Every frame returns the 6 DoF pose along with per-block latency and
- * workload records that drive the characterization benches and the
- * accelerator/scheduler models.
+ * Every frame returns the 6 DoF pose along with the unified telemetry
+ * record (runtime/telemetry.hpp) that drives the characterization
+ * benches and the accelerator/scheduler models.
+ *
+ * The frame path is split into the two stages the paper's accelerator
+ * pipelines (Fig. 18): runFrontend() touches only the vision-frontend
+ * state and runBackend() touches only the mode-specific backend state,
+ * so the staged runtime (runtime/pipeline.hpp) may run frontend(N+1)
+ * concurrently with backend(N) on separate threads. processFrame() is
+ * the sequential composition of the two and remains the single-thread
+ * API.
  */
 #pragma once
 
@@ -24,6 +32,7 @@
 #include "backend/msckf.hpp"
 #include "backend/tracking.hpp"
 #include "frontend/frontend.hpp"
+#include "runtime/telemetry.hpp"
 #include "sensors/gps.hpp"
 #include "sim/scenario.hpp"
 
@@ -41,7 +50,7 @@ struct LocalizerConfig
     FusionConfig fusion;
 };
 
-/** Per-frame result: pose + full latency/workload instrumentation. */
+/** Per-frame result: pose + the unified telemetry record. */
 struct LocalizationResult
 {
     int frame_index = 0;
@@ -49,36 +58,34 @@ struct LocalizationResult
     Pose pose;
     BackendMode mode = BackendMode::Slam;
 
-    FrontendTiming frontend;
-    FrontendWorkload frontend_workload;
-
-    // Mode-specific backend records (only the active mode's fields are
-    // meaningful).
-    TrackingTiming tracking;
-    TrackingWorkload tracking_workload;
-    MsckfTiming msckf;
-    MsckfWorkload msckf_workload;
-    MappingTiming mapping;
-    MappingWorkload mapping_workload;
-    double fusion_ms = 0.0;
+    /** All block latencies and workload sizes of this frame. */
+    FrameTelemetry telemetry;
 
     /** Total backend latency of the active mode, ms. */
-    double backendMs() const;
+    double backendMs() const { return telemetry.backendMs(mode); }
     /** Frontend block latency, ms. */
-    double frontendMs() const { return frontend.total(); }
-    /** End-to-end frame latency, ms. */
-    double totalMs() const { return frontendMs() + backendMs(); }
+    double frontendMs() const { return telemetry.frontendMs(); }
+    /** End-to-end (sequential) frame latency, ms. */
+    double totalMs() const { return telemetry.totalMs(mode); }
 };
 
-/** Sensor inputs for one frame. */
+/**
+ * Sensor inputs for one frame. The images are *owned*: a FrameInput is
+ * a self-contained packet that can be moved into the staged runtime
+ * and outlive the caller's scope (the former `const ImageU8 *`
+ * borrowing could dangle as soon as frames were queued).
+ */
 struct FrameInput
 {
     int frame_index = 0;
     double t = 0.0;
-    const ImageU8 *left = nullptr;
-    const ImageU8 *right = nullptr;
+    ImageU8 left;
+    ImageU8 right;
     std::vector<ImuSample> imu; //!< samples since the previous frame
     GpsSample gps;              //!< most recent fix (may be invalid)
+
+    /** True when both stereo images are present. */
+    bool hasImages() const { return !left.empty() && !right.empty(); }
 };
 
 /** The unified localizer. */
@@ -90,8 +97,10 @@ class Localizer
      * @param rig the stereo rig of the platform
      * @param vocabulary trained BoW vocabulary (borrowed; may be null
      *        for VIO-only operation)
-     * @param prior_map map for the registration mode (borrowed; copied
-     *        into the tracker's map store). Null outside registration.
+     * @param prior_map map for the registration mode (borrowed and
+     *        shared read-only; must outlive the localizer — many
+     *        concurrent sessions may serve the same map). Null outside
+     *        registration.
      */
     Localizer(const LocalizerConfig &cfg, const StereoRig &rig,
               const Vocabulary *vocabulary, const Map *prior_map);
@@ -107,12 +116,31 @@ class Localizer
     void initialize(const Pose &start_pose, double t,
                     const Vec3 &start_velocity = Vec3::zero());
 
-    /** Processes one frame; returns pose + instrumentation. */
+    /** Processes one frame; returns pose + telemetry. */
     LocalizationResult processFrame(const FrameInput &input);
+
+    // --- staged API (used by runtime/pipeline.hpp) -------------------
+
+    /**
+     * Stage 1: the shared vision frontend. Touches only the frontend
+     * state, so it may run on a different thread than runBackend() as
+     * long as successive frames enter in order.
+     */
+    FrontendOutput runFrontend(const ImageU8 &left, const ImageU8 &right);
+
+    /**
+     * Stage 2: the mode-specific backend. Touches only backend state
+     * (filter / tracker / mapper and the pose history). @p input must
+     * be the frame that produced @p fe, and frames must arrive in
+     * submission order.
+     */
+    LocalizationResult runBackend(const FrameInput &input,
+                                  const FrontendOutput &fe);
 
     /** The map being built (SLAM) or localized against (registration). */
     const Map *currentMap() const;
 
+    bool initialized() const { return initialized_; }
     BackendMode mode() const { return cfg_.mode; }
     const LocalizerConfig &config() const { return cfg_; }
 
@@ -123,6 +151,9 @@ class Localizer
                                    const FrontendOutput &fe);
     LocalizationResult processRegistration(const FrameInput &input,
                                            const FrontendOutput &fe);
+
+    /** Failure result for frames that cannot be localized. */
+    LocalizationResult rejectFrame(int frame_index) const;
 
     LocalizerConfig cfg_;
     StereoRig rig_;
@@ -141,8 +172,8 @@ class Localizer
     std::unique_ptr<Mapper> mapper_;
     std::unique_ptr<Tracker> slam_tracker_;
 
-    // Registration mode.
-    Map registration_map_;
+    // Registration mode: the prior map is shared read-only.
+    const Map *registration_map_ = nullptr;
     std::unique_ptr<Tracker> reg_tracker_;
 
     // Shared pose history for constant-velocity prediction.

@@ -1,22 +1,9 @@
 #include "frontend/frontend.hpp"
 
-#include <chrono>
-
 #include "image/filter.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace edx {
-
-namespace {
-
-/** Milliseconds elapsed since @p start. */
-double
-msSince(std::chrono::steady_clock::time_point start)
-{
-    auto end = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(end - start).count();
-}
-
-} // namespace
 
 void
 VisionFrontend::reset()
@@ -28,58 +15,66 @@ VisionFrontend::reset()
 FrontendOutput
 VisionFrontend::processFrame(const ImageU8 &left, const ImageU8 &right)
 {
-    using Clock = std::chrono::steady_clock;
     FrontendOutput out;
     out.workload.image_pixels = left.pixelCount();
 
     // --- Feature extraction block (FD + IF + FC), both images. The
     // hardware time-shares one FE pipeline across the two streams
     // (Sec. V-B); in software they simply run back to back.
-    auto t0 = Clock::now();
-    std::vector<KeyPoint> lk = detectFast(left, cfg_.fast);
-    std::vector<KeyPoint> rk = detectFast(right, cfg_.fast);
-    out.timing.fd_ms = msSince(t0);
+    std::vector<KeyPoint> lk, rk;
+    {
+        StageTimer timer(out.timing.fd_ms);
+        lk = detectFast(left, cfg_.fast);
+        rk = detectFast(right, cfg_.fast);
+    }
 
-    t0 = Clock::now();
-    ImageU8 lf = gaussianBlur(left);
-    ImageU8 rf = gaussianBlur(right);
-    out.timing.if_ms = msSince(t0);
+    ImageU8 lf, rf;
+    {
+        StageTimer timer(out.timing.if_ms);
+        lf = gaussianBlur(left);
+        rf = gaussianBlur(right);
+    }
 
-    t0 = Clock::now();
-    std::vector<Descriptor> ld = computeOrbDescriptors(lf, lk);
-    std::vector<Descriptor> rd = computeOrbDescriptors(rf, rk);
-    out.timing.fc_ms = msSince(t0);
+    std::vector<Descriptor> ld, rd;
+    {
+        StageTimer timer(out.timing.fc_ms);
+        ld = computeOrbDescriptors(lf, lk);
+        rd = computeOrbDescriptors(rf, rk);
+    }
 
     out.workload.left_features = static_cast<int>(lk.size());
     out.workload.right_features = static_cast<int>(rk.size());
 
     // --- Stereo matching block (MO + DR).
-    t0 = Clock::now();
-    std::vector<StereoMatch> matches =
-        stereoMatchInitial(lk, ld, rk, rd, cfg_.stereo);
-    out.timing.mo_ms = msSince(t0);
+    std::vector<StereoMatch> matches;
+    {
+        StageTimer timer(out.timing.mo_ms);
+        matches = stereoMatchInitial(lk, ld, rk, rd, cfg_.stereo);
+    }
     // Every (left, right-in-band) pair is a Hamming candidate; the MO
     // hardware model uses this count.
     out.workload.stereo_candidates =
         static_cast<int>(lk.size()) * static_cast<int>(rk.size());
 
-    t0 = Clock::now();
-    stereoRefineDisparity(left, right, lk, matches, cfg_.stereo);
-    out.timing.dr_ms = msSince(t0);
+    {
+        StageTimer timer(out.timing.dr_ms);
+        stereoRefineDisparity(left, right, lk, matches, cfg_.stereo);
+    }
     out.workload.stereo_matches = static_cast<int>(matches.size());
 
     // --- Temporal matching block (DC + LSS): LK against the previous
     // left frame. Runs on the raw (unfiltered) pyramid.
-    t0 = Clock::now();
-    Pyramid cur_pyr(left, cfg_.flow.pyramid_levels);
-    if (has_prev_) {
-        out.temporal = trackLucasKanade(prev_pyramid_, cur_pyr,
-                                        prev_keypoints_, cfg_.flow);
+    {
+        StageTimer timer(out.timing.tm_ms);
+        Pyramid cur_pyr(left, cfg_.flow.pyramid_levels);
+        if (has_prev_) {
+            out.temporal = trackLucasKanade(prev_pyramid_, cur_pyr,
+                                            prev_keypoints_, cfg_.flow);
+        }
+        prev_pyramid_ = std::move(cur_pyr);
     }
-    out.timing.tm_ms = msSince(t0);
     out.workload.temporal_tracks = static_cast<int>(out.temporal.size());
 
-    prev_pyramid_ = std::move(cur_pyr);
     prev_keypoints_ = lk;
     has_prev_ = true;
 

@@ -141,7 +141,6 @@ so3RightJacobian(const Vec3 &phi)
     if (angle < 1e-8) {
         return eye - skew(phi) * 0.5;
     }
-    Mat3 k = skew(phi / angle);
     double a = (1.0 - std::cos(angle)) / (angle * angle);
     double b = (angle - std::sin(angle)) / (angle * angle * angle);
     return eye - skew(phi) * a + (skew(phi) * skew(phi)) * b;

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Bounded blocking FIFO queue — the backpressure primitive between the
+ * runtime's pipeline stages.
+ *
+ * A full queue blocks the producer (push) until the consumer catches
+ * up, so a slow backend stage throttles frame ingestion instead of
+ * letting frames pile up without bound — the standard behaviour of a
+ * real-time localization pipeline that must shed latency, not memory.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace edx {
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : cap_(capacity ? capacity : 1)
+    {}
+
+    /**
+     * Enqueues @p v, blocking while the queue is full.
+     * @return false when the queue was closed (item dropped).
+     */
+    bool
+    push(T v)
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        not_full_.wait(lk, [&] { return q_.size() < cap_ || closed_; });
+        if (closed_)
+            return false;
+        q_.push_back(std::move(v));
+        high_water_ = std::max(high_water_, q_.size());
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeues the oldest item, blocking while the queue is empty.
+     * @return nullopt when the queue is closed and fully drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        not_empty_.wait(lk, [&] { return !q_.empty() || closed_; });
+        if (q_.empty())
+            return std::nullopt;
+        T v = std::move(q_.front());
+        q_.pop_front();
+        not_full_.notify_one();
+        return v;
+    }
+
+    /** Closes the queue: producers fail, consumers drain then stop. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        closed_ = true;
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return closed_;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return q_.size();
+    }
+
+    size_t capacity() const { return cap_; }
+
+    /** Largest depth ever observed (contention diagnostic). */
+    size_t
+    highWater() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return high_water_;
+    }
+
+  private:
+    mutable std::mutex m_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> q_;
+    size_t cap_;
+    size_t high_water_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace edx

@@ -1,0 +1,173 @@
+#include "runtime/localizer_pool.hpp"
+
+#include <cassert>
+
+namespace edx {
+
+LocalizerPool::LocalizerPool(const PoolConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.workers < 1)
+        cfg_.workers = 1;
+    if (cfg_.queue_capacity < 1)
+        cfg_.queue_capacity = 1;
+    workers_.reserve(cfg_.workers);
+    for (int i = 0; i < cfg_.workers; ++i)
+        workers_.emplace_back(&LocalizerPool::workerLoop, this);
+}
+
+LocalizerPool::~LocalizerPool() { shutdown(); }
+
+int
+LocalizerPool::addSession(std::unique_ptr<Localizer> localizer)
+{
+    assert(localizer);
+    std::lock_guard<std::mutex> lk(m_);
+    auto s = std::make_unique<Session>();
+    s->loc = std::move(localizer);
+    sessions_.push_back(std::move(s));
+    return static_cast<int>(sessions_.size()) - 1;
+}
+
+int
+LocalizerPool::createSession(const LocalizerConfig &cfg,
+                             const StereoRig &rig,
+                             const Vocabulary *vocabulary,
+                             const Map *prior_map, const Pose &start_pose,
+                             double t0, const Vec3 &start_velocity)
+{
+    auto loc = std::make_unique<Localizer>(cfg, rig, vocabulary, prior_map);
+    loc->initialize(start_pose, t0, start_velocity);
+    return addSession(std::move(loc));
+}
+
+bool
+LocalizerPool::submit(int session_id, FrameInput input)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    if (session_id < 0 ||
+        session_id >= static_cast<int>(sessions_.size()))
+        return false;
+    space_cv_.wait(lk, [&] {
+        return queued_frames_ < cfg_.queue_capacity || stopping_;
+    });
+    if (stopping_)
+        return false;
+
+    Session &s = *sessions_[session_id];
+    s.pending.push_back(std::move(input));
+    ++queued_frames_;
+    ++submitted_;
+    // A session joins the run queue only when no worker owns it; the
+    // owning worker re-enqueues it on release (actor scheduling keeps
+    // per-session frame order).
+    if (!s.running && s.pending.size() == 1) {
+        runnable_.push_back(session_id);
+        work_cv_.notify_one();
+    }
+    return true;
+}
+
+void
+LocalizerPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+        work_cv_.wait(lk, [&] { return !runnable_.empty() || stopping_; });
+        if (runnable_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        int sid = runnable_.front();
+        runnable_.pop_front();
+        Session &s = *sessions_[sid];
+        assert(!s.running && !s.pending.empty());
+        s.running = true;
+        FrameInput input = std::move(s.pending.front());
+        s.pending.pop_front();
+        --queued_frames_;
+        space_cv_.notify_one();
+
+        lk.unlock();
+        PoolResult r;
+        r.session_id = sid;
+        r.result = s.loc->processFrame(input);
+        lk.lock();
+
+        s.running = false;
+        if (!s.pending.empty()) {
+            runnable_.push_back(sid);
+            work_cv_.notify_one();
+        }
+        results_.push_back(std::move(r));
+        ++completed_;
+        result_cv_.notify_all();
+    }
+}
+
+bool
+LocalizerPool::poll(PoolResult &out)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    if (results_.empty())
+        return false;
+    out = std::move(results_.front());
+    results_.pop_front();
+    return true;
+}
+
+bool
+LocalizerPool::awaitResult(PoolResult &out)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    result_cv_.wait(lk, [&] {
+        return !results_.empty() || completed_ == submitted_;
+    });
+    if (results_.empty())
+        return false;
+    out = std::move(results_.front());
+    results_.pop_front();
+    return true;
+}
+
+void
+LocalizerPool::drain()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    result_cv_.wait(lk, [&] { return completed_ == submitted_; });
+}
+
+void
+LocalizerPool::shutdown()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+}
+
+int
+LocalizerPool::sessionCount() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return static_cast<int>(sessions_.size());
+}
+
+Localizer &
+LocalizerPool::session(int session_id)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    assert(session_id >= 0 &&
+           session_id < static_cast<int>(sessions_.size()));
+    return *sessions_[session_id]->loc;
+}
+
+} // namespace edx

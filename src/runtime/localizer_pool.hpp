@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Multi-session serving: N independent Localizer sessions over shared
+ * read-only assets.
+ *
+ * A deployment serves many robots at once (the ROADMAP's production
+ * target); each robot is an independent localization *session*, but
+ * the heavyweight assets — the trained BoW vocabulary and the prior
+ * map — are immutable and shared by every session (the multi-mission
+ * structure of maplab-style systems).
+ *
+ * Scheduling is actor-style: every session owns a FIFO of pending
+ * frames and is processed by at most one worker at a time, so frames
+ * of one session retain submission order (localizers are stateful and
+ * order-sensitive) while different sessions run concurrently across
+ * the worker pool. A global bound on queued frames gives submit()
+ * backpressure, mirroring the single-session pipeline.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/localizer.hpp"
+
+namespace edx {
+
+/** Pool sizing. */
+struct PoolConfig
+{
+    int workers = 2;           //!< worker threads shared by all sessions
+    size_t queue_capacity = 16; //!< global bound on queued frames
+};
+
+/** One completed frame of one session. */
+struct PoolResult
+{
+    int session_id = -1;
+    LocalizationResult result;
+};
+
+/** Serves N concurrent localization sessions. */
+class LocalizerPool
+{
+  public:
+    explicit LocalizerPool(const PoolConfig &cfg = {});
+
+    /** Drains all sessions and joins the workers. */
+    ~LocalizerPool();
+
+    LocalizerPool(const LocalizerPool &) = delete;
+    LocalizerPool &operator=(const LocalizerPool &) = delete;
+
+    /**
+     * Registers a session built by the caller (e.g. sharing a
+     * vocabulary/map across sessions). @return the session id.
+     */
+    int addSession(std::unique_ptr<Localizer> localizer);
+
+    /**
+     * Convenience: constructs the Localizer in place. The vocabulary
+     * and prior map are borrowed read-only and shared across sessions;
+     * they must outlive the pool.
+     */
+    int createSession(const LocalizerConfig &cfg, const StereoRig &rig,
+                      const Vocabulary *vocabulary, const Map *prior_map,
+                      const Pose &start_pose, double t0,
+                      const Vec3 &start_velocity = Vec3::zero());
+
+    /**
+     * Enqueues a frame for @p session_id (taking ownership of its
+     * images). Blocks while the global queue bound is reached. Returns
+     * false after shutdown() or for an unknown session.
+     */
+    bool submit(int session_id, FrameInput input);
+
+    /** Non-blocking: pops any completed frame. */
+    bool poll(PoolResult &out);
+
+    /** Blocks until a result is available (false: all work drained). */
+    bool awaitResult(PoolResult &out);
+
+    /** Blocks until every submitted frame has completed. */
+    void drain();
+
+    /** Drains and stops the workers; submit() fails afterwards. */
+    void shutdown();
+
+    int sessionCount() const;
+
+    /**
+     * Direct access to a session's localizer. Only safe when the
+     * session has no in-flight frames (e.g. after drain()).
+     */
+    Localizer &session(int session_id);
+
+  private:
+    struct Session
+    {
+        std::unique_ptr<Localizer> loc;
+        std::deque<FrameInput> pending;
+        bool running = false; //!< a worker currently owns this session
+    };
+
+    void workerLoop();
+
+    PoolConfig cfg_;
+
+    mutable std::mutex m_;
+    std::condition_variable work_cv_;   //!< workers: runnable session
+    std::condition_variable space_cv_;  //!< producers: queue space
+    std::condition_variable result_cv_; //!< consumers: results / drain
+
+    std::vector<std::unique_ptr<Session>> sessions_;
+    std::deque<int> runnable_; //!< sessions with pending, not running
+    size_t queued_frames_ = 0; //!< across all sessions
+    long submitted_ = 0;
+    long completed_ = 0;
+    bool stopping_ = false;
+
+    std::deque<PoolResult> results_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace edx

@@ -1,0 +1,224 @@
+#include "runtime/pipeline.hpp"
+
+#include "runtime/telemetry.hpp"
+
+namespace edx {
+
+FramePipeline::FramePipeline(Localizer &localizer,
+                             const PipelineConfig &cfg)
+    : loc_(localizer), cfg_(cfg), in_q_(cfg.queue_capacity),
+      mid_q_(cfg.queue_capacity)
+{
+    if (cfg_.stages < 1)
+        cfg_.stages = 1;
+    if (cfg_.stages > 2)
+        cfg_.stages = 2;
+    if (cfg_.stages == 2) {
+        frontend_thread_ =
+            std::thread(&FramePipeline::frontendWorker, this);
+        backend_thread_ = std::thread(&FramePipeline::backendWorker, this);
+    }
+}
+
+FramePipeline::~FramePipeline() { close(); }
+
+bool
+FramePipeline::submit(FrameInput input)
+{
+    {
+        std::lock_guard<std::mutex> lk(result_m_);
+        if (closed_)
+            return false;
+        ++submitted_;
+    }
+    {
+        std::lock_guard<std::mutex> lk(stats_m_);
+        if (!first_submit_done_) {
+            first_submit_done_ = true;
+            first_submit_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    if (cfg_.stages == 1) {
+        runSequential(std::move(input));
+        return true;
+    }
+    if (!in_q_.push(std::move(input))) {
+        std::lock_guard<std::mutex> lk(result_m_);
+        --submitted_;
+        return false;
+    }
+    return true;
+}
+
+void
+FramePipeline::runSequential(FrameInput input)
+{
+    const bool valid = loc_.initialized() && input.hasImages();
+    LocalizationResult res = loc_.processFrame(input);
+    // Sequential topology: the stage spans are the block latencies
+    // themselves (nothing overlaps).
+    res.telemetry.frontend_stage_ms = res.frontendMs();
+    res.telemetry.backend_stage_ms = res.backendMs();
+    // Rejected frames carry no decision, matching the stages=2 path.
+    if (valid && cfg_.scheduler) {
+        BackendKernel k = kernelForMode(loc_.mode());
+        res.telemetry.backend_offload = cfg_.scheduler->decide(
+            stageSizeDriver(k, res.telemetry.frontend_workload),
+            cfg_.accel_ms);
+        res.telemetry.has_offload_decision = true;
+    }
+    {
+        std::lock_guard<std::mutex> lk(stats_m_);
+        stats_.frontend_busy_ms += res.frontendMs();
+        stats_.backend_busy_ms += res.backendMs();
+    }
+    pushResult(std::move(res));
+}
+
+void
+FramePipeline::frontendWorker()
+{
+    while (auto input = in_q_.pop()) {
+        StageJob job;
+        job.input = std::move(*input);
+        double stage_ms = 0.0;
+        if (loc_.initialized() && job.input.hasImages()) {
+            StageTimer timer(stage_ms);
+            job.fe = loc_.runFrontend(job.input.left, job.input.right);
+            job.valid = true;
+        }
+        job.frontend_stage_ms = stage_ms;
+
+        // Per-stage scheduling: the backend kernel's offload decision
+        // is made here, at the stage boundary, from the sizes the
+        // frontend just produced — before the backend stage runs.
+        if (job.valid && cfg_.scheduler) {
+            BackendKernel k = kernelForMode(loc_.mode());
+            job.offload = cfg_.scheduler->decide(
+                stageSizeDriver(k, job.fe.workload), cfg_.accel_ms);
+            job.has_offload = true;
+        }
+        {
+            std::lock_guard<std::mutex> lk(stats_m_);
+            stats_.frontend_busy_ms += stage_ms;
+            stats_.input_high_water =
+                std::max(stats_.input_high_water, in_q_.highWater());
+        }
+        if (!mid_q_.push(std::move(job)))
+            break;
+    }
+    mid_q_.close();
+}
+
+void
+FramePipeline::backendWorker()
+{
+    while (auto job = mid_q_.pop())
+        processBackend(std::move(*job));
+}
+
+void
+FramePipeline::processBackend(StageJob job)
+{
+    LocalizationResult res;
+    double stage_ms = 0.0;
+    if (job.valid) {
+        StageTimer timer(stage_ms);
+        res = loc_.runBackend(job.input, job.fe);
+    } else {
+        res.frame_index = job.input.frame_index;
+        res.mode = loc_.mode();
+        res.ok = false;
+    }
+    res.telemetry.frontend_stage_ms = job.frontend_stage_ms;
+    res.telemetry.backend_stage_ms = stage_ms;
+    if (job.has_offload) {
+        res.telemetry.backend_offload = job.offload;
+        res.telemetry.has_offload_decision = true;
+    }
+    {
+        std::lock_guard<std::mutex> lk(stats_m_);
+        stats_.backend_busy_ms += stage_ms;
+    }
+    pushResult(std::move(res));
+}
+
+void
+FramePipeline::pushResult(LocalizationResult res)
+{
+    std::lock_guard<std::mutex> lk(result_m_);
+    results_.push_back(std::move(res));
+    ++completed_;
+    {
+        std::lock_guard<std::mutex> slk(stats_m_);
+        ++stats_.frames;
+        if (first_submit_done_)
+            stats_.wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - first_submit_)
+                    .count();
+    }
+    result_cv_.notify_all();
+}
+
+bool
+FramePipeline::poll(LocalizationResult &out)
+{
+    std::lock_guard<std::mutex> lk(result_m_);
+    if (results_.empty())
+        return false;
+    out = std::move(results_.front());
+    results_.pop_front();
+    return true;
+}
+
+bool
+FramePipeline::awaitResult(LocalizationResult &out)
+{
+    std::unique_lock<std::mutex> lk(result_m_);
+    result_cv_.wait(lk, [&] {
+        return !results_.empty() || completed_ == submitted_;
+    });
+    if (results_.empty())
+        return false;
+    out = std::move(results_.front());
+    results_.pop_front();
+    return true;
+}
+
+void
+FramePipeline::flush()
+{
+    std::unique_lock<std::mutex> lk(result_m_);
+    result_cv_.wait(lk, [&] { return completed_ == submitted_; });
+}
+
+void
+FramePipeline::close()
+{
+    {
+        std::lock_guard<std::mutex> lk(result_m_);
+        if (closed_)
+            return;
+    }
+    flush();
+    {
+        std::lock_guard<std::mutex> lk(result_m_);
+        closed_ = true;
+    }
+    in_q_.close();
+    if (frontend_thread_.joinable())
+        frontend_thread_.join();
+    if (backend_thread_.joinable())
+        backend_thread_.join();
+}
+
+PipelineStats
+FramePipeline::stats() const
+{
+    std::lock_guard<std::mutex> lk(stats_m_);
+    return stats_;
+}
+
+} // namespace edx

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The staged frame pipeline (Fig. 18 of the paper, in software).
+ *
+ * The paper's accelerator overlaps the shared vision frontend of frame
+ * N+1 with the mode-specific backend of frame N, so steady-state
+ * throughput is set by the slower stage instead of their sum. This
+ * runtime reproduces that structure on CPU threads:
+ *
+ *   submit() -> [bounded input queue] -> frontend worker
+ *            -> [bounded stage queue] -> backend worker -> results
+ *
+ * Each stage is a single worker consuming a FIFO queue, so frames pass
+ * through both stages strictly in submission order and the pipelined
+ * pose stream is bit-identical to the sequential one — the concurrency
+ * changes *when* a stage runs, never *what* it computes. Bounded
+ * queues give backpressure: a slow backend throttles submit() instead
+ * of letting frames accumulate without bound.
+ *
+ * PipelineConfig::stages selects the topology:
+ *   1  — sequential: submit() runs processFrame() inline (the seed
+ *        benches' semantics, kept as the latency baseline), and
+ *   2  — pipelined: frontend and backend overlap on worker threads.
+ *
+ * The offload scheduler (Sec. VI-B) plugs in at the frontend ->
+ * backend boundary: the decision for the backend kernel is computed
+ * from the sizes the frontend just produced, per stage rather than at
+ * frame end, and is stamped into the frame's telemetry.
+ */
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "core/localizer.hpp"
+#include "runtime/frame_queue.hpp"
+#include "sched/scheduler.hpp"
+
+namespace edx {
+
+/** Pipeline topology and policy. */
+struct PipelineConfig
+{
+    int stages = 2;            //!< 1 = sequential, 2 = frontend|backend
+    size_t queue_capacity = 4; //!< bound of each inter-stage queue
+
+    /**
+     * Optional per-stage offload scheduler (borrowed). When set, every
+     * frame's backend-kernel decision is computed at the frontend ->
+     * backend boundary against @ref accel_ms.
+     *
+     * Fit domain: the scheduler's KernelLatencyModel must be fit on
+     * the *stage-boundary* size drivers (stageSizeDriver over the
+     * frontend workload), not on the backend kernel sizes the fig16
+     * benches fit on (map points / stacked rows / marginalized
+     * landmarks) — those are a different variable and scale and only
+     * exist after the backend has run.
+     */
+    const RuntimeScheduler *scheduler = nullptr;
+    double accel_ms = 0.0; //!< modeled accelerator latency (compute+DMA)
+};
+
+/** Aggregate pipeline accounting. */
+struct PipelineStats
+{
+    long frames = 0;
+    double frontend_busy_ms = 0.0; //!< total frontend-stage wall time
+    double backend_busy_ms = 0.0;  //!< total backend-stage wall time
+    double wall_ms = 0.0;  //!< first submit -> last completion span
+    size_t input_high_water = 0; //!< deepest input-queue backlog seen
+
+    /** Achieved end-to-end throughput, frames/s. */
+    double
+    fps() const
+    {
+        return wall_ms > 0.0 ? 1000.0 * frames / wall_ms : 0.0;
+    }
+};
+
+/**
+ * Runs one Localizer as a staged pipeline. The localizer is borrowed
+ * and must not be touched by the caller between start and close().
+ */
+class FramePipeline
+{
+  public:
+    explicit FramePipeline(Localizer &localizer,
+                           const PipelineConfig &cfg = {});
+
+    /** Drains in-flight frames and joins the workers. */
+    ~FramePipeline();
+
+    FramePipeline(const FramePipeline &) = delete;
+    FramePipeline &operator=(const FramePipeline &) = delete;
+
+    /**
+     * Enqueues one frame (taking ownership of its images). Blocks while
+     * the bounded input queue is full (backpressure). Returns false
+     * after close().
+     */
+    bool submit(FrameInput input);
+
+    /**
+     * Non-blocking: pops the next completed frame in submission order.
+     * @return false when no result is ready.
+     */
+    bool poll(LocalizationResult &out);
+
+    /** Blocks until the next result (or all submitted frames done). */
+    bool awaitResult(LocalizationResult &out);
+
+    /** Blocks until every submitted frame has completed. */
+    void flush();
+
+    /** Flushes, stops the workers; submit() fails afterwards. */
+    void close();
+
+    const PipelineConfig &config() const { return cfg_; }
+    PipelineStats stats() const;
+
+  private:
+    /** A frame travelling between the two stages. */
+    struct StageJob
+    {
+        FrameInput input;
+        FrontendOutput fe;
+        bool valid = false; //!< false: bypassed the frontend (rejected)
+        double frontend_stage_ms = 0.0;
+        OffloadDecision offload;
+        bool has_offload = false;
+    };
+
+    void frontendWorker();
+    void backendWorker();
+    void runSequential(FrameInput input);
+    void processBackend(StageJob job);
+    void pushResult(LocalizationResult res);
+
+    Localizer &loc_;
+    PipelineConfig cfg_;
+
+    BoundedQueue<FrameInput> in_q_;
+    BoundedQueue<StageJob> mid_q_;
+
+    // Completed results (unbounded: results are small and draining them
+    // must never be able to deadlock the stages).
+    mutable std::mutex result_m_;
+    std::condition_variable result_cv_;
+    std::deque<LocalizationResult> results_;
+    long submitted_ = 0;
+    long completed_ = 0;
+    bool closed_ = false;
+
+    mutable std::mutex stats_m_;
+    PipelineStats stats_;
+    bool first_submit_done_ = false;
+    std::chrono::steady_clock::time_point first_submit_;
+
+    std::thread frontend_thread_;
+    std::thread backend_thread_;
+};
+
+} // namespace edx

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unified per-frame telemetry of the staged runtime.
+ *
+ * Every block of the localizer (frontend tasks, backend kernels, GPS
+ * fusion) reports wall-clock latency and workload sizes. Before the
+ * runtime layer existed these records were scattered over
+ * `FrontendTiming`, `TrackingTiming`, `MsckfTiming`, `MappingTiming`
+ * and their workload twins, and every block hand-rolled its own
+ * `std::chrono` bookkeeping. This header centralizes both:
+ *
+ *  - StageTimer: RAII accumulator used by every timed block, and
+ *  - FrameTelemetry: the single per-frame record the benches, the
+ *    scheduler and the pipeline consume.
+ *
+ * The pipeline additionally stamps the *stage* spans (the wall time a
+ * frame spent in the frontend stage and in the backend stage) and the
+ * per-stage offload decision, which is computed at the frontend ->
+ * backend boundary (Sec. VI-B) rather than at frame end.
+ */
+#pragma once
+
+#include <chrono>
+
+#include "backend/mapping.hpp"
+#include "backend/msckf.hpp"
+#include "backend/tracking.hpp"
+#include "frontend/frontend.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/scenario.hpp"
+
+namespace edx {
+
+/**
+ * RAII wall-clock timer: accumulates the elapsed milliseconds into a
+ * sink on destruction (or on an explicit stop()). Blocks that time
+ * several sections into the same sink simply construct several scoped
+ * timers; the sink accumulates.
+ */
+class StageTimer
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit StageTimer(double &sink_ms)
+        : sink_(&sink_ms), start_(Clock::now())
+    {}
+
+    StageTimer(const StageTimer &) = delete;
+    StageTimer &operator=(const StageTimer &) = delete;
+
+    ~StageTimer() { stop(); }
+
+    /** Milliseconds elapsed since construction (timer keeps running). */
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         start_)
+            .count();
+    }
+
+    /** Accumulates into the sink and disarms the timer. Idempotent. */
+    void
+    stop()
+    {
+        if (sink_) {
+            *sink_ += elapsedMs();
+            sink_ = nullptr;
+        }
+    }
+
+  private:
+    double *sink_;
+    Clock::time_point start_;
+};
+
+/**
+ * Matrix-size driver available at the frontend -> backend stage
+ * boundary of the pipelined runtime.
+ *
+ * The paper's scheduler predicts the backend kernel's CPU time "from
+ * the sizes the frontend just produced" so the offload decision is
+ * ready *before* the backend stage starts (per-stage scheduling, not
+ * per-frame-end). Each kernel's size is driven by a frontend product:
+ * projection by the stereo matches that seed map-point association,
+ * Kalman gain by the temporal tracks that terminate into MSCKF rows,
+ * and marginalization by the stereo landmarks entering the window.
+ */
+inline double
+stageSizeDriver(BackendKernel k, const FrontendWorkload &w)
+{
+    switch (k) {
+      case BackendKernel::Projection:
+        return static_cast<double>(w.stereo_matches);
+      case BackendKernel::KalmanGain:
+        return static_cast<double>(w.temporal_tracks);
+      case BackendKernel::Marginalization:
+        return static_cast<double>(w.stereo_matches);
+    }
+    return 0.0;
+}
+
+/**
+ * The unified per-frame record: all block latencies and workload sizes
+ * of one localized frame, plus the pipeline's stage accounting. Only
+ * the active backend mode's records are meaningful.
+ */
+struct FrameTelemetry
+{
+    FrontendTiming frontend;
+    FrontendWorkload frontend_workload;
+
+    TrackingTiming tracking;
+    TrackingWorkload tracking_workload;
+    MsckfTiming msckf;
+    MsckfWorkload msckf_workload;
+    MappingTiming mapping;
+    MappingWorkload mapping_workload;
+    double fusion_ms = 0.0;
+
+    // --- pipeline stage accounting (filled by FramePipeline) --------
+    double frontend_stage_ms = 0.0; //!< wall time in the frontend stage
+    double backend_stage_ms = 0.0;  //!< wall time in the backend stage
+
+    /**
+     * Offload decision for the active backend kernel, computed at the
+     * frontend -> backend stage boundary from the sizes the frontend
+     * just produced (valid only when has_offload_decision).
+     */
+    OffloadDecision backend_offload;
+    bool has_offload_decision = false;
+
+    /** Frontend block latency, ms. */
+    double frontendMs() const { return frontend.total(); }
+
+    /** Total backend latency of the active mode, ms. */
+    double
+    backendMs(BackendMode mode) const
+    {
+        switch (mode) {
+          case BackendMode::Registration:
+            return tracking.total();
+          case BackendMode::Vio:
+            return msckf.total() + fusion_ms;
+          case BackendMode::Slam:
+            return tracking.total() + mapping.total();
+        }
+        return 0.0;
+    }
+
+    /** End-to-end (sequential) frame latency, ms. */
+    double
+    totalMs(BackendMode mode) const
+    {
+        return frontendMs() + backendMs(mode);
+    }
+};
+
+} // namespace edx

@@ -29,6 +29,20 @@ kernelModelDegree(BackendKernel k)
     return k == BackendKernel::Projection ? 1 : 2;
 }
 
+BackendKernel
+kernelForMode(BackendMode mode)
+{
+    switch (mode) {
+      case BackendMode::Registration:
+        return BackendKernel::Projection;
+      case BackendMode::Vio:
+        return BackendKernel::KalmanGain;
+      case BackendMode::Slam:
+        return BackendKernel::Marginalization;
+    }
+    return BackendKernel::Projection;
+}
+
 KernelLatencyModel
 KernelLatencyModel::fit(BackendKernel kernel,
                         const std::vector<KernelSample> &train)

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "math/regression.hpp"
+#include "sim/scenario.hpp"
 
 namespace edx {
 
@@ -39,6 +40,9 @@ std::string kernelName(BackendKernel k);
 
 /** Regression degree per kernel (Sec. VI-B: linear / quadratic). */
 int kernelModelDegree(BackendKernel k);
+
+/** The variation-dominating kernel of each backend mode (Tbl. I). */
+BackendKernel kernelForMode(BackendMode mode);
 
 /** One profiled sample: kernel size (x) and measured CPU latency. */
 struct KernelSample

@@ -195,14 +195,14 @@ TEST(Localizer, BackendMsMatchesActiveMode)
     FrameInput in;
     in.frame_index = 1;
     in.t = f.t;
-    in.left = &f.stereo.left;
-    in.right = &f.stereo.right;
+    in.left = std::move(f.stereo.left);
+    in.right = std::move(f.stereo.right);
     in.imu = d.imuBetweenFrames(1);
     in.gps = d.gpsAtFrame(1);
     LocalizationResult r = loc.processFrame(in);
     EXPECT_EQ(r.mode, BackendMode::Vio);
     // In VIO mode the backend time equals the MSCKF + fusion time.
-    EXPECT_NEAR(r.backendMs(), r.msckf.total() + r.fusion_ms, 1e-9);
+    EXPECT_NEAR(r.backendMs(), r.telemetry.msckf.total() + r.telemetry.fusion_ms, 1e-9);
     EXPECT_NEAR(r.totalMs(), r.frontendMs() + r.backendMs(), 1e-12);
 }
 
@@ -214,8 +214,8 @@ TEST(Localizer, ProcessBeforeInitializeIsRejected)
 
     DatasetFrame f = d.frame(0);
     FrameInput in;
-    in.left = &f.stereo.left;
-    in.right = &f.stereo.right;
+    in.left = std::move(f.stereo.left);
+    in.right = std::move(f.stereo.right);
     LocalizationResult r = loc.processFrame(in);
     EXPECT_FALSE(r.ok);
 }

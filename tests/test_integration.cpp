@@ -33,8 +33,8 @@ runLocalizer(Localizer &loc, const Dataset &dataset, int frames)
         FrameInput in;
         in.frame_index = i;
         in.t = f.t;
-        in.left = &f.stereo.left;
-        in.right = &f.stereo.right;
+        in.left = std::move(f.stereo.left);
+        in.right = std::move(f.stereo.right);
         in.imu = dataset.imuBetweenFrames(i);
         in.gps = dataset.gpsAtFrame(i);
         LocalizationResult r = loc.processFrame(in);
@@ -138,7 +138,7 @@ TEST(Integration, TimingInstrumentationIsPopulated)
     for (const auto &r : out.results) {
         EXPECT_GT(r.frontendMs(), 0.0);
         EXPECT_GE(r.backendMs(), 0.0);
-        EXPECT_GT(r.frontend_workload.left_features, 0);
+        EXPECT_GT(r.telemetry.frontend_workload.left_features, 0);
     }
 }
 

@@ -31,13 +31,13 @@ droneScene(SceneType scene, int frames)
 }
 
 FrameInput
-inputFor(const Dataset &d, const DatasetFrame &f, int i)
+inputFor(const Dataset &d, DatasetFrame f, int i)
 {
     FrameInput in;
     in.frame_index = i;
     in.t = f.t;
-    in.left = &f.stereo.left;
-    in.right = &f.stereo.right;
+    in.left = std::move(f.stereo.left);
+    in.right = std::move(f.stereo.right);
     in.imu = d.imuBetweenFrames(i);
     in.gps = d.gpsAtFrame(i);
     return in;
@@ -55,12 +55,12 @@ TEST(Robustness, FeaturelessFramesDoNotCrashVio)
     for (int i = 0; i < 6; ++i) {
         DatasetFrame f = d.frame(i);
         FrameInput in = inputFor(d, f, i);
-        in.left = &blank;
-        in.right = &blank;
+        in.left = blank;
+        in.right = blank;
         LocalizationResult r = loc.processFrame(in);
         // IMU + GPS keep the filter alive; the frame must not crash
         // and must still produce a pose.
-        EXPECT_EQ(r.frontend_workload.left_features, 0);
+        EXPECT_EQ(r.telemetry.frontend_workload.left_features, 0);
         EXPECT_TRUE(std::isfinite(r.pose.translation[0]));
     }
 }
@@ -194,8 +194,8 @@ TEST(Robustness, RegistrationRecoversAfterBlankout)
         DatasetFrame f = d.frame(i);
         FrameInput in = inputFor(d, f, i);
         if (i >= 5 && i < 9) { // 4-frame blackout
-            in.left = &blank;
-            in.right = &blank;
+            in.left = blank;
+            in.right = blank;
         }
         LocalizationResult r = loc.processFrame(in);
         if (i >= 12 && r.ok)

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Tests of the staged runtime layer: StageTimer accumulation, bounded
+ * queue backpressure, pipelined-vs-sequential pose equivalence (the
+ * pipeline must change *when* stages run, never *what* they compute),
+ * per-stage scheduler decisions, and multi-session serving through the
+ * LocalizerPool.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/evaluation.hpp"
+#include "core/localizer.hpp"
+#include "runtime/frame_queue.hpp"
+#include "runtime/localizer_pool.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/telemetry.hpp"
+#include "sim/dataset.hpp"
+
+namespace edx {
+namespace {
+
+// --- StageTimer -------------------------------------------------------------
+
+TEST(StageTimer, AccumulatesIntoSink)
+{
+    double sink = 0.0;
+    {
+        StageTimer t(sink);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GT(sink, 0.0);
+
+    // Several scoped timers accumulate into the same sink.
+    double before = sink;
+    {
+        StageTimer t(sink);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GT(sink, before);
+}
+
+TEST(StageTimer, StopIsIdempotent)
+{
+    double sink = 0.0;
+    StageTimer t(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    t.stop();
+    double v = sink;
+    EXPECT_GT(v, 0.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    t.stop(); // disarmed: must not accumulate again
+    EXPECT_EQ(sink, v);
+}
+
+// --- BoundedQueue -----------------------------------------------------------
+
+TEST(BoundedQueue, PreservesFifoOrderAcrossThreads)
+{
+    BoundedQueue<int> q(3);
+    const int kItems = 200;
+    std::thread producer([&] {
+        for (int i = 0; i < kItems; ++i)
+            ASSERT_TRUE(q.push(i));
+        q.close();
+    });
+    int expected = 0;
+    while (auto v = q.pop()) {
+        EXPECT_EQ(*v, expected);
+        ++expected;
+    }
+    producer.join();
+    EXPECT_EQ(expected, kItems);
+}
+
+TEST(BoundedQueue, BackpressureBoundsDepth)
+{
+    BoundedQueue<int> q(2);
+    std::thread producer([&] {
+        for (int i = 0; i < 50; ++i)
+            q.push(i);
+        q.close();
+    });
+    int count = 0;
+    while (auto v = q.pop()) {
+        // Consumer is slower than the producer; without the bound the
+        // queue would grow toward 50.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ++count;
+    }
+    producer.join();
+    EXPECT_EQ(count, 50);
+    EXPECT_LE(q.highWater(), 2u);
+}
+
+TEST(BoundedQueue, CloseUnblocksProducerAndConsumer)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(7));
+    std::thread blocked([&] {
+        // Queue is full: this push blocks until close(), then fails.
+        EXPECT_FALSE(q.push(8));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.close();
+    blocked.join();
+    // Items already queued still drain after close.
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+// --- Pipeline equivalence ---------------------------------------------------
+
+struct TestRun
+{
+    DatasetConfig dcfg;
+    LocalizerConfig lcfg;
+    Vocabulary voc;
+    Map prior_map;
+    bool has_prior = false;
+};
+
+TestRun
+makeRun(SceneType scene, int frames)
+{
+    TestRun r;
+    r.dcfg.scene = scene;
+    r.dcfg.platform = Platform::Drone;
+    r.dcfg.frame_count = frames;
+    r.dcfg.seed = 99;
+    r.lcfg = configForScenario(scene);
+
+    Dataset d(r.dcfg);
+    if (r.lcfg.mode != BackendMode::Vio) {
+        r.voc = buildVocabulary(d, /*frame_stride=*/4);
+        if (r.lcfg.mode == BackendMode::Registration) {
+            MapBuildConfig mcfg;
+            mcfg.frame_stride = 4;
+            r.prior_map = buildPriorMap(d, r.voc, mcfg);
+            r.has_prior = true;
+        }
+    }
+    return r;
+}
+
+std::unique_ptr<Localizer>
+makeLocalizer(const TestRun &r, const Dataset &d)
+{
+    auto loc = std::make_unique<Localizer>(
+        r.lcfg, d.rig(),
+        r.lcfg.mode != BackendMode::Vio ? &r.voc : nullptr,
+        r.has_prior ? &r.prior_map : nullptr);
+    loc->initialize(d.truthAt(0), 0.0, d.trajectory().velocityAt(0.0));
+    return loc;
+}
+
+FrameInput
+inputFor(const Dataset &d, int i)
+{
+    DatasetFrame f = d.frame(i);
+    FrameInput in;
+    in.frame_index = i;
+    in.t = f.t;
+    in.left = std::move(f.stereo.left);
+    in.right = std::move(f.stereo.right);
+    in.imu = d.imuBetweenFrames(i);
+    in.gps = d.gpsAtFrame(i);
+    return in;
+}
+
+void
+expectPosesIdentical(const LocalizationResult &a,
+                     const LocalizationResult &b, int i)
+{
+    EXPECT_EQ(a.ok, b.ok) << "frame " << i;
+    for (int k = 0; k < 3; ++k)
+        EXPECT_EQ(a.pose.translation[k], b.pose.translation[k])
+            << "frame " << i << " t[" << k << "]";
+    EXPECT_EQ(a.pose.rotation.w(), b.pose.rotation.w()) << "frame " << i;
+    EXPECT_EQ(a.pose.rotation.x(), b.pose.rotation.x()) << "frame " << i;
+    EXPECT_EQ(a.pose.rotation.y(), b.pose.rotation.y()) << "frame " << i;
+    EXPECT_EQ(a.pose.rotation.z(), b.pose.rotation.z()) << "frame " << i;
+}
+
+void
+checkEquivalence(SceneType scene, int frames)
+{
+    TestRun r = makeRun(scene, frames);
+    Dataset d(r.dcfg);
+
+    // Reference: strictly sequential processFrame calls.
+    auto seq_loc = makeLocalizer(r, d);
+    std::vector<LocalizationResult> seq;
+    for (int i = 0; i < frames; ++i)
+        seq.push_back(seq_loc->processFrame(inputFor(d, i)));
+
+    // Pipelined: same frames through the 2-stage runtime.
+    auto pipe_loc = makeLocalizer(r, d);
+    PipelineConfig pcfg;
+    pcfg.stages = 2;
+    pcfg.queue_capacity = 3;
+    std::vector<LocalizationResult> piped(frames);
+    {
+        FramePipeline pipeline(*pipe_loc, pcfg);
+        for (int i = 0; i < frames; ++i)
+            ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+        pipeline.flush();
+        LocalizationResult res;
+        while (pipeline.poll(res)) {
+            ASSERT_GE(res.frame_index, 0);
+            ASSERT_LT(res.frame_index, frames);
+            piped[res.frame_index] = std::move(res);
+        }
+    }
+
+    for (int i = 0; i < frames; ++i)
+        expectPosesIdentical(seq[i], piped[i], i);
+}
+
+TEST(FramePipeline, SlamPosesMatchSequentialBitExact)
+{
+    checkEquivalence(SceneType::IndoorUnknown, 14);
+}
+
+TEST(FramePipeline, VioPosesMatchSequentialBitExact)
+{
+    checkEquivalence(SceneType::OutdoorUnknown, 16);
+}
+
+TEST(FramePipeline, RegistrationPosesMatchSequentialBitExact)
+{
+    checkEquivalence(SceneType::IndoorKnown, 12);
+}
+
+TEST(FramePipeline, ResultsArriveInSubmissionOrder)
+{
+    TestRun r = makeRun(SceneType::OutdoorUnknown, 10);
+    Dataset d(r.dcfg);
+    auto loc = makeLocalizer(r, d);
+    FramePipeline pipeline(*loc, PipelineConfig{.stages = 2});
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+    LocalizationResult res;
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(pipeline.awaitResult(res));
+        EXPECT_EQ(res.frame_index, i);
+    }
+}
+
+TEST(FramePipeline, RejectedFramesMatchSequentialPath)
+{
+    TestRun r = makeRun(SceneType::OutdoorUnknown, 8);
+    Dataset d(r.dcfg);
+
+    auto seq_loc = makeLocalizer(r, d);
+    auto pipe_loc = makeLocalizer(r, d);
+
+    std::vector<LocalizationResult> seq;
+    std::vector<LocalizationResult> piped(8);
+    {
+        FramePipeline pipeline(*pipe_loc, PipelineConfig{.stages = 2});
+        for (int i = 0; i < 8; ++i) {
+            FrameInput in = inputFor(d, i);
+            if (i == 3) { // dropped camera packet mid-run
+                in.left = ImageU8();
+                in.right = ImageU8();
+            }
+            FrameInput in2 = in; // copy for the sequential reference
+            seq.push_back(seq_loc->processFrame(in2));
+            ASSERT_TRUE(pipeline.submit(std::move(in)));
+        }
+        pipeline.flush();
+        LocalizationResult res;
+        while (pipeline.poll(res))
+            piped[res.frame_index] = std::move(res);
+    }
+    EXPECT_FALSE(seq[3].ok);
+    EXPECT_FALSE(piped[3].ok);
+    for (int i = 0; i < 8; ++i)
+        expectPosesIdentical(seq[i], piped[i], i);
+}
+
+TEST(FramePipeline, BoundedInputQueueGivesBackpressure)
+{
+    TestRun r = makeRun(SceneType::OutdoorUnknown, 12);
+    Dataset d(r.dcfg);
+    auto loc = makeLocalizer(r, d);
+    PipelineConfig pcfg;
+    pcfg.stages = 2;
+    pcfg.queue_capacity = 2;
+    FramePipeline pipeline(*loc, pcfg);
+    for (int i = 0; i < 12; ++i)
+        ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+    pipeline.flush();
+    EXPECT_LE(pipeline.stats().input_high_water, 2u);
+    EXPECT_EQ(pipeline.stats().frames, 12);
+}
+
+TEST(FramePipeline, SubmitAfterCloseFails)
+{
+    TestRun r = makeRun(SceneType::OutdoorUnknown, 2);
+    Dataset d(r.dcfg);
+    auto loc = makeLocalizer(r, d);
+    FramePipeline pipeline(*loc, PipelineConfig{.stages = 2});
+    ASSERT_TRUE(pipeline.submit(inputFor(d, 0)));
+    pipeline.close();
+    EXPECT_FALSE(pipeline.submit(inputFor(d, 1)));
+    EXPECT_EQ(pipeline.stats().frames, 1);
+}
+
+// --- Per-stage scheduler decisions ------------------------------------------
+
+TEST(FramePipeline, StampsPerStageOffloadDecisions)
+{
+    TestRun r = makeRun(SceneType::OutdoorUnknown, 6);
+    Dataset d(r.dcfg);
+    auto loc = makeLocalizer(r, d);
+
+    // A trivial linear model: predicted CPU ms == kernel size.
+    std::vector<KernelSample> train;
+    for (int i = 1; i <= 8; ++i)
+        train.push_back({8.0 * i, 8.0 * i});
+    RuntimeScheduler sched(
+        KernelLatencyModel::fit(BackendKernel::KalmanGain, train));
+
+    PipelineConfig pcfg;
+    pcfg.stages = 2;
+    pcfg.scheduler = &sched;
+    pcfg.accel_ms = 1.0;
+
+    std::vector<LocalizationResult> results(6);
+    {
+        FramePipeline pipeline(*loc, pcfg);
+        for (int i = 0; i < 6; ++i)
+            ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+        pipeline.flush();
+        LocalizationResult res;
+        while (pipeline.poll(res))
+            results[res.frame_index] = std::move(res);
+    }
+    for (const LocalizationResult &res : results) {
+        ASSERT_TRUE(res.telemetry.has_offload_decision);
+        double size = stageSizeDriver(
+            BackendKernel::KalmanGain, res.telemetry.frontend_workload);
+        OffloadDecision expect = sched.decide(size, 1.0);
+        EXPECT_EQ(res.telemetry.backend_offload.offload, expect.offload);
+        EXPECT_EQ(res.telemetry.backend_offload.predicted_cpu_ms,
+                  expect.predicted_cpu_ms);
+    }
+}
+
+// --- LocalizerPool ----------------------------------------------------------
+
+TEST(LocalizerPool, ServesConcurrentSessionsInOrder)
+{
+    const int kSessions = 4;
+    const int kFrames = 8;
+    TestRun r = makeRun(SceneType::OutdoorUnknown, kFrames);
+    Dataset d(r.dcfg);
+
+    // Reference poses from one sequential session.
+    auto ref = makeLocalizer(r, d);
+    std::vector<LocalizationResult> expected;
+    for (int i = 0; i < kFrames; ++i)
+        expected.push_back(ref->processFrame(inputFor(d, i)));
+
+    PoolConfig pcfg;
+    pcfg.workers = 3;
+    pcfg.queue_capacity = 6; // exercise submit-side backpressure too
+    LocalizerPool pool(pcfg);
+    for (int sid = 0; sid < kSessions; ++sid)
+        pool.addSession(makeLocalizer(r, d));
+    ASSERT_EQ(pool.sessionCount(), kSessions);
+
+    for (int i = 0; i < kFrames; ++i)
+        for (int sid = 0; sid < kSessions; ++sid)
+            ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+    pool.drain();
+
+    std::vector<std::vector<LocalizationResult>> per(kSessions);
+    PoolResult pr;
+    while (pool.poll(pr))
+        per[pr.session_id].push_back(std::move(pr.result));
+
+    for (int sid = 0; sid < kSessions; ++sid) {
+        ASSERT_EQ(per[sid].size(), static_cast<size_t>(kFrames))
+            << "session " << sid;
+        for (int i = 0; i < kFrames; ++i) {
+            // Results of one session arrive in submission order...
+            EXPECT_EQ(per[sid][i].frame_index, i);
+            // ...and every session reproduces the sequential poses
+            // exactly: sessions are fully isolated from one another.
+            expectPosesIdentical(expected[i], per[sid][i], i);
+        }
+    }
+}
+
+TEST(LocalizerPool, SharesPriorMapAcrossRegistrationSessions)
+{
+    const int kSessions = 4;
+    const int kFrames = 6;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+
+    LocalizerPool pool(PoolConfig{.workers = 2, .queue_capacity = 8});
+    for (int sid = 0; sid < kSessions; ++sid) {
+        int id = pool.createSession(r.lcfg, d.rig(), &r.voc, &r.prior_map,
+                                    d.truthAt(0), 0.0,
+                                    d.trajectory().velocityAt(0.0));
+        EXPECT_EQ(id, sid);
+    }
+    // All sessions localize against the *same* map object.
+    for (int sid = 0; sid < kSessions; ++sid)
+        EXPECT_EQ(pool.session(sid).currentMap(), &r.prior_map);
+
+    for (int i = 0; i < kFrames; ++i)
+        for (int sid = 0; sid < kSessions; ++sid)
+            ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+    pool.drain();
+
+    int results = 0, ok = 0;
+    PoolResult pr;
+    while (pool.poll(pr)) {
+        ++results;
+        if (pr.result.ok)
+            ++ok;
+    }
+    EXPECT_EQ(results, kSessions * kFrames);
+    EXPECT_GT(ok, 0);
+}
+
+TEST(LocalizerPool, SubmitToUnknownSessionFails)
+{
+    LocalizerPool pool;
+    EXPECT_FALSE(pool.submit(0, FrameInput{}));
+    EXPECT_FALSE(pool.submit(-1, FrameInput{}));
+}
+
+} // namespace
+} // namespace edx
