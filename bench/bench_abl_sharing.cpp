@@ -32,6 +32,7 @@ main()
     w.left_features = 420;
     w.right_features = 410;
     w.stereo_candidates = 20000;
+    w.stereo_candidates_allpairs = 20000; // hw MO streams this count
     w.stereo_matches = 260;
     w.temporal_tracks = 300;
     FrontendAccelTiming t = accel.model(w);

@@ -9,6 +9,14 @@
  * pipelining raises frontend FPS well above the system FPS (44.0 vs
  * 31.9 on the car), while the unpipelined frontend is the system
  * bottleneck.
+ *
+ * The software baseline is reported before and after the frontend
+ * kernel overhaul (retained reference kernels vs optimized workspace
+ * frontend), so the accelerator speedup is measured against an
+ * honestly optimized software pipeline. The accelerator model's
+ * workload inputs (pixels, features, all-pairs MO candidates) are
+ * identical in both runs, so the modeled accelerator latency is
+ * unchanged by the software optimization.
  */
 #include <iostream>
 
@@ -35,26 +43,43 @@ platformReport(Platform platform, const AcceleratorConfig &acfg,
     cfg.platform = platform;
     cfg.frames = frames;
     ModeRun run = runLocalization(cfg);
-    FrontendAccelerator accel(acfg);
 
-    std::vector<double> sw, fe, sm, acc_total, acc_piped;
+    RunConfig ref_cfg = cfg;
+    ref_cfg.tune = [](LocalizerConfig &lc) {
+        lc.frontend.use_reference = true;
+    };
+    ModeRun ref_run = runLocalization(ref_cfg);
+
+    FrontendAccelerator accel(acfg);
+    std::vector<double> sw, sw_ref, fe, sm, acc_total, acc_piped;
     for (const FrameRecord &f : run.frames) {
         sw.push_back(f.res.frontendMs());
-        FrontendAccelTiming t = accel.model(f.res.telemetry.frontend_workload);
+        FrontendAccelTiming t =
+            accel.model(f.res.telemetry.frontend_workload);
         fe.push_back(t.feBlock());
         sm.push_back(t.smBlock());
         acc_total.push_back(t.latencyMs());
         acc_piped.push_back(1000.0 / t.pipelinedFps());
     }
+    for (const FrameRecord &f : ref_run.frames)
+        sw_ref.push_back(f.res.frontendMs());
 
     std::cout << acfg.name << "\n";
     Table t({"metric", "value"});
-    t.addRow({"software frontend ms", fmt(mean(sw), 1)});
+    t.addRow({"software frontend ms (before: reference kernels)",
+              fmt(mean(sw_ref), 1)});
+    t.addRow({"software frontend ms (after: optimized)",
+              fmt(mean(sw), 1)});
+    t.addRow({"software kernel speedup",
+              fmt(mean(sw_ref) / mean(sw), 2) + "x"});
     t.addRow({"accel FE block ms", fmt(mean(fe), 1)});
     t.addRow({"accel SM block ms", fmt(mean(sm), 1)});
     t.addRow({"accel frontend ms", fmt(mean(acc_total), 1)});
-    t.addRow({"latency speedup",
-              vsPaper(mean(sw) / mean(acc_total), paper_speedup) + "x"});
+    t.addRow({"accel speedup vs reference sw",
+              vsPaper(mean(sw_ref) / mean(acc_total), paper_speedup) +
+                  "x"});
+    t.addRow({"accel speedup vs optimized sw",
+              fmt(mean(sw) / mean(acc_total), 2) + "x"});
     t.addRow({"frontend FPS w/o FE||SM pipelining",
               fmt(1000.0 / mean(acc_total), 1)});
     t.addRow({"frontend FPS w/ FE||SM pipelining",
@@ -75,6 +100,9 @@ main()
     platformReport(Platform::Car, AcceleratorConfig::car(), "2.2x");
     platformReport(Platform::Drone, AcceleratorConfig::drone(), "2.2x");
     note("Paper claims: 2.2x frontend speedup; pipelining lifts "
-         "frontend FPS above the end-to-end system FPS.");
+         "frontend FPS above the end-to-end system FPS. The paper's "
+         "software baseline maps to the reference-kernel rows; the "
+         "optimized rows show the software frontend after the "
+         "workspace/kernel overhaul.");
     return 0;
 }

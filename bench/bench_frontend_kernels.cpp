@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Frontend kernel micro-bench: every optimized kernel against its
+ * retained scalar reference on a synthetic 640x480 stereo scene, plus
+ * the end-to-end frontend at lanes 1 / 2 and the reference path.
+ *
+ * Doubles as the CI perf smoke: when EDX_FRONTEND_MS_CEILING is set
+ * (milliseconds), the bench exits non-zero if the optimized lanes=1
+ * frontend exceeds it — a generous ceiling, so regressions fail loudly
+ * without flaking on machine noise.
+ */
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/runner.hpp"
+#include "common/table.hpp"
+#include "features/fast.hpp"
+#include "features/optical_flow.hpp"
+#include "features/orb.hpp"
+#include "features/stereo.hpp"
+#include "frontend/frontend.hpp"
+#include "image/draw.hpp"
+#include "image/filter.hpp"
+#include "math/rng.hpp"
+#include "runtime/telemetry.hpp"
+
+using namespace edx;
+using namespace edx::bench;
+
+namespace {
+
+constexpr int kW = 640, kH = 480;
+
+struct Scene
+{
+    ImageU8 left{kW, kH}, right{kW, kH}, next{kW, kH};
+};
+
+Scene
+makeScene()
+{
+    Scene s;
+    Rng rl(11), rr(12), rn(13), rp(14);
+    fillNoisyBackground(s.left, 105, 7, rl);
+    fillNoisyBackground(s.right, 105, 7, rr);
+    fillNoisyBackground(s.next, 105, 7, rn);
+    uint32_t tex = 3000;
+    for (int i = 0; i < 60; ++i, ++tex) {
+        double x = rp.uniform(30, kW - 30), y = rp.uniform(30, kH - 30);
+        drawTexturedPatch(s.left, x, y, 9, tex, 165);
+        drawTexturedPatch(s.right, x - 21.0, y, 9, tex, 165);
+        drawTexturedPatch(s.next, x + 4.0, y + 2.0, 9, tex, 165);
+    }
+    return s;
+}
+
+/** Mean wall ms of @p fn over the bench's iteration count. */
+template <typename Fn>
+double
+timeMs(int iters, Fn &&fn)
+{
+    double total = 0.0;
+    for (int i = 0; i < iters; ++i) {
+        StageTimer t(total);
+        fn();
+    }
+    return total / iters;
+}
+
+std::string
+speedup(double ref_ms, double opt_ms)
+{
+    return opt_ms > 0.0 ? fmt(ref_ms / opt_ms, 2) + "x" : "-";
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("frontend kernels",
+           "optimized vs retained reference, 640x480 synthetic scene");
+    const int iters = benchFrames(12);
+    Scene s = makeScene();
+
+    Table t({"kernel", "reference ms", "optimized ms", "speedup"});
+
+    // IF: fixed-point separable Gaussian.
+    BlurScratch blur_scratch;
+    ImageU8 blurred;
+    double ref = timeMs(iters, [&] { gaussianBlurReference(s.left); });
+    double opt = timeMs(
+        iters, [&] { gaussianBlurInto(s.left, blur_scratch, blurred); });
+    t.addRow({"gaussianBlur (IF)", fmt(ref, 2), fmt(opt, 2),
+              speedup(ref, opt)});
+
+    // FD: FAST-9 with candidate-list NMS.
+    FastConfig fcfg;
+    FastScratch fast_scratch;
+    std::vector<KeyPoint> kps;
+    ref = timeMs(iters, [&] { detectFastReference(s.left, fcfg); });
+    opt = timeMs(iters,
+                 [&] { detectFastInto(s.left, fcfg, fast_scratch, kps); });
+    t.addRow({"detectFast (FD)", fmt(ref, 2), fmt(opt, 2),
+              speedup(ref, opt)});
+
+    // FC: ORB descriptors on the filtered image.
+    std::vector<KeyPoint> kps_ref = kps;
+    std::vector<Descriptor> descs;
+    ref = timeMs(iters,
+                 [&] { computeOrbDescriptorsReference(blurred, kps_ref); });
+    opt = timeMs(iters,
+                 [&] { computeOrbDescriptorsInto(blurred, kps, descs); });
+    t.addRow({"orbDescriptors (FC)", fmt(ref, 2), fmt(opt, 2),
+              speedup(ref, opt)});
+
+    // MO: all-pairs sweep vs row-band bucketing (index build included).
+    FastScratch fast_scratch_r;
+    std::vector<KeyPoint> rkps;
+    detectFastInto(s.right, fcfg, fast_scratch_r, rkps);
+    BlurScratch blur_scratch_r;
+    ImageU8 rblurred;
+    gaussianBlurInto(s.right, blur_scratch_r, rblurred);
+    std::vector<Descriptor> rdescs;
+    computeOrbDescriptorsInto(rblurred, rkps, rdescs);
+    StereoConfig scfg;
+    StereoRowIndex rows;
+    std::vector<StereoMatch> matches;
+    ref = timeMs(iters,
+                 [&] { stereoMatchInitial(kps, descs, rkps, rdescs, scfg); });
+    opt = timeMs(iters, [&] {
+        rows.build(rkps, kH);
+        stereoMatchBandedInto(kps, descs, rkps, rdescs, scfg, rows,
+                              matches);
+    });
+    t.addRow({"stereo MO", fmt(ref, 2), fmt(opt, 2), speedup(ref, opt)});
+
+    // DR: SAD refinement, interior fast path.
+    std::vector<StereoMatch> m_ref = matches, m_opt = matches;
+    std::vector<double> costs;
+    ref = timeMs(iters, [&] {
+        std::vector<StereoMatch> m = m_ref;
+        stereoRefineDisparityReference(s.left, s.right, kps, m, scfg);
+    });
+    opt = timeMs(iters, [&] {
+        std::vector<StereoMatch> m = m_opt;
+        stereoRefineDisparityInto(s.left, s.right, kps, m, scfg, costs);
+    });
+    t.addRow({"stereo DR", fmt(ref, 2), fmt(opt, 2), speedup(ref, opt)});
+
+    // TM: pyramidal LK — reference recomputes gradients per call, the
+    // workspace path samples per-level cached Scharr images.
+    Pyramid prev_pyr(s.left, 3), next_pyr(s.next, 3);
+    std::vector<Gradients> grads(prev_pyr.levels());
+    FlowConfig flow;
+    FlowScratch flow_scratch;
+    std::vector<TemporalMatch> tracks;
+    ref = timeMs(iters, [&] {
+        trackLucasKanadeReference(prev_pyr, next_pyr, kps, flow);
+    });
+    opt = timeMs(iters, [&] {
+        for (int l = 0; l < prev_pyr.levels(); ++l)
+            centralDiffGradientsInto(prev_pyr.level(l), grads[l]);
+        trackLucasKanadeInto(prev_pyr, grads, next_pyr, kps, flow,
+                             flow_scratch, tracks);
+    });
+    t.addRow({"LK tracking (TM)", fmt(ref, 2), fmt(opt, 2),
+              speedup(ref, opt)});
+    t.print();
+
+    // --- end-to-end frontend ---------------------------------------------
+    std::cout << "\n";
+    Table e({"frontend path", "ms/frame"});
+    auto runFrontendLoop = [&](const FrontendConfig &cfg) {
+        VisionFrontend fe(cfg);
+        FrontendOutput out;
+        fe.processFrameInto(s.left, s.right, out); // warm the workspace
+        return timeMs(iters, [&] {
+            fe.processFrameInto(s.left, s.right, out);
+            fe.processFrameInto(s.next, s.right, out);
+        }) / 2.0;
+    };
+    FrontendConfig ref_cfg;
+    ref_cfg.use_reference = true;
+    const double fe_ref = runFrontendLoop(ref_cfg);
+    const double fe_opt = runFrontendLoop(FrontendConfig{});
+    FrontendConfig two;
+    two.lanes = 2;
+    const double fe_two = runFrontendLoop(two);
+    e.addRow({"reference kernels", fmt(fe_ref, 2)});
+    e.addRow({"optimized, lanes=1", fmt(fe_opt, 2)});
+    e.addRow({"optimized, lanes=2", fmt(fe_two, 2)});
+    e.addRow({"kernel speedup (lanes=1)", speedup(fe_ref, fe_opt)});
+    e.print();
+
+    if (const char *ceiling = std::getenv("EDX_FRONTEND_MS_CEILING")) {
+        const double limit = std::atof(ceiling);
+        if (limit > 0.0 && fe_opt > limit) {
+            std::cerr << "PERF REGRESSION: optimized frontend "
+                      << fe_opt << " ms/frame exceeds ceiling " << limit
+                      << " ms\n";
+            return 1;
+        }
+        std::cout << "\nperf smoke: " << fe_opt << " ms/frame <= "
+                  << limit << " ms ceiling\n";
+    }
+    return 0;
+}

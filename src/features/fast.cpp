@@ -1,6 +1,11 @@
 #include "features/fast.hpp"
 
 #include <algorithm>
+#include <bit>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace edx {
 
@@ -87,6 +92,97 @@ segmentTest(const uint8_t *p, const int *ring_off, int threshold,
     return true;
 }
 
+/** Circular right-rotate of a 16-bit ring mask. */
+inline unsigned
+rotr16(unsigned m, int k)
+{
+    return ((m >> k) | (m << (16 - k))) & 0xFFFFu;
+}
+
+/** True when the 16-bit circular mask contains a run of >= 9 set bits. */
+inline bool
+hasArc9(unsigned m)
+{
+    const unsigned r2 = m & rotr16(m, 1);   // runs >= 2
+    const unsigned r4 = r2 & rotr16(r2, 2); // runs >= 4
+    const unsigned r8 = r4 & rotr16(r4, 4); // runs >= 8
+    return (r8 & rotr16(m, 8)) != 0;        // runs >= 9
+}
+
+/**
+ * Scores one detected corner with known polarity: max over 9-arcs of
+ * the min absolute center delta (the same sweep segmentTest runs).
+ */
+int
+scoreCorner(const uint8_t *p, const int *ring_off, int hi, int lo,
+            int c, bool bright)
+{
+    int ring[16];
+    for (int i = 0; i < 16; ++i)
+        ring[i] = p[ring_off[i]];
+    int best = 0;
+    for (int start = 0; start < 16; ++start) {
+        int m = 255;
+        bool ok = true;
+        for (int j = 0; j < kArc; ++j) {
+            int v = ring[(start + j) & 15];
+            if (bright ? (v <= hi) : (v >= lo)) {
+                ok = false;
+                break;
+            }
+            m = std::min(m, std::abs(v - c));
+        }
+        if (ok)
+            best = std::max(best, m);
+    }
+    return best;
+}
+
+/**
+ * Branch-light segment test: a two-stage compass prefilter (any 9-arc
+ * must contain one of ring {0, 8} and one of ring {4, 12}, so most
+ * pixels reject after two loads), then bitmask run detection instead
+ * of the 32-iteration doubled-ring scan. Decision and score are
+ * identical to segmentTest (golden-tested).
+ */
+bool
+segmentTestFast(const uint8_t *p, const int *ring_off, int threshold,
+                int *score)
+{
+    const int c = *p;
+    const int hi = c + threshold;
+    const int lo = c - threshold;
+
+    const int v0 = p[ring_off[0]], v8 = p[ring_off[8]];
+    bool maybe_bright = v0 > hi || v8 > hi;
+    bool maybe_dark = v0 < lo || v8 < lo;
+    if (!maybe_bright && !maybe_dark)
+        return false;
+    const int v4 = p[ring_off[4]], v12 = p[ring_off[12]];
+    maybe_bright = maybe_bright && (v4 > hi || v12 > hi);
+    maybe_dark = maybe_dark && (v4 < lo || v12 < lo);
+    if (!maybe_bright && !maybe_dark)
+        return false;
+
+    int ring[16];
+    for (int i = 0; i < 16; ++i)
+        ring[i] = p[ring_off[i]];
+    unsigned bright_mask = 0, dark_mask = 0;
+    for (int i = 0; i < 16; ++i) {
+        bright_mask |= static_cast<unsigned>(ring[i] > hi) << i;
+        dark_mask |= static_cast<unsigned>(ring[i] < lo) << i;
+    }
+
+    const bool bright = maybe_bright && hasArc9(bright_mask);
+    const bool dark = !bright && maybe_dark && hasArc9(dark_mask);
+    if (!bright && !dark)
+        return false;
+
+    if (score)
+        *score = scoreCorner(p, ring_off, hi, lo, c, bright);
+    return true;
+}
+
 } // namespace
 
 int
@@ -105,6 +201,243 @@ fastScore(const ImageU8 &img, int x, int y)
 
 std::vector<KeyPoint>
 detectFast(const ImageU8 &img, const FastConfig &cfg)
+{
+    FastScratch scratch;
+    std::vector<KeyPoint> out;
+    detectFastInto(img, cfg, scratch, out);
+    return out;
+}
+
+void
+detectFastInto(const ImageU8 &img, const FastConfig &cfg,
+               FastScratch &scratch, std::vector<KeyPoint> &out)
+{
+    const int b = std::max(cfg.border, 3);
+    out.clear();
+    if (img.width() <= 2 * b || img.height() <= 2 * b)
+        return;
+
+    int ring_off[16];
+    for (int i = 0; i < 16; ++i)
+        ring_off[i] = kCircle[i][1] * img.width() + kCircle[i][0];
+    if (scratch.cand_row.size() < static_cast<size_t>(img.width()))
+        scratch.cand_row.resize(img.width());
+
+    // Detection sweep. With NMS on, candidates are stamped into the
+    // sparse score map *and* recorded in row-major order so suppression
+    // can walk the candidate list instead of re-scanning the image.
+    // The score map is all-zero between calls: only the recorded
+    // candidates are cleared afterwards (never a full-image memset).
+    scratch.raw.clear();
+    std::vector<KeyPoint> &cand =
+        cfg.nonmax_suppression ? scratch.raw : out;
+    if (cfg.nonmax_suppression)
+        scratch.scores.resize(img.width(), img.height());
+
+    for (int y = b; y < img.height() - b; ++y) {
+        const uint8_t *row = img.rowPtr(y);
+        const uint8_t *row_n = img.rowPtr(y - 3); // ring 0: (0, -3)
+        const uint8_t *row_s = img.rowPtr(y + 3); // ring 8: (0, +3)
+        const int t = cfg.threshold;
+        uint8_t *flags = scratch.cand_row.data();
+
+        // Pass 1 (dense, branchless): any 9-arc must contain one of
+        // ring {0, 8} AND one of ring {4, 12} (each pair is 8 apart,
+        // and 8 < 9), so a pixel failing either pair for both
+        // polarities cannot be a corner. Saturating u8 arithmetic
+        // computes exactly the int conditions: c + t saturating to 255
+        // makes "v > hi" false just as the unsaturated compare would.
+        int x = b;
+        const int xe = img.width() - b;
+#if defined(__SSE2__)
+        {
+            const __m128i vt = _mm_set1_epi8(static_cast<char>(t));
+            const __m128i zero = _mm_setzero_si128();
+            auto gt = [&](__m128i v, __m128i hi) {
+                // v > hi (unsigned): subs(v, hi) != 0
+                return _mm_xor_si128(
+                    _mm_cmpeq_epi8(_mm_subs_epu8(v, hi), zero),
+                    _mm_set1_epi8(-1));
+            };
+            for (; x + 16 <= xe; x += 16) {
+                const __m128i c =
+                    _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                        row + x));
+                const __m128i hi = _mm_adds_epu8(c, vt);
+                const __m128i lo = _mm_subs_epu8(c, vt);
+                const __m128i v0 = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(row_n + x));
+                const __m128i v8 = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(row_s + x));
+                const __m128i v4 = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(row + x + 3));
+                const __m128i v12 = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(row + x - 3));
+                const __m128i bright = _mm_and_si128(
+                    _mm_or_si128(gt(v0, hi), gt(v8, hi)),
+                    _mm_or_si128(gt(v4, hi), gt(v12, hi)));
+                const __m128i dark = _mm_and_si128(
+                    _mm_or_si128(gt(lo, v0), gt(lo, v8)),
+                    _mm_or_si128(gt(lo, v4), gt(lo, v12)));
+                _mm_storeu_si128(
+                    reinterpret_cast<__m128i *>(flags + x),
+                    _mm_or_si128(bright, dark));
+            }
+        }
+#endif
+        for (; x < xe; ++x) {
+            const int c = row[x];
+            const int hi = c + t, lo = c - t;
+            const int v0 = row_n[x], v8 = row_s[x];
+            const int v4 = row[x + 3], v12 = row[x - 3];
+            const int bright = ((v0 > hi) | (v8 > hi)) &
+                               ((v4 > hi) | (v12 > hi));
+            const int dark = ((v0 < lo) | (v8 < lo)) &
+                             ((v4 < lo) | (v12 < lo));
+            flags[x] = static_cast<uint8_t>(bright | dark);
+        }
+
+        // Pass 2: the full segment test, on survivor blocks only.
+        auto emit = [&](int cx, int score) {
+            if (cfg.nonmax_suppression)
+                scratch.scores.at(cx, y) = static_cast<float>(score);
+            cand.push_back({static_cast<float>(cx),
+                            static_cast<float>(y),
+                            static_cast<float>(score), 0.0f});
+        };
+        x = b;
+#if defined(__SSE2__)
+        // Dense SIMD segment test over 16-pixel blocks that hold at
+        // least one prefilter survivor: a saturating run-length
+        // counter over the doubled ring (24 taps) finds every
+        // circular 9-arc, per polarity, for 16 pixels at once.
+        {
+            const __m128i vt = _mm_set1_epi8(static_cast<char>(t));
+            const __m128i zero = _mm_setzero_si128();
+            const __m128i eight = _mm_set1_epi8(8);
+            auto gt = [&](__m128i a, __m128i g2) {
+                return _mm_xor_si128(
+                    _mm_cmpeq_epi8(_mm_subs_epu8(a, g2), zero),
+                    _mm_set1_epi8(-1));
+            };
+            for (; x + 16 <= xe; x += 16) {
+                if (_mm_movemask_epi8(_mm_cmpeq_epi8(
+                        _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(flags +
+                                                              x)),
+                        zero)) == 0xFFFF)
+                    continue; // no survivors in this block
+                const __m128i c = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(row + x));
+                const __m128i hi = _mm_adds_epu8(c, vt);
+                const __m128i lo = _mm_subs_epu8(c, vt);
+                __m128i count_b = zero, count_d = zero;
+                __m128i max_b = zero, max_d = zero;
+                for (int i = 0; i < 24; ++i) {
+                    const __m128i v = _mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(
+                            row + x + ring_off[i & 15]));
+                    const __m128i bm = gt(v, hi);
+                    const __m128i dm = gt(lo, v);
+                    // count = pass ? count + 1 : 0
+                    count_b = _mm_and_si128(
+                        bm, _mm_sub_epi8(count_b, bm));
+                    count_d = _mm_and_si128(
+                        dm, _mm_sub_epi8(count_d, dm));
+                    max_b = _mm_max_epu8(max_b, count_b);
+                    max_d = _mm_max_epu8(max_d, count_d);
+                }
+                const __m128i bright9 = gt(max_b, eight);
+                const __m128i dark9 = gt(max_d, eight);
+                int corner_bits = _mm_movemask_epi8(
+                    _mm_or_si128(bright9, dark9));
+                const int bright_bits = _mm_movemask_epi8(bright9);
+                while (corner_bits) {
+                    const int bit = corner_bits & -corner_bits;
+                    const int lane = std::countr_zero(
+                        static_cast<unsigned>(corner_bits));
+                    corner_bits ^= bit;
+                    const int cx = x + lane;
+                    const int cc = row[cx];
+                    emit(cx, scoreCorner(row + cx, ring_off,
+                                         cc + t, cc - t, cc,
+                                         (bright_bits & bit) != 0));
+                }
+            }
+        }
+#endif
+        for (; x < xe; ++x) {
+            if (!flags[x])
+                continue;
+            int score = 0;
+            if (!segmentTestFast(row + x, ring_off, cfg.threshold,
+                                 &score))
+                continue;
+            emit(x, score);
+        }
+    }
+
+    if (cfg.nonmax_suppression) {
+        const ImageF &scores = scratch.scores;
+        for (const KeyPoint &kp : scratch.raw) {
+            const int x = static_cast<int>(kp.x);
+            const int y = static_cast<int>(kp.y);
+            const float s = kp.score;
+            bool is_max = true;
+            for (int dy = -1; dy <= 1 && is_max; ++dy)
+                for (int dx = -1; dx <= 1; ++dx) {
+                    if (dx == 0 && dy == 0)
+                        continue;
+                    if (scores.at(x + dx, y + dy) > s ||
+                        (scores.at(x + dx, y + dy) == s &&
+                         (dy < 0 || (dy == 0 && dx < 0)))) {
+                        is_max = false;
+                        break;
+                    }
+                }
+            if (is_max)
+                out.push_back(kp);
+        }
+        for (const KeyPoint &kp : scratch.raw)
+            scratch.scores.at(static_cast<int>(kp.x),
+                              static_cast<int>(kp.y)) = 0.0f;
+    }
+
+    if (static_cast<int>(out.size()) <= cfg.max_features)
+        return;
+
+    // Grid-bucketed selection: strongest features per cell, preserving
+    // spatial spread.
+    const int gc = std::max(1, cfg.grid_cols);
+    const int gr = std::max(1, cfg.grid_rows);
+    const int per_cell = std::max(1, cfg.max_features / (gc * gr));
+    if (scratch.cells.size() < static_cast<size_t>(gc) * gr)
+        scratch.cells.resize(static_cast<size_t>(gc) * gr);
+    for (auto &cell : scratch.cells)
+        cell.clear();
+    for (const KeyPoint &kp : out) {
+        int cx = std::min(gc - 1,
+                          static_cast<int>(kp.x) * gc / img.width());
+        int cy = std::min(gr - 1,
+                          static_cast<int>(kp.y) * gr / img.height());
+        scratch.cells[static_cast<size_t>(cy) * gc + cx].push_back(kp);
+    }
+    out.clear();
+    for (size_t ci = 0; ci < static_cast<size_t>(gc) * gr; ++ci) {
+        auto &cell = scratch.cells[ci];
+        std::sort(cell.begin(), cell.end(),
+                  [](const KeyPoint &a, const KeyPoint &b) {
+                      return a.score > b.score;
+                  });
+        for (int i = 0;
+             i < std::min<int>(per_cell, static_cast<int>(cell.size()));
+             ++i)
+            out.push_back(cell[i]);
+    }
+}
+
+std::vector<KeyPoint>
+detectFastReference(const ImageU8 &img, const FastConfig &cfg)
 {
     const int b = std::max(cfg.border, 3);
     std::vector<KeyPoint> raw;

@@ -7,6 +7,12 @@
  * segment test of Rosten & Drummond on a 16-pixel Bresenham circle;
  * a corner requires 9 contiguous circle pixels all brighter or all
  * darker than the center by the threshold.
+ *
+ * detectFastInto() is the zero-alloc workspace form: the score map,
+ * candidate list and grid buckets live in a reusable FastScratch, and
+ * non-maximum suppression walks the recorded candidate list instead of
+ * re-scanning the whole score image. detectFastReference() retains the
+ * scalar full-scan formulation; the two are bit-exact (golden-tested).
  */
 #pragma once
 
@@ -28,6 +34,28 @@ struct FastConfig
     int grid_rows = 6;
 };
 
+/** Reusable buffers of the FAST detector (frontend workspace). */
+struct FastScratch
+{
+    ImageF scores;               //!< sparse score map (cleared per use)
+    std::vector<KeyPoint> raw;   //!< pre-NMS candidates, row-major order
+    std::vector<std::vector<KeyPoint>> cells; //!< grid selection buckets
+    std::vector<uint8_t> cand_row; //!< per-row compass prefilter flags
+
+    /** Sum of buffer capacities, in bytes (allocation accounting). */
+    size_t
+    capacityBytes() const
+    {
+        size_t n = scores.capacity() * sizeof(float) +
+                   raw.capacity() * sizeof(KeyPoint) +
+                   cand_row.capacity() +
+                   cells.capacity() * sizeof(cells[0]);
+        for (const auto &c : cells)
+            n += c.capacity() * sizeof(KeyPoint);
+        return n;
+    }
+};
+
 /**
  * Detects FAST-9 corners in @p img.
  *
@@ -37,6 +65,14 @@ struct FastConfig
  */
 std::vector<KeyPoint> detectFast(const ImageU8 &img,
                                  const FastConfig &cfg = {});
+
+/** detectFast into caller-owned scratch and output (zero-alloc form). */
+void detectFastInto(const ImageU8 &img, const FastConfig &cfg,
+                    FastScratch &scratch, std::vector<KeyPoint> &out);
+
+/** Scalar full-scan reference of detectFast (golden tests). */
+std::vector<KeyPoint> detectFastReference(const ImageU8 &img,
+                                          const FastConfig &cfg = {});
 
 /**
  * Segment-test score of a single pixel: the largest threshold for which

@@ -9,55 +9,60 @@ namespace edx {
 namespace {
 
 /**
- * Tracks one point at one pyramid level. Returns false when the point
- * leaves the image or the system is ill-conditioned.
+ * Tracks one point at one pyramid level against cached gradients of
+ * the previous image. Returns false when the point leaves the image or
+ * the system is ill-conditioned.
+ *
+ * This one routine is the solver for both the workspace path and the
+ * reference path — the two differ only in where the gradient images
+ * and window buffers come from, so their tracks are bit-identical by
+ * construction (and the gradient images themselves are golden-tested
+ * against the scalar Scharr reference).
  */
 bool
-trackAtLevel(const ImageU8 &prev, const ImageU8 &next, double px, double py,
-             double &nx, double &ny, const FlowConfig &cfg,
+trackAtLevel(const ImageU8 &prev, const Gradients &grad,
+             const ImageU8 &next, double px, double py, double &nx,
+             double &ny, const FlowConfig &cfg, FlowScratch &s,
              double &residual_out)
 {
     const int r = cfg.window_radius;
     if (!prev.containsWithBorder(px, py, r + 2))
         return false;
 
-    // DC task: sample the previous-image patch once (the window plus a
-    // one-pixel apron for gradients), then derive the gradients by
-    // central differences inside the patch. All samples within the
-    // window share the same sub-pixel fraction, so the four bilinear
-    // weights are computed once and applied with raw row pointers.
+    // DC task: sample the template window and its cached Scharr
+    // gradients with one shared set of bilinear weights (every sample
+    // in the window has the same sub-pixel fraction).
     const int n = (2 * r + 1) * (2 * r + 1);
-    const int pw = 2 * r + 3; // patch width including apron
-    const int x0 = static_cast<int>(std::floor(px)) - r - 1;
-    const int y0 = static_cast<int>(std::floor(py)) - r - 1;
+    const int x0 = static_cast<int>(std::floor(px)) - r;
+    const int y0 = static_cast<int>(std::floor(py)) - r;
     const double fx = px - std::floor(px);
     const double fy = py - std::floor(py);
     const double w00 = (1 - fx) * (1 - fy), w10 = fx * (1 - fy);
     const double w01 = (1 - fx) * fy, w11 = fx * fy;
 
-    std::vector<double> patch(static_cast<size_t>(pw) * pw);
-    for (int yy = 0; yy < pw; ++yy) {
-        const uint8_t *r0 = prev.rowPtr(y0 + yy) + x0;
-        const uint8_t *r1 = prev.rowPtr(y0 + yy + 1) + x0;
-        double *dst = patch.data() + static_cast<size_t>(yy) * pw;
-        for (int xx = 0; xx < pw; ++xx) {
-            dst[xx] = w00 * r0[xx] + w10 * r0[xx + 1] + w01 * r1[xx] +
-                      w11 * r1[xx + 1];
-        }
-    }
+    s.iv.resize(n);
+    s.ix.resize(n);
+    s.iy.resize(n);
+    double *iv = s.iv.data(), *ix = s.ix.data(), *iy = s.iy.data();
 
-    std::vector<double> ix(n), iy(n), iv(n);
     Mat2 g;
     int idx = 0;
-    for (int dy = -r; dy <= r; ++dy) {
-        const double *pm = patch.data() +
-                           static_cast<size_t>(dy + r + 1) * pw + 1;
-        for (int dx = -r; dx <= r; ++dx, ++idx) {
-            double gx = 0.5 * (pm[dx + r + 1] - pm[dx + r - 1]);
-            double gy = 0.5 * (pm[dx + r + pw] - pm[dx + r - pw]);
+    for (int dy = 0; dy <= 2 * r; ++dy) {
+        const uint8_t *p0 = prev.rowPtr(y0 + dy) + x0;
+        const uint8_t *p1 = prev.rowPtr(y0 + dy + 1) + x0;
+        const float *gx0 = grad.gx.rowPtr(y0 + dy) + x0;
+        const float *gx1 = grad.gx.rowPtr(y0 + dy + 1) + x0;
+        const float *gy0 = grad.gy.rowPtr(y0 + dy) + x0;
+        const float *gy1 = grad.gy.rowPtr(y0 + dy + 1) + x0;
+        for (int dx = 0; dx <= 2 * r; ++dx, ++idx) {
+            iv[idx] = w00 * p0[dx] + w10 * p0[dx + 1] + w01 * p1[dx] +
+                      w11 * p1[dx + 1];
+            const double gx = w00 * gx0[dx] + w10 * gx0[dx + 1] +
+                              w01 * gx1[dx] + w11 * gx1[dx + 1];
+            const double gy = w00 * gy0[dx] + w10 * gy0[dx + 1] +
+                              w01 * gy1[dx] + w11 * gy1[dx + 1];
             ix[idx] = gx;
             iy[idx] = gy;
-            iv[idx] = pm[dx + r];
             g(0, 0) += gx * gx;
             g(0, 1) += gx * gy;
             g(1, 1) += gy * gy;
@@ -114,16 +119,18 @@ trackAtLevel(const ImageU8 &prev, const ImageU8 &next, double px, double py,
     return next.containsWithBorder(nx, ny, r + 2);
 }
 
-} // namespace
-
-std::vector<TemporalMatch>
-trackLucasKanade(const Pyramid &prev, const Pyramid &next,
-                 const std::vector<KeyPoint> &prev_pts,
-                 const FlowConfig &cfg)
+void
+trackAll(const Pyramid &prev, const std::vector<Gradients> &prev_grads,
+         const Pyramid &next, const std::vector<KeyPoint> &prev_pts,
+         const FlowConfig &cfg, FlowScratch &scratch,
+         std::vector<TemporalMatch> &out)
 {
-    std::vector<TemporalMatch> out;
+    out.clear();
     const int levels =
-        std::min({cfg.pyramid_levels, prev.levels(), next.levels()});
+        std::min({cfg.pyramid_levels, prev.levels(), next.levels(),
+                  static_cast<int>(prev_grads.size())});
+    if (levels <= 0)
+        return;
 
     for (int i = 0; i < static_cast<int>(prev_pts.size()); ++i) {
         const KeyPoint &kp = prev_pts[i];
@@ -136,8 +143,9 @@ trackLucasKanade(const Pyramid &prev, const Pyramid &next,
             double s = std::pow(2.0, l);
             double px = kp.x / s, py = kp.y / s;
             double cx = nx, cy = ny;
-            ok = trackAtLevel(prev.level(l), next.level(l), px, py, cx, cy,
-                              cfg, residual);
+            ok = trackAtLevel(prev.level(l), prev_grads[l],
+                              next.level(l), px, py, cx, cy, cfg,
+                              scratch, residual);
             if (ok) {
                 nx = cx;
                 ny = cy;
@@ -159,6 +167,55 @@ trackLucasKanade(const Pyramid &prev, const Pyramid &next,
         out.push_back({i, static_cast<float>(nx), static_cast<float>(ny),
                        static_cast<float>(residual)});
     }
+}
+
+} // namespace
+
+void
+trackLucasKanadeInto(const Pyramid &prev,
+                     const std::vector<Gradients> &prev_grads,
+                     const Pyramid &next,
+                     const std::vector<KeyPoint> &prev_pts,
+                     const FlowConfig &cfg, FlowScratch &scratch,
+                     std::vector<TemporalMatch> &out)
+{
+    trackAll(prev, prev_grads, next, prev_pts, cfg, scratch, out);
+}
+
+std::vector<TemporalMatch>
+trackLucasKanade(const Pyramid &prev, const Pyramid &next,
+                 const std::vector<KeyPoint> &prev_pts,
+                 const FlowConfig &cfg)
+{
+    const int levels = std::min({cfg.pyramid_levels, prev.levels(),
+                                 next.levels()});
+    std::vector<Gradients> grads;
+    for (int l = 0; l < levels; ++l)
+        grads.push_back(cfg.scharr_gradients
+                            ? scharrGradients(prev.level(l))
+                            : centralDiffGradients(prev.level(l)));
+    FlowScratch scratch;
+    std::vector<TemporalMatch> out;
+    trackAll(prev, grads, next, prev_pts, cfg, scratch, out);
+    return out;
+}
+
+std::vector<TemporalMatch>
+trackLucasKanadeReference(const Pyramid &prev, const Pyramid &next,
+                          const std::vector<KeyPoint> &prev_pts,
+                          const FlowConfig &cfg)
+{
+    const int levels = std::min({cfg.pyramid_levels, prev.levels(),
+                                 next.levels()});
+    std::vector<Gradients> grads;
+    for (int l = 0; l < levels; ++l)
+        grads.push_back(
+            cfg.scharr_gradients
+                ? scharrGradientsReference(prev.level(l))
+                : centralDiffGradientsReference(prev.level(l)));
+    FlowScratch scratch;
+    std::vector<TemporalMatch> out;
+    trackAll(prev, grads, next, prev_pts, cfg, scratch, out);
     return out;
 }
 

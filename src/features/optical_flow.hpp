@@ -4,15 +4,25 @@
  * pyramidal formulation).
  *
  * This is the "Temporal Matching" block of the frontend (Fig. 12): the
- * derivatives-calculation (DC) task builds the spatial-gradient normal
- * matrix and the least-squares-solver (LSS) task iterates the 2x2 solve
- * per feature per pyramid level.
+ * derivatives-calculation (DC) task samples the spatial gradients and
+ * builds the normal matrix, and the least-squares-solver (LSS) task
+ * iterates the 2x2 solve per feature per pyramid level.
+ *
+ * Spatial gradients are Scharr images computed once per pyramid level
+ * (image/filter.hpp) and sampled bilinearly per feature window —
+ * mirroring the accelerator's DC stage, which streams whole-image
+ * derivatives, and letting the frontend workspace cache them across
+ * features, iterations and frames. trackLucasKanadeInto() is the
+ * zero-alloc form over caller-cached gradients;
+ * trackLucasKanadeReference() recomputes everything per call through
+ * the scalar reference kernels (golden-tested bit-exact).
  */
 #pragma once
 
 #include <vector>
 
 #include "features/keypoint.hpp"
+#include "image/filter.hpp"
 #include "image/pyramid.hpp"
 
 namespace edx {
@@ -26,19 +36,60 @@ struct FlowConfig
     double epsilon = 0.03;     //!< convergence threshold on the update
     double max_residual = 18.0; //!< mean photometric residual gate
     double min_eigenvalue = 1e-3; //!< conditioning gate on G
+
+    /**
+     * DC gradient stencil. Central difference is the classical Bouguet
+     * formulation (bilinear-sampling the cached central-difference
+     * image reproduces the patch-differencing math exactly, so tracks
+     * keep their pre-caching accuracy); Scharr adds cross-smoothing at
+     * the same cost.
+     */
+    bool scharr_gradients = false;
+};
+
+/** Reusable per-window buffers of the LK tracker. */
+struct FlowScratch
+{
+    std::vector<double> iv; //!< template window intensities
+    std::vector<double> ix; //!< template window x-gradients
+    std::vector<double> iy; //!< template window y-gradients
+
+    size_t
+    capacityBytes() const
+    {
+        return (iv.capacity() + ix.capacity() + iy.capacity()) *
+               sizeof(double);
+    }
 };
 
 /**
- * Tracks @p prev_pts from the previous frame into the current frame.
+ * Tracks @p prev_pts from the previous frame into the current frame
+ * over caller-cached per-level Scharr gradients of @p prev.
  *
  * @param prev pyramid of the previous frame
+ * @param prev_grads one Gradients per level of @p prev (at least as
+ *        many as the levels tracked)
  * @param next pyramid of the current frame
  * @param prev_pts feature locations in the previous frame
  * @param cfg tracker configuration
- * @return one TemporalMatch per successfully tracked input point, with
- *         prev_index referring to @p prev_pts
+ * @param scratch reusable window buffers
+ * @param out one TemporalMatch per successfully tracked input point,
+ *        with prev_index referring to @p prev_pts
  */
+void trackLucasKanadeInto(const Pyramid &prev,
+                          const std::vector<Gradients> &prev_grads,
+                          const Pyramid &next,
+                          const std::vector<KeyPoint> &prev_pts,
+                          const FlowConfig &cfg, FlowScratch &scratch,
+                          std::vector<TemporalMatch> &out);
+
+/** Allocating convenience form: computes the gradients internally. */
 std::vector<TemporalMatch> trackLucasKanade(
+    const Pyramid &prev, const Pyramid &next,
+    const std::vector<KeyPoint> &prev_pts, const FlowConfig &cfg = {});
+
+/** Scalar reference: per-call gradients via the reference Scharr. */
+std::vector<TemporalMatch> trackLucasKanadeReference(
     const Pyramid &prev, const Pyramid &next,
     const std::vector<KeyPoint> &prev_pts, const FlowConfig &cfg = {});
 

@@ -1,5 +1,6 @@
 #include "features/orb.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "math/rng.hpp"
@@ -44,12 +45,100 @@ briefPattern()
     return pattern;
 }
 
+/**
+ * Largest |dx| with dx^2 + dy^2 <= r^2 per |dy| row of the circular
+ * orientation patch, so the moment loops run over contiguous spans.
+ */
+const int *
+circleExtents()
+{
+    static const auto ext = [] {
+        std::array<int, kOrbPatchRadius + 1> e{};
+        const int r2 = kOrbPatchRadius * kOrbPatchRadius;
+        for (int dy = 0; dy <= kOrbPatchRadius; ++dy) {
+            int x = 0;
+            while ((x + 1) * (x + 1) + dy * dy <= r2)
+                ++x;
+            e[dy] = x;
+        }
+        return e;
+    }();
+    return ext.data();
+}
+
+/**
+ * Unclamped bilinear tap replicating Image::sampleBilinear's arithmetic
+ * exactly for interior coordinates (where its clamps are no-ops).
+ */
+inline double
+sampleBilinearFast(const ImageU8 &img, double x, double y)
+{
+    const int x0 = static_cast<int>(x);
+    const int y0 = static_cast<int>(y);
+    const double fx = x - x0;
+    const double fy = y - y0;
+    const uint8_t *r0 = img.rowPtr(y0);
+    const uint8_t *r1 = img.rowPtr(y0 + 1);
+    const double v00 = r0[x0];
+    const double v10 = r0[x0 + 1];
+    const double v01 = r1[x0];
+    const double v11 = r1[x0 + 1];
+    return v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) +
+           v01 * (1 - fx) * fy + v11 * fx * fy;
+}
+
+/** Margin inside which every rotated BRIEF tap stays off the clamps. */
+constexpr int kOrbFastBorder = 21; // ceil(sqrt(2) * (radius - 1)) + 1
+
 } // namespace
 
 float
 orbOrientation(const ImageU8 &img, float x, float y)
 {
     // Intensity centroid over a circular patch: angle = atan2(m01, m10).
+    const int r = kOrbPatchRadius;
+    const int cx = static_cast<int>(std::lround(x));
+    const int cy = static_cast<int>(std::lround(y));
+    double m01 = 0.0, m10 = 0.0;
+    const int *ext = circleExtents();
+    if (cx - r >= 0 && cx + r < img.width() && cy - r >= 0 &&
+        cy + r < img.height()) {
+        // Interior fast path: integer moment accumulation over row
+        // pointers. Every product and partial sum is an exact integer
+        // (|m| <= ~2.7M), and the reference's double accumulation of
+        // the same integers is exact too, so the final moments are
+        // bit-identical to the clamped double loop.
+        long m10i = 0, m01i = 0;
+        for (int dy = -r; dy <= r; ++dy) {
+            const uint8_t *row = img.rowPtr(cy + dy) + cx;
+            const int e = ext[dy < 0 ? -dy : dy];
+            int rowsum = 0, rowmoment = 0;
+            for (int dx = -e; dx <= e; ++dx) {
+                const int v = row[dx];
+                rowsum += v;
+                rowmoment += dx * v;
+            }
+            m10i += rowmoment;
+            m01i += static_cast<long>(dy) * rowsum;
+        }
+        m10 = static_cast<double>(m10i);
+        m01 = static_cast<double>(m01i);
+    } else {
+        for (int dy = -r; dy <= r; ++dy) {
+            const int e = ext[dy < 0 ? -dy : dy];
+            for (int dx = -e; dx <= e; ++dx) {
+                const double v = img.atClamped(cx + dx, cy + dy);
+                m10 += dx * v;
+                m01 += dy * v;
+            }
+        }
+    }
+    return static_cast<float>(std::atan2(m01, m10));
+}
+
+float
+orbOrientationReference(const ImageU8 &img, float x, float y)
+{
     const int r = kOrbPatchRadius;
     const int cx = static_cast<int>(std::lround(x));
     const int cy = static_cast<int>(std::lround(y));
@@ -66,11 +155,13 @@ orbOrientation(const ImageU8 &img, float x, float y)
     return static_cast<float>(std::atan2(m01, m10));
 }
 
-std::vector<Descriptor>
-computeOrbDescriptors(const ImageU8 &img, std::vector<KeyPoint> &kps)
+void
+computeOrbDescriptorsInto(const ImageU8 &img, std::vector<KeyPoint> &kps,
+                          std::vector<Descriptor> &out)
 {
     const auto &pattern = briefPattern();
-    std::vector<Descriptor> out(kps.size());
+    out.clear();
+    out.resize(kps.size());
 
     for (size_t i = 0; i < kps.size(); ++i) {
         KeyPoint &kp = kps[i];
@@ -80,11 +171,59 @@ computeOrbDescriptors(const ImageU8 &img, std::vector<KeyPoint> &kps)
         kp.angle = orbOrientation(img, kp.x, kp.y);
         const float ca = std::cos(kp.angle);
         const float sa = std::sin(kp.angle);
+        const bool interior =
+            img.containsWithBorder(kp.x, kp.y, kOrbFastBorder);
 
         Descriptor d;
         for (int b = 0; b < 256; ++b) {
             const PointPair &pp = pattern[b];
             // Rotate the sampling pair by the patch orientation.
+            float ax = ca * pp.ax - sa * pp.ay + kp.x;
+            float ay = sa * pp.ax + ca * pp.ay + kp.y;
+            float bx = ca * pp.bx - sa * pp.by + kp.x;
+            float by = sa * pp.bx + ca * pp.by + kp.y;
+            double va, vb;
+            if (interior) {
+                va = sampleBilinearFast(img, ax, ay);
+                vb = sampleBilinearFast(img, bx, by);
+            } else {
+                va = img.sampleBilinear(ax, ay);
+                vb = img.sampleBilinear(bx, by);
+            }
+            if (va < vb)
+                d.bits[b >> 6] |= (uint64_t{1} << (b & 63));
+        }
+        out[i] = d;
+    }
+}
+
+std::vector<Descriptor>
+computeOrbDescriptors(const ImageU8 &img, std::vector<KeyPoint> &kps)
+{
+    std::vector<Descriptor> out;
+    computeOrbDescriptorsInto(img, kps, out);
+    return out;
+}
+
+std::vector<Descriptor>
+computeOrbDescriptorsReference(const ImageU8 &img,
+                               std::vector<KeyPoint> &kps)
+{
+    const auto &pattern = briefPattern();
+    std::vector<Descriptor> out(kps.size());
+
+    for (size_t i = 0; i < kps.size(); ++i) {
+        KeyPoint &kp = kps[i];
+        if (!img.containsWithBorder(kp.x, kp.y, kOrbPatchRadius + 1))
+            continue; // zero descriptor for border points
+
+        kp.angle = orbOrientationReference(img, kp.x, kp.y);
+        const float ca = std::cos(kp.angle);
+        const float sa = std::sin(kp.angle);
+
+        Descriptor d;
+        for (int b = 0; b < 256; ++b) {
+            const PointPair &pp = pattern[b];
             float ax = ca * pp.ax - sa * pp.ay + kp.x;
             float ay = sa * pp.ax + ca * pp.ay + kp.y;
             float bx = ca * pp.bx - sa * pp.by + kp.x;

@@ -7,6 +7,12 @@
  * 256-bit binary descriptor sampled from a fixed pseudo-random pattern
  * rotated to that orientation. Descriptors feed stereo matching and the
  * bag-of-words tracking backend.
+ *
+ * computeOrbDescriptorsInto() is the workspace form with a raw-pointer
+ * interior fast path (row-pointer moment accumulation over precomputed
+ * circle extents; unclamped bilinear taps for points far enough from
+ * the border). computeOrbDescriptorsReference() retains the scalar
+ * clamped-sampling formulation; the two are bit-exact (golden-tested).
  */
 #pragma once
 
@@ -35,5 +41,17 @@ float orbOrientation(const ImageU8 &img, float x, float y);
  */
 std::vector<Descriptor> computeOrbDescriptors(const ImageU8 &img,
                                               std::vector<KeyPoint> &kps);
+
+/** computeOrbDescriptors into a caller-owned output (zero-alloc form). */
+void computeOrbDescriptorsInto(const ImageU8 &img,
+                               std::vector<KeyPoint> &kps,
+                               std::vector<Descriptor> &out);
+
+/** Scalar clamped-sampling reference (golden tests). */
+std::vector<Descriptor> computeOrbDescriptorsReference(
+    const ImageU8 &img, std::vector<KeyPoint> &kps);
+
+/** Scalar reference of orbOrientation (golden tests). */
+float orbOrientationReference(const ImageU8 &img, float x, float y);
 
 } // namespace edx

@@ -5,6 +5,87 @@
 
 namespace edx {
 
+void
+StereoRowIndex::build(const std::vector<KeyPoint> &right_kps,
+                      int image_height)
+{
+    const int h = std::max(1, image_height);
+    const int n = static_cast<int>(right_kps.size());
+    starts.assign(static_cast<size_t>(h) + 1, 0);
+    indices.resize(static_cast<size_t>(n));
+
+    auto rowOf = [&](const KeyPoint &kp) {
+        return std::clamp(static_cast<int>(kp.y), 0, h - 1);
+    };
+    for (const KeyPoint &kp : right_kps)
+        ++starts[static_cast<size_t>(rowOf(kp)) + 1];
+    for (int y = 0; y < h; ++y)
+        starts[y + 1] += starts[y];
+    // Stable counting sort: per-row index lists stay in ascending order.
+    cursor_.assign(starts.begin(), starts.end() - 1);
+    for (int r = 0; r < n; ++r)
+        indices[static_cast<size_t>(cursor_[rowOf(right_kps[r])]++)] = r;
+}
+
+long
+stereoMatchBandedInto(const std::vector<KeyPoint> &left_kps,
+                      const std::vector<Descriptor> &left_desc,
+                      const std::vector<KeyPoint> &right_kps,
+                      const std::vector<Descriptor> &right_desc,
+                      const StereoConfig &cfg, const StereoRowIndex &rows,
+                      std::vector<StereoMatch> &out)
+{
+    out.clear();
+    long evaluated = 0;
+    const int h = static_cast<int>(rows.starts.size()) - 1;
+    for (int l = 0; l < static_cast<int>(left_kps.size()); ++l) {
+        const KeyPoint &lk = left_kps[l];
+        // Only rows within the epipolar tolerance can hold candidates;
+        // the exact float gates below reject stragglers at band edges.
+        const int y0 = std::max(
+            0, static_cast<int>(
+                   std::floor(lk.y - cfg.max_epipolar_error)));
+        const int y1 = std::min(
+            h - 1, static_cast<int>(
+                       std::floor(lk.y + cfg.max_epipolar_error)));
+
+        // Order-independent (min, second-min, smallest-index argmin)
+        // tracking: identical selection to the ascending all-pairs
+        // sweep regardless of the order candidates arrive in.
+        int best = -1, best_d = 257, second_d = 257;
+        for (int y = y0; y <= y1; ++y) {
+            for (int i = rows.starts[y]; i < rows.starts[y + 1]; ++i) {
+                const int r = rows.indices[i];
+                const KeyPoint &rk = right_kps[r];
+                if (std::abs(rk.y - lk.y) > cfg.max_epipolar_error)
+                    continue;
+                float disp = lk.x - rk.x;
+                if (disp < cfg.min_disparity || disp > cfg.max_disparity)
+                    continue;
+                int d = hammingDistance(left_desc[l], right_desc[r]);
+                ++evaluated;
+                if (d < best_d) {
+                    second_d = best_d;
+                    best_d = d;
+                    best = r;
+                } else if (d == best_d) {
+                    second_d = d;
+                    if (r < best)
+                        best = r;
+                } else if (d < second_d) {
+                    second_d = d;
+                }
+            }
+        }
+        if (best < 0 || best_d > cfg.max_hamming)
+            continue;
+        if (second_d <= 256 && best_d > 0.9 * second_d && best_d != second_d)
+            continue; // ambiguous along the epipolar band
+        out.push_back({l, left_kps[l].x - right_kps[best].x, best_d});
+    }
+    return evaluated;
+}
+
 std::vector<StereoMatch>
 stereoMatchInitial(const std::vector<KeyPoint> &left_kps,
                    const std::vector<Descriptor> &left_desc,
@@ -46,8 +127,8 @@ namespace {
 
 /** SAD between a window at (lx, ly) in left and (rx, ly) in right. */
 double
-sad(const ImageU8 &left, const ImageU8 &right, int lx, int ly, double rx,
-    int radius)
+sadClamped(const ImageU8 &left, const ImageU8 &right, int lx, int ly,
+           double rx, int radius)
 {
     double s = 0.0;
     for (int dy = -radius; dy <= radius; ++dy)
@@ -59,14 +140,44 @@ sad(const ImageU8 &left, const ImageU8 &right, int lx, int ly, double rx,
     return s;
 }
 
+/**
+ * Interior SAD fast path. With an integer sample row, the bilinear
+ * y-weights collapse exactly (fy == 0), and every column shares the
+ * fractional x-weight, so each row is two raw pointers and a fused
+ * multiply-add sweep — bit-equal to sadClamped away from the borders.
+ */
+double
+sadInterior(const ImageU8 &left, const ImageU8 &right, int lx, int ly,
+            double rx, int radius)
+{
+    const double x0f = std::floor(rx);
+    const double fx = rx - x0f;
+    const int x0 = static_cast<int>(x0f);
+    double s = 0.0;
+    for (int dy = -radius; dy <= radius; ++dy) {
+        const uint8_t *lrow = left.rowPtr(ly + dy) + lx - radius;
+        const uint8_t *rrow = right.rowPtr(ly + dy) + x0 - radius;
+        for (int i = 0; i <= 2 * radius; ++i) {
+            const double lv = lrow[i];
+            const double rv = rrow[i] * (1 - fx) + rrow[i + 1] * fx;
+            s += std::abs(lv - rv);
+        }
+    }
+    return s;
+}
+
 } // namespace
 
 void
-stereoRefineDisparity(const ImageU8 &left, const ImageU8 &right,
-                      const std::vector<KeyPoint> &left_kps,
-                      std::vector<StereoMatch> &matches,
-                      const StereoConfig &cfg)
+stereoRefineDisparityInto(const ImageU8 &left, const ImageU8 &right,
+                          const std::vector<KeyPoint> &left_kps,
+                          std::vector<StereoMatch> &matches,
+                          const StereoConfig &cfg,
+                          std::vector<double> &costs)
 {
+    const int rad = cfg.block_radius;
+    const int w = left.width(), h = left.height();
+    costs.assign(static_cast<size_t>(2 * cfg.refine_range) + 1, 0.0);
     for (StereoMatch &m : matches) {
         const KeyPoint &lk = left_kps[m.left_index];
         const int lx = static_cast<int>(std::lround(lk.x));
@@ -75,10 +186,15 @@ stereoRefineDisparity(const ImageU8 &left, const ImageU8 &right,
         // Integer SAD sweep around the ORB-proposed disparity.
         int best_off = 0;
         double best_cost = 1e300;
-        std::vector<double> costs(2 * cfg.refine_range + 1, 0.0);
+        const bool rows_interior =
+            ly - rad >= 0 && ly + rad <= h - 2 && lx - rad >= 0 &&
+            lx + rad < w;
         for (int off = -cfg.refine_range; off <= cfg.refine_range; ++off) {
             double rx = lk.x - (m.disparity + off);
-            double c = sad(left, right, lx, ly, rx, cfg.block_radius);
+            const bool interior = rows_interior && rx - rad >= 0.0 &&
+                                  rx + rad < w - 1.0 - 1e-6;
+            double c = interior ? sadInterior(left, right, lx, ly, rx, rad)
+                                : sadClamped(left, right, lx, ly, rx, rad);
             costs[off + cfg.refine_range] = c;
             if (c < best_cost) {
                 best_cost = c;
@@ -104,6 +220,58 @@ stereoRefineDisparity(const ImageU8 &left, const ImageU8 &right,
     }
 }
 
+void
+stereoRefineDisparity(const ImageU8 &left, const ImageU8 &right,
+                      const std::vector<KeyPoint> &left_kps,
+                      std::vector<StereoMatch> &matches,
+                      const StereoConfig &cfg)
+{
+    std::vector<double> costs;
+    stereoRefineDisparityInto(left, right, left_kps, matches, cfg, costs);
+}
+
+void
+stereoRefineDisparityReference(const ImageU8 &left, const ImageU8 &right,
+                               const std::vector<KeyPoint> &left_kps,
+                               std::vector<StereoMatch> &matches,
+                               const StereoConfig &cfg)
+{
+    for (StereoMatch &m : matches) {
+        const KeyPoint &lk = left_kps[m.left_index];
+        const int lx = static_cast<int>(std::lround(lk.x));
+        const int ly = static_cast<int>(std::lround(lk.y));
+
+        int best_off = 0;
+        double best_cost = 1e300;
+        std::vector<double> costs(2 * cfg.refine_range + 1, 0.0);
+        for (int off = -cfg.refine_range; off <= cfg.refine_range; ++off) {
+            double rx = lk.x - (m.disparity + off);
+            double c = sadClamped(left, right, lx, ly, rx,
+                                  cfg.block_radius);
+            costs[off + cfg.refine_range] = c;
+            if (c < best_cost) {
+                best_cost = c;
+                best_off = off;
+            }
+        }
+        double refined = m.disparity + best_off;
+
+        int ci = best_off + cfg.refine_range;
+        if (ci > 0 && ci < 2 * cfg.refine_range) {
+            double c0 = costs[ci - 1], c1 = costs[ci], c2 = costs[ci + 1];
+            double denom = c0 - 2.0 * c1 + c2;
+            if (std::abs(denom) > 1e-9) {
+                double delta = 0.5 * (c0 - c2) / denom;
+                if (std::abs(delta) <= 1.0)
+                    refined += delta;
+            }
+        }
+        m.disparity = static_cast<float>(
+            std::clamp<double>(refined, cfg.min_disparity,
+                               cfg.max_disparity));
+    }
+}
+
 std::vector<StereoMatch>
 stereoMatch(const ImageU8 &left, const ImageU8 &right,
             const std::vector<KeyPoint> &left_kps,
@@ -112,8 +280,11 @@ stereoMatch(const ImageU8 &left, const ImageU8 &right,
             const std::vector<Descriptor> &right_desc,
             const StereoConfig &cfg)
 {
-    std::vector<StereoMatch> m = stereoMatchInitial(
-        left_kps, left_desc, right_kps, right_desc, cfg);
+    StereoRowIndex rows;
+    rows.build(right_kps, left.height());
+    std::vector<StereoMatch> m;
+    stereoMatchBandedInto(left_kps, left_desc, right_kps, right_desc,
+                          cfg, rows, m);
     stereoRefineDisparity(left, right, left_kps, m, cfg);
     return m;
 }

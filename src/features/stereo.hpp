@@ -8,6 +8,14 @@
  * correspondence by comparing Hamming distances along the epipolar band,
  * and "Disparity Refinement (DR)" polishes the disparity with block
  * matching (SAD) on the raw images, including sub-pixel interpolation.
+ *
+ * The production MO path buckets right-image key points by integer
+ * epipolar row (StereoRowIndex, a reusable CSR index) so each left
+ * point only evaluates candidates inside its row band: O(L + matches
+ * in band) Hamming work instead of the all-pairs O(L x R) sweep.
+ * stereoMatchInitial() retains the all-pairs reference; the banded
+ * matcher selects the same (best, second-best) pair order-independently
+ * and is bit-exact with it (golden-tested).
  */
 #pragma once
 
@@ -29,7 +37,46 @@ struct StereoConfig
     int refine_range = 3;      //!< +/- search around the ORB disparity
 };
 
-/** Output of the MO task alone, before refinement (for testing). */
+/**
+ * Reusable CSR index of right-image key points bucketed by integer
+ * image row (the epipolar band structure of a rectified pair).
+ */
+struct StereoRowIndex
+{
+    std::vector<int> starts;  //!< rows + 1 offsets into indices
+    std::vector<int> indices; //!< right kp indices, ascending per row
+
+    /** Rebuilds the index for @p right_kps on @p image_height rows. */
+    void build(const std::vector<KeyPoint> &right_kps, int image_height);
+
+    /** Sum of buffer capacities, in bytes (allocation accounting). */
+    size_t
+    capacityBytes() const
+    {
+        return (starts.capacity() + indices.capacity() +
+                cursor_.capacity()) *
+               sizeof(int);
+    }
+
+  private:
+    std::vector<int> cursor_; //!< counting-sort placement scratch
+};
+
+/**
+ * Banded MO: same output as stereoMatchInitial, restricted to the row
+ * bands of @p rows. Appends into caller-owned @p out.
+ * @return the number of candidate pairs whose Hamming distance was
+ *         actually evaluated (the banded MO workload).
+ */
+long stereoMatchBandedInto(const std::vector<KeyPoint> &left_kps,
+                           const std::vector<Descriptor> &left_desc,
+                           const std::vector<KeyPoint> &right_kps,
+                           const std::vector<Descriptor> &right_desc,
+                           const StereoConfig &cfg,
+                           const StereoRowIndex &rows,
+                           std::vector<StereoMatch> &out);
+
+/** All-pairs MO reference, before refinement (golden tests). */
 std::vector<StereoMatch> stereoMatchInitial(
     const std::vector<KeyPoint> &left_kps,
     const std::vector<Descriptor> &left_desc,
@@ -38,12 +85,28 @@ std::vector<StereoMatch> stereoMatchInitial(
 
 /**
  * Refines initial matches by SAD block matching around the proposed
- * disparity, with parabolic sub-pixel interpolation.
+ * disparity, with parabolic sub-pixel interpolation. Interior windows
+ * take a raw row-pointer fast path; windows touching the image border
+ * fall back to the clamped reference arithmetic.
  */
 void stereoRefineDisparity(const ImageU8 &left, const ImageU8 &right,
                            const std::vector<KeyPoint> &left_kps,
                            std::vector<StereoMatch> &matches,
                            const StereoConfig &cfg);
+
+/** Zero-alloc form: @p costs is the reusable SAD sweep buffer. */
+void stereoRefineDisparityInto(const ImageU8 &left, const ImageU8 &right,
+                               const std::vector<KeyPoint> &left_kps,
+                               std::vector<StereoMatch> &matches,
+                               const StereoConfig &cfg,
+                               std::vector<double> &costs);
+
+/** Scalar clamped-sampling reference of the DR task (golden tests). */
+void stereoRefineDisparityReference(const ImageU8 &left,
+                                    const ImageU8 &right,
+                                    const std::vector<KeyPoint> &left_kps,
+                                    std::vector<StereoMatch> &matches,
+                                    const StereoConfig &cfg);
 
 /** Full stereo block: MO followed by DR. */
 std::vector<StereoMatch> stereoMatch(

@@ -1,87 +1,284 @@
 #include "frontend/frontend.hpp"
 
+#include "frontend/lane.hpp"
 #include "image/filter.hpp"
 #include "runtime/telemetry.hpp"
 
 namespace edx {
 
+VisionFrontend::VisionFrontend(const FrontendConfig &cfg) : cfg_(cfg) {}
+
+VisionFrontend::~VisionFrontend() = default;
+
 void
 VisionFrontend::reset()
 {
     has_prev_ = false;
-    prev_keypoints_.clear();
+    ws_.prev_keypoints.clear();
 }
 
 FrontendOutput
 VisionFrontend::processFrame(const ImageU8 &left, const ImageU8 &right)
 {
     FrontendOutput out;
-    out.workload.image_pixels = left.pixelCount();
+    processFrameInto(left, right, out);
+    return out;
+}
 
+void
+VisionFrontend::processFrameInto(const ImageU8 &left,
+                                 const ImageU8 &right,
+                                 FrontendOutput &out)
+{
+    out.timing = {};
+    out.workload = {};
+    out.workload.image_pixels = left.pixelCount();
+    if (cfg_.use_reference) {
+        processReference(left, right, out);
+        return;
+    }
+    const size_t cap_before = ws_.capacityBytes();
+    processOptimized(left, right, out);
+    if (ws_.capacityBytes() != cap_before)
+        ++alloc_events_;
+}
+
+void
+VisionFrontend::runEye(const ImageU8 &img, EyeWorkspace &eye,
+                       EyeTiming &t)
+{
+    {
+        StageTimer timer(t.fd_ms);
+        detectFastInto(img, cfg_.fast, eye.fast, eye.keypoints);
+    }
+    {
+        StageTimer timer(t.if_ms);
+        gaussianBlurInto(img, eye.blur, eye.blurred);
+    }
+    {
+        StageTimer timer(t.fc_ms);
+        computeOrbDescriptorsInto(eye.blurred, eye.keypoints,
+                                  eye.descriptors);
+    }
+}
+
+void
+VisionFrontend::processOptimized(const ImageU8 &left,
+                                 const ImageU8 &right,
+                                 FrontendOutput &out)
+{
     // --- Feature extraction block (FD + IF + FC), both images. The
     // hardware time-shares one FE pipeline across the two streams
-    // (Sec. V-B); in software they simply run back to back.
+    // (Sec. V-B); with lanes == 2 the software runs one eye per worker
+    // lane (disjoint workspace halves, so bit-exact with lanes == 1).
+    if (cfg_.lanes >= 2) {
+        if (!lane_)
+            lane_ = std::make_unique<WorkerLane>();
+        lane_->ensureStarted();
+
+        struct LaneJob
+        {
+            VisionFrontend *fe;
+            const ImageU8 *img;
+            EyeWorkspace *eye;
+            EyeTiming t;
+        };
+        LaneJob right_job{this, &right, &ws_.right, {}};
+        EyeTiming left_t;
+
+        double wall_ms = 0.0;
+        {
+            StageTimer wall(wall_ms);
+            lane_->post(
+                [](void *arg) {
+                    auto *job = static_cast<LaneJob *>(arg);
+                    job->fe->runEye(*job->img, *job->eye, job->t);
+                },
+                &right_job);
+            runEye(left, ws_.left, left_t);
+            lane_->wait();
+        }
+
+        // Per-task attribution: the lanes overlap, so the six task
+        // timers sum to more than the wall span. Scale them so the
+        // reported split preserves task proportions while total()
+        // remains the true FE wall time.
+        const EyeTiming &rt = right_job.t;
+        const double lane_sum = left_t.fd_ms + left_t.if_ms +
+                                left_t.fc_ms + rt.fd_ms + rt.if_ms +
+                                rt.fc_ms;
+        const double scale = lane_sum > 0.0 ? wall_ms / lane_sum : 0.0;
+        out.timing.fd_ms = scale * (left_t.fd_ms + rt.fd_ms);
+        out.timing.if_ms = scale * (left_t.if_ms + rt.if_ms);
+        out.timing.fc_ms = scale * (left_t.fc_ms + rt.fc_ms);
+    } else {
+        {
+            StageTimer timer(out.timing.fd_ms);
+            detectFastInto(left, cfg_.fast, ws_.left.fast,
+                           ws_.left.keypoints);
+            detectFastInto(right, cfg_.fast, ws_.right.fast,
+                           ws_.right.keypoints);
+        }
+        {
+            StageTimer timer(out.timing.if_ms);
+            gaussianBlurInto(left, ws_.left.blur, ws_.left.blurred);
+            gaussianBlurInto(right, ws_.right.blur, ws_.right.blurred);
+        }
+        {
+            StageTimer timer(out.timing.fc_ms);
+            computeOrbDescriptorsInto(ws_.left.blurred,
+                                      ws_.left.keypoints,
+                                      ws_.left.descriptors);
+            computeOrbDescriptorsInto(ws_.right.blurred,
+                                      ws_.right.keypoints,
+                                      ws_.right.descriptors);
+        }
+    }
+
+    out.workload.left_features =
+        static_cast<int>(ws_.left.keypoints.size());
+    out.workload.right_features =
+        static_cast<int>(ws_.right.keypoints.size());
+    out.workload.stereo_candidates_allpairs =
+        out.workload.left_features * out.workload.right_features;
+
+    // --- Stereo matching block (MO + DR): epipolar row-band bucketing
+    // instead of the all-pairs Hamming sweep.
+    {
+        StageTimer timer(out.timing.mo_ms);
+        ws_.stereo_rows.build(ws_.right.keypoints, left.height());
+        long evaluated = stereoMatchBandedInto(
+            ws_.left.keypoints, ws_.left.descriptors,
+            ws_.right.keypoints, ws_.right.descriptors, cfg_.stereo,
+            ws_.stereo_rows, ws_.stereo);
+        out.workload.stereo_candidates = static_cast<int>(evaluated);
+    }
+    {
+        StageTimer timer(out.timing.dr_ms);
+        stereoRefineDisparityInto(left, right, ws_.left.keypoints,
+                                  ws_.stereo, cfg_.stereo, ws_.dr_costs);
+    }
+    out.workload.stereo_matches = static_cast<int>(ws_.stereo.size());
+
+    // --- Temporal matching block (DC + LSS): LK against the previous
+    // left frame, on the raw (unfiltered) pyramid. The pyramid and its
+    // per-level gradient images are built once into the workspace's
+    // current-frame slots and double-buffer-swapped into the previous
+    // slots at frame end.
+    {
+        StageTimer timer(out.timing.tm_ms);
+        ws_.cur_pyramid.rebuild(left, cfg_.flow.pyramid_levels);
+        const int levels = ws_.cur_pyramid.levels();
+        if (static_cast<int>(ws_.cur_gradients.size()) < levels)
+            ws_.cur_gradients.resize(levels);
+        for (int l = 0; l < levels; ++l) {
+            if (cfg_.flow.scharr_gradients)
+                scharrGradientsInto(ws_.cur_pyramid.level(l),
+                                    ws_.cur_gradients[l]);
+            else
+                centralDiffGradientsInto(ws_.cur_pyramid.level(l),
+                                         ws_.cur_gradients[l]);
+        }
+        if (has_prev_) {
+            trackLucasKanadeInto(ws_.prev_pyramid, ws_.prev_gradients,
+                                 ws_.cur_pyramid, ws_.prev_keypoints,
+                                 cfg_.flow, ws_.flow, ws_.temporal);
+        } else {
+            ws_.temporal.clear();
+        }
+        swap(ws_.prev_pyramid, ws_.cur_pyramid);
+        std::swap(ws_.prev_gradients, ws_.cur_gradients);
+    }
+    out.workload.temporal_tracks = static_cast<int>(ws_.temporal.size());
+
+    ws_.prev_keypoints.assign(ws_.left.keypoints.begin(),
+                              ws_.left.keypoints.end());
+    has_prev_ = true;
+
+    // Copy (not swap) the products out: the workspace keeps its
+    // capacity, and a reused output packet keeps its own.
+    out.keypoints.assign(ws_.left.keypoints.begin(),
+                         ws_.left.keypoints.end());
+    out.descriptors.assign(ws_.left.descriptors.begin(),
+                           ws_.left.descriptors.end());
+    out.stereo.assign(ws_.stereo.begin(), ws_.stereo.end());
+    out.temporal.assign(ws_.temporal.begin(), ws_.temporal.end());
+}
+
+void
+VisionFrontend::processReference(const ImageU8 &left,
+                                 const ImageU8 &right,
+                                 FrontendOutput &out)
+{
+    // The retained scalar path: every task through the reference
+    // kernels, with the pre-workspace allocation behavior. This is the
+    // "before" baseline the fig05/fig20 benches report against and the
+    // anchor of the golden equivalence tests. (It is the scalar
+    // formulation of the *current* algorithms — fixed-point blur,
+    // gradient-image LK — so it tracks the pre-overhaul frontend's
+    // cost without being bit-identical to the old float kernels.)
     std::vector<KeyPoint> lk, rk;
     {
         StageTimer timer(out.timing.fd_ms);
-        lk = detectFast(left, cfg_.fast);
-        rk = detectFast(right, cfg_.fast);
+        lk = detectFastReference(left, cfg_.fast);
+        rk = detectFastReference(right, cfg_.fast);
     }
 
     ImageU8 lf, rf;
     {
         StageTimer timer(out.timing.if_ms);
-        lf = gaussianBlur(left);
-        rf = gaussianBlur(right);
+        lf = gaussianBlurReference(left);
+        rf = gaussianBlurReference(right);
     }
 
     std::vector<Descriptor> ld, rd;
     {
         StageTimer timer(out.timing.fc_ms);
-        ld = computeOrbDescriptors(lf, lk);
-        rd = computeOrbDescriptors(rf, rk);
+        ld = computeOrbDescriptorsReference(lf, lk);
+        rd = computeOrbDescriptorsReference(rf, rk);
     }
 
     out.workload.left_features = static_cast<int>(lk.size());
     out.workload.right_features = static_cast<int>(rk.size());
+    // The all-pairs sweep examines every (left, right) pair; both
+    // counters carry that number on the reference path.
+    out.workload.stereo_candidates_allpairs =
+        static_cast<int>(lk.size()) * static_cast<int>(rk.size());
+    out.workload.stereo_candidates =
+        out.workload.stereo_candidates_allpairs;
 
-    // --- Stereo matching block (MO + DR).
     std::vector<StereoMatch> matches;
     {
         StageTimer timer(out.timing.mo_ms);
         matches = stereoMatchInitial(lk, ld, rk, rd, cfg_.stereo);
     }
-    // Every (left, right-in-band) pair is a Hamming candidate; the MO
-    // hardware model uses this count.
-    out.workload.stereo_candidates =
-        static_cast<int>(lk.size()) * static_cast<int>(rk.size());
-
     {
         StageTimer timer(out.timing.dr_ms);
-        stereoRefineDisparity(left, right, lk, matches, cfg_.stereo);
+        stereoRefineDisparityReference(left, right, lk, matches,
+                                       cfg_.stereo);
     }
     out.workload.stereo_matches = static_cast<int>(matches.size());
 
-    // --- Temporal matching block (DC + LSS): LK against the previous
-    // left frame. Runs on the raw (unfiltered) pyramid.
     {
         StageTimer timer(out.timing.tm_ms);
-        Pyramid cur_pyr(left, cfg_.flow.pyramid_levels);
+        ws_.cur_pyramid.rebuild(left, cfg_.flow.pyramid_levels);
         if (has_prev_) {
-            out.temporal = trackLucasKanade(prev_pyramid_, cur_pyr,
-                                            prev_keypoints_, cfg_.flow);
+            out.temporal = trackLucasKanadeReference(
+                ws_.prev_pyramid, ws_.cur_pyramid, ws_.prev_keypoints,
+                cfg_.flow);
+        } else {
+            out.temporal.clear();
         }
-        prev_pyramid_ = std::move(cur_pyr);
+        swap(ws_.prev_pyramid, ws_.cur_pyramid);
     }
     out.workload.temporal_tracks = static_cast<int>(out.temporal.size());
 
-    prev_keypoints_ = lk;
+    ws_.prev_keypoints.assign(lk.begin(), lk.end());
     has_prev_ = true;
 
     out.keypoints = std::move(lk);
     out.descriptors = std::move(ld);
     out.stereo = std::move(matches);
-    return out;
 }
 
 } // namespace edx

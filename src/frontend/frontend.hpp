@@ -14,12 +14,23 @@
  *    squares solver (LSS), i.e. pyramidal Lucas-Kanade against the
  *    previous left frame.
  *
+ * Execution model: all hot-path buffers live in a per-session
+ * FrameWorkspace (frontend/workspace.hpp), so steady-state frames do
+ * zero heap allocation. With FrontendConfig::lanes == 2 the per-eye FE
+ * pipelines (FD -> IF -> FC) run on two worker lanes, mirroring the
+ * accelerator's time-shared FE hardware; the two eyes touch disjoint
+ * workspace halves, so lanes == 2 is bit-exact with the sequential
+ * lanes == 1 path. FrontendConfig::use_reference routes every task
+ * through the retained scalar reference kernels instead (the benches'
+ * "before" baseline and the golden-equivalence tests' anchor).
+ *
  * Every task is timed individually; the timing records feed the
  * characterization benches (Figs. 5, 9-11, 20) and the accelerator
  * model's workload inputs.
  */
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "features/fast.hpp"
@@ -28,9 +39,12 @@
 #include "features/optical_flow.hpp"
 #include "features/orb.hpp"
 #include "features/stereo.hpp"
+#include "frontend/workspace.hpp"
 #include "image/pyramid.hpp"
 
 namespace edx {
+
+class WorkerLane;
 
 /** Frontend configuration: per-block sub-configurations. */
 struct FrontendConfig
@@ -38,6 +52,20 @@ struct FrontendConfig
     FastConfig fast;
     StereoConfig stereo;
     FlowConfig flow;
+
+    /**
+     * Intra-frontend worker lanes for the FE block: 1 = sequential
+     * (the default), 2 = left/right eyes in parallel (bit-exact with
+     * lanes == 1 — the eyes share no mutable state).
+     */
+    int lanes = 1;
+
+    /**
+     * Run the retained scalar reference kernels instead of the
+     * optimized ones (allocating, single-lane). Used by the golden
+     * equivalence tests and the before/after benches.
+     */
+    bool use_reference = false;
 };
 
 /** Wall-clock latency of each frontend task, milliseconds. */
@@ -66,7 +94,21 @@ struct FrontendWorkload
     long image_pixels = 0;   //!< per image
     int left_features = 0;
     int right_features = 0;
-    int stereo_candidates = 0; //!< MO candidate pairs examined
+
+    /**
+     * Candidate pairs whose descriptor distance the software MO task
+     * actually evaluated (the row-banded matcher's workload).
+     */
+    int stereo_candidates = 0;
+
+    /**
+     * The all-pairs candidate count (left x right features) of the
+     * brute-force epipolar sweep. The MO hardware model streams every
+     * pair through its XOR+popcount lanes regardless of the software
+     * matcher's bucketing, so the accelerator figures key off this.
+     */
+    int stereo_candidates_allpairs = 0;
+
     int stereo_matches = 0;
     int temporal_tracks = 0;
 };
@@ -83,13 +125,18 @@ struct FrontendOutput
 };
 
 /**
- * The stateful frontend: holds the previous frame's pyramid and key
- * points for temporal matching.
+ * The stateful frontend: owns the FrameWorkspace (including the
+ * previous frame's pyramid, gradients and key points for temporal
+ * matching) and, when lanes == 2, the second FE worker lane.
  */
 class VisionFrontend
 {
   public:
-    explicit VisionFrontend(const FrontendConfig &cfg = {}) : cfg_(cfg) {}
+    explicit VisionFrontend(const FrontendConfig &cfg = {});
+    ~VisionFrontend();
+
+    VisionFrontend(const VisionFrontend &) = delete;
+    VisionFrontend &operator=(const VisionFrontend &) = delete;
 
     /**
      * Processes a rectified stereo pair. The first call produces no
@@ -97,16 +144,46 @@ class VisionFrontend
      */
     FrontendOutput processFrame(const ImageU8 &left, const ImageU8 &right);
 
+    /**
+     * processFrame into a caller-owned output packet: with a reused
+     * @p out, steady-state frames allocate nothing at all.
+     */
+    void processFrameInto(const ImageU8 &left, const ImageU8 &right,
+                          FrontendOutput &out);
+
     /** Drops temporal state (e.g., on dataset restart). */
     void reset();
 
     const FrontendConfig &config() const { return cfg_; }
 
+    /**
+     * Number of processed frames that grew any workspace buffer. Flat
+     * across steady-state frames == the frame ran allocation-free.
+     */
+    size_t workspaceAllocationEvents() const { return alloc_events_; }
+
+    /** Current workspace footprint (capacity), bytes. */
+    size_t workspaceCapacityBytes() const { return ws_.capacityBytes(); }
+
   private:
+    struct EyeTiming
+    {
+        double fd_ms = 0.0, if_ms = 0.0, fc_ms = 0.0;
+    };
+
+    /** FD -> IF -> FC for one eye (one lane's share of the FE block). */
+    void runEye(const ImageU8 &img, EyeWorkspace &eye, EyeTiming &t);
+
+    void processOptimized(const ImageU8 &left, const ImageU8 &right,
+                          FrontendOutput &out);
+    void processReference(const ImageU8 &left, const ImageU8 &right,
+                          FrontendOutput &out);
+
     FrontendConfig cfg_;
+    FrameWorkspace ws_;
+    std::unique_ptr<WorkerLane> lane_;
     bool has_prev_ = false;
-    Pyramid prev_pyramid_{ImageU8(2, 2), 1};
-    std::vector<KeyPoint> prev_keypoints_;
+    size_t alloc_events_ = 0;
 };
 
 } // namespace edx

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A minimal worker lane for intra-frontend parallelism.
+ *
+ * The hardware time-shares one feature-extraction pipeline across the
+ * two camera streams (Sec. V-B); the software analogue runs the two
+ * eyes on two lanes: the caller's thread is lane 0 and a WorkerLane is
+ * lane 1. The lane holds exactly one posted job at a time (a plain
+ * function pointer + argument, so posting never heap-allocates) and
+ * the caller joins it with wait() before reading any shared state.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace edx {
+
+/** One persistent worker thread executing one posted job at a time. */
+class WorkerLane
+{
+  public:
+    WorkerLane() = default;
+    ~WorkerLane() { stop(); }
+
+    WorkerLane(const WorkerLane &) = delete;
+    WorkerLane &operator=(const WorkerLane &) = delete;
+
+    /** Spawns the thread on first use (idempotent). */
+    void
+    ensureStarted()
+    {
+        if (!thread_.joinable())
+            thread_ = std::thread(&WorkerLane::loop, this);
+    }
+
+    /**
+     * Posts one job. The lane must be idle (construction, wait(), or
+     * job completion). @p fn runs on the lane thread with @p arg.
+     */
+    void
+    post(void (*fn)(void *), void *arg)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            fn_ = fn;
+            arg_ = arg;
+            busy_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    /** Blocks until the posted job (if any) has finished. */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock, [&] { return !busy_; });
+    }
+
+    /** Joins the thread; the lane can be restarted afterwards. */
+    void
+    stop()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+        stop_ = false;
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        for (;;) {
+            cv_.wait(lock, [&] { return busy_ || stop_; });
+            if (stop_)
+                return;
+            void (*fn)(void *) = fn_;
+            void *arg = arg_;
+            lock.unlock();
+            fn(arg);
+            lock.lock();
+            busy_ = false;
+            cv_.notify_all();
+        }
+    }
+
+    std::thread thread_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    void (*fn_)(void *) = nullptr;
+    void *arg_ = nullptr;
+    bool busy_ = false;
+    bool stop_ = false;
+};
+
+} // namespace edx

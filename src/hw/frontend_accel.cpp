@@ -22,8 +22,13 @@ FrontendAccelerator::model(const FrontendWorkload &w) const
     t.fc_ms = cyclesToMs(fc_cycles_per_feature *
                          (w.left_features + w.right_features));
 
-    // MO: one 256-bit XOR+popcount per candidate pair per cycle.
-    const double mo_candidates = static_cast<double>(w.stereo_candidates);
+    // MO: one 256-bit XOR+popcount per candidate pair per cycle. The
+    // hardware streams every (left, right) pair through the comparator
+    // lanes, so this is the all-pairs count — independent of the
+    // software matcher's row-band bucketing (whose evaluated-candidate
+    // count is w.stereo_candidates).
+    const double mo_candidates =
+        static_cast<double>(w.stereo_candidates_allpairs);
     t.mo_ms = cyclesToMs(mo_candidates);
 
     // DR: block matching re-streams both raw images through the DR

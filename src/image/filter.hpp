@@ -7,6 +7,21 @@
  * tasks of the frontend accelerator pipeline (Fig. 12). The stencil sizes
  * used here (Gaussian 7x1 separable, Scharr 3x3) are the sizes the
  * stencil-buffer model in src/hw sizes its line buffers for.
+ *
+ * Every hot kernel comes in two forms:
+ *
+ *  - an optimized implementation (branch-free interior fast path with
+ *    raw row pointers, clamped borders handled by separate edge loops,
+ *    and caller-owned destination buffers for the zero-alloc frontend
+ *    workspace), and
+ *  - a retained scalar reference implementation (`*Reference`), the
+ *    straightforward per-pixel formulation. The golden-output
+ *    equivalence tests in tests/test_kernels.cpp assert the two are
+ *    bit-exact, so the fast paths can never silently drift.
+ *
+ * The 8-bit Gaussian runs in 16.8 fixed point (weights scaled by 2^16,
+ * horizontal intermediate kept at 8 fractional bits) so the interior
+ * loops are pure integer multiply-accumulates the compiler vectorizes.
  */
 #pragma once
 
@@ -17,17 +32,39 @@ namespace edx {
 /** Width of the separable Gaussian kernel used by the frontend (odd). */
 inline constexpr int kGaussianKernelSize = 7;
 
+/** Reusable intermediate buffer of the separable 8-bit Gaussian. */
+struct BlurScratch
+{
+    ImageU16 tmp; //!< horizontal pass, 8 fractional bits
+};
+
 /**
  * Separable Gaussian blur with the frontend's fixed 7-tap kernel
- * (sigma = 1.5). Edges are handled by clamping.
+ * (sigma = 1.5) in 16.8 fixed point. Edges are handled by clamping.
  */
 ImageU8 gaussianBlur(const ImageU8 &in);
 
-/** Gaussian blur on a float image (same kernel). */
+/**
+ * gaussianBlur into a caller-owned destination and scratch buffer
+ * (zero-alloc steady state). @return true when a buffer had to grow.
+ */
+bool gaussianBlurInto(const ImageU8 &in, BlurScratch &scratch,
+                      ImageU8 &out);
+
+/** Scalar reference of the fixed-point Gaussian (golden tests). */
+ImageU8 gaussianBlurReference(const ImageU8 &in);
+
+/** Gaussian blur on a float image (same kernel shape, float weights). */
 ImageF gaussianBlur(const ImageF &in);
 
-/** Box blur with a (2r+1)^2 window. */
+/**
+ * Box blur with a (2r+1)^2 window via sliding-window row sums: O(1)
+ * work per pixel regardless of the radius.
+ */
 ImageU8 boxBlur(const ImageU8 &in, int r);
+
+/** Scalar O(r^2)-per-pixel reference of boxBlur (golden tests). */
+ImageU8 boxBlurReference(const ImageU8 &in, int r);
 
 /** Horizontal and vertical image gradients. */
 struct Gradients
@@ -41,5 +78,33 @@ struct Gradients
  * Lucas-Kanade temporal matching.
  */
 Gradients scharrGradients(const ImageU8 &in);
+
+/**
+ * scharrGradients into caller-owned gradient images (the frontend
+ * caches one Gradients per pyramid level in its workspace so the LK
+ * tracker reuses them across features and iterations).
+ * @return true when a buffer had to grow.
+ */
+bool scharrGradientsInto(const ImageU8 &in, Gradients &out);
+
+/** Scalar reference of the Scharr gradients (golden tests). */
+Gradients scharrGradientsReference(const ImageU8 &in);
+
+/**
+ * Plain central-difference gradients (gx = (I(x+1) - I(x-1)) / 2, same
+ * for y, clamped at the borders). This is the gradient the pyramidal
+ * LK tracker samples by default: bilinearly interpolating this image
+ * is mathematically identical to central-differencing a bilinearly
+ * shifted patch (the classical Bouguet formulation), so caching it per
+ * pyramid level changes where the work happens, not the flow field.
+ * @return true when a buffer had to grow.
+ */
+bool centralDiffGradientsInto(const ImageU8 &in, Gradients &out);
+
+/** Allocating convenience form of centralDiffGradientsInto. */
+Gradients centralDiffGradients(const ImageU8 &in);
+
+/** Scalar reference of the central-difference gradients. */
+Gradients centralDiffGradientsReference(const ImageU8 &in);
 
 } // namespace edx

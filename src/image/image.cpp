@@ -33,9 +33,17 @@ toU8(const ImageF &in)
 ImageU8
 halfScale(const ImageU8 &in)
 {
+    ImageU8 out;
+    halfScaleInto(in, out);
+    return out;
+}
+
+bool
+halfScaleInto(const ImageU8 &in, ImageU8 &out)
+{
     int w = in.width() / 2;
     int h = in.height() / 2;
-    ImageU8 out(w, h);
+    bool grew = out.resize(w, h);
     for (int y = 0; y < h; ++y) {
         const uint8_t *r0 = in.rowPtr(2 * y);
         const uint8_t *r1 = in.rowPtr(2 * y + 1);
@@ -45,7 +53,7 @@ halfScale(const ImageU8 &in)
             dst[x] = static_cast<uint8_t>((s + 2) / 4);
         }
     }
-    return out;
+    return grew;
 }
 
 double

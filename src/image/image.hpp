@@ -100,6 +100,36 @@ class Image
     /** Fills the whole image with @p v. */
     void fill(T v) { std::fill(d_.begin(), d_.end(), v); }
 
+    /**
+     * Resizes to @p w x @p h reusing the existing storage when it is
+     * large enough (pixel contents are unspecified afterwards).
+     * @return true when the underlying storage had to grow (the
+     *         workspace allocation accounting hangs off this).
+     */
+    bool
+    resize(int w, int h)
+    {
+        assert(w >= 0 && h >= 0);
+        const size_t n = static_cast<size_t>(w) * h;
+        const size_t cap_before = d_.capacity();
+        d_.resize(n);
+        w_ = w;
+        h_ = h;
+        return d_.capacity() > cap_before;
+    }
+
+    /** Copies @p other into this image, reusing storage when possible. */
+    bool
+    copyFrom(const Image &other)
+    {
+        bool grew = resize(other.w_, other.h_);
+        std::copy(other.d_.begin(), other.d_.end(), d_.begin());
+        return grew;
+    }
+
+    /** Capacity of the underlying storage, in elements. */
+    size_t capacity() const { return d_.capacity(); }
+
     const T *data() const { return d_.data(); }
     T *data() { return d_.data(); }
 
@@ -114,6 +144,7 @@ class Image
 };
 
 using ImageU8 = Image<uint8_t>;
+using ImageU16 = Image<uint16_t>;
 using ImageF = Image<float>;
 
 /** Converts an 8-bit image to float. */
@@ -127,6 +158,12 @@ ImageU8 toU8(const ImageF &in);
  * optical-flow pyramid).
  */
 ImageU8 halfScale(const ImageU8 &in);
+
+/**
+ * halfScale into a caller-owned destination, reusing its storage
+ * (the zero-alloc pyramid path). @return true when @p out had to grow.
+ */
+bool halfScaleInto(const ImageU8 &in, ImageU8 &out);
 
 /** Mean absolute pixel difference between two equally sized images. */
 double meanAbsDifference(const ImageU8 &a, const ImageU8 &b);

@@ -2,17 +2,25 @@
 
 namespace edx {
 
-Pyramid::Pyramid(const ImageU8 &base, int levels)
+bool
+Pyramid::rebuild(const ImageU8 &base, int levels)
 {
     assert(levels >= 1);
-    imgs_.reserve(levels);
-    imgs_.push_back(base);
+    bool grew = false;
+    if (static_cast<int>(imgs_.size()) < levels) {
+        imgs_.resize(levels);
+        grew = true;
+    }
+    grew |= imgs_[0].copyFrom(base);
+    level_count_ = 1;
     for (int l = 1; l < levels; ++l) {
-        const ImageU8 &prev = imgs_.back();
+        const ImageU8 &prev = imgs_[l - 1];
         if (prev.width() < 2 || prev.height() < 2)
             break;
-        imgs_.push_back(halfScale(prev));
+        grew |= halfScaleInto(prev, imgs_[l]);
+        ++level_count_;
     }
+    return grew;
 }
 
 } // namespace edx

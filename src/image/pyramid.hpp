@@ -13,14 +13,29 @@ namespace edx {
 /**
  * A fixed-depth mean pyramid: level 0 is the input image, each further
  * level is a 2x downsample of the previous one.
+ *
+ * A pyramid can be rebuilt in place (rebuild()), reusing the per-level
+ * storage of the previous build. The frontend workspace keeps two
+ * pyramids (previous / current frame) and swaps them each frame, so
+ * steady-state frames never reallocate pyramid levels.
  */
 class Pyramid
 {
   public:
-    /** Builds a pyramid of @p levels levels (>= 1) from @p base. */
-    Pyramid(const ImageU8 &base, int levels);
+    /** An empty pyramid (no levels) for workspace double-buffering. */
+    Pyramid() = default;
 
-    int levels() const { return static_cast<int>(imgs_.size()); }
+    /** Builds a pyramid of @p levels levels (>= 1) from @p base. */
+    Pyramid(const ImageU8 &base, int levels) { rebuild(base, levels); }
+
+    /**
+     * Rebuilds from @p base, reusing level storage where the shapes
+     * allow. @return true when any level's storage had to grow.
+     */
+    bool rebuild(const ImageU8 &base, int levels);
+
+    int levels() const { return level_count_; }
+    bool empty() const { return level_count_ == 0; }
 
     /** Image at pyramid level @p l (0 == full resolution). */
     const ImageU8 &level(int l) const
@@ -29,8 +44,26 @@ class Pyramid
         return imgs_[l];
     }
 
+    /** Sum of all level storage capacities, in bytes. */
+    size_t
+    capacityBytes() const
+    {
+        size_t n = 0;
+        for (const ImageU8 &img : imgs_)
+            n += img.capacity();
+        return n;
+    }
+
+    friend void
+    swap(Pyramid &a, Pyramid &b) noexcept
+    {
+        std::swap(a.imgs_, b.imgs_);
+        std::swap(a.level_count_, b.level_count_);
+    }
+
   private:
     std::vector<ImageU8> imgs_;
+    int level_count_ = 0; //!< live levels (imgs_ may hold spare buffers)
 };
 
 } // namespace edx

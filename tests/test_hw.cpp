@@ -23,7 +23,8 @@ droneWorkload()
     w.image_pixels = 640L * 480L;
     w.left_features = 300;
     w.right_features = 290;
-    w.stereo_candidates = 2400;
+    w.stereo_candidates = 2400;        // row-banded MO evaluations
+    w.stereo_candidates_allpairs = 2400; // hw MO streams this count
     w.stereo_matches = 180;
     w.temporal_tracks = 220;
     return w;
