@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Backend linear-algebra micro-bench: every blocked/SIMD kernel of the
+ * overhaul against its retained scalar reference at MSCKF-realistic
+ * sizes (state dim d ~ 195 = 15 + 6x30 clones, compression stacks of a
+ * few hundred rows), plus the end-to-end MSCKF backend on a synthetic
+ * steady-state VIO run — optimized workspace path vs the pre-overhaul
+ * reference path.
+ *
+ * Doubles as the CI perf smoke: when EDX_BACKEND_MS_CEILING is set
+ * (milliseconds), the bench exits non-zero if the optimized MSCKF
+ * update exceeds it — a generous ceiling, so regressions fail loudly
+ * without flaking on machine noise (pattern of bench_frontend_kernels).
+ */
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <unordered_map>
+
+#include "backend/msckf.hpp"
+#include "common/runner.hpp"
+#include "common/table.hpp"
+#include "math/blas.hpp"
+#include "math/decomp.hpp"
+#include "math/rng.hpp"
+#include "runtime/telemetry.hpp"
+#include "sim/dataset.hpp"
+#include "sim/trajectory.hpp"
+
+using namespace edx;
+using namespace edx::bench;
+
+namespace {
+
+MatX
+randomMat(int r, int c, uint64_t seed)
+{
+    Rng rng(seed);
+    MatX m(r, c);
+    for (int i = 0; i < r; ++i)
+        for (int j = 0; j < c; ++j)
+            m(i, j) = rng.gaussian();
+    return m;
+}
+
+MatX
+randomSpd(int n, uint64_t seed)
+{
+    MatX a = randomMat(n, n, seed);
+    MatX s = gram(a);
+    for (int i = 0; i < n; ++i)
+        s(i, i) += n;
+    return s;
+}
+
+template <typename Fn>
+double
+timeMs(int iters, Fn &&fn)
+{
+    double total = 0.0;
+    for (int i = 0; i < iters; ++i) {
+        StageTimer t(total);
+        fn();
+    }
+    return total / iters;
+}
+
+std::string
+speedup(double ref_ms, double opt_ms)
+{
+    return opt_ms > 0.0 ? fmt(ref_ms / opt_ms, 2) + "x" : "-";
+}
+
+/**
+ * Steady-state synthetic VIO loop (the test_backend world): returns
+ * the mean per-frame backend ms (propagate + update) once warm.
+ */
+double
+msckfBackendMs(bool use_reference, int frames)
+{
+    Trajectory traj = Trajectory::drone(8.0, 40.0);
+    StereoRig rig = platformRig(Platform::Drone);
+    Rng rng(71);
+    std::vector<Vec3> landmarks;
+    for (int i = 0; i < 240; ++i) {
+        double ang = rng.uniform(0, 2 * M_PI);
+        double r = rng.uniform(10.0, 16.0);
+        landmarks.push_back(Vec3{r * std::cos(ang), r * std::sin(ang),
+                                 rng.uniform(0, 4)});
+    }
+    auto observe = [&](const Pose &wb, const Vec3 &lm, Vec2 &px,
+                       double &disp) {
+        Pose cw = (wb * rig.body_from_camera).inverse();
+        Vec3 pc = cw.rotation.rotate(lm) + cw.translation;
+        auto proj = rig.cam.project(pc);
+        if (!proj || !rig.cam.inImage(*proj, 8.0))
+            return false;
+        px = *proj;
+        disp = rig.disparityFromDepth(pc[2]);
+        return true;
+    };
+
+    MsckfConfig cfg;
+    cfg.use_reference = use_reference;
+    Msckf filter(rig, cfg);
+    filter.initialize(traj.poseAt(0.0), 0.0, traj.velocityAt(0.0));
+
+    const double fps = 10.0, rate = 200.0;
+    const int warm = 40;
+    std::unordered_map<int, FeatureTrack> live;
+    long next_id = 1;
+    double total = 0.0;
+    int measured = 0;
+    for (int f = 1; f <= warm + frames; ++f) {
+        std::vector<FeatureTrack> finished;
+        Pose truth = traj.poseAt(f / fps);
+        for (int li = 0; li < static_cast<int>(landmarks.size()); ++li) {
+            Vec2 px;
+            double disp;
+            bool vis = observe(truth, landmarks[li], px, disp);
+            auto it = live.find(li);
+            if (vis) {
+                if (it == live.end()) {
+                    FeatureTrack tr;
+                    tr.id = next_id++;
+                    live.emplace(li, std::move(tr));
+                    it = live.find(li);
+                }
+                TrackObservation ob;
+                ob.clone_id = f;
+                ob.pixel = px;
+                ob.disparity = disp;
+                it->second.observations.push_back(ob);
+            } else if (it != live.end()) {
+                finished.push_back(std::move(it->second));
+                live.erase(it);
+            }
+        }
+        std::vector<ImuSample> imu;
+        for (double t = (f - 1) / fps; t < f / fps - 1e-12;
+             t += 1.0 / rate)
+            imu.push_back(traj.imuTruthAt(t + 0.5 / rate));
+        filter.propagate(imu);
+        long oldest = filter.update(finished, f);
+        for (auto &[li, tr] : live) {
+            auto &obs = tr.observations;
+            obs.erase(std::remove_if(obs.begin(), obs.end(),
+                                     [&](const TrackObservation &o) {
+                                         return o.clone_id < oldest;
+                                     }),
+                      obs.end());
+        }
+        if (f > warm) {
+            total += filter.lastTiming().total();
+            ++measured;
+        }
+    }
+    return measured > 0 ? total / measured : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("backend kernels",
+           "blocked/SIMD vs retained scalar reference, MSCKF sizes");
+    const int iters = benchFrames(12);
+
+    // The MSCKF-realistic shapes: d = 195 (30 clones), compression
+    // stack ~2x the state, Kalman S at the compressed size.
+    const int d = 195, rows = 390;
+
+    Table t({"kernel", "shape", "reference ms", "optimized ms",
+             "speedup"});
+
+    {
+        MatX a = randomMat(d, d, 1), b = randomMat(d, d, 2), c;
+        double ref = timeMs(iters, [&] { gemmReference(a, b, c); });
+        double opt = timeMs(iters, [&] { gemmInto(a, b, c); });
+        t.addRow({"gemm", "195x195x195", fmt(ref, 3), fmt(opt, 3),
+                  speedup(ref, opt)});
+    }
+    {
+        MatX a = randomMat(rows, d, 3), b = randomMat(d, d, 4), c;
+        double ref = timeMs(iters,
+                            [&] { multiplyTransposedReference(a, b, c); });
+        double opt =
+            timeMs(iters, [&] { multiplyTransposedInto(a, b, c); });
+        t.addRow({"A*B^T", "390x195 * (195x195)^T", fmt(ref, 3),
+                  fmt(opt, 3), speedup(ref, opt)});
+    }
+    {
+        MatX h = randomMat(d, d, 5);
+        MatX p = randomSpd(d, 6);
+        MatX hp, s;
+        double ref = timeMs(
+            iters, [&] { symmetricSandwichReference(h, p, hp, s); });
+        double opt = timeMs(
+            iters, [&] { symmetricSandwichInto(h, p, hp, s); });
+        t.addRow({"H*P*H^T (sym)", "195x195 sandwich", fmt(ref, 3),
+                  fmt(opt, 3), speedup(ref, opt)});
+    }
+    {
+        MatX a = randomMat(rows, d, 7), b = randomMat(rows, d, 8);
+        MatX c_ref = MatX::identity(d) * 2.0, c_opt = c_ref;
+        double ref = timeMs(iters, [&] {
+            symmetricDowndateReference(a, b, c_ref);
+        });
+        double opt =
+            timeMs(iters, [&] { symmetricDowndateInto(a, b, c_opt); });
+        t.addRow({"P -= A^T*B (sym)", "390x195 downdate", fmt(ref, 3),
+                  fmt(opt, 3), speedup(ref, opt)});
+    }
+    {
+        MatX s = randomSpd(d, 9);
+        double ref = timeMs(iters, [&] { CholeskyReference chol(s); });
+        double opt = timeMs(iters, [&] { Cholesky chol(s); });
+        t.addRow({"Cholesky", "195x195", fmt(ref, 3), fmt(opt, 3),
+                  speedup(ref, opt)});
+    }
+    {
+        MatX s = randomSpd(d, 10);
+        MatX b = randomMat(d, d, 11);
+        CholeskyReference chol_ref(s);
+        Cholesky chol_opt(s);
+        double ref =
+            timeMs(iters, [&] { MatX x = chol_ref.solve(b); });
+        double opt = timeMs(iters, [&] {
+            MatX x = b;
+            chol_opt.solveInPlace(x);
+        });
+        t.addRow({"chol solve", "195 x 195 RHS", fmt(ref, 3),
+                  fmt(opt, 3), speedup(ref, opt)});
+    }
+    {
+        MatX a = randomMat(rows, d, 12);
+        double ref =
+            timeMs(iters, [&] { HouseholderQRReference qr(a); });
+        double opt = timeMs(iters, [&] { HouseholderQR qr(a); });
+        t.addRow({"Householder QR", "390x195", fmt(ref, 3), fmt(opt, 3),
+                  speedup(ref, opt)});
+    }
+    t.print();
+
+    // --- end-to-end MSCKF backend ----------------------------------------
+    std::cout << "\n";
+    Table e({"MSCKF backend path", "ms/frame (steady state)"});
+    const int frames = benchFrames(40);
+    const double be_ref = msckfBackendMs(true, frames);
+    const double be_opt = msckfBackendMs(false, frames);
+    e.addRow({"reference kernels", fmt(be_ref, 2)});
+    e.addRow({"optimized workspace", fmt(be_opt, 2)});
+    e.addRow({"speedup", speedup(be_ref, be_opt)});
+    e.print();
+    note("steady state = clone window full (30 clones, d = 201); the "
+         "optimized path is additionally zero-heap-alloc "
+         "(test-enforced in tests/test_backend.cpp)");
+
+    if (const char *ceiling = std::getenv("EDX_BACKEND_MS_CEILING")) {
+        const double limit = std::atof(ceiling);
+        if (limit > 0.0 && be_opt > limit) {
+            std::cerr << "PERF REGRESSION: optimized MSCKF backend "
+                      << be_opt << " ms/frame exceeds ceiling " << limit
+                      << " ms\n";
+            return 1;
+        }
+        std::cout << "\nperf smoke: " << be_opt << " ms/frame <= "
+                  << limit << " ms ceiling\n";
+    }
+    return 0;
+}

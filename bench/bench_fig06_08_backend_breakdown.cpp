@@ -37,7 +37,31 @@ printBreakdown(const std::string &title,
     }
     t.print();
     note(paper_note);
-    std::cout << "\n";
+}
+
+/**
+ * Re-runs @p cfg with the retained reference kernels and prints the
+ * before/after software-backend row (the overhaul's tracked speedup,
+ * like fig20 does for the frontend).
+ */
+void
+printBeforeAfter(const RunConfig &cfg, const ModeRun &opt_run)
+{
+    RunConfig ref_cfg = cfg;
+    auto base_tune = cfg.tune;
+    ref_cfg.tune = [base_tune](LocalizerConfig &lc) {
+        if (base_tune)
+            base_tune(lc);
+        lc.msckf.use_reference = true;
+        lc.mapping.use_reference = true;
+        lc.tracking.use_reference = true;
+    };
+    ModeRun ref_run = runLocalization(ref_cfg);
+    const double ref_ms = mean(ref_run.backendMs());
+    const double opt_ms = mean(opt_run.backendMs());
+    std::cout << "  software backend before/after the overhaul: "
+              << fmt(ref_ms, 2) << " -> " << fmt(opt_ms, 2) << " ms ("
+              << fmt(opt_ms > 0 ? ref_ms / opt_ms : 0.0, 2) << "x)\n\n";
 }
 
 } // namespace
@@ -66,6 +90,7 @@ main()
                        {"Update", "Projection", "Match", "PoseOpt"}, s,
                        "Paper: Projection is the biggest contributor "
                        "and drives the variation.");
+        printBeforeAfter(cfg, run);
     }
 
     { // Fig. 7: VIO backend.
@@ -89,6 +114,7 @@ main()
             s,
             "Paper: Kalman gain is the biggest contributor (~33% of "
             "VIO backend) and drives the variation.");
+        printBeforeAfter(cfg, run);
     }
 
     { // Fig. 8: SLAM backend.
@@ -108,6 +134,7 @@ main()
                        s,
                        "Paper: the Solver dominates the mean; "
                        "Marginalization dominates the variation.");
+        printBeforeAfter(cfg, run);
     }
     return 0;
 }

@@ -8,6 +8,13 @@
  * (projection kernel itself -95.3%), VIO backend -16.3% (Kalman gain
  * 2.0x), SLAM backend -30.2% (marginalization 2.4x); SD drops in every
  * mode (e.g., 9.6 -> 4.0 ms registration, 21.4 -> 10.9 ms SLAM).
+ *
+ * Since the backend linear-algebra overhaul the software baseline is
+ * reported before and after (retained reference kernels vs the
+ * blocked/SIMD workspace path), like fig20 does for the frontend, so
+ * the accelerator speedup is measured against an honestly optimized
+ * software backend. A dense-keyframing SLAM row tracks the
+ * backend-bound showcase the ROADMAP calls out.
  */
 #include <iostream>
 
@@ -21,30 +28,62 @@ using namespace edx::bench;
 
 namespace {
 
+struct Case
+{
+    std::string name;
+    SceneType scene;
+    BackendMode mode;
+    std::function<void(LocalizerConfig &)> tune;
+};
+
+void
+useReferenceBackend(LocalizerConfig &lc)
+{
+    lc.msckf.use_reference = true;
+    lc.mapping.use_reference = true;
+    lc.tracking.use_reference = true;
+}
+
 void
 platformReport(Platform platform, const AcceleratorConfig &acfg)
 {
     const int frames =
         benchFrames(platform == Platform::Car ? 60 : 150);
-    const std::vector<std::pair<SceneType, BackendMode>> cases = {
-        {SceneType::IndoorKnown, BackendMode::Registration},
-        {SceneType::OutdoorUnknown, BackendMode::Vio},
-        {SceneType::IndoorUnknown, BackendMode::Slam},
+    const std::vector<Case> cases = {
+        {"registration", SceneType::IndoorKnown,
+         BackendMode::Registration, nullptr},
+        {"vio", SceneType::OutdoorUnknown, BackendMode::Vio, nullptr},
+        {"slam", SceneType::IndoorUnknown, BackendMode::Slam, nullptr},
+        {"slam (dense KF)", SceneType::IndoorUnknown, BackendMode::Slam,
+         [](LocalizerConfig &lc) {
+             lc.mapping.keyframe_interval = 1;
+             lc.mapping.window_size = 16;
+         }},
     };
 
     std::cout << acfg.name << "\n";
-    Table t({"mode", "base BE ms", "edx BE ms", "BE cut %", "kernel x",
-             "base SD", "edx SD"});
-    for (const auto &[scene, mode] : cases) {
+    Table t({"mode", "sw BE ref", "sw BE opt", "sw x", "edx BE ms",
+             "BE cut %", "kernel x", "ref SD", "opt SD", "edx SD"});
+    for (const Case &c : cases) {
         RunConfig cfg;
-        cfg.scene = scene;
+        cfg.scene = c.scene;
         cfg.platform = platform;
         cfg.frames = frames;
-        cfg.force_mode = mode;
+        cfg.force_mode = c.mode;
+        cfg.tune = c.tune;
         SystemRun sys = modelSystem(runLocalization(cfg), acfg);
 
-        std::vector<double> base = sys.baseBackends();
+        RunConfig ref_cfg = cfg;
+        ref_cfg.tune = [&](LocalizerConfig &lc) {
+            if (c.tune)
+                c.tune(lc);
+            useReferenceBackend(lc);
+        };
+        ModeRun ref_run = runLocalization(ref_cfg);
+
+        std::vector<double> opt = sys.baseBackends();
         std::vector<double> acc = sys.accBackends();
+        std::vector<double> ref = ref_run.backendMs();
 
         // Kernel-only speedup over the offloaded frames.
         double k_cpu = 0.0, k_acc = 0.0;
@@ -54,12 +93,18 @@ platformReport(Platform platform, const AcceleratorConfig &acfg)
                 k_acc += f.kernel_accel_ms;
             }
         }
-        t.addRow({modeName(mode), fmt(mean(base), 2), fmt(mean(acc), 2),
-                  fmt(100.0 * (1.0 - mean(acc) / mean(base)), 1),
+        t.addRow({c.name, fmt(mean(ref), 2), fmt(mean(opt), 2),
+                  fmt(mean(ref) / mean(opt), 2) + "x", fmt(mean(acc), 2),
+                  fmt(100.0 * (1.0 - mean(acc) / mean(opt)), 1),
                   k_acc > 0 ? fmt(k_cpu / k_acc, 1) + "x" : "-",
-                  fmt(stddev(base), 2), fmt(stddev(acc), 2)});
+                  fmt(stddev(ref), 2), fmt(stddev(opt), 2),
+                  fmt(stddev(acc), 2)});
     }
     t.print();
+    note("sw BE ref/opt = software backend before/after the "
+         "linear-algebra overhaul (1 core); edx = accelerated path "
+         "modeled over the optimized software run.");
+    std::cout << "\n";
 }
 
 } // namespace
@@ -72,6 +117,8 @@ main()
     platformReport(Platform::Drone, AcceleratorConfig::drone());
     note("Paper claims (car): backend latency cut 16-49% per mode; "
          "kernels accelerate 2.0-2.4x (projection ~20x); SD drops in "
-         "every mode.");
+         "every mode. The dense-keyframing SLAM row is the ROADMAP's "
+         "backend-bound showcase: the software overhaul alone must "
+         "deliver >= 2x there (acceptance-tracked).");
     return 0;
 }

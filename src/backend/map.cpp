@@ -1,8 +1,16 @@
 #include "backend/map.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace edx {
+
+uint64_t
+Map::nextUid()
+{
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 int
 Map::addPoint(const MapPoint &p)

@@ -10,6 +10,7 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,6 +51,32 @@ struct PlaceMatch
 class Map
 {
   public:
+    Map() = default;
+    // Copies/moves keep the default member semantics but mint a fresh
+    // uid for the destination (a distinct object is a distinct cache
+    // identity; uid_ is set by its member initializer in every
+    // constructor below).
+    Map(const Map &o) : points_(o.points_), keyframes_(o.keyframes_) {}
+    Map(Map &&o) noexcept
+        : points_(std::move(o.points_)),
+          keyframes_(std::move(o.keyframes_))
+    {
+    }
+    Map &
+    operator=(Map o) noexcept
+    {
+        points_ = std::move(o.points_);
+        keyframes_ = std::move(o.keyframes_);
+        return *this;
+    }
+
+    /**
+     * Process-unique identity of this Map object (never reused, unlike
+     * its address) — the cache key of the SolveHub's static-map
+     * projection cache.
+     */
+    uint64_t uid() const { return uid_; }
+
     int addPoint(const MapPoint &p);
     int addKeyframe(Keyframe kf); //!< assigns and returns the keyframe id
 
@@ -82,6 +109,9 @@ class Map
     static std::optional<Map> load(const std::string &path);
 
   private:
+    static uint64_t nextUid();
+
+    uint64_t uid_ = nextUid();
     std::vector<MapPoint> points_;
     std::vector<Keyframe> keyframes_;
 };

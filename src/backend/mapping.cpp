@@ -6,6 +6,7 @@
 
 #include "features/matcher.hpp"
 #include "math/decomp.hpp"
+#include "runtime/solve_hub.hpp"
 #include "runtime/telemetry.hpp"
 
 namespace edx {
@@ -246,10 +247,29 @@ Mapper::localBundleAdjustment(MappingTiming &timing,
     double lambda = 1e-3;
     double cost = evalCost();
 
+    // Block-sparse W storage of the optimized Schur path: each
+    // landmark keeps only the 6x3 coupling blocks of the poses that
+    // actually observe it (the dense Hpl of the reference path is
+    // almost entirely structural zeros).
+    struct WBlock
+    {
+        int pose_slot;
+        Mat<6, 3> w;
+    };
+    std::vector<std::vector<WBlock>> lm_blocks;
+    std::vector<Mat<6, 3>> tbuf;
+    if (!cfg_.use_reference)
+        lm_blocks.resize(nl);
+
     for (int it = 0; it < cfg_.lm_iterations; ++it) {
         // Build the normal equations in Schur form.
         MatX hpp(6 * np, 6 * np);
-        MatX hpl(6 * np, 3 * nl);
+        MatX hpl;
+        if (cfg_.use_reference)
+            hpl = MatX(6 * np, 3 * nl);
+        else
+            for (auto &blocks : lm_blocks)
+                blocks.clear();
         std::vector<Mat3> hll(nl);
         VecX bp(6 * np), bl(3 * nl);
 
@@ -283,10 +303,29 @@ Mapper::localBundleAdjustment(MappingTiming &timing,
                                  lin.j_pose(1, a) * lin.j_pose(1, b));
                     bp[pc + a] += w * (lin.j_pose(0, a) * lin.r[0] +
                                        lin.j_pose(1, a) * lin.r[1]);
+                }
+                Mat<6, 3> wblk;
+                for (int a = 0; a < 6; ++a)
                     for (int b = 0; b < 3; ++b)
-                        hpl(pc + a, 3 * o.lm_slot + b) +=
+                        wblk(a, b) =
                             w * (lin.j_pose(0, a) * lin.j_lm(0, b) +
                                  lin.j_pose(1, a) * lin.j_lm(1, b));
+                if (cfg_.use_reference) {
+                    for (int a = 0; a < 6; ++a)
+                        for (int b = 0; b < 3; ++b)
+                            hpl(pc + a, 3 * o.lm_slot + b) += wblk(a, b);
+                } else {
+                    auto &blocks = lm_blocks[o.lm_slot];
+                    bool merged = false;
+                    for (WBlock &e : blocks) {
+                        if (e.pose_slot == o.pose_slot) {
+                            e.w += wblk;
+                            merged = true;
+                            break;
+                        }
+                    }
+                    if (!merged)
+                        blocks.push_back({o.pose_slot, wblk});
                 }
             }
         }
@@ -327,36 +366,71 @@ Mapper::localBundleAdjustment(MappingTiming &timing,
 
         MatX s = hpp;
         VecX rhs = bp;
-        // Accumulate - Hpl Hll^-1 Hlp block-column by block-column.
-        for (int l = 0; l < nl; ++l) {
-            // W = Hpl(:, l) (6np x 3), T = W * Hll_inv[l].
-            for (int i = 0; i < 6 * np; ++i) {
-                double w0 = hpl(i, 3 * l);
-                double w1 = hpl(i, 3 * l + 1);
-                double w2 = hpl(i, 3 * l + 2);
-                if (w0 == 0.0 && w1 == 0.0 && w2 == 0.0)
-                    continue;
-                double t0c = w0 * hll_inv[l](0, 0) +
-                             w1 * hll_inv[l](1, 0) +
-                             w2 * hll_inv[l](2, 0);
-                double t1c = w0 * hll_inv[l](0, 1) +
-                             w1 * hll_inv[l](1, 1) +
-                             w2 * hll_inv[l](2, 1);
-                double t2c = w0 * hll_inv[l](0, 2) +
-                             w1 * hll_inv[l](1, 2) +
-                             w2 * hll_inv[l](2, 2);
-                rhs[i] -= t0c * bl[3 * l] + t1c * bl[3 * l + 1] +
-                          t2c * bl[3 * l + 2];
-                for (int j = 0; j < 6 * np; ++j) {
-                    double v = t0c * hpl(j, 3 * l) +
-                               t1c * hpl(j, 3 * l + 1) +
-                               t2c * hpl(j, 3 * l + 2);
-                    if (v != 0.0)
-                        s(i, j) -= v;
+        if (cfg_.use_reference) {
+            // Dense path (pre-overhaul): walk every row of Hpl per
+            // landmark, relying on zero-skips.
+            for (int l = 0; l < nl; ++l) {
+                for (int i = 0; i < 6 * np; ++i) {
+                    double w0 = hpl(i, 3 * l);
+                    double w1 = hpl(i, 3 * l + 1);
+                    double w2 = hpl(i, 3 * l + 2);
+                    if (w0 == 0.0 && w1 == 0.0 && w2 == 0.0)
+                        continue;
+                    double t0c = w0 * hll_inv[l](0, 0) +
+                                 w1 * hll_inv[l](1, 0) +
+                                 w2 * hll_inv[l](2, 0);
+                    double t1c = w0 * hll_inv[l](0, 1) +
+                                 w1 * hll_inv[l](1, 1) +
+                                 w2 * hll_inv[l](2, 1);
+                    double t2c = w0 * hll_inv[l](0, 2) +
+                                 w1 * hll_inv[l](1, 2) +
+                                 w2 * hll_inv[l](2, 2);
+                    rhs[i] -= t0c * bl[3 * l] + t1c * bl[3 * l + 1] +
+                              t2c * bl[3 * l + 2];
+                    for (int j = 0; j < 6 * np; ++j) {
+                        double v = t0c * hpl(j, 3 * l) +
+                                   t1c * hpl(j, 3 * l + 1) +
+                                   t2c * hpl(j, 3 * l + 2);
+                        if (v != 0.0)
+                            s(i, j) -= v;
+                    }
                 }
             }
+            s.makeSymmetric();
+        } else {
+            // Block-sparse path: per landmark, only the observing pose
+            // pairs contribute — 6x6 dense blocks into the lower
+            // triangle, mirrored once at the end (the J·P·Jᵀ-style
+            // triangle-only contract of the backend overhaul).
+            for (int l = 0; l < nl; ++l) {
+                const auto &blocks = lm_blocks[l];
+                if (blocks.empty())
+                    continue;
+                const Mat3 &inv = hll_inv[l];
+                const Vec3 bl_l{bl[3 * l], bl[3 * l + 1],
+                                bl[3 * l + 2]};
+                tbuf.resize(blocks.size());
+                for (size_t e = 0; e < blocks.size(); ++e)
+                    tbuf[e] = blocks[e].w * inv;
+                for (size_t a = 0; a < blocks.size(); ++a) {
+                    const int pa = blocks[a].pose_slot;
+                    const Vec<6> rv = tbuf[a] * bl_l;
+                    for (int k = 0; k < 6; ++k)
+                        rhs[6 * pa + k] -= rv[k];
+                    for (size_t b = 0; b < blocks.size(); ++b) {
+                        const int pb = blocks[b].pose_slot;
+                        if (pa < pb)
+                            continue; // lower triangle only
+                        const Mat<3, 6> wbt = blocks[b].w.transpose();
+                        const Mat<6, 6> m = tbuf[a] * wbt;
+                        for (int x = 0; x < 6; ++x)
+                            for (int y = 0; y < 6; ++y)
+                                s(6 * pa + x, 6 * pb + y) -= m(x, y);
+                    }
+                }
+            }
+            s.mirrorLowerToUpper();
         }
-        s.makeSymmetric();
 
         auto dp = solveSpd(s, rhs * -1.0);
         if (!dp) {
@@ -368,13 +442,23 @@ Mapper::localBundleAdjustment(MappingTiming &timing,
         std::vector<Vec3> dl(nl);
         for (int l = 0; l < nl; ++l) {
             Vec3 acc{-bl[3 * l], -bl[3 * l + 1], -bl[3 * l + 2]};
-            for (int i = 0; i < 6 * np; ++i) {
-                double d = (*dp)[i];
-                if (d == 0.0)
-                    continue;
-                acc[0] -= hpl(i, 3 * l) * d;
-                acc[1] -= hpl(i, 3 * l + 1) * d;
-                acc[2] -= hpl(i, 3 * l + 2) * d;
+            if (cfg_.use_reference) {
+                for (int i = 0; i < 6 * np; ++i) {
+                    double d = (*dp)[i];
+                    if (d == 0.0)
+                        continue;
+                    acc[0] -= hpl(i, 3 * l) * d;
+                    acc[1] -= hpl(i, 3 * l + 1) * d;
+                    acc[2] -= hpl(i, 3 * l + 2) * d;
+                }
+            } else {
+                for (const WBlock &e : lm_blocks[l]) {
+                    Vec<6> dp_seg;
+                    for (int k = 0; k < 6; ++k)
+                        dp_seg[k] = (*dp)[6 * e.pose_slot + k];
+                    const Vec3 c = e.w.transpose() * dp_seg;
+                    acc -= c;
+                }
             }
             dl[l] = hll_inv[l] * acc;
         }
@@ -434,62 +518,187 @@ Mapper::marginalizeOldest(MappingTiming &timing, MappingWorkload &workload)
     const int nm = static_cast<int>(marg_lms.size());
     workload.marginalized_landmarks = nm;
 
-    const int m_dim = 3 * nm + 6; // landmarks + old pose
-    const int r_dim = 6;          // next-oldest pose
-    MatX a(m_dim + r_dim, m_dim + r_dim);
-    VecX b(m_dim + r_dim);
+    if (nm > 0 && !cfg_.use_reference) {
+        // Structure-exploiting elimination (the specialized inversion
+        // hardware of Sec. VI-A: "diagonal reciprocals" for the
+        // landmark block plus a dense 6x6 core). The system over
+        // {landmarks l, old pose m, next pose r} is accumulated in
+        // compact blocks — no (3nm+12)^2 dense matrix — and reduced in
+        // two stages:
+        //   1. per-landmark 3x3 eliminations (linear in nm),
+        //   2. a single dense 6x6 solve for the old pose, batched
+        //      across sessions through the hub when one is attached.
+        std::vector<Mat3> hll(nm, Mat3::zero());
+        std::vector<Vec3> bl(nm, Vec3::zero());
+        std::vector<Mat36> blm(nm, Mat36::zero()); // l x old pose
+        std::vector<Mat36> blr(nm, Mat36::zero()); // l x next pose
+        Mat<6, 6> dmm = Mat<6, 6>::zero();         // old pose block
+        Mat<6, 6> arr = Mat<6, 6>::zero();         // next pose block
+        Vec<6> bm6 = Vec<6>::zero(), br6 = Vec<6>::zero();
 
-    // Accumulate residuals of the marginalized landmarks observed by
-    // either the old or the next-oldest keyframe.
-    auto accumulate = [&](int kf_id, int pose_col) {
-        const Keyframe &kf = map_.keyframes()[kf_id];
-        for (int lm : marg_lms) {
-            for (const LandmarkObs &o : observations_[lm]) {
-                if (o.keyframe_id != kf_id)
-                    continue;
-                const KeyPoint &kp = kf.keypoints[o.keypoint_index];
-                ObsLinearization lin = linearizeObs(
-                    kf.pose, map_.points()[lm].position,
-                    Vec2{kp.x, kp.y}, rig_, cfg_.huber_px);
-                if (!lin.valid)
-                    continue;
-                const double w = lin.weight /
-                                 (cfg_.pixel_sigma * cfg_.pixel_sigma);
-                const int lc = 3 * lm_slot[lm];
-                for (int x = 0; x < 3; ++x) {
-                    for (int y = 0; y < 3; ++y)
-                        a(lc + x, lc + y) +=
-                            w * (lin.j_lm(0, x) * lin.j_lm(0, y) +
-                                 lin.j_lm(1, x) * lin.j_lm(1, y));
-                    b[lc + x] += w * (lin.j_lm(0, x) * lin.r[0] +
-                                      lin.j_lm(1, x) * lin.r[1]);
-                    for (int y = 0; y < 6; ++y) {
-                        double v =
-                            w * (lin.j_lm(0, x) * lin.j_pose(0, y) +
-                                 lin.j_lm(1, x) * lin.j_pose(1, y));
-                        a(lc + x, pose_col + y) += v;
-                        a(pose_col + y, lc + x) += v;
+        auto accumulate = [&](int kf_id, bool old_pose) {
+            const Keyframe &kf = map_.keyframes()[kf_id];
+            for (int lm : marg_lms) {
+                for (const LandmarkObs &o : observations_[lm]) {
+                    if (o.keyframe_id != kf_id)
+                        continue;
+                    const KeyPoint &kp = kf.keypoints[o.keypoint_index];
+                    ObsLinearization lin = linearizeObs(
+                        kf.pose, map_.points()[lm].position,
+                        Vec2{kp.x, kp.y}, rig_, cfg_.huber_px);
+                    if (!lin.valid)
+                        continue;
+                    const double w =
+                        lin.weight /
+                        (cfg_.pixel_sigma * cfg_.pixel_sigma);
+                    const int l = lm_slot[lm];
+                    for (int x = 0; x < 3; ++x) {
+                        for (int y = 0; y < 3; ++y)
+                            hll[l](x, y) +=
+                                w * (lin.j_lm(0, x) * lin.j_lm(0, y) +
+                                     lin.j_lm(1, x) * lin.j_lm(1, y));
+                        bl[l][x] += w * (lin.j_lm(0, x) * lin.r[0] +
+                                         lin.j_lm(1, x) * lin.r[1]);
+                        for (int y = 0; y < 6; ++y) {
+                            double v =
+                                w * (lin.j_lm(0, x) * lin.j_pose(0, y) +
+                                     lin.j_lm(1, x) * lin.j_pose(1, y));
+                            (old_pose ? blm : blr)[l](x, y) += v;
+                        }
+                    }
+                    Mat<6, 6> &pp = old_pose ? dmm : arr;
+                    Vec<6> &pb = old_pose ? bm6 : br6;
+                    for (int x = 0; x < 6; ++x) {
+                        for (int y = 0; y < 6; ++y)
+                            pp(x, y) +=
+                                w * (lin.j_pose(0, x) * lin.j_pose(0, y) +
+                                     lin.j_pose(1, x) * lin.j_pose(1, y));
+                        pb[x] += w * (lin.j_pose(0, x) * lin.r[0] +
+                                      lin.j_pose(1, x) * lin.r[1]);
                     }
                 }
-                for (int x = 0; x < 6; ++x) {
-                    for (int y = 0; y < 6; ++y)
-                        a(pose_col + x, pose_col + y) +=
-                            w * (lin.j_pose(0, x) * lin.j_pose(0, y) +
-                                 lin.j_pose(1, x) * lin.j_pose(1, y));
-                    b[pose_col + x] += w * (lin.j_pose(0, x) * lin.r[0] +
-                                            lin.j_pose(1, x) * lin.r[1]);
-                }
+            }
+        };
+        accumulate(old_kf, true);
+        accumulate(next_kf, false);
+
+        // Stage 1: eliminate the landmark block (Tikhonov-guarded,
+        // matching the dense path's diagonal guard).
+        Mat<6, 6> dmr = Mat<6, 6>::zero(); // old-next coupling (fill-in)
+        for (int l = 0; l < nm; ++l) {
+            Mat3 g = hll[l];
+            for (int x = 0; x < 3; ++x)
+                g(x, x) += 1e-6;
+            if (std::abs(det(g)) < 1e-24)
+                continue; // zero-information landmark: nothing to add
+            const Mat3 ginv = inverse(g);
+            const Mat36 t_m = ginv * blm[l]; // 3x6
+            const Mat36 t_r = ginv * blr[l];
+            dmm += blm[l].transpose() * t_m * -1.0;
+            dmr += blm[l].transpose() * t_r * -1.0;
+            arr += blr[l].transpose() * t_r * -1.0;
+            const Vec3 gb = ginv * bl[l];
+            bm6 += blm[l].transpose() * gb * -1.0;
+            br6 += blr[l].transpose() * gb * -1.0;
+        }
+        for (int x = 0; x < 6; ++x)
+            dmm(x, x) += 1e-6;
+
+        // Stage 2: eliminate the old pose through the dense 6x6 core.
+        // Combined RHS [D_mr | b_m]; routed through the hub so
+        // concurrent sessions' marginalizations execute as one batch.
+        MatX mm(6, 6), rhs(6, 7);
+        for (int x = 0; x < 6; ++x) {
+            for (int y = 0; y < 6; ++y) {
+                mm(x, y) = dmm(x, y);
+                rhs(x, y) = dmr(x, y);
+            }
+            rhs(x, 6) = bm6[x];
+        }
+        MatX sol;
+        bool solved = false;
+        if (hub_) {
+            solved = hub_->luSolve(mm, rhs, sol);
+        } else {
+            PartialPivLU lu(mm);
+            if (lu.ok()) {
+                lu.solveInto(rhs, sol);
+                solved = true;
             }
         }
-    };
-    accumulate(old_kf, 3 * nm);          // old pose: inside Amm
-    accumulate(next_kf, 3 * nm + 6);     // next pose: the remaining state
+        if (solved) {
+            // prior = A_rr' - D_mr^T D_mm'^-1 [D_mr | b_m].
+            MatX h_new(6, 6);
+            VecX b_new(6);
+            for (int x = 0; x < 6; ++x) {
+                for (int y = 0; y < 6; ++y) {
+                    double acc = arr(x, y);
+                    for (int k = 0; k < 6; ++k)
+                        acc -= dmr(k, x) * sol(k, y);
+                    h_new(x, y) = acc;
+                }
+                double acc = br6[x];
+                for (int k = 0; k < 6; ++k)
+                    acc -= dmr(k, x) * sol(k, 6);
+                b_new[x] = acc;
+            }
+            prior_kf_ = next_kf;
+            prior_h_ = h_new;
+            prior_b_ = b_new;
+        }
+    } else if (nm > 0) {
+        // Reference path (pre-overhaul): dense Amm assembly + LU.
+        const int m_dim = 3 * nm + 6; // landmarks + old pose
+        const int r_dim = 6;          // next-oldest pose
+        MatX a(m_dim + r_dim, m_dim + r_dim);
+        VecX b(m_dim + r_dim);
 
-    if (nm > 0) {
-        // Amm^-1 exploiting the diagonal(A)+dense(6x6 D) structure.
-        // Note: the landmark block is 3x3-block-diagonal rather than
-        // strictly diagonal; we conservatively use dense LU on Amm when
-        // the specialized inverse fails.
+        auto accumulate = [&](int kf_id, int pose_col) {
+            const Keyframe &kf = map_.keyframes()[kf_id];
+            for (int lm : marg_lms) {
+                for (const LandmarkObs &o : observations_[lm]) {
+                    if (o.keyframe_id != kf_id)
+                        continue;
+                    const KeyPoint &kp = kf.keypoints[o.keypoint_index];
+                    ObsLinearization lin = linearizeObs(
+                        kf.pose, map_.points()[lm].position,
+                        Vec2{kp.x, kp.y}, rig_, cfg_.huber_px);
+                    if (!lin.valid)
+                        continue;
+                    const double w =
+                        lin.weight /
+                        (cfg_.pixel_sigma * cfg_.pixel_sigma);
+                    const int lc = 3 * lm_slot[lm];
+                    for (int x = 0; x < 3; ++x) {
+                        for (int y = 0; y < 3; ++y)
+                            a(lc + x, lc + y) +=
+                                w * (lin.j_lm(0, x) * lin.j_lm(0, y) +
+                                     lin.j_lm(1, x) * lin.j_lm(1, y));
+                        b[lc + x] += w * (lin.j_lm(0, x) * lin.r[0] +
+                                          lin.j_lm(1, x) * lin.r[1]);
+                        for (int y = 0; y < 6; ++y) {
+                            double v =
+                                w * (lin.j_lm(0, x) * lin.j_pose(0, y) +
+                                     lin.j_lm(1, x) * lin.j_pose(1, y));
+                            a(lc + x, pose_col + y) += v;
+                            a(pose_col + y, lc + x) += v;
+                        }
+                    }
+                    for (int x = 0; x < 6; ++x) {
+                        for (int y = 0; y < 6; ++y)
+                            a(pose_col + x, pose_col + y) +=
+                                w * (lin.j_pose(0, x) * lin.j_pose(0, y) +
+                                     lin.j_pose(1, x) * lin.j_pose(1, y));
+                        b[pose_col + x] +=
+                            w * (lin.j_pose(0, x) * lin.r[0] +
+                                 lin.j_pose(1, x) * lin.r[1]);
+                    }
+                }
+            }
+        };
+        accumulate(old_kf, 3 * nm);      // old pose: inside Amm
+        accumulate(next_kf, 3 * nm + 6); // next pose: remaining state
+
         MatX amm = a.block(0, 0, m_dim, m_dim);
         MatX amr = a.block(0, m_dim, m_dim, r_dim);
         MatX arr = a.block(m_dim, m_dim, r_dim, r_dim);

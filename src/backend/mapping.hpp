@@ -36,6 +36,8 @@
 
 namespace edx {
 
+class SolveHub;
+
 /** Mapper settings. */
 struct MappingConfig
 {
@@ -49,6 +51,13 @@ struct MappingConfig
     double loop_min_score = 0.04;
     int loop_min_gap = 25;       //!< keyframes between loop candidates
     int loop_min_matches = 15;
+
+    /**
+     * Routes the local-BA Schur complement and marginalization through
+     * the retained scalar reference kernels and the pre-overhaul dense
+     * Hpl flow (the "before" baseline of the backend figure benches).
+     */
+    bool use_reference = false;
 };
 
 /** Wall-clock latency of the SLAM kernels, ms (Fig. 8 categories). */
@@ -104,6 +113,12 @@ class Mapper
     int keyframesInserted() const { return frames_as_keyframes_; }
     int loopClosures() const { return loop_closures_; }
 
+    /**
+     * Routes the marginalization solve through a cross-session
+     * batching hub (bit-identical to the direct path; null = direct).
+     */
+    void setSolveHub(SolveHub *hub) { hub_ = hub; }
+
   private:
     struct LandmarkObs
     {
@@ -128,6 +143,7 @@ class Mapper
     StereoRig rig_;
     const Vocabulary *voc_;
     MappingConfig cfg_;
+    SolveHub *hub_ = nullptr;
 
     Map map_;
     std::vector<int> window_; //!< keyframe ids, oldest first

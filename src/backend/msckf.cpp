@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "math/blas.hpp"
 #include "math/decomp.hpp"
+#include "runtime/solve_hub.hpp"
 #include "runtime/telemetry.hpp"
 
 namespace edx {
@@ -24,8 +27,13 @@ Msckf::initialize(const Pose &world_from_body, double t,
     ba_ = Vec3::zero();
     t_ = t;
     clones_.clear();
+    clones_.reserve(static_cast<size_t>(cfg_.max_clones) + 2);
 
-    cov_ = MatX(15, 15);
+    // Reserve the covariance at its steady-state extent so the
+    // augment/marginalize cycle repacks in place from the first frame.
+    const int d_max = 15 + 6 * (cfg_.max_clones + 1);
+    cov_.reserve(d_max, d_max);
+    cov_.resize(15, 15);
     // Initial uncertainty: small attitude/pose (we start from a known
     // reference), moderate velocity and bias uncertainty so the first
     // camera updates can correct initialization error.
@@ -36,6 +44,7 @@ Msckf::initialize(const Pose &world_from_body, double t,
         cov_(9 + i, 9 + i) = 1e-2;    // ba
         cov_(12 + i, 12 + i) = 1e-6;  // p
     }
+    allocation_events_ = 0;
     initialized_ = true;
 }
 
@@ -60,7 +69,10 @@ Msckf::propagateOne(const ImuSample &s, double dt)
     // This keeps per-sample propagation O(15^2 * d) instead of O(d^3),
     // as deployed MSCKF implementations do.
     const int d = stateDim();
-    MatX a_imu = MatX::identity(15);
+    MatX &a_imu = ws_.a_imu;
+    a_imu.setZero();
+    for (int i = 0; i < 15; ++i)
+        a_imu(i, i) = 1.0;
     const Mat3 exp_neg = Quat::exp(w * (-dt)).toRotationMatrix();
     a_imu.setFixedBlock<3, 3>(0, 0, exp_neg);
     a_imu.setFixedBlock<3, 3>(0, 3, Mat3::identity() * (-dt));
@@ -69,28 +81,83 @@ Msckf::propagateOne(const ImuSample &s, double dt)
     a_imu.setFixedBlock<3, 3>(12, 6, Mat3::identity() * dt);
 
     // Discrete process noise (only on the 15 IMU-error states).
-    MatX q = MatX(15, 15);
     const double qg = cfg_.gyro_sigma * cfg_.gyro_sigma * dt;
     const double qbg = cfg_.gyro_bias_sigma * cfg_.gyro_bias_sigma * dt;
     const double qa = cfg_.accel_sigma * cfg_.accel_sigma * dt;
     const double qba = cfg_.accel_bias_sigma * cfg_.accel_bias_sigma * dt;
-    for (int i = 0; i < 3; ++i) {
-        q(i, i) = qg;
-        q(3 + i, 3 + i) = qbg;
-        q(6 + i, 6 + i) = qa;
-        q(9 + i, 9 + i) = qba;
-        q(12 + i, 12 + i) = qa * dt * dt; // position noise via velocity
-    }
 
-    MatX p_ii = cov_.block(0, 0, 15, 15);
-    cov_.setBlock(0, 0, a_imu * p_ii * a_imu.transpose() + q);
-    if (d > 15) {
-        MatX p_ic = cov_.block(0, 15, 15, d - 15);
-        MatX new_ic = a_imu * p_ic;
-        cov_.setBlock(0, 15, new_ic);
-        cov_.setBlock(15, 0, new_ic.transpose());
+    if (cfg_.use_reference) {
+        // Pre-overhaul path: allocating block ops, full symmetrize.
+        MatX q = MatX(15, 15);
+        for (int i = 0; i < 3; ++i) {
+            q(i, i) = qg;
+            q(3 + i, 3 + i) = qbg;
+            q(6 + i, 6 + i) = qa;
+            q(9 + i, 9 + i) = qba;
+            q(12 + i, 12 + i) = qa * dt * dt;
+        }
+        MatX p_ii = cov_.block(0, 0, 15, 15);
+        MatX ap;
+        gemmReference(a_imu, p_ii, ap);
+        MatX at = a_imu.transpose();
+        MatX apat;
+        gemmReference(ap, at, apat);
+        cov_.setBlock(0, 0, apat + q);
+        if (d > 15) {
+            MatX p_ic = cov_.block(0, 15, 15, d - 15);
+            MatX new_ic;
+            gemmReference(a_imu, p_ic, new_ic);
+            cov_.setBlock(0, 15, new_ic);
+            cov_.setBlock(15, 0, new_ic.transpose());
+        }
+        cov_.makeSymmetric();
+    } else {
+        // Workspace path: the IMU block goes through the symmetric
+        // sandwich (exact-symmetric by construction), the cross strip
+        // through one GEMM with an in-place transpose mirror. The
+        // covariance stays exactly symmetric, so the former per-sample
+        // O(d^2) makeSymmetric() pass is gone.
+        for (int i = 0; i < 15; ++i) {
+            const double *src = cov_.data() + static_cast<size_t>(i) * d;
+            double *dst = ws_.p_ii.data() + static_cast<size_t>(i) * 15;
+            std::memcpy(dst, src, sizeof(double) * 15);
+        }
+        symmetricSandwichInto(a_imu, ws_.p_ii, ws_.ap, ws_.s_ii);
+        for (int i = 0; i < 3; ++i) {
+            ws_.s_ii(i, i) += qg;
+            ws_.s_ii(3 + i, 3 + i) += qbg;
+            ws_.s_ii(6 + i, 6 + i) += qa;
+            ws_.s_ii(9 + i, 9 + i) += qba;
+            ws_.s_ii(12 + i, 12 + i) += qa * dt * dt;
+        }
+        for (int i = 0; i < 15; ++i) {
+            const double *src =
+                ws_.s_ii.data() + static_cast<size_t>(i) * 15;
+            double *dst = cov_.data() + static_cast<size_t>(i) * d;
+            std::memcpy(dst, src, sizeof(double) * 15);
+        }
+        if (d > 15) {
+            const int dc = d - 15;
+            ws_.p_ic.resize(15, dc);
+            for (int i = 0; i < 15; ++i) {
+                const double *src =
+                    cov_.data() + static_cast<size_t>(i) * d + 15;
+                double *dst =
+                    ws_.p_ic.data() + static_cast<size_t>(i) * dc;
+                std::memcpy(dst, src, sizeof(double) * dc);
+            }
+            gemmInto(a_imu, ws_.p_ic, ws_.ap_ic);
+            for (int i = 0; i < 15; ++i) {
+                const double *src =
+                    ws_.ap_ic.data() + static_cast<size_t>(i) * dc;
+                double *dst =
+                    cov_.data() + static_cast<size_t>(i) * d + 15;
+                std::memcpy(dst, src, sizeof(double) * dc);
+                for (int j = 0; j < dc; ++j)
+                    cov_(15 + j, i) = src[j];
+            }
+        }
     }
-    cov_.makeSymmetric();
 
     // --- Nominal-state integration (midpoint on position).
     q_wb_ = q_wb_.integrated(w, dt);
@@ -118,19 +185,50 @@ void
 Msckf::augmentClone(long clone_id)
 {
     const int d = stateDim();
-    // J maps the current error state to the new clone's error:
-    // theta_clone = theta, p_clone = p.
-    MatX j(6, d);
-    j.setFixedBlock<3, 3>(0, 0, Mat3::identity());
-    j.setFixedBlock<3, 3>(3, 12, Mat3::identity());
 
-    MatX jp = j * cov_;             // 6 x d
-    MatX jpjt = multiplyTransposed(jp, j); // 6 x 6
-
-    cov_.conservativeResize(d + 6, d + 6);
-    cov_.setBlock(d, 0, jp);
-    cov_.setBlock(0, d, jp.transpose());
-    cov_.setBlock(d, d, jpjt);
+    if (cfg_.use_reference) {
+        // Pre-overhaul path: explicit J, two allocating products, and
+        // a reallocating conservativeResize.
+        MatX j(6, d);
+        j.setFixedBlock<3, 3>(0, 0, Mat3::identity());
+        j.setFixedBlock<3, 3>(3, 12, Mat3::identity());
+        MatX jp;
+        gemmReference(j, cov_, jp);
+        MatX jpjt;
+        multiplyTransposedReference(jp, j, jpjt);
+        MatX next(d + 6, d + 6);
+        for (int r = 0; r < d; ++r)
+            for (int c = 0; c < d; ++c)
+                next(r, c) = cov_(r, c);
+        cov_ = std::move(next);
+        cov_.setBlock(d, 0, jp);
+        cov_.setBlock(0, d, jp.transpose());
+        cov_.setBlock(d, d, jpjt);
+    } else {
+        // Structure-exploiting path: J only selects the theta (0..2)
+        // and p (12..14) error rows, so J·P is six existing covariance
+        // rows and J·P·Jᵀ is the matching 6x6 sub-block — the clone
+        // augmentation is pure row/column copies, no matrix products.
+        cov_.conservativeResize(d + 6, d + 6);
+        auto src_row = [](int r) { return r < 3 ? r : 12 + (r - 3); };
+        const int dn = d + 6;
+        for (int r = 0; r < 6; ++r) {
+            const double *src =
+                cov_.data() + static_cast<size_t>(src_row(r)) * dn;
+            double *dst = cov_.data() + static_cast<size_t>(d + r) * dn;
+            std::memcpy(dst, src, sizeof(double) * d);
+            // Corner block (J P Jᵀ): columns picked from this row.
+            for (int c = 0; c < 6; ++c)
+                dst[d + c] = src[src_row(c)];
+        }
+        // Mirror the new rows into the new columns.
+        for (int r = 0; r < 6; ++r) {
+            const double *jp_row =
+                cov_.data() + static_cast<size_t>(d + r) * dn;
+            for (int c = 0; c < d; ++c)
+                cov_(c, d + r) = jp_row[c];
+        }
+    }
 
     clones_.push_back({clone_id, q_wb_, p_wb_});
 }
@@ -139,15 +237,10 @@ void
 Msckf::marginalizeOldestClone()
 {
     // The MSCKF never keeps feature states, so removing a clone is a
-    // plain drop of its rows/columns from the covariance.
-    const int d = stateDim();
-    MatX next(d - 6, d - 6);
-    auto keep = [](int i) { return i < 15 ? i : i + 6; };
-    for (int i = 0; i < d - 6; ++i)
-        for (int j = 0; j < d - 6; ++j)
-            next(i, j) = cov_(keep(i), keep(j));
-    cov_ = std::move(next);
-    clones_.pop_front();
+    // plain in-place drop of its rows/columns from the covariance.
+    // Dropping matching rows and columns preserves symmetry exactly.
+    cov_.removeRowsAndCols(15, 6);
+    clones_.erase(clones_.begin());
 }
 
 int
@@ -246,25 +339,29 @@ Msckf::triangulateTrack(const FeatureTrack &track, Vec3 &x_world) const
 
 int
 Msckf::buildTrackBlock(const FeatureTrack &track, const Vec3 &x_world,
-                       MatX &h_out, VecX &r_out, int row0) const
+                       MatX &h_out, VecX &r_out, int row0)
 {
     const int d = stateDim();
 
     // Raw per-observation Jacobians.
-    std::vector<int> slots;
-    for (const TrackObservation &o : track.observations)
-        if (cloneSlot(o.clone_id) >= 0)
-            slots.push_back(cloneSlot(o.clone_id));
-    const int m = static_cast<int>(slots.size());
+    ws_.slots.clear();
+    for (const TrackObservation &o : track.observations) {
+        int s = cloneSlot(o.clone_id);
+        if (s >= 0)
+            ws_.slots.push_back(s);
+    }
+    const int m = static_cast<int>(ws_.slots.size());
     if (m < 2)
         return 0;
 
-    MatX hx(2 * m, d);
-    MatX hf(2 * m, 3);
-    VecX r(2 * m);
+    MatX &hx = ws_.hx;
+    MatX &hf = ws_.hf;
+    VecX &r = ws_.r_track;
+    hx.resize(2 * m, d);
+    hf.resize(2 * m, 3);
+    r.resize(2 * m);
 
     int row = 0;
-    int obs_i = 0;
     for (const TrackObservation &o : track.observations) {
         int s = cloneSlot(o.clone_id);
         if (s < 0)
@@ -297,19 +394,32 @@ Msckf::buildTrackBlock(const FeatureTrack &track, const Vec3 &x_world,
         r[row] = o.pixel[0] - (*px)[0];
         r[row + 1] = o.pixel[1] - (*px)[1];
         row += 2;
-        ++obs_i;
     }
 
     // Nullspace projection: multiply by the left nullspace of Hf, i.e.
     // the trailing rows of Q^T from the QR of Hf.
-    HouseholderQR qr(hf);
-    MatX qth = qr.qtb(hx);
-    VecX qtr = qr.qtb(r);
     const int out_rows = 2 * m - 3;
-    for (int i = 0; i < out_rows; ++i) {
-        for (int j = 0; j < d; ++j)
-            h_out(row0 + i, j) = qth(3 + i, j);
-        r_out[row0 + i] = qtr[3 + i];
+    if (cfg_.use_reference) {
+        HouseholderQRReference qr(hf);
+        MatX qth = qr.qtb(hx);
+        VecX qtr = qr.qtb(r);
+        for (int i = 0; i < out_rows; ++i) {
+            for (int j = 0; j < d; ++j)
+                h_out(row0 + i, j) = qth(3 + i, j);
+            r_out[row0 + i] = qtr[3 + i];
+        }
+    } else {
+        ws_.qr_track.compute(hf);
+        ws_.qr_track.qtbInPlace(hx);
+        ws_.qr_track.qtbInPlace(r);
+        for (int i = 0; i < out_rows; ++i) {
+            const double *src =
+                hx.data() + static_cast<size_t>(3 + i) * d;
+            double *dst =
+                h_out.data() + static_cast<size_t>(row0 + i) * d;
+            std::memcpy(dst, src, sizeof(double) * d);
+            r_out[row0 + i] = r[3 + i];
+        }
     }
     return out_rows;
 }
@@ -319,6 +429,7 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
               long clone_id)
 {
     assert(initialized_);
+    const size_t capacity_before = workspaceCapacityBytes();
     workload_ = MsckfWorkload{};
     // Reset the update-side timings (imu_ms belongs to propagate());
     // the stage timers below accumulate into these sinks.
@@ -333,8 +444,8 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
 
     // --- Build stacked residuals for usable tracks.
     StageTimer jacobian_timer(timing_.jacobian_ms);
-    std::vector<const FeatureTrack *> usable;
-    std::vector<Vec3> points;
+    ws_.usable.clear();
+    ws_.points.clear();
     int total_rows = 0;
     for (const FeatureTrack &track : finished_tracks) {
         int in_window = 0;
@@ -346,79 +457,118 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
         Vec3 x;
         if (!triangulateTrack(track, x))
             continue;
-        usable.push_back(&track);
-        points.push_back(x);
+        ws_.usable.push_back(&track);
+        ws_.points.push_back(x);
         total_rows += 2 * in_window - 3;
     }
 
     const int d = stateDim();
-    MatX h(std::max(total_rows, 1), d);
-    VecX r(std::max(total_rows, 1));
+    MatX &h = ws_.h;
+    VecX &r = ws_.r;
+    // Rows [0, row) are written whole by buildTrackBlock and the rest
+    // trimmed before any read, so the stacked target needs no zeroing
+    // (the sparse per-track hx/hf buffers inside DO need it).
+    h.resizeNoInit(std::max(total_rows, 1), d);
+    r.resize(std::max(total_rows, 1));
     int row = 0;
-    for (size_t i = 0; i < usable.size(); ++i)
-        row += buildTrackBlock(*usable[i], points[i], h, r, row);
+    for (size_t i = 0; i < ws_.usable.size(); ++i)
+        row += buildTrackBlock(*ws_.usable[i], ws_.points[i], h, r, row);
     jacobian_timer.stop();
-    workload_.tracks_used = static_cast<int>(usable.size());
+    workload_.tracks_used = static_cast<int>(ws_.usable.size());
     workload_.stacked_rows = row;
     workload_.state_dim = d;
 
-    if (row == 0) {
-        // Nothing to update; still manage the window size.
+    auto finishWindow = [&]() {
         while (static_cast<int>(clones_.size()) > cfg_.max_clones)
             marginalizeOldestClone();
+        if (workspaceCapacityBytes() > capacity_before)
+            ++allocation_events_;
         return clones_.front().clone_id;
-    }
-    h.conservativeResize(row, d);
-    VecX r_used(row);
-    for (int i = 0; i < row; ++i)
-        r_used[i] = r[i];
+    };
+
+    if (row == 0)
+        return finishWindow(); // nothing to update; manage the window
+
+    h.conservativeResize(row, d); // same width: shrink in place
+    r.conservativeResize(row);
 
     // --- QR compression when the stack is taller than the state.
     StageTimer qr_timer(timing_.qr_ms);
-    MatX h_used = std::move(h);
+    const MatX *h_used = &h;
     if (row > d) {
-        HouseholderQR qr(h_used);
-        VecX qtb = qr.qtb(r_used);
-        h_used = qr.matrixR(); // d x d upper-triangular
-        VecX r_new(d);
-        for (int i = 0; i < d; ++i)
-            r_new[i] = qtb[i];
-        r_used = std::move(r_new);
+        if (cfg_.use_reference) {
+            HouseholderQRReference qr(h);
+            VecX qtb = qr.qtb(r);
+            ws_.h_compressed = qr.matrixR(); // d x d upper-triangular
+            r.resize(d);
+            for (int i = 0; i < d; ++i)
+                r[i] = qtb[i];
+        } else {
+            ws_.qr_compress.compute(h);
+            ws_.qr_compress.qtbInPlace(r);
+            ws_.qr_compress.extractRInto(ws_.h_compressed);
+            r.conservativeResize(d); // top d rows of Q^T r
+        }
+        h_used = &ws_.h_compressed;
     }
     qr_timer.stop();
-    const int rows = h_used.rows();
+    const int rows = h_used->rows();
 
     // --- Kalman gain: S = H P H^T + R ; solve S K^T = H P.
     StageTimer kalman_gain_timer(timing_.kalman_gain_ms);
-    MatX ph_t = multiplyTransposed(cov_, h_used); // d x rows (P sym.)
-    MatX s = h_used * ph_t;                       // rows x rows
     const double r_var = cfg_.pixel_sigma * cfg_.pixel_sigma;
-    for (int i = 0; i < rows; ++i)
-        s(i, i) += r_var;
-    s.makeSymmetric();
-    Cholesky chol(s);
-    MatX k_t; // rows x d, K = k_t^T
-    if (chol.ok()) {
-        k_t = chol.solve(ph_t.transpose());
-    } else {
-        PartialPivLU lu(s);
-        if (!lu.ok()) {
-            while (static_cast<int>(clones_.size()) > cfg_.max_clones)
-                marginalizeOldestClone();
-            return clones_.front().clone_id;
+    bool gain_ok = true;
+    MatX ph_t_ref; // P H^T of the reference path (reused by its downdate)
+    if (cfg_.use_reference) {
+        // Pre-overhaul flow: P H^T, full S product, explicit
+        // symmetrize, transpose-copy RHS, column-by-column solve.
+        multiplyTransposedReference(cov_, *h_used, ph_t_ref);
+        MatX s;
+        gemmReference(*h_used, ph_t_ref, s);
+        for (int i = 0; i < rows; ++i)
+            s(i, i) += r_var;
+        s.makeSymmetric();
+        CholeskyReference chol(s);
+        if (chol.ok()) {
+            ws_.k_t = chol.solve(ph_t_ref.transpose());
+        } else {
+            PartialPivLU lu(s);
+            if (!lu.ok())
+                gain_ok = false;
+            else
+                ws_.k_t = lu.solve(ph_t_ref.transpose());
         }
-        k_t = lu.solve(ph_t.transpose());
+    } else {
+        // H P is both the sandwich intermediate and the solve RHS —
+        // one kernel, no transposes, triangle-only S.
+        symmetricSandwichInto(*h_used, cov_, ws_.hp, ws_.s);
+        for (int i = 0; i < rows; ++i)
+            ws_.s(i, i) += r_var;
+        if (hub_) {
+            // Cross-session batched solve (bit-identical flow).
+            gain_ok = hub_->solveSpd(ws_.s, ws_.hp, ws_.k_t);
+        } else if (ws_.chol.compute(ws_.s)) {
+            ws_.k_t = ws_.hp; // capacity-reusing copy, no zero pass
+            ws_.chol.solveInPlace(ws_.k_t);
+        } else if (ws_.lu.compute(ws_.s)) {
+            ws_.lu.solveInto(ws_.hp, ws_.k_t);
+        } else {
+            gain_ok = false;
+        }
     }
     kalman_gain_timer.stop();
+    if (!gain_ok)
+        return finishWindow();
 
     // --- State/covariance injection.
     StageTimer update_timer(timing_.update_ms);
-    VecX dx(d);
-    for (int i = 0; i < d; ++i) {
-        double acc = 0.0;
-        for (int j = 0; j < rows; ++j)
-            acc += k_t(j, i) * r_used[j];
-        dx[i] = acc;
+    VecX &dx = ws_.dx;
+    dx.resize(d);
+    for (int j = 0; j < rows; ++j) {
+        const double rj = r[j];
+        const double *ktj = ws_.k_t.data() + static_cast<size_t>(j) * d;
+        for (int i = 0; i < d; ++i)
+            dx[i] += ktj[i] * rj;
     }
 
     q_wb_ = (q_wb_ * Quat::exp(dx.fixedSegment<3>(0))).normalized();
@@ -433,18 +583,25 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
         clones_[c].p_wb += dx.fixedSegment<3>(15 + 6 * c + 3);
     }
 
-    // P <- P - P H^T K^T  == P - ph_t * k_t.
-    cov_ -= ph_t * k_t;
-    cov_.makeSymmetric();
+    // P <- P - P H^T K^T == P - (H P)^T k_t. The symmetric downdate
+    // computes one triangle and mirrors, so the covariance leaves this
+    // update *exactly* symmetric (no asymmetry drift into solveSpd's
+    // LU fallback).
+    if (cfg_.use_reference) {
+        MatX prod;
+        gemmReference(ph_t_ref, ws_.k_t, prod);
+        cov_ -= prod;
+        cov_.makeSymmetric();
+    } else {
+        symmetricDowndateInto(ws_.hp, ws_.k_t, cov_);
+    }
     // Numerical floor to keep the covariance positive.
     for (int i = 0; i < d; ++i)
         cov_(i, i) = std::max(cov_(i, i), 1e-12);
     update_timer.stop();
 
     // --- Window management.
-    while (static_cast<int>(clones_.size()) > cfg_.max_clones)
-        marginalizeOldestClone();
-    return clones_.front().clone_id;
+    return finishWindow();
 }
 
 Pose

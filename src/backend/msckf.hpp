@@ -18,16 +18,18 @@
  */
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "backend/feature_tracks.hpp"
+#include "backend/workspace.hpp"
 #include "math/matx.hpp"
 #include "math/se3.hpp"
 #include "sensors/camera.hpp"
 #include "sensors/imu.hpp"
 
 namespace edx {
+
+class SolveHub;
 
 /** MSCKF settings. */
 struct MsckfConfig
@@ -41,6 +43,14 @@ struct MsckfConfig
     int min_track_length = 3;     //!< shortest track used in an update
     double max_reprojection_px = 6.0; //!< triangulation sanity gate
     int triangulation_iterations = 5;
+
+    /**
+     * Routes every linear-algebra block through the retained scalar
+     * reference kernels and the pre-overhaul allocate-and-copy flow
+     * (the "before" baseline of the backend figure benches; the
+     * backend-overhaul analogue of FrontendConfig::use_reference).
+     */
+    bool use_reference = false;
 };
 
 /** Wall-clock latency of the VIO kernels, ms (Fig. 7 categories). */
@@ -113,6 +123,13 @@ class Msckf
     /** Current world-from-body pose estimate. */
     Pose pose() const;
 
+    /**
+     * Routes the Kalman-gain solve through a cross-session batching
+     * hub (runtime/solve_hub.hpp). Null (the default) solves directly;
+     * the hub path is bit-identical to the direct one.
+     */
+    void setSolveHub(SolveHub *hub) { hub_ = hub; }
+
     /** Current velocity estimate (world frame). */
     Vec3 velocity() const { return v_; }
 
@@ -121,6 +138,21 @@ class Msckf
     int cloneCount() const { return static_cast<int>(clones_.size()); }
     const MatX &covariance() const { return cov_; }
     bool initialized() const { return initialized_; }
+
+    /**
+     * Number of updates that grew any workspace buffer (including the
+     * covariance storage). Stops increasing once the clone window and
+     * track load are warm — the zero-alloc steady-state contract.
+     */
+    long allocationEvents() const { return allocation_events_; }
+
+    /** Total workspace + covariance capacity, bytes. */
+    size_t
+    workspaceCapacityBytes() const
+    {
+        return ws_.capacityBytes() + cov_.capacityBytes() +
+               clones_.capacity() * sizeof(CloneState);
+    }
 
   private:
     int stateDim() const
@@ -144,13 +176,15 @@ class Msckf
 
     /**
      * Builds the nullspace-projected residual/Jacobian block of one
-     * track. @return rows appended (0 when the track was rejected).
+     * track into workspace buffers. @return rows appended (0 when the
+     * track was rejected).
      */
     int buildTrackBlock(const FeatureTrack &track, const Vec3 &x_world,
-                        MatX &h_out, VecX &r_out, int row0) const;
+                        MatX &h_out, VecX &r_out, int row0);
 
     StereoRig rig_;
     MsckfConfig cfg_;
+    SolveHub *hub_ = nullptr;
 
     // Nominal state.
     Quat q_wb_;
@@ -161,8 +195,14 @@ class Msckf
     double t_ = 0.0;
     bool initialized_ = false;
 
-    std::deque<CloneState> clones_;
+    // Clone window as a flat vector (bounded size): erase-front is a
+    // small memmove and — unlike std::deque — never touches the heap
+    // in steady state.
+    std::vector<CloneState> clones_;
     MatX cov_; //!< error-state covariance
+
+    BackendWorkspace ws_;
+    long allocation_events_ = 0;
 
     MsckfTiming timing_;
     MsckfWorkload workload_;

@@ -1,6 +1,8 @@
 #include "backend/tracking.hpp"
 
+#include "math/blas.hpp"
 #include "math/matx.hpp"
+#include "runtime/solve_hub.hpp"
 #include "runtime/telemetry.hpp"
 
 namespace edx {
@@ -56,26 +58,63 @@ Tracker::track(const FrontendOutput &frame,
     const auto &pts = map_->points();
     const int m = static_cast<int>(pts.size());
 
-    MatX x_h(4, m); // homogeneous map coordinates
-    for (int i = 0; i < m; ++i) {
-        x_h(0, i) = pts[i].position[0];
-        x_h(1, i) = pts[i].position[1];
-        x_h(2, i) = pts[i].position[2];
-        x_h(3, i) = 1.0;
-    }
     // C = K [R | t].
     const Mat34 rt = camera_from_world.matrix34();
     const Mat3 k = cam_.matrix();
-    MatX c(3, 4);
+    c_.resize(3, 4);
     for (int r = 0; r < 3; ++r) {
         for (int col = 0; col < 4; ++col) {
             double v = 0.0;
             for (int j = 0; j < 3; ++j)
                 v += k(r, j) * rt(j, col);
-            c(r, col) = v;
+            c_(r, col) = v;
         }
     }
-    MatX f = c * x_h; // 3 x M projected homogeneous pixels
+
+    if (cfg_.use_reference) {
+        // Pre-overhaul layout: column-per-point build (strided writes)
+        // and the scalar GEMM, then a column-strided consume.
+        MatX x_h(4, m);
+        for (int i = 0; i < m; ++i) {
+            x_h(0, i) = pts[i].position[0];
+            x_h(1, i) = pts[i].position[1];
+            x_h(2, i) = pts[i].position[2];
+            x_h(3, i) = 1.0;
+        }
+        MatX f;
+        gemmReference(c_, x_h, f); // 3 x M
+        f_.resize(m, 3);
+        for (int i = 0; i < m; ++i) {
+            f_(i, 0) = f(0, i);
+            f_(i, 1) = f(1, i);
+            f_(i, 2) = f(2, i);
+        }
+    } else if (hub_) {
+        // Cross-session batched projection: sessions sharing this map
+        // group into one stacked product over a single X build (cached
+        // across batches when the map is immutable).
+        hub_->project(map_, static_map_, c_, f_);
+    } else {
+        // Row-per-point layout: F = X(Mx4) · Cᵀ(4x3) through the
+        // transpose-free kernel — the build, the product, and the
+        // dehomogenization all stream sequentially, and the buffers
+        // persist across frames. For an immutable prior map the point
+        // matrix itself is built only once (points are append-only
+        // there, so the count is the full validity key).
+        if (!static_map_ || cached_points_ != m) {
+            x_rows_.resizeNoInit(m, 4); // every row written below
+            for (int i = 0; i < m; ++i) {
+                double *row =
+                    x_rows_.data() + static_cast<size_t>(i) * 4;
+                row[0] = pts[i].position[0];
+                row[1] = pts[i].position[1];
+                row[2] = pts[i].position[2];
+                row[3] = 1.0;
+            }
+            cached_points_ = static_map_ ? m : -1;
+        }
+        multiplyTransposedInto(x_rows_, c_, f_); // M x 3
+    }
 
     struct Projected
     {
@@ -86,10 +125,11 @@ Tracker::track(const FrontendOutput &frame,
     std::vector<Descriptor> projected_desc;
     projected.reserve(m / 4 + 1);
     for (int i = 0; i < m; ++i) {
-        const double z = f(2, i);
+        const double *fi = f_.data() + static_cast<size_t>(i) * 3;
+        const double z = fi[2];
         if (z <= 1e-6)
             continue;
-        Vec2 px{f(0, i) / z, f(1, i) / z};
+        Vec2 px{fi[0] / z, fi[1] / z};
         if (!cam_.inImage(px, 4.0))
             continue;
         Projected pr;

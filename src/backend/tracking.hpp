@@ -19,12 +19,15 @@
 #include <optional>
 
 #include "backend/map.hpp"
+#include "math/matx.hpp"
 #include "backend/pose_opt.hpp"
 #include "backend/vocabulary.hpp"
 #include "frontend/frontend.hpp"
 #include "sensors/camera.hpp"
 
 namespace edx {
+
+class SolveHub;
 
 /** Tracker settings. */
 struct TrackingConfig
@@ -34,6 +37,13 @@ struct TrackingConfig
     double min_place_score = 0.015; //!< BoW score gate for relocalization
     PoseOptConfig pose_opt;
     MatchConfig match;
+
+    /**
+     * Routes the projection kernel through the pre-overhaul
+     * column-major build + scalar GEMM (the "before" baseline of the
+     * backend figure benches).
+     */
+    bool use_reference = false;
 };
 
 /** Per-stage wall-clock latency, ms (Fig. 6 categories). */
@@ -94,12 +104,36 @@ class Tracker
 
     const TrackingConfig &config() const { return cfg_; }
 
+    /**
+     * Routes the projection kernel through a cross-session batching
+     * hub (bit-identical to the direct path; null = direct).
+     */
+    void setSolveHub(SolveHub *hub) { hub_ = hub; }
+
+    /**
+     * Declares the map immutable (registration mode's shared prior
+     * map): the homogeneous point matrix is then built once and reused
+     * across frames instead of rebuilt per projection. Never set this
+     * for a map whose points move (SLAM local BA).
+     */
+    void setStaticMap(bool static_map) { static_map_ = static_map; }
+
   private:
     const Map *map_;
     const Vocabulary *voc_;
+    SolveHub *hub_ = nullptr;
+    bool static_map_ = false;
+    int cached_points_ = -1; //!< x_rows_ validity (static maps only)
     CameraIntrinsics cam_;
     Pose body_from_camera_;
     TrackingConfig cfg_;
+
+    // Projection-kernel buffers, reused frame to frame: the map points
+    // in homogeneous row-major layout (one point per row, sequential
+    // build and sequential consume) and the projected pixels.
+    MatX x_rows_; //!< M x 4
+    MatX c_;      //!< 3 x 4 camera matrix
+    MatX f_;      //!< M x 3 projected homogeneous pixels
 };
 
 } // namespace edx

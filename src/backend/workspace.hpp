@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The per-session backend workspace: every buffer the MSCKF touches on
+ * its hot path — covariance propagation, clone augmentation, the
+ * stacked-Jacobian build, QR measurement compression, the Kalman-gain
+ * solve, and the covariance downdate — owned in one place and reused
+ * frame to frame, so steady-state backend frames perform zero heap
+ * allocations (the backend twin of frontend/workspace.hpp).
+ *
+ * Ownership model:
+ *  - Msckf owns one BackendWorkspace for the lifetime of the session;
+ *    propagate()/update() only ever write into it.
+ *  - Buffers are sized lazily: they grow until the clone window and
+ *    track load reach steady state, then stop. Msckf snapshots
+ *    capacityBytes() around each update and counts frames that grew
+ *    anything (allocationEvents()); the zero-alloc tests assert the
+ *    counter stops moving once warm.
+ *  - The decomposition objects (Cholesky / LU / QR) follow the same
+ *    contract through their compute() storage reuse.
+ */
+#pragma once
+
+#include <vector>
+
+#include "math/decomp.hpp"
+#include "math/matx.hpp"
+
+namespace edx {
+
+struct FeatureTrack;
+
+/** All reusable buffers of one MSCKF session. */
+struct BackendWorkspace
+{
+    // --- covariance propagation (per IMU sample) ---------------------
+    MatX a_imu{15, 15}; //!< error-state transition block
+    MatX p_ii{15, 15};  //!< IMU-block copy of the covariance
+    MatX ap{15, 15};    //!< A * P_II (sandwich intermediate)
+    MatX s_ii{15, 15};  //!< A * P_II * A^T (exact-symmetric)
+    MatX p_ic;          //!< 15 x (d-15) cross strip
+    MatX ap_ic;         //!< A * P_IC
+
+    // --- per-track residual block ------------------------------------
+    std::vector<int> slots;  //!< clone slots of the track observations
+    MatX hx;                 //!< 2m x d pose Jacobian
+    MatX hf;                 //!< 2m x 3 feature Jacobian
+    VecX r_track;            //!< 2m residual
+    HouseholderQR qr_track;  //!< nullspace projector (QR of hf)
+
+    // --- stacked system ----------------------------------------------
+    std::vector<const FeatureTrack *> usable;
+    std::vector<Vec3> points;
+    MatX h; //!< stacked nullspace-projected Jacobian
+    VecX r; //!< stacked residual
+
+    // --- QR measurement compression ----------------------------------
+    HouseholderQR qr_compress;
+    MatX h_compressed; //!< top d x d triangle of the compressed stack
+
+    // --- Kalman gain + covariance update -----------------------------
+    MatX hp;  //!< H * P (sandwich intermediate == solve RHS)
+    MatX s;   //!< innovation covariance H P H^T + R
+    Cholesky chol;
+    PartialPivLU lu; //!< fallback when S is not numerically SPD
+    MatX k_t;        //!< rows x d, K = k_t^T
+    VecX dx;         //!< state correction
+
+    size_t
+    capacityBytes() const
+    {
+        return a_imu.capacityBytes() + p_ii.capacityBytes() +
+               ap.capacityBytes() + s_ii.capacityBytes() +
+               p_ic.capacityBytes() + ap_ic.capacityBytes() +
+               slots.capacity() * sizeof(int) + hx.capacityBytes() +
+               hf.capacityBytes() + r_track.capacityBytes() +
+               qr_track.capacityBytes() +
+               usable.capacity() * sizeof(const FeatureTrack *) +
+               points.capacity() * sizeof(Vec3) + h.capacityBytes() +
+               r.capacityBytes() + qr_compress.capacityBytes() +
+               h_compressed.capacityBytes() + hp.capacityBytes() +
+               s.capacityBytes() + chol.capacityBytes() +
+               lu.capacityBytes() + k_t.capacityBytes() +
+               dx.capacityBytes();
+    }
+};
+
+} // namespace edx

@@ -1,5 +1,6 @@
 #include "core/localizer.hpp"
 
+#include "runtime/solve_hub.hpp"
 #include "runtime/telemetry.hpp"
 
 namespace edx {
@@ -35,11 +36,28 @@ Localizer::Localizer(const LocalizerConfig &cfg, const StereoRig &rig,
         reg_tracker_ = std::make_unique<Tracker>(
             registration_map_, voc_, rig_.cam, rig_.body_from_camera,
             cfg_.tracking);
+        // The shared prior map is immutable: the projection kernel's
+        // homogeneous point matrix can persist across frames.
+        reg_tracker_->setStaticMap(true);
         break;
     }
 }
 
 Localizer::~Localizer() = default;
+
+void
+Localizer::setSolveHub(SolveHub *hub)
+{
+    hub_ = hub;
+    if (msckf_)
+        msckf_->setSolveHub(hub);
+    if (reg_tracker_)
+        reg_tracker_->setSolveHub(hub);
+    if (slam_tracker_)
+        slam_tracker_->setSolveHub(hub);
+    if (mapper_)
+        mapper_->setSolveHub(hub);
+}
 
 void
 Localizer::initialize(const Pose &start_pose, double t,
@@ -84,6 +102,11 @@ Localizer::runBackend(const FrameInput &input, const FrontendOutput &fe)
 {
     if (!initialized_)
         return rejectFrame(input.frame_index);
+
+    // Register this backend stage with the batching rendezvous (no-op
+    // without a hub): its kernel requests may now group with the other
+    // sessions currently inside their backend stages.
+    SolveHub::StageGuard stage_guard(hub_);
 
     LocalizationResult res;
     switch (cfg_.mode) {

@@ -38,6 +38,8 @@
 
 namespace edx {
 
+class SolveHub;
+
 /** Full framework configuration. */
 struct LocalizerConfig
 {
@@ -140,6 +142,15 @@ class Localizer
     /** The map being built (SLAM) or localized against (registration). */
     const Map *currentMap() const;
 
+    /**
+     * Attaches a cross-session solve-batching hub: the mode-specific
+     * backend kernel (projection / Kalman gain / marginalization) is
+     * routed through @p hub and runBackend() registers itself as a
+     * batching participant. Bit-identical results; null detaches.
+     * Set by LocalizerPool when PoolConfig::batch_solves is on.
+     */
+    void setSolveHub(SolveHub *hub);
+
     bool initialized() const { return initialized_; }
     BackendMode mode() const { return cfg_.mode; }
     const LocalizerConfig &config() const { return cfg_; }
@@ -158,6 +169,7 @@ class Localizer
     LocalizerConfig cfg_;
     StereoRig rig_;
     const Vocabulary *voc_;
+    SolveHub *hub_ = nullptr;
 
     VisionFrontend frontend_;
 

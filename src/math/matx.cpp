@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "math/blas.hpp"
 
 namespace edx {
 
@@ -160,37 +163,16 @@ MatX::operator*(double s) const
 MatX
 MatX::operator*(const MatX &o) const
 {
-    assert(cols_ == o.rows_);
-    MatX r(rows_, o.cols_);
-    // i-k-j loop order keeps both the output row and the o row streaming
-    // sequentially, which matters for the large covariance products.
-    for (int i = 0; i < rows_; ++i) {
-        double *out = r.d_.data() + static_cast<size_t>(i) * o.cols_;
-        const double *ai = d_.data() + static_cast<size_t>(i) * cols_;
-        for (int k = 0; k < cols_; ++k) {
-            double a = ai[k];
-            if (a == 0.0)
-                continue;
-            const double *bk = o.d_.data() + static_cast<size_t>(k) * o.cols_;
-            for (int j = 0; j < o.cols_; ++j)
-                out[j] += a * bk[j];
-        }
-    }
+    MatX r;
+    gemmInto(*this, o, r);
     return r;
 }
 
 VecX
 MatX::operator*(const VecX &v) const
 {
-    assert(cols_ == v.size());
-    VecX r(rows_);
-    for (int i = 0; i < rows_; ++i) {
-        const double *ai = d_.data() + static_cast<size_t>(i) * cols_;
-        double s = 0.0;
-        for (int j = 0; j < cols_; ++j)
-            s += ai[j] * v[j];
-        r[i] = s;
-    }
+    VecX r;
+    gemvInto(*this, v, r);
     return r;
 }
 
@@ -262,15 +244,100 @@ MatX::setBlock(int r0, int c0, const MatX &b)
 }
 
 void
+MatX::resize(int r, int c)
+{
+    assert(r >= 0 && c >= 0);
+    rows_ = r;
+    cols_ = c;
+    d_.assign(static_cast<size_t>(r) * c, 0.0);
+}
+
+void
+MatX::resizeNoInit(int r, int c)
+{
+    assert(r >= 0 && c >= 0);
+    rows_ = r;
+    cols_ = c;
+    d_.resize(static_cast<size_t>(r) * c);
+}
+
+void
+MatX::setZero()
+{
+    std::fill(d_.begin(), d_.end(), 0.0);
+}
+
+void
 MatX::conservativeResize(int r, int c)
 {
-    MatX n(r, c);
-    int cr = std::min(r, rows_);
-    int cc = std::min(c, cols_);
-    for (int i = 0; i < cr; ++i)
-        for (int j = 0; j < cc; ++j)
-            n(i, j) = (*this)(i, j);
-    *this = std::move(n);
+    assert(r >= 0 && c >= 0);
+    const int cr = std::min(r, rows_);
+    const int cc = std::min(c, cols_);
+    const size_t nsize = static_cast<size_t>(r) * c;
+
+    if (c == cols_) {
+        // Row count change only: the layout is already correct.
+        d_.resize(nsize, 0.0);
+    } else if (c > cols_) {
+        // Wider rows: grow the buffer, then repack from the last row
+        // backwards so a row never overwrites an unread one.
+        d_.resize(nsize, 0.0);
+        for (int i = cr - 1; i >= 0; --i) {
+            double *dst = d_.data() + static_cast<size_t>(i) * c;
+            const double *src = d_.data() + static_cast<size_t>(i) * cols_;
+            if (i > 0)
+                std::memmove(dst, src, sizeof(double) * cc);
+            std::fill(dst + cc, dst + c, 0.0);
+        }
+    } else {
+        // Narrower rows: repack forward, then shrink.
+        for (int i = 1; i < cr; ++i) {
+            double *dst = d_.data() + static_cast<size_t>(i) * c;
+            const double *src = d_.data() + static_cast<size_t>(i) * cols_;
+            std::memmove(dst, src, sizeof(double) * cc);
+        }
+        d_.resize(nsize, 0.0);
+        // Narrow-but-taller: offsets of rows [cr, r) may hold stale
+        // old-layout data that vector::resize did not touch.
+        if (r > cr)
+            std::fill(d_.begin() + static_cast<size_t>(cr) * c, d_.end(),
+                      0.0);
+    }
+    rows_ = r;
+    cols_ = c;
+}
+
+void
+MatX::removeRowsAndCols(int at, int n)
+{
+    assert(rows_ == cols_);
+    assert(at >= 0 && n >= 0 && at + n <= rows_);
+    if (n == 0)
+        return;
+    const int nn = rows_ - n;
+    // Compact in place: row r of the result is old row (r < at ? r :
+    // r + n) with columns [at, at+n) dropped. Walking forward is safe
+    // because every destination offset precedes its source offset.
+    for (int r = 0; r < nn; ++r) {
+        const int src_r = r < at ? r : r + n;
+        const double *src = d_.data() + static_cast<size_t>(src_r) * cols_;
+        double *dst = d_.data() + static_cast<size_t>(r) * nn;
+        std::memmove(dst, src, sizeof(double) * at);
+        std::memmove(dst + at, src + at + n,
+                     sizeof(double) * (nn - at));
+    }
+    rows_ = nn;
+    cols_ = nn;
+    d_.resize(static_cast<size_t>(nn) * nn);
+}
+
+void
+MatX::mirrorLowerToUpper()
+{
+    assert(rows_ == cols_);
+    for (int i = 0; i < rows_; ++i)
+        for (int j = i + 1; j < cols_; ++j)
+            (*this)(i, j) = (*this)(j, i);
 }
 
 void
@@ -327,18 +394,8 @@ gram(const MatX &a)
 MatX
 multiplyTransposed(const MatX &a, const MatX &b)
 {
-    assert(a.cols() == b.cols());
-    MatX r(a.rows(), b.rows());
-    for (int i = 0; i < a.rows(); ++i) {
-        const double *ai = a.data() + static_cast<size_t>(i) * a.cols();
-        for (int j = 0; j < b.rows(); ++j) {
-            const double *bj = b.data() + static_cast<size_t>(j) * b.cols();
-            double s = 0.0;
-            for (int k = 0; k < a.cols(); ++k)
-                s += ai[k] * bj[k];
-            r(i, j) = s;
-        }
-    }
+    MatX r;
+    multiplyTransposedInto(a, b, r);
     return r;
 }
 

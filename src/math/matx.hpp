@@ -48,6 +48,28 @@ class VecX
 
     int size() const { return static_cast<int>(d_.size()); }
 
+    /** Reserves capacity for @p n elements (no size change). */
+    void reserve(int n) { d_.reserve(static_cast<size_t>(n)); }
+
+    /**
+     * Resizes to @p n elements, zero-filled. Reuses the existing
+     * capacity: once a workspace vector has reached its steady-state
+     * size this performs no heap allocation.
+     */
+    void resize(int n) { d_.assign(static_cast<size_t>(n), 0.0); }
+
+    /**
+     * Resizes to @p n elements preserving the existing prefix
+     * (zero-fills growth); never shrinks capacity.
+     */
+    void conservativeResize(int n)
+    {
+        d_.resize(static_cast<size_t>(n), 0.0);
+    }
+
+    /** Capacity in bytes (workspace accounting). */
+    size_t capacityBytes() const { return d_.capacity() * sizeof(double); }
+
     double &
     operator[](int i)
     {
@@ -206,11 +228,59 @@ class MatX
         return b;
     }
 
-    /** Resizes to r x c, preserving the overlapping top-left content. */
+    /** Reserves capacity for an r x c matrix (no shape change). */
+    void reserve(int r, int c)
+    {
+        d_.reserve(static_cast<size_t>(r) * c);
+    }
+
+    /**
+     * Resizes to r x c and zero-fills. Reuses the existing capacity, so
+     * a warm workspace matrix resizes without heap allocation.
+     */
+    void resize(int r, int c);
+
+    /**
+     * Resizes to r x c WITHOUT clearing retained storage — existing
+     * elements keep whatever values the previous shape left there
+     * (growth beyond the old element count is still zero-initialized
+     * by the underlying vector). Only for callers that overwrite
+     * every element before reading (e.g. factorization input copies);
+     * skips the O(r*c) zero pass `resize` pays on every warm call.
+     */
+    void resizeNoInit(int r, int c);
+
+    /** Zero-fills without changing the shape. */
+    void setZero();
+
+    /**
+     * Resizes to r x c, preserving the overlapping top-left content.
+     *
+     * Performed in place by repacking rows within the existing buffer;
+     * allocates only when the new extent exceeds the current capacity,
+     * so the steady-state MSCKF augment/marginalize cycle is
+     * allocation-free.
+     */
     void conservativeResize(int r, int c);
+
+    /**
+     * Removes the square band of rows and columns [at, at+n), shifting
+     * the trailing rows/columns up-left in place (the MSCKF clone
+     * marginalization drop). Requires a square matrix.
+     */
+    void removeRowsAndCols(int at, int n);
 
     /** Symmetrizes in place: A <- (A + A^T) / 2 (square matrices only). */
     void makeSymmetric();
+
+    /**
+     * Copies the lower triangle onto the upper one (exact symmetry
+     * from a triangle-only kernel; square matrices only).
+     */
+    void mirrorLowerToUpper();
+
+    /** Capacity in bytes (workspace accounting). */
+    size_t capacityBytes() const { return d_.capacity() * sizeof(double); }
 
     const double *data() const { return d_.data(); }
     double *data() { return d_.data(); }

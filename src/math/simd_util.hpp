@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Internal SSE2 row-primitive helpers shared by the blocked MatX
+ * kernels (blas.cpp) and the blocked decompositions (decomp.cpp).
+ *
+ * Contract notes the callers rely on:
+ *  - axpyRow and scaleRow preserve the per-element operation order of
+ *    their scalar loops (lane-parallel, no reassociation), so kernels
+ *    built purely from them stay bit-exact with scalar references.
+ *  - dotRows reduces with two accumulator lanes and therefore
+ *    reassociates; kernels using it carry a bounded (not bit-exact)
+ *    equivalence contract.
+ */
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace edx {
+namespace detail {
+
+/** Dot product of two contiguous rows (two accumulator lanes). */
+inline double
+dotRows(const double *x, const double *y, int n)
+{
+#if defined(__SSE2__)
+    __m128d acc0 = _mm_setzero_pd();
+    __m128d acc1 = _mm_setzero_pd();
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        acc0 = _mm_add_pd(acc0, _mm_mul_pd(_mm_loadu_pd(x + i),
+                                           _mm_loadu_pd(y + i)));
+        acc1 = _mm_add_pd(acc1, _mm_mul_pd(_mm_loadu_pd(x + i + 2),
+                                           _mm_loadu_pd(y + i + 2)));
+    }
+    acc0 = _mm_add_pd(acc0, acc1);
+    double lanes[2];
+    _mm_storeu_pd(lanes, acc0);
+    double s = lanes[0] + lanes[1];
+    for (; i < n; ++i)
+        s += x[i] * y[i];
+    return s;
+#else
+    double s0 = 0.0, s1 = 0.0;
+    int i = 0;
+    for (; i + 2 <= n; i += 2) {
+        s0 += x[i] * y[i];
+        s1 += x[i + 1] * y[i + 1];
+    }
+    double s = s0 + s1;
+    for (; i < n; ++i)
+        s += x[i] * y[i];
+    return s;
+#endif
+}
+
+/** out[0..n) += a * row[0..n), order-preserving. */
+inline void
+axpyRow(double a, const double *row, double *out, int n)
+{
+#if defined(__SSE2__)
+    const __m128d va = _mm_set1_pd(a);
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+        __m128d v = _mm_loadu_pd(out + j);
+        v = _mm_add_pd(v, _mm_mul_pd(va, _mm_loadu_pd(row + j)));
+        _mm_storeu_pd(out + j, v);
+    }
+    for (; j < n; ++j)
+        out[j] += a * row[j];
+#else
+    for (int j = 0; j < n; ++j)
+        out[j] += a * row[j];
+#endif
+}
+
+/** out[0..n) *= a, order-preserving. */
+inline void
+scaleRow(double a, double *out, int n)
+{
+#if defined(__SSE2__)
+    const __m128d va = _mm_set1_pd(a);
+    int j = 0;
+    for (; j + 2 <= n; j += 2)
+        _mm_storeu_pd(out + j, _mm_mul_pd(va, _mm_loadu_pd(out + j)));
+    for (; j < n; ++j)
+        out[j] *= a;
+#else
+    for (int j = 0; j < n; ++j)
+        out[j] *= a;
+#endif
+}
+
+/** out[0..n) /= a, order-preserving (division, not reciprocal). */
+inline void
+divRow(double a, double *out, int n)
+{
+#if defined(__SSE2__)
+    const __m128d va = _mm_set1_pd(a);
+    int j = 0;
+    for (; j + 2 <= n; j += 2)
+        _mm_storeu_pd(out + j, _mm_div_pd(_mm_loadu_pd(out + j), va));
+    for (; j < n; ++j)
+        out[j] /= a;
+#else
+    for (int j = 0; j < n; ++j)
+        out[j] /= a;
+#endif
+}
+
+} // namespace detail
+} // namespace edx

@@ -24,6 +24,8 @@ LocalizerPool::addSession(std::unique_ptr<Localizer> localizer)
     std::lock_guard<std::mutex> lk(m_);
     auto s = std::make_unique<Session>();
     s->loc = std::move(localizer);
+    if (cfg_.batch_solves)
+        s->loc->setSolveHub(&hub_);
     sessions_.push_back(std::move(s));
     return static_cast<int>(sessions_.size()) - 1;
 }
@@ -159,6 +161,12 @@ LocalizerPool::sessionCount() const
 {
     std::lock_guard<std::mutex> lk(m_);
     return static_cast<int>(sessions_.size());
+}
+
+SolveHubStats
+LocalizerPool::solveStats() const
+{
+    return hub_.stats();
 }
 
 Localizer &

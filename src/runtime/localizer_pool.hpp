@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/localizer.hpp"
+#include "runtime/solve_hub.hpp"
 
 namespace edx {
 
@@ -34,6 +35,15 @@ struct PoolConfig
 {
     int workers = 2;           //!< worker threads shared by all sessions
     size_t queue_capacity = 16; //!< global bound on queued frames
+
+    /**
+     * Batch same-mode backend kernels (projection / Kalman gain /
+     * marginalization) across concurrently running sessions through a
+     * shared SolveHub — one blocked solve instead of N independent
+     * ones, with bit-identical poses (the ROADMAP's "batched backend
+     * solves"). Off by default.
+     */
+    bool batch_solves = false;
 };
 
 /** One completed frame of one session. */
@@ -98,6 +108,9 @@ class LocalizerPool
      */
     Localizer &session(int session_id);
 
+    /** Batching counters of the shared hub (zeros when batching off). */
+    SolveHubStats solveStats() const;
+
   private:
     struct Session
     {
@@ -109,6 +122,7 @@ class LocalizerPool
     void workerLoop();
 
     PoolConfig cfg_;
+    SolveHub hub_; //!< shared batching rendezvous (used when enabled)
 
     mutable std::mutex m_;
     std::condition_variable work_cv_;   //!< workers: runnable session

@@ -1,0 +1,234 @@
+#include "runtime/solve_hub.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "backend/map.hpp"
+#include "math/blas.hpp"
+
+namespace edx {
+
+void
+SolveHub::enterBackend()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    ++active_;
+}
+
+void
+SolveHub::leaveBackend()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    assert(active_ > 0);
+    --active_;
+    // A departing stage can complete the rendezvous for the parked
+    // requests (they wait for waiting_ == active_).
+    cv_.notify_all();
+}
+
+void
+SolveHub::submit(Request &req)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    pending_.push_back(&req);
+    ++waiting_;
+    cv_.notify_all();
+
+    while (!req.done) {
+        // waiting_ >= active_ (not ==): a request submitted outside a
+        // registered stage guard must not stall the rendezvous.
+        if (!executing_ && waiting_ >= active_ && !pending_.empty()) {
+            // Last arriver: lead the batch. Snapshot the pending set —
+            // requests submitted while we compute belong to the next
+            // rendezvous round.
+            executing_ = true;
+            std::vector<Request *> batch = std::move(pending_);
+            pending_.clear();
+            lk.unlock();
+            executeBatch(batch); // outputs are per-request buffers
+            lk.lock();
+            for (Request *r : batch)
+                r->done = true;
+            executing_ = false;
+            cv_.notify_all();
+        } else {
+            cv_.wait(lk);
+        }
+    }
+    --waiting_;
+}
+
+void
+SolveHub::executeBatch(std::vector<Request *> &batch)
+{
+    // Group by kernel kind; projection additionally groups by shared
+    // map so the X build is paid once per distinct map.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Request *a, const Request *b) {
+                         if (a->kind != b->kind)
+                             return static_cast<int>(a->kind) <
+                                    static_cast<int>(b->kind);
+                         return a->map < b->map;
+                     });
+
+    size_t i = 0;
+    while (i < batch.size()) {
+        Request *head = batch[i];
+        size_t j = i + 1;
+        while (j < batch.size() && batch[j]->kind == head->kind &&
+               (head->kind != BatchKernel::Projection ||
+                batch[j]->map == head->map))
+            ++j;
+        const int n = static_cast<int>(j - i);
+        const int k = static_cast<int>(head->kind);
+
+        switch (head->kind) {
+          case BatchKernel::Projection:
+            executeProjectionGroup(batch.data() + i, n);
+            break;
+          case BatchKernel::SpdSolve:
+            for (size_t r = i; r < j; ++r) {
+                Request *req = batch[r];
+                // The exact per-session flow: Cholesky, LU fallback.
+                if (chol_.compute(*req->a)) {
+                    *req->x = *req->b; // capacity-reusing copy
+                    chol_.solveInPlace(*req->x);
+                    req->success = true;
+                } else if (lu_.compute(*req->a)) {
+                    lu_.solveInto(*req->b, *req->x);
+                    req->success = true;
+                } else {
+                    req->success = false;
+                }
+            }
+            break;
+          case BatchKernel::LuSolve:
+            for (size_t r = i; r < j; ++r) {
+                Request *req = batch[r];
+                if (lu_.compute(*req->a)) {
+                    lu_.solveInto(*req->b, *req->x);
+                    req->success = true;
+                } else {
+                    req->success = false;
+                }
+            }
+            break;
+        }
+
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            stats_.requests[k] += n;
+            stats_.batches[k] += 1;
+            if (n > 1)
+                stats_.grouped_requests[k] += n;
+            stats_.max_batch[k] = std::max(stats_.max_batch[k], n);
+        }
+        i = j;
+    }
+}
+
+void
+SolveHub::executeProjectionGroup(Request **reqs, int n)
+{
+    const Map *map = reqs[0]->map;
+    const auto &pts = map->points();
+    const int m = static_cast<int>(pts.size());
+
+    // Shared X build: once per group (the per-session cost this batch
+    // amortizes), identical to the direct Tracker build. For an
+    // immutable map (registration priors) the build survives across
+    // batches, keyed by point count — the same cache the hubless
+    // Tracker path keeps.
+    MatX *x = &x_shared_;
+    bool build = true;
+    if (reqs[0]->static_map) {
+        StaticMapCache &cache = x_cache_[map->uid()];
+        x = &cache.x_rows;
+        build = cache.points != m;
+        cache.points = m;
+    }
+    if (build) {
+        x->resizeNoInit(m, 4); // every row written below
+        for (int i = 0; i < m; ++i) {
+            double *row = x->data() + static_cast<size_t>(i) * 4;
+            row[0] = pts[i].position[0];
+            row[1] = pts[i].position[1];
+            row[2] = pts[i].position[2];
+            row[3] = 1.0;
+        }
+    }
+
+    if (n == 1) {
+        multiplyTransposedInto(*x, *reqs[0]->c, *reqs[0]->f);
+        return;
+    }
+
+    // Stacked product F_all = X * [C_0; C_1; ...]^T. Every output
+    // element is the same length-4 row dot the per-session kernel
+    // computes, so the scatter below hands each session bit-identical
+    // pixels.
+    c_all_.resizeNoInit(3 * n, 4);
+    for (int s = 0; s < n; ++s)
+        std::memcpy(c_all_.data() + static_cast<size_t>(3 * s) * 4,
+                    reqs[s]->c->data(), sizeof(double) * 12);
+    multiplyTransposedInto(*x, c_all_, f_all_); // M x 3n
+    for (int s = 0; s < n; ++s) {
+        MatX &f = *reqs[s]->f;
+        f.resize(m, 3);
+        for (int i = 0; i < m; ++i) {
+            const double *src =
+                f_all_.data() + static_cast<size_t>(i) * 3 * n + 3 * s;
+            double *dst = f.data() + static_cast<size_t>(i) * 3;
+            dst[0] = src[0];
+            dst[1] = src[1];
+            dst[2] = src[2];
+        }
+    }
+}
+
+void
+SolveHub::project(const Map *map, bool static_map, const MatX &c,
+                  MatX &f)
+{
+    Request req;
+    req.kind = BatchKernel::Projection;
+    req.map = map;
+    req.static_map = static_map;
+    req.c = &c;
+    req.f = &f;
+    submit(req);
+}
+
+bool
+SolveHub::solveSpd(const MatX &a, const MatX &b, MatX &x)
+{
+    Request req;
+    req.kind = BatchKernel::SpdSolve;
+    req.a = &a;
+    req.b = &b;
+    req.x = &x;
+    submit(req);
+    return req.success;
+}
+
+bool
+SolveHub::luSolve(const MatX &a, const MatX &b, MatX &x)
+{
+    Request req;
+    req.kind = BatchKernel::LuSolve;
+    req.a = &a;
+    req.b = &b;
+    req.x = &x;
+    submit(req);
+    return req.success;
+}
+
+SolveHubStats
+SolveHub::stats() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return stats_;
+}
+
+} // namespace edx

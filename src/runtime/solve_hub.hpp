@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Cross-session batched backend solves (the ROADMAP's "batched backend
+ * solves" item).
+ *
+ * LocalizerPool sessions used to execute their backend linear-algebra
+ * kernels independently; the hub groups *same-mode* kernels — the
+ * registration projection, the VIO Kalman-gain solve, and the SLAM
+ * marginalization solve — from concurrently running backend stages
+ * into one blocked execution:
+ *
+ *  - Projection requests against the same shared prior map run as one
+ *    stacked product: the camera matrices concatenate into C_all
+ *    (3n x 4) and the shared homogeneous point matrix X (M x 4) is
+ *    built and streamed ONCE for the whole group instead of once per
+ *    session (the dominant cost at map scale — and exactly the DMA
+ *    amortization the backend accelerator model gets from realistic
+ *    batch sizes).
+ *  - SPD (Kalman-gain) and LU (marginalization) solves execute as one
+ *    grouped pass over hub-owned factorization workspaces, amortizing
+ *    dispatch and workspace setup across the group.
+ *
+ * Correctness contract: a batched request returns *bit-identical*
+ * results to the direct per-session kernel — grouping changes where
+ * and when kernels run, never what they compute. The pool equivalence
+ * tests assert identical poses with batching on and off.
+ *
+ * Rendezvous protocol: sessions register their backend stage with a
+ * StageGuard. A request parks until every registered backend stage is
+ * parked in a request of its own (or has left the stage); the last
+ * arriver becomes the batch leader, executes all pending groups, and
+ * wakes the waiters. With a single active backend a request executes
+ * immediately. Deadlock-free: every active stage either submits a
+ * request or leaves, so the rendezvous condition always resolves.
+ *
+ * Latency trade-off: a parked request waits for the *slowest*
+ * concurrent backend stage to either submit or leave — head-of-line
+ * blocking up to that stage's remaining duration. This is what buys
+ * deterministic bit-identity (grouping never changes results, only
+ * where they execute), and it is why batch_solves is opt-in: enable
+ * it for pools of same-mode sessions with comparable backend costs
+ * (the fleet-serving shape); a heterogeneous pool mixing a long SLAM
+ * backend with sub-millisecond VIO solves will stall the short
+ * solves on the long stage.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "math/decomp.hpp"
+#include "math/matx.hpp"
+
+namespace edx {
+
+class Map;
+
+/** Kernel classes the hub batches (the paper's three backend modes). */
+enum class BatchKernel
+{
+    Projection = 0, //!< registration: C x X over a shared map
+    SpdSolve = 1,   //!< VIO Kalman gain: S K^T = H P
+    LuSolve = 2,    //!< SLAM marginalization: Amm X = [Amr | bm]
+};
+
+/** Per-kernel batching counters. */
+struct SolveHubStats
+{
+    long requests[3] = {0, 0, 0};
+    long batches[3] = {0, 0, 0};  //!< grouped executions (size >= 1)
+    long grouped_requests[3] = {0, 0, 0}; //!< served in a batch > 1
+    int max_batch[3] = {0, 0, 0};
+
+    /** Mean batch size of @p k (0.0 before any request was served). */
+    double
+    meanBatch(BatchKernel k) const
+    {
+        const int i = static_cast<int>(k);
+        return batches[i] > 0
+                   ? static_cast<double>(requests[i]) / batches[i]
+                   : 0.0;
+    }
+};
+
+/** The cross-session batching rendezvous. */
+class SolveHub
+{
+  public:
+    SolveHub() = default;
+    SolveHub(const SolveHub &) = delete;
+    SolveHub &operator=(const SolveHub &) = delete;
+
+    /** RAII registration of one backend stage execution. */
+    class StageGuard
+    {
+      public:
+        explicit StageGuard(SolveHub *hub) : hub_(hub)
+        {
+            if (hub_)
+                hub_->enterBackend();
+        }
+        ~StageGuard()
+        {
+            if (hub_)
+                hub_->leaveBackend();
+        }
+        StageGuard(const StageGuard &) = delete;
+        StageGuard &operator=(const StageGuard &) = delete;
+
+      private:
+        SolveHub *hub_;
+    };
+
+    void enterBackend();
+    void leaveBackend();
+
+    /**
+     * Projection kernel: f(i,:) = [x_i 1] * c^T over every point of
+     * @p map (f is M x 3). Requests sharing the same map group into a
+     * stacked product over one shared X build. @p static_map declares
+     * the map immutable (registration prior maps): its homogeneous
+     * point matrix is then cached across batches keyed by point count
+     * (append-only), not rebuilt per batch. Never set it for a map
+     * whose points move (SLAM local BA).
+     */
+    void project(const Map *map, bool static_map, const MatX &c,
+                 MatX &f);
+
+    /**
+     * SPD solve a x = b (b is n x r): Cholesky with LU fallback, the
+     * exact per-session Kalman-gain flow. @return false when both
+     * factorizations fail (caller skips the update, as without a hub).
+     */
+    bool solveSpd(const MatX &a, const MatX &b, MatX &x);
+
+    /** General LU solve a x = b. @return false when singular. */
+    bool luSolve(const MatX &a, const MatX &b, MatX &x);
+
+    SolveHubStats stats() const;
+
+  private:
+    struct Request
+    {
+        BatchKernel kind;
+        // SpdSolve / LuSolve operands.
+        const MatX *a = nullptr;
+        const MatX *b = nullptr;
+        MatX *x = nullptr;
+        // Projection operands.
+        const Map *map = nullptr;
+        bool static_map = false;
+        const MatX *c = nullptr;
+        MatX *f = nullptr;
+
+        bool done = false;
+        bool success = true;
+    };
+
+    /** Parks the request and runs the batch when last to arrive. */
+    void submit(Request &req);
+
+    /** Executes one snapshot of pending requests (leader only). */
+    void executeBatch(std::vector<Request *> &batch);
+
+    void executeProjectionGroup(Request **reqs, int n);
+
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    int active_ = 0;   //!< backend stages currently registered
+    int waiting_ = 0;  //!< requests parked in submit()
+    bool executing_ = false;
+    std::vector<Request *> pending_;
+    SolveHubStats stats_;
+
+    // Leader-owned execution workspaces (only one leader runs at a
+    // time, so these are protected by `executing_`).
+    MatX x_shared_; //!< homogeneous point rows of a projection group
+    MatX c_all_;    //!< stacked camera matrices (3n x 4)
+    MatX f_all_;    //!< stacked projection output (M x 3n)
+    Cholesky chol_;
+    PartialPivLU lu_;
+
+    /**
+     * Cached X per immutable map, keyed by Map::uid() — a
+     * process-unique identity, so a freed map's entry can never be
+     * mistaken for a new map at the same address. Entries persist for
+     * the hub's lifetime (bounded by the number of distinct prior
+     * maps a deployment serves).
+     */
+    struct StaticMapCache
+    {
+        int points = -1;
+        MatX x_rows;
+    };
+    std::unordered_map<uint64_t, StaticMapCache> x_cache_;
+};
+
+} // namespace edx

@@ -9,14 +9,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <barrier>
 #include <chrono>
 #include <thread>
 
 #include "core/evaluation.hpp"
 #include "core/localizer.hpp"
+#include "math/blas.hpp"
+#include "math/rng.hpp"
 #include "runtime/frame_queue.hpp"
 #include "runtime/localizer_pool.hpp"
 #include "runtime/pipeline.hpp"
+#include "runtime/solve_hub.hpp"
 #include "runtime/telemetry.hpp"
 #include "sim/dataset.hpp"
 
@@ -439,6 +443,216 @@ TEST(LocalizerPool, SubmitToUnknownSessionFails)
     LocalizerPool pool;
     EXPECT_FALSE(pool.submit(0, FrameInput{}));
     EXPECT_FALSE(pool.submit(-1, FrameInput{}));
+}
+
+// --- SolveHub: cross-session batched backend solves -------------------
+
+/**
+ * Pool with batch_solves on: every session must still reproduce the
+ * plain sequential poses bit-exactly — batching changes where the
+ * kernels execute, never what they compute.
+ */
+void
+checkBatchedPoolEquivalence(SceneType scene, int frames,
+                            BatchKernel expected_kernel,
+                            const std::function<void(LocalizerConfig &)>
+                                &tune = nullptr)
+{
+    TestRun r = makeRun(scene, frames);
+    if (tune)
+        tune(r.lcfg);
+    Dataset d(r.dcfg);
+
+    auto ref = makeLocalizer(r, d);
+    std::vector<LocalizationResult> expected;
+    for (int i = 0; i < frames; ++i)
+        expected.push_back(ref->processFrame(inputFor(d, i)));
+
+    const int kSessions = 4;
+    PoolConfig pcfg;
+    pcfg.workers = 3;
+    pcfg.queue_capacity = 8;
+    pcfg.batch_solves = true;
+    LocalizerPool pool(pcfg);
+    for (int sid = 0; sid < kSessions; ++sid)
+        pool.addSession(makeLocalizer(r, d));
+
+    for (int i = 0; i < frames; ++i)
+        for (int sid = 0; sid < kSessions; ++sid)
+            ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+    pool.drain();
+
+    std::vector<std::vector<LocalizationResult>> per(kSessions);
+    PoolResult pr;
+    while (pool.poll(pr))
+        per[pr.session_id].push_back(std::move(pr.result));
+    for (int sid = 0; sid < kSessions; ++sid) {
+        ASSERT_EQ(per[sid].size(), static_cast<size_t>(frames));
+        for (int i = 0; i < frames; ++i)
+            expectPosesIdentical(expected[i], per[sid][i], i);
+    }
+
+    // The mode's kernel went through the hub (grouping itself is
+    // opportunistic and timing-dependent — bit-identity must hold
+    // either way).
+    SolveHubStats stats = pool.solveStats();
+    EXPECT_GT(stats.requests[static_cast<int>(expected_kernel)], 0)
+        << "expected kernel was never routed through the hub";
+}
+
+TEST(SolveHub, BatchedRegistrationPoolMatchesSequentialBitExact)
+{
+    checkBatchedPoolEquivalence(SceneType::IndoorKnown, 10,
+                                BatchKernel::Projection);
+}
+
+TEST(SolveHub, BatchedVioPoolMatchesSequentialBitExact)
+{
+    checkBatchedPoolEquivalence(SceneType::OutdoorUnknown, 12,
+                                BatchKernel::SpdSolve);
+}
+
+TEST(SolveHub, BatchedSlamPoolMatchesSequentialBitExact)
+{
+    // Dense keyframing + a small window so marginalization (the LU
+    // kernel) actually fires within the short run.
+    checkBatchedPoolEquivalence(
+        SceneType::IndoorUnknown, 12, BatchKernel::LuSolve,
+        [](LocalizerConfig &lc) {
+            lc.mapping.keyframe_interval = 1;
+            lc.mapping.window_size = 4;
+        });
+}
+
+TEST(SolveHub, RendezvousGroupsConcurrentRequestsDeterministically)
+{
+    // N participants all enter their backend stage before any submits:
+    // the rendezvous must serve all N in ONE batch, each request
+    // bit-identical to the direct kernel.
+    const int kThreads = 4, n = 40;
+    SolveHub hub;
+
+    std::vector<MatX> a(kThreads), b(kThreads), x(kThreads);
+    std::vector<MatX> expected(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        Rng rng(100 + t);
+        MatX g(n, n);
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < n; ++j)
+                g(i, j) = rng.gaussian();
+        a[t] = gram(g);
+        for (int i = 0; i < n; ++i)
+            a[t](i, i) += n;
+        b[t] = MatX(n, 3);
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < 3; ++j)
+                b[t](i, j) = rng.gaussian();
+        // Direct flow (what Msckf does without a hub).
+        Cholesky chol(a[t]);
+        ASSERT_TRUE(chol.ok());
+        expected[t] = chol.solve(b[t]);
+    }
+
+    std::barrier sync(kThreads);
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            SolveHub::StageGuard guard(&hub);
+            sync.arrive_and_wait(); // all stages registered
+            if (!hub.solveSpd(a[t], b[t], x[t]))
+                failures.fetch_add(1);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(x[t].rows(), n);
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < 3; ++j)
+                EXPECT_EQ(x[t](i, j), expected[t](i, j))
+                    << "thread " << t;
+    }
+    SolveHubStats stats = hub.stats();
+    const int k = static_cast<int>(BatchKernel::SpdSolve);
+    EXPECT_EQ(stats.requests[k], kThreads);
+    EXPECT_EQ(stats.batches[k], 1);
+    EXPECT_EQ(stats.max_batch[k], kThreads);
+}
+
+TEST(SolveHub, BatchedProjectionMatchesDirectKernel)
+{
+    // Two sessions sharing one map: the stacked product must hand each
+    // session exactly the pixels of the direct per-session kernel.
+    Map map;
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+        MapPoint mp;
+        mp.position =
+            Vec3{rng.uniform(-20, 20), rng.uniform(-20, 20),
+                 rng.uniform(1, 30)};
+        map.addPoint(mp);
+    }
+    const int m = map.pointCount();
+
+    auto randomC = [&](uint64_t seed) {
+        Rng r2(seed);
+        MatX c(3, 4);
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 4; ++j)
+                c(i, j) = r2.gaussian();
+        return c;
+    };
+    std::vector<MatX> cs = {randomC(1), randomC(2)};
+
+    // Direct kernel (the hubless Tracker path).
+    MatX x_rows(m, 4);
+    for (int i = 0; i < m; ++i) {
+        x_rows(i, 0) = map.points()[i].position[0];
+        x_rows(i, 1) = map.points()[i].position[1];
+        x_rows(i, 2) = map.points()[i].position[2];
+        x_rows(i, 3) = 1.0;
+    }
+    std::vector<MatX> expected(2);
+    multiplyTransposedInto(x_rows, cs[0], expected[0]);
+    multiplyTransposedInto(x_rows, cs[1], expected[1]);
+
+    SolveHub hub;
+    std::vector<MatX> f(2);
+    std::barrier sync(2);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&, t] {
+            SolveHub::StageGuard guard(&hub);
+            sync.arrive_and_wait();
+            hub.project(&map, /*static_map=*/true, cs[t], f[t]);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    for (int t = 0; t < 2; ++t) {
+        ASSERT_EQ(f[t].rows(), m);
+        for (int i = 0; i < m; ++i)
+            for (int j = 0; j < 3; ++j)
+                EXPECT_EQ(f[t](i, j), expected[t](i, j))
+                    << "session " << t << " point " << i;
+    }
+    const int k = static_cast<int>(BatchKernel::Projection);
+    EXPECT_EQ(hub.stats().max_batch[k], 2);
+
+    // Second round against the now-warm static-map cache (and the
+    // singleton-group path): still bit-identical.
+    MatX f2;
+    {
+        SolveHub::StageGuard guard(&hub);
+        hub.project(&map, /*static_map=*/true, cs[0], f2);
+    }
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_EQ(f2(i, j), expected[0](i, j)) << "cached point " << i;
 }
 
 } // namespace
