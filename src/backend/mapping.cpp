@@ -498,7 +498,8 @@ Mapper::localBundleAdjustment(MappingTiming &timing,
 }
 
 void
-Mapper::marginalizeOldest(MappingTiming &timing, MappingWorkload &workload)
+Mapper::computeMarginalization(MappingTiming &timing,
+                               MappingWorkload &workload)
 {
     StageTimer timer(timing.marginalization_ms);
     const int old_kf = window_.front();
@@ -642,9 +643,10 @@ Mapper::marginalizeOldest(MappingTiming &timing, MappingWorkload &workload)
                     acc -= dmr(k, x) * sol(k, 6);
                 b_new[x] = acc;
             }
-            prior_kf_ = next_kf;
-            prior_h_ = h_new;
-            prior_b_ = b_new;
+            pending_.marg_solved = true;
+            pending_.prior_kf = next_kf;
+            pending_.prior_h = h_new;
+            pending_.prior_b = b_new;
         }
     } else if (nm > 0) {
         // Reference path (pre-overhaul): dense Amm assembly + LU.
@@ -717,29 +719,26 @@ Mapper::marginalizeOldest(MappingTiming &timing, MappingWorkload &workload)
             VecX amm_inv_bm = lu.solve(bm);
             MatX h_new = arr - amr.transpose() * amm_inv_amr;
             VecX b_new = br - amr.transpose() * amm_inv_bm;
-            prior_kf_ = next_kf;
-            prior_h_ = h_new;
-            prior_b_ = b_new;
+            pending_.marg_solved = true;
+            pending_.prior_kf = next_kf;
+            pending_.prior_h = h_new;
+            pending_.prior_b = b_new;
         }
     }
 
-    // Drop the old keyframe from the window and its observations.
-    for (int lm : marg_lms) {
-        auto &obs = observations_[lm];
-        obs.erase(std::remove_if(obs.begin(), obs.end(),
-                                 [old_kf](const LandmarkObs &o) {
-                                     return o.keyframe_id == old_kf;
-                                 }),
-                  obs.end());
-    }
-    window_.erase(window_.begin());
+    // The structural effects — dropping the old keyframe from the
+    // window and its observations, installing the prior — are deferred
+    // to the next frame's applyPendingFinish(): this function must stay
+    // read-only so it may overlap the next frame's tracking.
+    pending_.marg = true;
+    pending_.old_kf = old_kf;
 }
 
 bool
-Mapper::tryLoopClosure(int new_kf_id, MappingTiming &timing)
+Mapper::detectLoopClosure(int new_kf_id, MappingTiming &timing)
 {
-    StageTimer timer(timing.others_ms);
-    bool closed = false;
+    StageTimer timer(timing.loop_ms);
+    bool detected = false;
     const Keyframe &cur = map_.keyframes()[new_kf_id];
     if (voc_ && voc_->trained() &&
         new_kf_id > cfg_.loop_min_gap) {
@@ -766,37 +765,85 @@ Mapper::tryLoopClosure(int new_kf_id, MappingTiming &timing)
                 if (opt.converged &&
                     opt.inliers >= cfg_.loop_min_matches / 2) {
                     // Correction transform mapping the drifted estimate
-                    // onto the loop-consistent one; applied rigidly to
-                    // the window (poses + landmarks).
-                    Pose correction = opt.pose * cur.pose.inverse();
-                    std::unordered_set<int> win_lms;
-                    for (int kf_id : window_) {
-                        Keyframe &kf = map_.keyframes()[kf_id];
-                        kf.pose = correction * kf.pose;
-                        for (int lm : kf.map_point_ids)
-                            if (lm >= 0)
-                                win_lms.insert(lm);
-                    }
-                    for (int lm : win_lms)
-                        map_.points()[lm].position =
-                            correction.apply(map_.points()[lm].position);
-                    // The prior linearization moved with the window.
-                    prior_b_ = VecX(6);
-                    ++loop_closures_;
-                    closed = true;
+                    // onto the loop-consistent one. The rigid window
+                    // correction is deferred to applyPendingFinish()
+                    // (this function is read-only so it may overlap the
+                    // next frame's tracking).
+                    pending_.loop = true;
+                    pending_.correction = opt.pose * cur.pose.inverse();
+                    detected = true;
                 }
             }
         }
     }
-    return closed;
+    return detected;
+}
+
+std::optional<Pose>
+Mapper::applyPendingFinish(MappingTiming &timing)
+{
+    if (!pending_.marg && !pending_.loop)
+        return std::nullopt;
+    StageTimer timer(timing.others_ms);
+
+    if (pending_.marg) {
+        // Drop the marginalized keyframe from the window and its
+        // observations; install the computed prior.
+        const int old_kf = pending_.old_kf;
+        assert(!window_.empty() && window_.front() == old_kf);
+        for (int lm : map_.keyframes()[old_kf].map_point_ids) {
+            if (lm < 0)
+                continue;
+            auto &obs = observations_[lm];
+            obs.erase(std::remove_if(obs.begin(), obs.end(),
+                                     [old_kf](const LandmarkObs &o) {
+                                         return o.keyframe_id == old_kf;
+                                     }),
+                      obs.end());
+        }
+        window_.erase(window_.begin());
+        if (pending_.marg_solved) {
+            prior_kf_ = pending_.prior_kf;
+            prior_h_ = pending_.prior_h;
+            prior_b_ = pending_.prior_b;
+        }
+    }
+
+    std::optional<Pose> correction;
+    if (pending_.loop) {
+        // Rigid loop correction over the (post-pop) window: poses plus
+        // the landmarks they observe, exactly the set the pre-split
+        // algorithm transformed.
+        const Pose &corr = pending_.correction;
+        std::unordered_set<int> win_lms;
+        for (int kf_id : window_) {
+            Keyframe &kf = map_.keyframes()[kf_id];
+            kf.pose = corr * kf.pose;
+            for (int lm : kf.map_point_ids)
+                if (lm >= 0)
+                    win_lms.insert(lm);
+        }
+        for (int lm : win_lms)
+            map_.points()[lm].position =
+                corr.apply(map_.points()[lm].position);
+        // The prior linearization moved with the window.
+        prior_b_ = VecX(6);
+        ++loop_closures_;
+        correction = corr;
+    }
+
+    pending_ = PendingFinish{};
+    return correction;
 }
 
 MappingResult
-Mapper::processFrame(const FrontendOutput &frame, const Pose &pose_estimate)
+Mapper::processFrameSolve(const FrontendOutput &frame,
+                          const Pose &pose_estimate)
 {
     MappingResult res;
     res.pose = pose_estimate;
     ++frame_counter_;
+    finish_kf_ = -1;
 
     const bool make_keyframe =
         window_.empty() || (frame_counter_ % cfg_.keyframe_interval) == 0;
@@ -812,12 +859,36 @@ Mapper::processFrame(const FrontendOutput &frame, const Pose &pose_estimate)
 
     localBundleAdjustment(res.timing, res.workload);
 
-    if (static_cast<int>(window_.size()) > cfg_.window_size)
-        marginalizeOldest(res.timing, res.workload);
-
-    res.loop_closed = tryLoopClosure(kf_id, res.timing);
-
+    finish_kf_ = kf_id;
     res.pose = map_.keyframes()[kf_id].pose;
+    return res;
+}
+
+void
+Mapper::computeFinish(MappingResult &res)
+{
+    if (finish_kf_ < 0)
+        return; // no keyframe this frame: nothing to finish
+    pending_ = PendingFinish{};
+
+    if (static_cast<int>(window_.size()) > cfg_.window_size)
+        computeMarginalization(res.timing, res.workload);
+
+    res.loop_closed = detectLoopClosure(finish_kf_, res.timing);
+    finish_kf_ = -1;
+}
+
+MappingResult
+Mapper::processFrame(const FrontendOutput &frame, const Pose &pose_estimate)
+{
+    MappingTiming apply_timing;
+    std::optional<Pose> corr = applyPendingFinish(apply_timing);
+    const Pose estimate =
+        corr ? *corr * pose_estimate : pose_estimate;
+
+    MappingResult res = processFrameSolve(frame, estimate);
+    res.timing.others_ms += apply_timing.others_ms;
+    computeFinish(res);
     return res;
 }
 

@@ -65,11 +65,19 @@ struct MappingTiming
 {
     double solver_ms = 0.0;
     double marginalization_ms = 0.0;
-    double others_ms = 0.0; //!< association, triangulation, loop detect
+    double others_ms = 0.0; //!< association, triangulation, prior apply
+
+    /**
+     * Loop detection + correction. Reported separately from others_ms
+     * because it belongs to the *finish* sub-stage (marginalization +
+     * loop) of the split backend, while the rest of "others" runs in
+     * the solve sub-stage; the placement planner needs the two apart.
+     */
+    double loop_ms = 0.0;
 
     double total() const
     {
-        return solver_ms + marginalization_ms + others_ms;
+        return solver_ms + marginalization_ms + others_ms + loop_ms;
     }
 };
 
@@ -100,12 +108,55 @@ class Mapper
            const MappingConfig &cfg = {});
 
     /**
-     * Processes one frame given the tracking pose estimate. Inserts
-     * keyframes on the configured cadence, maintains the map, runs the
-     * local BA and marginalization, and checks for loop closures.
+     * Processes one frame given the tracking pose estimate:
+     * applyPendingFinish() + processFrameSolve() + computeFinish().
+     * Inserts keyframes on the configured cadence, maintains the map,
+     * runs the local BA, and computes marginalization and loop closure
+     * for the frame — whose *structural effects* (window pop, prior
+     * installation, loop correction) are deferred to the next frame's
+     * applyPendingFinish(), identically in every pipeline topology.
      */
     MappingResult processFrame(const FrontendOutput &frame,
                                const Pose &pose_estimate);
+
+    // --- split sub-stage API (solve | marginalization+loop) ----------
+    //
+    // The staged runtime runs the solve part of frame N+1 concurrently
+    // with the finish part of frame N. That is sound because the finish
+    // part is *read-only* on the map/window/observations: it computes
+    // the marginalization prior and detects a loop closure, and hands
+    // both back as a pending record. The next frame's solve applies the
+    // pending record (cheap structural mutations) after its tracking
+    // step — the only synchronization point between the two stages.
+
+    /**
+     * Applies the pending finish record of the previous frame: pops the
+     * marginalized keyframe from the window, installs the computed
+     * prior, and applies a detected loop correction to the window.
+     * @return the loop correction transform when one was applied (the
+     *         caller must fold it into its pose history and any
+     *         in-flight pose estimate).
+     */
+    std::optional<Pose> applyPendingFinish(MappingTiming &timing);
+
+    /**
+     * Solve sub-stage: keyframe insertion + local BA. Call after
+     * applyPendingFinish(). Mutates the map; must not overlap a
+     * computeFinish() of this mapper.
+     */
+    MappingResult processFrameSolve(const FrontendOutput &frame,
+                                    const Pose &pose_estimate);
+
+    /**
+     * Finish sub-stage: computes the marginalization of the oldest
+     * window keyframe (when the window overflowed) and runs loop
+     * detection for the keyframe inserted by the matching
+     * processFrameSolve(). Read-only on the shared map state; results
+     * land in the pending record consumed by the next
+     * applyPendingFinish(). Stamps timing/workload and the loop_closed
+     * flag into @p res.
+     */
+    void computeFinish(MappingResult &res);
 
     const Map &map() const { return map_; }
     Map &map() { return map_; }
@@ -133,12 +184,37 @@ class Mapper
     void localBundleAdjustment(MappingTiming &timing,
                                MappingWorkload &workload);
 
-    /** Marginalizes the oldest window keyframe (Schur complement). */
-    void marginalizeOldest(MappingTiming &timing,
-                           MappingWorkload &workload);
+    /**
+     * Computes the marginalization of the oldest window keyframe
+     * (Schur complement) into the pending record. Read-only on the
+     * map; the structural pop/prior installation happens at
+     * applyPendingFinish().
+     */
+    void computeMarginalization(MappingTiming &timing,
+                                MappingWorkload &workload);
 
-    /** Loop detection + correction; returns true when a loop closed. */
-    bool tryLoopClosure(int new_kf_id, MappingTiming &timing);
+    /**
+     * Loop detection for @p new_kf_id (read-only): on a hit, stores
+     * the correction transform in the pending record and returns true.
+     * The correction is applied at the next applyPendingFinish().
+     */
+    bool detectLoopClosure(int new_kf_id, MappingTiming &timing);
+
+    /**
+     * Deferred finish record: computed by computeFinish() of frame N,
+     * applied by applyPendingFinish() of frame N+1.
+     */
+    struct PendingFinish
+    {
+        bool marg = false;        //!< a marginalization was computed
+        bool marg_solved = false; //!< its 6x6 core solve succeeded
+        int old_kf = -1;          //!< keyframe to pop from the window
+        int prior_kf = -1;
+        MatX prior_h{6, 6};
+        VecX prior_b{6};
+        bool loop = false;        //!< a loop correction awaits
+        Pose correction;
+    };
 
     StereoRig rig_;
     const Vocabulary *voc_;
@@ -153,6 +229,9 @@ class Mapper
     std::optional<int> prior_kf_ = std::nullopt;
     MatX prior_h_{6, 6};
     VecX prior_b_{6};
+
+    PendingFinish pending_;
+    int finish_kf_ = -1; //!< keyframe the next computeFinish() serves
 
     int frame_counter_ = 0;
     int frames_as_keyframes_ = 0;

@@ -97,40 +97,109 @@ Localizer::runFrontend(const ImageU8 &left, const ImageU8 &right)
     return frontend_.processFrame(left, right);
 }
 
-LocalizationResult
-Localizer::runBackend(const FrameInput &input, const FrontendOutput &fe)
+void
+Localizer::runFrontendFe(const ImageU8 &left, const ImageU8 &right,
+                         FrontendStageContext &ctx, FrontendOutput &out)
 {
-    if (!initialized_)
-        return rejectFrame(input.frame_index);
+    frontend_.runFeStage(left, right, ctx, out);
+}
 
-    // Register this backend stage with the batching rendezvous (no-op
-    // without a hub): its kernel requests may now group with the other
-    // sessions currently inside their backend stages.
-    SolveHub::StageGuard stage_guard(hub_);
+void
+Localizer::runFrontendSm(const ImageU8 &left, const ImageU8 &right,
+                         FrontendStageContext &ctx, FrontendOutput &out)
+{
+    frontend_.runSmStage(left, right, ctx, out);
+}
 
-    LocalizationResult res;
-    switch (cfg_.mode) {
-      case BackendMode::Vio:
-        res = processVio(input, fe);
-        break;
-      case BackendMode::Slam:
-        res = processSlam(input, fe);
-        break;
-      case BackendMode::Registration:
-        res = processRegistration(input, fe);
-        break;
+void
+Localizer::runFrontendTm(const ImageU8 &left, FrontendStageContext &ctx,
+                         FrontendOutput &out)
+{
+    frontend_.runTmStage(left, ctx, out);
+}
+
+void
+Localizer::waitFinishedBefore(long seq)
+{
+    std::unique_lock<std::mutex> lk(finish_m_);
+    finish_cv_.wait(lk, [&] { return finished_seq_ >= seq; });
+}
+
+void
+Localizer::markFinished()
+{
+    {
+        std::lock_guard<std::mutex> lk(finish_m_);
+        ++finished_seq_;
     }
-    res.frame_index = input.frame_index;
-    res.mode = cfg_.mode;
-    res.telemetry.frontend = fe.timing;
-    res.telemetry.frontend_workload = fe.workload;
+    finish_cv_.notify_all();
+}
 
+void
+Localizer::updatePoseHistory(const LocalizationResult &res)
+{
     if (res.ok) {
         prev_pose_ = last_pose_;
         last_pose_ = res.pose;
     }
+}
+
+void
+Localizer::runBackendSolve(const FrameInput &input, const FrontendOutput &fe,
+                           BackendStageContext &ctx)
+{
+    ctx.seq = backend_seq_++;
+    if (!initialized_) {
+        ctx.res = rejectFrame(input.frame_index);
+        ctx.rejected = true;
+        return;
+    }
+    switch (cfg_.mode) {
+      case BackendMode::Vio:
+        processVioSolve(input, fe, ctx);
+        break;
+      case BackendMode::Slam:
+        processSlamSolve(fe, ctx);
+        break;
+      case BackendMode::Registration:
+        processRegistrationSolve(fe, ctx);
+        break;
+    }
+}
+
+LocalizationResult
+Localizer::runBackendFinish(const FrameInput &input, const FrontendOutput &fe,
+                            BackendStageContext &ctx)
+{
+    if (ctx.rejected) {
+        markFinished();
+        return std::move(ctx.res);
+    }
+    switch (cfg_.mode) {
+      case BackendMode::Vio:
+        processVioFinish(input, ctx);
+        break;
+      case BackendMode::Slam:
+        processSlamFinish(ctx);
+        break;
+      case BackendMode::Registration:
+        break; // tracking completes in the solve sub-stage
+    }
+    ctx.res.frame_index = input.frame_index;
+    ctx.res.mode = cfg_.mode;
+    ctx.res.telemetry.frontend = fe.timing;
+    ctx.res.telemetry.frontend_workload = fe.workload;
     last_frame_t_ = input.t;
-    return res;
+    markFinished();
+    return std::move(ctx.res);
+}
+
+LocalizationResult
+Localizer::runBackend(const FrameInput &input, const FrontendOutput &fe)
+{
+    BackendStageContext ctx;
+    runBackendSolve(input, fe, ctx);
+    return runBackendFinish(input, fe, ctx);
 }
 
 LocalizationResult
@@ -146,10 +215,11 @@ Localizer::processFrame(const FrameInput &input)
     return runBackend(input, fe);
 }
 
-LocalizationResult
-Localizer::processVio(const FrameInput &input, const FrontendOutput &fe)
+void
+Localizer::processVioSolve(const FrameInput &input, const FrontendOutput &fe,
+                           BackendStageContext &ctx)
 {
-    LocalizationResult res;
+    LocalizationResult &res = ctx.res;
 
     msckf_->propagate(input.imu);
 
@@ -161,24 +231,30 @@ Localizer::processVio(const FrameInput &input, const FrontendOutput &fe)
 
     res.telemetry.msckf = msckf_->lastTiming();
     res.telemetry.msckf_workload = msckf_->lastWorkload();
+    res.pose = msckf_->pose();
+    res.ok = true;
+}
 
-    Pose pose = msckf_->pose();
+void
+Localizer::processVioFinish(const FrameInput &input, BackendStageContext &ctx)
+{
+    LocalizationResult &res = ctx.res;
     if (fusion_) {
         StageTimer timer(res.telemetry.fusion_ms);
         double dt = input.t - last_frame_t_;
-        fusion_->fuse(pose.translation, input.gps, dt);
-        pose = fusion_->correct(pose);
+        fusion_->fuse(res.pose.translation, input.gps, dt);
+        res.pose = fusion_->correct(res.pose);
     }
-    res.pose = pose;
-    res.ok = true;
-    return res;
+    // VIO owns its pose history in the finish sub-stage (the fused pose
+    // is the final one); nothing in the VIO solve sub-stage reads it.
+    updatePoseHistory(res);
 }
 
-LocalizationResult
-Localizer::processSlam(const FrameInput &input, const FrontendOutput &fe)
+void
+Localizer::processSlamSolve(const FrontendOutput &fe,
+                            BackendStageContext &ctx)
 {
-    (void)input;
-    LocalizationResult res;
+    LocalizationResult &res = ctx.res;
 
     // Constant-velocity prediction for the tracking block.
     std::optional<Pose> prediction;
@@ -194,7 +270,9 @@ Localizer::processSlam(const FrameInput &input, const FrontendOutput &fe)
 
     // Tracking against the latest map (runs on every frame). On the
     // very first frames the map is empty and tracking reports lost; the
-    // mapper bootstraps from the initial pose.
+    // mapper bootstraps from the initial pose. Tracking only *reads*
+    // the map, so it may overlap the previous frame's finish sub-stage
+    // (marginalization + loop detection), which is read-only too.
     if (mapper_->map().pointCount() > 0) {
         TrackingResult tr = slam_tracker_->track(fe, prediction);
         res.telemetry.tracking = tr.timing;
@@ -208,21 +286,51 @@ Localizer::processSlam(const FrameInput &input, const FrontendOutput &fe)
         }
     }
 
-    MappingResult mr = mapper_->processFrame(fe, estimate);
-    res.telemetry.mapping = mr.timing;
+    // Synchronization point with the previous frame's finish sub-stage:
+    // from here on the solve mutates the map (keyframe insertion, BA),
+    // so the pending marginalization/loop outputs must be in.
+    waitFinishedBefore(ctx.seq);
+    if (auto corr =
+            mapper_->applyPendingFinish(res.telemetry.mapping)) {
+        // A loop closed on the previous keyframe: the whole window
+        // (and therefore the running estimate and the prediction
+        // history) moves by the rigid correction.
+        estimate = *corr * estimate;
+        if (last_pose_)
+            last_pose_ = *corr * *last_pose_;
+        if (prev_pose_)
+            prev_pose_ = *corr * *prev_pose_;
+    }
+
+    MappingResult mr = mapper_->processFrameSolve(fe, estimate);
+    res.telemetry.mapping.solver_ms += mr.timing.solver_ms;
+    res.telemetry.mapping.others_ms += mr.timing.others_ms;
     res.telemetry.mapping_workload = mr.workload;
 
     res.pose = mr.keyframe_added ? mr.pose : estimate;
     res.ok = have_estimate || mr.keyframe_added;
-    return res;
+    updatePoseHistory(res);
 }
 
-LocalizationResult
-Localizer::processRegistration(const FrameInput &input,
-                               const FrontendOutput &fe)
+void
+Localizer::processSlamFinish(BackendStageContext &ctx)
 {
-    (void)input;
-    LocalizationResult res;
+    LocalizationResult &res = ctx.res;
+    MappingResult fin;
+    fin.timing = {};
+    fin.workload = res.telemetry.mapping_workload;
+    mapper_->computeFinish(fin);
+    res.telemetry.mapping.marginalization_ms +=
+        fin.timing.marginalization_ms;
+    res.telemetry.mapping.loop_ms += fin.timing.loop_ms;
+    res.telemetry.mapping_workload = fin.workload;
+}
+
+void
+Localizer::processRegistrationSolve(const FrontendOutput &fe,
+                                    BackendStageContext &ctx)
+{
+    LocalizationResult &res = ctx.res;
 
     std::optional<Pose> prediction;
     if (last_pose_ && prev_pose_) {
@@ -252,7 +360,7 @@ Localizer::processRegistration(const FrameInput &input,
         res.pose = last_pose_.value_or(Pose::identity());
         res.ok = false;
     }
-    return res;
+    updatePoseHistory(res);
 }
 
 } // namespace edx

@@ -24,7 +24,9 @@
  */
 #pragma once
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "backend/fusion.hpp"
@@ -90,6 +92,21 @@ struct FrameInput
     bool hasImages() const { return !left.empty() && !right.empty(); }
 };
 
+/**
+ * Compact handoff between the two backend sub-stages (solve | finish).
+ *
+ * runBackendSolve() fills it; runBackendFinish() consumes it and emits
+ * the completed LocalizationResult. The context is owned by the frame
+ * job, so the two sub-stages may run on different pipeline workers
+ * (finish of frame N overlapping solve of frame N+1).
+ */
+struct BackendStageContext
+{
+    LocalizationResult res; //!< progressively completed result
+    long seq = -1;          //!< backend frame sequence number
+    bool rejected = false;  //!< frame could not be localized
+};
+
 /** The unified localizer. */
 class Localizer
 {
@@ -134,10 +151,46 @@ class Localizer
      * Stage 2: the mode-specific backend. Touches only backend state
      * (filter / tracker / mapper and the pose history). @p input must
      * be the frame that produced @p fe, and frames must arrive in
-     * submission order.
+     * submission order. Composition of runBackendSolve() +
+     * runBackendFinish().
      */
     LocalizationResult runBackend(const FrameInput &input,
                                   const FrontendOutput &fe);
+
+    // --- sub-stage API (the N-stage pipeline's cut points) -----------
+    //
+    // The frame's sub-stage graph is FE | SM | TM | solve | finish.
+    // The frontend trio maps onto VisionFrontend::run{Fe,Sm,Tm}Stage;
+    // the backend pair splits each mode at its solver / structural
+    // boundary:
+    //   - SLAM: tracking + keyframe insertion + local BA  |
+    //           marginalization + loop detection (read-only, applied
+    //           at the next frame's solve — see backend/mapping.hpp),
+    //   - VIO:  MSCKF propagate + update  |  GPS fusion,
+    //   - registration: full tracking  |  (empty).
+    // Successive frames must enter each sub-stage in submission order;
+    // a solve that needs the previous frame's finish outputs blocks on
+    // an internal sequence gate, so any topology yields bit-identical
+    // pose streams.
+
+    /** Frontend feature extraction (FD + IF + FC). */
+    void runFrontendFe(const ImageU8 &left, const ImageU8 &right,
+                       FrontendStageContext &ctx, FrontendOutput &out);
+    /** Frontend stereo matching (MO + DR). */
+    void runFrontendSm(const ImageU8 &left, const ImageU8 &right,
+                       FrontendStageContext &ctx, FrontendOutput &out);
+    /** Frontend temporal matching (DC + LSS). */
+    void runFrontendTm(const ImageU8 &left, FrontendStageContext &ctx,
+                       FrontendOutput &out);
+
+    /** Backend solve sub-stage; fills @p ctx for runBackendFinish(). */
+    void runBackendSolve(const FrameInput &input, const FrontendOutput &fe,
+                         BackendStageContext &ctx);
+
+    /** Backend finish sub-stage; completes and returns the result. */
+    LocalizationResult runBackendFinish(const FrameInput &input,
+                                        const FrontendOutput &fe,
+                                        BackendStageContext &ctx);
 
     /** The map being built (SLAM) or localized against (registration). */
     const Map *currentMap() const;
@@ -156,12 +209,22 @@ class Localizer
     const LocalizerConfig &config() const { return cfg_; }
 
   private:
-    LocalizationResult processVio(const FrameInput &input,
-                                  const FrontendOutput &fe);
-    LocalizationResult processSlam(const FrameInput &input,
-                                   const FrontendOutput &fe);
-    LocalizationResult processRegistration(const FrameInput &input,
-                                           const FrontendOutput &fe);
+    void processVioSolve(const FrameInput &input, const FrontendOutput &fe,
+                         BackendStageContext &ctx);
+    void processVioFinish(const FrameInput &input, BackendStageContext &ctx);
+    void processSlamSolve(const FrontendOutput &fe,
+                          BackendStageContext &ctx);
+    void processSlamFinish(BackendStageContext &ctx);
+    void processRegistrationSolve(const FrontendOutput &fe,
+                                  BackendStageContext &ctx);
+
+    /** Folds the just-solved pose into the prediction history. */
+    void updatePoseHistory(const LocalizationResult &res);
+
+    /** Blocks until every finish before backend frame @p seq ran. */
+    void waitFinishedBefore(long seq);
+    /** Marks one finish sub-stage complete (wakes waiting solves). */
+    void markFinished();
 
     /** Failure result for frames that cannot be localized. */
     LocalizationResult rejectFrame(int frame_index) const;
@@ -192,6 +255,14 @@ class Localizer
     std::optional<Pose> last_pose_;
     std::optional<Pose> prev_pose_;
     bool initialized_ = false;
+
+    // solve | finish sequencing: finish(N) publishes before the parts
+    // of solve(N+1) that consume its outputs run (SLAM pending apply).
+    // Only touched by the solve/finish stage workers.
+    long backend_seq_ = 0;    //!< frames entered into the solve stage
+    std::mutex finish_m_;
+    std::condition_variable finish_cv_;
+    long finished_seq_ = 0;   //!< finish sub-stages completed
 };
 
 /** Builds the LocalizerConfig for a scenario (Fig. 2 dispatch). */

@@ -30,17 +30,63 @@ VisionFrontend::processFrameInto(const ImageU8 &left,
                                  const ImageU8 &right,
                                  FrontendOutput &out)
 {
+    // The monolithic frame call is exactly the three sub-stage calls in
+    // sequence, so the split pipeline topologies are bit-identical to
+    // this one by construction. The allocation accounting brackets all
+    // three (the capacity sum is only safe to read when no other stage
+    // worker is concurrently touching the workspace).
+    const bool track_allocs = !cfg_.use_reference;
+    const size_t cap_before =
+        track_allocs ? ws_.capacityBytes() + mono_ctx_.capacityBytes()
+                     : 0;
+    runFeStage(left, right, mono_ctx_, out);
+    runSmStage(left, right, mono_ctx_, out);
+    runTmStage(left, mono_ctx_, out);
+    if (track_allocs &&
+        ws_.capacityBytes() + mono_ctx_.capacityBytes() != cap_before)
+        ++alloc_events_;
+}
+
+void
+VisionFrontend::runFeStage(const ImageU8 &left, const ImageU8 &right,
+                           FrontendStageContext &ctx, FrontendOutput &out)
+{
     out.timing = {};
     out.workload = {};
     out.workload.image_pixels = left.pixelCount();
-    if (cfg_.use_reference) {
-        processReference(left, right, out);
-        return;
-    }
-    const size_t cap_before = ws_.capacityBytes();
-    processOptimized(left, right, out);
-    if (ws_.capacityBytes() != cap_before)
-        ++alloc_events_;
+    if (cfg_.use_reference)
+        feReference(left, right, ctx, out);
+    else
+        feOptimized(left, right, ctx, out);
+    out.workload.left_features = static_cast<int>(out.keypoints.size());
+    out.workload.right_features =
+        static_cast<int>(ctx.right_keypoints.size());
+    out.workload.stereo_candidates_allpairs =
+        out.workload.left_features * out.workload.right_features;
+}
+
+void
+VisionFrontend::runSmStage(const ImageU8 &left, const ImageU8 &right,
+                           FrontendStageContext &ctx, FrontendOutput &out)
+{
+    if (cfg_.use_reference)
+        smReference(left, right, ctx, out);
+    else
+        smOptimized(left, right, ctx, out);
+    out.workload.stereo_matches = static_cast<int>(out.stereo.size());
+}
+
+void
+VisionFrontend::runTmStage(const ImageU8 &left, FrontendStageContext &,
+                           FrontendOutput &out)
+{
+    if (cfg_.use_reference)
+        tmReference(left, out);
+    else
+        tmOptimized(left, out);
+    out.workload.temporal_tracks = static_cast<int>(out.temporal.size());
+    ws_.prev_keypoints.assign(out.keypoints.begin(), out.keypoints.end());
+    has_prev_ = true;
 }
 
 void
@@ -63,9 +109,8 @@ VisionFrontend::runEye(const ImageU8 &img, EyeWorkspace &eye,
 }
 
 void
-VisionFrontend::processOptimized(const ImageU8 &left,
-                                 const ImageU8 &right,
-                                 FrontendOutput &out)
+VisionFrontend::feOptimized(const ImageU8 &left, const ImageU8 &right,
+                            FrontendStageContext &ctx, FrontendOutput &out)
 {
     // --- Feature extraction block (FD + IF + FC), both images. The
     // hardware time-shares one FE pipeline across the two streams
@@ -135,31 +180,47 @@ VisionFrontend::processOptimized(const ImageU8 &left,
         }
     }
 
-    out.workload.left_features =
-        static_cast<int>(ws_.left.keypoints.size());
-    out.workload.right_features =
-        static_cast<int>(ws_.right.keypoints.size());
-    out.workload.stereo_candidates_allpairs =
-        out.workload.left_features * out.workload.right_features;
+    // Copy (not swap) the products out: the workspace keeps its
+    // capacity, and a reused output packet keeps its own. The right-eye
+    // products travel in the stage context — stereo matching may run on
+    // a different stage worker while this FE section is already filling
+    // the next frame.
+    out.keypoints.assign(ws_.left.keypoints.begin(),
+                         ws_.left.keypoints.end());
+    out.descriptors.assign(ws_.left.descriptors.begin(),
+                           ws_.left.descriptors.end());
+    ctx.right_keypoints.assign(ws_.right.keypoints.begin(),
+                               ws_.right.keypoints.end());
+    ctx.right_descriptors.assign(ws_.right.descriptors.begin(),
+                                 ws_.right.descriptors.end());
+}
 
+void
+VisionFrontend::smOptimized(const ImageU8 &left, const ImageU8 &right,
+                            FrontendStageContext &ctx, FrontendOutput &out)
+{
     // --- Stereo matching block (MO + DR): epipolar row-band bucketing
     // instead of the all-pairs Hamming sweep.
     {
         StageTimer timer(out.timing.mo_ms);
-        ws_.stereo_rows.build(ws_.right.keypoints, left.height());
+        ws_.stereo_rows.build(ctx.right_keypoints, left.height());
         long evaluated = stereoMatchBandedInto(
-            ws_.left.keypoints, ws_.left.descriptors,
-            ws_.right.keypoints, ws_.right.descriptors, cfg_.stereo,
-            ws_.stereo_rows, ws_.stereo);
+            out.keypoints, out.descriptors, ctx.right_keypoints,
+            ctx.right_descriptors, cfg_.stereo, ws_.stereo_rows,
+            ws_.stereo);
         out.workload.stereo_candidates = static_cast<int>(evaluated);
     }
     {
         StageTimer timer(out.timing.dr_ms);
-        stereoRefineDisparityInto(left, right, ws_.left.keypoints,
-                                  ws_.stereo, cfg_.stereo, ws_.dr_costs);
+        stereoRefineDisparityInto(left, right, out.keypoints, ws_.stereo,
+                                  cfg_.stereo, ws_.dr_costs);
     }
-    out.workload.stereo_matches = static_cast<int>(ws_.stereo.size());
+    out.stereo.assign(ws_.stereo.begin(), ws_.stereo.end());
+}
 
+void
+VisionFrontend::tmOptimized(const ImageU8 &left, FrontendOutput &out)
+{
     // --- Temporal matching block (DC + LSS): LK against the previous
     // left frame, on the raw (unfiltered) pyramid. The pyramid and its
     // per-level gradient images are built once into the workspace's
@@ -189,26 +250,12 @@ VisionFrontend::processOptimized(const ImageU8 &left,
         swap(ws_.prev_pyramid, ws_.cur_pyramid);
         std::swap(ws_.prev_gradients, ws_.cur_gradients);
     }
-    out.workload.temporal_tracks = static_cast<int>(ws_.temporal.size());
-
-    ws_.prev_keypoints.assign(ws_.left.keypoints.begin(),
-                              ws_.left.keypoints.end());
-    has_prev_ = true;
-
-    // Copy (not swap) the products out: the workspace keeps its
-    // capacity, and a reused output packet keeps its own.
-    out.keypoints.assign(ws_.left.keypoints.begin(),
-                         ws_.left.keypoints.end());
-    out.descriptors.assign(ws_.left.descriptors.begin(),
-                           ws_.left.descriptors.end());
-    out.stereo.assign(ws_.stereo.begin(), ws_.stereo.end());
     out.temporal.assign(ws_.temporal.begin(), ws_.temporal.end());
 }
 
 void
-VisionFrontend::processReference(const ImageU8 &left,
-                                 const ImageU8 &right,
-                                 FrontendOutput &out)
+VisionFrontend::feReference(const ImageU8 &left, const ImageU8 &right,
+                            FrontendStageContext &ctx, FrontendOutput &out)
 {
     // The retained scalar path: every task through the reference
     // kernels, with the pre-workspace allocation behavior. This is the
@@ -217,11 +264,10 @@ VisionFrontend::processReference(const ImageU8 &left,
     // formulation of the *current* algorithms — fixed-point blur,
     // gradient-image LK — so it tracks the pre-overhaul frontend's
     // cost without being bit-identical to the old float kernels.)
-    std::vector<KeyPoint> lk, rk;
     {
         StageTimer timer(out.timing.fd_ms);
-        lk = detectFastReference(left, cfg_.fast);
-        rk = detectFastReference(right, cfg_.fast);
+        out.keypoints = detectFastReference(left, cfg_.fast);
+        ctx.right_keypoints = detectFastReference(right, cfg_.fast);
     }
 
     ImageU8 lf, rf;
@@ -231,54 +277,49 @@ VisionFrontend::processReference(const ImageU8 &left,
         rf = gaussianBlurReference(right);
     }
 
-    std::vector<Descriptor> ld, rd;
     {
         StageTimer timer(out.timing.fc_ms);
-        ld = computeOrbDescriptorsReference(lf, lk);
-        rd = computeOrbDescriptorsReference(rf, rk);
+        out.descriptors = computeOrbDescriptorsReference(lf, out.keypoints);
+        ctx.right_descriptors =
+            computeOrbDescriptorsReference(rf, ctx.right_keypoints);
     }
+}
 
-    out.workload.left_features = static_cast<int>(lk.size());
-    out.workload.right_features = static_cast<int>(rk.size());
+void
+VisionFrontend::smReference(const ImageU8 &left, const ImageU8 &right,
+                            FrontendStageContext &ctx, FrontendOutput &out)
+{
     // The all-pairs sweep examines every (left, right) pair; both
-    // counters carry that number on the reference path.
-    out.workload.stereo_candidates_allpairs =
-        static_cast<int>(lk.size()) * static_cast<int>(rk.size());
+    // candidate counters carry that number on the reference path.
     out.workload.stereo_candidates =
         out.workload.stereo_candidates_allpairs;
-
-    std::vector<StereoMatch> matches;
     {
         StageTimer timer(out.timing.mo_ms);
-        matches = stereoMatchInitial(lk, ld, rk, rd, cfg_.stereo);
+        out.stereo =
+            stereoMatchInitial(out.keypoints, out.descriptors,
+                               ctx.right_keypoints,
+                               ctx.right_descriptors, cfg_.stereo);
     }
     {
         StageTimer timer(out.timing.dr_ms);
-        stereoRefineDisparityReference(left, right, lk, matches,
-                                       cfg_.stereo);
+        stereoRefineDisparityReference(left, right, out.keypoints,
+                                       out.stereo, cfg_.stereo);
     }
-    out.workload.stereo_matches = static_cast<int>(matches.size());
+}
 
-    {
-        StageTimer timer(out.timing.tm_ms);
-        ws_.cur_pyramid.rebuild(left, cfg_.flow.pyramid_levels);
-        if (has_prev_) {
-            out.temporal = trackLucasKanadeReference(
-                ws_.prev_pyramid, ws_.cur_pyramid, ws_.prev_keypoints,
-                cfg_.flow);
-        } else {
-            out.temporal.clear();
-        }
-        swap(ws_.prev_pyramid, ws_.cur_pyramid);
+void
+VisionFrontend::tmReference(const ImageU8 &left, FrontendOutput &out)
+{
+    StageTimer timer(out.timing.tm_ms);
+    ws_.cur_pyramid.rebuild(left, cfg_.flow.pyramid_levels);
+    if (has_prev_) {
+        out.temporal = trackLucasKanadeReference(
+            ws_.prev_pyramid, ws_.cur_pyramid, ws_.prev_keypoints,
+            cfg_.flow);
+    } else {
+        out.temporal.clear();
     }
-    out.workload.temporal_tracks = static_cast<int>(out.temporal.size());
-
-    ws_.prev_keypoints.assign(lk.begin(), lk.end());
-    has_prev_ = true;
-
-    out.keypoints = std::move(lk);
-    out.descriptors = std::move(ld);
-    out.stereo = std::move(matches);
+    swap(ws_.prev_pyramid, ws_.cur_pyramid);
 }
 
 } // namespace edx

@@ -125,6 +125,28 @@ struct FrontendOutput
 };
 
 /**
+ * Inter-stage handoff of the split frontend (runFeStage / runSmStage /
+ * runTmStage). The left-eye products land directly in FrontendOutput;
+ * the right-eye products are only consumed by stereo matching, so they
+ * travel in this context instead of the public output. The context is
+ * owned by the frame job, so a downstream stage never reads the
+ * frontend's workspace while an upstream stage of the next frame is
+ * overwriting it.
+ */
+struct FrontendStageContext
+{
+    std::vector<KeyPoint> right_keypoints;
+    std::vector<Descriptor> right_descriptors;
+
+    size_t
+    capacityBytes() const
+    {
+        return right_keypoints.capacity() * sizeof(KeyPoint) +
+               right_descriptors.capacity() * sizeof(Descriptor);
+    }
+};
+
+/**
  * The stateful frontend: owns the FrameWorkspace (including the
  * previous frame's pyramid, gradients and key points for temporal
  * matching) and, when lanes == 2, the second FE worker lane.
@@ -151,6 +173,28 @@ class VisionFrontend
     void processFrameInto(const ImageU8 &left, const ImageU8 &right,
                           FrontendOutput &out);
 
+    // --- split sub-stage API (runtime/pipeline.hpp) ------------------
+    //
+    // processFrameInto() is exactly runFeStage(); runSmStage();
+    // runTmStage() — the staged runtime calls the three pieces on
+    // (possibly) different stage workers. Each call touches a disjoint
+    // section of the frame workspace (per-eye buffers / stereo buffers
+    // / temporal double-buffer), and all inter-stage data flows through
+    // @p ctx and @p out, so FE of frame N+1 may run concurrently with
+    // SM/TM of frame N with bit-identical results.
+
+    /** Feature extraction (FD + IF + FC) on both eyes. */
+    void runFeStage(const ImageU8 &left, const ImageU8 &right,
+                    FrontendStageContext &ctx, FrontendOutput &out);
+
+    /** Stereo matching (MO + DR) over the FE products. */
+    void runSmStage(const ImageU8 &left, const ImageU8 &right,
+                    FrontendStageContext &ctx, FrontendOutput &out);
+
+    /** Temporal matching (DC + LSS) against the previous left frame. */
+    void runTmStage(const ImageU8 &left, FrontendStageContext &ctx,
+                    FrontendOutput &out);
+
     /** Drops temporal state (e.g., on dataset restart). */
     void reset();
 
@@ -163,7 +207,11 @@ class VisionFrontend
     size_t workspaceAllocationEvents() const { return alloc_events_; }
 
     /** Current workspace footprint (capacity), bytes. */
-    size_t workspaceCapacityBytes() const { return ws_.capacityBytes(); }
+    size_t
+    workspaceCapacityBytes() const
+    {
+        return ws_.capacityBytes() + mono_ctx_.capacityBytes();
+    }
 
   private:
     struct EyeTiming
@@ -174,13 +222,20 @@ class VisionFrontend
     /** FD -> IF -> FC for one eye (one lane's share of the FE block). */
     void runEye(const ImageU8 &img, EyeWorkspace &eye, EyeTiming &t);
 
-    void processOptimized(const ImageU8 &left, const ImageU8 &right,
-                          FrontendOutput &out);
-    void processReference(const ImageU8 &left, const ImageU8 &right,
-                          FrontendOutput &out);
+    void feOptimized(const ImageU8 &left, const ImageU8 &right,
+                     FrontendStageContext &ctx, FrontendOutput &out);
+    void smOptimized(const ImageU8 &left, const ImageU8 &right,
+                     FrontendStageContext &ctx, FrontendOutput &out);
+    void tmOptimized(const ImageU8 &left, FrontendOutput &out);
+    void feReference(const ImageU8 &left, const ImageU8 &right,
+                     FrontendStageContext &ctx, FrontendOutput &out);
+    void smReference(const ImageU8 &left, const ImageU8 &right,
+                     FrontendStageContext &ctx, FrontendOutput &out);
+    void tmReference(const ImageU8 &left, FrontendOutput &out);
 
     FrontendConfig cfg_;
     FrameWorkspace ws_;
+    FrontendStageContext mono_ctx_; //!< reused by processFrameInto()
     std::unique_ptr<WorkerLane> lane_;
     bool has_prev_ = false;
     size_t alloc_events_ = 0;

@@ -10,6 +10,9 @@ LocalizerPool::LocalizerPool(const PoolConfig &cfg) : cfg_(cfg)
         cfg_.workers = 1;
     if (cfg_.queue_capacity < 1)
         cfg_.queue_capacity = 1;
+    if (cfg_.gang_window)
+        cfg_.batch_solves = true; // aligning stages without the hub
+                                  // would align nothing
     workers_.reserve(cfg_.workers);
     for (int i = 0; i < cfg_.workers; ++i)
         workers_.emplace_back(&LocalizerPool::workerLoop, this);
@@ -70,11 +73,79 @@ LocalizerPool::submit(int session_id, FrameInput input)
 }
 
 void
+LocalizerPool::finishFrame(int sid, PoolResult r)
+{
+    Session &s = *sessions_[sid];
+    s.running = false;
+    if (!s.pending.empty()) {
+        runnable_.push_back(sid);
+        work_cv_.notify_one();
+    }
+    results_.push_back(std::move(r));
+    ++completed_;
+    result_cv_.notify_all();
+}
+
+void
+LocalizerPool::maybeReleaseGang()
+{
+    // The window closes when no frame is mid-frontend (every in-flight
+    // frame is parked at the window, so this is the largest gang the
+    // current load can form) and the previous wave's backends are done
+    // (waves serialize, keeping each rendezvous at full width; the
+    // *next* wave's frontends still overlap this wave's backends).
+    // Release at most `workers` backends: more could not execute
+    // concurrently anyway, and announced entries must be claimable
+    // immediately — see expectBackendEntries().
+    if (gang_frontends_ > 0 || gang_outstanding_ > 0 ||
+        gang_staged_.empty())
+        return;
+    int release = std::min(static_cast<int>(gang_staged_.size()),
+                           cfg_.workers);
+    hub_.expectBackendEntries(release);
+    gang_outstanding_ = release;
+    for (int i = 0; i < release; ++i) {
+        gang_released_.push_back(gang_staged_.front());
+        gang_staged_.pop_front();
+    }
+    work_cv_.notify_all();
+}
+
+void
 LocalizerPool::workerLoop()
 {
     std::unique_lock<std::mutex> lk(m_);
     for (;;) {
-        work_cv_.wait(lk, [&] { return !runnable_.empty() || stopping_; });
+        work_cv_.wait(lk, [&] {
+            return !gang_released_.empty() || !runnable_.empty() ||
+                   stopping_;
+        });
+
+        // Released gang backends run with strict priority: each was
+        // pre-announced to the hub, and the rendezvous holds every
+        // parked request until all announced stages are in.
+        if (!gang_released_.empty()) {
+            int sid = gang_released_.front();
+            gang_released_.pop_front();
+            Session &s = *sessions_[sid];
+            assert(s.running);
+            FrameInput input = std::move(s.staged_input);
+            FrontendOutput fe = std::move(s.staged_fe);
+
+            lk.unlock();
+            PoolResult r;
+            r.session_id = sid;
+            {
+                SolveHub::StageGuard guard(&hub_);
+                r.result = s.loc->runBackend(input, fe);
+            }
+            lk.lock();
+            --gang_outstanding_;
+            finishFrame(sid, std::move(r));
+            maybeReleaseGang();
+            continue;
+        }
+
         if (runnable_.empty()) {
             if (stopping_)
                 return;
@@ -90,20 +161,44 @@ LocalizerPool::workerLoop()
         --queued_frames_;
         space_cv_.notify_one();
 
+        const bool splittable =
+            s.loc->initialized() && input.hasImages();
+
+        if (cfg_.gang_window && splittable) {
+            // Frontend now; backend parked at the gang window.
+            ++gang_frontends_;
+            lk.unlock();
+            FrontendOutput fe =
+                s.loc->runFrontend(input.left, input.right);
+            lk.lock();
+            --gang_frontends_;
+            s.staged_input = std::move(input);
+            s.staged_fe = std::move(fe);
+            gang_staged_.push_back(sid);
+            maybeReleaseGang();
+            continue;
+        }
+
         lk.unlock();
         PoolResult r;
         r.session_id = sid;
-        r.result = s.loc->processFrame(input);
-        lk.lock();
-
-        s.running = false;
-        if (!s.pending.empty()) {
-            runnable_.push_back(sid);
-            work_cv_.notify_one();
+        if (!splittable) {
+            // Rejected frames never reach the backend; keep them out
+            // of the gang/batching machinery entirely.
+            r.result = s.loc->processFrame(input);
+        } else if (cfg_.batch_solves) {
+            // The stage guard scopes exactly the backend: a session
+            // chewing on its frontend must not stall other sessions'
+            // kernel rendezvous.
+            FrontendOutput fe =
+                s.loc->runFrontend(input.left, input.right);
+            SolveHub::StageGuard guard(&hub_);
+            r.result = s.loc->runBackend(input, fe);
+        } else {
+            r.result = s.loc->processFrame(input);
         }
-        results_.push_back(std::move(r));
-        ++completed_;
-        result_cv_.notify_all();
+        lk.lock();
+        finishFrame(sid, std::move(r));
     }
 }
 

@@ -44,6 +44,19 @@ struct PoolConfig
      * solves"). Off by default.
      */
     bool batch_solves = false;
+
+    /**
+     * Gang window: align concurrent sessions' backend stages so the
+     * SolveHub observes batch sizes near the session count instead of
+     * whoever happens to rendezvous. Frames run their frontend as they
+     * arrive, then park at the window; once every in-flight frame has
+     * reached it the pool releases up to `workers` backends together,
+     * pre-announcing the group to the hub so their first kernel
+     * requests rendezvous at full width. Per-session pose streams stay
+     * bit-identical (the window changes *when* a backend runs, never
+     * what it computes). Implies batch_solves.
+     */
+    bool gang_window = false;
 };
 
 /** One completed frame of one session. */
@@ -117,9 +130,17 @@ class LocalizerPool
         std::unique_ptr<Localizer> loc;
         std::deque<FrameInput> pending;
         bool running = false; //!< a worker currently owns this session
+
+        // Gang window: the frame parked between its frontend and its
+        // released backend (valid while this session sits in
+        // gang_staged_ / gang_released_).
+        FrameInput staged_input;
+        FrontendOutput staged_fe;
     };
 
     void workerLoop();
+    void finishFrame(int sid, PoolResult r); //!< under m_
+    void maybeReleaseGang();                 //!< under m_
 
     PoolConfig cfg_;
     SolveHub hub_; //!< shared batching rendezvous (used when enabled)
@@ -135,6 +156,12 @@ class LocalizerPool
     long submitted_ = 0;
     long completed_ = 0;
     bool stopping_ = false;
+
+    // Gang window state (gang_window only).
+    int gang_frontends_ = 0;        //!< frames currently in a frontend
+    int gang_outstanding_ = 0;      //!< released backends not yet done
+    std::deque<int> gang_staged_;   //!< sessions parked at the window
+    std::deque<int> gang_released_; //!< backends released to run
 
     std::deque<PoolResult> results_;
     std::vector<std::thread> workers_;

@@ -1,22 +1,114 @@
 #include "runtime/pipeline.hpp"
 
+#include <stdexcept>
+
 #include "runtime/telemetry.hpp"
 
 namespace edx {
 
+const char *
+pipeNodeName(int node)
+{
+    switch (static_cast<PipeNode>(node)) {
+      case PipeNode::Fe:
+        return "FE";
+      case PipeNode::Sm:
+        return "SM";
+      case PipeNode::Tm:
+        return "TM";
+      case PipeNode::Solve:
+        return "SOLVE";
+      case PipeNode::Finish:
+        return "FIN";
+    }
+    return "?";
+}
+
+std::string
+describeCuts(const std::vector<int> &cuts)
+{
+    std::string out;
+    size_t next_cut = 0;
+    for (int node = 0; node < kPipelineNodes; ++node) {
+        if (node > 0) {
+            if (next_cut < cuts.size() && cuts[next_cut] == node - 1) {
+                out += " | ";
+                ++next_cut;
+            } else {
+                out += "+";
+            }
+        }
+        out += pipeNodeName(node);
+    }
+    return out;
+}
+
+void
+FramePipeline::buildTopology()
+{
+    if (cfg_.stages < 0)
+        throw std::invalid_argument(
+            "PipelineConfig: stages must be >= 1 (got " +
+            std::to_string(cfg_.stages) + ")");
+
+    if (cfg_.cuts.empty()) {
+        if (cfg_.stages == 1) {
+            cuts_ = {};
+        } else if (cfg_.stages == 0 || cfg_.stages == 2) {
+            cuts_ = {static_cast<int>(PipeNode::Tm)}; // frontend|backend
+        } else {
+            throw std::invalid_argument(
+                "PipelineConfig: stages > 2 needs an explicit cut "
+                "list (use the placement planner or set cuts)");
+        }
+    } else {
+        int prev = -1;
+        for (int c : cfg_.cuts) {
+            if (c < 0 || c >= kPipelineNodes - 1)
+                throw std::invalid_argument(
+                    "PipelineConfig: cut " + std::to_string(c) +
+                    " outside the valid boundaries [0, " +
+                    std::to_string(kPipelineNodes - 2) + "]");
+            if (c <= prev)
+                throw std::invalid_argument(
+                    "PipelineConfig: cuts must be strictly increasing");
+            prev = c;
+        }
+        const int implied = static_cast<int>(cfg_.cuts.size()) + 1;
+        // stages == 0 means "derive from the cuts"; anything explicit
+        // must agree with them exactly.
+        if (cfg_.stages != 0 && cfg_.stages != implied)
+            throw std::invalid_argument(
+                "PipelineConfig: stages (" +
+                std::to_string(cfg_.stages) +
+                ") inconsistent with cuts (imply " +
+                std::to_string(implied) + ")");
+        cuts_ = cfg_.cuts;
+    }
+    cfg_.stages = static_cast<int>(cuts_.size()) + 1;
+
+    segments_.clear();
+    int first = 0;
+    for (int c : cuts_) {
+        segments_.push_back({first, c + 1});
+        first = c + 1;
+    }
+    segments_.push_back({first, kPipelineNodes});
+}
+
 FramePipeline::FramePipeline(Localizer &localizer,
                              const PipelineConfig &cfg)
-    : loc_(localizer), cfg_(cfg), in_q_(cfg.queue_capacity),
-      mid_q_(cfg.queue_capacity)
+    : loc_(localizer), cfg_(cfg), in_q_(cfg.queue_capacity)
 {
-    if (cfg_.stages < 1)
-        cfg_.stages = 1;
-    if (cfg_.stages > 2)
-        cfg_.stages = 2;
-    if (cfg_.stages == 2) {
-        frontend_thread_ =
-            std::thread(&FramePipeline::frontendWorker, this);
-        backend_thread_ = std::thread(&FramePipeline::backendWorker, this);
+    buildTopology();
+    stats_.stages = cfg_.stages;
+    if (cfg_.stages > 1) {
+        for (int i = 0; i + 1 < cfg_.stages; ++i)
+            stage_qs_.push_back(std::make_unique<BoundedQueue<StageJob>>(
+                cfg_.queue_capacity));
+        workers_.reserve(cfg_.stages);
+        for (int s = 0; s < cfg_.stages; ++s)
+            workers_.emplace_back(&FramePipeline::stageWorker, this, s);
     }
 }
 
@@ -52,96 +144,172 @@ FramePipeline::submit(FrameInput input)
 }
 
 void
-FramePipeline::runSequential(FrameInput input)
+FramePipeline::runNode(int node, StageJob &job)
 {
-    const bool valid = loc_.initialized() && input.hasImages();
-    LocalizationResult res = loc_.processFrame(input);
-    // Sequential topology: the stage spans are the block latencies
-    // themselves (nothing overlaps).
-    res.telemetry.frontend_stage_ms = res.frontendMs();
-    res.telemetry.backend_stage_ms = res.backendMs();
-    // Rejected frames carry no decision, matching the stages=2 path.
-    if (valid && cfg_.scheduler) {
-        BackendKernel k = kernelForMode(loc_.mode());
-        res.telemetry.backend_offload = cfg_.scheduler->decide(
-            stageSizeDriver(k, res.telemetry.frontend_workload),
-            cfg_.accel_ms);
-        res.telemetry.has_offload_decision = true;
-    }
-    {
-        std::lock_guard<std::mutex> lk(stats_m_);
-        stats_.frontend_busy_ms += res.frontendMs();
-        stats_.backend_busy_ms += res.backendMs();
-    }
-    pushResult(std::move(res));
-}
-
-void
-FramePipeline::frontendWorker()
-{
-    while (auto input = in_q_.pop()) {
-        StageJob job;
-        job.input = std::move(*input);
-        double stage_ms = 0.0;
-        if (loc_.initialized() && job.input.hasImages()) {
-            StageTimer timer(stage_ms);
-            job.fe = loc_.runFrontend(job.input.left, job.input.right);
-            job.valid = true;
-        }
-        job.frontend_stage_ms = stage_ms;
-
-        // Per-stage scheduling: the backend kernel's offload decision
-        // is made here, at the stage boundary, from the sizes the
-        // frontend just produced — before the backend stage runs.
-        if (job.valid && cfg_.scheduler) {
+    switch (static_cast<PipeNode>(node)) {
+      case PipeNode::Fe:
+        loc_.runFrontendFe(job.input.left, job.input.right, job.fectx,
+                           job.fe);
+        break;
+      case PipeNode::Sm:
+        loc_.runFrontendSm(job.input.left, job.input.right, job.fectx,
+                           job.fe);
+        break;
+      case PipeNode::Tm:
+        loc_.runFrontendTm(job.input.left, job.fectx, job.fe);
+        // Per-stage scheduling (Sec. VI-B): the backend kernel's
+        // offload decision is made here, at the TM -> solve boundary,
+        // from the sizes the frontend just produced — before the
+        // backend sub-stages run.
+        if (cfg_.scheduler) {
             BackendKernel k = kernelForMode(loc_.mode());
             job.offload = cfg_.scheduler->decide(
                 stageSizeDriver(k, job.fe.workload), cfg_.accel_ms);
             job.has_offload = true;
         }
-        {
-            std::lock_guard<std::mutex> lk(stats_m_);
-            stats_.frontend_busy_ms += stage_ms;
+        break;
+      case PipeNode::Solve:
+        loc_.runBackendSolve(job.input, job.fe, job.bectx);
+        break;
+      case PipeNode::Finish:
+        job.res = loc_.runBackendFinish(job.input, job.fe, job.bectx);
+        break;
+    }
+}
+
+void
+FramePipeline::executeSegment(int stage, StageJob &job)
+{
+    const auto [first, last] = segments_[stage];
+    double fe_ms = 0.0, be_ms = 0.0;
+    if (job.valid) {
+        for (int node = first; node < last; ++node) {
+            // Frontend/backend-side attribution per node, so the
+            // legacy two-sided busy split stays exact for segments
+            // that cross the TM | solve boundary (and for stages=1).
+            StageTimer timer(node <= static_cast<int>(PipeNode::Tm)
+                                 ? fe_ms
+                                 : be_ms);
+            runNode(node, job);
+        }
+    }
+    const double span_ms = fe_ms + be_ms;
+    job.stage_span_ms[stage] = span_ms;
+    {
+        std::lock_guard<std::mutex> lk(stats_m_);
+        stats_.stage_busy_ms[stage] += span_ms;
+        stats_.frontend_busy_ms += fe_ms;
+        stats_.backend_busy_ms += be_ms;
+        if (stage == 0)
             stats_.input_high_water =
                 std::max(stats_.input_high_water, in_q_.highWater());
-        }
-        if (!mid_q_.push(std::move(job)))
-            break;
     }
-    mid_q_.close();
 }
 
 void
-FramePipeline::backendWorker()
-{
-    while (auto job = mid_q_.pop())
-        processBackend(std::move(*job));
-}
-
-void
-FramePipeline::processBackend(StageJob job)
+FramePipeline::finalizeJob(StageJob &job)
 {
     LocalizationResult res;
-    double stage_ms = 0.0;
     if (job.valid) {
-        StageTimer timer(stage_ms);
-        res = loc_.runBackend(job.input, job.fe);
+        res = std::move(job.res);
     } else {
         res.frame_index = job.input.frame_index;
         res.mode = loc_.mode();
         res.ok = false;
     }
-    res.telemetry.frontend_stage_ms = job.frontend_stage_ms;
-    res.telemetry.backend_stage_ms = stage_ms;
+    res.telemetry.pipeline_stages = cfg_.stages;
+    double fe_side = 0.0, be_side = 0.0;
+    for (int s = 0; s < cfg_.stages; ++s) {
+        res.telemetry.stage_span_ms[s] = job.stage_span_ms[s];
+        if (segments_[s].first <= static_cast<int>(PipeNode::Tm))
+            fe_side += job.stage_span_ms[s];
+        else
+            be_side += job.stage_span_ms[s];
+    }
+    if (cfg_.stages == 1) {
+        // Sequential topology: the stage spans are the block latencies
+        // themselves (nothing overlaps).
+        res.telemetry.frontend_stage_ms = res.frontendMs();
+        res.telemetry.backend_stage_ms = res.backendMs();
+    } else {
+        res.telemetry.frontend_stage_ms = fe_side;
+        res.telemetry.backend_stage_ms = be_side;
+    }
     if (job.has_offload) {
         res.telemetry.backend_offload = job.offload;
         res.telemetry.has_offload_decision = true;
     }
-    {
-        std::lock_guard<std::mutex> lk(stats_m_);
-        stats_.backend_busy_ms += stage_ms;
+
+    // Online refit: feed the measured mode-kernel latency back into the
+    // scheduler's windowed model (the ROADMAP's "scheduler online
+    // refit" — the telemetry stream the runtime already records).
+    if (cfg_.refit && job.valid && res.ok) {
+        BackendKernel k = kernelForMode(loc_.mode());
+        double measured_ms = 0.0;
+        switch (k) {
+          case BackendKernel::Projection:
+            measured_ms = res.telemetry.tracking.projection_ms;
+            break;
+          case BackendKernel::KalmanGain:
+            measured_ms = res.telemetry.msckf.kalman_gain_ms;
+            break;
+          case BackendKernel::Marginalization:
+            measured_ms = res.telemetry.mapping.marginalization_ms;
+            break;
+        }
+        // Frames where the kernel never executed (no keyframe, window
+        // not full, no finished tracks) measure 0 ms against a nonzero
+        // driver; feeding them would collapse the windowed fit toward
+        // zero. Skip them, like the offline fit skips size<=0 samples.
+        if (measured_ms > 0.0)
+            cfg_.refit->observe(
+                stageSizeDriver(k, res.telemetry.frontend_workload),
+                measured_ms);
     }
+
     pushResult(std::move(res));
+}
+
+void
+FramePipeline::stageWorker(int stage)
+{
+    if (stage == 0) {
+        // Workers exist only for stages >= 2 (stages == 1 runs inline
+        // through runSequential), so there is always a next queue.
+        while (auto input = in_q_.pop()) {
+            StageJob job;
+            job.input = std::move(*input);
+            job.valid = loc_.initialized() && job.input.hasImages();
+            executeSegment(0, job);
+            if (!stage_qs_[0]->push(std::move(job)))
+                break;
+        }
+        stage_qs_[0]->close();
+        return;
+    }
+
+    BoundedQueue<StageJob> &src = *stage_qs_[stage - 1];
+    while (auto job = src.pop()) {
+        executeSegment(stage, *job);
+        if (stage + 1 < cfg_.stages) {
+            if (!stage_qs_[stage]->push(std::move(*job)))
+                break;
+        } else {
+            finalizeJob(*job);
+        }
+    }
+    if (stage + 1 < cfg_.stages)
+        stage_qs_[stage]->close();
+}
+
+void
+FramePipeline::runSequential(FrameInput input)
+{
+    StageJob job;
+    job.input = std::move(input);
+    job.valid = loc_.initialized() && job.input.hasImages();
+    executeSegment(0, job);
+    finalizeJob(job);
 }
 
 void
@@ -208,10 +376,9 @@ FramePipeline::close()
         closed_ = true;
     }
     in_q_.close();
-    if (frontend_thread_.joinable())
-        frontend_thread_.join();
-    if (backend_thread_.joinable())
-        backend_thread_.join();
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
 }
 
 PipelineStats

@@ -1,36 +1,47 @@
 /**
  * @file
- * The staged frame pipeline (Fig. 18 of the paper, in software).
+ * The staged frame pipeline (Fig. 18 of the paper, in software),
+ * generalized from the fixed frontend|backend split to an N-stage
+ * topology over the frame's sub-stage graph:
  *
- * The paper's accelerator overlaps the shared vision frontend of frame
- * N+1 with the mode-specific backend of frame N, so steady-state
- * throughput is set by the slower stage instead of their sum. This
- * runtime reproduces that structure on CPU threads:
+ *   FE (FD/IF/FC) | SM (MO/DR) | TM (DC/LSS) | solve | finish
  *
- *   submit() -> [bounded input queue] -> frontend worker
- *            -> [bounded stage queue] -> backend worker -> results
+ * A *cut list* chooses where the stage boundaries fall: cut b splits
+ * the chain between sub-stage b and b+1 (so the classic topology is
+ * cuts = {2}, frontend|backend, and the dense-keyframing SLAM showcase
+ * is cuts = {0, 2, 3}: FE | SM+TM | tracking+BA | marginalization+loop).
+ * The placement planner (runtime/placement.hpp) chooses the cuts per
+ * platform by minimizing the max predicted stage time over the hw/
+ * accelerator latency models and the KernelLatencyModel fits.
+ *
+ *   submit() -> [bounded input queue] -> stage worker 0
+ *            -> [bounded stage queue] -> stage worker 1 -> ... -> results
  *
  * Each stage is a single worker consuming a FIFO queue, so frames pass
- * through both stages strictly in submission order and the pipelined
+ * through every stage strictly in submission order and the pipelined
  * pose stream is bit-identical to the sequential one — the concurrency
- * changes *when* a stage runs, never *what* it computes. Bounded
- * queues give backpressure: a slow backend throttles submit() instead
- * of letting frames accumulate without bound.
+ * changes *when* a sub-stage runs, never *what* it computes. Sub-stages
+ * with cross-frame couplings synchronize internally: the SLAM solve of
+ * frame N+1 joins the finish of frame N before it mutates the map (see
+ * core/localizer.hpp). Bounded queues give backpressure: a slow stage
+ * throttles submit() instead of letting frames accumulate without
+ * bound.
  *
- * PipelineConfig::stages selects the topology:
- *   1  — sequential: submit() runs processFrame() inline (the seed
- *        benches' semantics, kept as the latency baseline), and
- *   2  — pipelined: frontend and backend overlap on worker threads.
- *
- * The offload scheduler (Sec. VI-B) plugs in at the frontend ->
- * backend boundary: the decision for the backend kernel is computed
- * from the sizes the frontend just produced, per stage rather than at
- * frame end, and is stamped into the frame's telemetry.
+ * The offload scheduler (Sec. VI-B) plugs in at the TM -> solve
+ * boundary: the decision for the backend kernel is computed from the
+ * sizes the frontend just produced, per stage rather than at frame
+ * end, and is stamped into the frame's telemetry. When
+ * PipelineConfig::refit is set, the measured kernel latency of every
+ * completed frame feeds the scheduler's online windowed refit.
  */
 #pragma once
 
+#include <array>
 #include <memory>
+#include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/localizer.hpp"
 #include "runtime/frame_queue.hpp"
@@ -38,16 +49,54 @@
 
 namespace edx {
 
+// kPipelineNodes (the sub-stage count) lives in runtime/telemetry.hpp,
+// included via core/localizer.hpp.
+
+/** The sub-stage graph nodes, in execution order. */
+enum class PipeNode
+{
+    Fe = 0,     //!< feature extraction (FD + IF + FC)
+    Sm = 1,     //!< stereo matching (MO + DR)
+    Tm = 2,     //!< temporal matching (DC + LSS)
+    Solve = 3,  //!< mode backend solver (tracking / MSCKF / BA)
+    Finish = 4, //!< marginalization + loop detection / fusion
+};
+
+/** Short display name of a sub-stage node ("FE", "SM", ...). */
+const char *pipeNodeName(int node);
+
+/** Renders a cut list as "FE+SM+TM | SOLVE+FIN"-style topology. */
+std::string describeCuts(const std::vector<int> &cuts);
+
 /** Pipeline topology and policy. */
 struct PipelineConfig
 {
-    int stages = 2;            //!< 1 = sequential, 2 = frontend|backend
+    /**
+     * Stage count. 0 (the default) derives the topology: the classic
+     * 2-stage frontend|backend split when @ref cuts is empty,
+     * cuts.size() + 1 otherwise. An explicit value must be consistent:
+     * with an empty cut list only 1 (sequential) and 2 (cuts = {2})
+     * are valid — deeper topologies must name their cut points — and
+     * with a cut list it must equal cuts.size() + 1. Invalid
+     * combinations are rejected with std::invalid_argument — never
+     * silently clamped or overridden.
+     */
+    int stages = 0;
+
+    /**
+     * Explicit cut points: strictly increasing boundaries in [0, 3],
+     * where cut b splits the chain between sub-stage b and b+1. When
+     * non-empty it defines the topology (stages must match
+     * cuts.size() + 1 or be left at its default).
+     */
+    std::vector<int> cuts;
+
     size_t queue_capacity = 4; //!< bound of each inter-stage queue
 
     /**
      * Optional per-stage offload scheduler (borrowed). When set, every
-     * frame's backend-kernel decision is computed at the frontend ->
-     * backend boundary against @ref accel_ms.
+     * frame's backend-kernel decision is computed at the TM -> solve
+     * boundary against @ref accel_ms.
      *
      * Fit domain: the scheduler's KernelLatencyModel must be fit on
      * the *stage-boundary* size drivers (stageSizeDriver over the
@@ -58,14 +107,27 @@ struct PipelineConfig
      */
     const RuntimeScheduler *scheduler = nullptr;
     double accel_ms = 0.0; //!< modeled accelerator latency (compute+DMA)
+
+    /**
+     * Optional online-refit sink (borrowed, may alias the decision
+     * scheduler's object): after every completed frame the measured
+     * mode-kernel latency is fed to refit->observe() so the latency
+     * model tracks workload drift (arm it with enableOnlineRefit()).
+     */
+    RuntimeScheduler *refit = nullptr;
 };
 
 /** Aggregate pipeline accounting. */
 struct PipelineStats
 {
     long frames = 0;
-    double frontend_busy_ms = 0.0; //!< total frontend-stage wall time
-    double backend_busy_ms = 0.0;  //!< total backend-stage wall time
+    int stages = 1;
+
+    /** Total wall time each stage worker spent executing, per stage. */
+    std::array<double, kPipelineNodes> stage_busy_ms{};
+
+    double frontend_busy_ms = 0.0; //!< busy total of frontend-side stages
+    double backend_busy_ms = 0.0;  //!< busy total of backend-side stages
     double wall_ms = 0.0;  //!< first submit -> last completion span
     size_t input_high_water = 0; //!< deepest input-queue backlog seen
 
@@ -84,6 +146,7 @@ struct PipelineStats
 class FramePipeline
 {
   public:
+    /** @throws std::invalid_argument for an invalid stage/cut config. */
     explicit FramePipeline(Localizer &localizer,
                            const PipelineConfig &cfg = {});
 
@@ -116,31 +179,50 @@ class FramePipeline
     void close();
 
     const PipelineConfig &config() const { return cfg_; }
+
+    /** The validated cut list actually in effect. */
+    const std::vector<int> &cuts() const { return cuts_; }
+
+    /** The node range [first, last) each stage executes. */
+    const std::vector<std::pair<int, int>> &segments() const
+    {
+        return segments_;
+    }
+
     PipelineStats stats() const;
 
   private:
-    /** A frame travelling between the two stages. */
+    /** A frame travelling between the stages. */
     struct StageJob
     {
         FrameInput input;
         FrontendOutput fe;
-        bool valid = false; //!< false: bypassed the frontend (rejected)
-        double frontend_stage_ms = 0.0;
+        FrontendStageContext fectx;
+        BackendStageContext bectx;
+        LocalizationResult res; //!< filled by the finish node
+        bool valid = false; //!< false: bypasses every sub-stage
+        std::array<double, kPipelineNodes> stage_span_ms{};
         OffloadDecision offload;
         bool has_offload = false;
     };
 
-    void frontendWorker();
-    void backendWorker();
+    /** Validates cfg_ and derives cuts_/segments_ (throws on error). */
+    void buildTopology();
+
+    void stageWorker(int stage);
+    void runNode(int node, StageJob &job);
+    void executeSegment(int stage, StageJob &job);
+    void finalizeJob(StageJob &job);
     void runSequential(FrameInput input);
-    void processBackend(StageJob job);
     void pushResult(LocalizationResult res);
 
     Localizer &loc_;
     PipelineConfig cfg_;
+    std::vector<int> cuts_;
+    std::vector<std::pair<int, int>> segments_;
 
     BoundedQueue<FrameInput> in_q_;
-    BoundedQueue<StageJob> mid_q_;
+    std::vector<std::unique_ptr<BoundedQueue<StageJob>>> stage_qs_;
 
     // Completed results (unbounded: results are small and draining them
     // must never be able to deadlock the stages).
@@ -156,8 +238,7 @@ class FramePipeline
     bool first_submit_done_ = false;
     std::chrono::steady_clock::time_point first_submit_;
 
-    std::thread frontend_thread_;
-    std::thread backend_thread_;
+    std::vector<std::thread> workers_;
 };
 
 } // namespace edx

@@ -1,0 +1,298 @@
+#include "runtime/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "hw/backend_accel.hpp"
+#include "hw/frontend_accel.hpp"
+#include "math/stats.hpp"
+
+namespace edx {
+
+namespace {
+
+/**
+ * Predicts a sub-stage's latency at the profile's mean driver size by
+ * fitting latency against the driver (the scheduler's regression
+ * recipe, Sec. VI-B). Degenerate profiles — near-constant drivers or
+ * too few samples — fall back to the plain mean.
+ */
+double
+fitPredictMs(const std::vector<double> &xs, const std::vector<double> &ys,
+             int degree)
+{
+    if (ys.empty())
+        return 0.0;
+    double mean_x = 0.0, mean_y = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        mean_x += xs[i];
+        mean_y += ys[i];
+    }
+    mean_x /= static_cast<double>(xs.size());
+    mean_y /= static_cast<double>(ys.size());
+
+    double var_x = 0.0;
+    for (double x : xs)
+        var_x += (x - mean_x) * (x - mean_x);
+    var_x /= static_cast<double>(xs.size());
+
+    const int need = degree + 2;
+    if (static_cast<int>(xs.size()) < need ||
+        std::sqrt(var_x) < 1e-9 * std::max(1.0, std::abs(mean_x)))
+        return std::max(0.0, mean_y);
+
+    PolynomialModel model = PolynomialModel::fit(xs, ys, degree);
+    double pred = model.predict(mean_x);
+    if (!std::isfinite(pred) || pred < 0.0)
+        return std::max(0.0, mean_y);
+    return pred;
+}
+
+} // namespace
+
+double
+pipeNodeMs(const FrameTelemetry &t, BackendMode mode, int node)
+{
+    switch (static_cast<PipeNode>(node)) {
+      case PipeNode::Fe:
+        return t.frontend.feBlock();
+      case PipeNode::Sm:
+        return t.frontend.smBlock();
+      case PipeNode::Tm:
+        return t.frontend.tmBlock();
+      case PipeNode::Solve:
+        switch (mode) {
+          case BackendMode::Registration:
+            return t.tracking.total();
+          case BackendMode::Vio:
+            return t.msckf.total();
+          case BackendMode::Slam:
+            return t.tracking.total() + t.mapping.solver_ms +
+                   t.mapping.others_ms;
+        }
+        return 0.0;
+      case PipeNode::Finish:
+        switch (mode) {
+          case BackendMode::Registration:
+            return 0.0;
+          case BackendMode::Vio:
+            return t.fusion_ms;
+          case BackendMode::Slam:
+            return t.mapping.marginalization_ms + t.mapping.loop_ms;
+        }
+        return 0.0;
+    }
+    return 0.0;
+}
+
+NodeProfile
+PlacementPlanner::profileFromTelemetry(
+    const std::vector<FrameTelemetry> &frames, BackendMode mode)
+{
+    NodeProfile p;
+    if (frames.empty())
+        return p;
+
+    const int n = static_cast<int>(frames.size());
+    std::array<std::vector<double>, kPipelineNodes> xs, ys;
+    for (auto &v : xs)
+        v.reserve(n);
+    for (auto &v : ys)
+        v.reserve(n);
+
+    const BackendKernel kernel = kernelForMode(mode);
+    for (const FrameTelemetry &t : frames) {
+        const FrontendWorkload &w = t.frontend_workload;
+        xs[0].push_back(static_cast<double>(w.image_pixels));
+        ys[0].push_back(t.frontend.feBlock());
+        xs[1].push_back(static_cast<double>(w.stereo_candidates));
+        ys[1].push_back(t.frontend.smBlock());
+        xs[2].push_back(static_cast<double>(w.temporal_tracks));
+        ys[2].push_back(t.frontend.tmBlock());
+        xs[3].push_back(stageSizeDriver(kernel, w));
+        ys[3].push_back(pipeNodeMs(t, mode, 3));
+        // The finish sub-stage scales with the landmarks entering the
+        // marginalization window — driven by the stereo matches, like
+        // the SLAM scheduler driver.
+        xs[4].push_back(
+            stageSizeDriver(BackendKernel::Marginalization, w));
+        ys[4].push_back(pipeNodeMs(t, mode, 4));
+    }
+
+    // FE/SM/TM are linear in their drivers (pixel / candidate / track
+    // streams); the backend sub-stages use the scheduler's per-kernel
+    // degree (linear projection, quadratic Kalman gain and
+    // marginalization, Sec. VI-B).
+    p.node_ms[0] = fitPredictMs(xs[0], ys[0], 1);
+    p.node_ms[1] = fitPredictMs(xs[1], ys[1], 1);
+    p.node_ms[2] = fitPredictMs(xs[2], ys[2], 1);
+    p.node_ms[3] = fitPredictMs(xs[3], ys[3], kernelModelDegree(kernel));
+    p.node_ms[4] = fitPredictMs(
+        xs[4], ys[4],
+        kernelModelDegree(BackendKernel::Marginalization));
+    return p;
+}
+
+NodeProfile
+PlacementPlanner::profileAccelerated(
+    const std::vector<FrameTelemetry> &frames, BackendMode mode,
+    const AcceleratorConfig &acfg)
+{
+    NodeProfile p;
+    if (frames.empty())
+        return p;
+
+    FrontendAccelerator fe_accel(acfg);
+    BackendAccelerator be_accel(acfg);
+
+    double fe = 0.0, sm = 0.0, tm = 0.0, solve = 0.0, finish = 0.0;
+    for (const FrameTelemetry &t : frames) {
+        FrontendAccelTiming ft = fe_accel.model(t.frontend_workload);
+        fe += ft.feBlock();
+        sm += ft.smBlock();
+        tm += ft.tm_ms;
+
+        // Backend: software blocks with the variation-dominating kernel
+        // swapped for its accelerator cost (compute + DMA), exactly the
+        // substitution the offload benches make.
+        double sv = pipeNodeMs(t, mode, 3);
+        double fn = pipeNodeMs(t, mode, 4);
+        switch (mode) {
+          case BackendMode::Registration:
+            sv += be_accel
+                      .projection(t.tracking_workload.map_points_projected)
+                      .totalMs() -
+                  t.tracking.projection_ms;
+            break;
+          case BackendMode::Vio:
+            sv += be_accel
+                      .kalmanGain(t.msckf_workload.stacked_rows,
+                                  t.msckf_workload.state_dim)
+                      .totalMs() -
+                  t.msckf.kalman_gain_ms;
+            break;
+          case BackendMode::Slam:
+            fn += be_accel
+                      .marginalization(
+                          t.mapping_workload.marginalized_landmarks)
+                      .totalMs() -
+                  t.mapping.marginalization_ms;
+            break;
+        }
+        solve += std::max(0.0, sv);
+        finish += std::max(0.0, fn);
+    }
+    const double n = static_cast<double>(frames.size());
+    p.node_ms = {fe / n, sm / n, tm / n, solve / n, finish / n};
+    return p;
+}
+
+namespace {
+
+/** Per-stage times of @p cuts, sorted descending (minimax key). */
+std::vector<double>
+sortedStageTimes(const NodeProfile &profile, const std::vector<int> &cuts)
+{
+    std::vector<double> times =
+        PlacementPlanner::stageTimesFor(profile, cuts);
+    std::sort(times.begin(), times.end(), std::greater<double>());
+    return times;
+}
+
+/**
+ * Lexicographic comparison with tolerance @p tol: stage times within
+ * tol count as tied, so marginal rebalancing (shaving a fraction of a
+ * ms off a non-bottleneck stage) does not buy an extra stage worker.
+ */
+bool
+lexLess(const std::vector<double> &a, const std::vector<double> &b,
+        double tol)
+{
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (a[i] < b[i] - tol)
+            return true;
+        if (a[i] > b[i] + tol)
+            return false;
+    }
+    // Equal prefix: the plan with fewer stages has exhausted its
+    // times; treat the shorter vector as NOT better here (stage-count
+    // preference is handled by the caller).
+    return false;
+}
+
+} // namespace
+
+std::vector<double>
+PlacementPlanner::stageTimesFor(const NodeProfile &profile,
+                                const std::vector<int> &cuts)
+{
+    std::vector<double> times;
+    double seg = 0.0;
+    size_t next_cut = 0;
+    for (int node = 0; node < kPipelineNodes; ++node) {
+        seg += profile.node_ms[node];
+        const bool boundary =
+            next_cut < cuts.size() && cuts[next_cut] == node;
+        if (boundary || node == kPipelineNodes - 1) {
+            times.push_back(seg);
+            seg = 0.0;
+            if (boundary)
+                ++next_cut;
+        }
+    }
+    return times;
+}
+
+double
+PlacementPlanner::periodFor(const NodeProfile &profile,
+                            const std::vector<int> &cuts)
+{
+    return sortedStageTimes(profile, cuts).front();
+}
+
+StagePlan
+PlacementPlanner::plan(const NodeProfile &profile, int max_stages)
+{
+    StagePlan best;
+    best.node_ms = profile.node_ms;
+    best.sequential_ms = profile.totalMs();
+    best.period_ms = best.sequential_ms; // cuts = {} (sequential)
+    std::vector<double> best_key = {best.period_ms};
+
+    // 2^(kPipelineNodes-1) cut subsets: exhaustive is exact and cheap.
+    // Plans compare by lexicographic minimax — first the bottleneck
+    // stage, then the second-largest, ... — so among equal-period
+    // topologies the one that also balances the remaining stages wins
+    // (e.g. the backend-internal solver | marginalization+loop split
+    // when FE bounds the period either way): it degrades most
+    // gracefully when the workload drifts. Keys tied within 2% of the
+    // period prefer fewer stages (fewer handoffs).
+    // 2% of the fattest sub-stage — the floor no topology can beat.
+    const double max_node =
+        *std::max_element(profile.node_ms.begin(), profile.node_ms.end());
+    const double tol = std::max(1e-9, 0.02 * max_node);
+    for (int mask = 1; mask < (1 << (kPipelineNodes - 1)); ++mask) {
+        std::vector<int> cuts;
+        for (int b = 0; b < kPipelineNodes - 1; ++b)
+            if (mask & (1 << b))
+                cuts.push_back(b);
+        if (static_cast<int>(cuts.size()) + 1 > max_stages)
+            continue;
+        std::vector<double> key = sortedStageTimes(profile, cuts);
+        const bool better =
+            lexLess(key, best_key, tol) ||
+            (!lexLess(best_key, key, tol) &&
+             cuts.size() < best.cuts.size());
+        if (better) {
+            best.cuts = std::move(cuts);
+            best.period_ms = key.front();
+            best_key = std::move(key);
+        }
+    }
+    best.stage_ms = stageTimesFor(profile, best.cuts);
+    return best;
+}
+
+} // namespace edx

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Model-driven stage placement for the N-stage frame pipeline.
+ *
+ * The 2-stage pipeline always split frontend|backend; after the
+ * frontend/backend kernel overhauls that split is unbalanced (the
+ * ROADMAP's "accelerator-model-aware stage placement" item): on the
+ * dense-keyframing SLAM car scene the BA solver dominates the backend
+ * while SM is nearly free, so throughput is set by one fat stage. The
+ * planner chooses the cut points per platform by minimizing the max
+ * predicted stage time over the frame's sub-stage graph
+ * (FE | SM | TM | solve | finish):
+ *
+ *  1. profileFromTelemetry() fits a KernelLatencyModel-style predictor
+ *     per sub-stage from a profiling run's telemetry stream — latency
+ *     against the sub-stage's workload driver (pixels, candidates,
+ *     tracks, mode-kernel driver), linear or quadratic exactly like the
+ *     offload scheduler's fits (Sec. VI-B) — and evaluates it at the
+ *     run's mean driver sizes.
+ *  2. profileAccelerated() instead prices the sub-stages on a platform
+ *     accelerator (hw/frontend_accel.hpp task models for FE/SM/TM; the
+ *     backend kernel swapped for its hw/backend_accel.hpp cost), so the
+ *     planner can place stages for EDX-CAR vs EDX-DRONE.
+ *  3. plan() scans every cut subset (2^4) and returns the one with the
+ *     smallest max stage time, preferring fewer stages on ties.
+ */
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "hw/config.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/telemetry.hpp"
+
+namespace edx {
+
+/**
+ * Measured software latency of sub-stage @p node in one frame's
+ * telemetry (the planner's fit targets; also how the benches derive
+ * core-count-independent pipelined FPS from an uncontended run).
+ */
+double pipeNodeMs(const FrameTelemetry &t, BackendMode mode, int node);
+
+/** Predicted per-sub-stage latency at a profiled workload. */
+struct NodeProfile
+{
+    std::array<double, kPipelineNodes> node_ms{};
+
+    double
+    totalMs() const
+    {
+        double s = 0.0;
+        for (double v : node_ms)
+            s += v;
+        return s;
+    }
+};
+
+/** A chosen topology with its predicted timing. */
+struct StagePlan
+{
+    std::vector<int> cuts;
+    std::array<double, kPipelineNodes> node_ms{};
+    std::vector<double> stage_ms;  //!< predicted per-stage time, in order
+    double period_ms = 0.0;     //!< max predicted stage time
+    double sequential_ms = 0.0; //!< sum of all sub-stages
+
+    int stages() const { return static_cast<int>(cuts.size()) + 1; }
+
+    /** Predicted steady-state FPS of the planned topology. */
+    double
+    fps() const
+    {
+        return period_ms > 0.0 ? 1000.0 / period_ms : 0.0;
+    }
+
+    /** "FE | SM+TM | SOLVE | FIN"-style topology string. */
+    std::string describe() const { return describeCuts(cuts); }
+};
+
+/** The placement planner. */
+class PlacementPlanner
+{
+  public:
+    /**
+     * Per-sub-stage latency profile from a (sequential) profiling
+     * run's telemetry, via per-node latency-vs-driver fits.
+     */
+    static NodeProfile
+    profileFromTelemetry(const std::vector<FrameTelemetry> &frames,
+                         BackendMode mode);
+
+    /**
+     * Like profileFromTelemetry(), but with the sub-stages priced on
+     * the platform accelerator: FE/SM/TM from the frontend task models
+     * and the mode's variation-dominating backend kernel swapped for
+     * its accelerator cost (compute + DMA).
+     */
+    static NodeProfile
+    profileAccelerated(const std::vector<FrameTelemetry> &frames,
+                       BackendMode mode, const AcceleratorConfig &acfg);
+
+    /**
+     * Minimizes the max stage time over every cut subset with at most
+     * @p max_stages stages. Ties prefer fewer stages, then earlier
+     * cut lists.
+     */
+    static StagePlan plan(const NodeProfile &profile,
+                          int max_stages = kPipelineNodes);
+
+    /** Max stage time of @p cuts under @p profile. */
+    static double periodFor(const NodeProfile &profile,
+                            const std::vector<int> &cuts);
+
+    /** Per-stage times of @p cuts under @p profile, in stage order. */
+    static std::vector<double>
+    stageTimesFor(const NodeProfile &profile,
+                  const std::vector<int> &cuts);
+};
+
+} // namespace edx

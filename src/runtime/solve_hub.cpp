@@ -10,10 +10,19 @@
 namespace edx {
 
 void
+SolveHub::expectBackendEntries(int n)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    pending_entries_ += n;
+}
+
+void
 SolveHub::enterBackend()
 {
     std::lock_guard<std::mutex> lk(m_);
     ++active_;
+    if (pending_entries_ > 0 && --pending_entries_ == 0)
+        cv_.notify_all();
 }
 
 void
@@ -38,7 +47,11 @@ SolveHub::submit(Request &req)
     while (!req.done) {
         // waiting_ >= active_ (not ==): a request submitted outside a
         // registered stage guard must not stall the rendezvous.
-        if (!executing_ && waiting_ >= active_ && !pending_.empty()) {
+        // pending_entries_ == 0: announced gang members must all be
+        // inside their stages before any batch executes, so an aligned
+        // gang rendezvouses at full width.
+        if (!executing_ && waiting_ >= active_ &&
+            pending_entries_ == 0 && !pending_.empty()) {
             // Last arriver: lead the batch. Snapshot the pending set —
             // requests submitted while we compute belong to the next
             // rendezvous round.
@@ -123,6 +136,8 @@ SolveHub::executeBatch(std::vector<Request *> &batch)
             if (n > 1)
                 stats_.grouped_requests[k] += n;
             stats_.max_batch[k] = std::max(stats_.max_batch[k], n);
+            stats_.batch_hist[k][std::min(n, SolveHubStats::kHistMax)] +=
+                1;
         }
         i = j;
     }

@@ -68,10 +68,16 @@ enum class BatchKernel
 /** Per-kernel batching counters. */
 struct SolveHubStats
 {
+    /** Histogram buckets: batch sizes 1..kHistMax-1, last = overflow. */
+    static constexpr int kHistMax = 9;
+
     long requests[3] = {0, 0, 0};
     long batches[3] = {0, 0, 0};  //!< grouped executions (size >= 1)
     long grouped_requests[3] = {0, 0, 0}; //!< served in a batch > 1
     int max_batch[3] = {0, 0, 0};
+
+    /** batch_hist[k][n]: executions of kernel k with batch size n. */
+    long batch_hist[3][kHistMax + 1] = {};
 
     /** Mean batch size of @p k (0.0 before any request was served). */
     double
@@ -81,6 +87,18 @@ struct SolveHubStats
         return batches[i] > 0
                    ? static_cast<double>(requests[i]) / batches[i]
                    : 0.0;
+    }
+
+    /** Mean batch size across every kernel class. */
+    double
+    meanBatchAll() const
+    {
+        long req = 0, bat = 0;
+        for (int i = 0; i < 3; ++i) {
+            req += requests[i];
+            bat += batches[i];
+        }
+        return bat > 0 ? static_cast<double>(req) / bat : 0.0;
     }
 };
 
@@ -115,6 +133,17 @@ class SolveHub
 
     void enterBackend();
     void leaveBackend();
+
+    /**
+     * Gang pre-announcement (LocalizerPool's gang window): declares
+     * that @p n backend stages are about to enter together. Parked
+     * requests hold their rendezvous until every announced stage has
+     * entered, so the gang's first kernel requests group into one
+     * full-width batch instead of whoever raced in first. The caller
+     * must guarantee each announced entry actually happens (the pool's
+     * released backends run with strict priority), or requests stall.
+     */
+    void expectBackendEntries(int n);
 
     /**
      * Projection kernel: f(i,:) = [x_i 1] * c^T over every point of
@@ -170,6 +199,7 @@ class SolveHub
     std::condition_variable cv_;
     int active_ = 0;   //!< backend stages currently registered
     int waiting_ = 0;  //!< requests parked in submit()
+    int pending_entries_ = 0; //!< announced gang entries not yet in
     bool executing_ = false;
     std::vector<Request *> pending_;
     SolveHubStats stats_;

@@ -20,6 +20,7 @@
  */
 #pragma once
 
+#include <array>
 #include <chrono>
 
 #include "backend/mapping.hpp"
@@ -30,6 +31,14 @@
 #include "sim/scenario.hpp"
 
 namespace edx {
+
+/**
+ * Number of nodes in the frame's sub-stage graph
+ * (FE | SM | TM | solve | finish — see runtime/pipeline.hpp, whose
+ * PipeNode enum names them). Lives here so FrameTelemetry's per-stage
+ * spans share the constant without a circular include.
+ */
+constexpr int kPipelineNodes = 5;
 
 /**
  * RAII wall-clock timer: accumulates the elapsed milliseconds into a
@@ -120,8 +129,29 @@ struct FrameTelemetry
     double fusion_ms = 0.0;
 
     // --- pipeline stage accounting (filled by FramePipeline) --------
-    double frontend_stage_ms = 0.0; //!< wall time in the frontend stage
-    double backend_stage_ms = 0.0;  //!< wall time in the backend stage
+    double frontend_stage_ms = 0.0; //!< wall time in frontend-side stages
+    double backend_stage_ms = 0.0;  //!< wall time in backend-side stages
+
+    /**
+     * Per-pipeline-stage wall time of this frame under the N-stage
+     * topology (first pipeline_stages entries valid). The steady-state
+     * pipelined frame interval is max over stages; frontend_stage_ms /
+     * backend_stage_ms above remain the two-sided sums (stages whose
+     * first sub-stage is frontend-side vs. backend-side) for the
+     * legacy 2-stage consumers.
+     */
+    std::array<double, kPipelineNodes> stage_span_ms{};
+    int pipeline_stages = 0;
+
+    /** Steady-state frame interval of the recorded topology, ms. */
+    double
+    pipelinePeriodMs() const
+    {
+        double m = 0.0;
+        for (int i = 0; i < pipeline_stages; ++i)
+            m = stage_span_ms[i] > m ? stage_span_ms[i] : m;
+        return m;
+    }
 
     /**
      * Offload decision for the active backend kernel, computed at the

@@ -1,7 +1,9 @@
 #include "sched/scheduler.hpp"
 
 #include <cassert>
+#include <cmath>
 
+#include "math/decomp.hpp"
 #include "math/stats.hpp"
 
 namespace edx {
@@ -58,6 +60,67 @@ KernelLatencyModel::fit(BackendKernel kernel,
     }
     m.model_ = PolynomialModel::fit(xs, ys, kernelModelDegree(kernel));
     return m;
+}
+
+void
+KernelLatencyModel::enableOnlineRefit(double window)
+{
+    if (window < 2.0)
+        window = 2.0;
+    online_ = true;
+    decay_ = 1.0 - 1.0 / window;
+    observed_ = 0;
+    const int k = kernelModelDegree(kernel_) + 1;
+    ata_ = MatX(k, k);
+    atb_ = VecX(k);
+}
+
+void
+KernelLatencyModel::observe(double size, double cpu_ms)
+{
+    if (!online_)
+        return;
+    const int k = ata_.rows();
+
+    // Decay, then rank-one update with phi = [1, size, size^2, ...].
+    double phi[8];
+    double p = 1.0;
+    for (int j = 0; j < k; ++j) {
+        phi[j] = p;
+        p *= size;
+    }
+    for (int i = 0; i < k; ++i) {
+        for (int j = 0; j < k; ++j)
+            ata_(i, j) = decay_ * ata_(i, j) + phi[i] * phi[j];
+        atb_[i] = decay_ * atb_[i] + phi[i] * cpu_ms;
+    }
+    ++observed_;
+
+    // Refit once the window carries enough samples to determine the
+    // polynomial; before that the offline coefficients stand.
+    if (observed_ < k)
+        return;
+    MatX a = ata_;
+    // Tikhonov guard: with near-constant sizes in the window the
+    // normal equations go singular; the tiny ridge keeps the refit
+    // stable without noticeably biasing a well-conditioned solve.
+    for (int i = 0; i < k; ++i)
+        a(i, i) += 1e-9 * (1.0 + ata_(i, i));
+    Cholesky chol(a);
+    if (!chol.ok())
+        return;
+    MatX rhs(k, 1);
+    for (int i = 0; i < k; ++i)
+        rhs(i, 0) = atb_[i];
+    chol.solveInPlace(rhs);
+    std::vector<double> coeffs(k);
+    bool finite = true;
+    for (int i = 0; i < k; ++i) {
+        coeffs[i] = rhs(i, 0);
+        finite = finite && std::isfinite(coeffs[i]);
+    }
+    if (finite)
+        model_ = PolynomialModel(std::move(coeffs));
 }
 
 double

@@ -19,6 +19,7 @@
  */
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,12 +68,40 @@ class KernelLatencyModel
     /** R^2 on a labelled sample set. */
     double r2(const std::vector<KernelSample> &samples) const;
 
+    /**
+     * Arms the incremental windowed least-squares refit: subsequent
+     * observe() calls fold measured (size, cpu_ms) samples into
+     * exponentially decayed normal equations and refit the polynomial,
+     * so the predictor tracks a drifting workload instead of staying
+     * frozen at the offline 25% fit. @p window is the effective sample
+     * window (decay = 1 - 1/window).
+     */
+    void enableOnlineRefit(double window = 64.0);
+
+    /**
+     * Folds one measured sample into the windowed normal equations and
+     * refits the coefficients (no-op until enableOnlineRefit()). The
+     * refit solves the (d+1)x(d+1) decayed system, so one observation
+     * costs O(d^3) with d <= 2 — cheap enough for every frame.
+     */
+    void observe(double size, double cpu_ms);
+
+    bool onlineRefitEnabled() const { return online_; }
+    long observedSamples() const { return observed_; }
+
     BackendKernel kernel() const { return kernel_; }
     const PolynomialModel &polynomial() const { return model_; }
 
   private:
     BackendKernel kernel_ = BackendKernel::Projection;
     PolynomialModel model_;
+
+    // Windowed recursive least squares state (observe()).
+    bool online_ = false;
+    double decay_ = 0.0;
+    long observed_ = 0;
+    MatX ata_; //!< decayed sum of phi phi^T
+    VecX atb_; //!< decayed sum of phi y
 };
 
 /** One scheduling decision. */
@@ -99,6 +128,7 @@ class RuntimeScheduler
     OffloadDecision
     decide(double size, double accel_ms) const
     {
+        std::lock_guard<std::mutex> lk(m_);
         OffloadDecision d;
         d.predicted_cpu_ms = model_.predict(size);
         d.accel_ms = accel_ms;
@@ -106,9 +136,37 @@ class RuntimeScheduler
         return d;
     }
 
-    const KernelLatencyModel &model() const { return model_; }
+    /** Arms the online refit of the underlying latency model. */
+    void
+    enableOnlineRefit(double window = 64.0)
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        model_.enableOnlineRefit(window);
+    }
+
+    /**
+     * Feeds one measured (size, cpu_ms) kernel sample into the online
+     * refit (no-op unless enableOnlineRefit() was called). Thread-safe
+     * against concurrent decide() calls, so the pipeline's backend
+     * stage can refit while the frontend stage keeps deciding.
+     */
+    void
+    observe(double size, double cpu_ms)
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        model_.observe(size, cpu_ms);
+    }
+
+    /** Snapshot of the current model (copy: the live one may refit). */
+    KernelLatencyModel
+    model() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return model_;
+    }
 
   private:
+    mutable std::mutex m_;
     KernelLatencyModel model_;
 };
 

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 
 #include "frontend/frontend.hpp"
@@ -88,6 +89,52 @@ TEST(Frontend, KeypointsAndDescriptorsAreAligned)
         EXPECT_LT(kp.x, static_cast<float>(f.stereo.left.width()));
         EXPECT_GE(kp.y, 0.0f);
         EXPECT_LT(kp.y, static_cast<float>(f.stereo.left.height()));
+    }
+}
+
+TEST(Frontend, SplitStageCallsMatchMonolithicBitExact)
+{
+    // The staged runtime runs FE / SM / TM as separate sub-stage calls
+    // with a job-owned handoff context; the products must be
+    // bit-identical to the monolithic processFrame, frame after frame
+    // (the temporal state advances identically).
+    Dataset d(droneScene(4));
+    VisionFrontend mono, split;
+    for (int i = 0; i < d.frameCount(); ++i) {
+        DatasetFrame f = d.frame(i);
+        FrontendOutput a =
+            mono.processFrame(f.stereo.left, f.stereo.right);
+
+        FrontendOutput b;
+        FrontendStageContext ctx;
+        split.runFeStage(f.stereo.left, f.stereo.right, ctx, b);
+        split.runSmStage(f.stereo.left, f.stereo.right, ctx, b);
+        split.runTmStage(f.stereo.left, ctx, b);
+
+        ASSERT_EQ(a.keypoints.size(), b.keypoints.size()) << i;
+        for (size_t k = 0; k < a.keypoints.size(); ++k) {
+            EXPECT_EQ(a.keypoints[k].x, b.keypoints[k].x);
+            EXPECT_EQ(a.keypoints[k].y, b.keypoints[k].y);
+        }
+        ASSERT_EQ(a.descriptors.size(), b.descriptors.size());
+        for (size_t k = 0; k < a.descriptors.size(); ++k)
+            EXPECT_EQ(0, std::memcmp(&a.descriptors[k],
+                                     &b.descriptors[k],
+                                     sizeof(Descriptor)));
+        ASSERT_EQ(a.stereo.size(), b.stereo.size());
+        for (size_t k = 0; k < a.stereo.size(); ++k) {
+            EXPECT_EQ(a.stereo[k].left_index, b.stereo[k].left_index);
+            EXPECT_EQ(a.stereo[k].disparity, b.stereo[k].disparity);
+        }
+        ASSERT_EQ(a.temporal.size(), b.temporal.size()) << i;
+        for (size_t k = 0; k < a.temporal.size(); ++k) {
+            EXPECT_EQ(a.temporal[k].prev_index, b.temporal[k].prev_index);
+            EXPECT_EQ(a.temporal[k].x, b.temporal[k].x);
+            EXPECT_EQ(a.temporal[k].y, b.temporal[k].y);
+        }
+        EXPECT_EQ(a.workload.stereo_matches, b.workload.stereo_matches);
+        EXPECT_EQ(a.workload.temporal_tracks,
+                  b.workload.temporal_tracks);
     }
 }
 

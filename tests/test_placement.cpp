@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests of the model-driven stage placement (runtime/placement.hpp):
+ * cut-list rendering, exact minimax planning over synthetic node
+ * profiles, the balance tie-break that buys the backend-internal split,
+ * and the telemetry-profile fits.
+ */
+#include <gtest/gtest.h>
+
+#include "runtime/placement.hpp"
+
+namespace edx {
+namespace {
+
+NodeProfile
+profileOf(std::array<double, kPipelineNodes> ms)
+{
+    NodeProfile p;
+    p.node_ms = ms;
+    return p;
+}
+
+TEST(Placement, DescribeCutsRendersTopology)
+{
+    EXPECT_EQ(describeCuts({}), "FE+SM+TM+SOLVE+FIN");
+    EXPECT_EQ(describeCuts({2}), "FE+SM+TM | SOLVE+FIN");
+    EXPECT_EQ(describeCuts({0, 2, 3}), "FE | SM+TM | SOLVE | FIN");
+    EXPECT_EQ(describeCuts({0, 1, 2, 3}), "FE | SM | TM | SOLVE | FIN");
+}
+
+TEST(Placement, PeriodIsMaxSegmentSum)
+{
+    NodeProfile p = profileOf({10, 2, 8, 30, 5});
+    EXPECT_DOUBLE_EQ(PlacementPlanner::periodFor(p, {}), 55.0);
+    EXPECT_DOUBLE_EQ(PlacementPlanner::periodFor(p, {2}), 35.0);
+    EXPECT_DOUBLE_EQ(PlacementPlanner::periodFor(p, {0, 2}), 35.0);
+    EXPECT_DOUBLE_EQ(PlacementPlanner::periodFor(p, {2, 3}), 30.0);
+    EXPECT_DOUBLE_EQ(PlacementPlanner::periodFor(p, {0, 1, 2, 3}), 30.0);
+}
+
+TEST(Placement, PlanMinimizesMaxStageTime)
+{
+    // Backend-solver dominated (the dense-keyframing SLAM shape): the
+    // optimal topology must cut the backend internally.
+    NodeProfile p = profileOf({10, 2, 8, 30, 5});
+    StagePlan plan = PlacementPlanner::plan(p);
+    EXPECT_DOUBLE_EQ(plan.period_ms, 30.0);
+    // The solver is the floor; the plan must isolate it.
+    bool cuts_before_solve = false, cuts_after_solve = false;
+    for (int c : plan.cuts) {
+        if (c == 2)
+            cuts_before_solve = true;
+        if (c == 3)
+            cuts_after_solve = true;
+    }
+    EXPECT_TRUE(cuts_before_solve);
+    EXPECT_TRUE(cuts_after_solve);
+}
+
+TEST(Placement, FrontendBoundWorkloadCutsTheFrontend)
+{
+    // FE dominates: splitting the backend alone cannot help; the plan
+    // must place a cut right after FE.
+    NodeProfile p = profileOf({40, 5, 10, 12, 1});
+    StagePlan plan = PlacementPlanner::plan(p);
+    EXPECT_DOUBLE_EQ(plan.period_ms, 40.0);
+    ASSERT_FALSE(plan.cuts.empty());
+    EXPECT_EQ(plan.cuts.front(), 0);
+}
+
+TEST(Placement, EqualPeriodPrefersBalancedThenFewerStages)
+{
+    // FE bounds the period either way; the backend-internal extra cut
+    // reduces the *second* largest stage, so it must win the tie —
+    // while a cut that buys nothing (isolating a ~0 stage) must not
+    // add a stage.
+    NodeProfile p = profileOf({34, 0.5, 21, 28, 3});
+    StagePlan plan = PlacementPlanner::plan(p);
+    EXPECT_DOUBLE_EQ(plan.period_ms, 34.0);
+    EXPECT_EQ(plan.cuts, (std::vector<int>{0, 2, 3}));
+
+    // With a negligible finish node the same shape folds it back in.
+    NodeProfile q = profileOf({34, 0.5, 21, 28, 0.1});
+    StagePlan plan_q = PlacementPlanner::plan(q);
+    EXPECT_EQ(plan_q.cuts, (std::vector<int>{0, 2}));
+}
+
+TEST(Placement, MaxStagesBoundIsHonored)
+{
+    NodeProfile p = profileOf({10, 10, 10, 10, 10});
+    StagePlan five = PlacementPlanner::plan(p, 5);
+    EXPECT_EQ(five.stages(), 5);
+    EXPECT_DOUBLE_EQ(five.period_ms, 10.0);
+    StagePlan two = PlacementPlanner::plan(p, 2);
+    EXPECT_LE(two.stages(), 2);
+    EXPECT_DOUBLE_EQ(two.period_ms, 30.0); // best 2-way split: 30|20
+    StagePlan one = PlacementPlanner::plan(p, 1);
+    EXPECT_EQ(one.stages(), 1);
+    EXPECT_DOUBLE_EQ(one.period_ms, 50.0);
+}
+
+FrameTelemetry
+syntheticTelemetry(double scale)
+{
+    FrameTelemetry t;
+    t.frontend.fd_ms = 4.0 * scale;
+    t.frontend.if_ms = 1.0 * scale;
+    t.frontend.fc_ms = 2.0 * scale;
+    t.frontend.mo_ms = 0.5 * scale;
+    t.frontend.dr_ms = 0.5 * scale;
+    t.frontend.tm_ms = 3.0 * scale;
+    t.frontend_workload.image_pixels = 640 * 480;
+    t.frontend_workload.stereo_candidates = 900;
+    t.frontend_workload.stereo_matches =
+        static_cast<int>(100 * scale);
+    t.frontend_workload.temporal_tracks = 150;
+    t.tracking.pose_opt_ms = 2.0 * scale;
+    t.mapping.solver_ms = 10.0 * scale;
+    t.mapping.others_ms = 1.0 * scale;
+    t.mapping.marginalization_ms = 0.5 * scale;
+    t.mapping.loop_ms = 0.5 * scale;
+    return t;
+}
+
+TEST(Placement, TelemetryProfileRecoversNodeMeans)
+{
+    std::vector<FrameTelemetry> frames;
+    for (int i = 0; i < 12; ++i)
+        frames.push_back(syntheticTelemetry(1.0 + 0.05 * (i % 3)));
+
+    NodeProfile p = PlacementPlanner::profileFromTelemetry(
+        frames, BackendMode::Slam);
+    // Near-constant drivers fall back to per-node means; the profile
+    // must land inside the generated scale band [1.0, 1.1].
+    EXPECT_NEAR(p.node_ms[0], 7.0 * 1.05, 0.4);  // FE
+    EXPECT_NEAR(p.node_ms[1], 1.0 * 1.05, 0.1);  // SM
+    EXPECT_NEAR(p.node_ms[2], 3.0 * 1.05, 0.2);  // TM
+    EXPECT_NEAR(p.node_ms[3], 13.0 * 1.05, 0.7); // tracking+solver+others
+    EXPECT_NEAR(p.node_ms[4], 1.0 * 1.05, 0.1);  // marg+loop
+    EXPECT_NEAR(p.totalMs(), 25.0 * 1.05, 1.5);
+}
+
+TEST(Placement, PipeNodeMsSplitsBackendPerMode)
+{
+    FrameTelemetry t = syntheticTelemetry(1.0);
+    t.msckf.kalman_gain_ms = 2.5;
+    t.fusion_ms = 0.25;
+
+    // SLAM: solve = tracking + solver + others; finish = marg + loop.
+    EXPECT_DOUBLE_EQ(pipeNodeMs(t, BackendMode::Slam, 3), 13.0);
+    EXPECT_DOUBLE_EQ(pipeNodeMs(t, BackendMode::Slam, 4), 1.0);
+    // VIO: solve = MSCKF, finish = fusion.
+    EXPECT_DOUBLE_EQ(pipeNodeMs(t, BackendMode::Vio, 3), 2.5);
+    EXPECT_DOUBLE_EQ(pipeNodeMs(t, BackendMode::Vio, 4), 0.25);
+    // Registration: everything solves, nothing finishes.
+    EXPECT_DOUBLE_EQ(pipeNodeMs(t, BackendMode::Registration, 3), 2.0);
+    EXPECT_DOUBLE_EQ(pipeNodeMs(t, BackendMode::Registration, 4), 0.0);
+    // Frontend nodes are mode-independent.
+    EXPECT_DOUBLE_EQ(pipeNodeMs(t, BackendMode::Slam, 0), 7.0);
+    EXPECT_DOUBLE_EQ(pipeNodeMs(t, BackendMode::Slam, 1), 1.0);
+    EXPECT_DOUBLE_EQ(pipeNodeMs(t, BackendMode::Slam, 2), 3.0);
+}
+
+TEST(Placement, EmptyProfileYieldsSequentialPlan)
+{
+    NodeProfile p = PlacementPlanner::profileFromTelemetry(
+        {}, BackendMode::Slam);
+    EXPECT_DOUBLE_EQ(p.totalMs(), 0.0);
+    StagePlan plan = PlacementPlanner::plan(p);
+    EXPECT_TRUE(plan.cuts.empty());
+}
+
+} // namespace
+} // namespace edx

@@ -20,6 +20,7 @@
 #include "runtime/frame_queue.hpp"
 #include "runtime/localizer_pool.hpp"
 #include "runtime/pipeline.hpp"
+#include "runtime/placement.hpp"
 #include "runtime/solve_hub.hpp"
 #include "runtime/telemetry.hpp"
 #include "sim/dataset.hpp"
@@ -229,6 +230,157 @@ checkEquivalence(SceneType scene, int frames)
 TEST(FramePipeline, SlamPosesMatchSequentialBitExact)
 {
     checkEquivalence(SceneType::IndoorUnknown, 14);
+}
+
+// --- N-stage topologies -----------------------------------------------------
+
+/**
+ * Every cut topology must reproduce the sequential pose stream
+ * bit-exactly: the cuts change where sub-stages execute, never what
+ * they compute.
+ */
+void
+checkCutEquivalence(SceneType scene, int frames,
+                    const std::vector<std::vector<int>> &cut_lists,
+                    const std::function<void(LocalizerConfig &)> &tune =
+                        nullptr)
+{
+    TestRun r = makeRun(scene, frames);
+    if (tune)
+        tune(r.lcfg);
+    Dataset d(r.dcfg);
+
+    auto seq_loc = makeLocalizer(r, d);
+    std::vector<LocalizationResult> seq;
+    for (int i = 0; i < frames; ++i)
+        seq.push_back(seq_loc->processFrame(inputFor(d, i)));
+
+    for (const std::vector<int> &cuts : cut_lists) {
+        auto loc = makeLocalizer(r, d);
+        PipelineConfig pcfg;
+        pcfg.cuts = cuts;
+        pcfg.stages = static_cast<int>(cuts.size()) + 1;
+        pcfg.queue_capacity = 3;
+        std::vector<LocalizationResult> piped(frames);
+        {
+            FramePipeline pipeline(*loc, pcfg);
+            EXPECT_EQ(pipeline.cuts(), cuts);
+            for (int i = 0; i < frames; ++i)
+                ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+            pipeline.flush();
+            LocalizationResult res;
+            while (pipeline.poll(res))
+                piped[res.frame_index] = std::move(res);
+        }
+        for (int i = 0; i < frames; ++i) {
+            SCOPED_TRACE("cuts " + describeCuts(cuts));
+            expectPosesIdentical(seq[i], piped[i], i);
+            EXPECT_EQ(piped[i].telemetry.pipeline_stages,
+                      static_cast<int>(cuts.size()) + 1);
+        }
+    }
+}
+
+TEST(FramePipeline, SlamNStagePosesMatchSequentialBitExact)
+{
+    // Dense keyframing with a small window so marginalization and the
+    // solve|finish handoff are exercised within the short run.
+    checkCutEquivalence(
+        SceneType::IndoorUnknown, 12,
+        {{0}, {2, 3}, {0, 2, 3}, {0, 1, 2, 3}},
+        [](LocalizerConfig &lc) {
+            lc.mapping.keyframe_interval = 1;
+            lc.mapping.window_size = 4;
+        });
+}
+
+TEST(FramePipeline, VioNStagePosesMatchSequentialBitExact)
+{
+    // OutdoorUnknown provides GPS, so the solve|finish boundary splits
+    // MSCKF from the fusion block.
+    checkCutEquivalence(SceneType::OutdoorUnknown, 12,
+                        {{3}, {1, 3}, {0, 1, 2, 3}});
+}
+
+TEST(FramePipeline, RegistrationNStagePosesMatchSequentialBitExact)
+{
+    checkCutEquivalence(SceneType::IndoorKnown, 10,
+                        {{0, 2}, {0, 1, 2, 3}});
+}
+
+TEST(FramePipeline, PlannerChosenTopologyMatchesSequentialBitExact)
+{
+    const int frames = 12;
+    TestRun r = makeRun(SceneType::IndoorUnknown, frames);
+    r.lcfg.mapping.keyframe_interval = 1;
+    r.lcfg.mapping.window_size = 4;
+    Dataset d(r.dcfg);
+
+    // Profile a sequential run, plan, then run the planned topology.
+    auto seq_loc = makeLocalizer(r, d);
+    std::vector<LocalizationResult> seq;
+    std::vector<FrameTelemetry> tel;
+    for (int i = 0; i < frames; ++i) {
+        seq.push_back(seq_loc->processFrame(inputFor(d, i)));
+        tel.push_back(seq.back().telemetry);
+    }
+    StagePlan plan = PlacementPlanner::plan(
+        PlacementPlanner::profileFromTelemetry(tel, BackendMode::Slam));
+    ASSERT_LE(plan.period_ms, plan.sequential_ms);
+
+    auto loc = makeLocalizer(r, d);
+    PipelineConfig pcfg;
+    pcfg.cuts = plan.cuts;
+    pcfg.stages = plan.stages();
+    std::vector<LocalizationResult> piped(frames);
+    {
+        FramePipeline pipeline(*loc, pcfg);
+        for (int i = 0; i < frames; ++i)
+            ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+        pipeline.flush();
+        LocalizationResult res;
+        while (pipeline.poll(res))
+            piped[res.frame_index] = std::move(res);
+    }
+    for (int i = 0; i < frames; ++i)
+        expectPosesIdentical(seq[i], piped[i], i);
+}
+
+TEST(FramePipeline, InvalidStageConfigsAreRejected)
+{
+    TestRun r = makeRun(SceneType::OutdoorUnknown, 2);
+    Dataset d(r.dcfg);
+    auto loc = makeLocalizer(r, d);
+
+    auto expectRejected = [&](PipelineConfig pcfg) {
+        EXPECT_THROW(FramePipeline(*loc, pcfg), std::invalid_argument);
+    };
+
+    // stages > 2 used to be silently clamped to 2; now it must name
+    // its cut points.
+    expectRejected(PipelineConfig{.stages = 3});
+    expectRejected(PipelineConfig{.stages = -1});
+    // Out-of-range, unsorted, and duplicate cuts.
+    expectRejected(PipelineConfig{.cuts = {4}});
+    expectRejected(PipelineConfig{.cuts = {-1}});
+    expectRejected(PipelineConfig{.cuts = {2, 1}});
+    expectRejected(PipelineConfig{.cuts = {1, 1}});
+    // An explicit stage count inconsistent with the cut list is an
+    // error in both directions, never an override.
+    expectRejected(PipelineConfig{.stages = 4, .cuts = {2}});
+    expectRejected(PipelineConfig{.stages = 2, .cuts = {0, 1, 2}});
+
+    // Valid shapes still construct (and derive stages from the cuts).
+    FramePipeline dflt(*loc, PipelineConfig{});
+    EXPECT_EQ(dflt.cuts(), std::vector<int>{2}); // classic 2-stage
+    EXPECT_EQ(dflt.config().stages, 2);
+    dflt.close();
+    FramePipeline ok(*loc, PipelineConfig{.stages = 2});
+    EXPECT_EQ(ok.cuts(), std::vector<int>{2});
+    ok.close();
+    FramePipeline ok2(*loc, PipelineConfig{.cuts = {0, 2, 3}});
+    EXPECT_EQ(ok2.config().stages, 4);
+    ok2.close();
 }
 
 TEST(FramePipeline, VioPosesMatchSequentialBitExact)
@@ -580,6 +732,173 @@ TEST(SolveHub, RendezvousGroupsConcurrentRequestsDeterministically)
     EXPECT_EQ(stats.requests[k], kThreads);
     EXPECT_EQ(stats.batches[k], 1);
     EXPECT_EQ(stats.max_batch[k], kThreads);
+}
+
+// --- Gang window ------------------------------------------------------------
+
+TEST(LocalizerPool, GangWindowKeepsPosesBitIdenticalAndAlignsBatches)
+{
+    const int kSessions = 4;
+    const int kFrames = 8;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+
+    auto ref = makeLocalizer(r, d);
+    std::vector<LocalizationResult> expected;
+    for (int i = 0; i < kFrames; ++i)
+        expected.push_back(ref->processFrame(inputFor(d, i)));
+
+    PoolConfig pcfg;
+    pcfg.workers = kSessions; // alignment width = min(workers, sessions)
+    pcfg.queue_capacity = 16;
+    pcfg.gang_window = true; // implies batch_solves
+    LocalizerPool pool(pcfg);
+    for (int sid = 0; sid < kSessions; ++sid)
+        pool.addSession(makeLocalizer(r, d));
+
+    for (int i = 0; i < kFrames; ++i)
+        for (int sid = 0; sid < kSessions; ++sid)
+            ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+    pool.drain();
+
+    std::vector<std::vector<LocalizationResult>> per(kSessions);
+    PoolResult pr;
+    while (pool.poll(pr))
+        per[pr.session_id].push_back(std::move(pr.result));
+    for (int sid = 0; sid < kSessions; ++sid) {
+        ASSERT_EQ(per[sid].size(), static_cast<size_t>(kFrames));
+        for (int i = 0; i < kFrames; ++i)
+            expectPosesIdentical(expected[i], per[sid][i], i);
+    }
+
+    // The gang window aligns the sessions' backend stages, so the hub
+    // must observe batches near the session count — the acceptance
+    // target, not just opportunistic grouping.
+    SolveHubStats stats = pool.solveStats();
+    const int k = static_cast<int>(BatchKernel::Projection);
+    ASSERT_GT(stats.requests[k], 0);
+    EXPECT_GE(stats.meanBatch(BatchKernel::Projection),
+              0.8 * kSessions);
+    EXPECT_EQ(stats.max_batch[k], kSessions);
+}
+
+/**
+ * Pool stress with *different* modes under the gang window: VIO + SLAM
+ * + registration sessions rendezvous at the same windows (each mode
+ * batching its own kernel class), every per-session pose stream stays
+ * bit-identical to its solo run, and the rendezvous never deadlocks
+ * (SLAM frames submit zero or one hub request depending on
+ * marginalization, registration one or two — the window must absorb
+ * all of it).
+ */
+TEST(LocalizerPool, MixedModeGangStressMatchesSoloRuns)
+{
+    const int kFrames = 10;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+
+    // Per-session configurations over the shared dataset/assets.
+    std::vector<LocalizerConfig> cfgs;
+    {
+        LocalizerConfig vio;
+        vio.mode = BackendMode::Vio;
+        vio.use_gps = false;
+        LocalizerConfig slam;
+        slam.mode = BackendMode::Slam;
+        slam.mapping.keyframe_interval = 1;
+        slam.mapping.window_size = 4;
+        LocalizerConfig reg = r.lcfg;
+        ASSERT_EQ(reg.mode, BackendMode::Registration);
+        cfgs = {vio, slam, reg, vio};
+    }
+    const int kSessions = static_cast<int>(cfgs.size());
+
+    auto makeFor = [&](const LocalizerConfig &cfg) {
+        auto loc = std::make_unique<Localizer>(
+            cfg, d.rig(),
+            cfg.mode != BackendMode::Vio ? &r.voc : nullptr,
+            cfg.mode == BackendMode::Registration ? &r.prior_map
+                                                  : nullptr);
+        loc->initialize(d.truthAt(0), 0.0,
+                        d.trajectory().velocityAt(0.0));
+        return loc;
+    };
+
+    // Solo references.
+    std::vector<std::vector<LocalizationResult>> expected(kSessions);
+    for (int sid = 0; sid < kSessions; ++sid) {
+        auto solo = makeFor(cfgs[sid]);
+        for (int i = 0; i < kFrames; ++i)
+            expected[sid].push_back(solo->processFrame(inputFor(d, i)));
+    }
+
+    PoolConfig pcfg;
+    pcfg.workers = kSessions;
+    pcfg.queue_capacity = 12;
+    pcfg.gang_window = true;
+    LocalizerPool pool(pcfg);
+    for (int sid = 0; sid < kSessions; ++sid)
+        pool.addSession(makeFor(cfgs[sid]));
+
+    for (int i = 0; i < kFrames; ++i)
+        for (int sid = 0; sid < kSessions; ++sid)
+            ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+    pool.drain(); // completing at all proves no rendezvous deadlock
+
+    std::vector<std::vector<LocalizationResult>> per(kSessions);
+    PoolResult pr;
+    while (pool.poll(pr))
+        per[pr.session_id].push_back(std::move(pr.result));
+    for (int sid = 0; sid < kSessions; ++sid) {
+        ASSERT_EQ(per[sid].size(), static_cast<size_t>(kFrames))
+            << "session " << sid;
+        for (int i = 0; i < kFrames; ++i) {
+            SCOPED_TRACE("session " + std::to_string(sid));
+            expectPosesIdentical(expected[sid][i], per[sid][i], i);
+        }
+    }
+
+    // Every mode's kernel class went through the hub.
+    SolveHubStats stats = pool.solveStats();
+    EXPECT_GT(stats.requests[static_cast<int>(BatchKernel::Projection)],
+              0);
+    EXPECT_GT(stats.requests[static_cast<int>(BatchKernel::SpdSolve)],
+              0);
+    EXPECT_GT(stats.requests[static_cast<int>(BatchKernel::LuSolve)], 0);
+}
+
+// --- Scheduler online refit through the pipeline ---------------------------
+
+TEST(FramePipeline, OnlineRefitConsumesTelemetryStream)
+{
+    TestRun r = makeRun(SceneType::OutdoorUnknown, 8);
+    Dataset d(r.dcfg);
+    auto loc = makeLocalizer(r, d);
+
+    std::vector<KernelSample> train;
+    for (int i = 1; i <= 8; ++i)
+        train.push_back({8.0 * i, 0.02 * i});
+    RuntimeScheduler sched(
+        KernelLatencyModel::fit(BackendKernel::KalmanGain, train));
+    sched.enableOnlineRefit(/*window=*/32.0);
+
+    PipelineConfig pcfg;
+    pcfg.cuts = {2, 3};
+    pcfg.stages = 3;
+    pcfg.scheduler = &sched;
+    pcfg.accel_ms = 1.0;
+    pcfg.refit = &sched;
+    {
+        FramePipeline pipeline(*loc, pcfg);
+        for (int i = 0; i < 8; ++i)
+            ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+        pipeline.flush();
+    }
+    // Frames whose Kalman-gain solve actually ran fed measured samples
+    // back (frames where the kernel never executed are skipped — a
+    // 0 ms sample would poison the windowed fit).
+    EXPECT_GT(sched.model().observedSamples(), 0);
+    EXPECT_LE(sched.model().observedSamples(), 8);
 }
 
 TEST(SolveHub, BatchedProjectionMatchesDirectKernel)

@@ -174,6 +174,107 @@ TEST(Scheduler, MixedSizesOffloadOnlyTheLargeFrames)
     EXPECT_GT(stats.never_offload_ms, stats.scheduled_total_ms);
 }
 
+// --- Online windowed refit --------------------------------------------------
+
+TEST(Scheduler, ObserveWithoutEnableIsANoop)
+{
+    std::vector<KernelSample> train =
+        synthesize({0.3, 0.002}, 64, 0.0, 11);
+    KernelLatencyModel m =
+        KernelLatencyModel::fit(BackendKernel::Projection, train);
+    const double before = m.predict(1000.0);
+    m.observe(1000.0, 99.0);
+    m.observe(2000.0, 199.0);
+    EXPECT_EQ(m.observedSamples(), 0);
+    EXPECT_DOUBLE_EQ(m.predict(1000.0), before);
+}
+
+TEST(Scheduler, OnlineRefitConvergesToANewRegime)
+{
+    // Fit offline on one latency regime, then stream samples from a
+    // different one: the refit model must converge to the new regime.
+    std::vector<KernelSample> old_regime =
+        synthesize({0.5, 0.001}, 64, 0.0, 21);
+    KernelLatencyModel m =
+        KernelLatencyModel::fit(BackendKernel::Projection, old_regime);
+    m.enableOnlineRefit(/*window=*/32.0);
+
+    std::vector<KernelSample> new_regime =
+        synthesize({1.0, 0.004}, 200, 0.0, 22);
+    for (const KernelSample &s : new_regime)
+        m.observe(s.size, s.cpu_ms);
+
+    EXPECT_EQ(m.observedSamples(), 200);
+    for (double x : {100.0, 1000.0, 3000.0})
+        EXPECT_NEAR(m.predict(x), 1.0 + 0.004 * x,
+                    1e-3 * (1.0 + 0.004 * x));
+}
+
+TEST(Scheduler, OnlineRefitShrinksErrorOnDriftingWorkload)
+{
+    // The ROADMAP scenario: the offline 25% fit goes stale as the
+    // workload drifts (the quadratic coefficient creeps up, e.g. a
+    // growing map); the incremental windowed refit must track it.
+    const int kFrames = 400;
+    Rng rng(7);
+    std::vector<KernelSample> stream;
+    stream.reserve(kFrames);
+    for (int i = 0; i < kFrames; ++i) {
+        double drift =
+            1.0 + 3.0 * static_cast<double>(i) / kFrames; // 1x -> 4x
+        KernelSample s;
+        s.size = rng.uniform(50.0, 600.0);
+        s.cpu_ms = 0.2 + drift * (2e-4 * s.size + 3e-6 * s.size * s.size);
+        stream.push_back(s);
+    }
+
+    const int train_n = kFrames / 4; // the offline 25% fit
+    std::vector<KernelSample> train(stream.begin(),
+                                    stream.begin() + train_n);
+    KernelLatencyModel offline =
+        KernelLatencyModel::fit(BackendKernel::Marginalization, train);
+    KernelLatencyModel online = offline;
+    online.enableOnlineRefit(/*window=*/48.0);
+
+    double offline_err = 0.0, online_err = 0.0;
+    int evaluated = 0;
+    for (int i = train_n; i < kFrames; ++i) {
+        const KernelSample &s = stream[i];
+        // Predict-then-observe: the online model only sees the sample
+        // after its prediction is scored.
+        offline_err += std::abs(offline.predict(s.size) - s.cpu_ms);
+        online_err += std::abs(online.predict(s.size) - s.cpu_ms);
+        online.observe(s.size, s.cpu_ms);
+        ++evaluated;
+    }
+    offline_err /= evaluated;
+    online_err /= evaluated;
+
+    EXPECT_GT(offline_err, 0.0);
+    // The refit must cut the stale-model error by well over half.
+    EXPECT_LT(online_err, 0.5 * offline_err)
+        << "offline MAE " << offline_err << ", online MAE "
+        << online_err;
+}
+
+TEST(Scheduler, RuntimeSchedulerObserveRefitsDecisions)
+{
+    std::vector<KernelSample> cheap =
+        synthesize({0.1, 0.0002}, 32, 0.0, 31);
+    RuntimeScheduler sched(
+        KernelLatencyModel::fit(BackendKernel::Projection, cheap));
+    // Under the stale model a size-4000 kernel looks cheap: no offload.
+    EXPECT_FALSE(sched.decide(4000.0, 2.0).offload);
+
+    sched.enableOnlineRefit(16.0);
+    for (int i = 0; i < 64; ++i) {
+        double size = 500.0 + 60.0 * i;
+        sched.observe(size, 0.1 + 0.002 * size); // 10x steeper reality
+    }
+    // The refit model now predicts ~8 ms at size 4000: offload.
+    EXPECT_TRUE(sched.decide(4000.0, 2.0).offload);
+}
+
 TEST(Scheduler, EmptyEvaluationIsSafe)
 {
     KernelLatencyModel model = KernelLatencyModel::fit(
