@@ -260,6 +260,130 @@ poolReport(int frames)
     return gang_mean_batch;
 }
 
+// --- QoS admission control under overload ------------------------------
+
+struct QosRun
+{
+    double sc_fps = 0.0; //!< safety-critical session throughput
+    PoolStats stats;
+};
+
+/**
+ * Serves one safety-critical session (plus @p best_effort best-effort
+ * sessions when contended) through an oversubscribed pool and measures
+ * the safety-critical session's completion rate. Inputs are pre-built
+ * so producer-side dataset rendering never skews the wall clock.
+ */
+QosRun
+runQosPool(const SessionAssets &assets, int frames, int best_effort,
+           bool gang)
+{
+    PoolConfig pcfg;
+    // A reserved worker only isolates the safety-critical stream when
+    // a second hardware thread exists to run it; on a single-core host
+    // extra workers just time-share the core under the safety frames.
+    const bool multi_core = std::thread::hardware_concurrency() >= 2;
+    pcfg.workers = multi_core ? 2 : 1;
+    pcfg.reserved_workers = multi_core ? 1 : 0;
+    pcfg.queue_capacity = 16;
+    pcfg.best_effort_capacity = 2; // shallow: sheds instead of queueing
+    pcfg.gang_window = gang;
+    if (gang)
+        pcfg.gang_timeout_ms = 10.0; // waves never wait on laggards long
+    LocalizerPool pool(pcfg);
+
+    SessionConfig sc_cfg;
+    sc_cfg.qos = QosClass::SafetyCritical;
+    const int sc = pool.addSession(assets.makeSession(), sc_cfg);
+    std::vector<int> be;
+    for (int k = 0; k < best_effort; ++k) {
+        SessionConfig be_cfg;
+        be_cfg.qos = QosClass::BestEffort;
+        if (k == 0)
+            be_cfg.frame_deadline_ms = 50.0; // one robot sheds stale too
+        be.push_back(pool.addSession(assets.makeSession(), be_cfg));
+    }
+
+    std::vector<std::vector<FrameInput>> inputs(1 + best_effort);
+    for (int s = 0; s < 1 + best_effort; ++s)
+        for (int i = 0; i < frames; ++i)
+            inputs[s].push_back(frameInput(*assets.dataset, i));
+
+    // Consumer timestamps the safety-critical completions while the
+    // producer below keeps the pool oversubscribed.
+    std::chrono::steady_clock::time_point t_last;
+    int sc_done = 0;
+    std::thread consumer([&] {
+        PoolResult pr;
+        while (pool.awaitResult(pr)) {
+            if (pr.session_id == sc) {
+                ++sc_done;
+                t_last = std::chrono::steady_clock::now();
+            }
+        }
+    });
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < frames; ++i) {
+        pool.submit(sc, std::move(inputs[0][i]));
+        for (int k = 0; k < best_effort; ++k)
+            pool.submit(be[k], std::move(inputs[1 + k][i]));
+    }
+    pool.drain();
+    pool.shutdown(); // ends the consumer's awaitResult loop
+    consumer.join();
+
+    QosRun r;
+    const double ms =
+        std::chrono::duration<double, std::milli>(t_last - t0).count();
+    r.sc_fps = ms > 0.0 && sc_done == frames
+                   ? 1000.0 * frames / ms
+                   : 0.0;
+    r.stats = pool.stats();
+    return r;
+}
+
+/** @return the worst contended/uncontended safety-critical fps ratio. */
+double
+qosReport(const SessionAssets &assets, int frames)
+{
+    const int kBestEffort = 3;
+    const bool multi_core = std::thread::hardware_concurrency() >= 2;
+    double worst_ratio = 1.0;
+    for (bool gang : {false, true}) {
+        QosRun solo = runQosPool(assets, frames, 0, gang);
+        QosRun load = runQosPool(assets, frames, kBestEffort, gang);
+        const double ratio =
+            solo.sc_fps > 0.0 ? load.sc_fps / solo.sc_fps : 0.0;
+        worst_ratio = std::min(worst_ratio, ratio);
+
+        std::cout << "\n  QoS overload (" << (1 + kBestEffort)
+                  << " sessions, " << (multi_core ? 2 : 1)
+                  << " worker(s), " << (multi_core ? 1 : 0)
+                  << " reserved, "
+                  << (gang ? "gang window 10 ms" : "gang off")
+                  << "): safety-critical " << fmt(load.sc_fps, 1)
+                  << " fps vs " << fmt(solo.sc_fps, 1)
+                  << " uncontended = " << fmt(ratio, 2)
+                  << "x (target >= 0.9x)\n";
+        std::cout << "    session        class             sub  done "
+                     "drop(old) drop(ddl)  wait mean/max ms\n";
+        for (size_t s = 0; s < load.stats.sessions.size(); ++s) {
+            const SessionPoolStats &st = load.stats.sessions[s];
+            const std::string cls = qosClassName(st.qos);
+            const size_t pad = cls.size() < 18 ? 18 - cls.size() : 1;
+            std::cout << "    " << s << "              " << cls
+                      << std::string(pad, ' ')
+                      << st.submitted << "    " << st.completed
+                      << "      " << st.dropped_oldest << "       "
+                      << st.dropped_deadline << "       "
+                      << fmt(st.meanQueueWaitMs(), 1) << " / "
+                      << fmt(st.queue_wait_max_ms, 1) << "\n";
+        }
+    }
+    return worst_ratio;
+}
+
 } // namespace
 
 int
@@ -339,6 +463,17 @@ main()
                  "(registration, shared vocabulary + map):\n";
     double gang_mean = poolReport(std::max(frames / 4, 8));
 
+    // --- QoS admission control under overload ------------------------
+    std::cout << "\nLocalizerPool QoS under overload (oversubscribed "
+                 "mixed-class pool, registration):\n";
+    RunConfig qos_cfg;
+    qos_cfg.scene = SceneType::IndoorKnown;
+    qos_cfg.platform = Platform::Drone;
+    qos_cfg.frames = std::max(frames / 4, 8);
+    qos_cfg.force_mode = BackendMode::Registration;
+    SessionAssets qos_assets = buildAssets(qos_cfg);
+    double qos_ratio = qosReport(qos_assets, qos_cfg.frames);
+
     // --- CI perf smoke ---------------------------------------------------
     if (const char *ceiling = std::getenv("EDX_PIPELINE_MS_CEILING")) {
         const double limit = std::atof(ceiling);
@@ -369,6 +504,26 @@ main()
                   << " ms ceiling, speedup "
                   << fmt(car_dense_speedup, 2) << "x, gang mean batch "
                   << fmt(gang_mean, 2) << "\n";
+    }
+
+    // --- CI QoS smoke: the safety-critical session must hold its
+    // uncontended throughput under overload. The env value is the
+    // minimum acceptable contended/uncontended fps ratio (the
+    // acceptance target is 0.9; CI gates a little below it so only
+    // real admission-control regressions fail, never runner noise).
+    if (const char *floor = std::getenv("EDX_QOS_FPS_FLOOR")) {
+        const double limit = std::atof(floor);
+        if (qos_ratio < limit) {
+            std::cerr << "PERF REGRESSION: safety-critical session held "
+                      << qos_ratio
+                      << "x of its uncontended fps under overload, "
+                         "below the "
+                      << limit << "x floor\n";
+            return 1;
+        }
+        std::cout << "qos smoke: safety-critical held "
+                  << fmt(qos_ratio, 2) << "x >= " << limit
+                  << "x of uncontended fps under overload\n";
     }
     return 0;
 }

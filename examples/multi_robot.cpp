@@ -9,6 +9,13 @@
  * robot's frame stream strictly in order. Each robot observes the
  * world from its own (time-shifted) position along the route, so the
  * sessions genuinely diverge.
+ *
+ * The fleet is mixed-criticality: robot 0 is a person-carrying
+ * vehicle whose pose stream is SAFETY_CRITICAL (reserved queue and
+ * worker capacity — it is never shed), while the mapping robots run
+ * BEST_EFFORT with a frame deadline: under contention the pool drops
+ * their oldest/stalest frames instead of delaying the vehicle, and
+ * the per-session counters report exactly what was shed.
  */
 #include <iostream>
 #include <map>
@@ -46,15 +53,24 @@ main()
 
     PoolConfig pcfg;
     pcfg.workers = 2;
-    pcfg.queue_capacity = 16;
+    pcfg.reserved_workers = 1;    // one worker held for the vehicle
+    pcfg.queue_capacity = 16;     // standard quota (unused here)
+    pcfg.best_effort_capacity = 4; // mappers shed beyond this backlog
     LocalizerPool pool(pcfg);
 
     std::vector<int> offset(kRobots);
     for (int r = 0; r < kRobots; ++r) {
         offset[r] = r * 8; // staggered start along the trajectory
+        SessionConfig session;
+        if (r == 0) {
+            session.qos = QosClass::SafetyCritical;
+        } else {
+            session.qos = QosClass::BestEffort;
+            session.frame_deadline_ms = 500.0; // stale poses are useless
+        }
         pool.createSession(lcfg, dataset.rig(), &voc, &shared_map,
                            dataset.truthAt(offset[r]), 0.0,
-                           dataset.trajectory().velocityAt(0.0));
+                           dataset.trajectory().velocityAt(0.0), session);
     }
 
     for (int i = 0; i < kFrames; ++i) {
@@ -77,6 +93,7 @@ main()
         if (pr.result.ok)
             est[pr.session_id][pr.result.frame_index] = pr.result.pose;
 
+    PoolStats stats = pool.stats();
     for (int r = 0; r < kRobots; ++r) {
         std::vector<Pose> poses, truth;
         for (const auto &[i, pose] : est[r]) {
@@ -84,9 +101,14 @@ main()
             truth.push_back(dataset.truthAt(offset[r] + i));
         }
         TrajectoryError e = computeTrajectoryError(poses, truth);
-        std::cout << "robot " << r << ": " << poses.size() << "/"
-                  << kFrames << " frames localized, rmse "
-                  << e.rmse_m << " m\n";
+        const SessionPoolStats &s = stats.sessions[r];
+        std::cout << "robot " << r << " (" << qosClassName(s.qos)
+                  << "): " << poses.size() << "/" << kFrames
+                  << " frames localized, rmse " << e.rmse_m << " m, "
+                  << s.dropped() << " shed (" << s.dropped_oldest
+                  << " oldest, " << s.dropped_deadline
+                  << " deadline), mean queue wait "
+                  << s.meanQueueWaitMs() << " ms\n";
     }
     return 0;
 }

@@ -1,8 +1,37 @@
 #include "runtime/localizer_pool.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace edx {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+const char *
+qosClassName(QosClass q)
+{
+    switch (q) {
+      case QosClass::SafetyCritical:
+        return "safety-critical";
+      case QosClass::Standard:
+        return "standard";
+      case QosClass::BestEffort:
+        return "best-effort";
+    }
+    return "?";
+}
 
 LocalizerPool::LocalizerPool(const PoolConfig &cfg) : cfg_(cfg)
 {
@@ -10,9 +39,24 @@ LocalizerPool::LocalizerPool(const PoolConfig &cfg) : cfg_(cfg)
         cfg_.workers = 1;
     if (cfg_.queue_capacity < 1)
         cfg_.queue_capacity = 1;
+    if (cfg_.safety_capacity == 0)
+        cfg_.safety_capacity = cfg_.queue_capacity;
+    if (cfg_.best_effort_capacity == 0)
+        cfg_.best_effort_capacity = cfg_.queue_capacity;
+    // At least one worker must stay dispatchable for non-safety work,
+    // or a pool with any safety-critical session would starve the rest
+    // outright instead of degrading them.
+    cfg_.reserved_workers =
+        std::clamp(cfg_.reserved_workers, 0, cfg_.workers - 1);
+    if (cfg_.best_effort_share < 0)
+        cfg_.best_effort_share = 0;
+    if (cfg_.gang_timeout_ms < 0.0)
+        cfg_.gang_timeout_ms = 0.0;
     if (cfg_.gang_window)
         cfg_.batch_solves = true; // aligning stages without the hub
                                   // would align nothing
+    class_capacity_ = {cfg_.safety_capacity, cfg_.queue_capacity,
+                       cfg_.best_effort_capacity};
     workers_.reserve(cfg_.workers);
     for (int i = 0; i < cfg_.workers; ++i)
         workers_.emplace_back(&LocalizerPool::workerLoop, this);
@@ -20,15 +64,32 @@ LocalizerPool::LocalizerPool(const PoolConfig &cfg) : cfg_(cfg)
 
 LocalizerPool::~LocalizerPool() { shutdown(); }
 
+LocalizerPool::Session &
+LocalizerPool::sessionAt(int session_id)
+{
+    if (session_id < 0 ||
+        session_id >= static_cast<int>(sessions_.size()))
+        throw std::out_of_range(
+            "LocalizerPool: unknown session id " +
+            std::to_string(session_id) + " (have " +
+            std::to_string(sessions_.size()) + ")");
+    return *sessions_[session_id];
+}
+
 int
-LocalizerPool::addSession(std::unique_ptr<Localizer> localizer)
+LocalizerPool::addSession(std::unique_ptr<Localizer> localizer,
+                          const SessionConfig &session)
 {
     assert(localizer);
     std::lock_guard<std::mutex> lk(m_);
     auto s = std::make_unique<Session>();
     s->loc = std::move(localizer);
+    s->cfg = session;
+    s->stats.qos = session.qos;
     if (cfg_.batch_solves)
         s->loc->setSolveHub(&hub_);
+    if (session.qos == QosClass::SafetyCritical)
+        have_safety_ = true;
     sessions_.push_back(std::move(s));
     return static_cast<int>(sessions_.size()) - 1;
 }
@@ -38,38 +99,154 @@ LocalizerPool::createSession(const LocalizerConfig &cfg,
                              const StereoRig &rig,
                              const Vocabulary *vocabulary,
                              const Map *prior_map, const Pose &start_pose,
-                             double t0, const Vec3 &start_velocity)
+                             double t0, const Vec3 &start_velocity,
+                             const SessionConfig &session)
 {
     auto loc = std::make_unique<Localizer>(cfg, rig, vocabulary, prior_map);
     loc->initialize(start_pose, t0, start_velocity);
-    return addSession(std::move(loc));
+    return addSession(std::move(loc), session);
+}
+
+void
+LocalizerPool::dropOldestBestEffort()
+{
+    // The class-oldest pending frame is the front of whichever
+    // best-effort session queue holds the smallest admission sequence
+    // (per-session queues are FIFO in admission order).
+    int victim = -1;
+    long oldest = 0;
+    for (int sid = 0; sid < static_cast<int>(sessions_.size()); ++sid) {
+        Session &s = *sessions_[sid];
+        if (s.cfg.qos != QosClass::BestEffort || s.pending.empty())
+            continue;
+        if (victim < 0 || s.pending.front().admit_seq < oldest) {
+            victim = sid;
+            oldest = s.pending.front().admit_seq;
+        }
+    }
+    assert(victim >= 0 && "best-effort quota full but no pending frame");
+    if (victim < 0)
+        return;
+    Session &s = *sessions_[victim];
+    s.pending.pop_front();
+    ++s.stats.dropped_oldest;
+    ++dropped_;
+    const int qi = static_cast<int>(QosClass::BestEffort);
+    --class_queued_[qi];
+    if (s.pending.empty() && !s.running) {
+        auto &rq = runnable_[qi];
+        auto it = std::find(rq.begin(), rq.end(), victim);
+        if (it != rq.end())
+            rq.erase(it);
+    }
+    // No consumer wake-up here: the drop only ever happens mid-submit,
+    // and the caller admits its own frame within this same critical
+    // section, re-unbalancing the drain predicate before any waiter
+    // could observe the intermediate state.
 }
 
 bool
 LocalizerPool::submit(int session_id, FrameInput input)
 {
     std::unique_lock<std::mutex> lk(m_);
-    if (session_id < 0 ||
-        session_id >= static_cast<int>(sessions_.size()))
-        return false;
-    space_cv_.wait(lk, [&] {
-        return queued_frames_ < cfg_.queue_capacity || stopping_;
-    });
-    if (stopping_)
-        return false;
+    Session &s = sessionAt(session_id); // throws on bad id
+    const QosClass q = s.cfg.qos;
+    const int qi = static_cast<int>(q);
 
-    Session &s = *sessions_[session_id];
-    s.pending.push_back(std::move(input));
-    ++queued_frames_;
-    ++submitted_;
-    // A session joins the run queue only when no worker owns it; the
-    // owning worker re-enqueues it on release (actor scheduling keeps
-    // per-session frame order).
-    if (!s.running && s.pending.size() == 1) {
-        runnable_.push_back(session_id);
-        work_cv_.notify_one();
+    // In-flight submitters are visible to drain()/shutdown(): a
+    // producer parked on the quota below holds `pending_submitters_`
+    // up, so a concurrent drain waits for its frame instead of letting
+    // a racing shutdown drop it silently after the wake-up.
+    ++pending_submitters_;
+
+    bool admitted = false;
+    if (q == QosClass::BestEffort) {
+        // Never blocks: shed the class-oldest frame at quota.
+        if (!stopping_) {
+            if (class_queued_[qi] >= class_capacity_[qi])
+                dropOldestBestEffort();
+            admitted = true;
+        }
+    } else {
+        space_cv_.wait(lk, [&] {
+            return class_queued_[qi] < class_capacity_[qi] || stopping_;
+        });
+        admitted = !stopping_;
     }
-    return true;
+
+    if (admitted) {
+        PendingFrame pf;
+        pf.input = std::move(input);
+        pf.admit_seq = ++admit_seq_;
+        pf.admit_time = Clock::now();
+        s.pending.push_back(std::move(pf));
+        ++class_queued_[qi];
+        ++submitted_;
+        ++s.stats.submitted;
+        // A session joins the run queue only when no worker owns it;
+        // the owning worker re-enqueues it on release (actor scheduling
+        // keeps per-session frame order).
+        if (!s.running && s.pending.size() == 1) {
+            runnable_[qi].push_back(session_id);
+            work_cv_.notify_one();
+        }
+    }
+    --pending_submitters_;
+    // drain()/awaitResult() watch pending_submitters_, but an
+    // admission just unbalanced their counters anyway — only wake them
+    // when this submitter's exit could actually complete a drain.
+    if (pending_submitters_ == 0 && completed_ + dropped_ == submitted_)
+        result_cv_.notify_all();
+    return admitted;
+}
+
+bool
+LocalizerPool::canDispatchClass(int qi) const
+{
+    if (runnable_[qi].empty())
+        return false;
+    if (qi == static_cast<int>(QosClass::SafetyCritical) || stopping_)
+        return true;
+    if (!have_safety_ || cfg_.reserved_workers == 0)
+        return true;
+    // Reserved capacity: non-safety frames only dispatch while they
+    // occupy fewer than workers - reserved_workers slots.
+    return active_non_safety_ < cfg_.workers - cfg_.reserved_workers;
+}
+
+int
+LocalizerPool::pickableClass() const
+{
+    for (int qi = 0; qi < kQosClasses; ++qi)
+        if (canDispatchClass(qi))
+            return qi;
+    return -1;
+}
+
+int
+LocalizerPool::pickSession()
+{
+    // Priority order, with a 1-in-N rotation that offers best-effort
+    // the first look *over standard* so sustained standard backlog
+    // cannot starve best-effort sessions entirely. Safety-critical
+    // work is never preempted by the rotation — under overload the
+    // pool degrades selectively, and the selectivity is the point:
+    // best-effort catches up whenever the safety-critical queue is
+    // momentarily empty (every paced sensor stream has such gaps).
+    std::array<int, kQosClasses> order = {0, 1, 2};
+    if (cfg_.best_effort_share > 0 &&
+        dispatch_count_ % cfg_.best_effort_share ==
+            cfg_.best_effort_share - 1)
+        order = {0, 2, 1};
+    for (int qi : order) {
+        if (!canDispatchClass(qi))
+            continue;
+        ++dispatch_count_;
+        const int sid = runnable_[qi].front();
+        runnable_[qi].pop_front();
+        return sid;
+    }
+    return -1;
 }
 
 void
@@ -77,8 +254,9 @@ LocalizerPool::finishFrame(int sid, PoolResult r)
 {
     Session &s = *sessions_[sid];
     s.running = false;
+    ++s.stats.completed;
     if (!s.pending.empty()) {
-        runnable_.push_back(sid);
+        runnable_[static_cast<int>(s.cfg.qos)].push_back(sid);
         work_cv_.notify_one();
     }
     results_.push_back(std::move(r));
@@ -87,7 +265,7 @@ LocalizerPool::finishFrame(int sid, PoolResult r)
 }
 
 void
-LocalizerPool::maybeReleaseGang()
+LocalizerPool::maybeReleaseGang(bool force)
 {
     // The window closes when no frame is mid-frontend (every in-flight
     // frame is parked at the window, so this is the largest gang the
@@ -97,11 +275,23 @@ LocalizerPool::maybeReleaseGang()
     // Release at most `workers` backends: more could not execute
     // concurrently anyway, and announced entries must be claimable
     // immediately — see expectBackendEntries().
-    if (gang_frontends_ > 0 || gang_outstanding_ > 0 ||
-        gang_staged_.empty())
+    if (gang_outstanding_ > 0 || gang_staged_.empty())
         return;
-    int release = std::min(static_cast<int>(gang_staged_.size()),
-                           cfg_.workers);
+    if (gang_frontends_ > 0 && !force) {
+        // The wave is blocked only on in-flight frontends. Arm the
+        // wave timer so a lagging (e.g. best-effort) frontend cannot
+        // hold parked backends hostage: an idle worker forces a
+        // narrower release at the deadline (waitForWork()).
+        if (cfg_.gang_timeout_ms > 0.0 && !gang_timer_armed_) {
+            gang_timer_armed_ = true;
+            gang_wait_since_ = Clock::now();
+            work_cv_.notify_all(); // sleepers switch to a timed wait
+        }
+        return;
+    }
+    gang_timer_armed_ = false;
+    const int release = std::min(static_cast<int>(gang_staged_.size()),
+                                 cfg_.workers);
     hub_.expectBackendEntries(release);
     gang_outstanding_ = release;
     for (int i = 0; i < release; ++i) {
@@ -112,93 +302,181 @@ LocalizerPool::maybeReleaseGang()
 }
 
 void
+LocalizerPool::waitForWork(std::unique_lock<std::mutex> &lk)
+{
+    auto ready = [&] {
+        return !gang_released_.empty() || stopping_ ||
+               pickableClass() >= 0;
+    };
+    const auto timeout = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(cfg_.gang_timeout_ms));
+    // An expired wave must be forced even by a worker that never goes
+    // idle: on a busy pool the workers pass through here between
+    // frames while the timed wait below is never entered, and a
+    // released backend outranks any fresh dispatch — so this is
+    // exactly the moment a freed worker should pick up the overdue
+    // wave instead of new work.
+    if (gang_timer_armed_ && cfg_.gang_timeout_ms > 0.0 &&
+        Clock::now() >= gang_wait_since_ + timeout)
+        maybeReleaseGang(/*force=*/true);
+    while (!ready()) {
+        if (gang_timer_armed_ && cfg_.gang_timeout_ms > 0.0) {
+            const auto deadline = gang_wait_since_ + timeout;
+            if (!work_cv_.wait_until(lk, deadline, ready) &&
+                gang_timer_armed_ &&
+                Clock::now() >= gang_wait_since_ + timeout)
+                // Wave timed out waiting on lagging frontends: force
+                // the narrower pre-announced release. The re-check
+                // against the *current* gang_wait_since_ matters: the
+                // timer may have been re-armed for a newer wave while
+                // this worker slept on an older wave's deadline, and
+                // that newer wave deserves its full window.
+                maybeReleaseGang(/*force=*/true);
+        } else {
+            work_cv_.wait(lk, [&] {
+                return ready() || gang_timer_armed_;
+            });
+        }
+    }
+}
+
+void
+LocalizerPool::runReleasedBackend(std::unique_lock<std::mutex> &lk,
+                                  int sid)
+{
+    Session &s = *sessions_[sid];
+    assert(s.running);
+    const bool non_safety = s.cfg.qos != QosClass::SafetyCritical;
+    if (non_safety)
+        ++active_non_safety_;
+    FrameInput input = std::move(s.staged_input);
+    FrontendOutput fe = std::move(s.staged_fe);
+    const double wait_ms = s.staged_wait_ms;
+
+    lk.unlock();
+    PoolResult r;
+    r.session_id = sid;
+    r.qos = s.cfg.qos;
+    {
+        SolveHub::StageGuard guard(&hub_);
+        r.result = s.loc->runBackend(input, fe);
+    }
+    lk.lock();
+    if (non_safety)
+        --active_non_safety_;
+    --gang_outstanding_;
+    r.result.telemetry.queue_wait_ms = wait_ms;
+    finishFrame(sid, std::move(r));
+    maybeReleaseGang(/*force=*/false);
+}
+
+void
+LocalizerPool::dispatchSession(std::unique_lock<std::mutex> &lk, int sid)
+{
+    Session &s = *sessions_[sid];
+    assert(!s.running && !s.pending.empty());
+    const QosClass q = s.cfg.qos;
+    const int qi = static_cast<int>(q);
+    PendingFrame pf = std::move(s.pending.front());
+    s.pending.pop_front();
+    --class_queued_[qi];
+    space_cv_.notify_all();
+
+    const double wait_ms = msSince(pf.admit_time);
+    if (q == QosClass::BestEffort && s.cfg.frame_deadline_ms > 0.0 &&
+        wait_ms > s.cfg.frame_deadline_ms) {
+        // Frame-deadline drop: a best-effort frame that aged past its
+        // deadline in the queue is stale for a live robot — shed it
+        // instead of spending a worker on it.
+        ++s.stats.dropped_deadline;
+        ++dropped_;
+        if (!s.pending.empty()) {
+            runnable_[qi].push_back(sid);
+            work_cv_.notify_one();
+        }
+        result_cv_.notify_all();
+        return;
+    }
+
+    s.running = true;
+    s.stats.queue_wait_total_ms += wait_ms;
+    s.stats.queue_wait_max_ms =
+        std::max(s.stats.queue_wait_max_ms, wait_ms);
+    const bool non_safety = q != QosClass::SafetyCritical;
+    if (non_safety)
+        ++active_non_safety_;
+
+    FrameInput input = std::move(pf.input);
+    const bool splittable = s.loc->initialized() && input.hasImages();
+
+    if (cfg_.gang_window && splittable) {
+        // Frontend now; backend parked at the gang window.
+        ++gang_frontends_;
+        lk.unlock();
+        FrontendOutput fe = s.loc->runFrontend(input.left, input.right);
+        lk.lock();
+        --gang_frontends_;
+        if (non_safety)
+            --active_non_safety_;
+        s.staged_input = std::move(input);
+        s.staged_fe = std::move(fe);
+        s.staged_wait_ms = wait_ms;
+        gang_staged_.push_back(sid);
+        maybeReleaseGang(/*force=*/false);
+        return;
+    }
+
+    lk.unlock();
+    PoolResult r;
+    r.session_id = sid;
+    r.qos = q;
+    if (!splittable) {
+        // Rejected frames never reach the backend; keep them out
+        // of the gang/batching machinery entirely.
+        r.result = s.loc->processFrame(input);
+    } else if (cfg_.batch_solves) {
+        // The stage guard scopes exactly the backend: a session
+        // chewing on its frontend must not stall other sessions'
+        // kernel rendezvous.
+        FrontendOutput fe = s.loc->runFrontend(input.left, input.right);
+        SolveHub::StageGuard guard(&hub_);
+        r.result = s.loc->runBackend(input, fe);
+    } else {
+        r.result = s.loc->processFrame(input);
+    }
+    lk.lock();
+    if (non_safety)
+        --active_non_safety_;
+    r.result.telemetry.queue_wait_ms = wait_ms;
+    finishFrame(sid, std::move(r));
+}
+
+void
 LocalizerPool::workerLoop()
 {
     std::unique_lock<std::mutex> lk(m_);
     for (;;) {
-        work_cv_.wait(lk, [&] {
-            return !gang_released_.empty() || !runnable_.empty() ||
-                   stopping_;
-        });
+        waitForWork(lk);
 
         // Released gang backends run with strict priority: each was
         // pre-announced to the hub, and the rendezvous holds every
-        // parked request until all announced stages are in.
+        // parked request until all announced stages are in. (Reserved
+        // worker slots gate *dispatch*, not announced backends — an
+        // announced entry that never arrives would stall the hub.)
         if (!gang_released_.empty()) {
-            int sid = gang_released_.front();
+            const int sid = gang_released_.front();
             gang_released_.pop_front();
-            Session &s = *sessions_[sid];
-            assert(s.running);
-            FrameInput input = std::move(s.staged_input);
-            FrontendOutput fe = std::move(s.staged_fe);
-
-            lk.unlock();
-            PoolResult r;
-            r.session_id = sid;
-            {
-                SolveHub::StageGuard guard(&hub_);
-                r.result = s.loc->runBackend(input, fe);
-            }
-            lk.lock();
-            --gang_outstanding_;
-            finishFrame(sid, std::move(r));
-            maybeReleaseGang();
+            runReleasedBackend(lk, sid);
             continue;
         }
 
-        if (runnable_.empty()) {
+        const int sid = pickSession();
+        if (sid < 0) {
             if (stopping_)
                 return;
             continue;
         }
-        int sid = runnable_.front();
-        runnable_.pop_front();
-        Session &s = *sessions_[sid];
-        assert(!s.running && !s.pending.empty());
-        s.running = true;
-        FrameInput input = std::move(s.pending.front());
-        s.pending.pop_front();
-        --queued_frames_;
-        space_cv_.notify_one();
-
-        const bool splittable =
-            s.loc->initialized() && input.hasImages();
-
-        if (cfg_.gang_window && splittable) {
-            // Frontend now; backend parked at the gang window.
-            ++gang_frontends_;
-            lk.unlock();
-            FrontendOutput fe =
-                s.loc->runFrontend(input.left, input.right);
-            lk.lock();
-            --gang_frontends_;
-            s.staged_input = std::move(input);
-            s.staged_fe = std::move(fe);
-            gang_staged_.push_back(sid);
-            maybeReleaseGang();
-            continue;
-        }
-
-        lk.unlock();
-        PoolResult r;
-        r.session_id = sid;
-        if (!splittable) {
-            // Rejected frames never reach the backend; keep them out
-            // of the gang/batching machinery entirely.
-            r.result = s.loc->processFrame(input);
-        } else if (cfg_.batch_solves) {
-            // The stage guard scopes exactly the backend: a session
-            // chewing on its frontend must not stall other sessions'
-            // kernel rendezvous.
-            FrontendOutput fe =
-                s.loc->runFrontend(input.left, input.right);
-            SolveHub::StageGuard guard(&hub_);
-            r.result = s.loc->runBackend(input, fe);
-        } else {
-            r.result = s.loc->processFrame(input);
-        }
-        lk.lock();
-        finishFrame(sid, std::move(r));
+        dispatchSession(lk, sid);
     }
 }
 
@@ -217,8 +495,14 @@ bool
 LocalizerPool::awaitResult(PoolResult &out)
 {
     std::unique_lock<std::mutex> lk(m_);
+    // Shutdown-aware: `completed_ + dropped_ == submitted_` holds
+    // transiently whenever the pool is momentarily idle between two
+    // producer submissions, so it alone must never end a consumer
+    // loop — only a draining shutdown may.
     result_cv_.wait(lk, [&] {
-        return !results_.empty() || completed_ == submitted_;
+        return !results_.empty() ||
+               (stopping_ && pending_submitters_ == 0 &&
+                completed_ + dropped_ == submitted_);
     });
     if (results_.empty())
         return false;
@@ -231,24 +515,37 @@ void
 LocalizerPool::drain()
 {
     std::unique_lock<std::mutex> lk(m_);
-    result_cv_.wait(lk, [&] { return completed_ == submitted_; });
+    result_cv_.wait(lk, [&] {
+        return pending_submitters_ == 0 &&
+               completed_ + dropped_ == submitted_;
+    });
 }
 
 void
 LocalizerPool::shutdown()
 {
+    // Serialized: a second concurrent caller (e.g. the destructor
+    // racing an explicit shutdown) blocks here until the first one has
+    // joined the workers, instead of returning while they still run.
+    std::lock_guard<std::mutex> lifecycle(lifecycle_m_);
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (shutdown_done_)
+            return;
+    }
     drain();
     {
         std::lock_guard<std::mutex> lk(m_);
-        if (stopping_)
-            return;
         stopping_ = true;
     }
     work_cv_.notify_all();
     space_cv_.notify_all();
+    result_cv_.notify_all();
     for (std::thread &w : workers_)
         if (w.joinable())
             w.join();
+    std::lock_guard<std::mutex> lk(m_);
+    shutdown_done_ = true;
 }
 
 int
@@ -264,13 +561,25 @@ LocalizerPool::solveStats() const
     return hub_.stats();
 }
 
+PoolStats
+LocalizerPool::stats() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    PoolStats out;
+    out.sessions.reserve(sessions_.size());
+    for (const auto &s : sessions_)
+        out.sessions.push_back(s->stats);
+    out.submitted = submitted_;
+    out.completed = completed_;
+    out.dropped = dropped_;
+    return out;
+}
+
 Localizer &
 LocalizerPool::session(int session_id)
 {
     std::lock_guard<std::mutex> lk(m_);
-    assert(session_id >= 0 &&
-           session_id < static_cast<int>(sessions_.size()));
-    return *sessions_[session_id]->loc;
+    return *sessionAt(session_id).loc;
 }
 
 } // namespace edx

@@ -345,8 +345,13 @@ bool
 FramePipeline::awaitResult(LocalizationResult &out)
 {
     std::unique_lock<std::mutex> lk(result_m_);
+    // Close-aware: `completed_ == submitted_` holds transiently
+    // whenever the pipeline is momentarily idle between two producer
+    // submissions, so it alone must never end a consumer loop — only
+    // a close() that has drained the in-flight frames may.
     result_cv_.wait(lk, [&] {
-        return !results_.empty() || completed_ == submitted_;
+        return !results_.empty() ||
+               (closed_ && completed_ == submitted_);
     });
     if (results_.empty())
         return false;
@@ -365,20 +370,28 @@ FramePipeline::flush()
 void
 FramePipeline::close()
 {
+    // Serialized end-to-end: the old unlocked gap between the closed_
+    // check and flush() let two concurrent closers both flush and then
+    // race in_q_.close()/join(). A late caller (e.g. the destructor
+    // racing an explicit close()) blocks here until the first one has
+    // joined the workers.
+    std::lock_guard<std::mutex> lifecycle(lifecycle_m_);
     {
         std::lock_guard<std::mutex> lk(result_m_);
-        if (closed_)
+        if (close_done_)
             return;
+        // submit() fails from this point on; frames already admitted
+        // (submitted_ incremented) still drain through flush() below.
+        closed_ = true;
+        result_cv_.notify_all(); // consumers re-check the close gate
     }
     flush();
-    {
-        std::lock_guard<std::mutex> lk(result_m_);
-        closed_ = true;
-    }
     in_q_.close();
     for (std::thread &w : workers_)
         if (w.joinable())
             w.join();
+    std::lock_guard<std::mutex> lk(result_m_);
+    close_done_ = true;
 }
 
 PipelineStats

@@ -158,8 +158,8 @@ class FramePipeline
 
     /**
      * Enqueues one frame (taking ownership of its images). Blocks while
-     * the bounded input queue is full (backpressure). Returns false
-     * after close().
+     * the bounded input queue is full (backpressure). Returns false —
+     * without enqueueing or side effects — once close() has begun.
      */
     bool submit(FrameInput input);
 
@@ -169,13 +169,20 @@ class FramePipeline
      */
     bool poll(LocalizationResult &out);
 
-    /** Blocks until the next result (or all submitted frames done). */
+    /**
+     * Blocks until the next result. Returns false only once close()
+     * has begun and every admitted frame has completed — a transient
+     * "nothing in flight" gap between two producer submissions never
+     * ends a consumer loop.
+     */
     bool awaitResult(LocalizationResult &out);
 
     /** Blocks until every submitted frame has completed. */
     void flush();
 
-    /** Flushes, stops the workers; submit() fails afterwards. */
+    /** Flushes, stops the workers; submit() fails afterwards. Safe to
+     *  call concurrently: late callers block until the first caller's
+     *  close completes. */
     void close();
 
     const PipelineConfig &config() const { return cfg_; }
@@ -231,7 +238,9 @@ class FramePipeline
     std::deque<LocalizationResult> results_;
     long submitted_ = 0;
     long completed_ = 0;
-    bool closed_ = false;
+    bool closed_ = false;     //!< submit() gate, set when close() begins
+    bool close_done_ = false; //!< workers joined (under result_m_)
+    std::mutex lifecycle_m_;  //!< serializes concurrent close() calls
 
     mutable std::mutex stats_m_;
     PipelineStats stats_;

@@ -13,17 +13,39 @@ namespace edx {
 namespace {
 
 /**
+ * Floor for fitted sub-stage predictions, ms. Degenerate telemetry —
+ * a sub-stage whose timings were never recorded, or a fit that
+ * collapses to zero — must never present a sub-stage as *free*: a
+ * zero-cost node makes every cut around it look harmless (degenerate
+ * topologies burning stage workers on nothing) and zeroes the
+ * predicted period, poisoning the fps/speedup ratios every consumer
+ * derives from it. 1 µs is far below any real sub-stage, so genuine
+ * profiles are unaffected.
+ */
+constexpr double kMinNodePredMs = 1e-3;
+
+/**
+ * Smallest per-stage gain worth an extra stage worker, ms. Cutting the
+ * chain costs a thread and a queue handoff; a topology that only
+ * shaves tens of microseconds off the bottleneck (the scale of the
+ * epsilon-floored stages of a degenerate profile) must lose the
+ * near-tie to the plan with fewer stages.
+ */
+constexpr double kMinStageGainMs = 0.05;
+
+/**
  * Predicts a sub-stage's latency at the profile's mean driver size by
  * fitting latency against the driver (the scheduler's regression
  * recipe, Sec. VI-B). Degenerate profiles — near-constant drivers or
- * too few samples — fall back to the plain mean.
+ * too few samples — fall back to the plain mean; every prediction is
+ * floored at kMinNodePredMs.
  */
 double
 fitPredictMs(const std::vector<double> &xs, const std::vector<double> &ys,
              int degree)
 {
     if (ys.empty())
-        return 0.0;
+        return kMinNodePredMs;
     double mean_x = 0.0, mean_y = 0.0;
     for (size_t i = 0; i < xs.size(); ++i) {
         mean_x += xs[i];
@@ -40,13 +62,13 @@ fitPredictMs(const std::vector<double> &xs, const std::vector<double> &ys,
     const int need = degree + 2;
     if (static_cast<int>(xs.size()) < need ||
         std::sqrt(var_x) < 1e-9 * std::max(1.0, std::abs(mean_x)))
-        return std::max(0.0, mean_y);
+        return std::max(kMinNodePredMs, mean_y);
 
     PolynomialModel model = PolynomialModel::fit(xs, ys, degree);
     double pred = model.predict(mean_x);
     if (!std::isfinite(pred) || pred < 0.0)
-        return std::max(0.0, mean_y);
-    return pred;
+        return std::max(kMinNodePredMs, mean_y);
+    return std::max(kMinNodePredMs, pred);
 }
 
 } // namespace
@@ -185,6 +207,11 @@ PlacementPlanner::profileAccelerated(
     }
     const double n = static_cast<double>(frames.size());
     p.node_ms = {fe / n, sm / n, tm / n, solve / n, finish / n};
+    // Same floor as the telemetry fits: the accelerator substitution
+    // can price a sub-stage at exactly zero (e.g. a registration
+    // finish node), and the planner must never see a free stage.
+    for (double &v : p.node_ms)
+        v = std::max(kMinNodePredMs, v);
     return p;
 }
 
@@ -267,12 +294,17 @@ PlacementPlanner::plan(const NodeProfile &profile, int max_stages)
     // topologies the one that also balances the remaining stages wins
     // (e.g. the backend-internal solver | marginalization+loop split
     // when FE bounds the period either way): it degrades most
-    // gracefully when the workload drifts. Keys tied within 2% of the
-    // period prefer fewer stages (fewer handoffs).
-    // 2% of the fattest sub-stage — the floor no topology can beat.
+    // gracefully when the workload drifts. Keys tied within the
+    // tolerance prefer fewer stages (fewer handoffs).
+    // 2% of the fattest sub-stage — the floor no topology can beat —
+    // with an absolute component: a stage worker is only worth buying
+    // when it saves meaningful wall time, so the epsilon-floored
+    // stages of a degenerate profile (all sub-stages "free") can never
+    // justify a cut (the plan degrades to sequential instead).
     const double max_node =
         *std::max_element(profile.node_ms.begin(), profile.node_ms.end());
-    const double tol = std::max(1e-9, 0.02 * max_node);
+    const double tol =
+        std::max(kMinStageGainMs, 0.02 * max_node);
     for (int mask = 1; mask < (1 << (kPipelineNodes - 1)); ++mask) {
         std::vector<int> cuts;
         for (int b = 0; b < kPipelineNodes - 1; ++b)

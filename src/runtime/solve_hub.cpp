@@ -12,8 +12,15 @@ namespace edx {
 void
 SolveHub::expectBackendEntries(int n)
 {
+    if (n <= 0)
+        return;
     std::lock_guard<std::mutex> lk(m_);
     pending_entries_ += n;
+    ++stats_.waves_announced;
+    stats_.entries_announced += n;
+    stats_.max_wave = std::max(stats_.max_wave, n);
+    stats_.min_wave =
+        stats_.min_wave == 0 ? n : std::min(stats_.min_wave, n);
 }
 
 void

@@ -76,6 +76,25 @@ struct SolveHubStats
     long grouped_requests[3] = {0, 0, 0}; //!< served in a batch > 1
     int max_batch[3] = {0, 0, 0};
 
+    // Gang-wave accounting (expectBackendEntries): the pool's window
+    // announces every wave it releases, including the narrower waves a
+    // timed-out window forces, so the observed width distribution is
+    // visible (dynamic gang width).
+    long waves_announced = 0;   //!< expectBackendEntries() calls
+    long entries_announced = 0; //!< sum of announced wave widths
+    int max_wave = 0;           //!< widest announced wave
+    int min_wave = 0;           //!< narrowest announced wave (0: none)
+
+    /** Mean announced wave width (0.0 before any announcement). */
+    double
+    meanWave() const
+    {
+        return waves_announced > 0
+                   ? static_cast<double>(entries_announced) /
+                         waves_announced
+                   : 0.0;
+    }
+
     /** batch_hist[k][n]: executions of kernel k with batch size n. */
     long batch_hist[3][kHistMax + 1] = {};
 

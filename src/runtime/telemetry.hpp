@@ -133,6 +133,15 @@ struct FrameTelemetry
     double backend_stage_ms = 0.0;  //!< wall time in backend-side stages
 
     /**
+     * Pool QoS accounting (filled by LocalizerPool): wall time this
+     * frame spent queued between admission and dispatch. Under
+     * contention this is where a session's latency degrades first —
+     * the per-class admission controller shapes it (reserved classes
+     * stay near zero while best-effort queues age and shed).
+     */
+    double queue_wait_ms = 0.0;
+
+    /**
      * Per-pipeline-stage wall time of this frame under the N-stage
      * topology (first pipeline_stages entries valid). The steady-state
      * pipelined frame interval is max over stages; frontend_stage_ms /

@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "runtime/placement.hpp"
 
 namespace edx {
@@ -168,6 +170,45 @@ TEST(Placement, EmptyProfileYieldsSequentialPlan)
     EXPECT_DOUBLE_EQ(p.totalMs(), 0.0);
     StagePlan plan = PlacementPlanner::plan(p);
     EXPECT_TRUE(plan.cuts.empty());
+}
+
+TEST(Placement, DegenerateTelemetryNeverYieldsFreeStages)
+{
+    // Telemetry with plausible workload drivers but all-zero recorded
+    // latencies (a profiling stream whose timing hooks never fired)
+    // used to fit every sub-stage at exactly 0 ms — free stages that
+    // zero the predicted period and make any cut look harmless. Fits
+    // are now floored at a small positive epsilon: the plan must
+    // degrade to the sequential topology with a finite positive
+    // predicted fps, not burn stage workers on nothing.
+    std::vector<FrameTelemetry> frames;
+    for (int i = 0; i < 8; ++i) {
+        FrameTelemetry t;
+        t.frontend_workload.image_pixels = 640 * 480;
+        t.frontend_workload.stereo_candidates = 500 + 10 * i;
+        t.frontend_workload.stereo_matches = 80 + i;
+        t.frontend_workload.temporal_tracks = 100 + i;
+        frames.push_back(t);
+    }
+    NodeProfile p = PlacementPlanner::profileFromTelemetry(
+        frames, BackendMode::Slam);
+    for (double v : p.node_ms)
+        EXPECT_GT(v, 0.0);
+    StagePlan plan = PlacementPlanner::plan(p);
+    EXPECT_TRUE(plan.cuts.empty());
+    EXPECT_GT(plan.period_ms, 0.0);
+    EXPECT_GT(plan.fps(), 0.0);
+    EXPECT_TRUE(std::isfinite(plan.fps()));
+
+    // Partially degenerate: one real sub-stage among zero-measured
+    // ones must not buy cuts that only isolate free stages.
+    for (FrameTelemetry &t : frames)
+        t.frontend.fd_ms = 12.0;
+    NodeProfile q = PlacementPlanner::profileFromTelemetry(
+        frames, BackendMode::Slam);
+    StagePlan plan_q = PlacementPlanner::plan(q);
+    EXPECT_TRUE(plan_q.cuts.empty());
+    EXPECT_NEAR(plan_q.period_ms, 12.0, 0.1);
 }
 
 } // namespace

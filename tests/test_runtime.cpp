@@ -590,11 +590,16 @@ TEST(LocalizerPool, SharesPriorMapAcrossRegistrationSessions)
     EXPECT_GT(ok, 0);
 }
 
-TEST(LocalizerPool, SubmitToUnknownSessionFails)
+TEST(LocalizerPool, UnknownSessionIdsThrow)
 {
+    // submit() used to silently return false while session() had an
+    // assert-only bounds check (UB in Release builds); both now follow
+    // the throw-on-invalid policy.
     LocalizerPool pool;
-    EXPECT_FALSE(pool.submit(0, FrameInput{}));
-    EXPECT_FALSE(pool.submit(-1, FrameInput{}));
+    EXPECT_THROW(pool.submit(0, FrameInput{}), std::out_of_range);
+    EXPECT_THROW(pool.submit(-1, FrameInput{}), std::out_of_range);
+    EXPECT_THROW(pool.session(0), std::out_of_range);
+    EXPECT_THROW(pool.session(-1), std::out_of_range);
 }
 
 // --- SolveHub: cross-session batched backend solves -------------------
@@ -972,6 +977,419 @@ TEST(SolveHub, BatchedProjectionMatchesDirectKernel)
     for (int i = 0; i < m; ++i)
         for (int j = 0; j < 3; ++j)
             EXPECT_EQ(f2(i, j), expected[0](i, j)) << "cached point " << i;
+}
+
+// --- Pool / pipeline lifecycle edges ----------------------------------------
+
+TEST(LocalizerPool, QueueCapacityZeroClampsToOne)
+{
+    const int kFrames = 3;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+    PoolConfig pcfg;
+    pcfg.workers = 1;
+    pcfg.queue_capacity = 0; // must clamp, not divide-by-zero / livelock
+    LocalizerPool pool(pcfg);
+    int sid = pool.addSession(makeLocalizer(r, d));
+    for (int i = 0; i < kFrames; ++i)
+        ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+    pool.drain();
+    int results = 0;
+    PoolResult pr;
+    while (pool.poll(pr))
+        ++results;
+    EXPECT_EQ(results, kFrames);
+}
+
+TEST(LocalizerPool, ShutdownWithQueuedWorkCompletesEverything)
+{
+    const int kFrames = 6;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+    PoolConfig pcfg;
+    pcfg.workers = 1;
+    pcfg.queue_capacity = kFrames;
+    LocalizerPool pool(pcfg);
+    int sid = pool.addSession(makeLocalizer(r, d));
+    for (int i = 0; i < kFrames; ++i)
+        ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+    // No drain(): shutdown itself must drain the queued frames, not
+    // abandon them.
+    pool.shutdown();
+    int results = 0;
+    PoolResult pr;
+    while (pool.poll(pr))
+        ++results;
+    EXPECT_EQ(results, kFrames);
+    // Unknown ids still throw after shutdown; valid ids are rejected.
+    EXPECT_THROW(pool.submit(99, inputFor(d, 0)), std::out_of_range);
+    EXPECT_FALSE(pool.submit(sid, inputFor(d, 0)));
+}
+
+TEST(LocalizerPool, DrainWaitsForParkedSubmitter)
+{
+    // A producer parked in submit() on the class quota used to be
+    // invisible to drain()/shutdown() (it had not yet incremented the
+    // submitted counter), so a racing shutdown dropped its frame after
+    // the wake-up stopping check. In-flight submitters are now
+    // tracked: every submit() entered before shutdown() began must
+    // succeed and yield a result.
+    const int kFrames = 4;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+    PoolConfig pcfg;
+    pcfg.workers = 1;
+    pcfg.queue_capacity = 1; // park the producer while a frame runs
+    LocalizerPool pool(pcfg);
+    int sid = pool.addSession(makeLocalizer(r, d));
+
+    // Inputs pre-built: the submit stream must be tight so the drain
+    // inside shutdown() cannot legitimately complete between two
+    // widely-spaced submissions.
+    std::vector<FrameInput> inputs;
+    for (int i = 0; i < kFrames; ++i)
+        inputs.push_back(inputFor(d, i));
+
+    std::atomic<int> accepted{0};
+    std::thread producer([&] {
+        for (FrameInput &in : inputs)
+            if (pool.submit(sid, std::move(in)))
+                accepted.fetch_add(1);
+    });
+    // Shut down once the producer is demonstrably mid-stream: with a
+    // quota of 1 and multi-millisecond frames, the later submits are
+    // parked on the quota and must still be honored.
+    while (pool.stats().submitted < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    pool.shutdown();
+    producer.join();
+
+    EXPECT_EQ(accepted.load(), kFrames);
+    int results = 0;
+    PoolResult pr;
+    while (pool.poll(pr))
+        ++results;
+    EXPECT_EQ(results, kFrames);
+}
+
+TEST(LocalizerPool, AwaitResultSurvivesProducerGaps)
+{
+    // The old predicate returned false ("all drained") whenever
+    // completed == submitted held transiently between two producer
+    // submissions; with gaps in the producer stream a consumer loop
+    // exited after the first frame. The predicate is now
+    // shutdown-aware: the loop must collect every frame.
+    const int kFrames = 5;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+    LocalizerPool pool(PoolConfig{.workers = 1, .queue_capacity = 4});
+    int sid = pool.addSession(makeLocalizer(r, d));
+
+    std::thread producer([&] {
+        for (int i = 0; i < kFrames; ++i) {
+            ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+            // Idle gap: the pool fully drains between submissions.
+            std::this_thread::sleep_for(std::chrono::milliseconds(15));
+        }
+        pool.shutdown();
+    });
+
+    int collected = 0;
+    PoolResult pr;
+    while (pool.awaitResult(pr)) {
+        EXPECT_EQ(pr.result.frame_index, collected);
+        ++collected;
+    }
+    producer.join();
+    EXPECT_EQ(collected, kFrames);
+}
+
+TEST(FramePipeline, AwaitResultSurvivesProducerGaps)
+{
+    const int kFrames = 5;
+    TestRun r = makeRun(SceneType::OutdoorUnknown, kFrames);
+    Dataset d(r.dcfg);
+    auto loc = makeLocalizer(r, d);
+    FramePipeline pipeline(*loc, PipelineConfig{.stages = 2});
+
+    std::thread producer([&] {
+        for (int i = 0; i < kFrames; ++i) {
+            ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+            std::this_thread::sleep_for(std::chrono::milliseconds(15));
+        }
+        pipeline.close();
+    });
+
+    int collected = 0;
+    LocalizationResult res;
+    while (pipeline.awaitResult(res)) {
+        EXPECT_EQ(res.frame_index, collected);
+        ++collected;
+    }
+    producer.join();
+    EXPECT_EQ(collected, kFrames);
+}
+
+TEST(FramePipeline, ConcurrentCloseIsSafe)
+{
+    // close() used to drop its lock between the closed check and
+    // flush(), so two concurrent closers could both flush and race
+    // in_q_.close()/join() — double-join is UB. Closers are now
+    // serialized end-to-end; every caller returns only after the
+    // workers are joined.
+    const int kFrames = 6;
+    TestRun r = makeRun(SceneType::OutdoorUnknown, kFrames);
+    Dataset d(r.dcfg);
+    auto loc = makeLocalizer(r, d);
+    FramePipeline pipeline(*loc, PipelineConfig{.stages = 2});
+    for (int i = 0; i < kFrames; ++i)
+        ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+
+    std::vector<std::thread> closers;
+    for (int t = 0; t < 3; ++t)
+        closers.emplace_back([&] { pipeline.close(); });
+    for (auto &t : closers)
+        t.join();
+
+    // Defined submit-after-close behavior: rejected, no side effects.
+    EXPECT_FALSE(pipeline.submit(inputFor(d, 0)));
+    EXPECT_EQ(pipeline.stats().frames, kFrames);
+}
+
+// --- QoS admission control --------------------------------------------------
+
+/**
+ * Oversubscribed mixed-class pool: one safety-critical session and a
+ * fleet of best-effort sessions submit faster than the workers can
+ * serve. The pool must degrade selectively — the safety-critical
+ * stream completes in full and bit-identical to an unloaded run, the
+ * best-effort sessions shed frames via drop-oldest, and every
+ * non-dropped best-effort pose is bit-identical to replaying exactly
+ * the admitted subset through a solo localizer (a dropped frame
+ * behaves like one that was never captured).
+ */
+void
+checkQosShedding(bool gang)
+{
+    const int kFrames = 10;
+    const int kBestEffort = 3;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+
+    auto ref = makeLocalizer(r, d);
+    std::vector<LocalizationResult> expected;
+    for (int i = 0; i < kFrames; ++i)
+        expected.push_back(ref->processFrame(inputFor(d, i)));
+
+    PoolConfig pcfg;
+    pcfg.workers = 2;
+    pcfg.reserved_workers = 1; // one worker held back for the vehicle
+    pcfg.queue_capacity = 16;
+    pcfg.best_effort_capacity = 2; // tiny: forces drop-oldest shedding
+    pcfg.gang_window = gang;
+    if (gang)
+        pcfg.gang_timeout_ms = 20.0; // waves must not wait on laggards
+    LocalizerPool pool(pcfg);
+
+    const int sc = pool.addSession(
+        makeLocalizer(r, d), SessionConfig{QosClass::SafetyCritical});
+    std::vector<int> be;
+    for (int k = 0; k < kBestEffort; ++k)
+        be.push_back(pool.addSession(
+            makeLocalizer(r, d), SessionConfig{QosClass::BestEffort}));
+
+    for (int i = 0; i < kFrames; ++i) {
+        ASSERT_TRUE(pool.submit(sc, inputFor(d, i)));
+        for (int sid : be)
+            ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+    }
+    pool.drain();
+
+    std::vector<std::vector<LocalizationResult>> per(1 + kBestEffort);
+    PoolResult pr;
+    while (pool.poll(pr))
+        per[pr.session_id].push_back(std::move(pr.result));
+
+    // Safety-critical: complete, in order, bit-identical.
+    ASSERT_EQ(per[sc].size(), static_cast<size_t>(kFrames));
+    for (int i = 0; i < kFrames; ++i) {
+        SCOPED_TRACE(gang ? "gang on" : "gang off");
+        EXPECT_EQ(per[sc][i].frame_index, i);
+        expectPosesIdentical(expected[i], per[sc][i], i);
+    }
+
+    // Best-effort: the non-dropped subset is bit-identical to a solo
+    // run over exactly that subset.
+    for (int sid : be) {
+        auto solo = makeLocalizer(r, d);
+        int prev = -1;
+        for (const LocalizationResult &res : per[sid]) {
+            SCOPED_TRACE("session " + std::to_string(sid) +
+                         (gang ? " gang on" : " gang off"));
+            EXPECT_GT(res.frame_index, prev); // order preserved
+            prev = res.frame_index;
+            LocalizationResult cmp =
+                solo->processFrame(inputFor(d, res.frame_index));
+            expectPosesIdentical(cmp, res, res.frame_index);
+        }
+    }
+
+    PoolStats st = pool.stats();
+    EXPECT_EQ(st.sessions[sc].qos, QosClass::SafetyCritical);
+    EXPECT_EQ(st.sessions[sc].completed, kFrames);
+    EXPECT_EQ(st.sessions[sc].dropped(), 0);
+    long be_dropped = 0, be_completed = 0;
+    for (int sid : be) {
+        const SessionPoolStats &s = st.sessions[sid];
+        EXPECT_EQ(s.qos, QosClass::BestEffort);
+        EXPECT_EQ(s.completed + s.dropped(), s.submitted);
+        EXPECT_EQ(s.completed,
+                  static_cast<long>(per[sid].size()));
+        be_dropped += s.dropped();
+        be_completed += s.completed;
+    }
+    // The pool was offered 4x its serving rate into a 2-deep
+    // best-effort quota: shedding must have happened.
+    EXPECT_GT(be_dropped, 0);
+    EXPECT_EQ(st.dropped, be_dropped);
+    EXPECT_EQ(st.completed, kFrames + be_completed);
+    EXPECT_EQ(st.submitted, st.completed + st.dropped);
+}
+
+TEST(LocalizerPool, OversubscribedPoolShedsOnlyBestEffort)
+{
+    checkQosShedding(/*gang=*/false);
+}
+
+TEST(LocalizerPool, OversubscribedPoolShedsOnlyBestEffortGangWindow)
+{
+    checkQosShedding(/*gang=*/true);
+}
+
+TEST(LocalizerPool, BestEffortDeadlineDropsStaleFrames)
+{
+    const int kFrames = 4;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+
+    PoolConfig pcfg;
+    pcfg.workers = 1;
+    pcfg.queue_capacity = 2 * kFrames;
+    LocalizerPool pool(pcfg);
+    const int sc = pool.addSession(
+        makeLocalizer(r, d), SessionConfig{QosClass::SafetyCritical});
+    SessionConfig be_cfg;
+    be_cfg.qos = QosClass::BestEffort;
+    be_cfg.frame_deadline_ms = 0.01; // far below one frame's latency
+    const int be = pool.addSession(makeLocalizer(r, d), be_cfg);
+
+    // The single worker starts on the safety-critical backlog, so by
+    // the time any best-effort frame reaches dispatch it has aged past
+    // its deadline — all of them must be shed, none processed.
+    for (int i = 0; i < kFrames; ++i)
+        ASSERT_TRUE(pool.submit(sc, inputFor(d, i)));
+    for (int i = 0; i < kFrames; ++i)
+        ASSERT_TRUE(pool.submit(be, inputFor(d, i)));
+    pool.drain();
+
+    PoolStats st = pool.stats();
+    EXPECT_EQ(st.sessions[sc].completed, kFrames);
+    EXPECT_EQ(st.sessions[be].completed, 0);
+    EXPECT_EQ(st.sessions[be].dropped_deadline, kFrames);
+    int results = 0;
+    PoolResult pr;
+    while (pool.poll(pr)) {
+        EXPECT_EQ(pr.session_id, sc);
+        EXPECT_EQ(pr.qos, QosClass::SafetyCritical);
+        ++results;
+    }
+    EXPECT_EQ(results, kFrames);
+}
+
+TEST(LocalizerPool, GangWindowSingleWorkerCompletes)
+{
+    // One worker, several gang sessions: waves can only ever be one
+    // backend wide, and the window must keep cycling instead of
+    // waiting for a concurrency that cannot exist.
+    const int kSessions = 2;
+    const int kFrames = 4;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+
+    auto ref = makeLocalizer(r, d);
+    std::vector<LocalizationResult> expected;
+    for (int i = 0; i < kFrames; ++i)
+        expected.push_back(ref->processFrame(inputFor(d, i)));
+
+    PoolConfig pcfg;
+    pcfg.workers = 1;
+    pcfg.queue_capacity = 8;
+    pcfg.gang_window = true;
+    LocalizerPool pool(pcfg);
+    for (int sid = 0; sid < kSessions; ++sid)
+        pool.addSession(makeLocalizer(r, d));
+    for (int i = 0; i < kFrames; ++i)
+        for (int sid = 0; sid < kSessions; ++sid)
+            ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+    pool.drain(); // completing at all proves the window cannot stall
+
+    std::vector<std::vector<LocalizationResult>> per(kSessions);
+    PoolResult pr;
+    while (pool.poll(pr))
+        per[pr.session_id].push_back(std::move(pr.result));
+    for (int sid = 0; sid < kSessions; ++sid) {
+        ASSERT_EQ(per[sid].size(), static_cast<size_t>(kFrames));
+        for (int i = 0; i < kFrames; ++i)
+            expectPosesIdentical(expected[i], per[sid][i], i);
+    }
+}
+
+TEST(LocalizerPool, GangTimeoutReleasesNarrowerWavesBitIdentical)
+{
+    // A tiny wave timeout forces the window to release narrower
+    // pre-announced waves whenever frontends lag behind the first
+    // parked frame. Narrowing changes only *when* backends run: the
+    // pose streams must stay bit-identical and the pool must drain.
+    const int kSessions = 4;
+    const int kFrames = 6;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+
+    auto ref = makeLocalizer(r, d);
+    std::vector<LocalizationResult> expected;
+    for (int i = 0; i < kFrames; ++i)
+        expected.push_back(ref->processFrame(inputFor(d, i)));
+
+    PoolConfig pcfg;
+    pcfg.workers = kSessions;
+    pcfg.queue_capacity = 16;
+    pcfg.gang_window = true;
+    pcfg.gang_timeout_ms = 1.0; // well below one frontend's latency
+    LocalizerPool pool(pcfg);
+    for (int sid = 0; sid < kSessions; ++sid)
+        pool.addSession(makeLocalizer(r, d));
+    for (int i = 0; i < kFrames; ++i)
+        for (int sid = 0; sid < kSessions; ++sid)
+            ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+    pool.drain();
+
+    std::vector<std::vector<LocalizationResult>> per(kSessions);
+    PoolResult pr;
+    while (pool.poll(pr))
+        per[pr.session_id].push_back(std::move(pr.result));
+    for (int sid = 0; sid < kSessions; ++sid) {
+        ASSERT_EQ(per[sid].size(), static_cast<size_t>(kFrames));
+        for (int i = 0; i < kFrames; ++i)
+            expectPosesIdentical(expected[i], per[sid][i], i);
+    }
+
+    // Every released wave was pre-announced to the hub, whatever its
+    // width (dynamic gang width).
+    SolveHubStats stats = pool.solveStats();
+    EXPECT_GT(stats.waves_announced, 0);
+    EXPECT_GE(stats.min_wave, 1);
+    EXPECT_LE(stats.max_wave, kSessions);
+    EXPECT_EQ(stats.entries_announced >= stats.waves_announced, true);
 }
 
 } // namespace
