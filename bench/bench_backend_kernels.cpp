@@ -21,6 +21,8 @@
 #include "common/runner.hpp"
 #include "common/table.hpp"
 #include "math/blas.hpp"
+#include "math/blas_f32.hpp"
+#include "math/cpu_features.hpp"
 #include "math/decomp.hpp"
 #include "math/rng.hpp"
 #include "runtime/telemetry.hpp"
@@ -71,12 +73,56 @@ speedup(double ref_ms, double opt_ms)
     return opt_ms > 0.0 ? fmt(ref_ms / opt_ms, 2) + "x" : "-";
 }
 
+/** Times @p fn with the SIMD dispatch forced to @p tier. */
+template <typename Fn>
+double
+timeMsAtTier(SimdTier tier, int iters, Fn &&fn)
+{
+    const SimdTier prev = activeSimdTier();
+    setSimdTier(tier);
+    const double ms = timeMs(iters, fn);
+    setSimdTier(prev);
+    return ms;
+}
+
+/**
+ * Whether the startup tier is AVX2. The startup tier honors both cpuid
+ * and EDX_SIMD_LEVEL, so under a forced-sse2 CI leg the avx2 column
+ * degrades to "-" instead of silently running AVX2 code. A function —
+ * not a namespace-scope constant — because the dispatch tier is
+ * dynamically initialized and a static flag here could be initialized
+ * first, reading the pre-dispatch SSE2 default.
+ */
+bool
+hasAvx2()
+{
+    return activeSimdTier() == SimdTier::kAvx2;
+}
+
+/**
+ * One kernel row: the reference once, the optimized kernel once per
+ * available SIMD tier.
+ */
+template <typename RefFn, typename OptFn>
+void
+addKernelRow(Table &t, const std::string &name, const std::string &shape,
+             int iters, RefFn &&ref_fn, OptFn &&opt_fn)
+{
+    const double ref = timeMs(iters, ref_fn);
+    const double sse2 = timeMsAtTier(SimdTier::kSse2, iters, opt_fn);
+    const double avx2 =
+        hasAvx2() ? timeMsAtTier(SimdTier::kAvx2, iters, opt_fn) : -1.0;
+    const double best = hasAvx2() ? avx2 : sse2;
+    t.addRow({name, shape, fmt(ref, 3), fmt(sse2, 3),
+              avx2 < 0.0 ? "-" : fmt(avx2, 3), speedup(ref, best)});
+}
+
 /**
  * Steady-state synthetic VIO loop (the test_backend world): returns
  * the mean per-frame backend ms (propagate + update) once warm.
  */
 double
-msckfBackendMs(bool use_reference, int frames)
+msckfBackendMs(bool use_reference, int frames, bool float32 = false)
 {
     Trajectory traj = Trajectory::drone(8.0, 40.0);
     StereoRig rig = platformRig(Platform::Drone);
@@ -102,6 +148,7 @@ msckfBackendMs(bool use_reference, int frames)
 
     MsckfConfig cfg;
     cfg.use_reference = use_reference;
+    cfg.float32_covariance_update = float32;
     Msckf filter(rig, cfg);
     filter.initialize(traj.poseAt(0.0), 0.0, traj.velocityAt(0.0));
 
@@ -165,81 +212,98 @@ main()
 {
     banner("backend kernels",
            "blocked/SIMD vs retained scalar reference, MSCKF sizes");
+    note("SIMD tier: " + simdTierSummary());
     const int iters = benchFrames(12);
 
     // The MSCKF-realistic shapes: d = 195 (30 clones), compression
     // stack ~2x the state, Kalman S at the compressed size.
     const int d = 195, rows = 390;
 
-    Table t({"kernel", "shape", "reference ms", "optimized ms",
+    Table t({"kernel", "shape", "reference ms", "sse2 ms", "avx2 ms",
              "speedup"});
 
     {
         MatX a = randomMat(d, d, 1), b = randomMat(d, d, 2), c;
-        double ref = timeMs(iters, [&] { gemmReference(a, b, c); });
-        double opt = timeMs(iters, [&] { gemmInto(a, b, c); });
-        t.addRow({"gemm", "195x195x195", fmt(ref, 3), fmt(opt, 3),
-                  speedup(ref, opt)});
+        addKernelRow(t, "gemm", "195x195x195", iters,
+                     [&] { gemmReference(a, b, c); },
+                     [&] { gemmInto(a, b, c); });
     }
     {
         MatX a = randomMat(rows, d, 3), b = randomMat(d, d, 4), c;
-        double ref = timeMs(iters,
-                            [&] { multiplyTransposedReference(a, b, c); });
-        double opt =
-            timeMs(iters, [&] { multiplyTransposedInto(a, b, c); });
-        t.addRow({"A*B^T", "390x195 * (195x195)^T", fmt(ref, 3),
-                  fmt(opt, 3), speedup(ref, opt)});
+        addKernelRow(t, "A*B^T", "390x195 * (195x195)^T", iters,
+                     [&] { multiplyTransposedReference(a, b, c); },
+                     [&] { multiplyTransposedInto(a, b, c); });
     }
     {
         MatX h = randomMat(d, d, 5);
         MatX p = randomSpd(d, 6);
         MatX hp, s;
-        double ref = timeMs(
-            iters, [&] { symmetricSandwichReference(h, p, hp, s); });
-        double opt = timeMs(
-            iters, [&] { symmetricSandwichInto(h, p, hp, s); });
-        t.addRow({"H*P*H^T (sym)", "195x195 sandwich", fmt(ref, 3),
-                  fmt(opt, 3), speedup(ref, opt)});
+        addKernelRow(t, "H*P*H^T (sym)", "195x195 sandwich", iters,
+                     [&] { symmetricSandwichReference(h, p, hp, s); },
+                     [&] { symmetricSandwichInto(h, p, hp, s); });
     }
     {
         MatX a = randomMat(rows, d, 7), b = randomMat(rows, d, 8);
         MatX c_ref = MatX::identity(d) * 2.0, c_opt = c_ref;
-        double ref = timeMs(iters, [&] {
-            symmetricDowndateReference(a, b, c_ref);
-        });
-        double opt =
-            timeMs(iters, [&] { symmetricDowndateInto(a, b, c_opt); });
-        t.addRow({"P -= A^T*B (sym)", "390x195 downdate", fmt(ref, 3),
-                  fmt(opt, 3), speedup(ref, opt)});
+        addKernelRow(t, "P -= A^T*B (sym)", "390x195 downdate", iters,
+                     [&] { symmetricDowndateReference(a, b, c_ref); },
+                     [&] { symmetricDowndateInto(a, b, c_opt); });
     }
     {
         MatX s = randomSpd(d, 9);
-        double ref = timeMs(iters, [&] { CholeskyReference chol(s); });
-        double opt = timeMs(iters, [&] { Cholesky chol(s); });
-        t.addRow({"Cholesky", "195x195", fmt(ref, 3), fmt(opt, 3),
-                  speedup(ref, opt)});
+        addKernelRow(t, "Cholesky", "195x195", iters,
+                     [&] { CholeskyReference chol(s); },
+                     [&] { Cholesky chol(s); });
     }
     {
         MatX s = randomSpd(d, 10);
         MatX b = randomMat(d, d, 11);
         CholeskyReference chol_ref(s);
         Cholesky chol_opt(s);
-        double ref =
-            timeMs(iters, [&] { MatX x = chol_ref.solve(b); });
-        double opt = timeMs(iters, [&] {
-            MatX x = b;
-            chol_opt.solveInPlace(x);
-        });
-        t.addRow({"chol solve", "195 x 195 RHS", fmt(ref, 3),
-                  fmt(opt, 3), speedup(ref, opt)});
+        addKernelRow(t, "chol solve", "195 x 195 RHS", iters,
+                     [&] { MatX x = chol_ref.solve(b); },
+                     [&] {
+                         MatX x = b;
+                         chol_opt.solveInPlace(x);
+                     });
     }
     {
         MatX a = randomMat(rows, d, 12);
-        double ref =
-            timeMs(iters, [&] { HouseholderQRReference qr(a); });
-        double opt = timeMs(iters, [&] { HouseholderQR qr(a); });
-        t.addRow({"Householder QR", "390x195", fmt(ref, 3), fmt(opt, 3),
-                  speedup(ref, opt)});
+        addKernelRow(t, "Householder QR", "390x195", iters,
+                     [&] { HouseholderQRReference qr(a); },
+                     [&] { HouseholderQR qr(a); });
+    }
+    {
+        // The mixed-precision Kalman-gain slice (pack + f32 sandwich +
+        // f32 Cholesky + f32 solve) against the f64 kernels doing the
+        // same work — the slice MsckfConfig::float32_covariance_update
+        // swaps per update.
+        MatX h = randomMat(d, d, 13);
+        MatX p = randomSpd(d, 14);
+        MatX hp, sm, kt;
+        Cholesky chol;
+        AlignedVector<float> h_f, p_f, hp_f, s_f, kt_f;
+        addKernelRow(t, "gain slice f32", "195x195 S+solve", iters,
+                     [&] {
+                         symmetricSandwichInto(h, p, hp, sm);
+                         for (int i = 0; i < d; ++i)
+                             sm(i, i) += 2.25;
+                         chol.compute(sm);
+                         kt = hp;
+                         chol.solveInPlace(kt);
+                     },
+                     [&] {
+                         f32::pack(h, h_f);
+                         f32::pack(p, p_f);
+                         f32::sandwich(h_f.data(), p_f.data(), d, d, hp_f,
+                                       s_f);
+                         for (int i = 0; i < d; ++i)
+                             s_f[static_cast<size_t>(i) * d + i] += 2.25f;
+                         f32::choleskyLower(s_f.data(), d);
+                         kt_f.assign(hp_f.begin(), hp_f.end());
+                         f32::choleskySolveInPlace(s_f.data(), d,
+                                                   kt_f.data(), d);
+                     });
     }
     t.print();
 
@@ -248,9 +312,19 @@ main()
     Table e({"MSCKF backend path", "ms/frame (steady state)"});
     const int frames = benchFrames(40);
     const double be_ref = msckfBackendMs(true, frames);
+    double be_sse2 = -1.0;
+    if (hasAvx2()) {
+        setSimdTier(SimdTier::kSse2);
+        be_sse2 = msckfBackendMs(false, frames);
+        setSimdTier(SimdTier::kAvx2);
+    }
     const double be_opt = msckfBackendMs(false, frames);
+    const double be_f32 = msckfBackendMs(false, frames, true);
     e.addRow({"reference kernels", fmt(be_ref, 2)});
+    if (be_sse2 >= 0.0)
+        e.addRow({"optimized workspace, sse2 tier", fmt(be_sse2, 2)});
     e.addRow({"optimized workspace", fmt(be_opt, 2)});
+    e.addRow({"optimized + f32 covariance", fmt(be_f32, 2)});
     e.addRow({"speedup", speedup(be_ref, be_opt)});
     e.print();
     note("steady state = clone window full (30 clones, d = 201); the "

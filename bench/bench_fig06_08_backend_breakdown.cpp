@@ -11,6 +11,7 @@
 
 #include "common/runner.hpp"
 #include "common/table.hpp"
+#include "math/cpu_features.hpp"
 #include "math/stats.hpp"
 
 using namespace edx;
@@ -59,8 +60,20 @@ printBeforeAfter(const RunConfig &cfg, const ModeRun &opt_run)
     ModeRun ref_run = runLocalization(ref_cfg);
     const double ref_ms = mean(ref_run.backendMs());
     const double opt_ms = mean(opt_run.backendMs());
+    // Per-tier "after" number (when the startup tier is AVX2): the
+    // optimized kernels once more with the dispatch forced to SSE2.
+    double sse2_ms = -1.0;
+    if (activeSimdTier() == SimdTier::kAvx2) {
+        setSimdTier(SimdTier::kSse2);
+        ModeRun sse2_run = runLocalization(cfg);
+        setSimdTier(SimdTier::kAvx2);
+        sse2_ms = mean(sse2_run.backendMs());
+    }
     std::cout << "  software backend before/after the overhaul: "
-              << fmt(ref_ms, 2) << " -> " << fmt(opt_ms, 2) << " ms ("
+              << fmt(ref_ms, 2);
+    if (sse2_ms >= 0.0)
+        std::cout << " -> " << fmt(sse2_ms, 2) << " (sse2 tier)";
+    std::cout << " -> " << fmt(opt_ms, 2) << " ms ("
               << fmt(opt_ms > 0 ? ref_ms / opt_ms : 0.0, 2) << "x)\n\n";
 }
 
@@ -70,6 +83,7 @@ int
 main()
 {
     banner("Figs. 6-8", "per-kernel latency breakdown in each backend");
+    note("SIMD tier: " + simdTierSummary());
 
     const int frames = benchFrames(180);
 

@@ -21,6 +21,7 @@
 #include "common/accel_model.hpp"
 #include "common/runner.hpp"
 #include "common/table.hpp"
+#include "math/cpu_features.hpp"
 #include "math/stats.hpp"
 
 using namespace edx;
@@ -62,8 +63,9 @@ platformReport(Platform platform, const AcceleratorConfig &acfg)
     };
 
     std::cout << acfg.name << "\n";
-    Table t({"mode", "sw BE ref", "sw BE opt", "sw x", "edx BE ms",
-             "BE cut %", "kernel x", "ref SD", "opt SD", "edx SD"});
+    Table t({"mode", "sw BE ref", "sw BE sse2", "sw BE opt", "sw x",
+             "edx BE ms", "BE cut %", "kernel x", "ref SD", "opt SD",
+             "edx SD"});
     for (const Case &c : cases) {
         RunConfig cfg;
         cfg.scene = c.scene;
@@ -81,6 +83,16 @@ platformReport(Platform platform, const AcceleratorConfig &acfg)
         };
         ModeRun ref_run = runLocalization(ref_cfg);
 
+        // One more optimized run on the SSE2 tier (when AVX2 is the
+        // startup tier): the per-tier software baseline column.
+        double sse2_ms = -1.0;
+        if (activeSimdTier() == SimdTier::kAvx2) {
+            setSimdTier(SimdTier::kSse2);
+            ModeRun sse2_run = runLocalization(cfg);
+            setSimdTier(SimdTier::kAvx2);
+            sse2_ms = mean(sse2_run.backendMs());
+        }
+
         std::vector<double> opt = sys.baseBackends();
         std::vector<double> acc = sys.accBackends();
         std::vector<double> ref = ref_run.backendMs();
@@ -93,7 +105,8 @@ platformReport(Platform platform, const AcceleratorConfig &acfg)
                 k_acc += f.kernel_accel_ms;
             }
         }
-        t.addRow({c.name, fmt(mean(ref), 2), fmt(mean(opt), 2),
+        t.addRow({c.name, fmt(mean(ref), 2),
+                  sse2_ms < 0.0 ? "-" : fmt(sse2_ms, 2), fmt(mean(opt), 2),
                   fmt(mean(ref) / mean(opt), 2) + "x", fmt(mean(acc), 2),
                   fmt(100.0 * (1.0 - mean(acc) / mean(opt)), 1),
                   k_acc > 0 ? fmt(k_cpu / k_acc, 1) + "x" : "-",
@@ -101,9 +114,9 @@ platformReport(Platform platform, const AcceleratorConfig &acfg)
                   fmt(stddev(acc), 2)});
     }
     t.print();
-    note("sw BE ref/opt = software backend before/after the "
-         "linear-algebra overhaul (1 core); edx = accelerated path "
-         "modeled over the optimized software run.");
+    note("sw BE ref/sse2/opt = software backend before the overhaul, "
+         "and after it on the SSE2 and startup SIMD tiers (1 core); "
+         "edx = accelerated path modeled over the optimized run.");
     std::cout << "\n";
 }
 
@@ -113,6 +126,7 @@ int
 main()
 {
     banner("Fig. 21", "backend latency + variation, baseline vs EUDOXUS");
+    note("SIMD tier: " + simdTierSummary());
     platformReport(Platform::Car, AcceleratorConfig::car());
     platformReport(Platform::Drone, AcceleratorConfig::drone());
     note("Paper claims (car): backend latency cut 16-49% per mode; "

@@ -22,6 +22,7 @@
 #include "frontend/frontend.hpp"
 #include "image/draw.hpp"
 #include "image/filter.hpp"
+#include "math/cpu_features.hpp"
 #include "math/rng.hpp"
 #include "runtime/telemetry.hpp"
 
@@ -74,6 +75,51 @@ speedup(double ref_ms, double opt_ms)
     return opt_ms > 0.0 ? fmt(ref_ms / opt_ms, 2) + "x" : "-";
 }
 
+/** Times @p fn with the SIMD dispatch forced to @p tier. */
+template <typename Fn>
+double
+timeMsAtTier(SimdTier tier, int iters, Fn &&fn)
+{
+    const SimdTier prev = activeSimdTier();
+    setSimdTier(tier);
+    const double ms = timeMs(iters, fn);
+    setSimdTier(prev);
+    return ms;
+}
+
+/**
+ * Whether the startup tier is AVX2. The startup tier honors both cpuid
+ * and EDX_SIMD_LEVEL, so under a forced-sse2 CI leg the avx2 column
+ * degrades to "-" instead of silently running AVX2 code. A function —
+ * not a namespace-scope constant — because the dispatch tier is
+ * dynamically initialized and a static flag here could be initialized
+ * first, reading the pre-dispatch SSE2 default.
+ */
+bool
+hasAvx2()
+{
+    return activeSimdTier() == SimdTier::kAvx2;
+}
+
+/**
+ * One kernel row: the reference once, the optimized path once per
+ * available SIMD tier. Non-dispatched kernels simply repeat their
+ * timing across tiers — the column then doubles as a noise gauge.
+ */
+template <typename RefFn, typename OptFn>
+void
+addKernelRow(Table &t, const std::string &name, int iters, RefFn &&ref_fn,
+             OptFn &&opt_fn)
+{
+    const double ref = timeMs(iters, ref_fn);
+    const double sse2 = timeMsAtTier(SimdTier::kSse2, iters, opt_fn);
+    const double avx2 =
+        hasAvx2() ? timeMsAtTier(SimdTier::kAvx2, iters, opt_fn) : -1.0;
+    const double best = hasAvx2() ? avx2 : sse2;
+    t.addRow({name, fmt(ref, 2), fmt(sse2, 2),
+              avx2 < 0.0 ? "-" : fmt(avx2, 2), speedup(ref, best)});
+}
+
 } // namespace
 
 int
@@ -81,39 +127,34 @@ main()
 {
     banner("frontend kernels",
            "optimized vs retained reference, 640x480 synthetic scene");
+    note("SIMD tier: " + simdTierSummary());
     const int iters = benchFrames(12);
     Scene s = makeScene();
 
-    Table t({"kernel", "reference ms", "optimized ms", "speedup"});
+    Table t({"kernel", "reference ms", "sse2 ms", "avx2 ms",
+             "speedup"});
 
     // IF: fixed-point separable Gaussian.
     BlurScratch blur_scratch;
     ImageU8 blurred;
-    double ref = timeMs(iters, [&] { gaussianBlurReference(s.left); });
-    double opt = timeMs(
-        iters, [&] { gaussianBlurInto(s.left, blur_scratch, blurred); });
-    t.addRow({"gaussianBlur (IF)", fmt(ref, 2), fmt(opt, 2),
-              speedup(ref, opt)});
+    addKernelRow(t, "gaussianBlur (IF)", iters,
+                 [&] { gaussianBlurReference(s.left); },
+                 [&] { gaussianBlurInto(s.left, blur_scratch, blurred); });
 
     // FD: FAST-9 with candidate-list NMS.
     FastConfig fcfg;
     FastScratch fast_scratch;
     std::vector<KeyPoint> kps;
-    ref = timeMs(iters, [&] { detectFastReference(s.left, fcfg); });
-    opt = timeMs(iters,
+    addKernelRow(t, "detectFast (FD)", iters,
+                 [&] { detectFastReference(s.left, fcfg); },
                  [&] { detectFastInto(s.left, fcfg, fast_scratch, kps); });
-    t.addRow({"detectFast (FD)", fmt(ref, 2), fmt(opt, 2),
-              speedup(ref, opt)});
 
     // FC: ORB descriptors on the filtered image.
     std::vector<KeyPoint> kps_ref = kps;
     std::vector<Descriptor> descs;
-    ref = timeMs(iters,
-                 [&] { computeOrbDescriptorsReference(blurred, kps_ref); });
-    opt = timeMs(iters,
+    addKernelRow(t, "orbDescriptors (FC)", iters,
+                 [&] { computeOrbDescriptorsReference(blurred, kps_ref); },
                  [&] { computeOrbDescriptorsInto(blurred, kps, descs); });
-    t.addRow({"orbDescriptors (FC)", fmt(ref, 2), fmt(opt, 2),
-              speedup(ref, opt)});
 
     // MO: all-pairs sweep vs row-band bucketing (index build included).
     FastScratch fast_scratch_r;
@@ -127,27 +168,30 @@ main()
     StereoConfig scfg;
     StereoRowIndex rows;
     std::vector<StereoMatch> matches;
-    ref = timeMs(iters,
-                 [&] { stereoMatchInitial(kps, descs, rkps, rdescs, scfg); });
-    opt = timeMs(iters, [&] {
-        rows.build(rkps, kH);
-        stereoMatchBandedInto(kps, descs, rkps, rdescs, scfg, rows,
-                              matches);
-    });
-    t.addRow({"stereo MO", fmt(ref, 2), fmt(opt, 2), speedup(ref, opt)});
+    addKernelRow(t, "stereo MO", iters,
+                 [&] {
+                     stereoMatchInitial(kps, descs, rkps, rdescs, scfg);
+                 },
+                 [&] {
+                     rows.build(rkps, kH);
+                     stereoMatchBandedInto(kps, descs, rkps, rdescs, scfg,
+                                           rows, matches);
+                 });
 
     // DR: SAD refinement, interior fast path.
     std::vector<StereoMatch> m_ref = matches, m_opt = matches;
     std::vector<double> costs;
-    ref = timeMs(iters, [&] {
-        std::vector<StereoMatch> m = m_ref;
-        stereoRefineDisparityReference(s.left, s.right, kps, m, scfg);
-    });
-    opt = timeMs(iters, [&] {
-        std::vector<StereoMatch> m = m_opt;
-        stereoRefineDisparityInto(s.left, s.right, kps, m, scfg, costs);
-    });
-    t.addRow({"stereo DR", fmt(ref, 2), fmt(opt, 2), speedup(ref, opt)});
+    addKernelRow(t, "stereo DR", iters,
+                 [&] {
+                     std::vector<StereoMatch> m = m_ref;
+                     stereoRefineDisparityReference(s.left, s.right, kps, m,
+                                                    scfg);
+                 },
+                 [&] {
+                     std::vector<StereoMatch> m = m_opt;
+                     stereoRefineDisparityInto(s.left, s.right, kps, m,
+                                               scfg, costs);
+                 });
 
     // TM: pyramidal LK — reference recomputes gradients per call, the
     // workspace path samples per-level cached Scharr images.
@@ -156,17 +200,18 @@ main()
     FlowConfig flow;
     FlowScratch flow_scratch;
     std::vector<TemporalMatch> tracks;
-    ref = timeMs(iters, [&] {
-        trackLucasKanadeReference(prev_pyr, next_pyr, kps, flow);
-    });
-    opt = timeMs(iters, [&] {
-        for (int l = 0; l < prev_pyr.levels(); ++l)
-            centralDiffGradientsInto(prev_pyr.level(l), grads[l]);
-        trackLucasKanadeInto(prev_pyr, grads, next_pyr, kps, flow,
-                             flow_scratch, tracks);
-    });
-    t.addRow({"LK tracking (TM)", fmt(ref, 2), fmt(opt, 2),
-              speedup(ref, opt)});
+    addKernelRow(t, "LK tracking (TM)", iters,
+                 [&] {
+                     trackLucasKanadeReference(prev_pyr, next_pyr, kps,
+                                               flow);
+                 },
+                 [&] {
+                     for (int l = 0; l < prev_pyr.levels(); ++l)
+                         centralDiffGradientsInto(prev_pyr.level(l),
+                                                  grads[l]);
+                     trackLucasKanadeInto(prev_pyr, grads, next_pyr, kps,
+                                          flow, flow_scratch, tracks);
+                 });
     t.print();
 
     // --- end-to-end frontend ---------------------------------------------
@@ -184,11 +229,19 @@ main()
     FrontendConfig ref_cfg;
     ref_cfg.use_reference = true;
     const double fe_ref = runFrontendLoop(ref_cfg);
+    double fe_sse2 = -1.0;
+    if (hasAvx2()) {
+        setSimdTier(SimdTier::kSse2);
+        fe_sse2 = runFrontendLoop(FrontendConfig{});
+        setSimdTier(SimdTier::kAvx2);
+    }
     const double fe_opt = runFrontendLoop(FrontendConfig{});
     FrontendConfig two;
     two.lanes = 2;
     const double fe_two = runFrontendLoop(two);
     e.addRow({"reference kernels", fmt(fe_ref, 2)});
+    if (fe_sse2 >= 0.0)
+        e.addRow({"optimized, lanes=1, sse2 tier", fmt(fe_sse2, 2)});
     e.addRow({"optimized, lanes=1", fmt(fe_opt, 2)});
     e.addRow({"optimized, lanes=2", fmt(fe_two, 2)});
     e.addRow({"kernel speedup (lanes=1)", speedup(fe_ref, fe_opt)});

@@ -26,6 +26,7 @@
 #include "common/runner.hpp"
 #include "common/table.hpp"
 #include "hw/backend_accel.hpp"
+#include "math/cpu_features.hpp"
 #include "math/stats.hpp"
 #include "runtime/localizer_pool.hpp"
 #include "runtime/placement.hpp"
@@ -392,6 +393,7 @@ main()
     banner("pipeline",
            "staged-runtime throughput: sequential vs fixed 2-stage vs "
            "planner-placed N-stage, single- and multi-session");
+    note("SIMD tier: " + simdTierSummary());
 
     const int frames = benchFrames(40);
     // Default configurations plus backend-heavy dense-keyframing SLAM

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "math/blas.hpp"
+#include "math/blas_f32.hpp"
 #include "math/decomp.hpp"
 #include "runtime/solve_hub.hpp"
 #include "runtime/telemetry.hpp"
@@ -518,6 +519,7 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
     StageTimer kalman_gain_timer(timing_.kalman_gain_ms);
     const double r_var = cfg_.pixel_sigma * cfg_.pixel_sigma;
     bool gain_ok = true;
+    bool used_f32 = false;
     MatX ph_t_ref; // P H^T of the reference path (reused by its downdate)
     if (cfg_.use_reference) {
         // Pre-overhaul flow: P H^T, full S product, explicit
@@ -538,6 +540,9 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
             else
                 ws_.k_t = lu.solve(ph_t_ref.transpose());
         }
+    } else if (cfg_.float32_covariance_update && !hub_ &&
+               float32KalmanGain(*h_used, rows, d, r_var)) {
+        used_f32 = true; // gain in ws_.kt_f, intermediates in hp_f/s_f
     } else {
         // H P is both the sandwich intermediate and the solve RHS —
         // one kernel, no transposes, triangle-only S.
@@ -564,11 +569,22 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
     StageTimer update_timer(timing_.update_ms);
     VecX &dx = ws_.dx;
     dx.resize(d);
-    for (int j = 0; j < rows; ++j) {
-        const double rj = r[j];
-        const double *ktj = ws_.k_t.data() + static_cast<size_t>(j) * d;
-        for (int i = 0; i < d; ++i)
-            dx[i] += ktj[i] * rj;
+    if (used_f32) {
+        // The correction is accumulated in f64 from the f32 gain and
+        // the f64 residual — the gain carries the only f32 rounding.
+        for (int j = 0; j < rows; ++j) {
+            const double rj = r[j];
+            const float *ktj = ws_.kt_f.data() + static_cast<size_t>(j) * d;
+            for (int i = 0; i < d; ++i)
+                dx[i] += static_cast<double>(ktj[i]) * rj;
+        }
+    } else {
+        for (int j = 0; j < rows; ++j) {
+            const double rj = r[j];
+            const double *ktj = ws_.k_t.data() + static_cast<size_t>(j) * d;
+            for (int i = 0; i < d; ++i)
+                dx[i] += ktj[i] * rj;
+        }
     }
 
     q_wb_ = (q_wb_ * Quat::exp(dx.fixedSegment<3>(0))).normalized();
@@ -592,6 +608,18 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
         gemmReference(ph_t_ref, ws_.k_t, prod);
         cov_ -= prod;
         cov_.makeSymmetric();
+    } else if (used_f32) {
+        // The downdate term is formed in f32 (lower triangle), then
+        // subtracted from the f64 master and mirrored — exactly
+        // symmetric, same as the f64 kernel's contract.
+        f32::downdateTerm(ws_.hp_f.data(), ws_.kt_f.data(), rows, d,
+                          ws_.t_f);
+        for (int i = 0; i < d; ++i) {
+            const float *ti = ws_.t_f.data() + static_cast<size_t>(i) * d;
+            for (int j = 0; j <= i; ++j)
+                cov_(i, j) -= static_cast<double>(ti[j]);
+        }
+        cov_.mirrorLowerToUpper();
     } else {
         symmetricDowndateInto(ws_.hp, ws_.k_t, cov_);
     }
@@ -602,6 +630,23 @@ Msckf::update(const std::vector<FeatureTrack> &finished_tracks,
 
     // --- Window management.
     return finishWindow();
+}
+
+bool
+Msckf::float32KalmanGain(const MatX &h, int rows, int d, double r_var)
+{
+    f32::pack(h, ws_.h_f);
+    f32::pack(cov_, ws_.p_f);
+    f32::sandwich(ws_.h_f.data(), ws_.p_f.data(), rows, d, ws_.hp_f,
+                  ws_.s_f);
+    const float rv = static_cast<float>(r_var);
+    for (int i = 0; i < rows; ++i)
+        ws_.s_f[static_cast<size_t>(i) * rows + i] += rv;
+    if (!f32::choleskyLower(ws_.s_f.data(), rows))
+        return false; // not SPD in f32 — rerun the update in f64
+    ws_.kt_f.assign(ws_.hp_f.begin(), ws_.hp_f.end());
+    f32::choleskySolveInPlace(ws_.s_f.data(), rows, ws_.kt_f.data(), d);
+    return true;
 }
 
 Pose

@@ -51,6 +51,22 @@ struct MsckfConfig
      * backend-overhaul analogue of FrontendConfig::use_reference).
      */
     bool use_reference = false;
+
+    /**
+     * Runs the covariance-heavy Kalman-gain slice (S = H P Hᵀ + R, the
+     * SPD solve for Kᵀ, and the covariance downdate term) in float32
+     * (math/blas_f32.hpp): half the memory traffic, twice the SIMD
+     * lanes. The f64 state/covariance masters are kept — buffers are
+     * packed down per update and the correction/downdate applied back
+     * in f64, with the downdate term mirrored so the covariance stays
+     * exactly symmetric. Not bit-equal to the f64 path; equivalence is
+     * the pose-divergence bound asserted by
+     * tests/test_backend.cpp::Float32CovarianceTracksFloat64Path.
+     * Falls back to the f64 path for an update when the f32 Cholesky
+     * fails, and is ignored under use_reference or a SolveHub (the
+     * hub's batched-vs-direct bit-identity contract is f64-only).
+     */
+    bool float32_covariance_update = false;
 };
 
 /** Wall-clock latency of the VIO kernels, ms (Fig. 7 categories). */
@@ -181,6 +197,14 @@ class Msckf
      */
     int buildTrackBlock(const FeatureTrack &track, const Vec3 &x_world,
                         MatX &h_out, VecX &r_out, int row0);
+
+    /**
+     * The float32 Kalman-gain slice: packs @p h and the covariance to
+     * float, forms S and solves for Kᵀ in f32 (results in ws_.kt_f /
+     * ws_.hp_f / ws_.s_f). @return false when the f32 Cholesky is not
+     * SPD — the caller then reruns the f64 path for this update.
+     */
+    bool float32KalmanGain(const MatX &h, int rows, int d, double r_var);
 
     StereoRig rig_;
     MsckfConfig cfg_;

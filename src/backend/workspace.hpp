@@ -22,6 +22,7 @@
 
 #include <vector>
 
+#include "math/aligned_alloc.hpp"
 #include "math/decomp.hpp"
 #include "math/matx.hpp"
 
@@ -65,6 +66,14 @@ struct BackendWorkspace
     MatX k_t;        //!< rows x d, K = k_t^T
     VecX dx;         //!< state correction
 
+    // --- float32 covariance-update path (math/blas_f32.hpp) ----------
+    AlignedVector<float> h_f;  //!< packed compressed Jacobian
+    AlignedVector<float> p_f;  //!< packed covariance
+    AlignedVector<float> hp_f; //!< H * P
+    AlignedVector<float> s_f;  //!< innovation covariance / its factor
+    AlignedVector<float> kt_f; //!< gain transpose
+    AlignedVector<float> t_f;  //!< downdate term (H P)^T K^T
+
     size_t
     capacityBytes() const
     {
@@ -80,7 +89,10 @@ struct BackendWorkspace
                h_compressed.capacityBytes() + hp.capacityBytes() +
                s.capacityBytes() + chol.capacityBytes() +
                lu.capacityBytes() + k_t.capacityBytes() +
-               dx.capacityBytes();
+               dx.capacityBytes() +
+               (h_f.capacity() + p_f.capacity() + hp_f.capacity() +
+                s_f.capacity() + kt_f.capacity() + t_f.capacity()) *
+                   sizeof(float);
     }
 };
 

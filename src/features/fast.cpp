@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <bit>
 
+#include "math/cpu_features.hpp"
+#if defined(EDX_HAVE_AVX2)
+#include "features/fast_avx2.hpp"
+#endif
+
 #if defined(__SSE2__)
 #include <emmintrin.h>
 #endif
@@ -139,6 +144,24 @@ scoreCorner(const uint8_t *p, const int *ring_off, int hi, int lo,
 }
 
 /**
+ * Per-corner scorer with tier dispatch. Scoring is the detector's hot
+ * spot — the dense stages reject most pixels cheaply, but every raw
+ * corner (thousands per frame, well before the grid cap) pays the
+ * 16-start arc sweep — so the AVX2 tier routes it to the vectorized
+ * bit-exact twin (fast_avx2.cpp).
+ */
+inline int
+scoreCornerTiered(const uint8_t *p, const int *ring_off, int hi, int lo,
+                  int c, bool bright)
+{
+#if defined(EDX_HAVE_AVX2)
+    if (simdTierIsAvx2())
+        return avx2::scoreCorner16(p, ring_off, hi, lo, c, bright);
+#endif
+    return scoreCorner(p, ring_off, hi, lo, c, bright);
+}
+
+/**
  * Branch-light segment test: a two-stage compass prefilter (any 9-arc
  * must contain one of ring {0, 8} and one of ring {4, 12}, so most
  * pixels reject after two loads), then bitmask run detection instead
@@ -179,7 +202,7 @@ segmentTestFast(const uint8_t *p, const int *ring_off, int threshold,
         return false;
 
     if (score)
-        *score = scoreCorner(p, ring_off, hi, lo, c, bright);
+        *score = scoreCornerTiered(p, ring_off, hi, lo, c, bright);
     return true;
 }
 
@@ -249,6 +272,12 @@ detectFastInto(const ImageU8 &img, const FastConfig &cfg,
         // makes "v > hi" false just as the unsaturated compare would.
         int x = b;
         const int xe = img.width() - b;
+#if defined(EDX_HAVE_AVX2)
+        // AVX2 tier: 32 pixels per step, bit-identical flag bytes; the
+        // SSE2 and scalar loops below finish the row tail.
+        if (simdTierIsAvx2())
+            x = avx2::fastPrefilter(row, row_n, row_s, t, flags, x, xe);
+#endif
 #if defined(__SSE2__)
         {
             const __m128i vt = _mm_set1_epi8(static_cast<char>(t));
@@ -306,6 +335,30 @@ detectFastInto(const ImageU8 &img, const FastConfig &cfg,
                             static_cast<float>(score), 0.0f});
         };
         x = b;
+#if defined(EDX_HAVE_AVX2)
+        // AVX2 tier: 32-pixel corner/polarity masks from the same
+        // saturating run counter; emission stays here, so the
+        // left-to-right output order is identical per tier, and
+        // scoring goes straight to the vectorized bit-exact twin.
+        if (simdTierIsAvx2()) {
+            for (; x + 32 <= xe; x += 32) {
+                unsigned corner_bits = 0, bright_bits = 0;
+                avx2::fastSegment32(row, x, ring_off, t, flags,
+                                    &corner_bits, &bright_bits);
+                while (corner_bits) {
+                    const unsigned bit = corner_bits & -corner_bits;
+                    const int lane = std::countr_zero(corner_bits);
+                    corner_bits ^= bit;
+                    const int cx = x + lane;
+                    const int cc = row[cx];
+                    emit(cx, avx2::scoreCorner16(row + cx, ring_off,
+                                                 cc + t, cc - t, cc,
+                                                 (bright_bits & bit) !=
+                                                     0));
+                }
+            }
+        }
+#endif
 #if defined(__SSE2__)
         // Dense SIMD segment test over 16-pixel blocks that hold at
         // least one prefilter survivor: a saturating run-length
@@ -359,9 +412,10 @@ detectFastInto(const ImageU8 &img, const FastConfig &cfg,
                     corner_bits ^= bit;
                     const int cx = x + lane;
                     const int cc = row[cx];
-                    emit(cx, scoreCorner(row + cx, ring_off,
-                                         cc + t, cc - t, cc,
-                                         (bright_bits & bit) != 0));
+                    emit(cx, scoreCornerTiered(row + cx, ring_off,
+                                               cc + t, cc - t, cc,
+                                               (bright_bits & bit) !=
+                                                   0));
                 }
             }
         }

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * AVX2 tier of the FAST-9 detector: the dense compass prefilter and
+ * saturating run-length segment test at 32 pixels per step, plus the
+ * vectorized per-corner scorer. Same exact integer arithmetic as the
+ * scalar/SSE2 code in fast.cpp, so flags, masks, and scores are
+ * bit-identical; emission stays in fast.cpp.
+ *
+ * Only <immintrin.h> here — see simd_avx2.cpp for the ODR rationale.
+ */
+#if defined(EDX_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "features/fast_avx2.hpp"
+
+namespace edx {
+namespace avx2 {
+
+namespace {
+
+/** v > hi (unsigned bytes): subs(v, hi) != 0. */
+inline __m256i
+gtU8(__m256i v, __m256i hi)
+{
+    return _mm256_xor_si256(
+        _mm256_cmpeq_epi8(_mm256_subs_epu8(v, hi),
+                          _mm256_setzero_si256()),
+        _mm256_set1_epi8(-1));
+}
+
+inline __m256i
+load(const unsigned char *p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+} // namespace
+
+int
+fastPrefilter(const unsigned char *row, const unsigned char *row_n,
+              const unsigned char *row_s, int t, unsigned char *flags,
+              int x, int xe)
+{
+    const __m256i vt = _mm256_set1_epi8(static_cast<char>(t));
+    for (; x + 32 <= xe; x += 32) {
+        const __m256i c = load(row + x);
+        const __m256i hi = _mm256_adds_epu8(c, vt);
+        const __m256i lo = _mm256_subs_epu8(c, vt);
+        const __m256i v0 = load(row_n + x);
+        const __m256i v8 = load(row_s + x);
+        const __m256i v4 = load(row + x + 3);
+        const __m256i v12 = load(row + x - 3);
+        const __m256i bright = _mm256_and_si256(
+            _mm256_or_si256(gtU8(v0, hi), gtU8(v8, hi)),
+            _mm256_or_si256(gtU8(v4, hi), gtU8(v12, hi)));
+        const __m256i dark = _mm256_and_si256(
+            _mm256_or_si256(gtU8(lo, v0), gtU8(lo, v8)),
+            _mm256_or_si256(gtU8(lo, v4), gtU8(lo, v12)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(flags + x),
+                            _mm256_or_si256(bright, dark));
+    }
+    return x;
+}
+
+void
+fastSegment32(const unsigned char *row, int x, const int *ring_off,
+              int t, const unsigned char *flags, unsigned *corner_bits,
+              unsigned *bright_bits)
+{
+    *corner_bits = 0;
+    *bright_bits = 0;
+    const __m256i zero = _mm256_setzero_si256();
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi8(load(flags + x), zero)) ==
+        -1)
+        return; // no prefilter survivors in this block
+    const __m256i vt = _mm256_set1_epi8(static_cast<char>(t));
+    const __m256i eight = _mm256_set1_epi8(8);
+    const __m256i c = load(row + x);
+    const __m256i hi = _mm256_adds_epu8(c, vt);
+    const __m256i lo = _mm256_subs_epu8(c, vt);
+    __m256i count_b = zero, count_d = zero;
+    __m256i max_b = zero, max_d = zero;
+    for (int i = 0; i < 24; ++i) {
+        const __m256i v = load(row + x + ring_off[i & 15]);
+        const __m256i bm = gtU8(v, hi);
+        const __m256i dm = gtU8(lo, v);
+        // count = pass ? count + 1 : 0
+        count_b = _mm256_and_si256(bm, _mm256_sub_epi8(count_b, bm));
+        count_d = _mm256_and_si256(dm, _mm256_sub_epi8(count_d, dm));
+        max_b = _mm256_max_epu8(max_b, count_b);
+        max_d = _mm256_max_epu8(max_d, count_d);
+    }
+    const __m256i bright9 = gtU8(max_b, eight);
+    const __m256i dark9 = gtU8(max_d, eight);
+    *corner_bits = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_or_si256(bright9, dark9)));
+    *bright_bits =
+        static_cast<unsigned>(_mm256_movemask_epi8(bright9));
+}
+
+int
+scoreCorner16(const unsigned char *p, const int *ring_off, int hi, int lo,
+              int c, bool bright)
+{
+    alignas(16) unsigned char ring[16];
+    for (int i = 0; i < 16; ++i)
+        ring[i] = p[ring_off[i]];
+    const __m128i v =
+        _mm_load_si128(reinterpret_cast<const __m128i *>(ring));
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i ones = _mm_set1_epi8(-1);
+
+    // Per-lane pass mask for the detected polarity. hi may exceed 255
+    // and lo may be negative (int math in the caller); clamping to the
+    // u8 range preserves the exact compare, as in the dense stages.
+    __m128i pass;
+    if (bright) {
+        const __m128i vhi =
+            _mm_set1_epi8(static_cast<char>(hi < 255 ? hi : 255));
+        pass = _mm_xor_si128(
+            _mm_cmpeq_epi8(_mm_subs_epu8(v, vhi), zero), ones);
+    } else {
+        const __m128i vlo =
+            _mm_set1_epi8(static_cast<char>(lo > 0 ? lo : 0));
+        pass = _mm_xor_si128(
+            _mm_cmpeq_epi8(_mm_subs_epu8(vlo, v), zero), ones);
+    }
+    const __m128i vc = _mm_set1_epi8(static_cast<char>(c));
+    const __m128i d =
+        _mm_or_si128(_mm_subs_epu8(v, vc), _mm_subs_epu8(vc, v));
+
+    // Run doubling over the circular ring (alignr(x, x, k) rotates so
+    // lane s reads lane s + k): after the three doubling steps plus one
+    // 8-rotate, lane s holds min / AND over ring[s .. s + 8] — the
+    // 9-arc starting at s, all 16 starts at once.
+    __m128i m = _mm_min_epu8(d, _mm_alignr_epi8(d, d, 1));
+    __m128i a = _mm_and_si128(pass, _mm_alignr_epi8(pass, pass, 1));
+    m = _mm_min_epu8(m, _mm_alignr_epi8(m, m, 2));
+    a = _mm_and_si128(a, _mm_alignr_epi8(a, a, 2));
+    m = _mm_min_epu8(m, _mm_alignr_epi8(m, m, 4));
+    a = _mm_and_si128(a, _mm_alignr_epi8(a, a, 4));
+    m = _mm_min_epu8(m, _mm_alignr_epi8(d, d, 8));
+    a = _mm_and_si128(a, _mm_alignr_epi8(pass, pass, 8));
+
+    // Arcs that fail drop to zero; a passing arc's min delta is always
+    // >= 1 (every tap clears the threshold), so the horizontal max is
+    // exactly the scalar sweep's best-of-passing-starts.
+    const __m128i s = _mm_and_si128(m, a);
+    __m128i r = _mm_max_epu8(s, _mm_srli_si128(s, 8));
+    r = _mm_max_epu8(r, _mm_srli_si128(r, 4));
+    r = _mm_max_epu8(r, _mm_srli_si128(r, 2));
+    r = _mm_max_epu8(r, _mm_srli_si128(r, 1));
+    return _mm_cvtsi128_si32(r) & 0xFF;
+}
+
+} // namespace avx2
+} // namespace edx
+
+#endif // EDX_HAVE_AVX2

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Declarations of the AVX2 FAST-9 tier (features/fast_avx2.cpp,
+ * compiled with -mavx2 -mfma). The dense stages are exact saturating-u8
+ * integer arithmetic at 32 pixels per step (the SSE2 interior does
+ * 16), so the candidate flags and corner/polarity masks are
+ * bit-identical to the SSE2 tier; the per-corner scorer evaluates all
+ * 16 arc starts at once and reproduces the scalar sweep bit-exactly.
+ * Emission stays in fast.cpp, which preserves the output order.
+ * Raw-pointer interfaces only (see simd_avx2.hpp for why).
+ */
+#pragma once
+
+#if defined(EDX_HAVE_AVX2)
+
+namespace edx {
+namespace avx2 {
+
+/**
+ * Dense branchless compass prefilter: writes the candidate flag bytes
+ * for pixels [x, x + 32*t) <= xe in 32-pixel steps and returns the
+ * first unprocessed x.
+ */
+int fastPrefilter(const unsigned char *row, const unsigned char *row_n,
+                  const unsigned char *row_s, int t, unsigned char *flags,
+                  int x, int xe);
+
+/**
+ * Dense segment test for the 32-pixel block at @p row + @p x: returns
+ * the corner mask and the bright-polarity mask (bit i = pixel x + i).
+ * Returns 0 masks without ring work when the block has no prefilter
+ * survivors in @p flags.
+ */
+void fastSegment32(const unsigned char *row, int x, const int *ring_off,
+                   int t, const unsigned char *flags,
+                   unsigned *corner_bits, unsigned *bright_bits);
+
+/**
+ * Vectorized per-corner scorer: all 16 arc starts at once via byte
+ * rotations (run-doubling min/AND), bit-identical to the scalar sweep
+ * in fast.cpp. This is the FAST hot spot — the dense stages reject
+ * most pixels cheaply, so the detector's time concentrates in scoring
+ * the thousands of raw corners per frame.
+ */
+int scoreCorner16(const unsigned char *p, const int *ring_off, int hi,
+                  int lo, int c, bool bright);
+
+} // namespace avx2
+} // namespace edx
+
+#endif // EDX_HAVE_AVX2

@@ -2,6 +2,11 @@
 
 #include <array>
 
+#include "math/cpu_features.hpp"
+#if defined(EDX_HAVE_AVX2)
+#include "image/filter_avx2.hpp"
+#endif
+
 #if defined(__SSE2__)
 #include <emmintrin.h>
 #endif
@@ -117,6 +122,11 @@ blurRowFixed(const uint8_t *src, int w, const uint32_t *k, uint16_t *dst)
         dst[x] = static_cast<uint16_t>(acc >> 8);
     }
     int x = lo;
+#if defined(EDX_HAVE_AVX2)
+    // AVX2 tier: 16 pixels per step, bit-identical integer arithmetic.
+    if (simdTierIsAvx2())
+        x = avx2::blurRowFixed(src, x, hi, k, kGaussianKernelSize, dst);
+#endif
 #if defined(__SSE2__)
     {
         __m128i kv[kGaussianKernelSize];
@@ -185,6 +195,11 @@ gaussianBlurInto(const ImageU8 &in, BlurScratch &scratch, ImageU8 &out)
             rows[i + kR] = tmp.rowPtr(std::clamp(y + i, 0, h - 1));
         uint8_t *dst = out.rowPtr(y);
         int x = 0;
+#if defined(EDX_HAVE_AVX2)
+        if (simdTierIsAvx2())
+            x = avx2::blurColFixed(rows, w, k.data(),
+                                   kGaussianKernelSize, dst);
+#endif
 #if defined(__SSE2__)
         {
             __m128i kv[kGaussianKernelSize];

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * AVX2 tier of the fixed-point Gaussian blur (16 pixels per step; the
+ * SSE2 interior in filter.cpp does 8). All arithmetic is the exact
+ * same 16.8 fixed-point integer evaluation, so the output is
+ * bit-identical to the SSE2 tier and the scalar reference.
+ *
+ * Only <immintrin.h> here — see simd_avx2.cpp for the ODR rationale.
+ */
+#if defined(EDX_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "image/filter_avx2.hpp"
+
+namespace edx {
+namespace avx2 {
+
+namespace {
+
+/**
+ * acc += k * v for 16 unsigned 16-bit lanes, widening into two 8-lane
+ * 32-bit accumulators. The unpack interleaves within each 128-bit
+ * lane; the matching in-lane packs in the callers restore element
+ * order, and every sum is an exact integer.
+ */
+inline void
+maddU16(__m256i v, __m256i k, __m256i &acc_lo, __m256i &acc_hi)
+{
+    const __m256i lo16 = _mm256_mullo_epi16(v, k);
+    const __m256i hi16 = _mm256_mulhi_epu16(v, k);
+    acc_lo = _mm256_add_epi32(acc_lo, _mm256_unpacklo_epi16(lo16, hi16));
+    acc_hi = _mm256_add_epi32(acc_hi, _mm256_unpackhi_epi16(lo16, hi16));
+}
+
+constexpr int kMaxTaps = 15;
+
+} // namespace
+
+int
+blurRowFixed(const unsigned char *src, int x, int hi, const unsigned *k,
+             int taps, unsigned short *dst)
+{
+    const int r = taps / 2;
+    __m256i kv[kMaxTaps];
+    for (int i = 0; i < taps; ++i)
+        kv[i] = _mm256_set1_epi16(static_cast<short>(k[i]));
+    const __m256i round = _mm256_set1_epi32(128);
+    const __m256i bias32 = _mm256_set1_epi32(32768);
+    const __m256i bias16 = _mm256_set1_epi16(static_cast<short>(0x8000));
+    for (; x + 16 <= hi; x += 16) {
+        __m256i acc_lo = round, acc_hi = round;
+        for (int i = 0; i < taps; ++i) {
+            const __m128i v8 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(src + x + i - r));
+            maddU16(_mm256_cvtepu8_epi16(v8), kv[i], acc_lo, acc_hi);
+        }
+        // (acc >> 8) fits 16 unsigned bits but can exceed the signed-
+        // saturating pack's 32767, so bias around zero for the pack
+        // and undo it afterwards (exact for [0, 65535]).
+        const __m256i out = _mm256_add_epi16(
+            _mm256_packs_epi32(
+                _mm256_sub_epi32(_mm256_srli_epi32(acc_lo, 8), bias32),
+                _mm256_sub_epi32(_mm256_srli_epi32(acc_hi, 8), bias32)),
+            bias16);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + x), out);
+    }
+    return x;
+}
+
+int
+blurColFixed(const unsigned short *const *rows, int w, const unsigned *k,
+             int taps, unsigned char *dst)
+{
+    __m256i kv[kMaxTaps];
+    for (int i = 0; i < taps; ++i)
+        kv[i] = _mm256_set1_epi16(static_cast<short>(k[i]));
+    const __m256i round = _mm256_set1_epi32(1 << 23);
+    int x = 0;
+    for (; x + 16 <= w; x += 16) {
+        __m256i acc_lo = round, acc_hi = round;
+        for (int i = 0; i < taps; ++i)
+            maddU16(_mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(rows[i] + x)),
+                    kv[i], acc_lo, acc_hi);
+        const __m256i v16 =
+            _mm256_packs_epi32(_mm256_srli_epi32(acc_lo, 24),
+                               _mm256_srli_epi32(acc_hi, 24));
+        const __m256i v8 = _mm256_packus_epi16(v16, v16);
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x),
+                         _mm256_castsi256_si128(v8));
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + x + 8),
+                         _mm256_extracti128_si256(v8, 1));
+    }
+    return x;
+}
+
+} // namespace avx2
+} // namespace edx
+
+#endif // EDX_HAVE_AVX2

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Declarations of the AVX2 fixed-point Gaussian-blur tier
+ * (image/filter_avx2.cpp, compiled with -mavx2 -mfma). Both passes are
+ * exact 16.8 fixed-point integer arithmetic at 16 pixels per step, so
+ * the tier is bit-identical to the SSE2 interior and the scalar
+ * reference — the frontend golden tests run per tier against the same
+ * goldens. Raw-pointer interfaces only (see simd_avx2.hpp for why).
+ */
+#pragma once
+
+#if defined(EDX_HAVE_AVX2)
+
+namespace edx {
+namespace avx2 {
+
+/**
+ * Horizontal fixed-point blur interior: processes pixels
+ * [x, x + 16*t) <= hi in 16-pixel steps and returns the first
+ * unprocessed x. @p taps is the kernel length (odd); loads reach
+ * [x - taps/2, x + 15 + taps/2], which the caller's edge loops keep
+ * in bounds.
+ */
+int blurRowFixed(const unsigned char *src, int x, int hi,
+                 const unsigned *k, int taps, unsigned short *dst);
+
+/**
+ * Vertical fixed-point blur pass over @p taps clamped row pointers:
+ * processes [0, 16*t) <= w and returns the first unprocessed x.
+ */
+int blurColFixed(const unsigned short *const *rows, int w,
+                 const unsigned *k, int taps, unsigned char *dst);
+
+} // namespace avx2
+} // namespace edx
+
+#endif // EDX_HAVE_AVX2

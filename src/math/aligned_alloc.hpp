@@ -1,0 +1,91 @@
+/**
+ * @file
+ * 32-byte-aligned allocator for the dense linear-algebra storage.
+ *
+ * MatX/VecX buffers are the targets of the wide (AVX2) kernel tier;
+ * std::vector's default allocator only guarantees 16-byte alignment
+ * on this ABI, so the matrix storage uses this allocator to start
+ * every buffer on a 32-byte boundary. Row starts at arbitrary column
+ * counts still land mid-vector, so the kernels keep using unaligned
+ * loads (which cost nothing on aligned addresses on modern x86) — the
+ * alignment removes the pathological split-cache-line case for the
+ * common row-start accesses.
+ *
+ * Deliberately implemented over plain ::operator new(size_t) with a
+ * manual offset rather than the aligned (std::align_val_t) overload:
+ * the zero-allocation steady-state tests count heap traffic by
+ * overriding the plain operator new, and the workspace contract must
+ * stay visible to them.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace edx {
+
+template <typename T, std::size_t Align = 32> struct AlignedAllocator
+{
+    static_assert(Align >= alignof(void *) && Align >= alignof(T),
+                  "alignment too small");
+    static_assert((Align & (Align - 1)) == 0,
+                  "alignment must be a power of two");
+
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &)
+    {
+    }
+
+    template <typename U> struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *
+    allocate(std::size_t n)
+    {
+        // Over-allocate by the alignment plus one pointer slot; the
+        // original block pointer is stashed just below the aligned
+        // region for deallocate().
+        const std::size_t bytes =
+            n * sizeof(T) + Align + sizeof(void *);
+        void *raw = ::operator new(bytes);
+        auto addr =
+            reinterpret_cast<std::uintptr_t>(raw) + sizeof(void *);
+        addr = (addr + Align - 1) & ~(static_cast<std::uintptr_t>(Align) -
+                                      1);
+        reinterpret_cast<void **>(addr)[-1] = raw;
+        return reinterpret_cast<T *>(addr);
+    }
+
+    void
+    deallocate(T *p, std::size_t)
+    {
+        if (p)
+            ::operator delete(reinterpret_cast<void **>(p)[-1]);
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedAllocator<U, Align> &) const
+    {
+        return true;
+    }
+    template <typename U>
+    bool
+    operator!=(const AlignedAllocator<U, Align> &) const
+    {
+        return false;
+    }
+};
+
+/** The matrix/vector storage vector type (32-byte-aligned data()). */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 32>>;
+
+} // namespace edx

@@ -1,7 +1,9 @@
 #include "math/blas.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "math/aligned_alloc.hpp"
 #include "math/simd_util.hpp"
 
 #if defined(__SSE2__)
@@ -31,6 +33,26 @@ gemmInto(const MatX &a, const MatX &b, MatX &c)
     if (m == 0 || n == 0 || kk == 0)
         return;
 
+#if defined(EDX_HAVE_AVX2)
+    // Packed-panel sweep: the active B panel and the current C row
+    // live in 32-byte-aligned scratch, removing the cache-line splits
+    // an n-double row stride forces on 256-bit loads. Same k order and
+    // per-element accumulation — bit-exact with the sweep below (see
+    // simd_avx2.hpp), so the size gate changes no value: packing a
+    // panel only pays when it is reused across enough rows of A, and
+    // the SLAM BA path's small blocks would eat the setup cost. The
+    // scratch is thread_local so it warms once and backend steady
+    // state stays zero-alloc.
+    if (simdTierIsAvx2() && m >= 8 && n >= 16) {
+        static thread_local AlignedVector<double> pack;
+        const int np = (n + 3) & ~3;
+        pack.resize(
+            (static_cast<size_t>(std::min(kGemmKc, kk)) + 1) * np);
+        avx2::gemmPacked(a.data(), b.data(), c.data(), m, n, kk,
+                         kGemmKc, pack.data());
+        return;
+    }
+#endif
     for (int k0 = 0; k0 < kk; k0 += kGemmKc) {
         const int k1 = std::min(k0 + kGemmKc, kk);
         for (int i = 0; i < m; ++i) {
@@ -40,7 +62,9 @@ gemmInto(const MatX &a, const MatX &b, MatX &c)
             // Register tile: four A scalars held live against a
             // vectorized sweep of the output row. The four adds stay
             // sequential per element, so every c(i, j) sees the exact
-            // k-ordered accumulation of the scalar reference.
+            // k-ordered accumulation of the scalar reference — at any
+            // vector width, which is why the AVX2 tier below is
+            // bit-exact with this SSE2 sweep and the scalar tail.
             for (; k + 4 <= k1; k += 4) {
                 const double a0 = ai[k], a1 = ai[k + 1];
                 const double a2 = ai[k + 2], a3 = ai[k + 3];
@@ -135,6 +159,16 @@ multiplyTransposedInto(const MatX &a, const MatX &b, MatX &c)
     assert(a.cols() == b.cols());
     const int m = a.rows(), n = b.rows(), kk = a.cols();
     c.resize(m, n);
+#if defined(EDX_HAVE_AVX2)
+    if (simdTierIsAvx2()) {
+        // Same 2x2-tile structure at AVX2 width; its tile/tail
+        // agreement for kk <= 7 covers the kk == 4 projection-kernel
+        // contract below (see simd_avx2.hpp).
+        avx2::multiplyTransposed(a.data(), b.data(), c.data(), m, n,
+                                 kk);
+        return;
+    }
+#endif
     int i = 0;
     // 2x2 register tile: each pair of A rows is streamed once against
     // each pair of B rows, halving the traffic of the naive row-dot.
@@ -232,6 +266,37 @@ symmetricSandwichInto(const MatX &h, const MatX &p, MatX &hp, MatX &s)
     const int r = h.rows(), d = h.cols();
     gemmInto(h, p, hp); // r x d, reused by the caller as the solve RHS
     s.resize(r, r);
+#if defined(EDX_HAVE_AVX2)
+    // Aligned re-stride of both dot operands — same cache-line-split
+    // rationale (and row-reuse size gate) as the packed GEMM sweep,
+    // and numerically a no-op: dotRows sees the same values at the
+    // same length, so every S entry is identical to the unpacked
+    // loop's.
+    if (simdTierIsAvx2() && r >= 16 && d >= 16) {
+        static thread_local AlignedVector<double> packed;
+        const int np = (d + 3) & ~3;
+        packed.resize(2 * static_cast<size_t>(r) * np);
+        double *hp_a = packed.data();
+        double *h_a = hp_a + static_cast<size_t>(r) * np;
+        for (int i = 0; i < r; ++i) {
+            std::memcpy(hp_a + static_cast<size_t>(i) * np,
+                        hp.data() + static_cast<size_t>(i) * d,
+                        sizeof(double) * static_cast<size_t>(d));
+            std::memcpy(h_a + static_cast<size_t>(i) * np,
+                        h.data() + static_cast<size_t>(i) * d,
+                        sizeof(double) * static_cast<size_t>(d));
+        }
+        for (int i = 0; i < r; ++i) {
+            const double *hpi = hp_a + static_cast<size_t>(i) * np;
+            double *si = s.data() + static_cast<size_t>(i) * r;
+            for (int j = 0; j <= i; ++j)
+                si[j] = avx2::dotRows(
+                    hpi, h_a + static_cast<size_t>(j) * np, d);
+        }
+        s.mirrorLowerToUpper();
+        return;
+    }
+#endif
     for (int i = 0; i < r; ++i) {
         const double *hpi = hp.data() + static_cast<size_t>(i) * d;
         double *si = s.data() + static_cast<size_t>(i) * r;

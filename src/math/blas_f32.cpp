@@ -1,0 +1,173 @@
+#include "math/blas_f32.hpp"
+
+#include <cmath>
+#include <emmintrin.h>
+
+#include "math/cpu_features.hpp"
+#if defined(EDX_HAVE_AVX2)
+#include "math/simd_avx2.hpp"
+#endif
+
+namespace edx {
+namespace f32 {
+
+namespace {
+
+inline float
+hsum(__m128 v)
+{
+    __m128 t = _mm_add_ps(v, _mm_movehl_ps(v, v));
+    t = _mm_add_ss(t, _mm_shuffle_ps(t, t, 0x55));
+    return _mm_cvtss_f32(t);
+}
+
+/** Row dot product; SSE baseline with an AVX2 fast path. */
+inline float
+dotF32(const float *a, const float *b, int n)
+{
+#if defined(EDX_HAVE_AVX2)
+    if (simdTierIsAvx2())
+        return avx2::dotRowsF32(a, b, n);
+#endif
+    __m128 acc0 = _mm_setzero_ps();
+    __m128 acc1 = _mm_setzero_ps();
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(_mm_loadu_ps(a + i),
+                                           _mm_loadu_ps(b + i)));
+        acc1 = _mm_add_ps(acc1, _mm_mul_ps(_mm_loadu_ps(a + i + 4),
+                                           _mm_loadu_ps(b + i + 4)));
+    }
+    for (; i + 4 <= n; i += 4)
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(_mm_loadu_ps(a + i),
+                                           _mm_loadu_ps(b + i)));
+    float s = hsum(_mm_add_ps(acc0, acc1));
+    for (; i < n; ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+/** y += a * x; SSE baseline with an AVX2 fast path. */
+inline void
+axpyF32(float a, const float *x, float *y, int n)
+{
+#if defined(EDX_HAVE_AVX2)
+    if (simdTierIsAvx2()) {
+        avx2::axpyRowF32(a, x, y, n);
+        return;
+    }
+#endif
+    const __m128 va = _mm_set1_ps(a);
+    int i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm_storeu_ps(y + i,
+                      _mm_add_ps(_mm_loadu_ps(y + i),
+                                 _mm_mul_ps(va, _mm_loadu_ps(x + i))));
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+} // namespace
+
+void
+pack(const MatX &src, AlignedVector<float> &dst)
+{
+    const size_t n = static_cast<size_t>(src.rows()) * src.cols();
+    dst.resize(n);
+    const double *s = src.data();
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<float>(s[i]);
+}
+
+void
+sandwich(const float *h, const float *p, int r, int d,
+         AlignedVector<float> &hp, AlignedVector<float> &s)
+{
+    hp.assign(static_cast<size_t>(r) * d, 0.0f);
+    s.resize(static_cast<size_t>(r) * r);
+    // hp = h * p, accumulated row-wise so the inner loop streams whole
+    // rows of p. The compressed measurement Jacobian is upper
+    // trapezoidal, so the zero skip removes roughly half the work.
+    for (int i = 0; i < r; ++i) {
+        float *hpi = hp.data() + static_cast<size_t>(i) * d;
+        const float *hi = h + static_cast<size_t>(i) * d;
+        for (int k = 0; k < d; ++k) {
+            const float av = hi[k];
+            if (av != 0.0f)
+                axpyF32(av, p + static_cast<size_t>(k) * d, hpi, d);
+        }
+    }
+    // s lower triangle = hp * h^T.
+    for (int i = 0; i < r; ++i) {
+        const float *hpi = hp.data() + static_cast<size_t>(i) * d;
+        float *si = s.data() + static_cast<size_t>(i) * r;
+        for (int j = 0; j <= i; ++j)
+            si[j] = dotF32(hpi, h + static_cast<size_t>(j) * d, d);
+    }
+}
+
+bool
+choleskyLower(float *a, int n)
+{
+    for (int j = 0; j < n; ++j) {
+        float *aj = a + static_cast<size_t>(j) * n;
+        const float djj = aj[j] - dotF32(aj, aj, j);
+        if (!(djj > 0.0f) || !std::isfinite(djj))
+            return false;
+        const float ljj = std::sqrt(djj);
+        aj[j] = ljj;
+        for (int i = j + 1; i < n; ++i) {
+            float *ai = a + static_cast<size_t>(i) * n;
+            ai[j] = (ai[j] - dotF32(ai, aj, j)) / ljj;
+        }
+    }
+    return true;
+}
+
+void
+choleskySolveInPlace(const float *l, int n, float *b, int nc)
+{
+    // Forward: L y = b, row-oriented so each inner step is a full-row
+    // axpy over the right-hand-side columns.
+    for (int i = 0; i < n; ++i) {
+        const float *li = l + static_cast<size_t>(i) * n;
+        float *bi = b + static_cast<size_t>(i) * nc;
+        for (int j = 0; j < i; ++j)
+            axpyF32(-li[j], b + static_cast<size_t>(j) * nc, bi, nc);
+        const float lii = li[i];
+        for (int c = 0; c < nc; ++c)
+            bi[c] /= lii;
+    }
+    // Backward: L^T x = y (reads column i of L).
+    for (int i = n - 1; i >= 0; --i) {
+        float *bi = b + static_cast<size_t>(i) * nc;
+        for (int j = i + 1; j < n; ++j)
+            axpyF32(-l[static_cast<size_t>(j) * n + i],
+                    b + static_cast<size_t>(j) * nc, bi, nc);
+        const float lii = l[static_cast<size_t>(i) * n + i];
+        for (int c = 0; c < nc; ++c)
+            bi[c] /= lii;
+    }
+}
+
+void
+downdateTerm(const float *a, const float *b, int m, int n,
+             AlignedVector<float> &t)
+{
+    t.assign(static_cast<size_t>(n) * n, 0.0f);
+    // t += a_k^T outer b_k per row k, lower triangle only (row i of t
+    // needs columns [0, i]).
+    for (int k = 0; k < m; ++k) {
+        const float *ak = a + static_cast<size_t>(k) * n;
+        const float *bk = b + static_cast<size_t>(k) * n;
+        for (int i = 0; i < n; ++i) {
+            const float av = ak[i];
+            if (av != 0.0f)
+                axpyF32(av, bk, t.data() + static_cast<size_t>(i) * n,
+                        i + 1);
+        }
+    }
+}
+
+} // namespace f32
+} // namespace edx

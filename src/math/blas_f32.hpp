@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Float32 kernels for the mixed-precision MSCKF covariance update.
+ *
+ * The Kalman-gain slice of the VIO backend (S = H P Hᵀ + R, the SPD
+ * solve for Kᵀ, and the covariance downdate term (H P)ᵀ Kᵀ) is the
+ * covariance-heavy half of the frame; running it in float32 halves the
+ * memory traffic and doubles the SIMD lane count. These kernels
+ * operate on packed row-major float buffers the backend workspace owns
+ * (MsckfConfig::float32_covariance_update packs the f64 state down,
+ * runs the slice in f32, and applies the results back to the f64
+ * master covariance).
+ *
+ * Equivalence contract: this path is NOT bit-exact with the float64
+ * kernels and has no bit-exact twin. Its contract is the documented
+ * pose-divergence bound against the f64 path over an MSCKF-realistic
+ * run (tests/test_backend.cpp, Float32CovarianceTracksFloat64Path) —
+ * the mixed-precision analogue of the reference-twin golden tests.
+ * The SSE2 baseline and the AVX2 tier of *these* kernels are likewise
+ * only bound-equivalent (both reassociate; the AVX2 tier also uses
+ * FMA).
+ */
+#pragma once
+
+#include <vector>
+
+#include "math/aligned_alloc.hpp"
+#include "math/matx.hpp"
+
+namespace edx {
+namespace f32 {
+
+/** Packs a MatX into a row-major float buffer (resized to r*c). */
+void pack(const MatX &src, AlignedVector<float> &dst);
+
+/**
+ * hp = h · p and s = lower triangle of hp · hᵀ (not mirrored; the
+ * consumers only read the lower triangle). h is r x d, p is d x d
+ * symmetric, hp is r x d, s is r x r. hp and s are resized.
+ */
+void sandwich(const float *h, const float *p, int r, int d,
+              AlignedVector<float> &hp, AlignedVector<float> &s);
+
+/**
+ * In-place Cholesky of the n x n matrix @p a (lower triangle read and
+ * written; the upper triangle is ignored). Returns false when the
+ * matrix is not numerically SPD in float32.
+ */
+bool choleskyLower(float *a, int n);
+
+/**
+ * Row-oriented in-place solve of (L Lᵀ) X = B for the n x nc buffer
+ * @p b, with @p l the factor from choleskyLower.
+ */
+void choleskySolveInPlace(const float *l, int n, float *b, int nc);
+
+/**
+ * t = lower triangle of aᵀ · b for a, b of shape m x n (the covariance
+ * downdate term (H P)ᵀ Kᵀ). @p t is resized to n*n and zero-filled;
+ * only its lower triangle is written.
+ */
+void downdateTerm(const float *a, const float *b, int m, int n,
+                  AlignedVector<float> &t);
+
+} // namespace f32
+} // namespace edx

@@ -16,6 +16,7 @@
 #include <ostream>
 #include <vector>
 
+#include "math/aligned_alloc.hpp"
 #include "math/mat.hpp"
 #include "math/vec.hpp"
 
@@ -36,7 +37,10 @@ class VecX
     VecX(int n, double value) : d_(static_cast<size_t>(n), value) {}
 
     /** Wraps an existing buffer by copy. */
-    explicit VecX(std::vector<double> values) : d_(std::move(values)) {}
+    explicit VecX(const std::vector<double> &values)
+        : d_(values.begin(), values.end())
+    {
+    }
 
     /** Converts from a fixed-size vector. */
     template <int N>
@@ -131,7 +135,7 @@ class VecX
     double *data() { return d_.data(); }
 
   private:
-    std::vector<double> d_;
+    AlignedVector<double> d_; //!< 32-byte-aligned for the wide tiers
 };
 
 VecX operator*(double s, const VecX &v);
@@ -288,7 +292,7 @@ class MatX
   private:
     int rows_ = 0;
     int cols_ = 0;
-    std::vector<double> d_;
+    AlignedVector<double> d_; //!< 32-byte-aligned for the wide tiers
 };
 
 MatX operator*(double s, const MatX &m);

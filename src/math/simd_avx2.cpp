@@ -1,0 +1,290 @@
+/**
+ * @file
+ * AVX2+FMA math-kernel tier. Compiled with -mavx2 -mfma (CMake sets
+ * the per-source flags only when the compiler supports them, and
+ * defines EDX_HAVE_AVX2 project-wide in that case); selected at
+ * runtime through math/cpu_features.hpp. See simd_avx2.hpp for the
+ * per-function equivalence contracts.
+ *
+ * Only <immintrin.h> here: no library headers whose inline functions
+ * would be compiled with AVX2 codegen and could be picked by the
+ * linker over their baseline copies.
+ */
+#if defined(EDX_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "math/simd_avx2.hpp"
+
+namespace edx {
+namespace avx2 {
+
+namespace {
+
+/**
+ * Horizontal sum with the shared lane order: low and high 128-bit
+ * halves added lanewise first, then the two lanes. Both dotRows and
+ * the multiplyTransposed tile reduce through this helper, which is
+ * what makes them agree bit-exactly for n <= 7.
+ */
+inline double
+hsum(__m256d v)
+{
+    __m128d lo = _mm256_castpd256_pd128(v);
+    __m128d hi = _mm256_extractf128_pd(v, 1);
+    __m128d s2 = _mm_add_pd(lo, hi);
+    double lanes[2];
+    _mm_storeu_pd(lanes, s2);
+    return lanes[0] + lanes[1];
+}
+
+inline float
+hsumF32(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s4 = _mm_add_ps(lo, hi);
+    float lanes[4];
+    _mm_storeu_ps(lanes, s4);
+    return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]));
+}
+
+} // namespace
+
+double
+dotRows(const double *x, const double *y, int n)
+{
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i), acc0);
+        acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4),
+                               _mm256_loadu_pd(y + i + 4), acc1);
+    }
+    for (; i + 4 <= n; i += 4)
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i), acc0);
+    double s = hsum(_mm256_add_pd(acc0, acc1));
+    for (; i < n; ++i)
+        s += x[i] * y[i];
+    return s;
+}
+
+void
+axpyRow(double a, const double *row, double *out, int n)
+{
+    // mul + add (no FMA): preserves the per-element operation order of
+    // the scalar loop, so this tier stays bit-exact with SSE2/scalar.
+    const __m256d va = _mm256_set1_pd(a);
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+        __m256d v = _mm256_loadu_pd(out + j);
+        v = _mm256_add_pd(v, _mm256_mul_pd(va, _mm256_loadu_pd(row + j)));
+        _mm256_storeu_pd(out + j, v);
+    }
+    for (; j < n; ++j)
+        out[j] += a * row[j];
+}
+
+void
+scaleRow(double a, double *out, int n)
+{
+    const __m256d va = _mm256_set1_pd(a);
+    int j = 0;
+    for (; j + 4 <= n; j += 4)
+        _mm256_storeu_pd(out + j,
+                         _mm256_mul_pd(va, _mm256_loadu_pd(out + j)));
+    for (; j < n; ++j)
+        out[j] *= a;
+}
+
+void
+divRow(double a, double *out, int n)
+{
+    const __m256d va = _mm256_set1_pd(a);
+    int j = 0;
+    for (; j + 4 <= n; j += 4)
+        _mm256_storeu_pd(out + j,
+                         _mm256_div_pd(_mm256_loadu_pd(out + j), va));
+    for (; j < n; ++j)
+        out[j] /= a;
+}
+
+void
+gemmUpdate4(double a0, double a1, double a2, double a3, const double *b0,
+            const double *b1, const double *b2, const double *b3,
+            double *ci, int n)
+{
+    const __m256d va0 = _mm256_set1_pd(a0);
+    const __m256d va1 = _mm256_set1_pd(a1);
+    const __m256d va2 = _mm256_set1_pd(a2);
+    const __m256d va3 = _mm256_set1_pd(a3);
+    int j = 0;
+    // The four adds stay sequential per element (mul + add, no FMA):
+    // every c element sees the exact k-ordered accumulation of the
+    // scalar reference, independent of the vector width.
+    for (; j + 4 <= n; j += 4) {
+        __m256d v = _mm256_loadu_pd(ci + j);
+        v = _mm256_add_pd(v, _mm256_mul_pd(va0, _mm256_loadu_pd(b0 + j)));
+        v = _mm256_add_pd(v, _mm256_mul_pd(va1, _mm256_loadu_pd(b1 + j)));
+        v = _mm256_add_pd(v, _mm256_mul_pd(va2, _mm256_loadu_pd(b2 + j)));
+        v = _mm256_add_pd(v, _mm256_mul_pd(va3, _mm256_loadu_pd(b3 + j)));
+        _mm256_storeu_pd(ci + j, v);
+    }
+    for (; j < n; ++j) {
+        double v = ci[j];
+        v += a0 * b0[j];
+        v += a1 * b1[j];
+        v += a2 * b2[j];
+        v += a3 * b3[j];
+        ci[j] = v;
+    }
+}
+
+void
+gemmPacked(const double *a, const double *b, double *c, int m, int n,
+           int kk, int kc, double *pack)
+{
+    const int np = (n + 3) & ~3; // packed row stride, 32B-aligned rows
+    const int kp = kc < kk ? kc : kk;
+    double *crow = pack + static_cast<long>(kp) * np;
+    for (int k0 = 0; k0 < kk; k0 += kp) {
+        const int k1 = k0 + kp < kk ? k0 + kp : kk;
+        for (int k = k0; k < k1; ++k) {
+            const double *src = b + static_cast<long>(k) * n;
+            double *dst = pack + static_cast<long>(k - k0) * np;
+            int j = 0;
+            for (; j + 4 <= n; j += 4)
+                _mm256_store_pd(dst + j, _mm256_loadu_pd(src + j));
+            for (; j < n; ++j)
+                dst[j] = src[j];
+        }
+        for (int i = 0; i < m; ++i) {
+            const double *ai = a + static_cast<long>(i) * kk;
+            double *ci = c + static_cast<long>(i) * n;
+            int j = 0;
+            for (; j + 4 <= n; j += 4)
+                _mm256_store_pd(crow + j, _mm256_loadu_pd(ci + j));
+            for (; j < n; ++j)
+                crow[j] = ci[j];
+            int k = k0;
+            for (; k + 4 <= k1; k += 4) {
+                const double *b0 =
+                    pack + static_cast<long>(k - k0) * np;
+                gemmUpdate4(ai[k], ai[k + 1], ai[k + 2], ai[k + 3], b0,
+                            b0 + np, b0 + 2 * np, b0 + 3 * np, crow, n);
+            }
+            for (; k < k1; ++k)
+                axpyRow(ai[k], pack + static_cast<long>(k - k0) * np,
+                        crow, n);
+            j = 0;
+            for (; j + 4 <= n; j += 4)
+                _mm256_storeu_pd(ci + j, _mm256_load_pd(crow + j));
+            for (; j < n; ++j)
+                ci[j] = crow[j];
+        }
+    }
+}
+
+void
+multiplyTransposed(const double *a, const double *b, double *c, int m,
+                   int n, int kk)
+{
+    int i = 0;
+    for (; i + 2 <= m; i += 2) {
+        const double *a0 = a + static_cast<long>(i) * kk;
+        const double *a1 = a0 + kk;
+        double *c0 = c + static_cast<long>(i) * n;
+        double *c1 = c0 + n;
+        int j = 0;
+        for (; j + 2 <= n; j += 2) {
+            const double *b0 = b + static_cast<long>(j) * kk;
+            const double *b1 = b0 + kk;
+            __m256d s00 = _mm256_setzero_pd();
+            __m256d s01 = _mm256_setzero_pd();
+            __m256d s10 = _mm256_setzero_pd();
+            __m256d s11 = _mm256_setzero_pd();
+            int k = 0;
+            for (; k + 4 <= kk; k += 4) {
+                const __m256d va0 = _mm256_loadu_pd(a0 + k);
+                const __m256d va1 = _mm256_loadu_pd(a1 + k);
+                const __m256d vb0 = _mm256_loadu_pd(b0 + k);
+                const __m256d vb1 = _mm256_loadu_pd(b1 + k);
+                s00 = _mm256_fmadd_pd(va0, vb0, s00);
+                s01 = _mm256_fmadd_pd(va0, vb1, s01);
+                s10 = _mm256_fmadd_pd(va1, vb0, s10);
+                s11 = _mm256_fmadd_pd(va1, vb1, s11);
+            }
+            double d00 = hsum(s00), d01 = hsum(s01);
+            double d10 = hsum(s10), d11 = hsum(s11);
+            // Scalar k tail after the horizontal sum: for kk <= 7 this
+            // tile reduces exactly like dotRows (one 4-wide FMA into a
+            // zero accumulator + shared hsum + scalar tail), so a value
+            // never depends on which loop (tile vs row/column tail)
+            // computed it — the kk == 4 projection-kernel contract.
+            for (; k < kk; ++k) {
+                d00 += a0[k] * b0[k];
+                d01 += a0[k] * b1[k];
+                d10 += a1[k] * b0[k];
+                d11 += a1[k] * b1[k];
+            }
+            c0[j] = d00;
+            c0[j + 1] = d01;
+            c1[j] = d10;
+            c1[j + 1] = d11;
+        }
+        for (; j < n; ++j) {
+            const double *bj = b + static_cast<long>(j) * kk;
+            c0[j] = dotRows(a0, bj, kk);
+            c1[j] = dotRows(a1, bj, kk);
+        }
+    }
+    for (; i < m; ++i) {
+        const double *ai = a + static_cast<long>(i) * kk;
+        double *ci = c + static_cast<long>(i) * n;
+        for (int j = 0; j < n; ++j)
+            ci[j] = dotRows(ai, b + static_cast<long>(j) * kk, kk);
+    }
+}
+
+float
+dotRowsF32(const float *x, const float *y, int n)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    int i = 0;
+    for (; i + 16 <= n; i += 16) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8),
+                               _mm256_loadu_ps(y + i + 8), acc1);
+    }
+    for (; i + 8 <= n; i += 8)
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i), acc0);
+    float s = hsumF32(_mm256_add_ps(acc0, acc1));
+    for (; i < n; ++i)
+        s += x[i] * y[i];
+    return s;
+}
+
+void
+axpyRowF32(float a, const float *row, float *out, int n)
+{
+    const __m256 va = _mm256_set1_ps(a);
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+        __m256 v = _mm256_loadu_ps(out + j);
+        v = _mm256_fmadd_ps(va, _mm256_loadu_ps(row + j), v);
+        _mm256_storeu_ps(out + j, v);
+    }
+    for (; j < n; ++j)
+        out[j] += a * row[j];
+}
+
+} // namespace avx2
+} // namespace edx
+
+#endif // EDX_HAVE_AVX2

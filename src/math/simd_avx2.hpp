@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Declarations of the AVX2+FMA math-kernel tier (math/simd_avx2.cpp).
+ *
+ * The definitions live in a translation unit compiled with
+ * -mavx2 -mfma; everything else in the library is compiled for the
+ * baseline ISA and reaches these only through the runtime dispatch in
+ * math/cpu_features.hpp. The interfaces are raw-pointer-only on
+ * purpose: the AVX2 TU must not instantiate any inline function or
+ * template that also exists in baseline TUs, or the linker could keep
+ * the AVX2-compiled copy and break SSE2-only hosts.
+ *
+ * Equivalence contracts (mirroring math/simd_util.hpp):
+ *  - axpyRow / scaleRow / divRow and gemmUpdate4 are order-preserving
+ *    per element and use no FMA: bit-exact with the SSE2 tier and the
+ *    scalar references at every length.
+ *  - dotRows reassociates (two 4-wide accumulators) and contracts with
+ *    FMA; bounded contract. For n <= 7 it reduces exactly like the
+ *    2x2-tile accumulators of multiplyTransposed (one 4-wide FMA into
+ *    zero + the shared lanewise horizontal sum + scalar tail), which
+ *    preserves the tile/tail agreement the kk == 4 projection kernel
+ *    requires (see blas.cpp).
+ *  - The f32 primitives back the float32 MSCKF path; they carry only
+ *    its pose-divergence-bound contract and are free to use FMA.
+ */
+#pragma once
+
+#if defined(EDX_HAVE_AVX2)
+
+namespace edx {
+namespace avx2 {
+
+// --- f64 row primitives (AVX2 twins of detail:: in simd_util.hpp) ----
+double dotRows(const double *x, const double *y, int n);
+void axpyRow(double a, const double *row, double *out, int n);
+void scaleRow(double a, double *out, int n);
+void divRow(double a, double *out, int n);
+
+/**
+ * GEMM inner update: ci[0..n) += a0*b0 + a1*b1 + a2*b2 + a3*b3 with
+ * the four adds sequential per element (the blocked GEMM's register
+ * tile at AVX2 width; bit-exact with the scalar k-ordered reference).
+ */
+void gemmUpdate4(double a0, double a1, double a2, double a3,
+                 const double *b0, const double *b1, const double *b2,
+                 const double *b3, double *ci, int n);
+
+/**
+ * The blocked GEMM's AVX2 sweep: C += A * B over raw row-major buffers
+ * in k-panels of height @p kc, with the active B panel packed — and
+ * the current C row staged — in the 32-byte-aligned scratch @p pack
+ * (capacity (min(kc, kk) + 1) * roundUp4(n) doubles). A row stride of
+ * n doubles rarely keeps 32-byte alignment, so the unpacked sweep pays
+ * a cache-line split on most 256-bit loads; packing removes them.
+ * Values and per-element accumulation order are untouched (the staging
+ * round-trips exact doubles), so the result stays bit-exact with the
+ * SSE2/scalar sweep in blas.cpp.
+ */
+void gemmPacked(const double *a, const double *b, double *c, int m,
+                int n, int kk, int kc, double *pack);
+
+/**
+ * C = A * B^T over raw row-major buffers (a: m x kk, b: n x kk,
+ * c: m x n, all contiguous). Same 2x2 register-tile structure as the
+ * SSE2 kernel in blas.cpp, with 4-wide FMA accumulators.
+ */
+void multiplyTransposed(const double *a, const double *b, double *c,
+                        int m, int n, int kk);
+
+// --- f32 row primitives (float32 MSCKF covariance path) --------------
+float dotRowsF32(const float *x, const float *y, int n);
+void axpyRowF32(float a, const float *row, float *out, int n);
+
+} // namespace avx2
+} // namespace edx
+
+#endif // EDX_HAVE_AVX2

@@ -1,19 +1,33 @@
 /**
  * @file
- * Internal SSE2 row-primitive helpers shared by the blocked MatX
+ * Internal SIMD row-primitive helpers shared by the blocked MatX
  * kernels (blas.cpp) and the blocked decompositions (decomp.cpp).
  *
- * Contract notes the callers rely on:
+ * Each primitive carries an SSE2 baseline inline here plus an AVX2
+ * tier (math/simd_avx2.cpp, separate -mavx2 -mfma TU) selected through
+ * the runtime dispatch in math/cpu_features.hpp — so the blocked
+ * Cholesky/QR/LU inner loops and the triangular solves pick up the
+ * wider tier without any change of their own.
+ *
+ * Contract notes the callers rely on (they hold at every tier):
  *  - axpyRow and scaleRow preserve the per-element operation order of
- *    their scalar loops (lane-parallel, no reassociation), so kernels
- *    built purely from them stay bit-exact with scalar references.
- *  - dotRows reduces with two accumulator lanes and therefore
- *    reassociates; kernels using it carry a bounded (not bit-exact)
- *    equivalence contract.
+ *    their scalar loops (lane-parallel, no reassociation, no FMA), so
+ *    kernels built purely from them stay bit-exact with scalar
+ *    references — and bit-exact across tiers.
+ *  - dotRows reduces with multiple accumulator lanes and therefore
+ *    reassociates (the AVX2 tier also contracts with FMA); kernels
+ *    using it carry a bounded (not bit-exact) equivalence contract,
+ *    golden-tested per tier. Its value is deterministic per
+ *    (input, length, tier).
  */
 #pragma once
 
 #include <cstddef>
+
+#include "math/cpu_features.hpp"
+#if defined(EDX_HAVE_AVX2)
+#include "math/simd_avx2.hpp"
+#endif
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -26,6 +40,10 @@ namespace detail {
 inline double
 dotRows(const double *x, const double *y, int n)
 {
+#if defined(EDX_HAVE_AVX2)
+    if (simdTierIsAvx2())
+        return avx2::dotRows(x, y, n);
+#endif
 #if defined(__SSE2__)
     __m128d acc0 = _mm_setzero_pd();
     __m128d acc1 = _mm_setzero_pd();
@@ -61,6 +79,12 @@ dotRows(const double *x, const double *y, int n)
 inline void
 axpyRow(double a, const double *row, double *out, int n)
 {
+#if defined(EDX_HAVE_AVX2)
+    if (simdTierIsAvx2()) {
+        avx2::axpyRow(a, row, out, n);
+        return;
+    }
+#endif
 #if defined(__SSE2__)
     const __m128d va = _mm_set1_pd(a);
     int j = 0;
@@ -81,6 +105,12 @@ axpyRow(double a, const double *row, double *out, int n)
 inline void
 scaleRow(double a, double *out, int n)
 {
+#if defined(EDX_HAVE_AVX2)
+    if (simdTierIsAvx2()) {
+        avx2::scaleRow(a, out, n);
+        return;
+    }
+#endif
 #if defined(__SSE2__)
     const __m128d va = _mm_set1_pd(a);
     int j = 0;
@@ -98,6 +128,12 @@ scaleRow(double a, double *out, int n)
 inline void
 divRow(double a, double *out, int n)
 {
+#if defined(EDX_HAVE_AVX2)
+    if (simdTierIsAvx2()) {
+        avx2::divRow(a, out, n);
+        return;
+    }
+#endif
 #if defined(__SSE2__)
     const __m128d va = _mm_set1_pd(a);
     int j = 0;

@@ -21,9 +21,35 @@
 #include "image/filter.hpp"
 #include "image/pyramid.hpp"
 #include "math/rng.hpp"
+#include "math/cpu_features.hpp"
 
 namespace edx {
 namespace {
+
+/**
+ * Runs @p fn once per SIMD tier available at runtime (SSE2 always;
+ * AVX2 when the host and build support it), restoring the startup tier
+ * afterwards. The golden sweeps below run under every tier so each
+ * per-tier kernel faces the same exactness contract — on an SSE2-only
+ * host the loop degenerates to the baseline tier. Tier forcing from
+ * the outside works too: under EDX_SIMD_LEVEL=sse2 the detected tier
+ * is still the host's, so this loop intentionally uses the *startup*
+ * tier as its ceiling to honor the override.
+ */
+template <typename Fn>
+void
+forEachSimdTier(Fn &&fn)
+{
+    const SimdTier startup = activeSimdTier();
+    for (int t = 0; t <= static_cast<int>(startup); ++t) {
+        const SimdTier tier = static_cast<SimdTier>(t);
+        setSimdTier(tier);
+        testing::ScopedTrace trace(__FILE__, __LINE__,
+                                   simdTierName(tier));
+        fn();
+    }
+    setSimdTier(startup);
+}
 
 ImageU8
 noisyImage(int w, int h, uint64_t seed, int patches = 12)
@@ -62,40 +88,48 @@ expectKeypointsIdentical(const std::vector<KeyPoint> &a,
 
 TEST(GaussianGolden, MatchesReferenceOnNoise)
 {
-    for (auto [w, h] : {std::pair{320, 240}, {33, 17}, {641, 13}}) {
-        ImageU8 img = noisyImage(w, h, 100 + w);
-        expectImagesIdentical(gaussianBlur(img),
-                              gaussianBlurReference(img));
-    }
+    forEachSimdTier([&] {
+        for (auto [w, h] : {std::pair{320, 240}, {33, 17}, {641, 13}}) {
+            ImageU8 img = noisyImage(w, h, 100 + w);
+            expectImagesIdentical(gaussianBlur(img),
+                                  gaussianBlurReference(img));
+        }
+    });
 }
 
 TEST(GaussianGolden, MatchesReferenceOnTinyImages)
 {
-    // Narrower than the 7-tap kernel: the border loops own every pixel.
-    for (auto [w, h] : {std::pair{1, 1}, {2, 9}, {6, 6}, {7, 3}}) {
-        ImageU8 img = noisyImage(w, h, 300 + w * 10 + h);
-        expectImagesIdentical(gaussianBlur(img),
-                              gaussianBlurReference(img));
-    }
+    forEachSimdTier([&] {
+        // Narrower than the 7-tap kernel: the border loops own every pixel.
+        for (auto [w, h] : {std::pair{1, 1}, {2, 9}, {6, 6}, {7, 3}}) {
+            ImageU8 img = noisyImage(w, h, 300 + w * 10 + h);
+            expectImagesIdentical(gaussianBlur(img),
+                                  gaussianBlurReference(img));
+        }
+    });
 }
 
 TEST(GaussianGolden, PreservesConstantImage)
 {
-    // The fixed-point weights sum to exactly 2^16.
-    ImageU8 img(64, 48, 137);
-    ImageU8 out = gaussianBlur(img);
-    EXPECT_DOUBLE_EQ(meanAbsDifference(img, out), 0.0);
+    forEachSimdTier([&] {
+        // The fixed-point weights sum to exactly 2^16.
+        ImageU8 img(64, 48, 137);
+        ImageU8 out = gaussianBlur(img);
+        EXPECT_DOUBLE_EQ(meanAbsDifference(img, out), 0.0);
+    });
 }
 
 TEST(GaussianGolden, IntoReusesBuffersAcrossCalls)
 {
-    ImageU8 img = noisyImage(160, 120, 9);
-    BlurScratch scratch;
-    ImageU8 out;
-    EXPECT_TRUE(gaussianBlurInto(img, scratch, out));  // first: grows
-    ImageU8 first = out;
-    EXPECT_FALSE(gaussianBlurInto(img, scratch, out)); // steady: reuses
-    expectImagesIdentical(first, out);
+    forEachSimdTier([&] {
+        ImageU8 img = noisyImage(160, 120, 9);
+        BlurScratch scratch;
+        ImageU8 out;
+        EXPECT_TRUE(gaussianBlurInto(img, scratch, out));  // first: grows
+        ImageU8 first = out;
+        EXPECT_FALSE(gaussianBlurInto(img, scratch, out)); // steady: reuses
+        expectImagesIdentical(first, out);
+    });
 }
 
 TEST(BoxBlurGolden, SlidingWindowMatchesReference)
@@ -146,49 +180,57 @@ TEST(CentralDiffGolden, MatchesReference)
 
 TEST(FastGolden, CornersAndScoresMatchReference)
 {
-    ImageU8 img = noisyImage(320, 240, 21, 30);
-    FastConfig cfg;
-    cfg.threshold = 16;
-    expectKeypointsIdentical(detectFast(img, cfg),
-                             detectFastReference(img, cfg));
+    forEachSimdTier([&] {
+        ImageU8 img = noisyImage(320, 240, 21, 30);
+        FastConfig cfg;
+        cfg.threshold = 16;
+        expectKeypointsIdentical(detectFast(img, cfg),
+                                 detectFastReference(img, cfg));
+    });
 }
 
 TEST(FastGolden, MatchesReferenceWithoutNms)
 {
-    ImageU8 img = noisyImage(160, 120, 22, 15);
-    FastConfig cfg;
-    cfg.threshold = 14;
-    cfg.nonmax_suppression = false;
-    cfg.max_features = 100000;
-    expectKeypointsIdentical(detectFast(img, cfg),
-                             detectFastReference(img, cfg));
+    forEachSimdTier([&] {
+        ImageU8 img = noisyImage(160, 120, 22, 15);
+        FastConfig cfg;
+        cfg.threshold = 14;
+        cfg.nonmax_suppression = false;
+        cfg.max_features = 100000;
+        expectKeypointsIdentical(detectFast(img, cfg),
+                                 detectFastReference(img, cfg));
+    });
 }
 
 TEST(FastGolden, MatchesReferenceThroughGridSelection)
 {
-    ImageU8 img = noisyImage(320, 240, 23, 60);
-    FastConfig cfg;
-    cfg.threshold = 10;
-    cfg.max_features = 60; // force the grid-bucketed cap
-    expectKeypointsIdentical(detectFast(img, cfg),
-                             detectFastReference(img, cfg));
+    forEachSimdTier([&] {
+        ImageU8 img = noisyImage(320, 240, 23, 60);
+        FastConfig cfg;
+        cfg.threshold = 10;
+        cfg.max_features = 60; // force the grid-bucketed cap
+        expectKeypointsIdentical(detectFast(img, cfg),
+                                 detectFastReference(img, cfg));
+    });
 }
 
 TEST(FastGolden, ScratchReuseIsCleanAcrossImages)
 {
-    // The sparse score map must be left all-zero between calls, even
-    // when the image shape changes in between.
-    FastScratch scratch;
-    std::vector<KeyPoint> out;
-    FastConfig cfg;
-    cfg.threshold = 14;
-    ImageU8 a = noisyImage(320, 240, 24, 25);
-    ImageU8 b = noisyImage(200, 150, 25, 25);
-    detectFastInto(a, cfg, scratch, out);
-    detectFastInto(b, cfg, scratch, out);
-    expectKeypointsIdentical(out, detectFastReference(b, cfg));
-    detectFastInto(a, cfg, scratch, out);
-    expectKeypointsIdentical(out, detectFastReference(a, cfg));
+    forEachSimdTier([&] {
+        // The sparse score map must be left all-zero between calls, even
+        // when the image shape changes in between.
+        FastScratch scratch;
+        std::vector<KeyPoint> out;
+        FastConfig cfg;
+        cfg.threshold = 14;
+        ImageU8 a = noisyImage(320, 240, 24, 25);
+        ImageU8 b = noisyImage(200, 150, 25, 25);
+        detectFastInto(a, cfg, scratch, out);
+        detectFastInto(b, cfg, scratch, out);
+        expectKeypointsIdentical(out, detectFastReference(b, cfg));
+        detectFastInto(a, cfg, scratch, out);
+        expectKeypointsIdentical(out, detectFastReference(a, cfg));
+    });
 }
 
 TEST(OrbGolden, DescriptorsAndAnglesMatchReference)

@@ -14,12 +14,38 @@
 #include "math/quat.hpp"
 #include "math/regression.hpp"
 #include "math/rng.hpp"
+#include "math/cpu_features.hpp"
 #include "math/se3.hpp"
 #include "math/stats.hpp"
 #include "math/vec.hpp"
 
 namespace edx {
 namespace {
+
+/**
+ * Runs @p fn once per SIMD tier available at runtime (SSE2 always;
+ * AVX2 when the host and build support it), restoring the startup tier
+ * afterwards. The golden sweeps below run under every tier so each
+ * per-tier kernel faces the same exactness contract — on an SSE2-only
+ * host the loop degenerates to the baseline tier. Tier forcing from
+ * the outside works too: under EDX_SIMD_LEVEL=sse2 the detected tier
+ * is still the host's, so this loop intentionally uses the *startup*
+ * tier as its ceiling to honor the override.
+ */
+template <typename Fn>
+void
+forEachSimdTier(Fn &&fn)
+{
+    const SimdTier startup = activeSimdTier();
+    for (int t = 0; t <= static_cast<int>(startup); ++t) {
+        const SimdTier tier = static_cast<SimdTier>(t);
+        setSimdTier(tier);
+        testing::ScopedTrace trace(__FILE__, __LINE__,
+                                   simdTierName(tier));
+        fn();
+    }
+    setSimdTier(startup);
+}
 
 TEST(Vec, BasicArithmetic)
 {
@@ -453,22 +479,24 @@ randomMat(int r, int c, uint64_t seed)
 
 TEST(Blas, GemmMatchesReferenceBitExact)
 {
-    // Sizes straddle the k-panel (64) and exercise all unroll tails.
-    const int sizes[][3] = {{1, 1, 1},   {2, 3, 4},   {5, 7, 3},
-                            {15, 15, 15}, {33, 64, 17}, {65, 130, 9},
-                            {90, 200, 90}, {128, 64, 128}};
-    for (const auto &s : sizes) {
-        MatX a = randomMat(s[0], s[1], 1000 + s[0] + s[1]);
-        MatX b = randomMat(s[1], s[2], 2000 + s[1] + s[2]);
-        MatX c_opt, c_ref;
-        gemmInto(a, b, c_opt);
-        gemmReference(a, b, c_ref);
-        for (int i = 0; i < c_opt.rows(); ++i)
-            for (int j = 0; j < c_opt.cols(); ++j)
-                EXPECT_EQ(c_opt(i, j), c_ref(i, j))
-                    << s[0] << "x" << s[1] << "x" << s[2] << " @ (" << i
-                    << "," << j << ")";
-    }
+    forEachSimdTier([&] {
+        // Sizes straddle the k-panel (64) and exercise all unroll tails.
+        const int sizes[][3] = {{1, 1, 1},   {2, 3, 4},   {5, 7, 3},
+                                {15, 15, 15}, {33, 64, 17}, {65, 130, 9},
+                                {90, 200, 90}, {128, 64, 128}};
+        for (const auto &s : sizes) {
+            MatX a = randomMat(s[0], s[1], 1000 + s[0] + s[1]);
+            MatX b = randomMat(s[1], s[2], 2000 + s[1] + s[2]);
+            MatX c_opt, c_ref;
+            gemmInto(a, b, c_opt);
+            gemmReference(a, b, c_ref);
+            for (int i = 0; i < c_opt.rows(); ++i)
+                for (int j = 0; j < c_opt.cols(); ++j)
+                    EXPECT_EQ(c_opt(i, j), c_ref(i, j))
+                        << s[0] << "x" << s[1] << "x" << s[2] << " @ (" << i
+                        << "," << j << ")";
+        }
+    });
 }
 
 TEST(Blas, GemmZeroDimensionsAreSafe)
@@ -491,75 +519,83 @@ TEST(Blas, GemmZeroDimensionsAreSafe)
 
 TEST(Blas, MultiplyTransposedMatchesReference)
 {
-    for (int m : {1, 2, 7, 30, 121}) {
-        for (int k : {1, 3, 16, 95}) {
-            MatX a = randomMat(m, k, 31 * m + k);
-            MatX b = randomMat(m + 2, k, 57 * m + k);
-            MatX opt, ref;
-            multiplyTransposedInto(a, b, opt);
-            multiplyTransposedReference(a, b, ref);
-            EXPECT_NEAR((opt - ref).maxAbs(), 0.0, 1e-12 * k)
-                << m << "x" << k;
+    forEachSimdTier([&] {
+        for (int m : {1, 2, 7, 30, 121}) {
+            for (int k : {1, 3, 16, 95}) {
+                MatX a = randomMat(m, k, 31 * m + k);
+                MatX b = randomMat(m + 2, k, 57 * m + k);
+                MatX opt, ref;
+                multiplyTransposedInto(a, b, opt);
+                multiplyTransposedReference(a, b, ref);
+                EXPECT_NEAR((opt - ref).maxAbs(), 0.0, 1e-12 * k)
+                    << m << "x" << k;
+            }
         }
-    }
+    });
 }
 
 TEST(Blas, SymmetricSandwichMatchesReferenceAndIsExactlySymmetric)
 {
-    for (int d : {15, 33, 75, 141, 200}) {
-        const int rows = d / 2 + 2;
-        MatX h = randomMat(rows, d, 400 + d);
-        MatX p0 = randomMat(d, d, 500 + d);
-        MatX p = gram(p0); // symmetric
-        MatX hp_o, s_o, hp_r, s_r;
-        symmetricSandwichInto(h, p, hp_o, s_o);
-        symmetricSandwichReference(h, p, hp_r, s_r);
-        const double scale = s_r.maxAbs();
-        EXPECT_NEAR((hp_o - hp_r).maxAbs() / scale, 0.0, 1e-13) << d;
-        EXPECT_NEAR((s_o - s_r).maxAbs() / scale, 0.0, 1e-13) << d;
-        for (int i = 0; i < rows; ++i)
-            for (int j = 0; j < i; ++j)
-                EXPECT_EQ(s_o(i, j), s_o(j, i)) << "asymmetric at " << i
-                                                << "," << j;
-    }
+    forEachSimdTier([&] {
+        for (int d : {15, 33, 75, 141, 200}) {
+            const int rows = d / 2 + 2;
+            MatX h = randomMat(rows, d, 400 + d);
+            MatX p0 = randomMat(d, d, 500 + d);
+            MatX p = gram(p0); // symmetric
+            MatX hp_o, s_o, hp_r, s_r;
+            symmetricSandwichInto(h, p, hp_o, s_o);
+            symmetricSandwichReference(h, p, hp_r, s_r);
+            const double scale = s_r.maxAbs();
+            EXPECT_NEAR((hp_o - hp_r).maxAbs() / scale, 0.0, 1e-13) << d;
+            EXPECT_NEAR((s_o - s_r).maxAbs() / scale, 0.0, 1e-13) << d;
+            for (int i = 0; i < rows; ++i)
+                for (int j = 0; j < i; ++j)
+                    EXPECT_EQ(s_o(i, j), s_o(j, i)) << "asymmetric at " << i
+                                                    << "," << j;
+        }
+    });
 }
 
 TEST(Blas, SymmetricDowndateMatchesReferenceAndIsExactlySymmetric)
 {
-    for (int d : {15, 45, 99, 200}) {
-        const int rows = 2 * d / 3 + 1;
-        MatX a = randomMat(rows, d, 600 + d);
-        MatX b = randomMat(rows, d, 700 + d);
-        // Make a^T b numerically symmetric enough for the contract by
-        // using b = a scaled (the covariance-downdate shape); exact
-        // symmetry of the optimized output must hold regardless.
-        MatX c_o = MatX::identity(d) * 3.0;
-        MatX c_r = c_o;
-        symmetricDowndateInto(a, a, c_o);
-        symmetricDowndateReference(a, a, c_r);
-        const double scale = std::max(1.0, c_r.maxAbs());
-        EXPECT_NEAR((c_o - c_r).maxAbs() / scale, 0.0, 1e-12) << d;
-        for (int i = 0; i < d; ++i)
-            for (int j = 0; j < i; ++j)
-                EXPECT_EQ(c_o(i, j), c_o(j, i));
-        // Mixed A/B still matches the reference numerically.
-        MatX c2_o = MatX::identity(d) * 3.0, c2_r = c2_o;
-        symmetricDowndateInto(a, b, c2_o);
-        symmetricDowndateReference(a, b, c2_r);
-        for (int i = 0; i < d; ++i)
-            for (int j = 0; j <= i; ++j)
-                EXPECT_NEAR(c2_o(i, j), c2_r(i, j),
-                            1e-12 * std::max(1.0, c2_r.maxAbs()));
-    }
+    forEachSimdTier([&] {
+        for (int d : {15, 45, 99, 200}) {
+            const int rows = 2 * d / 3 + 1;
+            MatX a = randomMat(rows, d, 600 + d);
+            MatX b = randomMat(rows, d, 700 + d);
+            // Make a^T b numerically symmetric enough for the contract by
+            // using b = a scaled (the covariance-downdate shape); exact
+            // symmetry of the optimized output must hold regardless.
+            MatX c_o = MatX::identity(d) * 3.0;
+            MatX c_r = c_o;
+            symmetricDowndateInto(a, a, c_o);
+            symmetricDowndateReference(a, a, c_r);
+            const double scale = std::max(1.0, c_r.maxAbs());
+            EXPECT_NEAR((c_o - c_r).maxAbs() / scale, 0.0, 1e-12) << d;
+            for (int i = 0; i < d; ++i)
+                for (int j = 0; j < i; ++j)
+                    EXPECT_EQ(c_o(i, j), c_o(j, i));
+            // Mixed A/B still matches the reference numerically.
+            MatX c2_o = MatX::identity(d) * 3.0, c2_r = c2_o;
+            symmetricDowndateInto(a, b, c2_o);
+            symmetricDowndateReference(a, b, c2_r);
+            for (int i = 0; i < d; ++i)
+                for (int j = 0; j <= i; ++j)
+                    EXPECT_NEAR(c2_o(i, j), c2_r(i, j),
+                                1e-12 * std::max(1.0, c2_r.maxAbs()));
+        }
+    });
 }
 
 TEST(Blas, SyrkMatchesMultiplyTransposed)
 {
-    MatX a = randomMat(37, 80, 808);
-    MatX s, ref;
-    syrkInto(a, s);
-    multiplyTransposedReference(a, a, ref);
-    EXPECT_NEAR((s - ref).maxAbs(), 0.0, 1e-11);
+    forEachSimdTier([&] {
+        MatX a = randomMat(37, 80, 808);
+        MatX s, ref;
+        syrkInto(a, s);
+        multiplyTransposedReference(a, a, ref);
+        EXPECT_NEAR((s - ref).maxAbs(), 0.0, 1e-11);
+    });
 }
 
 TEST(MatX, ResizeReusesCapacityAndZeroFills)
@@ -620,30 +656,32 @@ TEST(MatX, RemoveRowsAndColsDropsBand)
 
 TEST(Decomp, BlockedCholeskyMatchesReferenceSweep)
 {
-    for (int d : {1, 2, 15, 31, 32, 33, 64, 100, 161, 200}) {
-        Rng rng(3000 + d);
-        MatX a = randomMat(d, d, 3000 + d);
-        MatX s = gram(a);
-        for (int i = 0; i < d; ++i)
-            s(i, i) += d;
-        Cholesky blocked(s);
-        CholeskyReference ref(s);
-        ASSERT_TRUE(blocked.ok()) << d;
-        ASSERT_TRUE(ref.ok()) << d;
-        const double scale = ref.matrixL().maxAbs();
-        EXPECT_NEAR(
-            (blocked.matrixL() - ref.matrixL()).maxAbs() / scale, 0.0,
-            1e-12)
-            << d;
+    forEachSimdTier([&] {
+        for (int d : {1, 2, 15, 31, 32, 33, 64, 100, 161, 200}) {
+            Rng rng(3000 + d);
+            MatX a = randomMat(d, d, 3000 + d);
+            MatX s = gram(a);
+            for (int i = 0; i < d; ++i)
+                s(i, i) += d;
+            Cholesky blocked(s);
+            CholeskyReference ref(s);
+            ASSERT_TRUE(blocked.ok()) << d;
+            ASSERT_TRUE(ref.ok()) << d;
+            const double scale = ref.matrixL().maxAbs();
+            EXPECT_NEAR(
+                (blocked.matrixL() - ref.matrixL()).maxAbs() / scale, 0.0,
+                1e-12)
+                << d;
 
-        VecX b(d);
-        for (int i = 0; i < d; ++i)
-            b[i] = rng.gaussian();
-        VecX xb = blocked.solve(b);
-        VecX xr = ref.solve(b);
-        for (int i = 0; i < d; ++i)
-            EXPECT_NEAR(xb[i], xr[i], 1e-9) << d;
-    }
+            VecX b(d);
+            for (int i = 0; i < d; ++i)
+                b[i] = rng.gaussian();
+            VecX xb = blocked.solve(b);
+            VecX xr = ref.solve(b);
+            for (int i = 0; i < d; ++i)
+                EXPECT_NEAR(xb[i], xr[i], 1e-9) << d;
+        }
+    });
 }
 
 TEST(Decomp, BlockedCholeskyRejectsIndefiniteLikeReference)
@@ -702,39 +740,41 @@ TEST(Decomp, ZeroSizeMatricesAreSafe)
 
 TEST(Decomp, BlockedQrMatchesReferenceSweep)
 {
-    // MSCKF-realistic grid: d in {15..200}, rows in {2..6m} per the
-    // stacked-Jacobian shapes (nullspace blocks are 2m-3 x d tall).
-    const int shapes[][2] = {{2, 1},    {3, 3},    {15, 15},  {45, 15},
-                             {40, 33},  {120, 60}, {200, 100}, {260, 65},
-                             {400, 200}};
-    for (const auto &sh : shapes) {
-        const int rows = sh[0], cols = sh[1];
-        MatX a = randomMat(rows, cols, 5000 + rows + cols);
-        HouseholderQR blocked(a);
-        HouseholderQRReference ref(a);
-        const double scale = std::max(1.0, ref.matrixR().maxAbs());
-        EXPECT_NEAR(
-            (blocked.matrixR() - ref.matrixR()).maxAbs() / scale, 0.0,
-            1e-11)
-            << rows << "x" << cols;
+    forEachSimdTier([&] {
+        // MSCKF-realistic grid: d in {15..200}, rows in {2..6m} per the
+        // stacked-Jacobian shapes (nullspace blocks are 2m-3 x d tall).
+        const int shapes[][2] = {{2, 1},    {3, 3},    {15, 15},  {45, 15},
+                                 {40, 33},  {120, 60}, {200, 100}, {260, 65},
+                                 {400, 200}};
+        for (const auto &sh : shapes) {
+            const int rows = sh[0], cols = sh[1];
+            MatX a = randomMat(rows, cols, 5000 + rows + cols);
+            HouseholderQR blocked(a);
+            HouseholderQRReference ref(a);
+            const double scale = std::max(1.0, ref.matrixR().maxAbs());
+            EXPECT_NEAR(
+                (blocked.matrixR() - ref.matrixR()).maxAbs() / scale, 0.0,
+                1e-11)
+                << rows << "x" << cols;
 
-        Rng rng(6000 + rows);
-        VecX b(rows);
-        for (int i = 0; i < rows; ++i)
-            b[i] = rng.gaussian();
-        VecX qtb_b = blocked.qtb(b);
-        VecX qtb_r = ref.qtb(b);
-        EXPECT_NEAR(qtb_b.norm(), b.norm(), 1e-9)
-            << rows << "x" << cols; // orthogonality
-        for (int i = 0; i < cols; ++i)
-            EXPECT_NEAR(qtb_b[i], qtb_r[i], 1e-9 * scale)
-                << rows << "x" << cols << " row " << i;
+            Rng rng(6000 + rows);
+            VecX b(rows);
+            for (int i = 0; i < rows; ++i)
+                b[i] = rng.gaussian();
+            VecX qtb_b = blocked.qtb(b);
+            VecX qtb_r = ref.qtb(b);
+            EXPECT_NEAR(qtb_b.norm(), b.norm(), 1e-9)
+                << rows << "x" << cols; // orthogonality
+            for (int i = 0; i < cols; ++i)
+                EXPECT_NEAR(qtb_b[i], qtb_r[i], 1e-9 * scale)
+                    << rows << "x" << cols << " row " << i;
 
-        VecX xb = blocked.solve(b);
-        VecX xr = ref.solve(b);
-        for (int i = 0; i < cols; ++i)
-            EXPECT_NEAR(xb[i], xr[i], 1e-7) << rows << "x" << cols;
-    }
+            VecX xb = blocked.solve(b);
+            VecX xr = ref.solve(b);
+            for (int i = 0; i < cols; ++i)
+                EXPECT_NEAR(xb[i], xr[i], 1e-7) << rows << "x" << cols;
+        }
+    });
 }
 
 TEST(Decomp, BlockedQrRankDeficient)
@@ -761,19 +801,21 @@ TEST(Decomp, BlockedQrRankDeficient)
 
 TEST(Decomp, QtbInPlaceMatrixMatchesColumnwiseApplication)
 {
-    MatX a = randomMat(60, 24, 888);
-    HouseholderQR qr(a);
-    MatX b = randomMat(60, 9, 889);
-    MatX out = qr.qtb(b);
-    // Column-by-column through the vector path must agree.
-    for (int c = 0; c < b.cols(); ++c) {
-        VecX col(b.rows());
-        for (int r = 0; r < b.rows(); ++r)
-            col[r] = b(r, c);
-        VecX ref = qr.qtb(col);
-        for (int r = 0; r < b.rows(); ++r)
-            EXPECT_EQ(out(r, c), ref[r]) << "col " << c << " row " << r;
-    }
+    forEachSimdTier([&] {
+        MatX a = randomMat(60, 24, 888);
+        HouseholderQR qr(a);
+        MatX b = randomMat(60, 9, 889);
+        MatX out = qr.qtb(b);
+        // Column-by-column through the vector path must agree.
+        for (int c = 0; c < b.cols(); ++c) {
+            VecX col(b.rows());
+            for (int r = 0; r < b.rows(); ++r)
+                col[r] = b(r, c);
+            VecX ref = qr.qtb(col);
+            for (int r = 0; r < b.rows(); ++r)
+                EXPECT_EQ(out(r, c), ref[r]) << "col " << c << " row " << r;
+        }
+    });
 }
 
 TEST(Decomp, ExtractRMatchesMatrixR)
@@ -831,31 +873,33 @@ TEST(Decomp, ComputeReusesAcrossShapes)
 
 TEST(Decomp, SubstituteIntoMatchesVectorSolvers)
 {
-    const int n = 40, nc = 7;
-    MatX a = randomMat(n, n, 77);
-    MatX l(n, n), u(n, n);
-    for (int i = 0; i < n; ++i)
-        for (int j = 0; j < n; ++j) {
-            if (j <= i)
-                l(i, j) = a(i, j) + (i == j ? n : 0.0);
-            if (j >= i)
-                u(i, j) = a(i, j) + (i == j ? n : 0.0);
+    forEachSimdTier([&] {
+        const int n = 40, nc = 7;
+        MatX a = randomMat(n, n, 77);
+        MatX l(n, n), u(n, n);
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < n; ++j) {
+                if (j <= i)
+                    l(i, j) = a(i, j) + (i == j ? n : 0.0);
+                if (j >= i)
+                    u(i, j) = a(i, j) + (i == j ? n : 0.0);
+            }
+        MatX b = randomMat(n, nc, 78);
+        MatX xf, xb;
+        forwardSubstituteInto(l, b, xf);
+        backwardSubstituteInto(u, b, xb);
+        for (int c = 0; c < nc; ++c) {
+            VecX col(n);
+            for (int r = 0; r < n; ++r)
+                col[r] = b(r, c);
+            VecX xfc = forwardSubstitute(l, col);
+            VecX xbc = backwardSubstitute(u, col);
+            for (int r = 0; r < n; ++r) {
+                EXPECT_EQ(xf(r, c), xfc[r]) << "fwd " << r << "," << c;
+                EXPECT_EQ(xb(r, c), xbc[r]) << "bwd " << r << "," << c;
+            }
         }
-    MatX b = randomMat(n, nc, 78);
-    MatX xf, xb;
-    forwardSubstituteInto(l, b, xf);
-    backwardSubstituteInto(u, b, xb);
-    for (int c = 0; c < nc; ++c) {
-        VecX col(n);
-        for (int r = 0; r < n; ++r)
-            col[r] = b(r, c);
-        VecX xfc = forwardSubstitute(l, col);
-        VecX xbc = backwardSubstitute(u, col);
-        for (int r = 0; r < n; ++r) {
-            EXPECT_EQ(xf(r, c), xfc[r]) << "fwd " << r << "," << c;
-            EXPECT_EQ(xb(r, c), xbc[r]) << "bwd " << r << "," << c;
-        }
-    }
+    });
 }
 
 TEST(Quat, IdentityRotatesNothing)
