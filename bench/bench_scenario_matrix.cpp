@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Adversarial-conditions regression matrix: plays every ScenarioSpec of
+ * the built-in matrix (or a spec file given as argv[1]) through the
+ * localizer with the health-monitored dead-reckoning fallback enabled,
+ * and reports per-cell ATE / RPE plus the health outcome.
+ *
+ * CI accuracy gates (process exits 1 on violation):
+ *   EDX_ATE_CEILING_ALL         whole-run ATE ceiling for every cell, m
+ *   EDX_ATE_CEILING_<SCENARIO>  per-scenario override (name uppercased,
+ *                               '-' -> '_'; e.g. EDX_ATE_CEILING_KIDNAP_
+ *                               REGISTRATION), m
+ *   EDX_RPE_CEILING_ALL         translational RPE ceiling, m per delta
+ *   EDX_TAIL_ATE_CEILING_ALL    post-degradation tail ATE ceiling, m
+ *                               (the re-convergence gate)
+ */
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/scenario_runner.hpp"
+
+using namespace edx;
+using namespace edx::bench;
+
+namespace {
+
+/** EDX_<prefix>_<NAME> with the scenario name uppercased, '-' -> '_'. */
+std::string
+envKey(const std::string &prefix, const std::string &scenario)
+{
+    std::string key = prefix + "_";
+    for (char c : scenario)
+        key += c == '-' ? '_'
+                        : static_cast<char>(
+                              std::toupper(static_cast<unsigned char>(c)));
+    return key;
+}
+
+/** The scenario's ceiling: per-scenario override, else _ALL, else -1. */
+double
+ceilingFor(const std::string &prefix, const std::string &scenario)
+{
+    if (const char *env = std::getenv(envKey(prefix, scenario).c_str()))
+        return std::atof(env);
+    if (const char *env = std::getenv((prefix + "_ALL").c_str()))
+        return std::atof(env);
+    return -1.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    banner("scenario matrix",
+           "adversarial-conditions accuracy regression (ATE/RPE gates)");
+
+    std::string text;
+    if (argc > 1) {
+        std::ifstream in(argv[1]);
+        if (!in) {
+            std::cerr << "cannot open spec file: " << argv[1] << "\n";
+            return 2;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+        note(std::string("spec file: ") + argv[1]);
+    } else {
+        text = standardScenarioMatrixText();
+        note("built-in standard matrix");
+    }
+
+    std::vector<ScenarioSpec> specs;
+    try {
+        specs = parseScenarioSpecs(text);
+    } catch (const std::invalid_argument &e) {
+        std::cerr << "spec parse error: " << e.what() << "\n";
+        return 2;
+    }
+
+    Table t({"scenario", "mode", "ATE (m)", "max (m)", "RPE (m)",
+             "RPE (deg)", "tail ATE", "DR frames", "failed"});
+    int violations = 0;
+    int cells = 0;
+
+    for (const ScenarioSpec &spec : specs) {
+        for (BackendMode mode : spec.effectiveModes()) {
+            ScenarioCellResult cell = runScenarioCell(spec, mode);
+            ++cells;
+
+            const bool has_tail = cell.tail_start <
+                                  static_cast<int>(cell.frames.size());
+            t.addRow({cell.scenario, modeName(mode),
+                      fmt(cell.error.rmse_m, 3), fmt(cell.error.max_m, 3),
+                      fmt(cell.error.rpe_m, 3),
+                      fmt(cell.error.rpe_deg, 2),
+                      has_tail ? fmt(cell.tail_error.rmse_m, 3) : "-",
+                      std::to_string(cell.dead_reckoned_frames),
+                      std::to_string(cell.failed_frames)});
+
+            const double ate_ceiling =
+                ceilingFor("EDX_ATE_CEILING", spec.name);
+            if (ate_ceiling > 0.0 && cell.error.rmse_m > ate_ceiling) {
+                std::cerr << "GATE VIOLATION: " << spec.name << "/"
+                          << modeName(mode) << " ATE " << cell.error.rmse_m
+                          << " m > ceiling " << ate_ceiling << " m\n";
+                ++violations;
+            }
+            const double rpe_ceiling =
+                ceilingFor("EDX_RPE_CEILING", spec.name);
+            if (rpe_ceiling > 0.0 && cell.error.rpe_m > rpe_ceiling) {
+                std::cerr << "GATE VIOLATION: " << spec.name << "/"
+                          << modeName(mode) << " RPE " << cell.error.rpe_m
+                          << " m > ceiling " << rpe_ceiling << " m\n";
+                ++violations;
+            }
+            const double tail_ceiling =
+                ceilingFor("EDX_TAIL_ATE_CEILING", spec.name);
+            if (tail_ceiling > 0.0 && has_tail &&
+                cell.tail_error.rmse_m > tail_ceiling) {
+                std::cerr << "GATE VIOLATION: " << spec.name << "/"
+                          << modeName(mode) << " tail ATE "
+                          << cell.tail_error.rmse_m << " m > ceiling "
+                          << tail_ceiling << " m\n";
+                ++violations;
+            }
+        }
+    }
+    t.print();
+
+    note(std::to_string(cells) + " matrix cells over " +
+         std::to_string(specs.size()) + " scenarios");
+    if (violations > 0) {
+        std::cerr << violations << " accuracy gate violation(s)\n";
+        return 1;
+    }
+    note("all accuracy gates passed");
+    return 0;
+}

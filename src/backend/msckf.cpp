@@ -174,8 +174,12 @@ Msckf::propagate(const std::vector<ImuSample> &samples)
     StageTimer timer(timing_.imu_ms);
     for (const ImuSample &s : samples) {
         double dt = s.t - t_;
-        // Guard against out-of-order or duplicate samples.
-        if (dt > 0.0 && dt < 0.5)
+        // Guard against out-of-order, duplicate, and near-duplicate
+        // samples (same epsilon as sanitizeImuBatch(): a subnormal dt
+        // would pass a plain dt > 0 check and inject a degenerate
+        // process-noise step). Batches from Dataset arrive sanitized;
+        // this keeps the filter safe for any other caller.
+        if (dt > 1e-12 && dt < 0.5)
             propagateOne(s, dt);
         else if (dt >= 0.5)
             t_ = s.t; // gap: re-anchor the clock, skip integration

@@ -10,7 +10,7 @@ namespace edx {
 
 TrajectoryError
 computeTrajectoryError(const std::vector<Pose> &estimate,
-                       const std::vector<Pose> &truth)
+                       const std::vector<Pose> &truth, int rpe_delta)
 {
     assert(estimate.size() == truth.size());
     TrajectoryError err;
@@ -31,6 +31,30 @@ computeTrajectoryError(const std::vector<Pose> &estimate,
     err.rmse_m = std::sqrt(sum_sq / estimate.size());
     err.mean_rot_deg = sum_rot / estimate.size() * 180.0 / M_PI;
     err.relative_percent = path > 0.0 ? 100.0 * err.rmse_m / path : 0.0;
+
+    // Relative pose error: estimated vs. true motion increment over
+    // delta-spaced frame pairs.
+    const int n = err.frames;
+    int delta = rpe_delta > 0 ? rpe_delta : 1;
+    if (delta >= n)
+        delta = n - 1;
+    if (delta > 0) {
+        double rpe_sq = 0.0, rpe_rot = 0.0;
+        int pairs = 0;
+        for (int i = 0; i + delta < n; ++i) {
+            Pose est_inc = estimate[i].inverse() * estimate[i + delta];
+            Pose tru_inc = truth[i].inverse() * truth[i + delta];
+            Pose::Delta d = est_inc.distanceTo(tru_inc);
+            rpe_sq += d.translational * d.translational;
+            rpe_rot += d.rotational;
+            ++pairs;
+        }
+        if (pairs > 0) {
+            err.rpe_m = std::sqrt(rpe_sq / pairs);
+            err.rpe_deg = rpe_rot / pairs * 180.0 / M_PI;
+            err.rpe_delta = delta;
+        }
+    }
     return err;
 }
 

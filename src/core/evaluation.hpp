@@ -25,19 +25,34 @@ namespace edx {
 /** Trajectory accuracy summary (Fig. 3 metrics). */
 struct TrajectoryError
 {
-    double rmse_m = 0.0;          //!< RMSE of translational error
+    double rmse_m = 0.0;          //!< ATE: RMSE of translational error
     double max_m = 0.0;           //!< worst-frame translational error
     double mean_rot_deg = 0.0;    //!< mean rotational error
     double relative_percent = 0.0; //!< RMSE / path length * 100
+
+    /**
+     * Relative pose error over a fixed frame delta: the error of the
+     * estimated motion increment against the true one, RMSE over all
+     * delta-spaced pairs. Unlike the ATE above it is immune to the
+     * global drift a dead-reckoning stretch accumulates, so the
+     * scenario matrix gates both — ATE bounds total drift, RPE bounds
+     * local consistency.
+     */
+    double rpe_m = 0.0;           //!< translational RPE, m per delta
+    double rpe_deg = 0.0;         //!< rotational RPE, deg per delta
+    int rpe_delta = 0;            //!< frame spacing used for the RPE
+
     int frames = 0;
 };
 
 /**
  * Compares an estimated trajectory against ground truth (same length,
- * same frame indices).
+ * same frame indices). @p rpe_delta is the frame spacing of the
+ * relative-pose-error pairs (clamped to the trajectory length).
  */
 TrajectoryError computeTrajectoryError(const std::vector<Pose> &estimate,
-                                       const std::vector<Pose> &truth);
+                                       const std::vector<Pose> &truth,
+                                       int rpe_delta = 10);
 
 /** Vocabulary/map builder settings. */
 struct MapBuildConfig

@@ -1,0 +1,113 @@
+#include "core/health.hpp"
+
+namespace edx {
+
+const char *
+healthName(TrackingHealth h)
+{
+    switch (h) {
+      case TrackingHealth::Nominal:
+        return "nominal";
+      case TrackingHealth::Degraded:
+        return "degraded";
+      case TrackingHealth::DeadReckoning:
+        return "dead-reckoning";
+      case TrackingHealth::Recovering:
+        return "recovering";
+    }
+    return "?";
+}
+
+bool
+HealthMonitor::frameGood(const HealthSignals &sig) const
+{
+    if (!sig.have_images)
+        return false;
+    if (!sig.solve_ok)
+        return false;
+    if (sig.features < cfg_.min_features)
+        return false;
+    if (sig.stereo_matches < cfg_.min_stereo_matches)
+        return false;
+    if (sig.inliers >= 0 && sig.inliers < cfg_.min_inliers)
+        return false;
+    if (sig.solve_ok && inlierCollapse(sig.inliers))
+        return false;
+    if (sig.position_cov_trace >= 0.0 &&
+        sig.position_cov_trace > cfg_.max_position_cov_trace)
+        return false;
+    return true;
+}
+
+void
+HealthMonitor::moveTo(TrackingHealth next)
+{
+    if (next == state_)
+        return;
+    state_ = next;
+    ++transitions_;
+}
+
+TrackingHealth
+HealthMonitor::update(const HealthSignals &sig)
+{
+    last_good_ = frameGood(sig);
+    if (last_good_) {
+        ++good_streak_;
+        bad_streak_ = 0;
+        // The baseline follows good frames only, so a sustained
+        // collapse cannot drag its own reference level down with it.
+        if (sig.inliers >= 0)
+            inlier_ema_ = inlier_ema_ < 0.0
+                              ? sig.inliers
+                              : (1.0 - cfg_.inlier_baseline_alpha) *
+                                        inlier_ema_ +
+                                    cfg_.inlier_baseline_alpha *
+                                        sig.inliers;
+    } else {
+        ++bad_streak_;
+        good_streak_ = 0;
+    }
+
+    switch (state_) {
+      case TrackingHealth::Nominal:
+        if (!last_good_)
+            moveTo(bad_streak_ >= cfg_.degrade_frames
+                       ? TrackingHealth::DeadReckoning
+                       : TrackingHealth::Degraded);
+        break;
+      case TrackingHealth::Degraded:
+        if (last_good_)
+            moveTo(TrackingHealth::Nominal);
+        else if (bad_streak_ >= cfg_.degrade_frames)
+            moveTo(TrackingHealth::DeadReckoning);
+        break;
+      case TrackingHealth::DeadReckoning:
+        if (last_good_)
+            moveTo(good_streak_ >= cfg_.recover_frames
+                       ? TrackingHealth::Nominal
+                       : TrackingHealth::Recovering);
+        break;
+      case TrackingHealth::Recovering:
+        if (!last_good_)
+            moveTo(TrackingHealth::DeadReckoning);
+        else if (good_streak_ >= cfg_.recover_frames)
+            moveTo(TrackingHealth::Nominal);
+        break;
+    }
+
+    ++frames_in_[static_cast<int>(state_)];
+    return state_;
+}
+
+void
+HealthMonitor::reset()
+{
+    state_ = TrackingHealth::Nominal;
+    bad_streak_ = 0;
+    good_streak_ = 0;
+    last_good_ = true;
+    inlier_ema_ = -1.0;
+}
+
+} // namespace edx

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tracking-quality health monitor: the state machine behind the
+ * degraded-sensing fallback (ROADMAP "scenario diversity" item).
+ *
+ * A commercial deployment cannot assume the vision stream stays
+ * usable: motion blur, low light, occlusion and outright frame drops
+ * all collapse the frontend's feature yield, and a localizer that
+ * keeps reporting confident poses through such a collapse is worse
+ * than one that fails loudly. The monitor turns the signals the frame
+ * path already produces — tracked-feature count, solver success,
+ * inlier count, covariance growth, IMU/GPS staleness — into an
+ * explicit per-session quality state:
+ *
+ *   NOMINAL --bad frame--> DEGRADED --sustained--> DEAD_RECKONING
+ *      ^                      |                        |
+ *      |                      +----good frame----+     | good frame
+ *      |                                         v     v
+ *      +------sustained good frames--------- RECOVERING
+ *
+ * DEGRADED is a debounce band: a single blurry frame must not flip a
+ * session into fallback. DEAD_RECKONING means vision is unusable and
+ * the localizer is propagating from internal sensors only
+ * (sensors/dead_reckoning.hpp); the pose stream stays continuous but
+ * is explicitly flagged — downstream consumers (planner, pool QoS)
+ * see the flag in FrameTelemetry/PoolStats, so a dead-reckoned pose
+ * is never mistaken for a vision-confirmed one. RECOVERING debounces
+ * the way back: vision must hold for a streak of frames before the
+ * session is NOMINAL again.
+ *
+ * The monitor is pure bookkeeping (no clock, no allocation) so it can
+ * sit on the frame hot path of whichever backend sub-stage owns the
+ * session's pose history.
+ */
+#pragma once
+
+namespace edx {
+
+/** Tracking-quality state of one localization session. */
+enum class TrackingHealth
+{
+    Nominal = 0,       //!< vision healthy, pose vision-confirmed
+    Degraded = 1,      //!< vision marginal; debouncing toward fallback
+    DeadReckoning = 2, //!< vision collapsed; internal-sensor propagation
+    Recovering = 3,    //!< vision back; debouncing toward nominal
+};
+
+constexpr int kTrackingHealthStates = 4;
+
+/** Display name of a health state ("nominal", ...). */
+const char *healthName(TrackingHealth h);
+
+/** Health state machine thresholds. */
+struct HealthConfig
+{
+    /**
+     * Master switch of the dead-reckoning fallback: off (the default)
+     * preserves the legacy behaviour exactly — the monitor still
+     * classifies frames, but the localizer never substitutes the
+     * dead-reckoned pose, so existing pose streams stay bit-identical.
+     */
+    bool enable_fallback = false;
+
+    /** A frame with fewer detected features than this is "bad". */
+    int min_features = 24;
+
+    /** A frame with fewer stereo matches than this is "bad". */
+    int min_stereo_matches = 10;
+
+    /**
+     * A solved frame whose inlier count (tracking modes) falls below
+     * this is "bad" even when the solver reported success.
+     */
+    int min_inliers = 8;
+
+    /**
+     * Relative inlier-collapse detector: a solved frame whose inlier
+     * count falls below this fraction of the session's running (EMA)
+     * inlier baseline is "bad" even when it clears min_inliers. This
+     * is what catches kidnapped-robot aliasing — a mis-localized
+     * tracker still scrapes together a handful of geometrically false
+     * inliers, far above any sane absolute floor but two orders of
+     * magnitude under its own nominal level. <= 0 disables.
+     */
+    double inlier_collapse_frac = 0.15;
+
+    /** EMA weight of a new good frame in the inlier baseline. */
+    double inlier_baseline_alpha = 0.1;
+
+    /**
+     * VIO: position-block covariance trace above this means the filter
+     * has been starved of updates long enough to be untrustworthy, m^2.
+     */
+    double max_position_cov_trace = 4.0;
+
+    /** Consecutive bad frames in DEGRADED before DEAD_RECKONING. */
+    int degrade_frames = 2;
+
+    /** Consecutive good frames in RECOVERING before NOMINAL. */
+    int recover_frames = 3;
+};
+
+/** Per-frame quality signals fed to the monitor. */
+struct HealthSignals
+{
+    bool have_images = true;  //!< frame carried a stereo pair at all
+    int features = 0;         //!< frontend left-image feature count
+    int stereo_matches = 0;   //!< frontend stereo correspondences
+    bool solve_ok = false;    //!< mode backend produced a vision pose
+    int inliers = -1;         //!< tracking inliers (-1: not applicable)
+    double position_cov_trace = -1.0; //!< VIO pos. cov trace (-1: n/a)
+    int imu_samples = 0;      //!< IMU samples delivered with the frame
+    bool gps_valid = false;   //!< frame carried a valid GPS fix
+};
+
+/** The per-session tracking-quality state machine. */
+class HealthMonitor
+{
+  public:
+    explicit HealthMonitor(const HealthConfig &cfg = {}) : cfg_(cfg) {}
+
+    /** Classifies one frame and advances the state machine. */
+    TrackingHealth update(const HealthSignals &sig);
+
+    TrackingHealth state() const { return state_; }
+
+    /** Whether the last update()'s frame classified as vision-good. */
+    bool lastFrameGood() const { return last_good_; }
+
+    /** Running inlier baseline of good frames (-1: not established). */
+    double inlierBaseline() const { return inlier_ema_; }
+
+    /**
+     * True when @p inliers is a collapse relative to the session's
+     * baseline (see HealthConfig::inlier_collapse_frac). The backend
+     * may consult this mid-frame — before update() — to escalate, e.g.
+     * force a relocalization attempt instead of trusting a marginal
+     * prediction-tracked pose.
+     */
+    bool
+    inlierCollapse(int inliers) const
+    {
+        return cfg_.inlier_collapse_frac > 0.0 && inlier_ema_ > 0.0 &&
+               inliers >= 0 &&
+               inliers < cfg_.inlier_collapse_frac * inlier_ema_;
+    }
+
+    /** Frames spent in each state (indexed by TrackingHealth). */
+    long framesIn(TrackingHealth h) const
+    {
+        return frames_in_[static_cast<int>(h)];
+    }
+
+    /** Total state-machine transitions so far. */
+    long transitions() const { return transitions_; }
+
+    /** Resets to NOMINAL (session re-initialization). */
+    void reset();
+
+    const HealthConfig &config() const { return cfg_; }
+
+  private:
+    bool frameGood(const HealthSignals &sig) const;
+    void moveTo(TrackingHealth next);
+
+    HealthConfig cfg_;
+    TrackingHealth state_ = TrackingHealth::Nominal;
+    int bad_streak_ = 0;
+    int good_streak_ = 0;
+    bool last_good_ = true;
+    double inlier_ema_ = -1.0;
+    long transitions_ = 0;
+    long frames_in_[kTrackingHealthStates] = {0, 0, 0, 0};
+};
+
+} // namespace edx

@@ -16,7 +16,8 @@ configForScenario(SceneType scene)
 
 Localizer::Localizer(const LocalizerConfig &cfg, const StereoRig &rig,
                      const Vocabulary *vocabulary, const Map *prior_map)
-    : cfg_(cfg), rig_(rig), voc_(vocabulary), frontend_(cfg.frontend)
+    : cfg_(cfg), rig_(rig), voc_(vocabulary), frontend_(cfg.frontend),
+      health_(cfg.health), reckoner_(cfg.dead_reckoning)
 {
     switch (cfg_.mode) {
       case BackendMode::Vio:
@@ -68,6 +69,8 @@ Localizer::initialize(const Pose &start_pose, double t,
     last_pose_ = start_pose;
     prev_pose_.reset();
     last_frame_t_ = t;
+    health_.reset();
+    reckoner_.seed(start_pose, t, start_velocity);
     initialized_ = true;
 }
 
@@ -159,10 +162,10 @@ Localizer::runBackendSolve(const FrameInput &input, const FrontendOutput &fe,
         processVioSolve(input, fe, ctx);
         break;
       case BackendMode::Slam:
-        processSlamSolve(fe, ctx);
+        processSlamSolve(input, fe, ctx);
         break;
       case BackendMode::Registration:
-        processRegistrationSolve(fe, ctx);
+        processRegistrationSolve(input, fe, ctx);
         break;
     }
 }
@@ -177,7 +180,7 @@ Localizer::runBackendFinish(const FrameInput &input, const FrontendOutput &fe,
     }
     switch (cfg_.mode) {
       case BackendMode::Vio:
-        processVioFinish(input, ctx);
+        processVioFinish(input, fe, ctx);
         break;
       case BackendMode::Slam:
         processSlamFinish(ctx);
@@ -205,14 +208,90 @@ Localizer::runBackend(const FrameInput &input, const FrontendOutput &fe)
 LocalizationResult
 Localizer::processFrame(const FrameInput &input)
 {
-    // Frames before initialize() (or without images) cannot be
-    // localized; report failure rather than asserting so release builds
-    // degrade gracefully.
-    if (!initialized_ || !input.hasImages())
+    // Frames before initialize() cannot be localized; report failure
+    // rather than asserting so release builds degrade gracefully.
+    if (!initialized_)
         return rejectFrame(input.frame_index);
+
+    // A frame with no imagery at all (camera dropout). With the
+    // fallback enabled the session dead-reckons through it; otherwise
+    // the legacy reject path.
+    if (!input.hasImages()) {
+        if (cfg_.health.enable_fallback)
+            return deadReckonFrame(input);
+        return rejectFrame(input.frame_index);
+    }
 
     FrontendOutput fe = runFrontend(input.left, input.right);
     return runBackend(input, fe);
+}
+
+LocalizationResult
+Localizer::deadReckonFrame(const FrameInput &input)
+{
+    LocalizationResult res;
+    res.frame_index = input.frame_index;
+    res.mode = cfg_.mode;
+
+    // Keep the VIO filter's clock aligned with the session clock so it
+    // propagates across the gap rather than re-anchoring when imagery
+    // returns.
+    if (cfg_.mode == BackendMode::Vio)
+        msckf_->propagate(input.imu);
+
+    HealthSignals sig;
+    sig.have_images = false;
+    sig.imu_samples = static_cast<int>(input.imu.size());
+    sig.gps_valid = input.gps.valid;
+    applyHealth(input, nullptr, sig, Vec3::zero(), res);
+    updatePoseHistory(res);
+
+    last_frame_t_ = input.t;
+    return res;
+}
+
+void
+Localizer::applyHealth(const FrameInput &input, const FrontendOutput *fe,
+                       HealthSignals sig, const Vec3 &vio_velocity,
+                       LocalizationResult &res)
+{
+    if (fe) {
+        sig.features = fe->workload.left_features;
+        sig.stereo_matches = fe->workload.stereo_matches;
+    }
+    sig.imu_samples = static_cast<int>(input.imu.size());
+    sig.gps_valid = input.gps.valid;
+
+    health_.update(sig);
+    res.telemetry.health = health_.state();
+
+    if (health_.lastFrameGood() && res.ok) {
+        // Vision confirmed this pose: re-seed the reckoner so the
+        // dead-reckoning horizon is always "since the last good frame".
+        Vec3 vel = Vec3::zero();
+        if (cfg_.mode == BackendMode::Vio) {
+            vel = vio_velocity; // solve-stage snapshot, not msckf_
+        } else if (last_pose_) {
+            const double dt = input.t - last_frame_t_;
+            if (dt > 1e-6)
+                vel = (res.pose.translation - last_pose_->translation) *
+                      (1.0 / dt);
+        }
+        reckoner_.seed(res.pose, input.t, vel);
+        return;
+    }
+
+    // Vision-bad frame: advance the internal-sensor track regardless,
+    // so it is current the moment the state machine commits to it.
+    reckoner_.propagate(input.imu, input.odometry, input.t);
+
+    if (cfg_.health.enable_fallback &&
+        health_.state() == TrackingHealth::DeadReckoning &&
+        reckoner_.seeded()) {
+        res.pose = reckoner_.pose();
+        res.ok = true;
+        res.telemetry.dead_reckoned = true;
+    }
 }
 
 void
@@ -233,10 +312,20 @@ Localizer::processVioSolve(const FrameInput &input, const FrontendOutput &fe,
     res.telemetry.msckf_workload = msckf_->lastWorkload();
     res.pose = msckf_->pose();
     res.ok = true;
+
+    // Snapshot the filter state the finish sub-stage needs: by the
+    // time finish runs, the next frame's solve may already be
+    // propagating the filter on another worker.
+    ctx.vio_velocity = msckf_->velocity();
+    const MatX &cov = msckf_->covariance();
+    if (cov.rows() >= 15)
+        ctx.vio_pos_cov_trace =
+            cov(12, 12) + cov(13, 13) + cov(14, 14);
 }
 
 void
-Localizer::processVioFinish(const FrameInput &input, BackendStageContext &ctx)
+Localizer::processVioFinish(const FrameInput &input, const FrontendOutput &fe,
+                            BackendStageContext &ctx)
 {
     LocalizationResult &res = ctx.res;
     if (fusion_) {
@@ -245,13 +334,18 @@ Localizer::processVioFinish(const FrameInput &input, BackendStageContext &ctx)
         fusion_->fuse(res.pose.translation, input.gps, dt);
         res.pose = fusion_->correct(res.pose);
     }
-    // VIO owns its pose history in the finish sub-stage (the fused pose
-    // is the final one); nothing in the VIO solve sub-stage reads it.
+    // Health + fallback run where VIO owns its pose history (the fused
+    // pose is the final one); nothing in the VIO solve sub-stage reads
+    // either.
+    HealthSignals sig;
+    sig.solve_ok = res.ok;
+    sig.position_cov_trace = ctx.vio_pos_cov_trace;
+    applyHealth(input, &fe, sig, ctx.vio_velocity, res);
     updatePoseHistory(res);
 }
 
 void
-Localizer::processSlamSolve(const FrontendOutput &fe,
+Localizer::processSlamSolve(const FrameInput &input, const FrontendOutput &fe,
                             BackendStageContext &ctx)
 {
     LocalizationResult &res = ctx.res;
@@ -268,6 +362,9 @@ Localizer::processSlamSolve(const FrontendOutput &fe,
     Pose estimate = prediction.value_or(Pose::identity());
     bool have_estimate = prediction.has_value();
 
+    HealthSignals sig;
+    bool tracked_this_frame = false;
+
     // Tracking against the latest map (runs on every frame). On the
     // very first frames the map is empty and tracking reports lost; the
     // mapper bootstraps from the initial pose. Tracking only *reads*
@@ -277,6 +374,11 @@ Localizer::processSlamSolve(const FrontendOutput &fe,
         TrackingResult tr = slam_tracker_->track(fe, prediction);
         res.telemetry.tracking = tr.timing;
         res.telemetry.tracking_workload = tr.workload;
+        tracked_this_frame = true;
+        sig.solve_ok = tr.ok;
+        sig.inliers = tr.inliers;
+        res.telemetry.tracking_inliers = tr.inliers;
+        res.telemetry.relocalized = tr.relocalized;
         if (tr.ok) {
             estimate = tr.pose;
             have_estimate = true;
@@ -309,6 +411,12 @@ Localizer::processSlamSolve(const FrontendOutput &fe,
 
     res.pose = mr.keyframe_added ? mr.pose : estimate;
     res.ok = have_estimate || mr.keyframe_added;
+    if (!tracked_this_frame) {
+        // Map still bootstrapping: the mapper anchors the pose, so the
+        // frame counts as solved even though tracking never ran.
+        sig.solve_ok = res.ok;
+    }
+    applyHealth(input, &fe, sig, Vec3::zero(), res);
     updatePoseHistory(res);
 }
 
@@ -327,7 +435,8 @@ Localizer::processSlamFinish(BackendStageContext &ctx)
 }
 
 void
-Localizer::processRegistrationSolve(const FrontendOutput &fe,
+Localizer::processRegistrationSolve(const FrameInput &input,
+                                    const FrontendOutput &fe,
                                     BackendStageContext &ctx)
 {
     LocalizationResult &res = ctx.res;
@@ -350,6 +459,21 @@ Localizer::processRegistrationSolve(const FrontendOutput &fe,
         reloc.timing.match_ms += tr.timing.match_ms;
         reloc.timing.pose_opt_ms += tr.timing.pose_opt_ms;
         tr = reloc;
+    } else if (tr.ok && health_.inlierCollapse(tr.inliers)) {
+        // Tracking "succeeded" but its inlier count collapsed against
+        // the session's own baseline — the kidnapped-robot signature:
+        // a mis-localized prediction scrapes together a few aliased
+        // inliers and would otherwise drift for dozens of frames
+        // before failing outright. Force a BoW relocalization attempt
+        // and take it when it is decisively better.
+        TrackingResult reloc = reg_tracker_->track(fe, std::nullopt);
+        if (reloc.ok && reloc.inliers > 2 * tr.inliers) {
+            reloc.timing.update_ms += tr.timing.update_ms;
+            reloc.timing.projection_ms += tr.timing.projection_ms;
+            reloc.timing.match_ms += tr.timing.match_ms;
+            reloc.timing.pose_opt_ms += tr.timing.pose_opt_ms;
+            tr = reloc;
+        }
     }
     res.telemetry.tracking = tr.timing;
     res.telemetry.tracking_workload = tr.workload;
@@ -360,6 +484,12 @@ Localizer::processRegistrationSolve(const FrontendOutput &fe,
         res.pose = last_pose_.value_or(Pose::identity());
         res.ok = false;
     }
+    res.telemetry.tracking_inliers = tr.inliers;
+    res.telemetry.relocalized = tr.relocalized;
+    HealthSignals sig;
+    sig.solve_ok = tr.ok;
+    sig.inliers = tr.inliers;
+    applyHealth(input, &fe, sig, Vec3::zero(), res);
     updatePoseHistory(res);
 }
 

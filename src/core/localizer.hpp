@@ -33,9 +33,12 @@
 #include "backend/mapping.hpp"
 #include "backend/msckf.hpp"
 #include "backend/tracking.hpp"
+#include "core/health.hpp"
 #include "frontend/frontend.hpp"
 #include "runtime/telemetry.hpp"
+#include "sensors/dead_reckoning.hpp"
 #include "sensors/gps.hpp"
+#include "sensors/odometry.hpp"
 #include "sim/scenario.hpp"
 
 namespace edx {
@@ -52,6 +55,17 @@ struct LocalizerConfig
     MappingConfig mapping;
     TrackingConfig tracking;
     FusionConfig fusion;
+
+    /**
+     * Tracking-quality monitor thresholds and the dead-reckoning
+     * fallback switch (core/health.hpp). The monitor always runs and
+     * stamps FrameTelemetry::health; only with
+     * health.enable_fallback does the localizer substitute the
+     * internal-sensor pose when vision collapses — off, pose streams
+     * are bit-identical to the pre-health builds.
+     */
+    HealthConfig health;
+    DeadReckoningConfig dead_reckoning;
 };
 
 /** Per-frame result: pose + the unified telemetry record. */
@@ -88,6 +102,13 @@ struct FrameInput
     std::vector<ImuSample> imu; //!< samples since the previous frame
     GpsSample gps;              //!< most recent fix (may be invalid)
 
+    /**
+     * Wheel-odometry samples since the previous frame (may be empty;
+     * consumed by the dead-reckoning fallback, never by the vision
+     * path).
+     */
+    std::vector<WheelOdometrySample> odometry;
+
     /** True when both stereo images are present. */
     bool hasImages() const { return !left.empty() && !right.empty(); }
 };
@@ -105,6 +126,16 @@ struct BackendStageContext
     LocalizationResult res; //!< progressively completed result
     long seq = -1;          //!< backend frame sequence number
     bool rejected = false;  //!< frame could not be localized
+
+    /**
+     * VIO filter-state snapshots taken in the solve sub-stage. The
+     * finish sub-stage (health classification, reckoner seeding) must
+     * consume these instead of touching the Msckf: the filter is
+     * owned by solve, and finish of frame N overlaps solve of frame
+     * N+1 on another pipeline worker.
+     */
+    Vec3 vio_velocity = Vec3::zero();
+    double vio_pos_cov_trace = -1.0;
 };
 
 /** The unified localizer. */
@@ -208,15 +239,46 @@ class Localizer
     BackendMode mode() const { return cfg_.mode; }
     const LocalizerConfig &config() const { return cfg_; }
 
+    /**
+     * Tracking-quality state after the most recent frame. Touched by
+     * the backend sub-stage that owns the session's pose history, so
+     * it is safe to read between frames (e.g. after drain()).
+     */
+    TrackingHealth health() const { return health_.state(); }
+    const HealthMonitor &healthMonitor() const { return health_; }
+
   private:
     void processVioSolve(const FrameInput &input, const FrontendOutput &fe,
                          BackendStageContext &ctx);
-    void processVioFinish(const FrameInput &input, BackendStageContext &ctx);
-    void processSlamSolve(const FrontendOutput &fe,
+    void processVioFinish(const FrameInput &input, const FrontendOutput &fe,
+                          BackendStageContext &ctx);
+    void processSlamSolve(const FrameInput &input, const FrontendOutput &fe,
                           BackendStageContext &ctx);
     void processSlamFinish(BackendStageContext &ctx);
-    void processRegistrationSolve(const FrontendOutput &fe,
+    void processRegistrationSolve(const FrameInput &input,
+                                  const FrontendOutput &fe,
                                   BackendStageContext &ctx);
+
+    /**
+     * Runs the health state machine over one frame's signals and,
+     * when the fallback is enabled and vision has collapsed,
+     * substitutes the dead-reckoned pose into @p res. Called by the
+     * backend sub-stage that owns the pose history (solve for
+     * SLAM/registration, finish for VIO) immediately before
+     * updatePoseHistory(), so the fallback pose also seeds the next
+     * frame's prediction.
+     *
+     * @p vio_velocity is the solve-stage snapshot of the filter
+     * velocity (used to seed the reckoner in VIO mode); the finish
+     * stage must not read the Msckf directly, as the next frame's
+     * solve may be propagating it concurrently.
+     */
+    void applyHealth(const FrameInput &input, const FrontendOutput *fe,
+                     HealthSignals sig, const Vec3 &vio_velocity,
+                     LocalizationResult &res);
+
+    /** Dead-reckon through a frame that carried no images at all. */
+    LocalizationResult deadReckonFrame(const FrameInput &input);
 
     /** Folds the just-solved pose into the prediction history. */
     void updatePoseHistory(const LocalizationResult &res);
@@ -255,6 +317,13 @@ class Localizer
     std::optional<Pose> last_pose_;
     std::optional<Pose> prev_pose_;
     bool initialized_ = false;
+
+    // Tracking-quality monitor + internal-sensor fallback. Owned by
+    // the same sub-stage as the pose history (solve for SLAM/
+    // registration, finish for VIO), so no extra synchronization is
+    // needed under the staged runtime.
+    HealthMonitor health_;
+    DeadReckoner reckoner_;
 
     // solve | finish sequencing: finish(N) publishes before the parts
     // of solve(N+1) that consume its outputs run (SLAM pending apply).

@@ -1,0 +1,123 @@
+#include "core/scenario_runner.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace edx {
+
+FrameInput
+degradedFrameInput(const DegradedDataset &dd, int i)
+{
+    DatasetFrame f = dd.frame(i);
+    FrameInput in;
+    in.frame_index = i;
+    in.t = f.t;
+    in.left = std::move(f.stereo.left);
+    in.right = std::move(f.stereo.right);
+    in.imu = dd.imuBetweenFrames(i);
+    in.gps = dd.gpsAtFrame(i);
+    in.odometry = dd.odometryBetweenFrames(i);
+    return in;
+}
+
+/** First frame after every event window has closed (clamped). */
+static int
+tailStart(const ScenarioSpec &spec)
+{
+    int start = 0;
+    for (const DegradationEvent &e : spec.events)
+        start = std::max(start, std::min(e.to, spec.frames));
+    return std::min(start, spec.frames);
+}
+
+ScenarioCellResult
+runScenarioCell(const ScenarioSpec &spec, BackendMode mode,
+                const ScenarioRunOptions &opt)
+{
+    DegradedDataset dd(spec);
+
+    LocalizerConfig lcfg = configForScenario(spec.scene);
+    lcfg.mode = mode;
+    if (lcfg.mode != BackendMode::Vio)
+        lcfg.use_gps = false;
+    lcfg.health.enable_fallback = opt.enable_fallback;
+    lcfg.dead_reckoning.use_wheel_odometry = spec.wheel_odometry;
+    if (opt.tune)
+        opt.tune(lcfg);
+
+    // Offline assets from the clean base dataset. The base is
+    // over-provisioned past any teleport, so the vocabulary and the
+    // registration prior map cover the kidnapped robot's destination —
+    // relocalization is possible by construction and the test measures
+    // whether the tracker actually achieves it.
+    std::unique_ptr<Vocabulary> voc;
+    std::unique_ptr<Map> prior;
+    if (lcfg.mode != BackendMode::Vio) {
+        voc = std::make_unique<Vocabulary>(
+            buildVocabulary(dd.base(), /*frame_stride=*/10));
+        if (lcfg.mode == BackendMode::Registration) {
+            MapBuildConfig mcfg;
+            mcfg.seed = spec.seed + 1;
+            if (!scenarioTraits(spec.scene).indoor) {
+                mcfg.point_noise_m = 0.35;
+                mcfg.pose_noise_m = 0.25;
+            }
+            prior = std::make_unique<Map>(
+                buildPriorMap(dd.base(), *voc, mcfg));
+        }
+    }
+
+    Localizer loc(lcfg, dd.rig(), voc.get(), prior.get());
+    loc.initialize(dd.truthAt(0), 0.0,
+                   dd.base().trajectory().velocityAt(0.0));
+
+    ScenarioCellResult cell;
+    cell.scenario = spec.name;
+    cell.scene = spec.scene;
+    cell.mode = mode;
+    cell.tail_start = tailStart(spec);
+    cell.frames.reserve(spec.frames);
+
+    std::vector<Pose> estimate, truth;
+    Pose held = dd.truthAt(0);
+    for (int i = 0; i < spec.frames; ++i) {
+        LocalizationResult res = loc.processFrame(degradedFrameInput(dd, i));
+
+        ScenarioFrameRecord rec;
+        rec.frame_index = i;
+        rec.ok = res.ok;
+        rec.health = res.telemetry.health;
+        rec.dead_reckoned = res.telemetry.dead_reckoned;
+        rec.inliers = res.telemetry.tracking_inliers;
+        rec.relocalized = res.telemetry.relocalized;
+        rec.truth = dd.truthAt(i);
+
+        // Consumers hold the last pose through an outage; score what a
+        // consumer would see, not the reject-path identity pose.
+        if (res.ok)
+            held = res.pose;
+        else
+            ++cell.failed_frames;
+        rec.pose = held;
+
+        ++cell.health_frames[static_cast<int>(rec.health)];
+        if (rec.dead_reckoned)
+            ++cell.dead_reckoned_frames;
+
+        estimate.push_back(rec.pose);
+        truth.push_back(rec.truth);
+        cell.frames.push_back(std::move(rec));
+    }
+
+    cell.error = computeTrajectoryError(estimate, truth);
+    if (cell.tail_start < spec.frames) {
+        std::vector<Pose> te(estimate.begin() + cell.tail_start,
+                             estimate.end());
+        std::vector<Pose> tt(truth.begin() + cell.tail_start,
+                             truth.end());
+        cell.tail_error = computeTrajectoryError(te, tt);
+    }
+    return cell;
+}
+
+} // namespace edx

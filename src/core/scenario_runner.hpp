@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Adversarial-scenario execution: runs one localization session over a
+ * DegradedDataset cell (scenario x backend mode) and summarizes the
+ * accuracy and health outcome.
+ *
+ * This is the shared engine under the scenario-matrix CI harness
+ * (bench_scenario_matrix) and the degradation/recovery unit tests: one
+ * implementation of "play a ScenarioSpec through the localizer",
+ * exercised by both, so a matrix regression reproduces in a unit test
+ * with the same code path.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/localizer.hpp"
+#include "sim/degradation.hpp"
+
+namespace edx {
+
+/** One frame of a scenario run (pose stream + health stream). */
+struct ScenarioFrameRecord
+{
+    int frame_index = 0;
+    bool ok = false;
+    Pose pose;  //!< localizer output (held on failed frames)
+    Pose truth; //!< ground truth (follows teleports)
+    TrackingHealth health = TrackingHealth::Nominal;
+    bool dead_reckoned = false;
+    int inliers = -1;         //!< tracking modes only
+    bool relocalized = false; //!< frame used the BoW database
+};
+
+/** Execution options of one matrix cell. */
+struct ScenarioRunOptions
+{
+    /** Enable the dead-reckoning fallback (HealthConfig). */
+    bool enable_fallback = true;
+
+    /** Extra tuning hook over the derived LocalizerConfig. */
+    void (*tune)(LocalizerConfig &) = nullptr;
+};
+
+/** Outcome of one scenario x mode cell. */
+struct ScenarioCellResult
+{
+    std::string scenario;
+    SceneType scene = SceneType::IndoorUnknown;
+    BackendMode mode = BackendMode::Slam;
+
+    /** Whole-run accuracy (held poses on failed frames). */
+    TrajectoryError error;
+
+    /**
+     * Accuracy over the post-degradation tail: frames after the last
+     * event window closes. Bounded tail error is the re-convergence
+     * criterion — a session that never recovers drags this up even
+     * when the whole-run ATE is diluted by the clean lead-in.
+     */
+    TrajectoryError tail_error;
+    int tail_start = 0; //!< first frame of the tail window
+
+    long health_frames[kTrackingHealthStates] = {0, 0, 0, 0};
+    long dead_reckoned_frames = 0;
+    long failed_frames = 0; //!< frames with neither vision nor fallback
+
+    std::vector<ScenarioFrameRecord> frames;
+};
+
+/**
+ * Runs one scenario cell: builds the degraded dataset and the offline
+ * assets (vocabulary / prior map, from the *clean* base so the map
+ * also covers a teleport's target segment), then plays every frame
+ * through Localizer::processFrame().
+ */
+ScenarioCellResult runScenarioCell(const ScenarioSpec &spec,
+                                   BackendMode mode,
+                                   const ScenarioRunOptions &opt = {});
+
+/** FrameInput for logical frame @p i of a degraded dataset. */
+FrameInput degradedFrameInput(const DegradedDataset &dd, int i);
+
+} // namespace edx

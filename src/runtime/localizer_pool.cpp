@@ -146,18 +146,12 @@ LocalizerPool::dropOldestBestEffort()
 }
 
 bool
-LocalizerPool::submit(int session_id, FrameInput input)
+LocalizerPool::admitLocked(std::unique_lock<std::mutex> &lk,
+                           int session_id, FrameInput &&input)
 {
-    std::unique_lock<std::mutex> lk(m_);
     Session &s = sessionAt(session_id); // throws on bad id
     const QosClass q = s.cfg.qos;
     const int qi = static_cast<int>(q);
-
-    // In-flight submitters are visible to drain()/shutdown(): a
-    // producer parked on the quota below holds `pending_submitters_`
-    // up, so a concurrent drain waits for its frame instead of letting
-    // a racing shutdown drop it silently after the wake-up.
-    ++pending_submitters_;
 
     bool admitted = false;
     if (q == QosClass::BestEffort) {
@@ -191,10 +185,49 @@ LocalizerPool::submit(int session_id, FrameInput input)
             work_cv_.notify_one();
         }
     }
+    return admitted;
+}
+
+bool
+LocalizerPool::submit(int session_id, FrameInput input)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    // In-flight submitters are visible to drain()/shutdown(): a
+    // producer parked on the quota inside admitLocked() holds
+    // `pending_submitters_` up, so a concurrent drain waits for its
+    // frame instead of letting a racing shutdown drop it silently
+    // after the wake-up.
+    ++pending_submitters_;
+    bool admitted = false;
+    try {
+        admitted = admitLocked(lk, session_id, std::move(input));
+    } catch (...) {
+        --pending_submitters_;
+        throw;
+    }
     --pending_submitters_;
     // drain()/awaitResult() watch pending_submitters_, but an
     // admission just unbalanced their counters anyway — only wake them
     // when this submitter's exit could actually complete a drain.
+    if (pending_submitters_ == 0 && completed_ + dropped_ == submitted_)
+        result_cv_.notify_all();
+    return admitted;
+}
+
+int
+LocalizerPool::submitBatch(std::vector<std::pair<int, FrameInput>> frames)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    // Validate ids before admitting anything: a bad id mid-batch must
+    // not leave a half-admitted batch behind the thrown exception.
+    for (const auto &f : frames)
+        sessionAt(f.first);
+    ++pending_submitters_;
+    int admitted = 0;
+    for (auto &f : frames)
+        if (admitLocked(lk, f.first, std::move(f.second)))
+            ++admitted;
+    --pending_submitters_;
     if (pending_submitters_ == 0 && completed_ + dropped_ == submitted_)
         result_cv_.notify_all();
     return admitted;
@@ -255,6 +288,10 @@ LocalizerPool::finishFrame(int sid, PoolResult r)
     Session &s = *sessions_[sid];
     s.running = false;
     ++s.stats.completed;
+    s.stats.health = r.result.telemetry.health;
+    ++s.stats.health_frames[static_cast<int>(r.result.telemetry.health)];
+    if (r.result.telemetry.dead_reckoned)
+        ++s.stats.dead_reckoned_frames;
     if (!s.pending.empty()) {
         runnable_[static_cast<int>(s.cfg.qos)].push_back(sid);
         work_cv_.notify_one();
@@ -262,6 +299,27 @@ LocalizerPool::finishFrame(int sid, PoolResult r)
     results_.push_back(std::move(r));
     ++completed_;
     result_cv_.notify_all();
+}
+
+int
+LocalizerPool::gangJoinable() const
+{
+    // Frames that could still widen a forming wave: splittable heads
+    // of runnable sessions in a currently-dispatchable class. Slot-
+    // blocked classes are excluded — the wave must not wait on a frame
+    // the QoS gate will not let a worker pick up.
+    int n = 0;
+    for (int qi = 0; qi < kQosClasses; ++qi) {
+        if (!canDispatchClass(qi))
+            continue;
+        for (int sid : runnable_[qi]) {
+            const Session &s = *sessions_[sid];
+            if (!s.pending.empty() && s.loc->initialized() &&
+                s.pending.front().input.hasImages())
+                ++n;
+        }
+    }
+    return n;
 }
 
 void
@@ -277,11 +335,17 @@ LocalizerPool::maybeReleaseGang(bool force)
     // immediately — see expectBackendEntries().
     if (gang_outstanding_ > 0 || gang_staged_.empty())
         return;
-    if (gang_frontends_ > 0 && !force) {
-        // The wave is blocked only on in-flight frontends. Arm the
-        // wave timer so a lagging (e.g. best-effort) frontend cannot
-        // hold parked backends hostage: an idle worker forces a
-        // narrower release at the deadline (waitForWork()).
+    if (!force &&
+        (gang_frontends_ > 0 ||
+         (static_cast<int>(gang_staged_.size()) < cfg_.workers &&
+          gangJoinable() > 0))) {
+        // The wave is blocked on in-flight frontends, or on runnable
+        // frames a freed worker has not picked up yet (the window
+        // would otherwise race the workers' dispatch loop and release
+        // narrow waves). Arm the wave timer so a lagging (e.g.
+        // best-effort) frontend cannot hold parked backends hostage:
+        // an idle worker forces a narrower release at the deadline
+        // (waitForWork()).
         if (cfg_.gang_timeout_ms > 0.0 && !gang_timer_armed_) {
             gang_timer_armed_ = true;
             gang_wait_since_ = Clock::now();
@@ -395,6 +459,10 @@ LocalizerPool::dispatchSession(std::unique_lock<std::mutex> &lk, int sid)
             work_cv_.notify_one();
         }
         result_cv_.notify_all();
+        // A frame the window may have been waiting on just evaporated;
+        // re-evaluate so a parked wave is not stranded.
+        if (cfg_.gang_window)
+            maybeReleaseGang(/*force=*/false);
         return;
     }
 
@@ -449,6 +517,10 @@ LocalizerPool::dispatchSession(std::unique_lock<std::mutex> &lk, int sid)
         --active_non_safety_;
     r.result.telemetry.queue_wait_ms = wait_ms;
     finishFrame(sid, std::move(r));
+    // This frame bypassed the window (not splittable); if a parked
+    // wave was waiting on it as joinable, re-evaluate.
+    if (cfg_.gang_window)
+        maybeReleaseGang(/*force=*/false);
 }
 
 void

@@ -47,6 +47,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/localizer.hpp"
@@ -180,6 +181,17 @@ struct SessionPoolStats
     double queue_wait_total_ms = 0.0; //!< admission -> dispatch, completed frames
     double queue_wait_max_ms = 0.0;
 
+    /**
+     * Tracking-quality accounting (core/health.hpp): the session's
+     * health state after its latest completed frame, and how many
+     * completed frames it spent in each state. Lets a fleet operator
+     * spot a degraded session from the pool's serving counters without
+     * touching per-frame telemetry.
+     */
+    TrackingHealth health = TrackingHealth::Nominal;
+    std::array<long, kTrackingHealthStates> health_frames{};
+    long dead_reckoned_frames = 0; //!< poses from the fallback reckoner
+
     long dropped() const { return dropped_oldest + dropped_deadline; }
 
     double
@@ -238,6 +250,21 @@ class LocalizerPool
      * @throws std::out_of_range for an unknown session id.
      */
     bool submit(int session_id, FrameInput input);
+
+    /**
+     * Admits a batch of frames under one lock hold, so the workers
+     * observe the whole batch at once — a lockstep driver (replay,
+     * benchmark, synchronized multi-robot ingest) submitting one frame
+     * per session must not race worker dispatch, or the gang window
+     * sees a lone early arrival and releases a narrow wave. Per-frame
+     * admission rules match submit(); a safety/standard frame that
+     * hits its class quota still waits for space (releasing the lock,
+     * so the already-admitted prefix becomes visible early — size the
+     * queue for the batch when atomicity matters). @return the number
+     * of frames admitted.
+     * @throws std::out_of_range for an unknown session id.
+     */
+    int submitBatch(std::vector<std::pair<int, FrameInput>> frames);
 
     /** Non-blocking: pops any completed frame. */
     bool poll(PoolResult &out);
@@ -311,6 +338,9 @@ class LocalizerPool
     void dispatchSession(std::unique_lock<std::mutex> &lk, int sid);
     bool canDispatchClass(int qi) const;     //!< under m_
     int pickableClass() const;               //!< under m_
+    int gangJoinable() const;                //!< under m_
+    bool admitLocked(std::unique_lock<std::mutex> &lk, int session_id,
+                     FrameInput &&input);    //!< under m_ (may wait)
     int pickSession();                       //!< under m_
     void dropOldestBestEffort();             //!< under m_
     void finishFrame(int sid, PoolResult r); //!< under m_

@@ -26,6 +26,7 @@
 #include "backend/mapping.hpp"
 #include "backend/msckf.hpp"
 #include "backend/tracking.hpp"
+#include "core/health.hpp"
 #include "frontend/frontend.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/scenario.hpp"
@@ -169,6 +170,23 @@ struct FrameTelemetry
      */
     OffloadDecision backend_offload;
     bool has_offload_decision = false;
+
+    /**
+     * Tracking-quality state of the session at this frame
+     * (core/health.hpp). A pose stamped DeadReckoning came from the
+     * internal-sensor fallback, not from vision — downstream consumers
+     * must treat it as drifting, never as a vision-confirmed fix.
+     */
+    TrackingHealth health = TrackingHealth::Nominal;
+
+    /** True when the pose was substituted by the fallback reckoner. */
+    bool dead_reckoned = false;
+
+    /** Tracking modes: pose-optimization inliers (-1: not applicable). */
+    int tracking_inliers = -1;
+
+    /** Tracking modes: the frame fell back to BoW relocalization. */
+    bool relocalized = false;
 
     /** Frontend block latency, ms. */
     double frontendMs() const { return frontend.total(); }

@@ -1,0 +1,110 @@
+#include "sensors/dead_reckoning.hpp"
+
+#include <cmath>
+
+namespace edx {
+
+void
+DeadReckoner::seed(const Pose &world_from_body, double t,
+                   const Vec3 &velocity)
+{
+    q_wb_ = world_from_body.rotation;
+    p_wb_ = world_from_body.translation;
+    v_ = velocity;
+    t_ = t;
+    seeded_ = true;
+}
+
+void
+DeadReckoner::stepImu(const ImuSample &s, double dt, bool integrate_accel)
+{
+    q_wb_ = q_wb_.integrated(s.gyro, dt);
+    if (integrate_accel) {
+        const Vec3 a_world =
+            q_wb_.toRotationMatrix() * s.accel + gravityWorld();
+        const double leak = std::exp(-cfg_.velocity_damping * dt);
+        v_ = v_ * leak + a_world * dt;
+        p_wb_ += v_ * dt;
+    }
+    t_ = s.t;
+}
+
+void
+DeadReckoner::propagate(const std::vector<ImuSample> &imu,
+                        const std::vector<WheelOdometrySample> &odometry,
+                        double frame_t)
+{
+    if (!seeded_)
+        return;
+
+    bool have_wheels = false;
+    if (cfg_.use_wheel_odometry) {
+        for (const WheelOdometrySample &o : odometry)
+            have_wheels |= o.valid;
+    }
+
+    if (have_wheels) {
+        // Orientation from the gyro stream, position from the wheels:
+        // walk both streams merged in time order so the body-frame
+        // forward direction used for each wheel step reflects the
+        // latest attitude.
+        size_t ii = 0;
+        for (const WheelOdometrySample &o : odometry) {
+            if (!o.valid)
+                continue;
+            // Strictly-before: a gyro sample stamped exactly at the
+            // wheel reading must not advance t_ onto it first, or the
+            // wheel step would collapse to dt = 0.
+            while (ii < imu.size() && imu[ii].t < o.t) {
+                const double dt = imu[ii].t - t_;
+                if (dt > 0.0 && dt <= cfg_.max_step_s)
+                    stepImu(imu[ii], dt, /*integrate_accel=*/false);
+                else if (dt > cfg_.max_step_s)
+                    t_ = imu[ii].t;
+                ++ii;
+            }
+            const double dt = o.t - t_;
+            if (dt > 0.0 && dt <= cfg_.max_step_s) {
+                // Non-holonomic step: forward speed along body x, yaw
+                // from the encoder when the gyro stream is absent.
+                if (imu.empty())
+                    q_wb_ = q_wb_.integrated(
+                        Vec3{0.0, 0.0, o.yaw_rate}, dt);
+                const Vec3 fwd =
+                    q_wb_.toRotationMatrix() * Vec3{1.0, 0.0, 0.0};
+                p_wb_ += fwd * (o.v_forward * dt);
+                v_ = fwd * o.v_forward;
+                t_ = o.t;
+            } else if (dt > cfg_.max_step_s) {
+                t_ = o.t;
+            }
+        }
+        // Trailing gyro samples after the last wheel reading.
+        for (; ii < imu.size(); ++ii) {
+            const double dt = imu[ii].t - t_;
+            if (dt > 0.0 && dt <= cfg_.max_step_s)
+                stepImu(imu[ii], dt, /*integrate_accel=*/false);
+            else if (dt > cfg_.max_step_s)
+                t_ = imu[ii].t;
+        }
+    } else {
+        for (const ImuSample &s : imu) {
+            const double dt = s.t - t_;
+            if (dt > 0.0 && dt <= cfg_.max_step_s)
+                stepImu(s, dt, /*integrate_accel=*/true);
+            else if (dt > cfg_.max_step_s)
+                t_ = s.t; // gap: re-anchor, never integrate across it
+        }
+    }
+
+    // Advance to the frame boundary. With wheels or a live IMU the
+    // remaining slice is sub-sample-period; coast it on the current
+    // velocity. With neither stream the pose simply holds.
+    const double rem = frame_t - t_;
+    if (rem > 0.0 && rem <= cfg_.max_step_s && !imu.empty())
+        p_wb_ += v_ * rem;
+    if (rem > 0.0)
+        t_ = frame_t;
+}
+
+} // namespace edx

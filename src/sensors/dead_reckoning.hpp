@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Internal-sensor dead reckoning: the fallback backend the localizer
+ * degrades to when vision collapses (core/health.hpp).
+ *
+ * The reckoner propagates a 6 DoF pose from sensors that do not
+ * depend on the environment: gyro integration for orientation, and —
+ * in preference order — wheel odometry (non-holonomic body-frame
+ * forward speed) or damped accelerometer double-integration for
+ * position. It is deliberately *not* a filter: no covariance, no
+ * updates, nothing to diverge. Drift is unbounded but smooth and
+ * slow, which is exactly the contract a degraded robot needs: a
+ * continuous, explicitly-flagged pose stream that stays close to
+ * truth over blackout windows of seconds, and a sane re-entry point
+ * for the vision backend when imagery returns.
+ *
+ * The accelerometer path leaks velocity toward zero
+ * (velocity_damping): raw double integration of a MEMS accelerometer
+ * diverges quadratically within seconds, while a leaky integrator
+ * bounds the error at the cost of under-reporting sustained
+ * acceleration — the standard trade for a short-horizon fallback.
+ *
+ * Each healthy vision frame re-seeds the reckoner (seed()), so the
+ * propagation horizon is always "since the last good frame", never
+ * the whole run.
+ */
+#pragma once
+
+#include <vector>
+
+#include "math/se3.hpp"
+#include "sensors/imu.hpp"
+#include "sensors/odometry.hpp"
+
+namespace edx {
+
+/** Dead-reckoning settings. */
+struct DeadReckoningConfig
+{
+    /**
+     * Velocity leak rate of the accelerometer path, 1/s: v decays by
+     * exp(-damping * dt) per step. 0 is pure (divergent) integration.
+     */
+    double velocity_damping = 0.6;
+
+    /** Reject IMU/odometry steps larger than this (sensor gap), s. */
+    double max_step_s = 0.5;
+
+    /** Prefer wheel odometry over the accelerometer when available. */
+    bool use_wheel_odometry = true;
+};
+
+/** The internal-sensor fallback propagator. */
+class DeadReckoner
+{
+  public:
+    explicit DeadReckoner(const DeadReckoningConfig &cfg = {})
+        : cfg_(cfg)
+    {}
+
+    /**
+     * Anchors the reckoner at a trusted pose (a vision-confirmed
+     * solve, or the session's initialization pose).
+     */
+    void seed(const Pose &world_from_body, double t,
+              const Vec3 &velocity = Vec3::zero());
+
+    /**
+     * Propagates through one frame's internal-sensor batch.
+     * Non-monotonic or duplicate timestamps are rejected, gaps larger
+     * than max_step_s re-anchor the clock without integrating (the
+     * same hardening as the MSCKF propagation). When the batch
+     * carries valid wheel odometry the position comes from the
+     * non-holonomic wheel model; otherwise from damped accelerometer
+     * integration. @p frame_t advances the clock even when both
+     * streams are empty (the pose then holds).
+     */
+    void propagate(const std::vector<ImuSample> &imu,
+                   const std::vector<WheelOdometrySample> &odometry,
+                   double frame_t);
+
+    /** Current propagated world-from-body pose. */
+    Pose pose() const { return Pose(q_wb_, p_wb_); }
+
+    /** Current velocity estimate, world frame. */
+    const Vec3 &velocity() const { return v_; }
+
+    double time() const { return t_; }
+    bool seeded() const { return seeded_; }
+
+    const DeadReckoningConfig &config() const { return cfg_; }
+
+  private:
+    void stepImu(const ImuSample &s, double dt, bool integrate_accel);
+
+    DeadReckoningConfig cfg_;
+    Quat q_wb_;
+    Vec3 p_wb_;
+    Vec3 v_;
+    double t_ = 0.0;
+    bool seeded_ = false;
+};
+
+} // namespace edx

@@ -10,6 +10,8 @@
  */
 #pragma once
 
+#include <vector>
+
 #include "math/rng.hpp"
 #include "math/vec.hpp"
 
@@ -78,6 +80,32 @@ inline Vec3
 gravityWorld()
 {
     return Vec3{0.0, 0.0, -9.81};
+}
+
+/**
+ * Drops samples whose timestamps do not strictly increase (duplicate
+ * or regressed stamps — bus stalls and clock steps produce both on
+ * real robots). Integrators divide by dt, so a single duplicate stamp
+ * upstream of an unguarded filter is a NaN factory; batches handed to
+ * propagation must pass through this (or an equivalent per-sample dt
+ * guard) first. Returns the number of samples removed.
+ */
+inline int
+sanitizeImuBatch(std::vector<ImuSample> &batch)
+{
+    int removed = 0;
+    size_t w = 0;
+    for (size_t r = 0; r < batch.size(); ++r) {
+        if (w > 0 && batch[r].t <= batch[w - 1].t + 1e-12) {
+            ++removed;
+            continue;
+        }
+        if (w != r)
+            batch[w] = batch[r];
+        ++w;
+    }
+    batch.resize(w);
+    return removed;
 }
 
 } // namespace edx

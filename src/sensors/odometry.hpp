@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Wheel-odometry sample type and error model.
+ *
+ * Wheel encoders are the canonical *internal* sensor of ground
+ * vehicles: unlike cameras and GPS they keep working in the dark, in
+ * rain, and underground (the bulldozer self-localization setting in
+ * PAPERS.md), which is what makes them the backbone of the
+ * dead-reckoning fallback. The model follows the usual differential-
+ * drive abstraction — forward speed plus yaw rate in the body frame —
+ * with the two dominant error sources of real encoders: a slowly
+ * varying scale factor (tire wear / pressure / slip) and white noise.
+ */
+#pragma once
+
+#include "math/rng.hpp"
+#include "math/vec.hpp"
+
+namespace edx {
+
+/** One wheel-odometry measurement. */
+struct WheelOdometrySample
+{
+    double t = 0.0;          //!< timestamp, seconds
+    double v_forward = 0.0;  //!< body-frame forward speed, m/s
+    double yaw_rate = 0.0;   //!< body-frame yaw rate, rad/s
+    bool valid = false;      //!< false when the encoder stream is down
+};
+
+/** Wheel-encoder error model. */
+struct WheelOdometryNoiseModel
+{
+    double speed_noise = 0.03;     //!< m/s white noise per sample
+    double yaw_rate_noise = 0.004; //!< rad/s white noise per sample
+    double scale_error = 0.01;     //!< constant speed scale offset (1%)
+    double scale_walk = 1e-4;      //!< per-sample scale random walk
+};
+
+/** Corrupts perfect (speed, yaw rate) pairs into encoder readings. */
+class WheelOdometryCorruptor
+{
+  public:
+    WheelOdometryCorruptor(const WheelOdometryNoiseModel &model,
+                           uint64_t seed)
+        : model_(model), rng_(seed), scale_(1.0 + model.scale_error)
+    {}
+
+    /** Generates the reading for a true (speed, yaw rate) at @p t. */
+    WheelOdometrySample
+    sample(double t, double true_v_forward, double true_yaw_rate)
+    {
+        scale_ += model_.scale_walk * rng_.gaussian();
+        WheelOdometrySample s;
+        s.t = t;
+        s.v_forward = scale_ * true_v_forward +
+                      rng_.gaussian(0, model_.speed_noise);
+        s.yaw_rate =
+            true_yaw_rate + rng_.gaussian(0, model_.yaw_rate_noise);
+        s.valid = true;
+        return s;
+    }
+
+  private:
+    WheelOdometryNoiseModel model_;
+    Rng rng_;
+    double scale_;
+};
+
+} // namespace edx

@@ -149,6 +149,11 @@ Dataset::imuBetweenFrames(int i) const
         if (s.t > t1)
             break;
     }
+    // The synthetic stream is monotonic by construction, but batches
+    // feed dt-dividing integrators; keep the guard so a future loader
+    // of real logs (where duplicate/regressed stamps do occur) cannot
+    // hand a poisoned batch to propagation.
+    sanitizeImuBatch(out);
     return out;
 }
 

@@ -1,0 +1,634 @@
+#include "sim/degradation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace edx {
+
+const char *
+degradationName(DegradationKind k)
+{
+    switch (k) {
+      case DegradationKind::MotionBlur:
+        return "motion_blur";
+      case DegradationKind::LowLight:
+        return "low_light";
+      case DegradationKind::Occlusion:
+        return "occlusion";
+      case DegradationKind::ImuBiasJump:
+        return "imu_bias_jump";
+      case DegradationKind::ImuDropout:
+        return "imu_dropout";
+      case DegradationKind::ImuTimeJitter:
+        return "imu_time_jitter";
+      case DegradationKind::GpsDenied:
+        return "gps_denied";
+      case DegradationKind::FrameDrop:
+        return "frame_drop";
+      case DegradationKind::Teleport:
+        return "teleport";
+    }
+    return "?";
+}
+
+int
+ScenarioSpec::totalTeleportJump() const
+{
+    int jump = 0;
+    for (const DegradationEvent &e : events)
+        if (e.kind == DegradationKind::Teleport)
+            jump += e.jump_frames;
+    return jump;
+}
+
+std::vector<BackendMode>
+ScenarioSpec::effectiveModes() const
+{
+    if (!modes.empty())
+        return modes;
+    return {preferredMode(scene)};
+}
+
+// --- spec parsing -----------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void
+specError(int line, const std::string &msg)
+{
+    throw std::invalid_argument("scenario spec line " +
+                                std::to_string(line) + ": " + msg);
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos)
+        return "";
+    size_t b = s.find_last_not_of(" \t\r");
+    return s.substr(a, b - a + 1);
+}
+
+SceneType
+sceneFromName(const std::string &s, int line)
+{
+    for (SceneType t :
+         {SceneType::IndoorUnknown, SceneType::IndoorKnown,
+          SceneType::OutdoorUnknown, SceneType::OutdoorKnown})
+        if (s == sceneName(t))
+            return t;
+    specError(line, "unknown scene '" + s + "'");
+}
+
+BackendMode
+modeFromName(const std::string &s, int line)
+{
+    for (BackendMode m : {BackendMode::Registration, BackendMode::Vio,
+                          BackendMode::Slam})
+        if (s == modeName(m))
+            return m;
+    specError(line, "unknown mode '" + s + "'");
+}
+
+DegradationKind
+kindFromName(const std::string &s, int line)
+{
+    for (DegradationKind k :
+         {DegradationKind::MotionBlur, DegradationKind::LowLight,
+          DegradationKind::Occlusion, DegradationKind::ImuBiasJump,
+          DegradationKind::ImuDropout, DegradationKind::ImuTimeJitter,
+          DegradationKind::GpsDenied, DegradationKind::FrameDrop,
+          DegradationKind::Teleport})
+        if (s == degradationName(k))
+            return k;
+    specError(line, "unknown degradation '" + s + "'");
+}
+
+double
+numValue(const std::string &s, int line)
+{
+    try {
+        size_t used = 0;
+        double v = std::stod(s, &used);
+        if (used != s.size())
+            specError(line, "bad number '" + s + "'");
+        return v;
+    } catch (const std::invalid_argument &) {
+        specError(line, "bad number '" + s + "'");
+    } catch (const std::out_of_range &) {
+        specError(line, "number out of range '" + s + "'");
+    }
+}
+
+Vec3
+vecValue(const std::string &s, int line)
+{
+    Vec3 v;
+    std::stringstream ss(s);
+    std::string part;
+    int i = 0;
+    while (std::getline(ss, part, ',') && i < 3)
+        v[i++] = numValue(trim(part), line);
+    return v;
+}
+
+bool
+boolValue(const std::string &s, int line)
+{
+    if (s == "on" || s == "true" || s == "1")
+        return true;
+    if (s == "off" || s == "false" || s == "0")
+        return false;
+    specError(line, "bad flag '" + s + "' (use on/off)");
+}
+
+DegradationEvent
+parseEvent(const std::string &value, int line)
+{
+    std::stringstream ss(value);
+    std::string kind_name;
+    ss >> kind_name;
+    DegradationEvent e;
+    e.kind = kindFromName(kind_name, line);
+
+    std::string tok;
+    while (ss >> tok) {
+        size_t eq = tok.find('=');
+        if (eq == std::string::npos)
+            specError(line, "event parameter '" + tok +
+                                "' is not key=value");
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        if (key == "from")
+            e.from = static_cast<int>(numValue(val, line));
+        else if (key == "to")
+            e.to = static_cast<int>(numValue(val, line));
+        else if (key == "strength")
+            e.strength = numValue(val, line);
+        else if (key == "gain")
+            e.gain = numValue(val, line);
+        else if (key == "noise")
+            e.noise_sigma = numValue(val, line);
+        else if (key == "patches")
+            e.patches = static_cast<int>(numValue(val, line));
+        else if (key == "frac")
+            e.patch_frac = numValue(val, line);
+        else if (key == "gyro")
+            e.gyro_bias = vecValue(val, line);
+        else if (key == "accel")
+            e.accel_bias = vecValue(val, line);
+        else if (key == "jitter")
+            e.jitter_ms = numValue(val, line);
+        else if (key == "every")
+            e.drop_every = static_cast<int>(numValue(val, line));
+        else if (key == "jump")
+            e.jump_frames = static_cast<int>(numValue(val, line));
+        else
+            specError(line, "unknown event parameter '" + key + "'");
+    }
+    if (e.to <= e.from)
+        specError(line, "event window is empty (to <= from)");
+    if (e.kind == DegradationKind::Teleport && e.jump_frames <= 0)
+        specError(line, "teleport requires jump=N > 0");
+    if (e.kind == DegradationKind::FrameDrop && e.drop_every <= 0)
+        specError(line, "frame_drop requires every=N > 0");
+    return e;
+}
+
+} // namespace
+
+std::vector<ScenarioSpec>
+parseScenarioSpecs(const std::string &text)
+{
+    std::vector<ScenarioSpec> specs;
+    ScenarioSpec cur;
+    bool open = false;
+    int open_line = 0;
+
+    auto finalize = [&]() {
+        if (!open)
+            return;
+        if (cur.name.empty())
+            specError(open_line, "scenario block missing 'scenario:'");
+        if (cur.frames <= 0)
+            specError(open_line, "frames must be positive");
+        if (cur.fps <= 0.0)
+            specError(open_line, "fps must be positive");
+        specs.push_back(std::move(cur));
+        cur = ScenarioSpec{};
+        open = false;
+    };
+
+    std::stringstream ss(text);
+    std::string raw;
+    int line = 0;
+    while (std::getline(ss, raw)) {
+        ++line;
+        size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw = raw.substr(0, hash);
+        const std::string s = trim(raw);
+        if (s.empty())
+            continue;
+        if (s == "---") {
+            finalize();
+            continue;
+        }
+        size_t colon = s.find(':');
+        if (colon == std::string::npos)
+            specError(line, "expected 'key: value'");
+        const std::string key = trim(s.substr(0, colon));
+        const std::string value = trim(s.substr(colon + 1));
+        if (!open) {
+            open = true;
+            open_line = line;
+        }
+        if (key == "scenario" || key == "name") {
+            cur.name = value;
+        } else if (key == "scene") {
+            cur.scene = sceneFromName(value, line);
+        } else if (key == "platform") {
+            if (value == "car")
+                cur.platform = Platform::Car;
+            else if (value == "drone")
+                cur.platform = Platform::Drone;
+            else
+                specError(line, "unknown platform '" + value + "'");
+        } else if (key == "frames") {
+            cur.frames = static_cast<int>(numValue(value, line));
+        } else if (key == "fps") {
+            cur.fps = numValue(value, line);
+        } else if (key == "seed") {
+            cur.seed = static_cast<uint64_t>(numValue(value, line));
+        } else if (key == "mode" || key == "modes") {
+            std::stringstream ms(value);
+            std::string m;
+            while (ms >> m)
+                cur.modes.push_back(modeFromName(m, line));
+        } else if (key == "wheel_odometry") {
+            cur.wheel_odometry = boolValue(value, line);
+        } else if (key == "odometry_rate_hz") {
+            cur.odometry_rate_hz = numValue(value, line);
+        } else if (key == "event") {
+            cur.events.push_back(parseEvent(value, line));
+        } else {
+            specError(line, "unknown key '" + key + "'");
+        }
+    }
+    finalize();
+    return specs;
+}
+
+// --- the built-in regression matrix -----------------------------------------
+
+std::string
+standardScenarioMatrixText()
+{
+    // Nine scenarios x the three backend modes the scenes prefer. The
+    // windows are expressed in frames at 10 FPS; every scenario ends
+    // with the degradation lifted so recovery behaviour is part of
+    // each cell's ATE, not just the blackout drift.
+    return R"(# Eudoxus adversarial-conditions regression matrix.
+scenario: nominal-vio
+scene: outdoor-unknown
+platform: drone
+frames: 100
+mode: vio
+---
+scenario: motion-blur-vio
+scene: outdoor-unknown
+platform: drone
+frames: 100
+mode: vio
+event: motion_blur from=25 to=65 strength=5
+---
+scenario: low-light-slam
+scene: indoor-unknown
+platform: drone
+frames: 100
+mode: slam
+event: low_light from=30 to=60 gain=0.35 noise=8
+---
+scenario: occlusion-slam
+scene: indoor-unknown
+platform: drone
+frames: 100
+mode: slam
+event: occlusion from=25 to=45 patches=5 frac=0.25
+event: occlusion from=55 to=70 patches=3 frac=0.30
+---
+scenario: gps-denied-vio
+scene: outdoor-unknown
+platform: drone
+frames: 100
+mode: vio
+event: gps_denied from=20 to=85
+---
+scenario: imu-bias-jump-vio
+scene: outdoor-unknown
+platform: drone
+frames: 100
+mode: vio
+event: imu_bias_jump from=40 to=100 gyro=0.02,-0.01,0.015 accel=0.3,0.2,-0.25
+---
+scenario: imu-dropout-jitter-vio
+scene: outdoor-unknown
+platform: drone
+frames: 100
+mode: vio
+event: imu_dropout from=30 to=45
+event: imu_time_jitter from=55 to=85 jitter=6
+---
+scenario: blackout-recovery-registration
+scene: indoor-known
+platform: drone
+frames: 90
+mode: registration
+wheel_odometry: on
+event: low_light from=30 to=45 gain=0.02 noise=2
+---
+scenario: kidnap-registration
+scene: indoor-known
+platform: drone
+frames: 90
+mode: registration
+event: teleport from=40 to=41 jump=18
+)";
+}
+
+std::vector<ScenarioSpec>
+standardScenarioMatrix()
+{
+    return parseScenarioSpecs(standardScenarioMatrixText());
+}
+
+// --- DegradedDataset --------------------------------------------------------
+
+namespace {
+
+DatasetConfig
+baseConfig(const ScenarioSpec &spec)
+{
+    DatasetConfig cfg;
+    cfg.scene = spec.scene;
+    cfg.platform = spec.platform;
+    cfg.fps = spec.fps;
+    // Teleports skip ahead along the trajectory; the base dataset must
+    // cover the overshoot.
+    cfg.frame_count = spec.frames + spec.totalTeleportJump();
+    cfg.seed = spec.seed;
+    return cfg;
+}
+
+/** Horizontal box blur (sliding window), radius in pixels. */
+void
+motionBlur(ImageU8 &img, int radius)
+{
+    if (radius < 1 || img.empty())
+        return;
+    const int w = img.width(), h = img.height();
+    const int win = 2 * radius + 1;
+    std::vector<uint8_t> row(static_cast<size_t>(w));
+    for (int y = 0; y < h; ++y) {
+        int acc = 0;
+        for (int x = -radius; x <= radius; ++x)
+            acc += img.atClamped(x, y);
+        for (int x = 0; x < w; ++x) {
+            row[static_cast<size_t>(x)] =
+                static_cast<uint8_t>((acc + win / 2) / win);
+            acc += img.atClamped(x + radius + 1, y);
+            acc -= img.atClamped(x - radius, y);
+        }
+        for (int x = 0; x < w; ++x)
+            img.at(x, y) = row[static_cast<size_t>(x)];
+    }
+}
+
+/** Illumination collapse: gain < 1 plus shot noise. */
+void
+lowLight(ImageU8 &img, double gain, double noise_sigma, Rng &rng)
+{
+    const int w = img.width(), h = img.height();
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) {
+            double v = img.at(x, y) * gain +
+                       rng.gaussian(0.0, noise_sigma);
+            img.at(x, y) = static_cast<uint8_t>(
+                std::clamp(v, 0.0, 255.0));
+        }
+}
+
+/** Opaque patches at frame-deterministic positions. */
+void
+occlusion(ImageU8 &img, int patches, double patch_frac, Rng &rng)
+{
+    const int w = img.width(), h = img.height();
+    const int half = std::max(
+        2, static_cast<int>(patch_frac * w * 0.5));
+    for (int p = 0; p < patches; ++p) {
+        const int cx = rng.uniformInt(0, w - 1);
+        const int cy = rng.uniformInt(0, h - 1);
+        const uint8_t shade =
+            static_cast<uint8_t>(rng.uniformInt(10, 35));
+        for (int y = std::max(0, cy - half);
+             y <= std::min(h - 1, cy + half); ++y)
+            for (int x = std::max(0, cx - half);
+                 x <= std::min(w - 1, cx + half); ++x)
+                img.at(x, y) = shade;
+    }
+}
+
+} // namespace
+
+DegradedDataset::DegradedDataset(const ScenarioSpec &spec)
+    : spec_(spec), base_(baseConfig(spec))
+{
+    if (!spec_.wheel_odometry)
+        return;
+    // Pre-generate the wheel-encoder stream on the *logical* clock:
+    // across a teleport the encoders keep reporting the motion at the
+    // target location (the robot is driving there), re-stamped onto
+    // the continuous session clock.
+    const double duration = spec_.frames / spec_.fps;
+    const int n = static_cast<int>(
+                      std::ceil(duration * spec_.odometry_rate_hz)) +
+                  1;
+    WheelOdometryCorruptor model(spec_.odometry_noise, spec_.seed + 53);
+    const Trajectory &traj = base_.trajectory();
+    odometry_.reserve(static_cast<size_t>(n));
+    for (int k = 0; k < n; ++k) {
+        const double t = k / spec_.odometry_rate_hz;
+        const int logical =
+            std::min(static_cast<int>(t * spec_.fps), spec_.frames - 1);
+        const double ts = t + shiftSeconds(logical);
+        const Pose truth = traj.poseAt(ts);
+        const Vec3 v_body = truth.rotation.toRotationMatrix()
+                                .transpose() *
+                            traj.velocityAt(ts);
+        const double yaw_rate = traj.imuTruthAt(ts).gyro[2];
+        odometry_.push_back(model.sample(t, v_body[0], yaw_rate));
+    }
+}
+
+int
+DegradedDataset::shiftedIndex(int i) const
+{
+    int shift = 0;
+    for (const DegradationEvent &e : spec_.events)
+        if (e.kind == DegradationKind::Teleport && i >= e.from)
+            shift += e.jump_frames;
+    return i + shift;
+}
+
+double
+DegradedDataset::shiftSeconds(int i) const
+{
+    return (shiftedIndex(i) - i) / spec_.fps;
+}
+
+int
+DegradedDataset::teleportFrame() const
+{
+    int first = -1;
+    for (const DegradationEvent &e : spec_.events)
+        if (e.kind == DegradationKind::Teleport &&
+            (first < 0 || e.from < first))
+            first = e.from;
+    return first;
+}
+
+bool
+DegradedDataset::frameDropped(int i) const
+{
+    for (const DegradationEvent &e : spec_.events)
+        if (e.kind == DegradationKind::FrameDrop && e.activeAt(i) &&
+            (i - e.from) % e.drop_every == 0)
+            return true;
+    return false;
+}
+
+void
+DegradedDataset::applyImageEvents(int i, ImageU8 &img,
+                                  uint64_t eye_salt) const
+{
+    for (size_t ei = 0; ei < spec_.events.size(); ++ei) {
+        const DegradationEvent &e = spec_.events[ei];
+        if (!e.activeAt(i))
+            continue;
+        // One deterministic stream per (frame, eye, event): re-rendering
+        // any frame reproduces its corruption bit-for-bit.
+        Rng rng(spec_.seed ^ (static_cast<uint64_t>(i) * 0x9e3779b9u),
+                eye_salt * 131 + ei + 1);
+        switch (e.kind) {
+          case DegradationKind::MotionBlur:
+            motionBlur(img, static_cast<int>(e.strength));
+            break;
+          case DegradationKind::LowLight:
+            lowLight(img, e.gain, e.noise_sigma, rng);
+            break;
+          case DegradationKind::Occlusion:
+            occlusion(img, e.patches, e.patch_frac, rng);
+            break;
+          default:
+            break; // sensor-side events do not touch imagery
+        }
+    }
+}
+
+DatasetFrame
+DegradedDataset::frame(int i) const
+{
+    assert(i >= 0 && i < spec_.frames);
+    if (frameDropped(i)) {
+        DatasetFrame f;
+        f.index = i;
+        f.t = i / spec_.fps;
+        f.truth = truthAt(i);
+        return f; // empty stereo pair: the frame never arrived
+    }
+    DatasetFrame f = base_.frame(shiftedIndex(i));
+    f.index = i;
+    f.t = i / spec_.fps;
+    applyImageEvents(i, f.stereo.left, 0);
+    applyImageEvents(i, f.stereo.right, 1);
+    return f;
+}
+
+Pose
+DegradedDataset::truthAt(int i) const
+{
+    return base_.truthAt(shiftedIndex(i));
+}
+
+std::vector<ImuSample>
+DegradedDataset::imuBetweenFrames(int i) const
+{
+    // Across a teleport boundary the batch comes from the target
+    // segment (the "carry" is instantaneous), re-stamped onto the
+    // continuous session clock.
+    std::vector<ImuSample> batch = base_.imuBetweenFrames(shiftedIndex(i));
+    const double shift = shiftSeconds(i);
+    if (shift != 0.0)
+        for (ImuSample &s : batch)
+            s.t -= shift;
+
+    for (const DegradationEvent &e : spec_.events) {
+        if (!e.activeAt(i))
+            continue;
+        switch (e.kind) {
+          case DegradationKind::ImuDropout:
+            batch.clear();
+            break;
+          case DegradationKind::ImuBiasJump:
+            for (ImuSample &s : batch) {
+                s.gyro += e.gyro_bias;
+                s.accel += e.accel_bias;
+            }
+            break;
+          case DegradationKind::ImuTimeJitter: {
+            Rng rng(spec_.seed ^
+                        (static_cast<uint64_t>(i) * 0x51afd6edu),
+                    977);
+            for (ImuSample &s : batch)
+                s.t += rng.gaussian(0.0, e.jitter_ms * 1e-3);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return batch;
+}
+
+GpsSample
+DegradedDataset::gpsAtFrame(int i) const
+{
+    for (const DegradationEvent &e : spec_.events)
+        if (e.kind == DegradationKind::GpsDenied && e.activeAt(i))
+            return GpsSample{}; // valid = false
+    GpsSample s = base_.gpsAtFrame(shiftedIndex(i));
+    s.t -= shiftSeconds(i);
+    return s;
+}
+
+std::vector<WheelOdometrySample>
+DegradedDataset::odometryBetweenFrames(int i) const
+{
+    std::vector<WheelOdometrySample> out;
+    if (odometry_.empty() || i <= 0)
+        return out;
+    const double t0 = (i - 1) / spec_.fps;
+    const double t1 = i / spec_.fps;
+    for (const WheelOdometrySample &s : odometry_) {
+        if (s.t > t0 && s.t <= t1 + 1e-9)
+            out.push_back(s);
+        if (s.t > t1)
+            break;
+    }
+    return out;
+}
+
+} // namespace edx

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Declarative fault injection: adversarial-conditions scenarios as
+ * data, not code (ROADMAP "scenario diversity" item).
+ *
+ * A ScenarioSpec names a base scene (sim/dataset.hpp) plus a list of
+ * per-frame degradation events — motion blur, low light, occlusion
+ * patches, IMU bias jumps / dropouts / time jitter, GPS-denied
+ * stretches, frame drops, and a kidnapped-robot teleport. Specs are
+ * parsed from a small line-based text format (the maplab-evaluation
+ * experiment-matrix pattern: an end-to-end accuracy job is one spec
+ * block, and the whole regression matrix is a text file), so adding a
+ * scenario to CI never requires touching code:
+ *
+ *     scenario: blur-outdoor
+ *     scene: outdoor-unknown
+ *     platform: drone
+ *     frames: 120
+ *     mode: vio
+ *     event: motion_blur from=30 to=70 strength=5
+ *     event: gps_denied from=40 to=90
+ *     ---
+ *     scenario: ...
+ *
+ * DegradedDataset wraps a clean Dataset and applies the spec's events
+ * on the fly: image corruptions act on the rendered stereo pair, IMU /
+ * GPS corruptions on the sensor batches, and the teleport event remaps
+ * frame indices along the trajectory (the robot is "carried" ahead by
+ * jump_frames — imagery, truth and subsequent sensor data all continue
+ * from the target location, exactly the kidnapped-robot relocalization
+ * setup). Everything is deterministic in (spec, frame index), so a
+ * failing matrix cell replays bit-for-bit.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sensors/odometry.hpp"
+#include "sim/dataset.hpp"
+
+namespace edx {
+
+/** The degradation taxonomy (one entry per real-fleet failure mode). */
+enum class DegradationKind
+{
+    MotionBlur,   //!< directional blur (fast motion / long exposure)
+    LowLight,     //!< gain drop + shot noise (dusk, tunnel, blackout)
+    Occlusion,    //!< opaque patches (dirt, rain drops, cargo)
+    ImuBiasJump,  //!< step change of gyro/accel bias (thermal shock)
+    ImuDropout,   //!< IMU batches go missing (bus stall)
+    ImuTimeJitter,//!< non-monotonic/duplicate IMU timestamps
+    GpsDenied,    //!< no fixes (urban canyon, indoors, jamming)
+    FrameDrop,    //!< camera frames missing entirely
+    Teleport,     //!< kidnapped robot: relocation along the trajectory
+};
+
+/** Display name of a degradation kind ("motion_blur", ...). */
+const char *degradationName(DegradationKind k);
+
+/** One degradation active over a frame window [from, to). */
+struct DegradationEvent
+{
+    DegradationKind kind = DegradationKind::MotionBlur;
+    int from = 0;            //!< first affected frame
+    int to = 1 << 30;        //!< one past the last affected frame
+
+    // Parameters (only the kind's subset is meaningful).
+    double strength = 4.0;   //!< motion_blur: horizontal radius, px
+    double gain = 0.30;      //!< low_light: illumination multiplier
+    double noise_sigma = 7.0;//!< low_light: added shot noise, gray levels
+    int patches = 4;         //!< occlusion: patch count
+    double patch_frac = 0.22;//!< occlusion: patch size / image width
+    Vec3 gyro_bias;          //!< imu_bias_jump: added gyro bias, rad/s
+    Vec3 accel_bias;         //!< imu_bias_jump: added accel bias, m/s^2
+    double jitter_ms = 4.0;  //!< imu_time_jitter: timestamp sigma, ms
+    int drop_every = 4;      //!< frame_drop: drop every Nth frame
+    int jump_frames = 0;     //!< teleport: trajectory skip, frames
+
+    /** True when the event is active at frame @p i. */
+    bool activeAt(int i) const { return i >= from && i < to; }
+};
+
+/** One declarative adversarial scenario. */
+struct ScenarioSpec
+{
+    std::string name;
+    SceneType scene = SceneType::IndoorUnknown;
+    Platform platform = Platform::Drone;
+    int frames = 120;
+    double fps = 10.0;
+    uint64_t seed = 42;
+
+    /** Backend modes to evaluate (empty: the scene's preferred mode). */
+    std::vector<BackendMode> modes;
+
+    /** Generate a wheel-odometry stream (ground platforms). */
+    bool wheel_odometry = false;
+    double odometry_rate_hz = 50.0;
+    WheelOdometryNoiseModel odometry_noise;
+
+    std::vector<DegradationEvent> events;
+
+    /** Sum of teleport jumps (extra base frames the wrapper needs). */
+    int totalTeleportJump() const;
+
+    /** Modes to run: declared list, or the scene's preferred mode. */
+    std::vector<BackendMode> effectiveModes() const;
+};
+
+/**
+ * Parses one or more '---'-separated scenario blocks.
+ * @throws std::invalid_argument naming the offending line on errors.
+ */
+std::vector<ScenarioSpec> parseScenarioSpecs(const std::string &text);
+
+/**
+ * The built-in regression matrix: >= 8 distinct degradation scenarios
+ * spanning VIO, SLAM and Registration, expressed in the spec text
+ * format (so the data path of the parser is what CI exercises).
+ */
+std::string standardScenarioMatrixText();
+
+/** Parsed form of standardScenarioMatrixText(). */
+std::vector<ScenarioSpec> standardScenarioMatrix();
+
+/**
+ * A Dataset wrapped by a ScenarioSpec's degradations. Mirrors the
+ * Dataset per-frame interface the harnesses consume; corruption is
+ * deterministic in (spec.seed, frame index).
+ */
+class DegradedDataset
+{
+  public:
+    explicit DegradedDataset(const ScenarioSpec &spec);
+
+    const ScenarioSpec &spec() const { return spec_; }
+    const Dataset &base() const { return base_; }
+    int frameCount() const { return spec_.frames; }
+    double framePeriod() const { return 1.0 / spec_.fps; }
+    const StereoRig &rig() const { return base_.rig(); }
+
+    /**
+     * Renders frame @p i with all active image degradations applied.
+     * Dropped frames return empty images (truth still valid). The
+     * frame's timestamp stays on the undegraded clock; only content
+     * (and, across a teleport, the viewpoint) changes.
+     */
+    DatasetFrame frame(int i) const;
+
+    /** Ground truth at frame @p i (follows teleports). */
+    Pose truthAt(int i) const;
+
+    /** IMU batch for frame @p i with IMU degradations applied. */
+    std::vector<ImuSample> imuBetweenFrames(int i) const;
+
+    /** GPS fix at frame @p i (invalid during gps_denied windows). */
+    GpsSample gpsAtFrame(int i) const;
+
+    /**
+     * Wheel-odometry batch for frame @p i (empty unless the spec
+     * enables wheel_odometry).
+     */
+    std::vector<WheelOdometrySample> odometryBetweenFrames(int i) const;
+
+    /** True when @p i falls in a frame_drop event's drop pattern. */
+    bool frameDropped(int i) const;
+
+    /** First frame at which any teleport event fires (-1: none). */
+    int teleportFrame() const;
+
+  private:
+    /** Base-dataset frame index of logical frame @p i (teleports). */
+    int shiftedIndex(int i) const;
+    /** Seconds the base clock is ahead at logical frame @p i. */
+    double shiftSeconds(int i) const;
+
+    void applyImageEvents(int i, ImageU8 &img, uint64_t eye_salt) const;
+
+    ScenarioSpec spec_;
+    Dataset base_;
+    std::vector<WheelOdometrySample> odometry_;
+};
+
+} // namespace edx

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Adversarial-conditions coverage: the ScenarioSpec parser, the
+ * DegradedDataset corruptions, the health state machine, the
+ * dead-reckoning fallback, and the recovery/kidnap acceptance tests
+ * that gate the robustness behaviour end to end.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/scenario_runner.hpp"
+#include "sensors/dead_reckoning.hpp"
+#include "sim/degradation.hpp"
+
+using namespace edx;
+
+namespace {
+
+ScenarioSpec
+specByName(const std::string &name)
+{
+    for (const ScenarioSpec &s : standardScenarioMatrix())
+        if (s.name == name)
+            return s;
+    ADD_FAILURE() << "no such scenario in the standard matrix: " << name;
+    return {};
+}
+
+double
+posErr(const Pose &a, const Pose &b)
+{
+    return (a.translation - b.translation).norm();
+}
+
+bool
+imagesEqual(const ImageU8 &a, const ImageU8 &b)
+{
+    return a.width() == b.width() && a.height() == b.height() &&
+           std::equal(a.data(), a.data() + a.pixelCount(), b.data());
+}
+
+double
+meanIntensity(const ImageU8 &img)
+{
+    double sum = 0.0;
+    for (long k = 0; k < img.pixelCount(); ++k)
+        sum += img.data()[k];
+    return img.pixelCount() > 0 ? sum / img.pixelCount() : 0.0;
+}
+
+} // namespace
+
+// --- ScenarioSpec parser ----------------------------------------------------
+
+TEST(ScenarioSpecParser, ParsesMultiBlockText)
+{
+    const std::string text = R"(# comment
+scenario: one
+scene: outdoor-unknown
+platform: car
+frames: 50
+fps: 5
+seed: 9
+mode: vio
+mode: slam
+wheel_odometry: on
+event: motion_blur from=10 to=20 strength=3.5
+event: gps_denied from=15
+---
+scenario: two
+scene: indoor-known
+event: teleport from=12 to=13 jump=7
+)";
+    std::vector<ScenarioSpec> specs = parseScenarioSpecs(text);
+    ASSERT_EQ(specs.size(), 2u);
+
+    const ScenarioSpec &a = specs[0];
+    EXPECT_EQ(a.name, "one");
+    EXPECT_EQ(a.scene, SceneType::OutdoorUnknown);
+    EXPECT_EQ(a.platform, Platform::Car);
+    EXPECT_EQ(a.frames, 50);
+    EXPECT_DOUBLE_EQ(a.fps, 5.0);
+    EXPECT_EQ(a.seed, 9u);
+    ASSERT_EQ(a.modes.size(), 2u);
+    EXPECT_EQ(a.modes[0], BackendMode::Vio);
+    EXPECT_EQ(a.modes[1], BackendMode::Slam);
+    EXPECT_TRUE(a.wheel_odometry);
+    ASSERT_EQ(a.events.size(), 2u);
+    EXPECT_EQ(a.events[0].kind, DegradationKind::MotionBlur);
+    EXPECT_EQ(a.events[0].from, 10);
+    EXPECT_EQ(a.events[0].to, 20);
+    EXPECT_DOUBLE_EQ(a.events[0].strength, 3.5);
+    EXPECT_EQ(a.events[1].kind, DegradationKind::GpsDenied);
+    EXPECT_EQ(a.events[1].from, 15);
+
+    const ScenarioSpec &b = specs[1];
+    EXPECT_EQ(b.name, "two");
+    ASSERT_EQ(b.events.size(), 1u);
+    EXPECT_EQ(b.events[0].jump_frames, 7);
+    EXPECT_EQ(b.totalTeleportJump(), 7);
+    // No declared mode: the scene's preferred mode.
+    ASSERT_EQ(b.effectiveModes().size(), 1u);
+    EXPECT_EQ(b.effectiveModes()[0], preferredMode(SceneType::IndoorKnown));
+}
+
+TEST(ScenarioSpecParser, RejectsMalformedInputWithLineNumbers)
+{
+    EXPECT_THROW(parseScenarioSpecs("scene: indoor-unknown\n"),
+                 std::invalid_argument); // missing scenario name
+    EXPECT_THROW(parseScenarioSpecs("scenario: x\nscene: mars\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseScenarioSpecs("scenario: x\nevent: sharknado\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        parseScenarioSpecs("scenario: x\nevent: motion_blur from=9 to=3\n"),
+        std::invalid_argument);
+    EXPECT_THROW(parseScenarioSpecs("scenario: x\nfromage: brie\n"),
+                 std::invalid_argument);
+    try {
+        parseScenarioSpecs("scenario: x\n\nbogus line\n");
+        FAIL() << "expected a parse error";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ScenarioSpecParser, StandardMatrixMeetsCoverageFloor)
+{
+    std::vector<ScenarioSpec> specs = standardScenarioMatrix();
+    EXPECT_GE(specs.size(), 8u) << "the regression matrix must keep >= 8 "
+                                   "distinct degradation scenarios";
+    bool vio = false, slam = false, reg = false;
+    for (const ScenarioSpec &s : specs)
+        for (BackendMode m : s.effectiveModes()) {
+            vio |= m == BackendMode::Vio;
+            slam |= m == BackendMode::Slam;
+            reg |= m == BackendMode::Registration;
+        }
+    EXPECT_TRUE(vio);
+    EXPECT_TRUE(slam);
+    EXPECT_TRUE(reg);
+}
+
+// --- DegradedDataset --------------------------------------------------------
+
+TEST(DegradedDataset, CorruptionIsDeterministic)
+{
+    ScenarioSpec spec = specByName("low-light-slam");
+    spec.frames = 40;
+    DegradedDataset a(spec), b(spec);
+    for (int i : {0, 20, 35}) {
+        DatasetFrame fa = a.frame(i), fb = b.frame(i);
+        EXPECT_TRUE(imagesEqual(fa.stereo.left, fb.stereo.left));
+        EXPECT_TRUE(imagesEqual(fa.stereo.right, fb.stereo.right));
+    }
+}
+
+TEST(DegradedDataset, LowLightDarkensOnlyTheEventWindow)
+{
+    ScenarioSpec spec = specByName("low-light-slam");
+    spec.frames = 40;
+    ASSERT_FALSE(spec.events.empty());
+    spec.events[0].from = 10;
+    spec.events[0].to = 20;
+    DegradedDataset dd(spec);
+
+    double clean = meanIntensity(dd.base().frame(5).stereo.left);
+    double inside = meanIntensity(dd.frame(15).stereo.left);
+    double outside = meanIntensity(dd.frame(25).stereo.left);
+    EXPECT_LT(inside, 0.6 * clean);
+    EXPECT_NEAR(outside, meanIntensity(dd.base().frame(25).stereo.left),
+                1e-9);
+}
+
+TEST(DegradedDataset, GpsDeniedWindowInvalidatesFixes)
+{
+    ScenarioSpec spec = specByName("gps-denied-vio");
+    spec.frames = 40;
+    spec.events[0].from = 10;
+    spec.events[0].to = 30;
+    DegradedDataset dd(spec);
+    EXPECT_TRUE(dd.gpsAtFrame(5).valid);
+    EXPECT_FALSE(dd.gpsAtFrame(15).valid);
+    EXPECT_FALSE(dd.gpsAtFrame(29).valid);
+    EXPECT_TRUE(dd.gpsAtFrame(35).valid);
+}
+
+TEST(DegradedDataset, TeleportShiftsViewpointAndTruthTogether)
+{
+    ScenarioSpec spec = specByName("kidnap-registration");
+    spec.frames = 60;
+    spec.events[0].from = 30;
+    spec.events[0].to = 31;
+    spec.events[0].jump_frames = 12;
+    DegradedDataset dd(spec);
+
+    // Truth jumps at the teleport frame...
+    double step_before = posErr(dd.truthAt(29), dd.truthAt(28));
+    double step_at = posErr(dd.truthAt(30), dd.truthAt(29));
+    EXPECT_GT(step_at, 3.0 * step_before);
+    // ...to the base trajectory 12 frames ahead, and imagery follows.
+    EXPECT_NEAR(posErr(dd.truthAt(30), dd.base().truthAt(42)), 0.0, 1e-12);
+    EXPECT_TRUE(imagesEqual(dd.frame(30).stereo.left,
+                            dd.base().frame(42).stereo.left));
+    // The session clock stays continuous.
+    EXPECT_NEAR(dd.frame(30).t, 30 * dd.framePeriod(), 1e-9);
+}
+
+TEST(DegradedDataset, ImuTimeJitterSurvivesToTheConsumer)
+{
+    ScenarioSpec spec = specByName("imu-dropout-jitter-vio");
+    spec.frames = 90;
+    DegradedDataset dd(spec);
+
+    // Inside the jitter window the batch must contain at least one
+    // non-increasing timestamp pair somewhere — that is the fault the
+    // MSCKF dt guard is exercised against.
+    bool non_monotonic = false;
+    for (int i = 56; i < 85 && !non_monotonic; ++i) {
+        std::vector<ImuSample> batch = dd.imuBetweenFrames(i);
+        for (size_t k = 1; k < batch.size(); ++k)
+            non_monotonic |= batch[k].t <= batch[k - 1].t;
+    }
+    EXPECT_TRUE(non_monotonic);
+
+    // The dropout window delivers no samples at all.
+    EXPECT_TRUE(dd.imuBetweenFrames(35).empty());
+}
+
+// --- IMU timestamp guards (satellite: non-monotonic integration) ------------
+
+TEST(ImuSanitizer, DropsDuplicateAndRegressedStamps)
+{
+    std::vector<ImuSample> batch(5);
+    batch[0].t = 1.00;
+    batch[1].t = 1.01;
+    batch[2].t = 1.01; // duplicate
+    batch[3].t = 0.99; // regressed
+    batch[4].t = 1.02;
+    EXPECT_EQ(sanitizeImuBatch(batch), 2);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_DOUBLE_EQ(batch[0].t, 1.00);
+    EXPECT_DOUBLE_EQ(batch[1].t, 1.01);
+    EXPECT_DOUBLE_EQ(batch[2].t, 1.02);
+}
+
+// --- HealthMonitor ----------------------------------------------------------
+
+TEST(HealthMonitor, WalksTheStateMachineWithDebounce)
+{
+    HealthConfig cfg;
+    cfg.degrade_frames = 2;
+    cfg.recover_frames = 3;
+    HealthMonitor mon(cfg);
+
+    HealthSignals good;
+    good.features = 100;
+    good.stereo_matches = 50;
+    good.solve_ok = true;
+    HealthSignals bad;
+    bad.features = 2;
+    bad.stereo_matches = 0;
+    bad.solve_ok = false;
+
+    EXPECT_EQ(mon.update(good), TrackingHealth::Nominal);
+    // One bad frame degrades but must not flip into fallback.
+    EXPECT_EQ(mon.update(bad), TrackingHealth::Degraded);
+    EXPECT_EQ(mon.update(good), TrackingHealth::Nominal);
+    // A sustained collapse reaches DEAD_RECKONING.
+    EXPECT_EQ(mon.update(bad), TrackingHealth::Degraded);
+    EXPECT_EQ(mon.update(bad), TrackingHealth::DeadReckoning);
+    EXPECT_EQ(mon.update(bad), TrackingHealth::DeadReckoning);
+    // Vision returns: RECOVERING debounces the way back.
+    EXPECT_EQ(mon.update(good), TrackingHealth::Recovering);
+    EXPECT_EQ(mon.update(good), TrackingHealth::Recovering);
+    EXPECT_EQ(mon.update(bad), TrackingHealth::DeadReckoning);
+    EXPECT_EQ(mon.update(good), TrackingHealth::Recovering);
+    EXPECT_EQ(mon.update(good), TrackingHealth::Recovering);
+    EXPECT_EQ(mon.update(good), TrackingHealth::Nominal);
+    EXPECT_GT(mon.transitions(), 0);
+    EXPECT_GT(mon.framesIn(TrackingHealth::DeadReckoning), 0);
+
+    mon.reset();
+    EXPECT_EQ(mon.state(), TrackingHealth::Nominal);
+}
+
+TEST(HealthMonitor, SoloInlierAndCovarianceSignalsClassifyBad)
+{
+    HealthConfig cfg;
+    HealthMonitor mon(cfg);
+    HealthSignals sig;
+    sig.features = 100;
+    sig.stereo_matches = 50;
+    sig.solve_ok = true;
+    sig.inliers = cfg.min_inliers - 1;
+    mon.update(sig);
+    EXPECT_FALSE(mon.lastFrameGood());
+
+    sig.inliers = -1;
+    sig.position_cov_trace = cfg.max_position_cov_trace + 1.0;
+    mon.update(sig);
+    EXPECT_FALSE(mon.lastFrameGood());
+
+    sig.position_cov_trace = 0.01;
+    mon.update(sig);
+    EXPECT_TRUE(mon.lastFrameGood());
+}
+
+// --- DeadReckoner -----------------------------------------------------------
+
+TEST(DeadReckoner, TracksTruthOverAShortImuHorizon)
+{
+    // Clean (noise-free) IMU from the reference trajectory: the
+    // reckoner should stay decimeter-accurate over a one-second
+    // outage, which is the horizon the fallback is designed for.
+    DatasetConfig dcfg;
+    dcfg.scene = SceneType::OutdoorUnknown;
+    dcfg.frame_count = 40;
+    dcfg.fps = 10.0;
+    Dataset d(dcfg);
+    const Trajectory &traj = d.trajectory();
+
+    DeadReckoningConfig rcfg;
+    rcfg.use_wheel_odometry = false;
+    rcfg.velocity_damping = 0.0; // clean IMU: no leak needed
+    DeadReckoner dr(rcfg);
+    const double t0 = 1.0;
+    dr.seed(traj.poseAt(t0), t0, traj.velocityAt(t0));
+
+    const double rate = 200.0;
+    std::vector<ImuSample> imu;
+    for (int k = 1; k <= static_cast<int>(rate); ++k) {
+        double t = t0 + k / rate;
+        ImuSample s = traj.imuTruthAt(t);
+        s.t = t;
+        imu.push_back(s);
+    }
+    dr.propagate(imu, {}, t0 + 1.0);
+    EXPECT_LT(posErr(dr.pose(), traj.poseAt(t0 + 1.0)), 0.15);
+}
+
+TEST(DeadReckoner, WheelOdometryPathIgnoresAccelerometer)
+{
+    DeadReckoningConfig rcfg;
+    DeadReckoner dr(rcfg);
+    Pose start = Pose::identity();
+    dr.seed(start, 0.0, Vec3::zero());
+
+    // Straight 1 m/s roll for one second: garbage accelerometer data
+    // must not matter because position integrates from the wheels.
+    std::vector<ImuSample> imu;
+    std::vector<WheelOdometrySample> odo;
+    for (int k = 1; k <= 50; ++k) {
+        ImuSample s;
+        s.t = k * 0.02;
+        s.accel = Vec3{40.0, -25.0, 60.0}; // nonsense
+        imu.push_back(s);
+        WheelOdometrySample w;
+        w.t = k * 0.02;
+        w.v_forward = 1.0;
+        w.valid = true;
+        odo.push_back(w);
+    }
+    dr.propagate(imu, odo, 1.0);
+    EXPECT_NEAR(dr.pose().translation[0], 1.0, 0.05);
+    EXPECT_NEAR(dr.pose().translation[1], 0.0, 0.05);
+    EXPECT_NEAR(dr.pose().translation[2], 0.0, 0.05);
+}
+
+// --- end-to-end acceptance: fallback engage + recovery ----------------------
+
+TEST(ScenarioAcceptance, BlackoutEngagesFallbackAndRecovers)
+{
+    ScenarioSpec spec = specByName("blackout-recovery-registration");
+    ScenarioCellResult cell =
+        runScenarioCell(spec, BackendMode::Registration);
+
+    // The near-blackout must actually drive the session into
+    // dead-reckoning (the fallback engages)...
+    EXPECT_GT(cell.dead_reckoned_frames, 0);
+    EXPECT_GT(cell.health_frames[static_cast<int>(
+                  TrackingHealth::DeadReckoning)],
+              0);
+
+    // ...the dead-reckoned stretch must stay usefully bounded (the
+    // wheel-odometry track, not a frozen or exploding pose)...
+    for (const ScenarioFrameRecord &rec : cell.frames)
+        if (rec.dead_reckoned)
+            EXPECT_LT(posErr(rec.pose, rec.truth), 2.5)
+                << "frame " << rec.frame_index;
+
+    // ...and when vision returns the session must re-converge: back to
+    // NOMINAL with a bounded post-degradation tail.
+    EXPECT_EQ(cell.frames.back().health, TrackingHealth::Nominal);
+    ASSERT_LT(cell.tail_start, static_cast<int>(cell.frames.size()));
+    EXPECT_LT(cell.tail_error.rmse_m, 1.0);
+}
+
+TEST(ScenarioAcceptance, FallbackOffPreservesLegacyRejects)
+{
+    // With the fallback disabled a frame-drop window simply fails the
+    // frames (the pre-health contract): no dead-reckoned poses at all.
+    ScenarioSpec spec = specByName("blackout-recovery-registration");
+    ScenarioRunOptions opt;
+    opt.enable_fallback = false;
+    ScenarioCellResult cell =
+        runScenarioCell(spec, BackendMode::Registration, opt);
+    EXPECT_EQ(cell.dead_reckoned_frames, 0);
+}
+
+// --- end-to-end acceptance: kidnapped robot ---------------------------------
+
+TEST(ScenarioAcceptance, KidnappedRobotRelocalizesOrReportsUnhealthy)
+{
+    ScenarioSpec spec = specByName("kidnap-registration");
+    ScenarioCellResult cell =
+        runScenarioCell(spec, BackendMode::Registration);
+
+    int teleport = -1;
+    for (const DegradationEvent &e : spec.events)
+        if (e.kind == DegradationKind::Teleport)
+            teleport = e.from;
+    ASSERT_GT(teleport, 0);
+
+    // The contract: after the teleport the session must either
+    // re-localize (pose error back under the converged bound) within
+    // a bounded number of frames, or keep reporting itself unhealthy.
+    // What it must never do is claim a healthy, solved pose that is
+    // far from the truth.
+    const double converged_m = 1.0;
+    const int reloc_budget = 25;
+
+    int reconverged_at = -1;
+    for (size_t i = teleport; i < cell.frames.size(); ++i) {
+        const ScenarioFrameRecord &rec = cell.frames[i];
+        const double err = posErr(rec.pose, rec.truth);
+        if (reconverged_at < 0 && rec.ok && err < converged_m)
+            reconverged_at = rec.frame_index;
+        if (rec.ok && rec.health == TrackingHealth::Nominal)
+            EXPECT_LT(err, converged_m)
+                << "silently-wrong pose at frame " << rec.frame_index
+                << ": claims nominal health with " << err << " m error";
+    }
+    ASSERT_GE(reconverged_at, 0)
+        << "never relocalized after the teleport; final health = "
+        << healthName(cell.frames.back().health);
+    EXPECT_LE(reconverged_at - teleport, reloc_budget);
+
+    // Once re-converged, the session must stay converged (no silent
+    // re-divergence at the end of the run).
+    EXPECT_LT(posErr(cell.frames.back().pose, cell.frames.back().truth),
+              converged_m);
+}

@@ -126,6 +126,49 @@ TEST(Robustness, OutOfOrderImuSamplesAreIgnored)
     EXPECT_LT(p.translation.norm(), 0.01);
 }
 
+TEST(Robustness, DuplicateImuTimestampsDoNotPoisonTheFilter)
+{
+    // A duplicate stamp means dt = 0 for the second sample; an
+    // unguarded propagation divides by it (bias-walk discretization,
+    // midpoint rules) and the covariance goes NaN. The filter must
+    // shrug the sample off instead.
+    StereoRig rig = platformRig(Platform::Drone);
+    Msckf filter(rig);
+    filter.initialize(Pose::identity(), 0.0);
+
+    std::vector<ImuSample> batch;
+    ImuSample s;
+    s.accel = -gravityWorld();
+    for (int k = 1; k <= 10; ++k) {
+        s.t = k * 0.005;
+        batch.push_back(s);
+        batch.push_back(s); // every stamp duplicated ...
+        s.t += 1e-15;       // ... and once more a near-duplicate
+        batch.push_back(s); //     (subnormal dt must also be skipped)
+    }
+    filter.propagate(batch);
+    EXPECT_TRUE(std::isfinite(filter.pose().translation.norm()));
+    EXPECT_TRUE(std::isfinite(filter.velocity().norm()));
+    const MatX &cov = filter.covariance();
+    for (int i = 0; i < cov.rows(); ++i)
+        ASSERT_TRUE(std::isfinite(cov(i, i))) << "cov diag " << i;
+    EXPECT_LT(filter.pose().translation.norm(), 0.01);
+}
+
+TEST(Robustness, DatasetImuBatchesAreStrictlyMonotonic)
+{
+    // Integration batches handed out by the dataset must be strictly
+    // increasing in time — the contract sanitizeImuBatch() enforces
+    // regardless of what the underlying stream contains.
+    Dataset d(droneScene(SceneType::OutdoorUnknown, 20));
+    for (int i = 1; i < d.frameCount(); ++i) {
+        std::vector<ImuSample> batch = d.imuBetweenFrames(i);
+        for (size_t k = 1; k < batch.size(); ++k)
+            ASSERT_GT(batch[k].t, batch[k - 1].t)
+                << "frame " << i << " sample " << k;
+    }
+}
+
 TEST(Robustness, HugeImuGapReanchorsClock)
 {
     StereoRig rig = platformRig(Platform::Drone);

@@ -761,9 +761,15 @@ TEST(LocalizerPool, GangWindowKeepsPosesBitIdenticalAndAlignsBatches)
     for (int sid = 0; sid < kSessions; ++sid)
         pool.addSession(makeLocalizer(r, d));
 
+    // Atomic lockstep arrival: admitting every session's frames in one
+    // batch keeps submission from racing worker dispatch, so wave
+    // widths are deterministic (streamed per-frame submit() would let
+    // an early worker stage a lone first arrival into a narrow wave).
+    std::vector<std::pair<int, FrameInput>> batch;
     for (int i = 0; i < kFrames; ++i)
         for (int sid = 0; sid < kSessions; ++sid)
-            ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+            batch.emplace_back(sid, inputFor(d, i));
+    ASSERT_EQ(pool.submitBatch(std::move(batch)), kFrames * kSessions);
     pool.drain();
 
     std::vector<std::vector<LocalizationResult>> per(kSessions);
@@ -1390,6 +1396,92 @@ TEST(LocalizerPool, GangTimeoutReleasesNarrowerWavesBitIdentical)
     EXPECT_GE(stats.min_wave, 1);
     EXPECT_LE(stats.max_wave, kSessions);
     EXPECT_EQ(stats.entries_announced >= stats.waves_announced, true);
+}
+
+/**
+ * Fault injection under the gang window: one session's sensors
+ * collapse mid-run (featureless frames + GPS outage). The faulty
+ * session must neither stall its gang wave (the pool drains all
+ * frames of all sessions) nor poison its neighbours (every healthy
+ * session stays bit-identical to the solo run), and the pool's
+ * serving counters must expose the victim's degraded health.
+ */
+TEST(LocalizerPool, FaultySessionDoesNotStallOrPoisonTheGang)
+{
+    const int kSessions = 3;
+    const int kFrames = 10;
+    const int kFaulty = 1;
+    const int kFaultFrom = 3, kFaultTo = 7;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+
+    ImageU8 blank(d.rig().cam.width, d.rig().cam.height, 128);
+    auto faultyInput = [&](int i) {
+        FrameInput in = inputFor(d, i);
+        if (i >= kFaultFrom && i < kFaultTo) {
+            in.left = blank;
+            in.right = blank;
+            in.gps = GpsSample{}; // valid = false
+        }
+        return in;
+    };
+
+    // Solo references: the clean stream and the faulty stream.
+    auto clean_ref = makeLocalizer(r, d);
+    auto faulty_ref = makeLocalizer(r, d);
+    std::vector<LocalizationResult> clean_expected, faulty_expected;
+    for (int i = 0; i < kFrames; ++i) {
+        clean_expected.push_back(clean_ref->processFrame(inputFor(d, i)));
+        faulty_expected.push_back(faulty_ref->processFrame(faultyInput(i)));
+    }
+
+    PoolConfig pcfg;
+    pcfg.workers = kSessions;
+    pcfg.queue_capacity = 16;
+    pcfg.gang_window = true;
+    pcfg.gang_timeout_ms = 50.0; // a stalled wave must time out, not hang
+    LocalizerPool pool(pcfg);
+    for (int sid = 0; sid < kSessions; ++sid)
+        pool.addSession(makeLocalizer(r, d));
+
+    for (int i = 0; i < kFrames; ++i)
+        for (int sid = 0; sid < kSessions; ++sid)
+            ASSERT_TRUE(pool.submit(
+                sid, sid == kFaulty ? faultyInput(i) : inputFor(d, i)));
+    pool.drain();
+
+    std::vector<std::vector<LocalizationResult>> per(kSessions);
+    PoolResult pr;
+    while (pool.poll(pr))
+        per[pr.session_id].push_back(std::move(pr.result));
+
+    for (int sid = 0; sid < kSessions; ++sid) {
+        // No stall: every session completed every frame.
+        ASSERT_EQ(per[sid].size(), static_cast<size_t>(kFrames))
+            << "session " << sid;
+        const auto &expected =
+            sid == kFaulty ? faulty_expected : clean_expected;
+        for (int i = 0; i < kFrames; ++i)
+            expectPosesIdentical(expected[i], per[sid][i], i);
+    }
+
+    // The victim's collapse is visible in the pool's serving counters;
+    // the healthy sessions report clean streams.
+    PoolStats stats = pool.stats();
+    ASSERT_EQ(stats.sessions.size(), static_cast<size_t>(kSessions));
+    long victim_unhealthy = 0;
+    for (int h = 1; h < kTrackingHealthStates; ++h)
+        victim_unhealthy += stats.sessions[kFaulty].health_frames[h];
+    EXPECT_GT(victim_unhealthy, 0);
+    for (int sid = 0; sid < kSessions; ++sid) {
+        if (sid == kFaulty)
+            continue;
+        EXPECT_EQ(stats.sessions[sid].health_frames[static_cast<int>(
+                      TrackingHealth::Nominal)],
+                  static_cast<long>(kFrames))
+            << "session " << sid;
+        EXPECT_EQ(stats.sessions[sid].dead_reckoned_frames, 0);
+    }
 }
 
 } // namespace
