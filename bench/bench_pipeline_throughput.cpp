@@ -17,6 +17,12 @@
  * Doubles as the CI perf smoke: when EDX_PIPELINE_MS_CEILING is set,
  * the planned-topology steady-state period of the dense-keyframing
  * SLAM car scene must stay below it or the bench exits non-zero.
+ * EDX_QOS_FPS_FLOOR gates the safety-critical session's throughput
+ * retention under overload (elastic auto-sized pool, no hand-tuned
+ * worker count), and EDX_ADAPT_FPS_FLOOR gates the self-repipelining
+ * leg: a mid-run VIO -> dense-keyframing SLAM shift must recover the
+ * given fraction of the fresh statically planned fps via online
+ * re-plan + epoch cut swaps alone.
  */
 #include <cstdlib>
 #include <iostream>
@@ -30,6 +36,7 @@
 #include "math/stats.hpp"
 #include "runtime/localizer_pool.hpp"
 #include "runtime/placement.hpp"
+#include "runtime/replan.hpp"
 
 using namespace edx;
 using namespace edx::bench;
@@ -280,12 +287,21 @@ runQosPool(const SessionAssets &assets, int frames, int best_effort,
            bool gang)
 {
     PoolConfig pcfg;
-    // A reserved worker only isolates the safety-critical stream when
-    // a second hardware thread exists to run it; on a single-core host
-    // extra workers just time-share the core under the safety frames.
+    // Auto-sized: the pool starts minimal and elastic scaling grows it
+    // from observed queue waits — no hand-tuned worker count. The
+    // reservation stays a QoS *policy* choice, and it only isolates
+    // the safety-critical stream when a second hardware thread exists
+    // to run it; on a single-core host extra workers just time-share
+    // the core under the safety frames.
     const bool multi_core = std::thread::hardware_concurrency() >= 2;
-    pcfg.workers = multi_core ? 2 : 1;
+    pcfg.workers = 1;
+    pcfg.elastic_workers = true;
+    pcfg.grow_wait_ms = 1.0; // oversubscription shows as queue wait
     pcfg.reserved_workers = multi_core ? 1 : 0;
+    pcfg.replan = true; // per-session advisory re-planning counters
+    pcfg.replan_cfg.window = 16; // short runs: tick within a few frames
+    pcfg.replan_cfg.tick_frames = 4;
+    pcfg.replan_cfg.min_mode_frames = 4;
     pcfg.queue_capacity = 16;
     pcfg.best_effort_capacity = 2; // shallow: sheds instead of queueing
     pcfg.gang_window = gang;
@@ -359,14 +375,20 @@ qosReport(const SessionAssets &assets, int frames)
         worst_ratio = std::min(worst_ratio, ratio);
 
         std::cout << "\n  QoS overload (" << (1 + kBestEffort)
-                  << " sessions, " << (multi_core ? 2 : 1)
-                  << " worker(s), " << (multi_core ? 1 : 0)
+                  << " sessions, elastic workers ended at "
+                  << load.stats.workers << " (" << load.stats.workers_grown
+                  << " grown, " << load.stats.workers_retired
+                  << " retired), " << (multi_core ? 1 : 0)
                   << " reserved, "
                   << (gang ? "gang window 10 ms" : "gang off")
                   << "): safety-critical " << fmt(load.sc_fps, 1)
                   << " fps vs " << fmt(solo.sc_fps, 1)
                   << " uncontended = " << fmt(ratio, 2)
                   << "x (target >= 0.9x)\n";
+        std::cout << "    adaptation: " << load.stats.replans
+                  << " replan tick(s), " << load.stats.swaps_applied
+                  << " plan update(s), " << load.stats.swaps_rejected
+                  << " held by hysteresis\n";
         std::cout << "    session        class             sub  done "
                      "drop(old) drop(ddl)  wait mean/max ms\n";
         for (size_t s = 0; s < load.stats.sessions.size(); ++s) {
@@ -383,6 +405,132 @@ qosReport(const SessionAssets &assets, int frames)
         }
     }
     return worst_ratio;
+}
+
+// --- self-repipelining under a mid-run workload shift ------------------
+
+struct AdaptReport
+{
+    double adaptive_fps = 0.0; //!< recovered post-shift fps, measured
+    double static_fps = 0.0;   //!< fresh statically planned run, measured
+    double ratio = 0.0;        //!< adaptive / static
+    long swaps = 0;            //!< epochs swapped in mid-run
+    std::vector<int> final_cuts;
+    ReplanStats replan;
+};
+
+/**
+ * Mid-run workload shift: one session starts as VIO on the classic
+ * frontend|backend split (the right placement for the frontend-bound
+ * VIO workload) and switches to dense-keyframing SLAM mid-run via
+ * Localizer::requestModeSwitch() — no restart, frames keep flowing.
+ * With a SessionReplanner armed the pipeline refits its per-node
+ * profile from live telemetry and swaps the cut list between frames,
+ * so post-shift throughput recovers toward what a fresh, statically
+ * planned pipeline achieves on the new workload.
+ *
+ * The recovered fps is measured over the second half of the post-shift
+ * window: the first half holds the re-plan transient (the window must
+ * fill with SLAM frames before a tick can refit), which is the price
+ * of adaptation, not its steady state.
+ */
+AdaptReport
+adaptReport(int frames)
+{
+    const int phase1 = std::max(frames / 2, 16);
+    const int phase2 = std::max(frames, 32);
+    const int total = phase1 + phase2;
+
+    RunConfig cfg;
+    cfg.scene = SceneType::IndoorUnknown;
+    cfg.platform = Platform::Car;
+    cfg.frames = total;
+    cfg.force_mode = BackendMode::Slam; // assets: vocabulary for SLAM
+    cfg.tune = [](LocalizerConfig &l) {
+        l.mapping.keyframe_interval = 1; // dense keyframing post-shift
+    };
+    SessionAssets assets = buildAssets(cfg);
+
+    // The adaptive session boots in VIO over the same assets (the
+    // vocabulary only matters once the switch lands).
+    LocalizerConfig vio_cfg = assets.lcfg;
+    vio_cfg.mode = BackendMode::Vio;
+    vio_cfg.use_gps = false;
+    Localizer loc(vio_cfg, assets.dataset->rig(), assets.voc.get(),
+                  nullptr);
+    loc.initialize(assets.dataset->truthAt(0), 0.0,
+                   assets.dataset->trajectory().velocityAt(0.0));
+
+    ReplanConfig rcfg; // bench cadence: adapt within ~a dozen frames
+    rcfg.window = 24;
+    rcfg.tick_frames = 8;
+    rcfg.min_mode_frames = 6;
+    SessionReplanner replanner(rcfg);
+
+    PipelineConfig pcfg;
+    pcfg.cuts = {2}; // classic split, planned for the VIO phase
+    pcfg.replanner = &replanner;
+
+    std::vector<FrameInput> inputs;
+    inputs.reserve(total);
+    for (int i = 0; i < total; ++i)
+        inputs.push_back(frameInput(*assets.dataset, i));
+
+    std::vector<std::chrono::steady_clock::time_point> done(total);
+    AdaptReport r;
+    {
+        FramePipeline pipe(loc, pcfg);
+        std::thread consumer([&] {
+            LocalizationResult res;
+            while (pipe.awaitResult(res))
+                done[res.frame_index] = std::chrono::steady_clock::now();
+        });
+        for (int i = 0; i < total; ++i) {
+            if (i == phase1)
+                loc.requestModeSwitch(BackendMode::Slam,
+                                      &assets.lcfg.mapping);
+            pipe.submit(std::move(inputs[i]));
+        }
+        pipe.close();
+        consumer.join();
+        r.swaps = pipe.stats().cut_swaps;
+        r.final_cuts = pipe.cuts();
+    }
+    r.replan = replanner.stats();
+
+    const int recovered_from = phase1 + phase2 / 2;
+    const int recovered = total - recovered_from;
+    const double recovered_ms =
+        std::chrono::duration<double, std::milli>(
+            done[total - 1] - done[recovered_from - 1])
+            .count();
+    r.adaptive_fps =
+        recovered_ms > 0.0 ? 1000.0 * recovered / recovered_ms : 0.0;
+
+    // The yardstick: a fresh session statically planned for the
+    // post-shift workload (sequential run -> steady-state telemetry ->
+    // planner cuts -> measured planned run), exactly the offline flow
+    // the adaptive path has to match online.
+    RunConfig scfg = cfg;
+    scfg.frames = phase2;
+    PipelineConfig seq;
+    seq.stages = 1;
+    PipelinedRun s = runPipelined(scfg, seq);
+    std::vector<FrameTelemetry> tel;
+    tel.reserve(s.run.frames.size());
+    for (const FrameRecord &f : s.run.frames)
+        tel.push_back(f.res.telemetry);
+    const size_t warmup =
+        std::min(tel.size() - 1, std::max<size_t>(4, tel.size() / 5));
+    std::vector<FrameTelemetry> steady(tel.begin() + warmup, tel.end());
+    StagePlan plan = PlacementPlanner::plan(
+        PlacementPlanner::profileFromTelemetry(steady, BackendMode::Slam));
+    PipelineConfig planned;
+    planned.cuts = plan.cuts;
+    planned.stages = static_cast<int>(plan.cuts.size()) + 1;
+    r.static_fps = runPipelined(scfg, planned).stats.fps();
+    r.ratio = r.static_fps > 0.0 ? r.adaptive_fps / r.static_fps : 0.0;
+    return r;
 }
 
 } // namespace
@@ -476,6 +624,21 @@ main()
     SessionAssets qos_assets = buildAssets(qos_cfg);
     double qos_ratio = qosReport(qos_assets, qos_cfg.frames);
 
+    // --- self-repipelining: mid-run workload shift -------------------
+    std::cout << "\nSelf-repipelining under a mid-run workload shift "
+                 "(VIO -> dense-keyframing SLAM, car):\n";
+    AdaptReport adapt = adaptReport(frames);
+    std::cout << "  recovered post-shift fps " << fmt(adapt.adaptive_fps, 1)
+              << " vs " << fmt(adapt.static_fps, 1)
+              << " statically planned fresh = " << fmt(adapt.ratio, 2)
+              << "x (target >= 0.9x)\n";
+    std::cout << "  " << adapt.swaps << " mid-run cut swap(s), final ["
+              << describeCuts(adapt.final_cuts) << "]; replanner: "
+              << adapt.replan.observed << " frames observed, "
+              << adapt.replan.ticks << " tick(s), "
+              << adapt.replan.proposals << " proposal(s), "
+              << adapt.replan.held << " held\n";
+
     // --- CI perf smoke ---------------------------------------------------
     if (const char *ceiling = std::getenv("EDX_PIPELINE_MS_CEILING")) {
         const double limit = std::atof(ceiling);
@@ -526,6 +689,32 @@ main()
         std::cout << "qos smoke: safety-critical held "
                   << fmt(qos_ratio, 2) << "x >= " << limit
                   << "x of uncontended fps under overload\n";
+    }
+
+    // --- CI adaptation smoke: after the mid-run VIO -> dense SLAM
+    // shift the self-repipelined session must recover the given
+    // fraction of the fresh statically planned throughput (the
+    // acceptance target is 0.9; CI gates a little below it so only
+    // real adaptation regressions fail, never runner noise).
+    if (const char *floor = std::getenv("EDX_ADAPT_FPS_FLOOR")) {
+        const double limit = std::atof(floor);
+        if (adapt.swaps < 1) {
+            std::cerr << "PERF REGRESSION: the replanner never swapped "
+                         "the topology after the workload shift\n";
+            return 1;
+        }
+        if (adapt.ratio < limit) {
+            std::cerr << "PERF REGRESSION: post-shift fps recovered to "
+                      << adapt.ratio
+                      << "x of the statically planned optimum, below "
+                         "the "
+                      << limit << "x floor\n";
+            return 1;
+        }
+        std::cout << "adaptation smoke: post-shift recovered "
+                  << fmt(adapt.ratio, 2) << "x >= " << limit
+                  << "x of the statically planned fps after "
+                  << adapt.swaps << " mid-run swap(s)\n";
     }
     return 0;
 }

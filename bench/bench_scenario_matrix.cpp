@@ -1,9 +1,12 @@
 /**
  * @file
  * Adversarial-conditions regression matrix: plays every ScenarioSpec of
- * the built-in matrix (or a spec file given as argv[1]) through the
- * localizer with the health-monitored dead-reckoning fallback enabled,
- * and reports per-cell ATE / RPE plus the health outcome.
+ * the built-in matrix (or a spec file given as argv[1], or every *.spec
+ * file of a directory given as `--scenarios <dir>` in filename order)
+ * through the localizer with the health-monitored dead-reckoning
+ * fallback enabled, and reports per-cell ATE / RPE plus the health
+ * outcome. The checked-in bench/scenarios/ directory mirrors the
+ * built-in matrix, so new cells are a spec file away — no recompile.
  *
  * CI accuracy gates (process exits 1 on violation):
  *   EDX_ATE_CEILING_ALL         whole-run ATE ceiling for every cell, m
@@ -14,8 +17,10 @@
  *   EDX_TAIL_ATE_CEILING_ALL    post-degradation tail ATE ceiling, m
  *                               (the re-convergence gate)
  */
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -52,6 +57,53 @@ ceilingFor(const std::string &prefix, const std::string &scenario)
     return -1.0;
 }
 
+/** Whole-file read; exits 2 on failure (the classic argv[1] path). */
+std::string
+readSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot open spec file: " << path << "\n";
+        std::exit(2);
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Concatenates every *.spec file of @p dir in filename order into one
+ * parseScenarioSpecs() input (each file already ends without a
+ * separator, so files are joined with the `---` record separator).
+ */
+std::string
+readSpecDir(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(dir, ec))
+        if (entry.is_regular_file() && entry.path().extension() == ".spec")
+            files.push_back(entry.path());
+    if (ec) {
+        std::cerr << "cannot read scenario directory: " << dir << " ("
+                  << ec.message() << ")\n";
+        std::exit(2);
+    }
+    if (files.empty()) {
+        std::cerr << "no *.spec files in: " << dir << "\n";
+        std::exit(2);
+    }
+    std::sort(files.begin(), files.end());
+    std::string text;
+    for (const fs::path &p : files) {
+        if (!text.empty())
+            text += "\n---\n";
+        text += readSpecFile(p.string());
+    }
+    return text;
+}
+
 } // namespace
 
 int
@@ -61,15 +113,11 @@ main(int argc, char **argv)
            "adversarial-conditions accuracy regression (ATE/RPE gates)");
 
     std::string text;
-    if (argc > 1) {
-        std::ifstream in(argv[1]);
-        if (!in) {
-            std::cerr << "cannot open spec file: " << argv[1] << "\n";
-            return 2;
-        }
-        std::stringstream ss;
-        ss << in.rdbuf();
-        text = ss.str();
+    if (argc > 2 && std::string(argv[1]) == "--scenarios") {
+        text = readSpecDir(argv[2]);
+        note(std::string("scenario directory: ") + argv[2]);
+    } else if (argc > 1) {
+        text = readSpecFile(argv[1]);
         note(std::string("spec file: ") + argv[1]);
     } else {
         text = standardScenarioMatrixText();

@@ -17,8 +17,13 @@ configForScenario(SceneType scene)
 Localizer::Localizer(const LocalizerConfig &cfg, const StereoRig &rig,
                      const Vocabulary *vocabulary, const Map *prior_map)
     : cfg_(cfg), rig_(rig), voc_(vocabulary), frontend_(cfg.frontend),
-      health_(cfg.health), reckoner_(cfg.dead_reckoning)
+      health_(cfg.health), reckoner_(cfg.dead_reckoning),
+      mode_(cfg.mode)
 {
+    // The prior map is retained in every mode so a later
+    // requestModeSwitch(Registration) can attach to it.
+    if (prior_map)
+        registration_map_ = prior_map;
     switch (cfg_.mode) {
       case BackendMode::Vio:
         msckf_ = std::make_unique<Msckf>(rig_, cfg_.msckf);
@@ -121,6 +126,75 @@ Localizer::runFrontendTm(const ImageU8 &left, FrontendStageContext &ctx,
     frontend_.runTmStage(left, ctx, out);
 }
 
+bool
+Localizer::requestModeSwitch(BackendMode target,
+                             const MappingConfig *mapping)
+{
+    if (target == mode_.load(std::memory_order_relaxed))
+        return false;
+    if (target == BackendMode::Registration && !registration_map_)
+        return false;
+    std::lock_guard<std::mutex> lk(switch_m_);
+    pending_switch_ = PendingSwitch{
+        target, mapping ? std::optional<MappingConfig>(*mapping)
+                        : std::nullopt};
+    return true;
+}
+
+void
+Localizer::applyModeSwitch(BackendMode target,
+                           const std::optional<MappingConfig> &mapping)
+{
+    switch (target) {
+      case BackendMode::Vio:
+        // A fresh filter anchored at the running estimate: the standard
+        // re-initialization of a deployed system leaving a mapped
+        // space. The track manager restarts (feature tracks of the old
+        // mode never fed the filter).
+        msckf_ = std::make_unique<Msckf>(rig_, cfg_.msckf);
+        if (hub_)
+            msckf_->setSolveHub(hub_);
+        if (cfg_.use_gps && !fusion_)
+            fusion_ = std::make_unique<GpsFusion>(cfg_.fusion);
+        msckf_->initialize(last_pose_.value_or(Pose::identity()),
+                           last_frame_t_);
+        track_manager_ = FeatureTrackManager{};
+        next_clone_id_ = 0;
+        break;
+      case BackendMode::Slam: {
+        // A fresh map bootstrapped from the current pose (the space is
+        // by definition unmapped — that is why the session is
+        // switching). An override config ships with the switch so the
+        // new space's keyframing policy applies from frame one.
+        if (mapping)
+            cfg_.mapping = *mapping;
+        mapper_ = std::make_unique<Mapper>(rig_, voc_, cfg_.mapping);
+        slam_tracker_ = std::make_unique<Tracker>(
+            &mapper_->map(), voc_, rig_.cam, rig_.body_from_camera,
+            cfg_.tracking);
+        if (hub_) {
+            mapper_->setSolveHub(hub_);
+            slam_tracker_->setSolveHub(hub_);
+        }
+        break;
+      }
+      case BackendMode::Registration:
+        if (!reg_tracker_) {
+            reg_tracker_ = std::make_unique<Tracker>(
+                registration_map_, voc_, rig_.cam,
+                rig_.body_from_camera, cfg_.tracking);
+            reg_tracker_->setStaticMap(true);
+            if (hub_)
+                reg_tracker_->setSolveHub(hub_);
+        }
+        break;
+    }
+    // The CV prediction seeded from the pre-switch history stays valid:
+    // the switch moves the backend, not the platform.
+    cfg_.mode = target;
+    mode_.store(target, std::memory_order_relaxed);
+}
+
 void
 Localizer::waitFinishedBefore(long seq)
 {
@@ -153,10 +227,30 @@ Localizer::runBackendSolve(const FrameInput &input, const FrontendOutput &fe,
 {
     ctx.seq = backend_seq_++;
     if (!initialized_) {
+        ctx.mode = cfg_.mode;
         ctx.res = rejectFrame(input.frame_index);
         ctx.rejected = true;
         return;
     }
+
+    // Consume a deferred mode switch at the frame boundary. The
+    // previous frame's finish must have fully published first — it
+    // owns part of the pose history (VIO fusion) and the old mode's
+    // structural state — so join it before tearing anything down.
+    std::optional<PendingSwitch> sw;
+    {
+        std::lock_guard<std::mutex> lk(switch_m_);
+        if (pending_switch_) {
+            sw = std::move(*pending_switch_);
+            pending_switch_.reset();
+        }
+    }
+    if (sw && sw->target != cfg_.mode) {
+        waitFinishedBefore(ctx.seq);
+        applyModeSwitch(sw->target, sw->mapping);
+    }
+
+    ctx.mode = cfg_.mode;
     switch (cfg_.mode) {
       case BackendMode::Vio:
         processVioSolve(input, fe, ctx);
@@ -178,7 +272,9 @@ Localizer::runBackendFinish(const FrameInput &input, const FrontendOutput &fe,
         markFinished();
         return std::move(ctx.res);
     }
-    switch (cfg_.mode) {
+    // Dispatch on the mode the frame *solved* under: finish(N) may
+    // overlap solve(N+1), and solve(N+1) may have switched modes.
+    switch (ctx.mode) {
       case BackendMode::Vio:
         processVioFinish(input, fe, ctx);
         break;
@@ -189,7 +285,7 @@ Localizer::runBackendFinish(const FrameInput &input, const FrontendOutput &fe,
         break; // tracking completes in the solve sub-stage
     }
     ctx.res.frame_index = input.frame_index;
-    ctx.res.mode = cfg_.mode;
+    ctx.res.mode = ctx.mode;
     ctx.res.telemetry.frontend = fe.timing;
     ctx.res.telemetry.frontend_workload = fe.workload;
     last_frame_t_ = input.t;

@@ -24,6 +24,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -126,6 +127,14 @@ struct BackendStageContext
     LocalizationResult res; //!< progressively completed result
     long seq = -1;          //!< backend frame sequence number
     bool rejected = false;  //!< frame could not be localized
+
+    /**
+     * The backend mode this frame solved under, stamped by
+     * runBackendSolve(). The finish sub-stage dispatches on it — not
+     * on the localizer's current mode — because finish(N) may overlap
+     * solve(N+1), and solve(N+1) may have consumed a mode switch.
+     */
+    BackendMode mode = BackendMode::Slam;
 
     /**
      * VIO filter-state snapshots taken in the solve sub-stage. The
@@ -235,8 +244,35 @@ class Localizer
      */
     void setSolveHub(SolveHub *hub);
 
+    /**
+     * Requests a mid-run backend-mode switch (the workload shift of a
+     * deployed session: outdoor VIO driving into an unmapped indoor
+     * space becomes SLAM). The request is *deferred*: the next frame's
+     * solve sub-stage consumes it after joining the previous frame's
+     * finish, rebuilds the target mode's backend state bootstrapped
+     * from the current pose estimate, and solves under the new mode —
+     * so under the staged runtime no frame ever straddles two modes.
+     *
+     * @param target the mode to switch into
+     * @param mapping optional mapping-config override installed with
+     *        the switch (e.g. dense keyframing for the new space);
+     *        only meaningful when @p target is Slam
+     * @return false (request dropped) when @p target is already the
+     *         current mode, or is Registration but no prior map was
+     *         given at construction.
+     */
+    bool requestModeSwitch(BackendMode target,
+                           const MappingConfig *mapping = nullptr);
+
     bool initialized() const { return initialized_; }
-    BackendMode mode() const { return cfg_.mode; }
+
+    /** Current backend mode. Safe to read from any thread (a pipeline
+     *  TM worker reads it while the solve worker may be consuming a
+     *  mode switch), hence the atomic shadow of cfg_.mode. */
+    BackendMode mode() const
+    {
+        return mode_.load(std::memory_order_relaxed);
+    }
     const LocalizerConfig &config() const { return cfg_; }
 
     /**
@@ -291,6 +327,11 @@ class Localizer
     /** Failure result for frames that cannot be localized. */
     LocalizationResult rejectFrame(int frame_index) const;
 
+    /** Tears down / rebuilds backend state for a consumed mode switch.
+     *  Solve-stage worker only, after waitFinishedBefore(). */
+    void applyModeSwitch(BackendMode target,
+                         const std::optional<MappingConfig> &mapping);
+
     LocalizerConfig cfg_;
     StereoRig rig_;
     const Vocabulary *voc_;
@@ -332,6 +373,18 @@ class Localizer
     std::mutex finish_m_;
     std::condition_variable finish_cv_;
     long finished_seq_ = 0;   //!< finish sub-stages completed
+
+    // Deferred mode switch: any thread may request, the solve-stage
+    // worker consumes at the next frame boundary. mode_ shadows
+    // cfg_.mode for lock-free cross-thread reads.
+    struct PendingSwitch
+    {
+        BackendMode target;
+        std::optional<MappingConfig> mapping;
+    };
+    std::mutex switch_m_;
+    std::optional<PendingSwitch> pending_switch_;
+    std::atomic<BackendMode> mode_;
 };
 
 /** Builds the LocalizerConfig for a scenario (Fig. 2 dispatch). */

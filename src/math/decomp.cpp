@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "math/aligned_alloc.hpp"
 #include "math/simd_util.hpp"
 
 namespace edx {
@@ -239,13 +241,31 @@ PartialPivLU::compute(const MatX &a)
         }
         const double inv = 1.0 / lu_(k, k);
         const double *rowk = lu_.data() + static_cast<size_t>(k) * n;
+        const int len = n - k - 1;
+        const double *pivot = rowk + k + 1;
+#if defined(EDX_HAVE_AVX2)
+        // The pivot-row segment is streamed once per trailing row: copy
+        // it to a 32B-aligned scratch so every one of those reads runs
+        // on an aligned source (the blas.cpp packed-operand idiom).
+        // Values are untouched and axpyRow is order-preserving, so the
+        // update stays bit-exact vs the unpacked path at every tier.
+        // Gated to the wide trailing blocks where the one-row copy is
+        // amortized over many rows.
+        static thread_local AlignedVector<double> pivot_pack;
+        if (simdTierIsAvx2() && len >= 16) {
+            pivot_pack.resize(static_cast<size_t>(len));
+            std::memcpy(pivot_pack.data(), rowk + k + 1,
+                        static_cast<size_t>(len) * sizeof(double));
+            pivot = pivot_pack.data();
+        }
+#endif
         for (int i = k + 1; i < n; ++i) {
             double *rowi = lu_.data() + static_cast<size_t>(i) * n;
             const double m = rowi[k] * inv;
             rowi[k] = m;
             // Vectorized rank-1 trailing update; same per-element
             // order as the scalar seed loop (bit-exact).
-            axpyRow(-m, rowk + k + 1, rowi + k + 1, n - k - 1);
+            axpyRow(-m, pivot, rowi + k + 1, len);
         }
     }
     return true;
@@ -425,7 +445,32 @@ HouseholderQR::applyPanelToTrailing(int p0, int p1)
 
     // Q^T B = (I - V T^T V^T) B applied as three sweeps, each streaming
     // the trailing block row-contiguously exactly once.
+    //
+    // W's rows are the reused operand of all three sweeps (written nb
+    // times, read nb^2/2 times, then read nb times per trailing row),
+    // so on the AVX2 tier they live in a 32B-aligned scratch with the
+    // stride padded up to the 4-double register width — the blas.cpp
+    // re-stride idiom. Only addresses change: the sweeps are built
+    // purely from the order-preserving axpyRow/scaleRow primitives over
+    // the same values and lengths, so the factorization stays bit-exact
+    // vs the member-workspace path (and the per-tier golden twins).
+    double *w = w_.data();
+    size_t wstride = static_cast<size_t>(nt);
+#if defined(EDX_HAVE_AVX2)
+    static thread_local AlignedVector<double> wpack;
+    const bool packed = simdTierIsAvx2() && nt >= 16;
+    if (packed) {
+        wstride = static_cast<size_t>((nt + 3) & ~3);
+        wpack.assign(static_cast<size_t>(nb) * wstride, 0.0);
+        w = wpack.data();
+    } else {
+        w_.resize(nb, nt);
+        w = w_.data();
+    }
+#else
     w_.resize(nb, nt);
+    w = w_.data();
+#endif
     for (int i = p0; i < m_; ++i) {
         const double *bi =
             qr_.data() + static_cast<size_t>(i) * n_ + p1;
@@ -433,15 +478,15 @@ HouseholderQR::applyPanelToTrailing(int p0, int p1)
         for (int c = 0; c <= cmax; ++c) {
             const int k = p0 + c;
             const double v = (i == k) ? 1.0 : qr_(i, k);
-            axpyRow(v, bi, w_.data() + static_cast<size_t>(c) * nt, nt);
+            axpyRow(v, bi, w + static_cast<size_t>(c) * wstride, nt);
         }
     }
     // W <- T^T W in place (rows last-to-first).
     for (int c = nb - 1; c >= 0; --c) {
-        double *wc = w_.data() + static_cast<size_t>(c) * nt;
+        double *wc = w + static_cast<size_t>(c) * wstride;
         scaleRow(t_(c, c), wc, nt);
         for (int cp = 0; cp < c; ++cp)
-            axpyRow(t_(cp, c), w_.data() + static_cast<size_t>(cp) * nt,
+            axpyRow(t_(cp, c), w + static_cast<size_t>(cp) * wstride,
                     wc, nt);
     }
     // B <- B - V W.
@@ -451,7 +496,7 @@ HouseholderQR::applyPanelToTrailing(int p0, int p1)
         for (int c = 0; c <= cmax; ++c) {
             const int k = p0 + c;
             const double v = (i == k) ? 1.0 : qr_(i, k);
-            axpyRow(-v, w_.data() + static_cast<size_t>(c) * nt, bi, nt);
+            axpyRow(-v, w + static_cast<size_t>(c) * wstride, bi, nt);
         }
     }
 }

@@ -44,6 +44,25 @@ class BoundedQueue
     }
 
     /**
+     * Like push(), but when the queue was closed @p v is left intact
+     * (moved only on success) so the caller can re-route the item —
+     * the epoch-retirement retry of FramePipeline::submit() resubmits
+     * a frame whose target topology was swapped out from under it.
+     */
+    bool
+    pushOrKeep(T &v)
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        not_full_.wait(lk, [&] { return q_.size() < cap_ || closed_; });
+        if (closed_)
+            return false;
+        q_.push_back(std::move(v));
+        high_water_ = std::max(high_water_, q_.size());
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
      * Dequeues the oldest item, blocking while the queue is empty.
      * @return nullopt when the queue is closed and fully drained.
      */

@@ -57,9 +57,44 @@ LocalizerPool::LocalizerPool(const PoolConfig &cfg) : cfg_(cfg)
                                   // would align nothing
     class_capacity_ = {cfg_.safety_capacity, cfg_.queue_capacity,
                        cfg_.best_effort_capacity};
-    workers_.reserve(cfg_.workers);
-    for (int i = 0; i < cfg_.workers; ++i)
+
+    // Elastic bounds: shrink must keep the safety reservation *and* at
+    // least one non-reserved slot dispatchable; growth tops out at the
+    // machine (or the explicit cap).
+    min_workers_ = std::max(1, cfg_.reserved_workers + 1);
+    max_workers_ = cfg_.workers;
+    if (cfg_.elastic_workers) {
+        int hw = static_cast<int>(std::thread::hardware_concurrency());
+        if (hw < 1)
+            hw = 1;
+        max_workers_ = cfg_.max_workers > 0 ? cfg_.max_workers : hw;
+        max_workers_ = std::max(max_workers_, cfg_.workers);
+        if (cfg_.grow_wait_ms < 0.0)
+            cfg_.grow_wait_ms = 0.0;
+        if (cfg_.shrink_idle_ms < 1.0)
+            cfg_.shrink_idle_ms = 1.0;
+    }
+
+    // Under elastic scaling cfg_.workers is only the starting point;
+    // clamp it into [min, max] so a pool configured with a reservation
+    // starts wide enough to dispatch both classes at all.
+    int initial = cfg_.workers;
+    if (cfg_.elastic_workers)
+        initial = std::min(std::max(initial, min_workers_), max_workers_);
+
+    std::lock_guard<std::mutex> lk(m_);
+    for (int i = 0; i < initial; ++i) {
         workers_.emplace_back(&LocalizerPool::workerLoop, this);
+        ++live_workers_;
+    }
+}
+
+void
+LocalizerPool::spawnWorkerLocked()
+{
+    workers_.emplace_back(&LocalizerPool::workerLoop, this);
+    ++live_workers_;
+    ++workers_grown_;
 }
 
 LocalizerPool::~LocalizerPool() { shutdown(); }
@@ -88,6 +123,12 @@ LocalizerPool::addSession(std::unique_ptr<Localizer> localizer,
     s->stats.qos = session.qos;
     if (cfg_.batch_solves)
         s->loc->setSolveHub(&hub_);
+    if (cfg_.replan) {
+        s->replanner = std::make_unique<SessionReplanner>(cfg_.replan_cfg);
+        // Seed with the classic frontend|backend split — the topology
+        // every session would run statically.
+        s->plan_cuts = {static_cast<int>(PipeNode::Tm)};
+    }
     if (session.qos == QosClass::SafetyCritical)
         have_safety_ = true;
     sessions_.push_back(std::move(s));
@@ -243,8 +284,9 @@ LocalizerPool::canDispatchClass(int qi) const
     if (!have_safety_ || cfg_.reserved_workers == 0)
         return true;
     // Reserved capacity: non-safety frames only dispatch while they
-    // occupy fewer than workers - reserved_workers slots.
-    return active_non_safety_ < cfg_.workers - cfg_.reserved_workers;
+    // occupy fewer than live - reserved_workers slots (live, not the
+    // configured count — elastic scaling moves the pool width).
+    return active_non_safety_ < live_workers_ - cfg_.reserved_workers;
 }
 
 int
@@ -283,11 +325,27 @@ LocalizerPool::pickSession()
 }
 
 void
+LocalizerPool::observeForReplan(Session &s, const LocalizationResult &res)
+{
+    // The pool-side replan tick (PoolConfig::replan): completed-frame
+    // telemetry streams into the session's windowed profile; a plan
+    // that clears the hysteresis margin becomes the session's new
+    // recommended topology. Runs under m_ — a tick is a handful of
+    // closed-form fits over a small window, far below one frame's cost.
+    if (!s.replanner || !res.ok)
+        return;
+    if (auto plan =
+            s.replanner->observe(res.telemetry, res.mode, s.plan_cuts))
+        s.plan_cuts = plan->cuts;
+}
+
+void
 LocalizerPool::finishFrame(int sid, PoolResult r)
 {
     Session &s = *sessions_[sid];
     s.running = false;
     ++s.stats.completed;
+    observeForReplan(s, r.result);
     s.stats.health = r.result.telemetry.health;
     ++s.stats.health_frames[static_cast<int>(r.result.telemetry.health)];
     if (r.result.telemetry.dead_reckoned)
@@ -337,7 +395,7 @@ LocalizerPool::maybeReleaseGang(bool force)
         return;
     if (!force &&
         (gang_frontends_ > 0 ||
-         (static_cast<int>(gang_staged_.size()) < cfg_.workers &&
+         (static_cast<int>(gang_staged_.size()) < live_workers_ &&
           gangJoinable() > 0))) {
         // The wave is blocked on in-flight frontends, or on runnable
         // frames a freed worker has not picked up yet (the window
@@ -355,8 +413,20 @@ LocalizerPool::maybeReleaseGang(bool force)
     }
     gang_timer_armed_ = false;
     const int release = std::min(static_cast<int>(gang_staged_.size()),
-                                 cfg_.workers);
-    hub_.expectBackendEntries(release);
+                                 live_workers_);
+    // Pre-announce per priority class: the hub's safety-led rendezvous
+    // must know how many *safety-critical* stages are inbound, or a
+    // safety backend could batch early at partial width (or wait on a
+    // best-effort wave member that a reserved slot gate delays).
+    int safety = 0;
+    for (int i = 0; i < release; ++i)
+        if (sessions_[gang_staged_[i]]->cfg.qos ==
+            QosClass::SafetyCritical)
+            ++safety;
+    if (release - safety > 0)
+        hub_.expectBackendEntries(release - safety, /*safety=*/false);
+    if (safety > 0)
+        hub_.expectBackendEntries(safety, /*safety=*/true);
     gang_outstanding_ = release;
     for (int i = 0; i < release; ++i) {
         gang_released_.push_back(gang_staged_.front());
@@ -365,7 +435,7 @@ LocalizerPool::maybeReleaseGang(bool force)
     work_cv_.notify_all();
 }
 
-void
+bool
 LocalizerPool::waitForWork(std::unique_lock<std::mutex> &lk)
 {
     auto ready = [&] {
@@ -374,6 +444,9 @@ LocalizerPool::waitForWork(std::unique_lock<std::mutex> &lk)
     };
     const auto timeout = std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double, std::milli>(cfg_.gang_timeout_ms));
+    const auto idle_limit = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(cfg_.shrink_idle_ms));
+    const auto idle_since = Clock::now();
     // An expired wave must be forced even by a worker that never goes
     // idle: on a busy pool the workers pass through here between
     // frames while the timed wait below is never entered, and a
@@ -384,24 +457,48 @@ LocalizerPool::waitForWork(std::unique_lock<std::mutex> &lk)
         Clock::now() >= gang_wait_since_ + timeout)
         maybeReleaseGang(/*force=*/true);
     while (!ready()) {
-        if (gang_timer_armed_ && cfg_.gang_timeout_ms > 0.0) {
-            const auto deadline = gang_wait_since_ + timeout;
-            if (!work_cv_.wait_until(lk, deadline, ready) &&
-                gang_timer_armed_ &&
-                Clock::now() >= gang_wait_since_ + timeout)
-                // Wave timed out waiting on lagging frontends: force
-                // the narrower pre-announced release. The re-check
-                // against the *current* gang_wait_since_ matters: the
-                // timer may have been re-armed for a newer wave while
-                // this worker slept on an older wave's deadline, and
-                // that newer wave deserves its full window.
-                maybeReleaseGang(/*force=*/true);
+        const bool gang_deadline =
+            gang_timer_armed_ && cfg_.gang_timeout_ms > 0.0;
+        // Elastic shrink: a worker with nothing to do for
+        // shrink_idle_ms retires — unless the pool is already at its
+        // floor. The floor keeps the safety reservation *and* one
+        // non-reserved slot alive.
+        const bool shrinkable =
+            cfg_.elastic_workers && live_workers_ > min_workers_;
+        if (gang_deadline || shrinkable) {
+            auto deadline = idle_since + idle_limit;
+            if (gang_deadline) {
+                const auto gd = gang_wait_since_ + timeout;
+                deadline = shrinkable ? std::min(deadline, gd) : gd;
+            }
+            if (!work_cv_.wait_until(lk, deadline, ready)) {
+                if (gang_timer_armed_ && cfg_.gang_timeout_ms > 0.0 &&
+                    Clock::now() >= gang_wait_since_ + timeout)
+                    // Wave timed out waiting on lagging frontends:
+                    // force the narrower pre-announced release. The
+                    // re-check against the *current* gang_wait_since_
+                    // matters: the timer may have been re-armed for a
+                    // newer wave while this worker slept on an older
+                    // wave's deadline, and that newer wave deserves
+                    // its full window.
+                    maybeReleaseGang(/*force=*/true);
+                if (!ready() && cfg_.elastic_workers &&
+                    live_workers_ > min_workers_ &&
+                    Clock::now() >= idle_since + idle_limit) {
+                    --live_workers_;
+                    ++workers_retired_;
+                    return false;
+                }
+            }
         } else {
             work_cv_.wait(lk, [&] {
-                return ready() || gang_timer_armed_;
+                return ready() || gang_timer_armed_ ||
+                       (cfg_.elastic_workers &&
+                        live_workers_ > min_workers_);
             });
         }
     }
+    return true;
 }
 
 void
@@ -422,7 +519,7 @@ LocalizerPool::runReleasedBackend(std::unique_lock<std::mutex> &lk,
     r.session_id = sid;
     r.qos = s.cfg.qos;
     {
-        SolveHub::StageGuard guard(&hub_);
+        SolveHub::StageGuard guard(&hub_, !non_safety);
         r.result = s.loc->runBackend(input, fe);
     }
     lk.lock();
@@ -470,6 +567,13 @@ LocalizerPool::dispatchSession(std::unique_lock<std::mutex> &lk, int sid)
     s.stats.queue_wait_total_ms += wait_ms;
     s.stats.queue_wait_max_ms =
         std::max(s.stats.queue_wait_max_ms, wait_ms);
+    // Elastic growth, driven by the queue-wait telemetry itself: a
+    // frame that aged in its queue means every worker was busy while
+    // runnable work waited — more parallelism would have served it
+    // sooner.
+    if (cfg_.elastic_workers && live_workers_ < max_workers_ &&
+        wait_ms > cfg_.grow_wait_ms)
+        spawnWorkerLocked();
     const bool non_safety = q != QosClass::SafetyCritical;
     if (non_safety)
         ++active_non_safety_;
@@ -507,7 +611,7 @@ LocalizerPool::dispatchSession(std::unique_lock<std::mutex> &lk, int sid)
         // chewing on its frontend must not stall other sessions'
         // kernel rendezvous.
         FrontendOutput fe = s.loc->runFrontend(input.left, input.right);
-        SolveHub::StageGuard guard(&hub_);
+        SolveHub::StageGuard guard(&hub_, !non_safety);
         r.result = s.loc->runBackend(input, fe);
     } else {
         r.result = s.loc->processFrame(input);
@@ -528,7 +632,8 @@ LocalizerPool::workerLoop()
 {
     std::unique_lock<std::mutex> lk(m_);
     for (;;) {
-        waitForWork(lk);
+        if (!waitForWork(lk))
+            return; // retired by elastic shrink
 
         // Released gang backends run with strict priority: each was
         // pre-announced to the hub, and the rendezvous holds every
@@ -639,11 +744,23 @@ LocalizerPool::stats() const
     std::lock_guard<std::mutex> lk(m_);
     PoolStats out;
     out.sessions.reserve(sessions_.size());
-    for (const auto &s : sessions_)
-        out.sessions.push_back(s->stats);
+    for (const auto &s : sessions_) {
+        SessionPoolStats ss = s->stats;
+        if (s->replanner) {
+            ss.plan_cuts = s->plan_cuts;
+            ss.replan = s->replanner->stats();
+            out.replans += ss.replan.ticks;
+            out.swaps_applied += ss.replan.proposals;
+            out.swaps_rejected += ss.replan.held;
+        }
+        out.sessions.push_back(std::move(ss));
+    }
     out.submitted = submitted_;
     out.completed = completed_;
     out.dropped = dropped_;
+    out.workers = live_workers_;
+    out.workers_grown = workers_grown_;
+    out.workers_retired = workers_retired_;
     return out;
 }
 

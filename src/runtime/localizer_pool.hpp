@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "core/localizer.hpp"
+#include "runtime/replan.hpp"
 #include "runtime/solve_hub.hpp"
 
 namespace edx {
@@ -84,7 +85,34 @@ struct SessionConfig
 /** Pool sizing and policy. */
 struct PoolConfig
 {
-    int workers = 2; //!< worker threads shared by all sessions
+    /**
+     * Worker threads shared by all sessions. With @ref elastic_workers
+     * this is only the *initial* count — the pool then sizes itself.
+     */
+    int workers = 2;
+
+    /**
+     * Elastic worker scaling: the pool grows the worker set when
+     * dispatched frames aged in their queues (the PR 5 queue-wait
+     * telemetry — waiting frames mean the pool is parallelism-bound)
+     * and retires workers that sat idle for @ref shrink_idle_ms, so
+     * nobody hand-sizes the pool per platform. Growth is capped at
+     * @ref max_workers; shrink never goes below reserved_workers + 1
+     * (the safety reservation must stay dispatchable, and so must one
+     * non-reserved slot). Off by default: a fixed `workers` count.
+     */
+    bool elastic_workers = false;
+
+    /** Elastic growth bound. 0 = std::thread::hardware_concurrency()
+     *  (never below `workers`). */
+    int max_workers = 0;
+
+    /** Elastic growth trigger: a dispatched frame that waited longer
+     *  than this (ms) between admission and dispatch spawns a worker. */
+    double grow_wait_ms = 2.0;
+
+    /** Elastic shrink trigger: a worker idle this long (ms) retires. */
+    double shrink_idle_ms = 250.0;
 
     /**
      * Queued-frame quota of the STANDARD class (the name predates the
@@ -160,6 +188,21 @@ struct PoolConfig
      * indefinitely (the pre-QoS behavior).
      */
     double gang_timeout_ms = 2000.0;
+
+    /**
+     * Per-session online re-planning: every completed frame's telemetry
+     * feeds the session's SessionReplanner (runtime/replan.hpp), and on
+     * each tick a candidate cut list is fit from the live window and
+     * adopted as the session's *recommended topology* when it clears
+     * the hysteresis margin. The pool schedules whole frames (the
+     * actor model never splits a session across workers), so the plan
+     * is advisory here — it is what a staged per-session runtime
+     * (FramePipeline) would be swapped to — but the counters and the
+     * recommended cuts flow through PoolStats either way. Off by
+     * default.
+     */
+    bool replan = false;
+    ReplanConfig replan_cfg; //!< cadence/hysteresis when replan is on
 };
 
 /** One completed frame of one session. */
@@ -192,6 +235,14 @@ struct SessionPoolStats
     std::array<long, kTrackingHealthStates> health_frames{};
     long dead_reckoned_frames = 0; //!< poses from the fallback reckoner
 
+    /**
+     * The session's recommended pipeline cut list under
+     * PoolConfig::replan (empty = sequential / replanning off), plus
+     * its adaptation counters.
+     */
+    std::vector<int> plan_cuts;
+    ReplanStats replan;
+
     long dropped() const { return dropped_oldest + dropped_deadline; }
 
     double
@@ -208,6 +259,14 @@ struct PoolStats
     long submitted = 0;
     long completed = 0;
     long dropped = 0;
+
+    // Adaptation counters (elastic scaling + online re-planning).
+    int workers = 0;           //!< current live worker count
+    long workers_grown = 0;    //!< elastic spawns beyond the initial set
+    long workers_retired = 0;  //!< workers retired on sustained idle
+    long replans = 0;          //!< replan ticks evaluated, all sessions
+    long swaps_applied = 0;    //!< plan changes adopted
+    long swaps_rejected = 0;   //!< proposals held by hysteresis/min-data
 };
 
 /** Serves N concurrent localization sessions. */
@@ -330,10 +389,17 @@ class LocalizerPool
         FrameInput staged_input;
         FrontendOutput staged_fe;
         double staged_wait_ms = 0.0;
+
+        // Online re-planning (PoolConfig::replan).
+        std::unique_ptr<SessionReplanner> replanner;
+        std::vector<int> plan_cuts; //!< current recommended topology
     };
 
     void workerLoop();
-    void waitForWork(std::unique_lock<std::mutex> &lk);  //!< under m_
+    /** Blocks for work; false = this worker retired (elastic shrink). */
+    bool waitForWork(std::unique_lock<std::mutex> &lk);  //!< under m_
+    void spawnWorkerLocked();                //!< under m_
+    void observeForReplan(Session &s, const LocalizationResult &res);
     void runReleasedBackend(std::unique_lock<std::mutex> &lk, int sid);
     void dispatchSession(std::unique_lock<std::mutex> &lk, int sid);
     bool canDispatchClass(int qi) const;     //!< under m_
@@ -364,6 +430,15 @@ class LocalizerPool
     std::array<size_t, kQosClasses> class_queued_{};
     int active_non_safety_ = 0; //!< workers executing non-safety frames
     long dispatch_count_ = 0;   //!< weighted-rotation counter
+
+    // Elastic worker scaling (all under m_). live_workers_ is the
+    // authoritative pool width: dispatch gates and the gang window size
+    // against it, never against cfg_.workers.
+    int live_workers_ = 0;
+    int min_workers_ = 1;
+    int max_workers_ = 1;
+    long workers_grown_ = 0;
+    long workers_retired_ = 0;
     long admit_seq_ = 0;
     long submitted_ = 0;
     long completed_ = 0;

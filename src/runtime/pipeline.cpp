@@ -1,7 +1,9 @@
 #include "runtime/pipeline.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "runtime/replan.hpp"
 #include "runtime/telemetry.hpp"
 
 namespace edx {
@@ -43,85 +45,227 @@ describeCuts(const std::vector<int> &cuts)
     return out;
 }
 
-void
-FramePipeline::buildTopology()
+std::vector<int>
+FramePipeline::resolveTopology(int stages, const std::vector<int> &cuts)
 {
-    if (cfg_.stages < 0)
+    if (stages < 0)
         throw std::invalid_argument(
             "PipelineConfig: stages must be >= 1 (got " +
-            std::to_string(cfg_.stages) + ")");
+            std::to_string(stages) + ")");
 
-    if (cfg_.cuts.empty()) {
-        if (cfg_.stages == 1) {
-            cuts_ = {};
-        } else if (cfg_.stages == 0 || cfg_.stages == 2) {
-            cuts_ = {static_cast<int>(PipeNode::Tm)}; // frontend|backend
-        } else {
-            throw std::invalid_argument(
-                "PipelineConfig: stages > 2 needs an explicit cut "
-                "list (use the placement planner or set cuts)");
-        }
-    } else {
-        int prev = -1;
-        for (int c : cfg_.cuts) {
-            if (c < 0 || c >= kPipelineNodes - 1)
-                throw std::invalid_argument(
-                    "PipelineConfig: cut " + std::to_string(c) +
-                    " outside the valid boundaries [0, " +
-                    std::to_string(kPipelineNodes - 2) + "]");
-            if (c <= prev)
-                throw std::invalid_argument(
-                    "PipelineConfig: cuts must be strictly increasing");
-            prev = c;
-        }
-        const int implied = static_cast<int>(cfg_.cuts.size()) + 1;
-        // stages == 0 means "derive from the cuts"; anything explicit
-        // must agree with them exactly.
-        if (cfg_.stages != 0 && cfg_.stages != implied)
-            throw std::invalid_argument(
-                "PipelineConfig: stages (" +
-                std::to_string(cfg_.stages) +
-                ") inconsistent with cuts (imply " +
-                std::to_string(implied) + ")");
-        cuts_ = cfg_.cuts;
+    if (cuts.empty()) {
+        if (stages == 1)
+            return {};
+        if (stages == 0 || stages == 2)
+            return {static_cast<int>(PipeNode::Tm)}; // frontend|backend
+        throw std::invalid_argument(
+            "PipelineConfig: stages > 2 needs an explicit cut "
+            "list (use the placement planner or set cuts)");
     }
-    cfg_.stages = static_cast<int>(cuts_.size()) + 1;
+    int prev = -1;
+    for (int c : cuts) {
+        if (c < 0 || c >= kPipelineNodes - 1)
+            throw std::invalid_argument(
+                "PipelineConfig: cut " + std::to_string(c) +
+                " outside the valid boundaries [0, " +
+                std::to_string(kPipelineNodes - 2) + "]");
+        if (c <= prev)
+            throw std::invalid_argument(
+                "PipelineConfig: cuts must be strictly increasing");
+        prev = c;
+    }
+    const int implied = static_cast<int>(cuts.size()) + 1;
+    // stages == 0 means "derive from the cuts"; anything explicit
+    // must agree with them exactly.
+    if (stages != 0 && stages != implied)
+        throw std::invalid_argument(
+            "PipelineConfig: stages (" + std::to_string(stages) +
+            ") inconsistent with cuts (imply " +
+            std::to_string(implied) + ")");
+    return cuts;
+}
 
-    segments_.clear();
+std::vector<std::pair<int, int>>
+FramePipeline::segmentsFor(const std::vector<int> &cuts)
+{
+    std::vector<std::pair<int, int>> segments;
     int first = 0;
-    for (int c : cuts_) {
-        segments_.push_back({first, c + 1});
+    for (int c : cuts) {
+        segments.push_back({first, c + 1});
         first = c + 1;
     }
-    segments_.push_back({first, kPipelineNodes});
+    segments.push_back({first, kPipelineNodes});
+    return segments;
 }
 
 FramePipeline::FramePipeline(Localizer &localizer,
                              const PipelineConfig &cfg)
-    : loc_(localizer), cfg_(cfg), in_q_(cfg.queue_capacity)
+    : loc_(localizer), cfg_(cfg)
 {
-    buildTopology();
-    stats_.stages = cfg_.stages;
-    if (cfg_.stages > 1) {
-        for (int i = 0; i + 1 < cfg_.stages; ++i)
-            stage_qs_.push_back(std::make_unique<BoundedQueue<StageJob>>(
+    std::vector<int> cuts = resolveTopology(cfg_.stages, cfg_.cuts);
+    cfg_.stages = static_cast<int>(cuts.size()) + 1;
+
+    auto e = std::make_unique<Epoch>(cfg_.queue_capacity);
+    e->stages = cfg_.stages;
+    e->cuts = std::move(cuts);
+    e->segments = segmentsFor(e->cuts);
+    stats_.stages = e->stages;
+    current_ = e.get();
+    if (e->stages > 1) {
+        for (int i = 0; i + 1 < e->stages; ++i)
+            e->stage_qs.push_back(std::make_unique<BoundedQueue<StageJob>>(
                 cfg_.queue_capacity));
-        workers_.reserve(cfg_.stages);
-        for (int s = 0; s < cfg_.stages; ++s)
-            workers_.emplace_back(&FramePipeline::stageWorker, this, s);
+        e->live_workers.store(e->stages);
+        e->workers.reserve(e->stages);
+        for (int s = 0; s < e->stages; ++s)
+            e->workers.emplace_back(&FramePipeline::stageWorker, this,
+                                    e.get(), s);
     }
+    epochs_.push_back(std::move(e));
 }
 
 FramePipeline::~FramePipeline() { close(); }
 
-bool
-FramePipeline::submit(FrameInput input)
+std::vector<int>
+FramePipeline::cuts() const
 {
+    std::lock_guard<std::mutex> lk(epoch_m_);
+    return current_->cuts;
+}
+
+std::vector<std::pair<int, int>>
+FramePipeline::segments() const
+{
+    std::lock_guard<std::mutex> lk(epoch_m_);
+    return current_->segments;
+}
+
+bool
+FramePipeline::installEpoch(std::vector<int> cuts)
+{
+    // Caller holds submit_m_: no producer is between its sequence
+    // allocation and its queue push, so every frame admitted before
+    // this point sits in (or has passed) the retiring epoch's queues
+    // and every later one lands in the new epoch — sequence order and
+    // queue order stay aligned, which the node gates depend on.
+    Epoch *retired = nullptr;
+    int stages = static_cast<int>(cuts.size()) + 1;
+    {
+        std::lock_guard<std::mutex> lk(epoch_m_);
+        if (cuts == current_->cuts)
+            return false;
+        auto e = std::make_unique<Epoch>(cfg_.queue_capacity);
+        e->index = ++epoch_counter_;
+        e->stages = stages;
+        e->cuts = std::move(cuts);
+        e->segments = segmentsFor(e->cuts);
+        if (e->stages > 1) {
+            for (int i = 0; i + 1 < e->stages; ++i)
+                e->stage_qs.push_back(
+                    std::make_unique<BoundedQueue<StageJob>>(
+                        cfg_.queue_capacity));
+            e->live_workers.store(e->stages);
+            e->workers.reserve(e->stages);
+            for (int s = 0; s < e->stages; ++s)
+                e->workers.emplace_back(&FramePipeline::stageWorker,
+                                        this, e.get(), s);
+        }
+        retired = current_;
+        current_ = e.get();
+        epochs_.push_back(std::move(e));
+
+        // Retire: the old epoch drains its admitted frames and its
+        // workers exit; a producer parked on the full queue re-routes
+        // to the new epoch (see submit()).
+        retired->in_q.close();
+
+        // Reap epochs whose workers have all exited (the atomic
+        // decrement is each worker's final act, so join() returns
+        // promptly). Keeps a long-running server from accumulating
+        // exited threads across many swaps.
+        for (auto it = epochs_.begin(); it != epochs_.end();) {
+            if (it->get() == current_ ||
+                (*it)->live_workers.load() != 0) {
+                ++it;
+                continue;
+            }
+            for (std::thread &w : (*it)->workers)
+                if (w.joinable())
+                    w.join();
+            it = epochs_.erase(it);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(stats_m_);
+        ++stats_.cut_swaps;
+        stats_.stages = stages;
+    }
+    return true;
+}
+
+bool
+FramePipeline::swapCuts(const std::vector<int> &cuts, int stages)
+{
+    std::vector<int> resolved = resolveTopology(stages, cuts); // throws
+    std::lock_guard<std::mutex> sl(submit_m_);
     {
         std::lock_guard<std::mutex> lk(result_m_);
         if (closed_)
             return false;
-        ++submitted_;
+    }
+    return installEpoch(std::move(resolved));
+}
+
+void
+FramePipeline::trySwapPending()
+{
+    // Called from a finish worker. A producer parked in submit() on a
+    // full queue holds submit_m_ until the stages drain it — blocking
+    // here would deadlock the drain, so the swap defers to the next
+    // completed frame instead.
+    std::unique_lock<std::mutex> sl(submit_m_, std::try_to_lock);
+    if (!sl.owns_lock())
+        return;
+    std::vector<int> want;
+    {
+        std::lock_guard<std::mutex> lk(epoch_m_);
+        if (!pending_swap_)
+            return;
+        want = std::move(*pending_swap_);
+        pending_swap_.reset();
+    }
+    {
+        std::lock_guard<std::mutex> lk(result_m_);
+        if (closed_)
+            return;
+    }
+    installEpoch(std::move(want));
+}
+
+bool
+FramePipeline::submit(FrameInput input)
+{
+    std::unique_lock<std::mutex> sl(submit_m_);
+    long seq;
+    {
+        std::lock_guard<std::mutex> lk(result_m_);
+        if (closed_)
+            return false;
+        seq = submitted_++;
+    }
+    // A deferred replanner proposal applies here, before this frame
+    // routes: the producer already holds submit_m_, so even when the
+    // pipeline is saturated (and the finish worker's try-lock in
+    // trySwapPending() never wins) a proposal still lands on the very
+    // next submission.
+    {
+        std::optional<std::vector<int>> want;
+        {
+            std::lock_guard<std::mutex> lk(epoch_m_);
+            want.swap(pending_swap_);
+        }
+        if (want)
+            installEpoch(std::move(*want));
     }
     {
         std::lock_guard<std::mutex> lk(stats_m_);
@@ -131,16 +275,73 @@ FramePipeline::submit(FrameInput input)
         }
     }
 
-    if (cfg_.stages == 1) {
-        runSequential(std::move(input));
-        return true;
-    }
-    if (!in_q_.push(std::move(input))) {
+    StageJob job;
+    job.seq = seq;
+    job.input = std::move(input);
+    for (;;) {
+        Epoch *e;
+        {
+            std::lock_guard<std::mutex> lk(epoch_m_);
+            e = current_;
+        }
+        if (e->stages == 1) {
+            // Sequential topology: execute inline on the caller. The
+            // node gates still order it against in-flight frames of a
+            // retiring staged epoch.
+            sl.unlock();
+            runInline(*e, std::move(job));
+            return true;
+        }
+        if (e->in_q.pushOrKeep(job))
+            return true;
+        // The push failed: either a swap retired this epoch while we
+        // were parked on its full queue (re-route to the new current
+        // epoch) or close() is tearing the pipeline down.
         std::lock_guard<std::mutex> lk(result_m_);
-        --submitted_;
-        return false;
+        if (closed_) {
+            voidSeq(seq);
+            return false;
+        }
     }
-    return true;
+}
+
+void
+FramePipeline::waitNodeTurn(int node, long seq)
+{
+    std::unique_lock<std::mutex> lk(gate_m_);
+    gate_cv_.wait(lk, [&] { return node_turn_[node] == seq; });
+}
+
+void
+FramePipeline::advanceNodeTurn(int node)
+{
+    {
+        std::lock_guard<std::mutex> lk(gate_m_);
+        ++node_turn_[node];
+        while (gate_holes_.count(node_turn_[node]))
+            ++node_turn_[node];
+    }
+    gate_cv_.notify_all();
+}
+
+void
+FramePipeline::voidSeq(long seq)
+{
+    // Caller holds result_m_. The seq was counted by submitted_ but
+    // its frame never entered any epoch: unblock the node gates and
+    // the in-order emitter past it.
+    ++voided_;
+    result_holes_.insert(seq);
+    drainResultsLocked();
+    result_cv_.notify_all();
+    {
+        std::lock_guard<std::mutex> lk(gate_m_);
+        gate_holes_.insert(seq);
+        for (int node = 0; node < kPipelineNodes; ++node)
+            while (gate_holes_.count(node_turn_[node]))
+                ++node_turn_[node];
+    }
+    gate_cv_.notify_all();
 }
 
 void
@@ -178,12 +379,21 @@ FramePipeline::runNode(int node, StageJob &job)
 }
 
 void
-FramePipeline::executeSegment(int stage, StageJob &job)
+FramePipeline::executeSegment(Epoch &e, int stage, StageJob &job)
 {
-    const auto [first, last] = segments_[stage];
+    const auto [first, last] = e.segments[stage];
     double fe_ms = 0.0, be_ms = 0.0;
-    if (job.valid) {
-        for (int node = first; node < last; ++node) {
+    for (int node = first; node < last; ++node) {
+        // The per-node sequence gate: frames execute each sub-stage
+        // strictly in submission order, across epochs — during a cut
+        // swap the new epoch's first frame waits here until the old
+        // epoch's tail has passed this node. Within one epoch the
+        // single-worker FIFO chain satisfies the gate trivially; the
+        // wait is untimed so gate stalls never pollute the busy spans
+        // the planner profiles. Invalid frames skip the work but still
+        // take and release their turn, or the gates would jam.
+        waitNodeTurn(node, job.seq);
+        if (job.valid) {
             // Frontend/backend-side attribution per node, so the
             // legacy two-sided busy split stays exact for segments
             // that cross the TM | solve boundary (and for stages=1).
@@ -192,6 +402,7 @@ FramePipeline::executeSegment(int stage, StageJob &job)
                                  : be_ms);
             runNode(node, job);
         }
+        advanceNodeTurn(node);
     }
     const double span_ms = fe_ms + be_ms;
     job.stage_span_ms[stage] = span_ms;
@@ -202,12 +413,12 @@ FramePipeline::executeSegment(int stage, StageJob &job)
         stats_.backend_busy_ms += be_ms;
         if (stage == 0)
             stats_.input_high_water =
-                std::max(stats_.input_high_water, in_q_.highWater());
+                std::max(stats_.input_high_water, e.in_q.highWater());
     }
 }
 
 void
-FramePipeline::finalizeJob(StageJob &job)
+FramePipeline::finalizeJob(Epoch &e, StageJob &job)
 {
     LocalizationResult res;
     if (job.valid) {
@@ -217,16 +428,16 @@ FramePipeline::finalizeJob(StageJob &job)
         res.mode = loc_.mode();
         res.ok = false;
     }
-    res.telemetry.pipeline_stages = cfg_.stages;
+    res.telemetry.pipeline_stages = e.stages;
     double fe_side = 0.0, be_side = 0.0;
-    for (int s = 0; s < cfg_.stages; ++s) {
+    for (int s = 0; s < e.stages; ++s) {
         res.telemetry.stage_span_ms[s] = job.stage_span_ms[s];
-        if (segments_[s].first <= static_cast<int>(PipeNode::Tm))
+        if (e.segments[s].first <= static_cast<int>(PipeNode::Tm))
             fe_side += job.stage_span_ms[s];
         else
             be_side += job.stage_span_ms[s];
     }
-    if (cfg_.stages == 1) {
+    if (e.stages == 1) {
         // Sequential topology: the stage spans are the block latencies
         // themselves (nothing overlaps).
         res.telemetry.frontend_stage_ms = res.frontendMs();
@@ -242,9 +453,12 @@ FramePipeline::finalizeJob(StageJob &job)
 
     // Online refit: feed the measured mode-kernel latency back into the
     // scheduler's windowed model (the ROADMAP's "scheduler online
-    // refit" — the telemetry stream the runtime already records).
+    // refit" — the telemetry stream the runtime already records). The
+    // kernel is the *result's* mode: after a mid-run mode switch the
+    // finish of the last old-mode frame may overlap the first new-mode
+    // solve, and its measurement belongs to the old mode's model.
     if (cfg_.refit && job.valid && res.ok) {
-        BackendKernel k = kernelForMode(loc_.mode());
+        BackendKernel k = kernelForMode(res.mode);
         double measured_ms = 0.0;
         switch (k) {
           case BackendKernel::Projection:
@@ -267,66 +481,107 @@ FramePipeline::finalizeJob(StageJob &job)
                 measured_ms);
     }
 
-    pushResult(std::move(res));
+    // Self-repipelining: stream the completed frame into the replanner
+    // and stage any proposal that cleared its hysteresis margin.
+    if (cfg_.replanner && job.valid && res.ok) {
+        std::vector<int> cur;
+        {
+            std::lock_guard<std::mutex> lk(epoch_m_);
+            cur = current_->cuts;
+        }
+        if (auto plan = cfg_.replanner->observe(res.telemetry, res.mode,
+                                                cur)) {
+            std::lock_guard<std::mutex> lk(epoch_m_);
+            pending_swap_ = std::move(plan->cuts);
+        }
+    }
+
+    const long seq = job.seq;
+    pushResult(seq, std::move(res));
+    if (cfg_.replanner)
+        trySwapPending();
 }
 
 void
-FramePipeline::stageWorker(int stage)
+FramePipeline::stageWorker(Epoch *e, int stage)
 {
     if (stage == 0) {
         // Workers exist only for stages >= 2 (stages == 1 runs inline
-        // through runSequential), so there is always a next queue.
-        while (auto input = in_q_.pop()) {
-            StageJob job;
-            job.input = std::move(*input);
-            job.valid = loc_.initialized() && job.input.hasImages();
-            executeSegment(0, job);
-            if (!stage_qs_[0]->push(std::move(job)))
+        // through runInline), so there is always a next queue.
+        while (auto job = e->in_q.pop()) {
+            job->valid = loc_.initialized() && job->input.hasImages();
+            executeSegment(*e, 0, *job);
+            if (!e->stage_qs[0]->push(std::move(*job)))
                 break;
         }
-        stage_qs_[0]->close();
+        e->stage_qs[0]->close();
+        e->live_workers.fetch_sub(1);
         return;
     }
 
-    BoundedQueue<StageJob> &src = *stage_qs_[stage - 1];
+    BoundedQueue<StageJob> &src = *e->stage_qs[stage - 1];
     while (auto job = src.pop()) {
-        executeSegment(stage, *job);
-        if (stage + 1 < cfg_.stages) {
-            if (!stage_qs_[stage]->push(std::move(*job)))
+        executeSegment(*e, stage, *job);
+        if (stage + 1 < e->stages) {
+            if (!e->stage_qs[stage]->push(std::move(*job)))
                 break;
         } else {
-            finalizeJob(*job);
+            finalizeJob(*e, *job);
         }
     }
-    if (stage + 1 < cfg_.stages)
-        stage_qs_[stage]->close();
+    if (stage + 1 < e->stages)
+        e->stage_qs[stage]->close();
+    e->live_workers.fetch_sub(1);
 }
 
 void
-FramePipeline::runSequential(FrameInput input)
+FramePipeline::runInline(Epoch &e, StageJob job)
 {
-    StageJob job;
-    job.input = std::move(input);
     job.valid = loc_.initialized() && job.input.hasImages();
-    executeSegment(0, job);
-    finalizeJob(job);
+    executeSegment(e, 0, job);
+    finalizeJob(e, job);
 }
 
 void
-FramePipeline::pushResult(LocalizationResult res)
+FramePipeline::drainResultsLocked()
+{
+    // Emit the in-order prefix: during a swap the new epoch's first
+    // frames can finalize while the old epoch's tail is still in
+    // flight (the finish gate orders the *execution*, not the push),
+    // so finalized results park in reorder_ until every earlier seq
+    // has surfaced.
+    for (;;) {
+        if (result_holes_.count(next_emit_)) {
+            result_holes_.erase(next_emit_);
+            ++next_emit_;
+            continue;
+        }
+        auto it = reorder_.find(next_emit_);
+        if (it == reorder_.end())
+            break;
+        results_.push_back(std::move(it->second));
+        reorder_.erase(it);
+        ++completed_;
+        ++next_emit_;
+        {
+            std::lock_guard<std::mutex> slk(stats_m_);
+            ++stats_.frames;
+            if (first_submit_done_)
+                stats_.wall_ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() -
+                        first_submit_)
+                        .count();
+        }
+    }
+}
+
+void
+FramePipeline::pushResult(long seq, LocalizationResult res)
 {
     std::lock_guard<std::mutex> lk(result_m_);
-    results_.push_back(std::move(res));
-    ++completed_;
-    {
-        std::lock_guard<std::mutex> slk(stats_m_);
-        ++stats_.frames;
-        if (first_submit_done_)
-            stats_.wall_ms =
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - first_submit_)
-                    .count();
-    }
+    reorder_.emplace(seq, std::move(res));
+    drainResultsLocked();
     result_cv_.notify_all();
 }
 
@@ -351,7 +606,7 @@ FramePipeline::awaitResult(LocalizationResult &out)
     // a close() that has drained the in-flight frames may.
     result_cv_.wait(lk, [&] {
         return !results_.empty() ||
-               (closed_ && completed_ == submitted_);
+               (closed_ && completed_ + voided_ == submitted_);
     });
     if (results_.empty())
         return false;
@@ -364,17 +619,16 @@ void
 FramePipeline::flush()
 {
     std::unique_lock<std::mutex> lk(result_m_);
-    result_cv_.wait(lk, [&] { return completed_ == submitted_; });
+    result_cv_.wait(lk,
+                    [&] { return completed_ + voided_ == submitted_; });
 }
 
 void
 FramePipeline::close()
 {
-    // Serialized end-to-end: the old unlocked gap between the closed_
-    // check and flush() let two concurrent closers both flush and then
-    // race in_q_.close()/join(). A late caller (e.g. the destructor
-    // racing an explicit close()) blocks here until the first one has
-    // joined the workers.
+    // Serialized end-to-end: a late caller (e.g. the destructor racing
+    // an explicit close()) blocks here until the first one has joined
+    // the workers.
     std::lock_guard<std::mutex> lifecycle(lifecycle_m_);
     {
         std::lock_guard<std::mutex> lk(result_m_);
@@ -386,10 +640,22 @@ FramePipeline::close()
         result_cv_.notify_all(); // consumers re-check the close gate
     }
     flush();
-    in_q_.close();
-    for (std::thread &w : workers_)
-        if (w.joinable())
-            w.join();
+    std::vector<Epoch *> epochs;
+    {
+        // submit_m_ excludes a racing swapCuts(): after this block no
+        // further epoch can be installed (installers re-check closed_
+        // under submit_m_), so the snapshot is complete.
+        std::lock_guard<std::mutex> sl(submit_m_);
+        std::lock_guard<std::mutex> lk(epoch_m_);
+        for (auto &e : epochs_) {
+            e->in_q.close();
+            epochs.push_back(e.get());
+        }
+    }
+    for (Epoch *e : epochs)
+        for (std::thread &w : e->workers)
+            if (w.joinable())
+                w.join();
     std::lock_guard<std::mutex> lk(result_m_);
     close_done_ = true;
 }

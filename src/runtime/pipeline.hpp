@@ -27,6 +27,29 @@
  * throttles submit() instead of letting frames accumulate without
  * bound.
  *
+ * **Epoch-based cut swaps (self-repipelining).** swapCuts() installs a
+ * new topology *between frames* with no restart and no drain barrier:
+ * the active topology is an *epoch* (its own stage workers and
+ * queues); a swap retires the current epoch's input queue and routes
+ * new submissions to a fresh epoch while the old epoch's in-flight
+ * frames finish on the old topology. Correctness across the handoff
+ * rests on two mechanisms:
+ *
+ *  - Per-node sequence gates: every frame carries a global submission
+ *    sequence number, and each of the five sub-stage nodes executes
+ *    frames strictly in that order — across epochs. The localizer
+ *    therefore observes exactly the per-node call order of a single
+ *    fixed topology, which is what makes every cut list (and so every
+ *    swap schedule) bit-identical to the sequential run.
+ *  - A sequence-ordered reorder buffer on the result side, so results
+ *    surface in submission order even when the first frames of a new
+ *    epoch finalize while the old epoch's tail is still in flight.
+ *
+ * When PipelineConfig::replanner is set the pipeline closes the loop
+ * itself: completed-frame telemetry feeds the SessionReplanner and a
+ * proposal that clears its hysteresis margin is swapped in
+ * automatically (the ROADMAP's self-repipelining item).
+ *
  * The offload scheduler (Sec. VI-B) plugs in at the TM -> solve
  * boundary: the decision for the backend kernel is computed from the
  * sizes the frontend just produced, per stage rather than at frame
@@ -37,7 +60,15 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -48,6 +79,8 @@
 #include "sched/scheduler.hpp"
 
 namespace edx {
+
+class SessionReplanner;
 
 // kPipelineNodes (the sub-stage count) lives in runtime/telemetry.hpp,
 // included via core/localizer.hpp.
@@ -115,21 +148,36 @@ struct PipelineConfig
      * model tracks workload drift (arm it with enableOnlineRefit()).
      */
     RuntimeScheduler *refit = nullptr;
+
+    /**
+     * Optional online replanner (borrowed): every completed frame's
+     * telemetry feeds its rolling window, and a plan that clears its
+     * hysteresis margin is swapped in automatically between frames
+     * (see runtime/replan.hpp). The swap is applied opportunistically
+     * from the finish worker — never blocking a producer parked in
+     * submit() — and, failing that, by the next submit() call itself
+     * (which already owns the producer lock), so even a saturating
+     * producer sees a proposal land within one frame.
+     */
+    SessionReplanner *replanner = nullptr;
 };
 
 /** Aggregate pipeline accounting. */
 struct PipelineStats
 {
     long frames = 0;
-    int stages = 1;
+    int stages = 1; //!< stage count of the *current* topology
 
-    /** Total wall time each stage worker spent executing, per stage. */
+    /** Total wall time each stage worker spent executing, per stage.
+     *  Attributed by stage index within the frame's own epoch. */
     std::array<double, kPipelineNodes> stage_busy_ms{};
 
     double frontend_busy_ms = 0.0; //!< busy total of frontend-side stages
     double backend_busy_ms = 0.0;  //!< busy total of backend-side stages
     double wall_ms = 0.0;  //!< first submit -> last completion span
     size_t input_high_water = 0; //!< deepest input-queue backlog seen
+
+    long cut_swaps = 0; //!< topologies swapped in mid-run (epochs - 1)
 
     /** Achieved end-to-end throughput, frames/s. */
     double
@@ -164,6 +212,18 @@ class FramePipeline
     bool submit(FrameInput input);
 
     /**
+     * Swaps the active topology to @p cuts between frames: frames
+     * already admitted finish on their epoch's topology while later
+     * submissions take the new one, with no drain barrier and a pose
+     * stream bit-identical to any fixed topology. Callable from any
+     * thread except a stage worker. @return false when @p cuts already
+     * is the active topology or close() has begun.
+     * @throws std::invalid_argument for an invalid stage/cut combo
+     *         (same validation as the constructor).
+     */
+    bool swapCuts(const std::vector<int> &cuts, int stages = 0);
+
+    /**
      * Non-blocking: pops the next completed frame in submission order.
      * @return false when no result is ready.
      */
@@ -187,14 +247,11 @@ class FramePipeline
 
     const PipelineConfig &config() const { return cfg_; }
 
-    /** The validated cut list actually in effect. */
-    const std::vector<int> &cuts() const { return cuts_; }
+    /** The cut list of the current (newest) epoch. */
+    std::vector<int> cuts() const;
 
-    /** The node range [first, last) each stage executes. */
-    const std::vector<std::pair<int, int>> &segments() const
-    {
-        return segments_;
-    }
+    /** The node range [first, last) each current-epoch stage executes. */
+    std::vector<std::pair<int, int>> segments() const;
 
     PipelineStats stats() const;
 
@@ -202,6 +259,7 @@ class FramePipeline
     /** A frame travelling between the stages. */
     struct StageJob
     {
+        long seq = 0; //!< global submission sequence (gates + reorder)
         FrameInput input;
         FrontendOutput fe;
         FrontendStageContext fectx;
@@ -213,31 +271,84 @@ class FramePipeline
         bool has_offload = false;
     };
 
-    /** Validates cfg_ and derives cuts_/segments_ (throws on error). */
-    void buildTopology();
+    /** One installed topology: its own stage workers and queues. */
+    struct Epoch
+    {
+        int index = 0;
+        int stages = 1;
+        std::vector<int> cuts;
+        std::vector<std::pair<int, int>> segments;
+        BoundedQueue<StageJob> in_q;
+        std::vector<std::unique_ptr<BoundedQueue<StageJob>>> stage_qs;
+        std::vector<std::thread> workers;
+        std::atomic<int> live_workers{0};
 
-    void stageWorker(int stage);
+        explicit Epoch(size_t cap) : in_q(cap) {}
+    };
+
+    /**
+     * Validates a stage/cut combination (the constructor contract) and
+     * returns the resolved cut list. @throws std::invalid_argument.
+     */
+    static std::vector<int> resolveTopology(int stages,
+                                            const std::vector<int> &cuts);
+    static std::vector<std::pair<int, int>>
+    segmentsFor(const std::vector<int> &cuts);
+
+    /** Builds, spawns and installs an epoch. Caller holds submit_m_. */
+    bool installEpoch(std::vector<int> cuts);
+
+    void stageWorker(Epoch *e, int stage);
     void runNode(int node, StageJob &job);
-    void executeSegment(int stage, StageJob &job);
-    void finalizeJob(StageJob &job);
-    void runSequential(FrameInput input);
-    void pushResult(LocalizationResult res);
+    void executeSegment(Epoch &e, int stage, StageJob &job);
+    void finalizeJob(Epoch &e, StageJob &job);
+    void runInline(Epoch &e, StageJob job);
+    void pushResult(long seq, LocalizationResult res);
+    void drainResultsLocked(); //!< under result_m_
+
+    /** Blocks until it is @p seq's turn at sub-stage @p node. */
+    void waitNodeTurn(int node, long seq);
+    void advanceNodeTurn(int node);
+    /** Admitted-then-never-entered seq (close() race): unblocks the
+     *  gates and the result order past it. */
+    void voidSeq(long seq);
+
+    /** Applies a deferred replanner proposal when no producer holds
+     *  submit_m_ (never blocks — called from the finish worker). */
+    void trySwapPending();
 
     Localizer &loc_;
     PipelineConfig cfg_;
-    std::vector<int> cuts_;
-    std::vector<std::pair<int, int>> segments_;
 
-    BoundedQueue<FrameInput> in_q_;
-    std::vector<std::unique_ptr<BoundedQueue<StageJob>>> stage_qs_;
+    // Epoch bookkeeping. submit_m_ serializes producers *and* swaps,
+    // so the global sequence order equals the per-epoch queue order
+    // (the gates rely on it). epoch_m_ guards the epoch list/pointer.
+    std::mutex submit_m_;
+    mutable std::mutex epoch_m_;
+    std::vector<std::unique_ptr<Epoch>> epochs_;
+    Epoch *current_ = nullptr;
+    int epoch_counter_ = 0;
+    std::optional<std::vector<int>> pending_swap_;
+
+    // Per-node sequence gates: node_turn_[n] is the next seq allowed
+    // to execute sub-stage n (across every epoch).
+    std::mutex gate_m_;
+    std::condition_variable gate_cv_;
+    std::array<long, kPipelineNodes> node_turn_{};
+    std::set<long> gate_holes_; //!< voided seqs the gates skip
 
     // Completed results (unbounded: results are small and draining them
-    // must never be able to deadlock the stages).
+    // must never be able to deadlock the stages). reorder_ holds
+    // finalized frames until every earlier seq has surfaced.
     mutable std::mutex result_m_;
     std::condition_variable result_cv_;
     std::deque<LocalizationResult> results_;
+    std::map<long, LocalizationResult> reorder_;
+    std::set<long> result_holes_; //!< voided seqs the emitter skips
+    long next_emit_ = 0;
     long submitted_ = 0;
     long completed_ = 0;
+    long voided_ = 0;         //!< admitted seqs that never entered
     bool closed_ = false;     //!< submit() gate, set when close() begins
     bool close_done_ = false; //!< workers joined (under result_m_)
     std::mutex lifecycle_m_;  //!< serializes concurrent close() calls
@@ -246,8 +357,6 @@ class FramePipeline
     PipelineStats stats_;
     bool first_submit_done_ = false;
     std::chrono::steady_clock::time_point first_submit_;
-
-    std::vector<std::thread> workers_;
 };
 
 } // namespace edx

@@ -9,13 +9,20 @@
 
 namespace edx {
 
+namespace {
+// Class of the backend stage the current thread is registered in, so
+// kernel requests submitted deep inside a Localizer inherit it without
+// plumbing a flag through every call site.
+thread_local bool tl_safety_stage = false;
+} // namespace
+
 void
-SolveHub::expectBackendEntries(int n)
+SolveHub::expectBackendEntries(int n, bool safety)
 {
     if (n <= 0)
         return;
     std::lock_guard<std::mutex> lk(m_);
-    pending_entries_ += n;
+    pending_entries_[safety ? 1 : 0] += n;
     ++stats_.waves_announced;
     stats_.entries_announced += n;
     stats_.max_wave = std::max(stats_.max_wave, n);
@@ -24,20 +31,24 @@ SolveHub::expectBackendEntries(int n)
 }
 
 void
-SolveHub::enterBackend()
+SolveHub::enterBackend(bool safety)
 {
+    tl_safety_stage = safety;
     std::lock_guard<std::mutex> lk(m_);
-    ++active_;
-    if (pending_entries_ > 0 && --pending_entries_ == 0)
+    const int c = safety ? 1 : 0;
+    ++active_[c];
+    if (pending_entries_[c] > 0 && --pending_entries_[c] == 0)
         cv_.notify_all();
 }
 
 void
-SolveHub::leaveBackend()
+SolveHub::leaveBackend(bool safety)
 {
+    tl_safety_stage = false;
     std::lock_guard<std::mutex> lk(m_);
-    assert(active_ > 0);
-    --active_;
+    const int c = safety ? 1 : 0;
+    assert(active_[c] > 0);
+    --active_[c];
     // A departing stage can complete the rendezvous for the parked
     // requests (they wait for waiting_ == active_).
     cv_.notify_all();
@@ -46,25 +57,57 @@ SolveHub::leaveBackend()
 void
 SolveHub::submit(Request &req)
 {
+    req.safety = tl_safety_stage;
     std::unique_lock<std::mutex> lk(m_);
     pending_.push_back(&req);
-    ++waiting_;
+    ++waiting_[req.safety ? 1 : 0];
+    if (req.safety)
+        ++stats_.safety_requests;
     cv_.notify_all();
 
     while (!req.done) {
-        // waiting_ >= active_ (not ==): a request submitted outside a
+        // waiting >= active (not ==): a request submitted outside a
         // registered stage guard must not stall the rendezvous.
-        // pending_entries_ == 0: announced gang members must all be
+        // pending_entries == 0: announced gang members must all be
         // inside their stages before any batch executes, so an aligned
-        // gang rendezvouses at full width.
-        if (!executing_ && waiting_ >= active_ &&
-            pending_entries_ == 0 && !pending_.empty()) {
+        // gang rendezvouses at full width. The full rendezvous sums
+        // both classes — with no safety stage registered this is the
+        // original single-class protocol, unchanged.
+        const bool full_ready =
+            !executing_ &&
+            waiting_[0] + waiting_[1] >= active_[0] + active_[1] &&
+            pending_entries_[0] + pending_entries_[1] == 0 &&
+            !pending_.empty();
+        // Safety fast path: a safety-class request rendezvouses only
+        // against its safety peers, so it never parks waiting for a
+        // best-effort stage to submit or leave. Checked after
+        // full_ready so a complete rendezvous still batches at full
+        // width (the wider grouping, same per-request results).
+        const bool safety_ready =
+            !executing_ && req.safety && !full_ready &&
+            waiting_[1] >= active_[1] && pending_entries_[1] == 0;
+        if (full_ready || safety_ready) {
             // Last arriver: lead the batch. Snapshot the pending set —
             // requests submitted while we compute belong to the next
-            // rendezvous round.
+            // rendezvous round. A safety-led round takes only the
+            // safety-class requests; everyone else keeps waiting for
+            // their own rendezvous.
             executing_ = true;
-            std::vector<Request *> batch = std::move(pending_);
-            pending_.clear();
+            std::vector<Request *> batch;
+            if (full_ready) {
+                batch = std::move(pending_);
+                pending_.clear();
+            } else {
+                auto keep = pending_.begin();
+                for (Request *r : pending_) {
+                    if (r->safety)
+                        batch.push_back(r);
+                    else
+                        *keep++ = r;
+                }
+                pending_.erase(keep, pending_.end());
+                ++stats_.safety_batches;
+            }
             lk.unlock();
             executeBatch(batch); // outputs are per-request buffers
             lk.lock();
@@ -76,7 +119,7 @@ SolveHub::submit(Request &req)
             cv_.wait(lk);
         }
     }
-    --waiting_;
+    --waiting_[req.safety ? 1 : 0];
 }
 
 void

@@ -33,6 +33,13 @@
  * immediately. Deadlock-free: every active stage either submits a
  * request or leaves, so the rendezvous condition always resolves.
  *
+ * Priority classes: a stage registered with StageGuard(hub, true)
+ * (SAFETY_CRITICAL sessions) rendezvouses only against other
+ * safety-class stages — its requests never park behind a best-effort
+ * wave. Safety requests still fold into a full-width batch when the
+ * complete rendezvous happens to be ready first, and with no safety
+ * stage registered the protocol is exactly the single-class one.
+ *
  * Latency trade-off: a parked request waits for the *slowest*
  * concurrent backend stage to either submit or leave — head-of-line
  * blocking up to that stage's remaining duration. This is what buys
@@ -85,6 +92,12 @@ struct SolveHubStats
     int max_wave = 0;           //!< widest announced wave
     int min_wave = 0;           //!< narrowest announced wave (0: none)
 
+    // Priority rendezvous accounting: requests from safety-class
+    // stages, and batches a safety request led without waiting for the
+    // full (best-effort-inclusive) rendezvous.
+    long safety_requests = 0;
+    long safety_batches = 0;
+
     /** Mean announced wave width (0.0 before any announcement). */
     double
     meanWave() const
@@ -129,29 +142,38 @@ class SolveHub
     SolveHub(const SolveHub &) = delete;
     SolveHub &operator=(const SolveHub &) = delete;
 
-    /** RAII registration of one backend stage execution. */
+    /**
+     * RAII registration of one backend stage execution. @p safety
+     * marks a SAFETY_CRITICAL session's stage: its kernel requests
+     * rendezvous only against other safety-class stages, so a safety
+     * backend never parks behind a best-effort wave (it still joins a
+     * full batch when one happens to be ready). The default keeps the
+     * single-class rendezvous bit-for-bit identical to before.
+     */
     class StageGuard
     {
       public:
-        explicit StageGuard(SolveHub *hub) : hub_(hub)
+        explicit StageGuard(SolveHub *hub, bool safety = false)
+            : hub_(hub), safety_(safety)
         {
             if (hub_)
-                hub_->enterBackend();
+                hub_->enterBackend(safety_);
         }
         ~StageGuard()
         {
             if (hub_)
-                hub_->leaveBackend();
+                hub_->leaveBackend(safety_);
         }
         StageGuard(const StageGuard &) = delete;
         StageGuard &operator=(const StageGuard &) = delete;
 
       private:
         SolveHub *hub_;
+        bool safety_;
     };
 
-    void enterBackend();
-    void leaveBackend();
+    void enterBackend(bool safety = false);
+    void leaveBackend(bool safety = false);
 
     /**
      * Gang pre-announcement (LocalizerPool's gang window): declares
@@ -161,8 +183,10 @@ class SolveHub
      * full-width batch instead of whoever raced in first. The caller
      * must guarantee each announced entry actually happens (the pool's
      * released backends run with strict priority), or requests stall.
+     * Safety-class entries must be announced with @p safety so the
+     * priority rendezvous holds for them and only them.
      */
-    void expectBackendEntries(int n);
+    void expectBackendEntries(int n, bool safety = false);
 
     /**
      * Projection kernel: f(i,:) = [x_i 1] * c^T over every point of
@@ -204,6 +228,7 @@ class SolveHub
 
         bool done = false;
         bool success = true;
+        bool safety = false; //!< submitted from a safety-class stage
     };
 
     /** Parks the request and runs the batch when last to arrive. */
@@ -216,9 +241,13 @@ class SolveHub
 
     mutable std::mutex m_;
     std::condition_variable cv_;
-    int active_ = 0;   //!< backend stages currently registered
-    int waiting_ = 0;  //!< requests parked in submit()
-    int pending_entries_ = 0; //!< announced gang entries not yet in
+    // Per-class counters, indexed 0 = normal, 1 = safety. The full
+    // rendezvous sums both (identical to the single-counter protocol
+    // when no safety stage exists); the safety fast path looks only at
+    // index 1.
+    int active_[2] = {0, 0};  //!< backend stages currently registered
+    int waiting_[2] = {0, 0}; //!< requests parked in submit()
+    int pending_entries_[2] = {0, 0}; //!< announced entries not yet in
     bool executing_ = false;
     std::vector<Request *> pending_;
     SolveHubStats stats_;

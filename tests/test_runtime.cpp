@@ -21,6 +21,7 @@
 #include "runtime/localizer_pool.hpp"
 #include "runtime/pipeline.hpp"
 #include "runtime/placement.hpp"
+#include "runtime/replan.hpp"
 #include "runtime/solve_hub.hpp"
 #include "runtime/telemetry.hpp"
 #include "sim/dataset.hpp"
@@ -308,6 +309,172 @@ TEST(FramePipeline, RegistrationNStagePosesMatchSequentialBitExact)
                         {{0, 2}, {0, 1, 2, 3}});
 }
 
+// --- Mid-run cut swaps (self-repipelining) ----------------------------------
+
+/** One scheduled swapCuts() call, issued just before submitting @c at. */
+struct SwapPoint
+{
+    int at = 0;
+    std::vector<int> cuts;
+    int stages = 0; //!< 0: derive as cuts.size() + 1
+};
+
+/**
+ * Drives one pipeline through a schedule of swapCuts() calls issued
+ * between submissions — old-epoch frames still in flight — and checks
+ * the pose stream stays bit-identical to the sequential reference: an
+ * epoch swap changes where sub-stages run from that frame on, never
+ * what any frame computes.
+ */
+void
+checkSwapEquivalence(SceneType scene, int frames, PipelineConfig pcfg,
+                     const std::vector<SwapPoint> &swaps,
+                     const std::function<void(LocalizerConfig &)> &tune =
+                         nullptr)
+{
+    TestRun r = makeRun(scene, frames);
+    if (tune)
+        tune(r.lcfg);
+    Dataset d(r.dcfg);
+
+    auto seq_loc = makeLocalizer(r, d);
+    std::vector<LocalizationResult> seq;
+    for (int i = 0; i < frames; ++i)
+        seq.push_back(seq_loc->processFrame(inputFor(d, i)));
+
+    auto loc = makeLocalizer(r, d);
+    pcfg.queue_capacity = 3;
+    std::vector<LocalizationResult> piped(frames);
+    long applied = 0;
+    {
+        FramePipeline pipeline(*loc, pcfg);
+        size_t next = 0;
+        for (int i = 0; i < frames; ++i) {
+            if (next < swaps.size() && swaps[next].at == i) {
+                ASSERT_TRUE(pipeline.swapCuts(swaps[next].cuts,
+                                              swaps[next].stages))
+                    << "swap before frame " << i;
+                ++next;
+            }
+            ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+        }
+        pipeline.flush();
+        LocalizationResult res;
+        while (pipeline.poll(res))
+            piped[res.frame_index] = std::move(res);
+        applied = pipeline.stats().cut_swaps;
+        EXPECT_EQ(pipeline.cuts(), swaps.back().cuts);
+    }
+    EXPECT_EQ(applied, static_cast<long>(swaps.size()));
+    for (int i = 0; i < frames; ++i) {
+        SCOPED_TRACE("swap schedule, frame " + std::to_string(i));
+        expectPosesIdentical(seq[i], piped[i], i);
+    }
+}
+
+TEST(FramePipeline, MidRunCutSwapsKeepSlamPosesBitExact)
+{
+    // Staged -> deeper -> sequential (stages = 1) -> max depth -> back:
+    // both directions of the inline <-> staged transition plus two
+    // staged -> staged swaps, each with old-epoch frames in flight.
+    PipelineConfig pcfg;
+    pcfg.cuts = {2};
+    checkSwapEquivalence(
+        SceneType::IndoorUnknown, 16, pcfg,
+        {{4, {0, 2, 3}}, {8, {}, 1}, {11, {0, 1, 2, 3}}, {14, {3}}},
+        [](LocalizerConfig &lc) {
+            lc.mapping.keyframe_interval = 1;
+            lc.mapping.window_size = 4;
+        });
+}
+
+TEST(FramePipeline, MidRunCutSwapsKeepVioPosesBitExact)
+{
+    // Starts sequential: the first swap brings the staged runtime up
+    // mid-stream. OutdoorUnknown provides GPS, so the solve|finish
+    // boundary splits MSCKF from the fusion block across the swaps.
+    PipelineConfig pcfg;
+    pcfg.stages = 1;
+    checkSwapEquivalence(SceneType::OutdoorUnknown, 14, pcfg,
+                         {{3, {1, 3}}, {7, {}, 1}, {10, {0, 1, 2, 3}}});
+}
+
+TEST(FramePipeline, MidRunCutSwapsKeepRegistrationPosesBitExact)
+{
+    PipelineConfig pcfg;
+    pcfg.cuts = {0, 2};
+    checkSwapEquivalence(SceneType::IndoorKnown, 12, pcfg,
+                         {{4, {0, 1, 2, 3}}, {8, {2}}});
+}
+
+TEST(FramePipeline, SwapCutsRejectsNoopAndInvalidTopologies)
+{
+    TestRun r = makeRun(SceneType::OutdoorUnknown, 2);
+    Dataset d(r.dcfg);
+    auto loc = makeLocalizer(r, d);
+    PipelineConfig pcfg;
+    pcfg.stages = 2;
+    FramePipeline pipeline(*loc, pcfg);
+    EXPECT_FALSE(pipeline.swapCuts({2})); // already the active cuts
+    EXPECT_THROW(pipeline.swapCuts({4}), std::invalid_argument);
+    EXPECT_THROW(pipeline.swapCuts({2, 1}), std::invalid_argument);
+    EXPECT_THROW(pipeline.swapCuts({1}, 3), std::invalid_argument);
+    EXPECT_TRUE(pipeline.swapCuts({1}));
+    EXPECT_EQ(pipeline.cuts(), std::vector<int>{1});
+    pipeline.close();
+    EXPECT_FALSE(pipeline.swapCuts({3})); // closed
+}
+
+TEST(FramePipeline, ReplannerAutoSwapKeepsPosesBitExact)
+{
+    const int frames = 20;
+    TestRun r = makeRun(SceneType::IndoorUnknown, frames);
+    r.lcfg.mapping.keyframe_interval = 1;
+    r.lcfg.mapping.window_size = 4;
+    Dataset d(r.dcfg);
+
+    auto seq_loc = makeLocalizer(r, d);
+    std::vector<LocalizationResult> seq;
+    for (int i = 0; i < frames; ++i)
+        seq.push_back(seq_loc->processFrame(inputFor(d, i)));
+
+    ReplanConfig rcfg; // tick fast enough to adapt within the run
+    rcfg.window = 12;
+    rcfg.tick_frames = 4;
+    rcfg.min_mode_frames = 3;
+    SessionReplanner replanner(rcfg);
+
+    // A deliberately lopsided start (FE alone | everything else) on a
+    // backend-heavy workload: the replanner must find better.
+    auto loc = makeLocalizer(r, d);
+    PipelineConfig pcfg;
+    pcfg.cuts = {0};
+    pcfg.replanner = &replanner;
+    pcfg.queue_capacity = 3;
+    std::vector<LocalizationResult> piped(frames);
+    long swaps = 0;
+    {
+        FramePipeline pipeline(*loc, pcfg);
+        for (int i = 0; i < frames; ++i)
+            ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+        pipeline.flush();
+        LocalizationResult res;
+        while (pipeline.poll(res))
+            piped[res.frame_index] = std::move(res);
+        swaps = pipeline.stats().cut_swaps;
+    }
+
+    ReplanStats rs = replanner.stats();
+    EXPECT_EQ(rs.observed, frames);
+    EXPECT_GE(rs.ticks, 1);
+    EXPECT_GE(rs.proposals, 1);
+    // Every proposal was applied (none lost to the try-lock path)...
+    EXPECT_EQ(swaps, rs.proposals);
+    // ...and adaptation never changed what any frame computed.
+    for (int i = 0; i < frames; ++i)
+        expectPosesIdentical(seq[i], piped[i], i);
+}
+
 TEST(FramePipeline, PlannerChosenTopologyMatchesSequentialBitExact)
 {
     const int frames = 12;
@@ -507,6 +674,83 @@ TEST(FramePipeline, StampsPerStageOffloadDecisions)
         EXPECT_EQ(res.telemetry.backend_offload.offload, expect.offload);
         EXPECT_EQ(res.telemetry.backend_offload.predicted_cpu_ms,
                   expect.predicted_cpu_ms);
+    }
+}
+
+// --- Localizer mode switching -----------------------------------------------
+
+TEST(Localizer, RequestModeSwitchValidatesTarget)
+{
+    TestRun r = makeRun(SceneType::OutdoorUnknown, 2); // VIO, no map
+    Dataset d(r.dcfg);
+    auto loc = makeLocalizer(r, d);
+    EXPECT_FALSE(loc->requestModeSwitch(BackendMode::Vio)); // no-op
+    // Registration needs a prior map; this session has none.
+    EXPECT_FALSE(loc->requestModeSwitch(BackendMode::Registration));
+}
+
+/**
+ * VIO -> dense-keyframing SLAM mid-run, once through sequential
+ * processFrame calls and once through a 4-stage pipeline. The deferred
+ * switch is consumed at a solve boundary, so the pipelined request is
+ * issued at a drained point to pin it to the same frame as the
+ * reference — then both streams must match bit-exactly, including the
+ * per-frame mode stamps.
+ */
+TEST(Localizer, ModeSwitchThroughPipelineMatchesSequential)
+{
+    const int frames = 14, switch_at = 7;
+    TestRun r = makeRun(SceneType::IndoorUnknown, frames); // builds voc
+    r.lcfg.mapping.keyframe_interval = 1;
+    r.lcfg.mapping.window_size = 4;
+    Dataset d(r.dcfg);
+
+    LocalizerConfig vio = r.lcfg;
+    vio.mode = BackendMode::Vio;
+    vio.use_gps = false;
+    auto make = [&] {
+        auto loc =
+            std::make_unique<Localizer>(vio, d.rig(), &r.voc, nullptr);
+        loc->initialize(d.truthAt(0), 0.0,
+                        d.trajectory().velocityAt(0.0));
+        return loc;
+    };
+
+    auto seq_loc = make();
+    std::vector<LocalizationResult> seq;
+    for (int i = 0; i < frames; ++i) {
+        if (i == switch_at)
+            ASSERT_TRUE(seq_loc->requestModeSwitch(BackendMode::Slam,
+                                                   &r.lcfg.mapping));
+        seq.push_back(seq_loc->processFrame(inputFor(d, i)));
+    }
+    for (int i = 0; i < frames; ++i)
+        ASSERT_EQ(seq[i].mode, i < switch_at ? BackendMode::Vio
+                                             : BackendMode::Slam)
+            << "frame " << i;
+
+    auto pipe_loc = make();
+    PipelineConfig pcfg;
+    pcfg.cuts = {0, 2, 3};
+    pcfg.queue_capacity = 3;
+    std::vector<LocalizationResult> piped(frames);
+    {
+        FramePipeline pipeline(*pipe_loc, pcfg);
+        for (int i = 0; i < switch_at; ++i)
+            ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+        pipeline.flush();
+        ASSERT_TRUE(pipe_loc->requestModeSwitch(BackendMode::Slam,
+                                                &r.lcfg.mapping));
+        for (int i = switch_at; i < frames; ++i)
+            ASSERT_TRUE(pipeline.submit(inputFor(d, i)));
+        pipeline.flush();
+        LocalizationResult res;
+        while (pipeline.poll(res))
+            piped[res.frame_index] = std::move(res);
+    }
+    for (int i = 0; i < frames; ++i) {
+        expectPosesIdentical(seq[i], piped[i], i);
+        EXPECT_EQ(piped[i].mode, seq[i].mode) << "frame " << i;
     }
 }
 
@@ -737,6 +981,61 @@ TEST(SolveHub, RendezvousGroupsConcurrentRequestsDeterministically)
     EXPECT_EQ(stats.requests[k], kThreads);
     EXPECT_EQ(stats.batches[k], 1);
     EXPECT_EQ(stats.max_batch[k], kThreads);
+}
+
+TEST(SolveHub, SafetyRequestNeverWaitsOnBestEffortStages)
+{
+    // Two best-effort stages register and then never submit; a
+    // safety-class stage submits one request. The priority rendezvous
+    // must release it as a safety-led batch instead of waiting for the
+    // full (and here, never-completing) best-effort wave — with the
+    // result bit-identical to the direct kernel.
+    const int n = 24;
+    SolveHub hub;
+
+    Rng rng(7);
+    MatX g(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            g(i, j) = rng.gaussian();
+    MatX a = gram(g);
+    for (int i = 0; i < n; ++i)
+        a(i, i) += n;
+    MatX b(n, 3);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < 3; ++j)
+            b(i, j) = rng.gaussian();
+    Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+    MatX expected = chol.solve(b);
+
+    std::atomic<bool> release{false};
+    std::barrier sync(3);
+    auto bystander = [&] {
+        SolveHub::StageGuard guard(&hub, /*safety=*/false);
+        sync.arrive_and_wait(); // registered, now stall
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    std::thread be1(bystander), be2(bystander);
+    sync.arrive_and_wait(); // both best-effort stages are inside
+
+    MatX x;
+    {
+        SolveHub::StageGuard guard(&hub, /*safety=*/true);
+        ASSERT_TRUE(hub.solveSpd(a, b, x)); // must not deadlock
+    }
+    release.store(true);
+    be1.join();
+    be2.join();
+
+    ASSERT_EQ(x.rows(), n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_EQ(x(i, j), expected(i, j));
+    SolveHubStats stats = hub.stats();
+    EXPECT_EQ(stats.safety_requests, 1);
+    EXPECT_EQ(stats.safety_batches, 1);
 }
 
 // --- Gang window ------------------------------------------------------------
@@ -1482,6 +1781,113 @@ TEST(LocalizerPool, FaultySessionDoesNotStallOrPoisonTheGang)
             << "session " << sid;
         EXPECT_EQ(stats.sessions[sid].dead_reckoned_frames, 0);
     }
+}
+
+// --- Elastic worker scaling + pool re-planning ------------------------------
+
+TEST(LocalizerPool, ElasticPoolGrowsUnderLoadAndShrinksWhenIdle)
+{
+    const int kSessions = 3, kFrames = 6;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+
+    PoolConfig pcfg;
+    pcfg.workers = 1; // starting width only
+    pcfg.elastic_workers = true;
+    pcfg.max_workers = 3;
+    pcfg.grow_wait_ms = 0.5;   // any real backlog triggers growth
+    pcfg.shrink_idle_ms = 25.0; // retire fast once the burst is done
+    pcfg.queue_capacity = 8;
+    LocalizerPool pool(pcfg);
+    for (int sid = 0; sid < kSessions; ++sid)
+        pool.addSession(makeLocalizer(r, d));
+
+    // Burst: three streams over one worker force queue waits past the
+    // growth threshold.
+    for (int i = 0; i < kFrames; ++i)
+        for (int sid = 0; sid < kSessions; ++sid)
+            ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+    pool.drain();
+
+    PoolStats busy = pool.stats();
+    EXPECT_EQ(busy.completed, static_cast<long>(kSessions) * kFrames);
+    EXPECT_GT(busy.workers_grown, 0);
+    EXPECT_LE(busy.workers, 3);
+
+    // Sustained idle: the pool must fall back to the minimum width
+    // (one worker here — no reservation).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (pool.stats().workers > 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    PoolStats idle = pool.stats();
+    EXPECT_EQ(idle.workers, 1);
+    EXPECT_GT(idle.workers_retired, 0);
+
+    // ...and still serves new work afterwards.
+    ASSERT_TRUE(pool.submit(0, inputFor(d, 0)));
+    pool.drain();
+    EXPECT_EQ(pool.stats().completed, busy.completed + 1);
+}
+
+TEST(LocalizerPool, GangWindowWithReplanAndSafetySessionStaysBitExact)
+{
+    // Online re-planning and a safety-class member must not disturb
+    // the gang rendezvous: every pose stays bit-identical to the solo
+    // run, the adaptation counters move, and the safety session's hub
+    // requests are tracked by the priority rendezvous.
+    const int kSessions = 4, kFrames = 8;
+    TestRun r = makeRun(SceneType::IndoorKnown, kFrames);
+    Dataset d(r.dcfg);
+
+    auto ref = makeLocalizer(r, d);
+    std::vector<LocalizationResult> expected;
+    for (int i = 0; i < kFrames; ++i)
+        expected.push_back(ref->processFrame(inputFor(d, i)));
+
+    PoolConfig pcfg;
+    pcfg.workers = kSessions;
+    pcfg.queue_capacity = 8;
+    pcfg.gang_window = true;
+    pcfg.gang_timeout_ms = 50.0;
+    pcfg.replan = true;
+    pcfg.replan_cfg.window = 8;
+    pcfg.replan_cfg.tick_frames = 2;
+    pcfg.replan_cfg.min_mode_frames = 2;
+    LocalizerPool pool(pcfg);
+    SessionConfig safety_cfg;
+    safety_cfg.qos = QosClass::SafetyCritical;
+    pool.addSession(makeLocalizer(r, d), safety_cfg);
+    for (int sid = 1; sid < kSessions; ++sid)
+        pool.addSession(makeLocalizer(r, d));
+
+    for (int i = 0; i < kFrames; ++i)
+        for (int sid = 0; sid < kSessions; ++sid)
+            ASSERT_TRUE(pool.submit(sid, inputFor(d, i)));
+    pool.drain();
+
+    std::vector<std::vector<LocalizationResult>> per(kSessions);
+    PoolResult pr;
+    while (pool.poll(pr))
+        per[pr.session_id].push_back(std::move(pr.result));
+    for (int sid = 0; sid < kSessions; ++sid) {
+        ASSERT_EQ(per[sid].size(), static_cast<size_t>(kFrames))
+            << "session " << sid;
+        for (int i = 0; i < kFrames; ++i)
+            expectPosesIdentical(expected[i], per[sid][i], i);
+    }
+
+    PoolStats ps = pool.stats();
+    EXPECT_GE(ps.replans, 1);
+    // Every tick resolves to exactly one of applied / held.
+    EXPECT_EQ(ps.swaps_applied + ps.swaps_rejected, ps.replans);
+    ASSERT_EQ(ps.sessions.size(), static_cast<size_t>(kSessions));
+    for (int sid = 0; sid < kSessions; ++sid)
+        EXPECT_FALSE(ps.sessions[sid].plan_cuts.empty())
+            << "session " << sid;
+    SolveHubStats hs = pool.solveStats();
+    EXPECT_GT(hs.safety_requests, 0);
 }
 
 } // namespace
