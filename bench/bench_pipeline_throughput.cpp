@@ -22,7 +22,10 @@
  * worker count), and EDX_ADAPT_FPS_FLOOR gates the self-repipelining
  * leg: a mid-run VIO -> dense-keyframing SLAM shift must recover the
  * given fraction of the fresh statically planned fps via online
- * re-plan + epoch cut swaps alone.
+ * re-plan + epoch cut swaps alone. EDX_MAP_PUBLISH_MS_CEILING gates
+ * the live shared-map leg: SLAM surveyors and registration readers
+ * share one MapService, and the reader-visible epoch-swap latency
+ * must stay a pointer copy while merges run in the background.
  */
 #include <cstdlib>
 #include <iostream>
@@ -407,6 +410,92 @@ qosReport(const SessionAssets &assets, int frames)
     return worst_ratio;
 }
 
+// --- live shared-map service: multi-session collaborative mapping -----
+
+struct SharedMapReport
+{
+    double agg_fps = 0.0;           //!< pool aggregate, all sessions
+    double worst_acquire_ms = 0.0;  //!< worst per-session epoch acquire
+    long contributions = 0;         //!< batches pushed by the surveyors
+    uint64_t reader_epoch = 0;      //!< epoch the readers ended on
+    MapServiceStats svc;
+};
+
+/**
+ * A mixed fleet over one live shared map: SLAM surveyors contribute
+ * retired keyframes to a MapService while registration robots adopt
+ * the published copy-on-write epochs at their solve boundaries. The
+ * quantity under test is the reader-visible cost of sharing: the epoch
+ * swap (svc max_publish_ms) and the per-solve epoch acquire, both of
+ * which the service bounds to a pointer copy no matter how heavy the
+ * background merge is.
+ */
+SharedMapReport
+sharedMapReport(int frames)
+{
+    RunConfig reg_cfg;
+    reg_cfg.scene = SceneType::IndoorKnown;
+    reg_cfg.platform = Platform::Drone;
+    reg_cfg.frames = frames;
+    reg_cfg.force_mode = BackendMode::Registration;
+    SessionAssets reg = buildAssets(reg_cfg);
+
+    RunConfig slam_cfg;
+    slam_cfg.scene = SceneType::IndoorUnknown;
+    slam_cfg.platform = Platform::Drone;
+    slam_cfg.frames = frames;
+    slam_cfg.force_mode = BackendMode::Slam;
+    slam_cfg.tune = [](LocalizerConfig &l) {
+        l.mapping.keyframe_interval = 3;
+        l.mapping.window_size = 4; // retire (= contribute) eagerly
+    };
+    SessionAssets slam = buildAssets(slam_cfg);
+
+    MapService svc(reg.voc.get(), reg.dataset->rig());
+    svc.seed(*reg.prior_map);
+    svc.flush();
+
+    PoolConfig pcfg;
+    pcfg.workers = 4;
+    pcfg.queue_capacity = 16;
+    pcfg.map_service = &svc;
+    LocalizerPool pool(pcfg);
+    const int kSurveyors = 2, kReaders = 2;
+    std::vector<int> sids;
+    for (int k = 0; k < kSurveyors; ++k)
+        sids.push_back(pool.addSession(slam.makeSession()));
+    for (int k = 0; k < kReaders; ++k)
+        sids.push_back(pool.addSession(reg.makeSession()));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < frames; ++i) {
+        for (int k = 0; k < kSurveyors; ++k)
+            pool.submit(sids[k], frameInput(*slam.dataset, i));
+        for (int k = 0; k < kReaders; ++k)
+            pool.submit(sids[kSurveyors + k],
+                        frameInput(*reg.dataset, i));
+    }
+    pool.drain();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+    SharedMapReport r;
+    const long total = static_cast<long>(frames) * (kSurveyors + kReaders);
+    r.agg_fps = ms > 0.0 ? 1000.0 * total / ms : 0.0;
+    PoolStats st = pool.stats();
+    r.svc = st.map_service;
+    for (const SessionPoolStats &ss : st.sessions) {
+        r.worst_acquire_ms =
+            std::max(r.worst_acquire_ms, ss.epoch_acquire_max_ms);
+        r.contributions += ss.map_contributions;
+    }
+    for (int k = 0; k < kReaders; ++k)
+        r.reader_epoch = std::max(
+            r.reader_epoch, st.sessions[sids[kSurveyors + k]].map_epoch);
+    return r;
+}
+
 // --- self-repipelining under a mid-run workload shift ------------------
 
 struct AdaptReport
@@ -624,6 +713,26 @@ main()
     SessionAssets qos_assets = buildAssets(qos_cfg);
     double qos_ratio = qosReport(qos_assets, qos_cfg.frames);
 
+    // --- live shared-map service: collaborative mapping --------------
+    std::cout << "\nLive shared-map service (2 SLAM surveyors + 2 "
+                 "registration readers, one MapService):\n";
+    SharedMapReport shared = sharedMapReport(std::max(frames / 2, 16));
+    std::cout << "  aggregate " << fmt(shared.agg_fps, 1)
+              << " frames/s; " << shared.contributions
+              << " contribution batch(es), "
+              << shared.svc.keyframes_ingested << " keyframes merged in "
+              << shared.svc.merges << " pass(es), "
+              << static_cast<unsigned long long>(shared.svc.epochs_published)
+              << " epoch(s) published (readers ended on epoch "
+              << static_cast<unsigned long long>(shared.reader_epoch)
+              << ")\n";
+    std::cout << "  reader-visible costs: worst epoch swap "
+              << fmt(shared.svc.max_publish_ms, 3)
+              << " ms, worst epoch acquire "
+              << fmt(shared.worst_acquire_ms, 3)
+              << " ms (background merge worst "
+              << fmt(shared.svc.max_merge_ms, 1) << " ms)\n";
+
     // --- self-repipelining: mid-run workload shift -------------------
     std::cout << "\nSelf-repipelining under a mid-run workload shift "
                  "(VIO -> dense-keyframing SLAM, car):\n";
@@ -689,6 +798,40 @@ main()
         std::cout << "qos smoke: safety-critical held "
                   << fmt(qos_ratio, 2) << "x >= " << limit
                   << "x of uncontended fps under overload\n";
+    }
+
+    // --- CI shared-map smoke: merges must actually happen, and the
+    // reader-visible publish cost must stay a pointer swap. The env
+    // value is the max acceptable epoch-swap latency in ms — orders of
+    // magnitude above a healthy swap, far below a merge pass, so only
+    // a merge leaking onto the publish path can trip it.
+    if (const char *ceiling = std::getenv("EDX_MAP_PUBLISH_MS_CEILING")) {
+        const double limit = std::atof(ceiling);
+        bool ok = true;
+        if (shared.svc.epochs_published < 1 || shared.contributions < 1) {
+            std::cerr << "PERF REGRESSION: the shared-map leg published "
+                      << shared.svc.epochs_published << " epoch(s) from "
+                      << shared.contributions
+                      << " contribution(s); collaborative mapping never "
+                         "engaged\n";
+            ok = false;
+        }
+        if (limit > 0.0 && shared.svc.max_publish_ms > limit) {
+            std::cerr << "PERF REGRESSION: worst epoch swap "
+                      << shared.svc.max_publish_ms
+                      << " ms exceeds the " << limit
+                      << " ms ceiling — merge work is leaking into the "
+                         "reader-visible publish path\n";
+            ok = false;
+        }
+        if (!ok)
+            return 1;
+        std::cout << "shared-map smoke: "
+                  << static_cast<unsigned long long>(
+                         shared.svc.epochs_published)
+                  << " epoch(s) published, worst swap "
+                  << fmt(shared.svc.max_publish_ms, 3) << " ms <= "
+                  << limit << " ms ceiling\n";
     }
 
     // --- CI adaptation smoke: after the mid-run VIO -> dense SLAM

@@ -1,25 +1,35 @@
 /**
  * @file
- * Map persistence - the "Persist Map (Optional)" path of Fig. 4: a SLAM
- * session maps an unknown environment, the map is saved to disk, and a
- * later session localizes against it in registration mode (the robot
- * "returns to a place visited before").
+ * Collaborative mapping + versioned map persistence.
+ *
+ * Two SLAM robots survey different halves of the same unknown site
+ * while attached to a live MapService: each contributes its retired
+ * keyframes, the service's background worker merges them (with
+ * cross-session loop detection) and publishes copy-on-write map
+ * epochs. The merged epoch is persisted in the versioned map format
+ * (magic + version + sections), loaded back byte-identically, and a
+ * third robot localizes against it in registration mode — the "Persist
+ * Map (Optional)" path of Fig. 4, upgraded to a fleet.
  */
 #include <cstdio>
+#include <cstring>
 
 #include "core/evaluation.hpp"
 #include "core/localizer.hpp"
+#include "map/map_io.hpp"
+#include "map/map_service.hpp"
 #include "sim/dataset.hpp"
 
 using namespace edx;
 
 namespace {
 
+/** Drives frames [first, last) of the site through one localizer. */
 TrajectoryError
-drive(Localizer &loc, const Dataset &dataset, int frames)
+drive(Localizer &loc, const Dataset &dataset, int first, int last)
 {
     std::vector<Pose> est, truth;
-    for (int i = 0; i < frames; ++i) {
+    for (int i = first; i < last; ++i) {
         DatasetFrame f = dataset.frame(i);
         FrameInput in;
         in.frame_index = i;
@@ -42,6 +52,7 @@ main()
 {
     const char *map_path = "/tmp/edx_example_site.map";
     const int frames = 60;
+    const int half = frames / 2;
 
     DatasetConfig dcfg;
     dcfg.scene = SceneType::IndoorUnknown;
@@ -50,45 +61,85 @@ main()
     Dataset site(dcfg);
     Vocabulary voc = buildVocabulary(site);
 
-    // --- Session 1: SLAM maps the unknown site.
-    std::printf("session 1: SLAM over the unknown site\n");
-    LocalizerConfig slam_cfg = configForScenario(SceneType::IndoorUnknown);
-    Localizer slam(slam_cfg, site.rig(), &voc, nullptr);
-    slam.initialize(site.truthAt(0), 0.0,
-                    site.trajectory().velocityAt(0.0));
-    TrajectoryError slam_err = drive(slam, site, frames);
-    std::printf("  SLAM RMSE %.3f m; built %d map points, %d keyframes\n",
-                slam_err.rmse_m, slam.currentMap()->pointCount(),
-                slam.currentMap()->keyframeCount());
+    // --- The shared-map service the surveyors write into.
+    MapService service(&voc, site.rig());
 
-    // --- Persist the map (Fig. 4 "Persist Map").
-    if (!slam.currentMap()->save(map_path)) {
+    LocalizerConfig slam_cfg = configForScenario(SceneType::IndoorUnknown);
+    slam_cfg.mapping.keyframe_interval = 3;
+    slam_cfg.mapping.window_size = 4; // retire (= contribute) eagerly
+
+    // --- Two robots survey one half of the site each, concurrently
+    // contributing retired keyframes to the service.
+    std::printf("surveying: two SLAM robots, one shared map\n");
+    Localizer robot_a(slam_cfg, site.rig(), &voc, nullptr);
+    robot_a.initialize(site.truthAt(0), 0.0,
+                       site.trajectory().velocityAt(0.0));
+    robot_a.attachMapService(&service);
+    TrajectoryError err_a = drive(robot_a, site, 0, half);
+
+    Localizer robot_b(slam_cfg, site.rig(), &voc, nullptr);
+    const double t_half = site.frame(half).t;
+    robot_b.initialize(site.truthAt(half), t_half,
+                       site.trajectory().velocityAt(t_half));
+    robot_b.attachMapService(&service);
+    TrajectoryError err_b = drive(robot_b, site, half, frames);
+
+    service.flush();
+    auto epoch = service.currentEpoch();
+    MapServiceStats sstats = service.stats();
+    std::printf("  robot A RMSE %.3f m, robot B RMSE %.3f m\n",
+                err_a.rmse_m, err_b.rmse_m);
+    std::printf("  merged epoch %llu: %d sessions, %d keyframes, "
+                "%d landmarks, %d cross-session loops\n",
+                static_cast<unsigned long long>(epoch->epoch),
+                epoch->sessions, epoch->map.keyframeCount(),
+                epoch->map.pointCount(), epoch->cross_session_loops);
+    std::printf("  service: %ld contributions, %ld merge passes, "
+                "worst publish %.4f ms\n\n",
+                sstats.contributions, sstats.merges,
+                sstats.max_publish_ms);
+
+    // --- Persist the merged map in the versioned format.
+    if (!epoch->map.save(map_path)) {
         std::fprintf(stderr, "failed to save map to %s\n", map_path);
         return 1;
     }
-    std::printf("  map saved to %s\n\n", map_path);
 
-    // --- Session 2 (later): load the map, localize by registration.
-    std::printf("session 2: registration against the persisted map\n");
-    auto loaded = Map::load(map_path);
+    // --- Load it back and prove the round trip is byte-identical.
+    MapLoadResult loaded = loadMap(map_path);
     if (!loaded) {
-        std::fprintf(stderr, "failed to load map from %s\n", map_path);
+        std::fprintf(stderr, "failed to load %s: %s\n", map_path,
+                     loaded.error.c_str());
         return 1;
     }
-    std::printf("  loaded %d points, %d keyframes\n",
-                loaded->pointCount(), loaded->keyframeCount());
+    const std::vector<uint8_t> original = saveMapToBuffer(epoch->map);
+    const std::vector<uint8_t> resaved = saveMapToBuffer(*loaded.map);
+    const bool identical =
+        original.size() == resaved.size() &&
+        std::memcmp(original.data(), resaved.data(), original.size()) == 0;
+    std::printf("persisted %zu bytes (format v%u.%u) to %s\n"
+                "  save -> load -> save byte-identical: %s\n\n",
+                original.size(), loaded.version_major,
+                loaded.version_minor, map_path,
+                identical ? "yes" : "NO");
+    if (!identical)
+        return 1;
 
+    // --- A later robot localizes against the merged survey.
+    std::printf("registration against the merged fleet map\n");
     LocalizerConfig reg_cfg = configForScenario(SceneType::IndoorKnown);
-    Localizer reg(reg_cfg, site.rig(), &voc, &*loaded);
+    Localizer reg(reg_cfg, site.rig(), &voc, &*loaded.map);
     reg.initialize(site.truthAt(0), 0.0,
                    site.trajectory().velocityAt(0.0));
-    TrajectoryError reg_err = drive(reg, site, frames);
-    std::printf("  registration RMSE %.3f m\n\n", reg_err.rmse_m);
+    TrajectoryError reg_err = drive(reg, site, 0, frames);
+    std::printf("  registration RMSE %.3f m over the full site\n\n",
+                reg_err.rmse_m);
 
-    std::printf("the persisted SLAM map turned an unknown environment "
-                "into a known one:\n"
-                "  SLAM (session 1)        RMSE %.3f m\n"
-                "  registration (session 2) RMSE %.3f m\n",
-                slam_err.rmse_m, reg_err.rmse_m);
+    std::printf("two half-site surveys became one deployable map:\n"
+                "  survey A (frames 0-%d)   RMSE %.3f m\n"
+                "  survey B (frames %d-%d)  RMSE %.3f m\n"
+                "  registration (full site) RMSE %.3f m\n",
+                half - 1, err_a.rmse_m, half, frames - 1, err_b.rmse_m,
+                reg_err.rmse_m);
     return 0;
 }

@@ -1,7 +1,10 @@
 #include "backend/map.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <cstdio>
+#include <cmath>
+
+#include "map/map_io.hpp"
 
 namespace edx {
 
@@ -45,144 +48,120 @@ Map::queryPlace(const BowVector &bow, int max_id) const
     return best;
 }
 
-namespace {
-
-/** Minimal checked binary I/O helpers. */
-template <typename T>
-bool
-writePod(std::FILE *f, const T &v)
+uint64_t
+Map::tileKeyOf(const Vec3 &position, double tile_size_m)
 {
-    return std::fwrite(&v, sizeof(T), 1, f) == 1;
+    const auto ix =
+        static_cast<int32_t>(std::floor(position[0] / tile_size_m));
+    const auto iy =
+        static_cast<int32_t>(std::floor(position[1] / tile_size_m));
+    return (static_cast<uint64_t>(static_cast<uint32_t>(ix)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(iy));
 }
 
-template <typename T>
-bool
-readPod(std::FILE *f, T &v)
+void
+Map::buildTileIndex(double tile_size_m)
 {
-    return std::fread(&v, sizeof(T), 1, f) == 1;
+    tiles_.clear();
+    if (tile_size_m <= 0.0) {
+        tile_size_m_ = 0.0;
+        return;
+    }
+    tile_size_m_ = tile_size_m;
+    for (int i = 0; i < static_cast<int>(points_.size()); ++i)
+        tiles_[tileKeyOf(points_[i].position, tile_size_m_)]
+            .points.push_back(i);
+    for (int i = 0; i < static_cast<int>(keyframes_.size()); ++i)
+        tiles_[tileKeyOf(keyframes_[i].pose.translation, tile_size_m_)]
+            .keyframes.push_back(i);
 }
 
-constexpr uint32_t kMagic = 0xedc5a90fu;
-
-bool
-writePose(std::FILE *f, const Pose &p)
+MapEvictionResult
+Map::evictToBudget(const MapBudget &budget)
 {
-    double vals[7] = {p.rotation.w(), p.rotation.x(), p.rotation.y(),
-                      p.rotation.z(), p.translation[0], p.translation[1],
-                      p.translation[2]};
-    return std::fwrite(vals, sizeof(double), 7, f) == 7;
-}
+    MapEvictionResult res;
+    const int nk = static_cast<int>(keyframes_.size());
+    const int np = static_cast<int>(points_.size());
+    const bool drop_kfs =
+        budget.max_keyframes > 0 && nk > budget.max_keyframes;
+    bool drop_pts = budget.max_points > 0 && np > budget.max_points;
+    if (!drop_kfs && !drop_pts)
+        return res;
 
-bool
-readPose(std::FILE *f, Pose &p)
-{
-    double vals[7];
-    if (std::fread(vals, sizeof(double), 7, f) != 7)
-        return false;
-    p.rotation = Quat(vals[0], vals[1], vals[2], vals[3]).normalized();
-    p.translation = Vec3{vals[4], vals[5], vals[6]};
-    return true;
-}
+    if (drop_kfs) {
+        const int excess = nk - budget.max_keyframes;
+        res.keyframes_evicted = excess;
+        res.keyframe_remap.assign(nk, -1);
+        std::vector<Keyframe> kept;
+        kept.reserve(budget.max_keyframes);
+        for (int i = excess; i < nk; ++i) {
+            res.keyframe_remap[i] = static_cast<int>(kept.size());
+            kept.push_back(std::move(keyframes_[i]));
+            kept.back().id = res.keyframe_remap[i];
+        }
+        keyframes_ = std::move(kept);
 
-} // namespace
+        // The observation counts drive the landmark eviction order, so
+        // refresh them to count only the surviving database.
+        for (MapPoint &p : points_)
+            p.observations = 0;
+        for (const Keyframe &kf : keyframes_)
+            for (int lm : kf.map_point_ids)
+                if (lm >= 0)
+                    ++points_[lm].observations;
+    }
+
+    if (drop_pts) {
+        const int excess = np - budget.max_points;
+        std::vector<int> order(np);
+        for (int i = 0; i < np; ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(), [&](int a, int b) {
+            if (points_[a].observations != points_[b].observations)
+                return points_[a].observations < points_[b].observations;
+            return a < b;
+        });
+        std::vector<char> evict(np, 0);
+        for (int i = 0; i < excess; ++i)
+            evict[order[i]] = 1;
+
+        res.points_evicted = excess;
+        res.point_remap.assign(np, -1);
+        std::vector<MapPoint> kept;
+        kept.reserve(budget.max_points);
+        for (int i = 0; i < np; ++i) {
+            if (evict[i])
+                continue;
+            res.point_remap[i] = static_cast<int>(kept.size());
+            kept.push_back(points_[i]);
+        }
+        points_ = std::move(kept);
+    }
+
+    if (!res.point_remap.empty())
+        for (Keyframe &kf : keyframes_)
+            for (int &lm : kf.map_point_ids)
+                if (lm >= 0)
+                    lm = res.point_remap[lm];
+
+    if (tile_size_m_ > 0.0)
+        buildTileIndex(tile_size_m_);
+    return res;
+}
 
 bool
 Map::save(const std::string &path) const
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        return false;
-    bool ok = writePod(f, kMagic);
-    ok = ok && writePod(f, static_cast<uint32_t>(points_.size()));
-    for (const MapPoint &p : points_) {
-        double pos[3] = {p.position[0], p.position[1], p.position[2]};
-        ok = ok && std::fwrite(pos, sizeof(double), 3, f) == 3;
-        ok = ok && writePod(f, p.descriptor);
-        ok = ok && writePod(f, p.observations);
-    }
-    ok = ok && writePod(f, static_cast<uint32_t>(keyframes_.size()));
-    for (const Keyframe &kf : keyframes_) {
-        ok = ok && writePod(f, kf.id) && writePose(f, kf.pose);
-        uint32_t n = static_cast<uint32_t>(kf.keypoints.size());
-        ok = ok && writePod(f, n);
-        for (uint32_t i = 0; i < n; ++i) {
-            ok = ok && writePod(f, kf.keypoints[i]);
-            ok = ok && writePod(f, kf.descriptors[i]);
-            ok = ok && writePod(f, kf.map_point_ids[i]);
-        }
-        uint32_t bw = static_cast<uint32_t>(kf.bow.size());
-        ok = ok && writePod(f, bw);
-        for (const auto &[w, v] : kf.bow) {
-            ok = ok && writePod(f, w) && writePod(f, v);
-        }
-    }
-    std::fclose(f);
-    return ok;
+    return saveMap(*this, path);
 }
 
 std::optional<Map>
 Map::load(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
+    MapLoadResult r = loadMap(path);
+    if (!r.map)
         return std::nullopt;
-    auto fail = [&]() {
-        std::fclose(f);
-        return std::nullopt;
-    };
-
-    uint32_t magic = 0;
-    if (!readPod(f, magic) || magic != kMagic)
-        return fail();
-
-    Map m;
-    uint32_t np = 0;
-    if (!readPod(f, np))
-        return fail();
-    m.points_.resize(np);
-    for (uint32_t i = 0; i < np; ++i) {
-        double pos[3];
-        if (std::fread(pos, sizeof(double), 3, f) != 3)
-            return fail();
-        m.points_[i].position = Vec3{pos[0], pos[1], pos[2]};
-        if (!readPod(f, m.points_[i].descriptor) ||
-            !readPod(f, m.points_[i].observations))
-            return fail();
-    }
-
-    uint32_t nk = 0;
-    if (!readPod(f, nk))
-        return fail();
-    m.keyframes_.resize(nk);
-    for (uint32_t i = 0; i < nk; ++i) {
-        Keyframe &kf = m.keyframes_[i];
-        if (!readPod(f, kf.id) || !readPose(f, kf.pose))
-            return fail();
-        uint32_t n = 0;
-        if (!readPod(f, n))
-            return fail();
-        kf.keypoints.resize(n);
-        kf.descriptors.resize(n);
-        kf.map_point_ids.resize(n);
-        for (uint32_t j = 0; j < n; ++j) {
-            if (!readPod(f, kf.keypoints[j]) ||
-                !readPod(f, kf.descriptors[j]) ||
-                !readPod(f, kf.map_point_ids[j]))
-                return fail();
-        }
-        uint32_t bw = 0;
-        if (!readPod(f, bw))
-            return fail();
-        for (uint32_t j = 0; j < bw; ++j) {
-            int w;
-            double v;
-            if (!readPod(f, w) || !readPod(f, v))
-                return fail();
-            kf.bow[w] = v;
-        }
-    }
-    std::fclose(f);
-    return m;
+    return std::move(*r.map);
 }
 
 } // namespace edx

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +48,37 @@ struct PlaceMatch
     double score = 0.0;
 };
 
+/**
+ * Memory budget of a map builder (the MapService's merged map). 0
+ * means unlimited; the legacy single-session paths never evict.
+ */
+struct MapBudget
+{
+    int max_points = 0;    //!< landmark cap (0 = unlimited)
+    int max_keyframes = 0; //!< keyframe-database cap (0 = unlimited)
+};
+
+/**
+ * One spatial tile of the tile index: the ids of the landmarks and
+ * keyframes whose positions fall inside the tile's ground-plane cell.
+ */
+struct MapTile
+{
+    std::vector<int> points;
+    std::vector<int> keyframes;
+};
+
+/** What evictToBudget() removed and how the survivors were renumbered. */
+struct MapEvictionResult
+{
+    int points_evicted = 0;
+    int keyframes_evicted = 0;
+
+    /** old id -> new id, -1 for evicted entries. Empty = nothing moved. */
+    std::vector<int> point_remap;
+    std::vector<int> keyframe_remap;
+};
+
 /** The map: landmarks + keyframe database. */
 class Map
 {
@@ -56,10 +88,15 @@ class Map
     // uid for the destination (a distinct object is a distinct cache
     // identity; uid_ is set by its member initializer in every
     // constructor below).
-    Map(const Map &o) : points_(o.points_), keyframes_(o.keyframes_) {}
+    Map(const Map &o)
+        : points_(o.points_), keyframes_(o.keyframes_),
+          tile_size_m_(o.tile_size_m_), tiles_(o.tiles_)
+    {
+    }
     Map(Map &&o) noexcept
         : points_(std::move(o.points_)),
-          keyframes_(std::move(o.keyframes_))
+          keyframes_(std::move(o.keyframes_)),
+          tile_size_m_(o.tile_size_m_), tiles_(std::move(o.tiles_))
     {
     }
     Map &
@@ -67,6 +104,8 @@ class Map
     {
         points_ = std::move(o.points_);
         keyframes_ = std::move(o.keyframes_);
+        tile_size_m_ = o.tile_size_m_;
+        tiles_ = std::move(o.tiles_);
         return *this;
     }
 
@@ -100,12 +139,45 @@ class Map
                                          int max_id = -1) const;
 
     /**
-     * Serializes the map (points + keyframes) to a binary file.
-     * @return false on I/O failure.
+     * Evicts landmarks/keyframes down to @p budget and compacts the
+     * survivors so the id == index invariant holds again. Deterministic
+     * rules: the oldest keyframes (lowest ids) go first; landmarks go
+     * by (observations ascending, id ascending). When keyframes were
+     * dropped, every surviving landmark's observation count is
+     * recomputed from the surviving database first, so the eviction
+     * order reflects the post-drop map. All keyframe map_point_ids are
+     * rewritten through the remap (-1 for evicted landmarks). A map
+     * within budget is untouched. The tile index, when built, is
+     * rebuilt over the survivors.
+     */
+    MapEvictionResult evictToBudget(const MapBudget &budget);
+
+    /**
+     * Builds (or rebuilds) the spatial tile index: every landmark and
+     * keyframe is bucketed by its ground-plane (x, y) cell of
+     * @p tile_size_m meters. Only meaningful on a map whose positions
+     * no longer move (an epoch snapshot) — SLAM local BA would
+     * invalidate it silently. @p tile_size_m <= 0 clears the index.
+     */
+    void buildTileIndex(double tile_size_m);
+
+    /** Tile edge length of the built index, meters (0 = no index). */
+    double tileSize() const { return tile_size_m_; }
+
+    /** The tile index, keyed by packed (ix, iy) cell coordinates
+     *  (ordered, so iteration and serialization are canonical). */
+    const std::map<uint64_t, MapTile> &tiles() const { return tiles_; }
+
+    /** Packs the ground-plane cell of @p position into a tile key. */
+    static uint64_t tileKeyOf(const Vec3 &position, double tile_size_m);
+
+    /**
+     * Serializes the map to a binary file in the versioned map_io
+     * format (magic + version + sections). @return false on failure.
      */
     bool save(const std::string &path) const;
 
-    /** Loads a map written by save(). */
+    /** Loads a map written by save(). Diagnostics via map_io. */
     static std::optional<Map> load(const std::string &path);
 
   private:
@@ -114,6 +186,8 @@ class Map
     uint64_t uid_ = nextUid();
     std::vector<MapPoint> points_;
     std::vector<Keyframe> keyframes_;
+    double tile_size_m_ = 0.0;
+    std::map<uint64_t, MapTile> tiles_;
 };
 
 } // namespace edx

@@ -802,6 +802,8 @@ Mapper::applyPendingFinish(MappingTiming &timing)
                       obs.end());
         }
         window_.erase(window_.begin());
+        if (retire_log_)
+            retired_.push_back(old_kf);
         if (pending_.marg_solved) {
             prior_kf_ = pending_.prior_kf;
             prior_h_ = pending_.prior_h;

@@ -170,6 +170,24 @@ class Mapper
      */
     void setSolveHub(SolveHub *hub) { hub_ = hub; }
 
+    /**
+     * Enables the keyframe retirement log for the shared-map service:
+     * applyPendingFinish() then records each keyframe it pops from the
+     * window (its pose is final — no further local BA touches it), and
+     * the localizer drains the log into a MapContribution. Off by
+     * default so detached sessions pay nothing.
+     */
+    void setRetireLog(bool enabled) { retire_log_ = enabled; }
+
+    /** Moves the retired-keyframe ids out of the log (oldest first). */
+    std::vector<int>
+    drainRetiredKeyframes()
+    {
+        std::vector<int> out;
+        out.swap(retired_);
+        return out;
+    }
+
   private:
     struct LandmarkObs
     {
@@ -232,6 +250,10 @@ class Mapper
 
     PendingFinish pending_;
     int finish_kf_ = -1; //!< keyframe the next computeFinish() serves
+
+    // Shared-map contribution log (setRetireLog).
+    bool retire_log_ = false;
+    std::vector<int> retired_;
 
     int frame_counter_ = 0;
     int frames_as_keyframes_ = 0;

@@ -118,6 +118,22 @@ class Tracker
      */
     void setStaticMap(bool static_map) { static_map_ = static_map; }
 
+    /**
+     * Swaps the map this tracker localizes in (a session adopting a
+     * fresh shared-map epoch at a solve boundary). Invalidates the
+     * static-map projection cache; static_map_ stays as configured —
+     * each epoch is itself immutable. The caller owns @p map's
+     * lifetime (the localizer pins the epoch's shared_ptr).
+     */
+    void
+    retarget(const Map *map)
+    {
+        map_ = map;
+        cached_points_ = -1;
+    }
+
+    const Map *map() const { return map_; }
+
   private:
     const Map *map_;
     const Vocabulary *voc_;

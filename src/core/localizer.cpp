@@ -1,5 +1,8 @@
 #include "core/localizer.hpp"
 
+#include <chrono>
+
+#include "map/map_service.hpp"
 #include "runtime/solve_hub.hpp"
 #include "runtime/telemetry.hpp"
 
@@ -85,8 +88,68 @@ Localizer::currentMap() const
     if (cfg_.mode == BackendMode::Slam)
         return &mapper_->map();
     if (cfg_.mode == BackendMode::Registration)
-        return registration_map_;
+        return map_epoch_ ? &map_epoch_->map : registration_map_;
     return nullptr;
+}
+
+void
+Localizer::attachMapService(MapService *service)
+{
+    map_service_ = service;
+    if (!service) {
+        map_session_key_ = -1;
+        if (mapper_)
+            mapper_->setRetireLog(false);
+        return;
+    }
+    map_session_key_ = service->registerSession();
+    if (mapper_)
+        mapper_->setRetireLog(true);
+    refreshMapEpoch();
+}
+
+void
+Localizer::refreshMapEpoch()
+{
+    if (!map_service_)
+        return;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const MapEpoch> e = map_service_->currentEpoch();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    double prev = epoch_acquire_max_ms_.load(std::memory_order_relaxed);
+    while (ms > prev && !epoch_acquire_max_ms_.compare_exchange_weak(
+                            prev, ms, std::memory_order_relaxed)) {
+    }
+    if (!e || e == map_epoch_ || e->map.pointCount() == 0)
+        return; // no newer usable snapshot: keep tracking the pinned one
+    map_epoch_ = std::move(e);
+    map_epoch_seq_.store(map_epoch_->epoch, std::memory_order_relaxed);
+    if (reg_tracker_)
+        reg_tracker_->retarget(&map_epoch_->map);
+}
+
+void
+Localizer::contributeRetiredKeyframes()
+{
+    if (!map_service_ || !mapper_)
+        return;
+    std::vector<int> retired = mapper_->drainRetiredKeyframes();
+    if (retired.empty())
+        return;
+    const Map &m = mapper_->map();
+    MapContribution c;
+    c.keyframes.reserve(retired.size());
+    for (int kf_id : retired) {
+        const Keyframe &kf = m.keyframes()[kf_id];
+        c.keyframes.push_back(kf); // id doubles as the session-local seq
+        for (int lm : kf.map_point_ids)
+            if (lm >= 0)
+                c.points.emplace_back(lm, m.points()[lm]);
+    }
+    map_service_->contribute(map_session_key_, std::move(c));
+    map_contributions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 LocalizationResult
@@ -176,6 +239,8 @@ Localizer::applyModeSwitch(BackendMode target,
             mapper_->setSolveHub(hub_);
             slam_tracker_->setSolveHub(hub_);
         }
+        if (map_service_)
+            mapper_->setRetireLog(true);
         break;
       }
       case BackendMode::Registration:
@@ -186,6 +251,8 @@ Localizer::applyModeSwitch(BackendMode target,
             reg_tracker_->setStaticMap(true);
             if (hub_)
                 reg_tracker_->setSolveHub(hub_);
+            if (map_epoch_)
+                reg_tracker_->retarget(&map_epoch_->map);
         }
         break;
     }
@@ -249,6 +316,12 @@ Localizer::runBackendSolve(const FrameInput &input, const FrontendOutput &fe,
         waitFinishedBefore(ctx.seq);
         applyModeSwitch(sw->target, sw->mapping);
     }
+
+    // Adopt a newer shared-map epoch at the frame boundary, before the
+    // solve reads the map — the deferred-application discipline that
+    // keeps epoch swaps invisible to an in-flight frame.
+    if (map_service_ && cfg_.mode == BackendMode::Registration)
+        refreshMapEpoch();
 
     ctx.mode = cfg_.mode;
     switch (cfg_.mode) {
@@ -499,6 +572,8 @@ Localizer::processSlamSolve(const FrameInput &input, const FrontendOutput &fe,
         if (prev_pose_)
             prev_pose_ = *corr * *prev_pose_;
     }
+    if (map_service_)
+        contributeRetiredKeyframes();
 
     MappingResult mr = mapper_->processFrameSolve(fe, estimate);
     res.telemetry.mapping.solver_ms += mr.timing.solver_ms;

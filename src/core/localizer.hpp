@@ -45,6 +45,8 @@
 namespace edx {
 
 class SolveHub;
+class MapService;
+struct MapEpoch;
 
 /** Full framework configuration. */
 struct LocalizerConfig
@@ -245,6 +247,53 @@ class Localizer
     void setSolveHub(SolveHub *hub);
 
     /**
+     * Attaches the live shared-map service (map/map_service.hpp),
+     * alongside the legacy owned/borrowed-map path (null detaches;
+     * detached behavior is bit-identical to pre-service builds,
+     * test-enforced):
+     *
+     *  - SLAM: keyframes the mapper retires from its window (their
+     *    poses are final) are contributed to the service after each
+     *    applyPendingFinish(). Contribution is *read-only* on the
+     *    mapper, so the session's own pose stream is unchanged by
+     *    attaching.
+     *  - Registration: the solve sub-stage pins the service's current
+     *    epoch at each frame boundary and retargets the tracker when a
+     *    newer epoch was published (the applyPendingFinish deferred-
+     *    application discipline). The epoch-acquire latency is bounded
+     *    (a shared_ptr copy) even while a merge is in flight.
+     *
+     * Wired per session by LocalizerPool via PoolConfig::map_service.
+     */
+    void attachMapService(MapService *service);
+
+    MapService *mapService() const { return map_service_; }
+
+    // Shared-map session counters (atomics: the pool's stats() reads
+    // them while frames are in flight).
+
+    /** Contributions shipped to the service by this session. */
+    long
+    mapContributions() const
+    {
+        return map_contributions_.load(std::memory_order_relaxed);
+    }
+
+    /** Epoch number this session last adopted (0 = none yet). */
+    uint64_t
+    mapEpoch() const
+    {
+        return map_epoch_seq_.load(std::memory_order_relaxed);
+    }
+
+    /** Worst observed currentEpoch() acquire latency, ms. */
+    double
+    maxEpochAcquireMs() const
+    {
+        return epoch_acquire_max_ms_.load(std::memory_order_relaxed);
+    }
+
+    /**
      * Requests a mid-run backend-mode switch (the workload shift of a
      * deployed session: outdoor VIO driving into an unmapped indoor
      * space becomes SLAM). The request is *deferred*: the next frame's
@@ -332,6 +381,15 @@ class Localizer
     void applyModeSwitch(BackendMode target,
                          const std::optional<MappingConfig> &mapping);
 
+    /** Pins the service's current epoch; retargets the registration
+     *  tracker when it advanced. Solve-stage worker only. */
+    void refreshMapEpoch();
+
+    /** Ships the mapper's newly retired keyframes (and the landmarks
+     *  they observe) to the service. Read-only on the mapper's map;
+     *  solve-stage worker only, right after applyPendingFinish(). */
+    void contributeRetiredKeyframes();
+
     LocalizerConfig cfg_;
     StereoRig rig_;
     const Vocabulary *voc_;
@@ -353,6 +411,16 @@ class Localizer
     // Registration mode: the prior map is shared read-only.
     const Map *registration_map_ = nullptr;
     std::unique_ptr<Tracker> reg_tracker_;
+
+    // Shared-map service attach path (null = legacy map ownership).
+    // map_epoch_ is pinned/swapped only by the solve-stage worker; the
+    // counters are atomic shadows for cross-thread stats reads.
+    MapService *map_service_ = nullptr;
+    int map_session_key_ = -1;
+    std::shared_ptr<const MapEpoch> map_epoch_;
+    std::atomic<long> map_contributions_{0};
+    std::atomic<uint64_t> map_epoch_seq_{0};
+    std::atomic<double> epoch_acquire_max_ms_{0.0};
 
     // Shared pose history for constant-velocity prediction.
     std::optional<Pose> last_pose_;

@@ -1,0 +1,430 @@
+#include "map/map_io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <type_traits>
+
+namespace edx {
+
+namespace {
+
+/** Appending little-endian-native byte writer (deterministic). */
+class Writer
+{
+  public:
+    template <typename T>
+    void
+    pod(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const size_t off = buf_.size();
+        buf_.resize(off + sizeof(T));
+        std::memcpy(buf_.data() + off, &v, sizeof(T));
+    }
+
+    void
+    pose(const Pose &p)
+    {
+        const double vals[7] = {p.rotation.w(),   p.rotation.x(),
+                                p.rotation.y(),   p.rotation.z(),
+                                p.translation[0], p.translation[1],
+                                p.translation[2]};
+        for (double v : vals)
+            pod(v);
+    }
+
+    void
+    bytes(const std::vector<uint8_t> &b)
+    {
+        buf_.insert(buf_.end(), b.begin(), b.end());
+    }
+
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/** Bounds-checked reader over a fixed byte range. */
+class Reader
+{
+  public:
+    Reader(const uint8_t *data, size_t size) : data_(data), size_(size) {}
+
+    template <typename T>
+    bool
+    pod(T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (size_ - off_ < sizeof(T))
+            return false;
+        std::memcpy(&v, data_ + off_, sizeof(T));
+        off_ += sizeof(T);
+        return true;
+    }
+
+    /**
+     * Reads a pose bit-for-bit. The rotation is *validated* as a unit
+     * quaternion (within rounding slack) rather than renormalized:
+     * renormalizing would perturb the last bits of every real pose and
+     * break the save -> load -> save byte-identity contract, while a
+     * grossly non-unit rotation is a corrupt file, not one to repair
+     * silently.
+     */
+    bool
+    pose(Pose &p, bool &unit)
+    {
+        double vals[7];
+        for (double &v : vals)
+            if (!pod(v))
+                return false;
+        p.rotation = Quat(vals[0], vals[1], vals[2], vals[3]);
+        p.translation = Vec3{vals[4], vals[5], vals[6]};
+        const double n = p.rotation.norm();
+        unit = std::isfinite(n) && std::abs(n - 1.0) < 1e-6;
+        return true;
+    }
+
+    bool
+    skip(uint64_t n)
+    {
+        if (size_ - off_ < n)
+            return false;
+        off_ += n;
+        return true;
+    }
+
+    size_t remaining() const { return size_ - off_; }
+    size_t offset() const { return off_; }
+
+    Reader
+    sub(uint64_t n) const
+    {
+        return Reader(data_ + off_, static_cast<size_t>(n));
+    }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    size_t off_ = 0;
+};
+
+std::vector<uint8_t>
+pointsPayload(const Map &map)
+{
+    Writer w;
+    w.pod(static_cast<uint64_t>(map.points().size()));
+    for (const MapPoint &p : map.points()) {
+        w.pod(p.position[0]);
+        w.pod(p.position[1]);
+        w.pod(p.position[2]);
+        for (uint64_t word : p.descriptor.bits)
+            w.pod(word);
+        w.pod(static_cast<int32_t>(p.observations));
+    }
+    return w.take();
+}
+
+std::vector<uint8_t>
+keyframesPayload(const Map &map)
+{
+    Writer w;
+    w.pod(static_cast<uint64_t>(map.keyframes().size()));
+    for (const Keyframe &kf : map.keyframes()) {
+        w.pod(static_cast<int32_t>(kf.id));
+        w.pose(kf.pose);
+        const auto n = static_cast<uint64_t>(kf.keypoints.size());
+        w.pod(n);
+        for (uint64_t i = 0; i < n; ++i) {
+            const KeyPoint &kp = kf.keypoints[i];
+            w.pod(kp.x);
+            w.pod(kp.y);
+            w.pod(kp.score);
+            w.pod(kp.angle);
+            for (uint64_t word : kf.descriptors[i].bits)
+                w.pod(word);
+            w.pod(static_cast<int32_t>(kf.map_point_ids[i]));
+        }
+        w.pod(static_cast<uint64_t>(kf.bow.size()));
+        for (const auto &[word, value] : kf.bow) {
+            w.pod(static_cast<int32_t>(word));
+            w.pod(value);
+        }
+    }
+    return w.take();
+}
+
+std::vector<uint8_t>
+tilePayload(const Map &map)
+{
+    // The index is a pure function of positions + tile size, so only
+    // the parameters ship; the loader rebuilds and cross-checks the
+    // tile count as a cheap integrity test.
+    Writer w;
+    w.pod(map.tileSize());
+    w.pod(static_cast<uint64_t>(map.tiles().size()));
+    return w.take();
+}
+
+/** Minimum serialized entry sizes: allocation guards against corrupt
+ *  counts (a bogus 2^60 count must fail the size check, not allocate). */
+constexpr uint64_t kPointBytes = 3 * 8 + 4 * 8 + 4;
+constexpr uint64_t kFeatureBytes = 4 * 4 + 4 * 8 + 4;
+constexpr uint64_t kBowEntryBytes = 4 + 8;
+
+bool
+parsePoints(Reader r, Map &m, std::string &error)
+{
+    uint64_t count = 0;
+    if (!r.pod(count) || count * kPointBytes > r.remaining()) {
+        error = "corrupt landmark section (count exceeds section size)";
+        return false;
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+        MapPoint p;
+        int32_t obs = 0;
+        bool ok = r.pod(p.position[0]) && r.pod(p.position[1]) &&
+                  r.pod(p.position[2]);
+        for (uint64_t &word : p.descriptor.bits)
+            ok = ok && r.pod(word);
+        ok = ok && r.pod(obs);
+        if (!ok) {
+            error = "truncated landmark section";
+            return false;
+        }
+        p.observations = obs;
+        m.addPoint(p);
+    }
+    return true;
+}
+
+bool
+parseKeyframes(Reader r, Map &m, std::string &error)
+{
+    uint64_t count = 0;
+    if (!r.pod(count) || count * (4 + 7 * 8 + 8 + 8) > r.remaining()) {
+        error = "corrupt keyframe section (count exceeds section size)";
+        return false;
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+        Keyframe kf;
+        int32_t id = 0;
+        uint64_t features = 0;
+        bool unit = false;
+        if (!r.pod(id) || !r.pose(kf.pose, unit) || !r.pod(features) ||
+            features * kFeatureBytes > r.remaining()) {
+            error = "truncated keyframe section";
+            return false;
+        }
+        if (id != static_cast<int32_t>(i)) {
+            error = "corrupt keyframe section (non-contiguous ids)";
+            return false;
+        }
+        if (!unit) {
+            error = "corrupt keyframe section (non-unit rotation)";
+            return false;
+        }
+        kf.keypoints.resize(features);
+        kf.descriptors.resize(features);
+        kf.map_point_ids.resize(features);
+        for (uint64_t k = 0; k < features; ++k) {
+            KeyPoint &kp = kf.keypoints[k];
+            int32_t lm = -1;
+            bool ok = r.pod(kp.x) && r.pod(kp.y) && r.pod(kp.score) &&
+                      r.pod(kp.angle);
+            for (uint64_t &word : kf.descriptors[k].bits)
+                ok = ok && r.pod(word);
+            ok = ok && r.pod(lm);
+            if (!ok) {
+                error = "truncated keyframe section";
+                return false;
+            }
+            if (lm < -1 || lm >= m.pointCount()) {
+                error = "corrupt keyframe section (landmark id out of "
+                        "range)";
+                return false;
+            }
+            kf.map_point_ids[k] = lm;
+        }
+        uint64_t bow = 0;
+        if (!r.pod(bow) || bow * kBowEntryBytes > r.remaining()) {
+            error = "truncated keyframe section";
+            return false;
+        }
+        for (uint64_t k = 0; k < bow; ++k) {
+            int32_t word = 0;
+            double value = 0.0;
+            if (!r.pod(word) || !r.pod(value)) {
+                error = "truncated keyframe section";
+                return false;
+            }
+            kf.bow[word] = value;
+        }
+        m.addKeyframe(std::move(kf));
+    }
+    return true;
+}
+
+bool
+parseTileIndex(Reader r, Map &m, std::string &error)
+{
+    double tile_size = 0.0;
+    uint64_t tile_count = 0;
+    if (!r.pod(tile_size) || !r.pod(tile_count)) {
+        error = "truncated tile-index section";
+        return false;
+    }
+    if (!(tile_size > 0.0) || tile_size > 1e9) {
+        error = "corrupt tile-index section (bad tile size)";
+        return false;
+    }
+    m.buildTileIndex(tile_size);
+    if (m.tiles().size() != tile_count) {
+        error = "corrupt tile-index section (tile count mismatch)";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+saveMapToBuffer(const Map &map)
+{
+    struct Section
+    {
+        MapSection id;
+        std::vector<uint8_t> payload;
+    };
+    std::vector<Section> sections;
+    sections.push_back({MapSection::Points, pointsPayload(map)});
+    sections.push_back({MapSection::Keyframes, keyframesPayload(map)});
+    if (map.tileSize() > 0.0)
+        sections.push_back({MapSection::TileIndex, tilePayload(map)});
+
+    Writer w;
+    w.pod(kMapFormatMagic);
+    w.pod(kMapFormatMajor);
+    w.pod(kMapFormatMinor);
+    w.pod(static_cast<uint32_t>(sections.size()));
+    for (const Section &s : sections) {
+        w.pod(static_cast<uint32_t>(s.id));
+        w.pod(static_cast<uint64_t>(s.payload.size()));
+        w.bytes(s.payload);
+    }
+    return w.take();
+}
+
+bool
+saveMap(const Map &map, const std::string &path)
+{
+    const std::vector<uint8_t> buf = saveMapToBuffer(map);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+MapLoadResult
+loadMapFromBuffer(const uint8_t *data, size_t size)
+{
+    MapLoadResult res;
+    Reader r(data, size);
+
+    uint32_t magic = 0;
+    if (!r.pod(magic)) {
+        res.error = "truncated header (file smaller than the magic)";
+        return res;
+    }
+    if (magic != kMapFormatMagic) {
+        res.error = "not a map file (bad magic)";
+        return res;
+    }
+    uint32_t section_count = 0;
+    if (!r.pod(res.version_major) || !r.pod(res.version_minor) ||
+        !r.pod(section_count)) {
+        res.error = "truncated header";
+        return res;
+    }
+    if (res.version_major > kMapFormatMajor) {
+        res.error = "unsupported map format major version " +
+                    std::to_string(res.version_major) +
+                    " (reader supports up to " +
+                    std::to_string(kMapFormatMajor) + ")";
+        return res;
+    }
+
+    Map m;
+    bool saw_points = false;
+    for (uint32_t i = 0; i < section_count; ++i) {
+        uint32_t id = 0;
+        uint64_t bytes = 0;
+        if (!r.pod(id) || !r.pod(bytes) || bytes > r.remaining()) {
+            res.error = "truncated section table (section " +
+                        std::to_string(i) + " of " +
+                        std::to_string(section_count) + ")";
+            return res;
+        }
+        Reader payload = r.sub(bytes);
+        r.skip(bytes);
+        switch (static_cast<MapSection>(id)) {
+          case MapSection::Points:
+            if (!parsePoints(payload, m, res.error))
+                return res;
+            saw_points = true;
+            break;
+          case MapSection::Keyframes:
+            // Landmark ids validate against the point table, so the
+            // canonical order matters.
+            if (!saw_points) {
+                res.error = "corrupt file (keyframe section precedes "
+                            "landmark section)";
+                return res;
+            }
+            if (!parseKeyframes(payload, m, res.error))
+                return res;
+            break;
+          case MapSection::TileIndex:
+            if (!parseTileIndex(payload, m, res.error))
+                return res;
+            break;
+          default:
+            // Forward tolerance: a newer minor version appended a
+            // section this reader does not know; its declared size
+            // already advanced the cursor.
+            ++res.skipped_sections;
+            break;
+        }
+    }
+
+    res.map = std::move(m);
+    return res;
+}
+
+MapLoadResult
+loadMap(const std::string &path)
+{
+    MapLoadResult res;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        res.error = "cannot open '" + path + "'";
+        return res;
+    }
+    std::vector<uint8_t> buf;
+    uint8_t chunk[1 << 16];
+    size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        buf.insert(buf.end(), chunk, chunk + n);
+    const bool read_err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_err) {
+        res.error = "read error on '" + path + "'";
+        return res;
+    }
+    return loadMapFromBuffer(buf.data(), buf.size());
+}
+
+} // namespace edx

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Versioned map persistence (the "Persist Map" path of Fig. 4, made
+ * production-shaped).
+ *
+ * The legacy Map::save format was a bare magic number followed by a
+ * fixed field layout: any format change broke every map on disk, and a
+ * corrupt file surfaced as silent garbage. The map_io format is built
+ * for evolution, after the maplab VIMap resource files:
+ *
+ *   header:   u32 magic "EDXM" | u16 major | u16 minor | u32 sections
+ *   section:  u32 id | u64 byte size | payload
+ *
+ * Sections are written in canonical (ascending id) order; the loader
+ * dispatches on the id and *skips* unknown sections by their declared
+ * size, so a reader stays forward-tolerant across minor versions (a
+ * newer writer may append sections; it bumps the major only when the
+ * framing or an existing section's layout changes). Every read is
+ * bounds-checked against the declared sizes: a truncated or corrupt
+ * file fails with a diagnostic, never undefined behavior.
+ *
+ * Known sections (v1):
+ *   1  landmarks   position, descriptor, observation count
+ *   2  keyframes   pose, features, landmark associations, BoW vector
+ *   3  tile index  tile edge length + tile count (index is rebuilt)
+ *
+ * saveMapToBuffer() makes byte-identity testable: the writer is
+ * deterministic, so save -> load -> save must reproduce the buffer
+ * bit for bit.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "backend/map.hpp"
+
+namespace edx {
+
+inline constexpr uint32_t kMapFormatMagic = 0x4d584445u; //!< "EDXM"
+inline constexpr uint16_t kMapFormatMajor = 1;
+inline constexpr uint16_t kMapFormatMinor = 0;
+
+/** Section ids of the v1 format. */
+enum class MapSection : uint32_t
+{
+    Points = 1,
+    Keyframes = 2,
+    TileIndex = 3,
+};
+
+/** Outcome of a load: the map, or a diagnostic of why not. */
+struct MapLoadResult
+{
+    std::optional<Map> map;
+    std::string error; //!< empty on success
+
+    uint16_t version_major = 0; //!< as stamped in the file header
+    uint16_t version_minor = 0;
+    int skipped_sections = 0; //!< unknown (newer-writer) sections
+
+    explicit operator bool() const { return map.has_value(); }
+};
+
+/** Serializes @p map into the versioned byte format. Deterministic:
+ *  the same map always yields the same bytes. */
+std::vector<uint8_t> saveMapToBuffer(const Map &map);
+
+/** Writes saveMapToBuffer() to @p path. @return false on I/O failure. */
+bool saveMap(const Map &map, const std::string &path);
+
+/** Parses a buffer written by saveMapToBuffer(). Never throws on
+ *  malformed input; the diagnostic lands in MapLoadResult::error. */
+MapLoadResult loadMapFromBuffer(const uint8_t *data, size_t size);
+
+/** Reads and parses @p path. */
+MapLoadResult loadMap(const std::string &path);
+
+} // namespace edx

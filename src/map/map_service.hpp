@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The live shared-map service (the ROADMAP's "shared-map service"
+ * item): many pool sessions *write into* one map.
+ *
+ * Sessions used to share only read-only assets. The MapService closes
+ * the collaborative-mapping loop: SLAM sessions contribute retired
+ * keyframes (and the landmarks they observe), a background worker
+ * merges the contributions — including cross-session loop detection
+ * that aligns one robot's trajectory onto another's — and publishes
+ * the result as an immutable copy-on-write **map epoch**
+ * (std::shared_ptr<const MapEpoch>). Registration sessions pin the
+ * current epoch at a solve boundary and track against it; the next
+ * epoch is adopted at the next boundary, the same deferred-application
+ * discipline as Mapper::applyPendingFinish.
+ *
+ * Never-block contract: a frame-rate solve thread touches exactly two
+ * tiny critical sections — contribute() appends to an inbox, and
+ * currentEpoch() copies a shared_ptr — neither of which is ever held
+ * across merge work. The merge, eviction, tiling, and epoch
+ * construction all run on the worker against worker-owned state, and
+ * publication is a pointer swap. The pool test asserts the resulting
+ * epoch-acquire latency bound while a merge is in flight.
+ *
+ * Determinism contract: every merge pass rebuilds the merged map from
+ * scratch in fixed (session id, then keyframe seq) order, so the
+ * published map is a pure function of the contribution *set* — the
+ * arrival interleaving and the worker's pass boundaries cannot change
+ * the bytes. The service test asserts byte-identical serialized epochs
+ * across shuffled arrival orders.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "backend/map.hpp"
+#include "backend/vocabulary.hpp"
+#include "sensors/camera.hpp"
+
+namespace edx {
+
+/**
+ * One published snapshot of the shared map. Immutable after
+ * publication; readers hold it alive by shared_ptr, so a merge can
+ * never mutate or free a map a solve is tracking against. Each epoch's
+ * Map carries a fresh uid(), giving it its own SolveHub projection-
+ * cache identity.
+ */
+struct MapEpoch
+{
+    uint64_t epoch = 0; //!< publication sequence number (1-based)
+    Map map;
+
+    // Provenance counters of this snapshot.
+    int sessions = 0;            //!< contributing sessions merged
+    int cross_session_loops = 0; //!< inter-session alignments applied
+    int points_evicted = 0;      //!< dropped by the budget this epoch
+    int keyframes_evicted = 0;
+};
+
+/**
+ * One session's keyframe batch. Keyframe ids and map_point_ids are
+ * *session-local* (the contributor's own map ids); the service
+ * re-keys them into the merged map. Keyframes must arrive in
+ * ascending id order per session — the retirement order of the
+ * mapper's sliding window guarantees it.
+ */
+struct MapContribution
+{
+    std::vector<Keyframe> keyframes;
+    std::vector<std::pair<int, MapPoint>> points; //!< (local id, point)
+};
+
+/** Service policy. */
+struct MapServiceConfig
+{
+    /** Merged-map memory budget, enforced per epoch (0 = unlimited). */
+    MapBudget budget;
+
+    /** Tile edge of the epoch's spatial index; <= 0 skips tiling. */
+    double tile_size_m = 25.0;
+
+    /** Cross-session loop gate: BoW score and 3D-2D match floors
+     *  (mirrors MappingConfig's intra-session loop gates). */
+    double merge_min_score = 0.05;
+    int merge_min_matches = 15;
+
+    /** New keyframes pending before the worker runs a merge pass
+     *  (1 = merge on every contribution). */
+    int publish_min_keyframes = 1;
+};
+
+/** Service counters (surfaced through PoolStats). */
+struct MapServiceStats
+{
+    long contributions = 0;      //!< contribute() calls accepted
+    long keyframes_ingested = 0; //!< keyframes across all contributions
+    long points_ingested = 0;    //!< landmark records across them
+    long merges = 0;             //!< merge passes completed
+    uint64_t epochs_published = 0;
+    int sessions = 0;                 //!< registered contributors
+    long cross_session_loops = 0;     //!< of the latest epoch
+    long evicted_points = 0;          //!< of the latest epoch
+    long evicted_keyframes = 0;       //!< of the latest epoch
+    double max_merge_ms = 0.0;   //!< slowest merge pass (background)
+    double max_publish_ms = 0.0; //!< slowest epoch swap (reader-visible)
+};
+
+/** The shared-map service. */
+class MapService
+{
+  public:
+    /**
+     * @param vocabulary BoW vocabulary for cross-session loop
+     *        detection (borrowed; null disables alignment — sessions
+     *        then merge in their own frames)
+     * @param rig stereo rig of the fleet (loop-closure pose solve)
+     */
+    MapService(const Vocabulary *vocabulary, const StereoRig &rig,
+               const MapServiceConfig &cfg = {});
+
+    /** Stops the worker; readers keep their pinned epochs alive. */
+    ~MapService();
+
+    MapService(const MapService &) = delete;
+    MapService &operator=(const MapService &) = delete;
+
+    /**
+     * Seeds the merged map with a prior (session id -1, merged before
+     * every live contributor). Call before the first contribution;
+     * typically the deployment's persisted map.
+     */
+    void seed(const Map &prior);
+
+    /** Registers a contributor; the key orders its keyframes in the
+     *  deterministic merge (registration order = merge order). */
+    int registerSession();
+
+    /**
+     * Queues one contribution. O(size of the contribution): appends to
+     * the worker inbox under a lock no merge work ever holds. Safe
+     * from any thread.
+     */
+    void contribute(int session_key, MapContribution c);
+
+    /**
+     * The latest published epoch — never null (epoch 0 is an empty
+     * map). A shared_ptr copy under a swap-only mutex: bounded cost
+     * even while a merge is in flight, which is the never-block
+     * contract frame-rate solves rely on.
+     */
+    std::shared_ptr<const MapEpoch> currentEpoch() const;
+
+    /** Blocks until every queued contribution is merged + published. */
+    void flush();
+
+    MapServiceStats stats() const;
+
+    const MapServiceConfig &config() const { return cfg_; }
+
+  private:
+    /** Per-session ordered contribution store (worker-owned). */
+    struct SessionStore
+    {
+        std::map<int, MapPoint> points; //!< by session-local id
+        std::vector<Keyframe> keyframes; //!< ascending session-local id
+    };
+
+    struct InboxItem
+    {
+        int session_key;
+        MapContribution contribution;
+    };
+
+    void workerLoop();
+    /** Rebuilds the merged map from the stores (deterministic). */
+    void mergeAndPublish();
+
+    const Vocabulary *voc_;
+    StereoRig rig_;
+    MapServiceConfig cfg_;
+
+    // Inbox: the only state contribute() touches. Tiny critical
+    // sections by construction.
+    mutable std::mutex inbox_m_;
+    std::condition_variable inbox_cv_;
+    std::vector<InboxItem> inbox_;
+    size_t inbox_keyframes_ = 0;    //!< keyframes pending in the inbox
+    uint64_t enqueued_batches_ = 0; //!< contribute() calls ever queued
+    uint64_t merged_batches_ = 0;   //!< ... consumed by a finished pass
+    int flush_waiters_ = 0;
+    bool stopping_ = false;
+    std::atomic<int> next_session_key_{0};
+    MapServiceStats stats_; //!< under inbox_m_
+
+    // Worker-owned merge state (no lock needed: single worker).
+    std::map<int, SessionStore> stores_; //!< by session key; -1 = seed
+
+    // Published epoch: swap-only mutex, never held across merge work.
+    mutable std::mutex epoch_m_;
+    std::shared_ptr<const MapEpoch> epoch_;
+
+    std::thread worker_;
+};
+
+} // namespace edx

@@ -95,6 +95,18 @@ LocalizerPool::spawnWorkerLocked()
     workers_.emplace_back(&LocalizerPool::workerLoop, this);
     ++live_workers_;
     ++workers_grown_;
+    notifyResourceShiftLocked();
+}
+
+void
+LocalizerPool::notifyResourceShiftLocked()
+{
+    // A live_workers_ transition changed the machine's effective width;
+    // every replanning session should re-fit on its next completed
+    // frame instead of drifting through a stale cadence window.
+    for (auto &s : sessions_)
+        if (s->replanner)
+            s->replanner->notifyResourceShift();
 }
 
 LocalizerPool::~LocalizerPool() { shutdown(); }
@@ -123,6 +135,8 @@ LocalizerPool::addSession(std::unique_ptr<Localizer> localizer,
     s->stats.qos = session.qos;
     if (cfg_.batch_solves)
         s->loc->setSolveHub(&hub_);
+    if (cfg_.map_service && session.share_map)
+        s->loc->attachMapService(cfg_.map_service);
     if (cfg_.replan) {
         s->replanner = std::make_unique<SessionReplanner>(cfg_.replan_cfg);
         // Seed with the classic frontend|backend split — the topology
@@ -487,6 +501,7 @@ LocalizerPool::waitForWork(std::unique_lock<std::mutex> &lk)
                     Clock::now() >= idle_since + idle_limit) {
                     --live_workers_;
                     ++workers_retired_;
+                    notifyResourceShiftLocked();
                     return false;
                 }
             }
@@ -753,7 +768,18 @@ LocalizerPool::stats() const
             out.swaps_applied += ss.replan.proposals;
             out.swaps_rejected += ss.replan.held;
         }
+        if (s->loc->mapService()) {
+            // Atomic counters published by the session's own worker;
+            // safe to read while the session is in flight.
+            ss.map_contributions = s->loc->mapContributions();
+            ss.map_epoch = s->loc->mapEpoch();
+            ss.epoch_acquire_max_ms = s->loc->maxEpochAcquireMs();
+        }
         out.sessions.push_back(std::move(ss));
+    }
+    if (cfg_.map_service) {
+        out.map_service_attached = true;
+        out.map_service = cfg_.map_service->stats();
     }
     out.submitted = submitted_;
     out.completed = completed_;

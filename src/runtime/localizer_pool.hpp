@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "core/localizer.hpp"
+#include "map/map_service.hpp"
 #include "runtime/replan.hpp"
 #include "runtime/solve_hub.hpp"
 
@@ -80,6 +81,14 @@ struct SessionConfig
      * pose helps nobody). 0 disables the deadline.
      */
     double frame_deadline_ms = 0.0;
+
+    /**
+     * Attach this session to PoolConfig::map_service (no-op when the
+     * pool has none). Off, the session keeps the legacy private-map
+     * behavior even in a shared-map pool — e.g. a survey robot whose
+     * map must stay quarantined until reviewed.
+     */
+    bool share_map = true;
 };
 
 /** Pool sizing and policy. */
@@ -203,6 +212,16 @@ struct PoolConfig
      */
     bool replan = false;
     ReplanConfig replan_cfg; //!< cadence/hysteresis when replan is on
+
+    /**
+     * Live shared-map service (map/map_service.hpp), borrowed; must
+     * outlive the pool. Every added session with
+     * SessionConfig::share_map attaches: SLAM sessions contribute
+     * retired keyframes, registration sessions adopt published map
+     * epochs at solve boundaries. Null keeps the classic read-only
+     * shared-asset pool.
+     */
+    MapService *map_service = nullptr;
 };
 
 /** One completed frame of one session. */
@@ -243,6 +262,17 @@ struct SessionPoolStats
     std::vector<int> plan_cuts;
     ReplanStats replan;
 
+    /**
+     * Shared-map participation (PoolConfig::map_service): contribution
+     * batches this session pushed into the service, the epoch its
+     * registration tracker currently reads, and the worst observed
+     * epoch-acquire latency — the solve-side cost of map sharing, which
+     * the service's design bounds to a pointer copy.
+     */
+    long map_contributions = 0;
+    uint64_t map_epoch = 0;
+    double epoch_acquire_max_ms = 0.0;
+
     long dropped() const { return dropped_oldest + dropped_deadline; }
 
     double
@@ -267,6 +297,10 @@ struct PoolStats
     long replans = 0;          //!< replan ticks evaluated, all sessions
     long swaps_applied = 0;    //!< plan changes adopted
     long swaps_rejected = 0;   //!< proposals held by hysteresis/min-data
+
+    // Shared-map service counters (PoolConfig::map_service).
+    bool map_service_attached = false;
+    MapServiceStats map_service; //!< zeros when no service is attached
 };
 
 /** Serves N concurrent localization sessions. */
@@ -399,6 +433,7 @@ class LocalizerPool
     /** Blocks for work; false = this worker retired (elastic shrink). */
     bool waitForWork(std::unique_lock<std::mutex> &lk);  //!< under m_
     void spawnWorkerLocked();                //!< under m_
+    void notifyResourceShiftLocked();        //!< under m_
     void observeForReplan(Session &s, const LocalizationResult &res);
     void runReleasedBackend(std::unique_lock<std::mutex> &lk, int sid);
     void dispatchSession(std::unique_lock<std::mutex> &lk, int sid);

@@ -72,6 +72,7 @@ struct ReplanStats
     long ticks = 0;     //!< re-plan evaluations run
     long proposals = 0; //!< improving plans returned to the caller
     long held = 0;      //!< ticks where hysteresis kept the current plan
+    long forced = 0;    //!< ticks forced by a resource shift
 };
 
 /** Windowed telemetry -> hysteresis-gated cut-list proposals. */
@@ -89,6 +90,18 @@ class SessionReplanner
     std::optional<StagePlan> observe(const FrameTelemetry &telemetry,
                                      BackendMode mode,
                                      const std::vector<int> &current_cuts);
+
+    /**
+     * Signals a compute-resource shift (the pool's elastic scaling
+     * grew or retired a worker): the next observe() re-fits and
+     * re-plans immediately instead of waiting out
+     * ReplanConfig::tick_frames — the per-stage latency regime a
+     * session observes changes with the machine's effective width, and
+     * drifting through a stale cadence window wastes the gain. The
+     * min_mode_frames and hysteresis gates still apply; only the
+     * cadence is overridden.
+     */
+    void notifyResourceShift();
 
     ReplanStats stats() const;
 
@@ -108,6 +121,7 @@ class SessionReplanner
     ReplanConfig cfg_;
     std::deque<Sample> window_;
     int since_tick_ = 0;
+    bool force_tick_ = false; //!< set by notifyResourceShift()
     ReplanStats stats_;
 };
 

@@ -208,7 +208,18 @@ SolveHub::executeProjectionGroup(Request **reqs, int n)
     MatX *x = &x_shared_;
     bool build = true;
     if (reqs[0]->static_map) {
+        if (x_cache_.size() >= kMaxStaticMapCaches &&
+            x_cache_.find(map->uid()) == x_cache_.end()) {
+            // Evict the least-recently-used entry before admitting a
+            // new map (epoch churn must not grow the cache unbounded).
+            auto lru = x_cache_.begin();
+            for (auto it = x_cache_.begin(); it != x_cache_.end(); ++it)
+                if (it->second.last_used < lru->second.last_used)
+                    lru = it;
+            x_cache_.erase(lru);
+        }
         StaticMapCache &cache = x_cache_[map->uid()];
+        cache.last_used = ++x_cache_clock_;
         x = &cache.x_rows;
         build = cache.points != m;
         cache.points = m;

@@ -263,15 +263,20 @@ class SolveHub
     /**
      * Cached X per immutable map, keyed by Map::uid() — a
      * process-unique identity, so a freed map's entry can never be
-     * mistaken for a new map at the same address. Entries persist for
-     * the hub's lifetime (bounded by the number of distinct prior
-     * maps a deployment serves).
+     * mistaken for a new map at the same address. The cache is LRU-
+     * bounded: a deployment that serves a fixed set of prior maps
+     * never evicts, but a shared-map pool mints a fresh uid per
+     * published epoch, and without the bound every superseded epoch's
+     * X build would pin its memory for the hub's lifetime.
      */
     struct StaticMapCache
     {
         int points = -1;
+        uint64_t last_used = 0;
         MatX x_rows;
     };
+    static constexpr size_t kMaxStaticMapCaches = 8;
+    uint64_t x_cache_clock_ = 0;
     std::unordered_map<uint64_t, StaticMapCache> x_cache_;
 };
 

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Format-evolution tests for the versioned map serialization
+ * (map/map_io.hpp): byte-stable round trips, a checked-in v1 golden
+ * fixture that every future writer must keep loadable, forward
+ * tolerance for unknown sections, and corrupt-input diagnostics — a
+ * truncated or hostile file must fail with an error string, never with
+ * UB (the ASan+UBSan CI job runs this suite).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "backend/map.hpp"
+#include "map/map_io.hpp"
+
+namespace edx {
+namespace {
+
+/**
+ * The golden map: every format feature exercised with fixed,
+ * platform-independent values (plain IEEE arithmetic, no RNG, no
+ * trigonometry) so the serialized bytes are reproducible anywhere.
+ * Changing this builder invalidates tests/data/map_v1_golden.map —
+ * regenerate it by running this suite with EDX_WRITE_GOLDEN=1 and
+ * commit both together.
+ */
+Map
+buildGoldenMap()
+{
+    Map m;
+    for (int i = 0; i < 12; ++i) {
+        MapPoint p;
+        p.position = Vec3{0.25 * i, 1.0 - 0.125 * i, 0.5 + 0.0625 * i};
+        for (int w = 0; w < 4; ++w)
+            p.descriptor.bits[w] =
+                0x0123456789abcdefULL * (i + 1) + static_cast<uint64_t>(w);
+        p.observations = 1 + i % 3;
+        m.addPoint(p);
+    }
+    for (int k = 0; k < 3; ++k) {
+        Keyframe kf;
+        // Unit quaternions whose components are exactly representable
+        // (all-half rotations), so the fixture bytes are reproducible.
+        const double w = (k == 0) ? 1.0 : 0.5;
+        const double z = (k == 0) ? 0.0 : (k == 1 ? 0.5 : -0.5);
+        const double x = (k == 0) ? 0.0 : 0.5;
+        const double y = (k == 0) ? 0.0 : (k == 1 ? -0.5 : 0.5);
+        kf.pose = Pose(Quat(w, x, y, z), Vec3{2.0 * k, -1.5 * k, 0.25});
+        for (int f = 0; f < 5; ++f) {
+            KeyPoint kp;
+            kp.x = 64.0f + 10.0f * f + k;
+            kp.y = 48.0f + 6.0f * f;
+            kp.score = 0.5f + 0.0625f * f;
+            kp.angle = 0.25f * f;
+            kf.keypoints.push_back(kp);
+            Descriptor d;
+            for (int ww = 0; ww < 4; ++ww)
+                d.bits[ww] = 0xfedcba9876543210ULL ^
+                             (static_cast<uint64_t>(k * 5 + f) << ww);
+            kf.descriptors.push_back(d);
+            // Mix of real landmark references and -1 "no landmark".
+            kf.map_point_ids.push_back(f % 2 == 0 ? (k * 4 + f) % 12 : -1);
+        }
+        kf.bow[3 * k] = 0.5;
+        kf.bow[3 * k + 1] = 0.25;
+        m.addKeyframe(std::move(kf));
+    }
+    m.buildTileIndex(2.0);
+    return m;
+}
+
+std::string
+goldenPath()
+{
+    return std::string(EDX_TEST_DATA_DIR) + "/map_v1_golden.map";
+}
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+/** Semantic equality via the canonical serialization. */
+void
+expectMapsIdentical(const Map &a, const Map &b)
+{
+    const auto ba = saveMapToBuffer(a);
+    const auto bb = saveMapToBuffer(b);
+    ASSERT_EQ(ba.size(), bb.size());
+    EXPECT_EQ(0, std::memcmp(ba.data(), bb.data(), ba.size()));
+}
+
+TEST(MapIo, SaveLoadSaveIsByteIdentical)
+{
+    const Map m = buildGoldenMap();
+    const std::vector<uint8_t> first = saveMapToBuffer(m);
+    MapLoadResult r = loadMapFromBuffer(first.data(), first.size());
+    ASSERT_TRUE(r) << r.error;
+    EXPECT_EQ(r.version_major, kMapFormatMajor);
+    EXPECT_EQ(r.version_minor, kMapFormatMinor);
+    EXPECT_EQ(r.skipped_sections, 0);
+    const std::vector<uint8_t> second = saveMapToBuffer(*r.map);
+    ASSERT_EQ(first.size(), second.size());
+    EXPECT_EQ(0, std::memcmp(first.data(), second.data(), first.size()));
+}
+
+TEST(MapIo, RoundTripPreservesEveryField)
+{
+    const Map m = buildGoldenMap();
+    const auto buf = saveMapToBuffer(m);
+    MapLoadResult r = loadMapFromBuffer(buf.data(), buf.size());
+    ASSERT_TRUE(r) << r.error;
+    ASSERT_EQ(r.map->pointCount(), m.pointCount());
+    ASSERT_EQ(r.map->keyframeCount(), m.keyframeCount());
+    EXPECT_EQ(r.map->points()[3].observations, m.points()[3].observations);
+    EXPECT_EQ(r.map->points()[7].descriptor.bits,
+              m.points()[7].descriptor.bits);
+    const Keyframe &kf = r.map->keyframes()[1];
+    const Keyframe &ref = m.keyframes()[1];
+    EXPECT_EQ(kf.id, ref.id);
+    EXPECT_EQ(kf.map_point_ids, ref.map_point_ids);
+    EXPECT_EQ(kf.bow.size(), ref.bow.size());
+    EXPECT_EQ(kf.keypoints[2].x, ref.keypoints[2].x);
+    EXPECT_EQ(kf.pose.rotation.w(), ref.pose.rotation.w());
+    EXPECT_EQ(kf.pose.translation[1], ref.pose.translation[1]);
+    // The tile index travels as parameters and is rebuilt on load.
+    EXPECT_EQ(r.map->tileSize(), m.tileSize());
+    EXPECT_EQ(r.map->tiles().size(), m.tiles().size());
+}
+
+TEST(MapIo, FileRoundTripThroughMapApi)
+{
+    const std::string path = "/tmp/edx_test_map_io_roundtrip.map";
+    const Map m = buildGoldenMap();
+    ASSERT_TRUE(m.save(path));
+    auto loaded = Map::load(path);
+    ASSERT_TRUE(loaded.has_value());
+    expectMapsIdentical(m, *loaded);
+    std::remove(path.c_str());
+}
+
+/**
+ * The checked-in v1 fixture must load under every future reader and
+ * decode to exactly the golden map. This is the contract that lets a
+ * deployment upgrade the binary without re-surveying its sites.
+ */
+TEST(MapIo, GoldenV1FixtureLoads)
+{
+    const std::string path = goldenPath();
+    if (std::getenv("EDX_WRITE_GOLDEN") != nullptr) {
+        ASSERT_TRUE(buildGoldenMap().save(path));
+        GTEST_LOG_(INFO) << "golden fixture rewritten: " << path;
+    }
+    const std::vector<uint8_t> bytes = readFile(path);
+    ASSERT_FALSE(bytes.empty());
+    MapLoadResult r = loadMapFromBuffer(bytes.data(), bytes.size());
+    ASSERT_TRUE(r) << r.error;
+    EXPECT_EQ(r.version_major, 1);
+    expectMapsIdentical(*r.map, buildGoldenMap());
+
+    // And the current writer still emits the v1 bytes verbatim: the
+    // fixture doubles as a canary for accidental format drift. A
+    // deliberate format change bumps the version and regenerates it.
+    const auto rewritten = saveMapToBuffer(buildGoldenMap());
+    ASSERT_EQ(rewritten.size(), bytes.size());
+    EXPECT_EQ(0,
+              std::memcmp(rewritten.data(), bytes.data(), bytes.size()));
+}
+
+TEST(MapIo, UnknownSectionIsSkippedNotFatal)
+{
+    auto buf = saveMapToBuffer(buildGoldenMap());
+    // Bump the header's section count (u32 at offset 8) and append an
+    // unknown section — what a newer minor version's writer would emit.
+    uint32_t count;
+    std::memcpy(&count, buf.data() + 8, 4);
+    ++count;
+    std::memcpy(buf.data() + 8, &count, 4);
+    const uint32_t id = 999;
+    const uint64_t size = 12;
+    const uint8_t payload[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+    buf.insert(buf.end(), reinterpret_cast<const uint8_t *>(&id),
+               reinterpret_cast<const uint8_t *>(&id) + 4);
+    buf.insert(buf.end(), reinterpret_cast<const uint8_t *>(&size),
+               reinterpret_cast<const uint8_t *>(&size) + 8);
+    buf.insert(buf.end(), payload, payload + 12);
+
+    MapLoadResult r = loadMapFromBuffer(buf.data(), buf.size());
+    ASSERT_TRUE(r) << r.error;
+    EXPECT_EQ(r.skipped_sections, 1);
+    expectMapsIdentical(*r.map, buildGoldenMap());
+}
+
+TEST(MapIo, NewerMinorVersionLoads)
+{
+    auto buf = saveMapToBuffer(buildGoldenMap());
+    const uint16_t minor = kMapFormatMinor + 1;
+    std::memcpy(buf.data() + 6, &minor, 2); // u32 magic | u16 major | u16 minor
+    MapLoadResult r = loadMapFromBuffer(buf.data(), buf.size());
+    ASSERT_TRUE(r) << r.error;
+    EXPECT_EQ(r.version_minor, kMapFormatMinor + 1);
+}
+
+TEST(MapIo, NewerMajorVersionRefusesWithDiagnostic)
+{
+    auto buf = saveMapToBuffer(buildGoldenMap());
+    const uint16_t major = kMapFormatMajor + 1;
+    std::memcpy(buf.data() + 4, &major, 2);
+    MapLoadResult r = loadMapFromBuffer(buf.data(), buf.size());
+    ASSERT_FALSE(r);
+    EXPECT_NE(r.error.find("major version"), std::string::npos)
+        << r.error;
+}
+
+TEST(MapIo, WrongMagicRefuses)
+{
+    auto buf = saveMapToBuffer(buildGoldenMap());
+    buf[0] ^= 0xff;
+    MapLoadResult r = loadMapFromBuffer(buf.data(), buf.size());
+    ASSERT_FALSE(r);
+    EXPECT_NE(r.error.find("magic"), std::string::npos) << r.error;
+}
+
+TEST(MapIo, EveryTruncationFailsCleanly)
+{
+    // Chop the buffer at every prefix length: each must produce an
+    // error string (never a crash, never a silent partial map). This
+    // is the test the sanitizer job leans on.
+    const auto full = saveMapToBuffer(buildGoldenMap());
+    for (size_t len = 0; len < full.size(); ++len) {
+        MapLoadResult r = loadMapFromBuffer(full.data(), len);
+        EXPECT_FALSE(r) << "truncated to " << len << " of "
+                        << full.size() << " bytes loaded anyway";
+        EXPECT_FALSE(r.error.empty());
+    }
+}
+
+TEST(MapIo, CorruptCountCannotForceHugeAllocation)
+{
+    auto buf = saveMapToBuffer(buildGoldenMap());
+    // The landmark section is first: header (12) + section header
+    // (4 + 8) puts its count at offset 24. Claim 2^48 landmarks.
+    const uint64_t absurd = 1ULL << 48;
+    std::memcpy(buf.data() + 24, &absurd, 8);
+    MapLoadResult r = loadMapFromBuffer(buf.data(), buf.size());
+    ASSERT_FALSE(r);
+    EXPECT_NE(r.error.find("count exceeds"), std::string::npos)
+        << r.error;
+}
+
+TEST(MapIo, NonUnitRotationRefuses)
+{
+    Map m = buildGoldenMap();
+    m.keyframes()[1].pose.rotation = Quat(2.0, 0.0, 0.0, 0.0);
+    const auto buf = saveMapToBuffer(m);
+    MapLoadResult r = loadMapFromBuffer(buf.data(), buf.size());
+    ASSERT_FALSE(r);
+    EXPECT_NE(r.error.find("non-unit rotation"), std::string::npos)
+        << r.error;
+}
+
+TEST(MapIo, CorruptLandmarkReferenceRefuses)
+{
+    Map m = buildGoldenMap();
+    m.keyframes()[0].map_point_ids[0] = 10'000; // out of range on disk
+    const auto buf = saveMapToBuffer(m);
+    MapLoadResult r = loadMapFromBuffer(buf.data(), buf.size());
+    ASSERT_FALSE(r);
+    EXPECT_NE(r.error.find("landmark id"), std::string::npos) << r.error;
+}
+
+TEST(MapIo, MissingFileReportsPath)
+{
+    MapLoadResult r = loadMap("/tmp/edx_no_such_map_file.map");
+    ASSERT_FALSE(r);
+    EXPECT_NE(r.error.find("edx_no_such_map_file"), std::string::npos);
+}
+
+} // namespace
+} // namespace edx

@@ -1,0 +1,516 @@
+/**
+ * @file
+ * Tests for the live shared-map service (map/map_service.hpp) and the
+ * Map-level machinery it leans on (eviction under a budget, the
+ * spatial tile index):
+ *
+ *  - merge determinism: the published epoch is a pure function of the
+ *    contribution set, asserted by byte-identical serialized maps
+ *    across shuffled arrival interleavings and pass boundaries;
+ *  - cross-session loop detection on overlapping trajectories;
+ *  - eviction invariants (budget respected, id == index restored,
+ *    landmark references remapped, determinism);
+ *  - concurrent contribute/publish/read (the TSan CI job runs this);
+ *  - solve-path neutrality: an attached SLAM session's pose stream is
+ *    bit-identical to a detached one (contribution is read-only);
+ *  - pool integration: counters flow through PoolStats and the
+ *    epoch-acquire latency stays bounded while merges are in flight —
+ *    the never-block contract frame-rate solves rely on.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/localizer.hpp"
+#include "map/map_io.hpp"
+#include "map/map_service.hpp"
+#include "runtime/localizer_pool.hpp"
+#include "sim/dataset.hpp"
+
+namespace edx {
+namespace {
+
+DatasetConfig
+scene(SceneType type, int frames, uint64_t seed = 31)
+{
+    DatasetConfig cfg;
+    cfg.scene = type;
+    cfg.platform = Platform::Drone;
+    cfg.frame_count = frames;
+    cfg.fps = 10.0;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Dataset + vocabulary + prior map, built once for the whole suite. */
+class MapServiceFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        dataset_ = new Dataset(scene(SceneType::IndoorKnown, 24));
+        voc_ = new Vocabulary(buildVocabulary(*dataset_, 6));
+        map_ = new Map(buildPriorMap(*dataset_, *voc_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete map_;
+        delete voc_;
+        delete dataset_;
+        map_ = nullptr;
+        voc_ = nullptr;
+        dataset_ = nullptr;
+    }
+
+    /**
+     * Rebuilds a slice [first, last) of the prior map's keyframes as a
+     * session contribution: keyframe ids and landmark references stay
+     * in the contributor's own (= the prior map's) id space, exactly
+     * what a live session hands the service.
+     */
+    static MapContribution
+    sliceContribution(int first, int last)
+    {
+        MapContribution c;
+        std::vector<bool> taken(map_->points().size(), false);
+        for (int k = first; k < last && k < map_->keyframeCount(); ++k) {
+            const Keyframe &kf = map_->keyframes()[k];
+            c.keyframes.push_back(kf);
+            for (int lm : kf.map_point_ids) {
+                if (lm < 0 || taken[lm])
+                    continue;
+                taken[lm] = true;
+                c.points.emplace_back(lm, map_->points()[lm]);
+            }
+        }
+        return c;
+    }
+
+    static Dataset *dataset_;
+    static Vocabulary *voc_;
+    static Map *map_;
+};
+
+Dataset *MapServiceFixture::dataset_ = nullptr;
+Vocabulary *MapServiceFixture::voc_ = nullptr;
+Map *MapServiceFixture::map_ = nullptr;
+
+std::vector<uint8_t>
+epochBytes(const MapService &svc)
+{
+    auto epoch = svc.currentEpoch();
+    return saveMapToBuffer(epoch->map);
+}
+
+// --- merge determinism ----------------------------------------------------
+
+TEST_F(MapServiceFixture, MergeIsArrivalOrderIndependent)
+{
+    const int half = map_->keyframeCount() / 2;
+    ASSERT_GE(half, 2);
+
+    // Service 1: session A fully, then session B, one batch each.
+    MapService s1(voc_, dataset_->rig());
+    const int a1 = s1.registerSession();
+    const int b1 = s1.registerSession();
+    s1.contribute(a1, sliceContribution(0, half));
+    s1.contribute(b1, sliceContribution(half, map_->keyframeCount()));
+    s1.flush();
+
+    // Service 2: same contribution *set*, interleaved in small batches
+    // with B arriving first — different arrival order AND different
+    // merge-pass boundaries.
+    MapService s2(voc_, dataset_->rig());
+    const int a2 = s2.registerSession();
+    const int b2 = s2.registerSession();
+    s2.contribute(b2, sliceContribution(half, half + 1));
+    s2.contribute(a2, sliceContribution(0, 1));
+    s2.flush();
+    s2.contribute(b2, sliceContribution(half + 1, map_->keyframeCount()));
+    s2.flush();
+    s2.contribute(a2, sliceContribution(1, half));
+    s2.flush();
+
+    const auto bytes1 = epochBytes(s1);
+    const auto bytes2 = epochBytes(s2);
+    ASSERT_EQ(bytes1.size(), bytes2.size());
+    EXPECT_EQ(0,
+              std::memcmp(bytes1.data(), bytes2.data(), bytes1.size()));
+
+    auto e1 = s1.currentEpoch();
+    EXPECT_EQ(e1->sessions, 2);
+    EXPECT_EQ(e1->map.keyframeCount(), map_->keyframeCount());
+}
+
+TEST_F(MapServiceFixture, SeedMergesBeforeEveryContributor)
+{
+    MapService svc(voc_, dataset_->rig());
+    svc.seed(*map_);
+    svc.flush();
+    auto seeded = svc.currentEpoch();
+    ASSERT_GE(seeded->epoch, 1u);
+    // The merge re-keys landmarks in reference order and recounts
+    // observations, so the seed round-trips semantically (not byte-
+    // wise): same keyframes at the same poses, every referenced
+    // landmark carried over.
+    ASSERT_EQ(seeded->map.keyframeCount(), map_->keyframeCount());
+    for (int k = 0; k < map_->keyframeCount(); ++k)
+        EXPECT_LT(seeded->map.keyframes()[k]
+                      .pose.distanceTo(map_->keyframes()[k].pose)
+                      .translational,
+                  1e-12);
+    EXPECT_GT(seeded->map.pointCount(), 0);
+    EXPECT_LE(seeded->map.pointCount(), map_->pointCount());
+
+    const int a = svc.registerSession();
+    svc.contribute(a, sliceContribution(0, 2));
+    svc.flush();
+    auto merged = svc.currentEpoch();
+    // Seed keyframes come first in the merged database.
+    EXPECT_EQ(merged->map.keyframeCount(), map_->keyframeCount() + 2);
+    EXPECT_EQ(merged->map.keyframes()[0].id, 0);
+    EXPECT_GE(merged->map.pointCount(), seeded->map.pointCount());
+}
+
+TEST_F(MapServiceFixture, OverlappingSessionsCloseCrossSessionLoops)
+{
+    // Two sessions contributing the *same* trajectory slice: session
+    // 2's keyframes revisit session 1's places exactly, so the BoW
+    // query must fire and the alignment solve must converge.
+    MapService svc(voc_, dataset_->rig());
+    const int a = svc.registerSession();
+    const int b = svc.registerSession();
+    svc.contribute(a, sliceContribution(0, 4));
+    svc.contribute(b, sliceContribution(0, 4));
+    svc.flush();
+
+    auto epoch = svc.currentEpoch();
+    EXPECT_GT(epoch->cross_session_loops, 0)
+        << "identical revisits produced no cross-session alignment";
+    // The alignment of identical geometry is (numerically) identity:
+    // the re-localized keyframes land on their originals.
+    const Keyframe &orig = epoch->map.keyframes()[0];
+    const Keyframe &revisit = epoch->map.keyframes()[4];
+    EXPECT_LT(orig.pose.distanceTo(revisit.pose).translational, 0.2);
+}
+
+// --- eviction + tiling ----------------------------------------------------
+
+TEST_F(MapServiceFixture, EvictionRespectsBudgetAndRemapsReferences)
+{
+    Map m = *map_;
+    MapBudget budget;
+    budget.max_keyframes = std::max(1, m.keyframeCount() / 2);
+    budget.max_points = std::max(1, m.pointCount() / 2);
+    const int kf_before = m.keyframeCount();
+    const int pt_before = m.pointCount();
+
+    MapEvictionResult ev = m.evictToBudget(budget);
+    EXPECT_EQ(m.keyframeCount(), budget.max_keyframes);
+    EXPECT_EQ(m.pointCount(), budget.max_points);
+    EXPECT_EQ(ev.keyframes_evicted, kf_before - budget.max_keyframes);
+    EXPECT_EQ(ev.points_evicted, pt_before - budget.max_points);
+    ASSERT_EQ(static_cast<int>(ev.keyframe_remap.size()), kf_before);
+    ASSERT_EQ(static_cast<int>(ev.point_remap.size()), pt_before);
+
+    // id == index restored; every landmark reference valid or -1.
+    for (int i = 0; i < m.keyframeCount(); ++i) {
+        EXPECT_EQ(m.keyframes()[i].id, i);
+        for (int lm : m.keyframes()[i].map_point_ids) {
+            EXPECT_GE(lm, -1);
+            EXPECT_LT(lm, m.pointCount());
+        }
+    }
+    // Oldest keyframes went first, so survivors are the newest block.
+    for (int old = 0; old < kf_before; ++old) {
+        if (old < ev.keyframes_evicted)
+            EXPECT_EQ(ev.keyframe_remap[old], -1);
+        else
+            EXPECT_EQ(ev.keyframe_remap[old],
+                      old - ev.keyframes_evicted);
+    }
+
+    // Determinism: the same eviction on a fresh copy gives the same map.
+    Map again = *map_;
+    again.evictToBudget(budget);
+    const auto b1 = saveMapToBuffer(m);
+    const auto b2 = saveMapToBuffer(again);
+    ASSERT_EQ(b1.size(), b2.size());
+    EXPECT_EQ(0, std::memcmp(b1.data(), b2.data(), b1.size()));
+}
+
+TEST_F(MapServiceFixture, WithinBudgetMapIsUntouched)
+{
+    Map m = *map_;
+    MapBudget roomy;
+    roomy.max_keyframes = m.keyframeCount() + 10;
+    roomy.max_points = m.pointCount() + 10;
+    MapEvictionResult ev = m.evictToBudget(roomy);
+    EXPECT_EQ(ev.points_evicted, 0);
+    EXPECT_EQ(ev.keyframes_evicted, 0);
+    EXPECT_TRUE(ev.point_remap.empty());
+    EXPECT_TRUE(ev.keyframe_remap.empty());
+}
+
+TEST_F(MapServiceFixture, TileIndexPartitionsEveryLandmark)
+{
+    Map m = *map_;
+    m.buildTileIndex(5.0);
+    EXPECT_EQ(m.tileSize(), 5.0);
+    int indexed = 0;
+    for (const auto &[key, tile] : m.tiles()) {
+        for (int pid : tile.points) {
+            ASSERT_GE(pid, 0);
+            ASSERT_LT(pid, m.pointCount());
+            EXPECT_EQ(Map::tileKeyOf(m.points()[pid].position, 5.0), key);
+        }
+        indexed += static_cast<int>(tile.points.size());
+    }
+    EXPECT_EQ(indexed, m.pointCount()); // a partition: no loss, no dupes
+    int kf_indexed = 0;
+    for (const auto &[key, tile] : m.tiles())
+        kf_indexed += static_cast<int>(tile.keyframes.size());
+    EXPECT_EQ(kf_indexed, m.keyframeCount());
+
+    m.buildTileIndex(0.0);
+    EXPECT_TRUE(m.tiles().empty());
+}
+
+// --- concurrency ----------------------------------------------------------
+
+TEST(MapServiceConcurrency, ParallelContributorsAndReaders)
+{
+    // No vocabulary: merges skip loop detection, keeping the pass cheap
+    // so the test exercises the inbox/publish machinery densely.
+    StereoRig rig;
+    MapServiceConfig cfg;
+    cfg.tile_size_m = 10.0;
+    MapService svc(nullptr, rig, cfg);
+
+    constexpr int kThreads = 4;
+    constexpr int kBatches = 24;
+    std::vector<int> keys;
+    for (int t = 0; t < kThreads; ++t)
+        keys.push_back(svc.registerSession());
+
+    std::atomic<bool> done{false};
+    std::atomic<long> reads{0};
+    std::thread reader([&] {
+        uint64_t last_epoch = 0;
+        while (!done.load(std::memory_order_relaxed)) {
+            auto e = svc.currentEpoch();
+            ASSERT_GE(e->epoch, last_epoch) << "epoch went backwards";
+            last_epoch = e->epoch;
+            // The epoch is immutable: reading it is always safe.
+            if (e->map.keyframeCount() > 0)
+                (void)e->map.keyframes().front().pose.translation[0];
+            reads.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&, t] {
+            for (int b = 0; b < kBatches; ++b) {
+                MapContribution c;
+                Keyframe kf;
+                kf.id = b;
+                kf.pose = Pose(Quat::identity(),
+                               Vec3{1.0 * t, 1.0 * b, 0.0});
+                kf.map_point_ids = {b};
+                kf.keypoints.resize(1);
+                kf.descriptors.resize(1);
+                c.keyframes.push_back(std::move(kf));
+                MapPoint p;
+                p.position = Vec3{1.0 * t, 1.0 * b, 1.0};
+                c.points.emplace_back(b, p);
+                svc.contribute(keys[t], std::move(c));
+            }
+        });
+    }
+    for (auto &w : writers)
+        w.join();
+    svc.flush();
+    done.store(true);
+    reader.join();
+
+    auto final_epoch = svc.currentEpoch();
+    EXPECT_EQ(final_epoch->map.keyframeCount(), kThreads * kBatches);
+    EXPECT_EQ(final_epoch->map.pointCount(), kThreads * kBatches);
+    EXPECT_EQ(final_epoch->sessions, kThreads);
+    EXPECT_GT(reads.load(), 0);
+
+    MapServiceStats st = svc.stats();
+    EXPECT_EQ(st.contributions, kThreads * kBatches);
+    EXPECT_EQ(st.keyframes_ingested, kThreads * kBatches);
+    EXPECT_GE(st.epochs_published, 1u);
+    EXPECT_EQ(st.sessions, kThreads);
+}
+
+TEST(MapServiceConcurrency, BudgetBoundsTheMergedMapUnderLoad)
+{
+    StereoRig rig;
+    MapServiceConfig cfg;
+    cfg.budget.max_keyframes = 16;
+    cfg.budget.max_points = 32;
+    MapService svc(nullptr, rig, cfg);
+    const int key = svc.registerSession();
+    for (int b = 0; b < 64; ++b) {
+        MapContribution c;
+        Keyframe kf;
+        kf.id = b;
+        kf.pose = Pose(Quat::identity(), Vec3{0.5 * b, 0.0, 0.0});
+        kf.map_point_ids = {b, -1};
+        kf.keypoints.resize(2);
+        kf.descriptors.resize(2);
+        c.keyframes.push_back(std::move(kf));
+        MapPoint p;
+        p.position = Vec3{0.5 * b, 1.0, 0.0};
+        c.points.emplace_back(b, p);
+        svc.contribute(key, std::move(c));
+    }
+    svc.flush();
+    auto e = svc.currentEpoch();
+    EXPECT_LE(e->map.keyframeCount(), 16);
+    EXPECT_LE(e->map.pointCount(), 32);
+    for (int i = 0; i < e->map.keyframeCount(); ++i)
+        EXPECT_EQ(e->map.keyframes()[i].id, i);
+}
+
+// --- solve-path neutrality ------------------------------------------------
+
+TEST_F(MapServiceFixture, AttachedSlamPoseStreamIsBitIdentical)
+{
+    Dataset d(scene(SceneType::IndoorUnknown, 36, 7));
+    LocalizerConfig cfg = configForScenario(SceneType::IndoorUnknown);
+    cfg.mapping.keyframe_interval = 3;
+    cfg.mapping.window_size = 4; // retire keyframes well within the run
+
+    auto run = [&](MapService *svc) {
+        Localizer loc(cfg, d.rig(), voc_, nullptr);
+        loc.initialize(d.truthAt(0), 0.0,
+                       d.trajectory().velocityAt(0.0));
+        if (svc)
+            loc.attachMapService(svc);
+        std::vector<Pose> poses;
+        for (int i = 0; i < d.frameCount(); ++i) {
+            DatasetFrame f = d.frame(i);
+            FrameInput in;
+            in.frame_index = i;
+            in.t = f.t;
+            in.left = std::move(f.stereo.left);
+            in.right = std::move(f.stereo.right);
+            in.imu = d.imuBetweenFrames(i);
+            in.gps = d.gpsAtFrame(i);
+            poses.push_back(loc.processFrame(in).pose);
+        }
+        if (svc) {
+            EXPECT_GT(loc.mapContributions(), 0)
+                << "window never retired a keyframe; weak test setup";
+        }
+        return poses;
+    };
+
+    const std::vector<Pose> baseline = run(nullptr);
+    MapService svc(voc_, d.rig());
+    const std::vector<Pose> attached = run(&svc);
+
+    ASSERT_EQ(baseline.size(), attached.size());
+    for (size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(0, std::memcmp(&baseline[i], &attached[i],
+                                 sizeof(Pose)))
+            << "pose diverged at frame " << i
+            << " — contribution must be read-only on the solve path";
+    }
+    svc.flush();
+    EXPECT_GT(svc.currentEpoch()->map.keyframeCount(), 0);
+}
+
+// --- pool integration -----------------------------------------------------
+
+TEST_F(MapServiceFixture, PoolSharesTheMapAndNeverBlocksOnMerges)
+{
+    const int frames = 36;
+    Dataset unknown(scene(SceneType::IndoorUnknown, frames, 11));
+
+    MapServiceConfig scfg;
+    scfg.tile_size_m = 20.0;
+    MapService svc(voc_, dataset_->rig(), scfg);
+    svc.seed(*map_);
+    svc.flush();
+
+    PoolConfig pcfg;
+    pcfg.workers = 2;
+    pcfg.map_service = &svc;
+    LocalizerPool pool(pcfg);
+
+    // Session 0: a SLAM surveyor contributing retired keyframes.
+    LocalizerConfig slam_cfg = configForScenario(SceneType::IndoorUnknown);
+    slam_cfg.mapping.keyframe_interval = 3;
+    slam_cfg.mapping.window_size = 4;
+    const int surveyor = pool.createSession(
+        slam_cfg, unknown.rig(), voc_, nullptr, unknown.truthAt(0), 0.0,
+        unknown.trajectory().velocityAt(0.0));
+
+    // Session 1: a registration robot reading published epochs.
+    LocalizerConfig reg_cfg = configForScenario(SceneType::IndoorKnown);
+    const int reader = pool.createSession(
+        reg_cfg, dataset_->rig(), voc_, map_, dataset_->truthAt(0), 0.0,
+        dataset_->trajectory().velocityAt(0.0));
+
+    // Session 2: a quarantined surveyor that opted out of sharing.
+    SessionConfig solo;
+    solo.share_map = false;
+    const int detached = pool.createSession(
+        slam_cfg, unknown.rig(), voc_, nullptr, unknown.truthAt(0), 0.0,
+        unknown.trajectory().velocityAt(0.0), solo);
+
+    auto inputFor = [](const Dataset &d, int i) {
+        DatasetFrame f = d.frame(i);
+        FrameInput in;
+        in.frame_index = i;
+        in.t = f.t;
+        in.left = std::move(f.stereo.left);
+        in.right = std::move(f.stereo.right);
+        in.imu = d.imuBetweenFrames(i);
+        in.gps = d.gpsAtFrame(i);
+        return in;
+    };
+    for (int i = 0; i < frames; ++i) {
+        ASSERT_TRUE(pool.submit(surveyor, inputFor(unknown, i)));
+        if (i < dataset_->config().frame_count)
+            ASSERT_TRUE(pool.submit(reader, inputFor(*dataset_, i)));
+        ASSERT_TRUE(pool.submit(detached, inputFor(unknown, i)));
+    }
+    pool.drain();
+
+    PoolStats st = pool.stats();
+    ASSERT_TRUE(st.map_service_attached);
+    EXPECT_GT(st.sessions[surveyor].map_contributions, 0);
+    EXPECT_EQ(st.sessions[detached].map_contributions, 0);
+    EXPECT_GE(st.sessions[reader].map_epoch, 1u)
+        << "the registration session never adopted a published epoch";
+    EXPECT_GE(st.map_service.epochs_published, 1u);
+    EXPECT_GT(st.map_service.keyframes_ingested, 0);
+
+    // The never-block contract: while the worker merged contributions
+    // in the background, no solve thread's epoch acquire exceeded a
+    // frame-rate-compatible bound (the acquire is a shared_ptr copy
+    // under a swap-only mutex; 25 ms is orders of magnitude of slack
+    // for CI noise, yet far below a merge pass over a real map).
+    for (const auto &ss : st.sessions)
+        EXPECT_LT(ss.epoch_acquire_max_ms, 25.0);
+    EXPECT_GT(st.map_service.merges, 0);
+
+    pool.shutdown();
+}
+
+} // namespace
+} // namespace edx
